@@ -1,0 +1,50 @@
+// Diagnostic companion to §5.2: which of the five criteria fails, per
+// application and protocol — the quantitative backbone behind the
+// paper's case-study narratives (undefined types ⇒ criterion 1,
+// undefined attributes ⇒ 3, bad values/placement ⇒ 4, behavioural
+// deviations ⇒ 5).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  auto results = rtcc::bench::run_matrix(
+      "=== First-failing-criterion breakdown (supports §5.2) ===");
+
+  std::printf("%-13s %-10s %-13s %10s  %s\n", "Application", "Protocol",
+              "Type", "failures", "first failing criterion");
+  std::printf("%s\n", std::string(100, '-').c_str());
+  for (const auto& [app, analysis] : results) {
+    for (const auto& [proto_id, stats] : analysis.protocols) {
+      for (const auto& [label, t] : stats.types) {
+        if (t.type_compliant()) continue;
+        for (const auto& [criterion, count] : t.criterion_failures) {
+          std::printf("%-13s %-10s %-13s %10llu  %s\n",
+                      rtcc::emul::to_string(app).c_str(),
+                      rtcc::proto::to_string(proto_id).c_str(),
+                      label.c_str(),
+                      static_cast<unsigned long long>(count),
+                      criterion.c_str());
+        }
+      }
+    }
+  }
+
+  // Aggregate per criterion.
+  std::map<std::string, std::uint64_t> totals;
+  for (const auto& [app, analysis] : results)
+    for (const auto& [proto_id, stats] : analysis.protocols)
+      for (const auto& [label, t] : stats.types)
+        for (const auto& [criterion, count] : t.criterion_failures)
+          totals[criterion] += count;
+  std::printf("\nper-criterion totals across all apps:\n");
+  for (const auto& [criterion, count] : totals)
+    std::printf("  %-32s %llu\n", criterion.c_str(),
+                static_cast<unsigned long long>(count));
+  std::printf(
+      "\npaper shape: criterion 1 dominates (undefined STUN types from\n"
+      "WhatsApp/Messenger), criterion 3 next (undefined attributes and\n"
+      "RTP extension profiles), criterion 5 covers the behavioural\n"
+      "cases (keep-alive Allocates, SRTCP tags, trailers).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces the paper's §5.2/§5.3 case studies as detector output: for
+// every app × network configuration, runs the behavioural-findings
+// detectors and prints what fires — the automated counterpart of the
+// paper's manual case-study analysis, including the cross-call
+// deterministic-SSRC check (§5.2.2).
+#include <cstdio>
+
+#include "report/findings.hpp"
+
+int main() {
+  using namespace rtcc;
+  auto base = report::experiment_config_from_env();
+  std::printf("=== §5.2/§5.3 case studies via behavioural detectors ===\n");
+  std::printf("(media_scale=%.3f)\n\n", base.media_scale);
+
+  for (auto app : emul::all_apps()) {
+    std::printf("--- %s ---\n", emul::to_string(app).c_str());
+    for (auto network : emul::all_networks()) {
+      emul::CallConfig cfg;
+      cfg.app = app;
+      cfg.network = network;
+      cfg.media_scale = base.media_scale;
+      cfg.seed = base.seed;
+      const auto call = emul::emulate_call(cfg);
+      const auto findings = report::detect_findings(call);
+      for (const auto& f : findings) {
+        std::printf("  [%s] %-24s %s\n",
+                    emul::to_string(network).c_str(), f.id.c_str(),
+                    f.summary.c_str());
+      }
+    }
+    // Cross-call SSRC determinism (§5.2.2) per network setting.
+    for (auto network : emul::all_networks()) {
+      std::vector<std::set<std::uint32_t>> per_call;
+      for (int i = 0; i < 3; ++i) {
+        emul::CallConfig cfg;
+        cfg.app = app;
+        cfg.network = network;
+        cfg.media_scale = base.media_scale;
+        cfg.seed = base.seed;
+        cfg.call_index = i;
+        per_call.push_back(
+            report::call_rtp_ssrcs(emul::emulate_call(cfg)));
+      }
+      if (auto f = report::detect_ssrc_reuse(per_call)) {
+        std::printf("  [%s] %-24s %s\n",
+                    emul::to_string(network).c_str(), f->id.c_str(),
+                    f->summary.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape: Zoom fires filler-messages, double-rtp and\n"
+      "deterministic-ssrc; FaceTime fires constant-prefix-probes\n"
+      "(cellular) and repeated-unanswered-stun; Discord fires\n"
+      "rtcp-zero-ssrc and rtcp-direction-byte; Google Meet fires\n"
+      "srtcp-missing-auth-tag (relay Wi-Fi); WhatsApp/Messenger fire\n"
+      "none of the proprietary-behaviour detectors.\n");
+  return 0;
+}

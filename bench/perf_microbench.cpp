@@ -1,0 +1,190 @@
+// google-benchmark microbenchmarks: codec encode/decode throughput, DPI
+// scanning throughput vs offset limit k (§4.1.1's runtime/recall
+// tradeoff), and end-to-end pipeline cost per packet.
+#include <benchmark/benchmark.h>
+
+#include "crypto/hmac.hpp"
+#include "dpi/scanning_dpi.hpp"
+#include "dpi/strict_dpi.hpp"
+#include "emul/app_model.hpp"
+#include "filter/pipeline.hpp"
+#include "proto/rtcp/rtcp.hpp"
+#include "proto/rtp/rtp.hpp"
+#include "proto/stun/stun.hpp"
+#include "proto/tls/client_hello.hpp"
+#include "report/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rtcc;
+
+util::Bytes sample_stun() {
+  util::Rng rng(1);
+  return proto::stun::MessageBuilder(proto::stun::kBindingRequest)
+      .random_transaction_id(rng)
+      .attribute_str(proto::stun::attr::kUsername, "bench:user")
+      .attribute_u32(proto::stun::attr::kPriority, 0x7E0000FF)
+      .fingerprint()
+      .build();
+}
+
+util::Bytes sample_rtp(std::size_t payload) {
+  util::Rng rng(2);
+  proto::rtp::PacketBuilder b;
+  b.payload_type(96).seq(1000).timestamp(90000).ssrc(0xDEADBEEF);
+  b.one_byte_extension();
+  auto lvl = rng.bytes(1);
+  b.element(1, util::BytesView{lvl});
+  b.payload_fill(0xAB, payload);
+  return b.build();
+}
+
+void BM_StunParse(benchmark::State& state) {
+  const auto wire = sample_stun();
+  for (auto _ : state) {
+    auto parsed = proto::stun::parse(util::BytesView{wire});
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_StunParse);
+
+void BM_RtpParse(benchmark::State& state) {
+  const auto wire = sample_rtp(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto parsed = proto::rtp::parse(util::BytesView{wire});
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_RtpParse)->Arg(160)->Arg(1000);
+
+void BM_RtcpCompoundParse(benchmark::State& state) {
+  util::Rng rng(3);
+  proto::rtcp::SenderReport sr;
+  sr.sender_ssrc = 42;
+  proto::rtcp::Compound c;
+  c.packets.push_back(proto::rtcp::make_sender_report(sr));
+  proto::rtcp::Sdes sdes;
+  proto::rtcp::SdesChunk chunk;
+  chunk.ssrc = 42;
+  chunk.items.push_back({1, util::Bytes{'b', 'e', 'n', 'c', 'h'}});
+  sdes.chunks.push_back(chunk);
+  c.packets.push_back(proto::rtcp::make_sdes(sdes));
+  const auto wire = proto::rtcp::encode_compound(c);
+  for (auto _ : state) {
+    auto parsed = proto::rtcp::parse_compound(util::BytesView{wire});
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_RtcpCompoundParse);
+
+void BM_HmacSha1(benchmark::State& state) {
+  util::Rng rng(4);
+  const auto key = rng.bytes(20);
+  const auto msg = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto mac = crypto::hmac_sha1(util::BytesView{key}, util::BytesView{msg});
+    benchmark::DoNotOptimize(mac);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha1)->Arg(64)->Arg(1024);
+
+void BM_SniExtract(benchmark::State& state) {
+  const auto hello = proto::tls::build_client_hello("bench.example.com");
+  for (auto _ : state) {
+    auto sni = proto::tls::extract_sni(util::BytesView{hello});
+    benchmark::DoNotOptimize(sni);
+  }
+}
+BENCHMARK(BM_SniExtract);
+
+/// The §4.1.1 tradeoff: scanning cost grows with the offset limit k.
+void BM_ScanningDpi(benchmark::State& state) {
+  emul::CallConfig cfg;
+  cfg.app = emul::AppId::kZoom;
+  cfg.network = emul::NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.02;
+  cfg.background = false;
+  const auto call = emul::emulate_call(cfg);
+  const auto table = net::group_streams(call.trace);
+
+  // Largest stream's datagrams as the workload.
+  const net::Stream* biggest = nullptr;
+  for (const auto& s : table.streams)
+    if (s.key.transport == net::Transport::kUdp &&
+        (!biggest || s.packets.size() > biggest->packets.size()))
+      biggest = &s;
+  std::vector<dpi::StreamDatagram> dgs;
+  std::uint64_t bytes = 0;
+  for (const auto& p : biggest->packets) {
+    dpi::StreamDatagram d;
+    d.payload = net::packet_payload(call.trace, p);
+    d.ts = p.ts;
+    dgs.push_back(d);
+    bytes += d.payload.size();
+  }
+
+  dpi::ScanOptions opts;
+  opts.max_offset = static_cast<std::size_t>(state.range(0));
+  const dpi::ScanningDpi engine(opts);
+  for (auto _ : state) {
+    auto analyses = engine.analyze_stream(dgs);
+    benchmark::DoNotOptimize(analyses);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["datagrams"] = static_cast<double>(dgs.size());
+}
+BENCHMARK(BM_ScanningDpi)->Arg(0)->Arg(40)->Arg(200)->Arg(400);
+
+void BM_StrictDpi(benchmark::State& state) {
+  emul::CallConfig cfg;
+  cfg.app = emul::AppId::kWhatsApp;
+  cfg.network = emul::NetworkSetup::kWifiP2p;
+  cfg.media_scale = 0.02;
+  cfg.background = false;
+  const auto call = emul::emulate_call(cfg);
+  const auto table = net::group_streams(call.trace);
+  std::vector<dpi::StreamDatagram> dgs;
+  for (const auto& s : table.streams) {
+    if (s.key.transport != net::Transport::kUdp) continue;
+    for (const auto& p : s.packets) {
+      dpi::StreamDatagram d;
+      d.payload = net::packet_payload(call.trace, p);
+      dgs.push_back(d);
+    }
+  }
+  const dpi::StrictDpi engine;
+  for (auto _ : state) {
+    auto analyses = engine.analyze_stream(dgs);
+    benchmark::DoNotOptimize(analyses);
+  }
+  state.counters["datagrams"] = static_cast<double>(dgs.size());
+}
+BENCHMARK(BM_StrictDpi);
+
+void BM_EndToEndCall(benchmark::State& state) {
+  emul::CallConfig cfg;
+  cfg.app = emul::AppId::kGoogleMeet;
+  cfg.network = emul::NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.02;
+  const auto call = emul::emulate_call(cfg);
+  for (auto _ : state) {
+    auto analysis = report::analyze_call(call);
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.counters["frames"] = static_cast<double>(call.trace.size());
+}
+BENCHMARK(BM_EndToEndCall);
+
+}  // namespace
+
+BENCHMARK_MAIN();

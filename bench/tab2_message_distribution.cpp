@@ -1,0 +1,13 @@
+// Reproduces Table 2: message distribution by protocol and application.
+#include "bench_util.hpp"
+
+int main() {
+  auto results = rtcc::bench::run_matrix(
+      "=== Table 2: message distribution by protocols and applications ===");
+  std::printf("%s\n", rtcc::report::render_table2(results).c_str());
+  std::printf(
+      "paper shape: RTP dominates every app (71-98%%); Zoom ~20%% fully\n"
+      "proprietary; FaceTime is the only QUIC user; Discord has no\n"
+      "STUN/TURN at all; Google Meet has the largest STUN/TURN share.\n");
+  return 0;
+}

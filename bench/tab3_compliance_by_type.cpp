@@ -1,0 +1,14 @@
+// Reproduces Table 3: protocol compliance ratio by message type.
+#include "bench_util.hpp"
+
+int main() {
+  auto results = rtcc::bench::run_matrix(
+      "=== Table 3: protocol compliance ratio by message type ===");
+  std::printf("%s\n", rtcc::report::render_table3(results).c_str());
+  std::printf(
+      "paper shape: Zoom 0/2 STUN but full RTP/RTCP; FaceTime 0 compliant\n"
+      "outside QUIC (4/4); WhatsApp 1/10 STUN; Messenger 11/18 STUN;\n"
+      "Discord 0 everywhere; Google Meet compliant except Allocate and\n"
+      "all RTCP types.\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces Table 4: observed STUN/TURN message types per application.
+#include "bench_util.hpp"
+
+int main() {
+  auto results = rtcc::bench::run_matrix(
+      "=== Table 4: observed STUN/TURN message types ===");
+  std::printf("%s\n", rtcc::report::render_table4(results).c_str());
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces Table 5: observed RTP payload types per application.
+#include "bench_util.hpp"
+
+int main() {
+  auto results = rtcc::bench::run_matrix(
+      "=== Table 5: observed RTP message (payload) types ===");
+  std::printf("%s\n", rtcc::report::render_table5(results).c_str());
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces Table 6: observed RTCP message types per application.
+#include "bench_util.hpp"
+
+int main() {
+  auto results = rtcc::bench::run_matrix(
+      "=== Table 6: observed RTCP message types ===");
+  std::printf("%s\n", rtcc::report::render_table6(results).c_str());
+  return 0;
+}

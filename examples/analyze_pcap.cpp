@@ -1,0 +1,94 @@
+// analyze_pcap — run the full compliance pipeline on a pcap file.
+//
+// Usage: analyze_pcap <file.pcap> <call_start_s> <call_end_s>
+//                     [device_ip ...]
+//
+// The call window is the §3.2.1 filter boundary (trace-relative
+// seconds). Device IPs identify the monitored endpoints; without them
+// the 3-tuple and local-IP heuristics are less precise but the pipeline
+// still runs. Pairs nicely with the emulate_call example:
+//
+//   ./emulate_call discord wifi-relay /tmp/d.pcap
+//   ./analyze_pcap /tmp/d.pcap 60 360 192.168.1.10 192.168.1.11
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "report/json_export.hpp"
+#include "report/metrics.hpp"
+
+int main(int argc, char** argv) {
+  bool json = false;
+  if (argc > 1 && !std::strcmp(argv[1], "--json")) {
+    json = true;
+    --argc;
+    ++argv;
+  }
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s [--json] <file.pcap> <call_start_s> "
+                 "<call_end_s> [device_ip ...]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::string error;
+  auto trace = rtcc::net::read_pcap(argv[1], &error);
+  if (!trace) {
+    std::fprintf(stderr, "cannot read %s: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+
+  rtcc::filter::FilterConfig fcfg;
+  fcfg.schedule.call_start = std::strtod(argv[2], nullptr);
+  fcfg.schedule.call_end = std::strtod(argv[3], nullptr);
+  fcfg.schedule.capture_start = 0.0;
+  fcfg.schedule.capture_end = fcfg.schedule.call_end + 60.0;
+  fcfg.excluded_ports = rtcc::filter::default_excluded_ports();
+  for (int i = 4; i < argc; ++i) {
+    if (auto ip = rtcc::net::IpAddr::parse(argv[i])) {
+      fcfg.device_ips.push_back(*ip);
+    } else {
+      std::fprintf(stderr, "bad device ip: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const auto analysis = rtcc::report::analyze_trace(*trace, fcfg);
+
+  if (json) {
+    std::printf("%s\n", rtcc::report::to_json(analysis).c_str());
+    return 0;
+  }
+
+  std::printf("%s: %zu frames, %.1f MB\n", argv[1], trace->size(),
+              static_cast<double>(trace->total_bytes()) / 1e6);
+  std::printf("filtering: UDP %llu streams -> %zu RTC streams "
+              "(%llu -> %llu datagrams)\n",
+              static_cast<unsigned long long>(analysis.raw_udp_streams),
+              analysis.rtc_udp.streams,
+              static_cast<unsigned long long>(analysis.raw_udp_datagrams),
+              static_cast<unsigned long long>(analysis.rtc_udp.packets));
+  std::printf("datagrams: %llu standard / %llu proprietary-header / %llu "
+              "fully-proprietary\n\n",
+              static_cast<unsigned long long>(analysis.dgram_standard),
+              static_cast<unsigned long long>(analysis.dgram_prop_header),
+              static_cast<unsigned long long>(analysis.dgram_fully_prop));
+
+  for (const auto& [proto, stats] : analysis.protocols) {
+    std::printf("%-10s %8llu messages, %6.2f%% compliant; types:\n",
+                rtcc::proto::to_string(proto).c_str(),
+                static_cast<unsigned long long>(stats.messages),
+                100.0 * static_cast<double>(stats.compliant) /
+                    static_cast<double>(stats.messages));
+    for (const auto& [label, t] : stats.types) {
+      std::printf("    %-12s %8llu msgs  %s\n", label.c_str(),
+                  static_cast<unsigned long long>(t.total),
+                  t.type_compliant() ? "compliant" : "NON-COMPLIANT");
+      for (const auto& [criterion, count] : t.criterion_failures)
+        std::printf("        %s x%llu\n", criterion.c_str(),
+                    static_cast<unsigned long long>(count));
+    }
+  }
+  return 0;
+}

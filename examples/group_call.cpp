@@ -1,0 +1,41 @@
+// group_call — the paper's future work, runnable: emulate an N-party
+// SFU conference (with churn) and push it through the same compliance
+// pipeline used for 1-on-1 calls.
+//
+// Usage: group_call [participants] [scale] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "emul/group_call.hpp"
+#include "report/metrics.hpp"
+
+int main(int argc, char** argv) {
+  rtcc::emul::GroupCallConfig cfg;
+  if (argc > 1) cfg.participants = std::atoi(argv[1]);
+  if (argc > 2) cfg.media_scale = std::strtod(argv[2], nullptr);
+  if (argc > 3) cfg.seed = std::strtoull(argv[3], nullptr, 10);
+
+  const auto call = rtcc::emul::emulate_group_call(cfg);
+  std::printf("group call: %d participants (+1 churns: leaves and "
+              "rejoins), %zu frames, %.1f MB\n",
+              cfg.participants, call.trace.size(),
+              static_cast<double>(call.trace.total_bytes()) / 1e6);
+
+  const auto analysis = rtcc::report::analyze_trace(
+      call.trace, rtcc::emul::group_filter_config(call));
+  std::printf("RTC streams: %zu (scales with participants)\n",
+              analysis.rtc_udp.streams);
+  for (const auto& [proto_id, stats] : analysis.protocols) {
+    std::printf("%-10s %8llu messages %6.2f%% compliant, %zu/%zu types\n",
+                rtcc::proto::to_string(proto_id).c_str(),
+                static_cast<unsigned long long>(stats.messages),
+                100.0 * static_cast<double>(stats.compliant) /
+                    static_cast<double>(stats.messages),
+                stats.compliant_types(), stats.total_types());
+  }
+  std::printf(
+      "\nAll traffic is standards-compliant by construction: a clean\n"
+      "multi-party baseline. RTCP shows group-only shapes (RR with one\n"
+      "report block per remote source, BYE on churn).\n");
+  return 0;
+}

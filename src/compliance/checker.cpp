@@ -1,0 +1,114 @@
+#include "compliance/checker.hpp"
+
+#include "compliance/rules.hpp"
+#include "util/hex.hpp"
+
+namespace rtcc::compliance {
+
+StreamComplianceChecker::StreamComplianceChecker(ComplianceConfig cfg)
+    : cfg_(cfg), builder_(cfg) {}
+
+void StreamComplianceChecker::observe(const rtcc::dpi::ExtractedMessage& msg,
+                                      int dir, double ts) {
+  builder_.observe(msg, dir, ts);
+}
+
+void StreamComplianceChecker::finalize() {
+  ctx_ = builder_.finalize();
+  finalized_ = true;
+}
+
+Verdict make_verdict(std::vector<Violation> violations,
+                     const ComplianceConfig& cfg) {
+  Verdict v;
+  v.compliant = violations.empty();
+  if (cfg.sequential && violations.size() > 1) {
+    // rules append in criterion order, so the first entry is the first
+    // failing criterion in the paper's sequential evaluation.
+    violations.resize(1);
+  }
+  v.violations = std::move(violations);
+  return v;
+}
+
+std::vector<CheckedMessage> StreamComplianceChecker::check(
+    const rtcc::dpi::ExtractedMessage& msg, int dir, double ts) const {
+  std::vector<CheckedMessage> out;
+  auto push = [&](proto::Protocol protocol, std::string label,
+                  std::vector<Violation> violations) {
+    CheckedMessage cm;
+    cm.protocol = protocol;
+    cm.type_label = std::move(label);
+    cm.verdict = make_verdict(std::move(violations), cfg_);
+    cm.ts = ts;
+    cm.dir = dir;
+    out.push_back(std::move(cm));
+  };
+
+  switch (msg.kind) {
+    case rtcc::dpi::MessageKind::kStun: {
+      if (!msg.stun) break;
+      std::vector<Violation> v;
+      rules::check_stun(*msg.stun, msg, ctx_, cfg_, dir, v);
+      push(proto::Protocol::kStunTurn, rtcc::util::hex_u16(msg.stun->type),
+           std::move(v));
+      break;
+    }
+    case rtcc::dpi::MessageKind::kChannelData: {
+      if (!msg.channel_data) break;
+      std::vector<Violation> v;
+      rules::check_channel_data(*msg.channel_data, msg, ctx_, cfg_, v);
+      push(proto::Protocol::kStunTurn, "ChannelData", std::move(v));
+      break;
+    }
+    case rtcc::dpi::MessageKind::kRtp: {
+      if (!msg.rtp) break;
+      std::vector<Violation> v;
+      rules::check_rtp(*msg.rtp, ctx_, cfg_, v);
+      push(proto::Protocol::kRtp, std::to_string(msg.rtp->payload_type),
+           std::move(v));
+      break;
+    }
+    case rtcc::dpi::MessageKind::kRtcp: {
+      if (!msg.rtcp) break;
+      for (std::size_t i = 0; i < msg.rtcp->packets.size(); ++i) {
+        std::vector<Violation> v;
+        rules::check_rtcp_packet(msg.rtcp->packets[i], *msg.rtcp, i, ctx_,
+                                 cfg_, dir, v);
+        push(proto::Protocol::kRtcp,
+             std::to_string(msg.rtcp->packets[i].packet_type), std::move(v));
+      }
+      break;
+    }
+    case rtcc::dpi::MessageKind::kQuic: {
+      if (!msg.quic) break;
+      std::vector<Violation> v;
+      rules::check_quic(*msg.quic, ctx_, cfg_, v);
+      std::string label =
+          msg.quic->long_form
+              ? "long-" + std::to_string(static_cast<int>(msg.quic->long_type))
+              : "short";
+      push(proto::Protocol::kQuic, std::move(label), std::move(v));
+      break;
+    }
+  }
+  return out;
+}
+
+std::string to_string(Criterion c) {
+  switch (c) {
+    case Criterion::kMessageTypeDefinition:
+      return "1:message-type-definition";
+    case Criterion::kHeaderFieldValidity:
+      return "2:header-field-validity";
+    case Criterion::kAttributeTypeValidity:
+      return "3:attribute-type-validity";
+    case Criterion::kAttributeValueValidity:
+      return "4:attribute-value-validity";
+    case Criterion::kSyntaxSemanticIntegrity:
+      return "5:syntax-semantic-integrity";
+  }
+  return "?";
+}
+
+}  // namespace rtcc::compliance

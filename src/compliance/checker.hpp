@@ -1,0 +1,47 @@
+// The five-criterion compliance checker (§4.2), applied per stream.
+//
+// Two-phase protocol:
+//   StreamComplianceChecker c(cfg);
+//   for (msg : stream) c.observe(msg, dir, ts);   // build context
+//   c.finalize();
+//   for (msg : stream) results += c.check(msg, dir, ts);
+//
+// check() returns one CheckedMessage per judged unit: one per STUN /
+// ChannelData / RTP / QUIC message, and one per RTCP packet inside a
+// compound (the paper's tables treat each RTCP packet type separately).
+#pragma once
+
+#include <vector>
+
+#include "compliance/context.hpp"
+#include "compliance/types.hpp"
+#include "dpi/message.hpp"
+
+namespace rtcc::compliance {
+
+class StreamComplianceChecker {
+ public:
+  explicit StreamComplianceChecker(ComplianceConfig cfg = {});
+
+  void observe(const rtcc::dpi::ExtractedMessage& msg, int dir, double ts);
+  void finalize();
+
+  [[nodiscard]] std::vector<CheckedMessage> check(
+      const rtcc::dpi::ExtractedMessage& msg, int dir, double ts) const;
+
+  [[nodiscard]] const StreamContext& context() const { return ctx_; }
+  [[nodiscard]] const ComplianceConfig& config() const { return cfg_; }
+
+ private:
+  ComplianceConfig cfg_;
+  ContextBuilder builder_;
+  StreamContext ctx_;
+  bool finalized_ = false;
+};
+
+/// Applies the sequential short-circuit: keeps only the first violation
+/// when cfg.sequential is set; verdict.compliant reflects emptiness.
+[[nodiscard]] Verdict make_verdict(std::vector<Violation> violations,
+                                   const ComplianceConfig& cfg);
+
+}  // namespace rtcc::compliance

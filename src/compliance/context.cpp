@@ -1,0 +1,102 @@
+#include "compliance/context.hpp"
+
+#include <algorithm>
+
+#include "proto/srtp/srtcp.hpp"
+
+namespace rtcc::compliance {
+
+namespace stun = rtcc::proto::stun;
+
+std::size_t RtcpTrailingStats::modal_size() const {
+  std::size_t best = 0, best_count = 0;
+  for (const auto& [size, count] : size_histogram) {
+    if (count > best_count) {
+      best = size;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+void ContextBuilder::observe(const rtcc::dpi::ExtractedMessage& msg, int dir,
+                             double ts) {
+  const int d = dir & 1;
+  switch (msg.kind) {
+    case rtcc::dpi::MessageKind::kStun: {
+      if (!msg.stun) return;
+      auto& stats = ctx_.txids[TxidKey{msg.stun->transaction_id}];
+      switch (msg.stun->cls()) {
+        case stun::Class::kRequest:
+          ++stats.requests;
+          break;
+        case stun::Class::kIndication:
+          ++stats.indications;
+          break;
+        case stun::Class::kSuccessResponse:
+        case stun::Class::kErrorResponse:
+          ++stats.responses;
+          break;
+      }
+      if (msg.stun->type == stun::kAllocateRequest)
+        ctx_.allocate_request_ts[static_cast<std::size_t>(d)].push_back(ts);
+      break;
+    }
+    case rtcc::dpi::MessageKind::kRtp:
+      if (msg.rtp) ctx_.rtp_ssrcs.insert(msg.rtp->ssrc);
+      break;
+    case rtcc::dpi::MessageKind::kRtcp: {
+      if (!msg.rtcp) return;
+      auto& t = ctx_.rtcp_trailing[static_cast<std::size_t>(d)];
+      ++t.observed;
+      if (!msg.rtcp->trailing.empty()) {
+        ++t.with_trailing;
+        ++t.size_histogram[msg.rtcp->trailing.size()];
+        if (auto trailer = rtcc::proto::srtp::parse_trailer(
+                rtcc::util::BytesView{msg.rtcp->trailing})) {
+          if (trailer->encrypted_flag) t.e_flag_seen = true;
+          if (t.have_last_index && trailer->index <= t.last_index)
+            t.index_monotonic = false;
+          t.last_index = trailer->index;
+          t.have_last_index = true;
+        }
+      }
+      break;
+    }
+    case rtcc::dpi::MessageKind::kChannelData:
+    case rtcc::dpi::MessageKind::kQuic:
+      break;
+  }
+}
+
+StreamContext ContextBuilder::finalize() {
+  int orphan_responses = 0, matched_responses = 0;
+  for (const auto& [txid, stats] : ctx_.txids) {
+    if (stats.requests >=
+            static_cast<int>(cfg_.repeated_request_threshold) &&
+        stats.responses == 0) {
+      ctx_.repeated_unanswered.insert(txid);
+    }
+    if (stats.responses > 0) {
+      if (stats.requests == 0) {
+        orphan_responses += stats.responses;
+      } else {
+        matched_responses += stats.responses;
+      }
+    }
+  }
+  ctx_.systematic_orphan_responses =
+      orphan_responses >= 3 && orphan_responses > matched_responses;
+  for (std::size_t d = 0; d < 2; ++d) {
+    auto& ts = ctx_.allocate_request_ts[d];
+    if (ts.size() >= cfg_.allocate_keepalive_threshold) {
+      const auto [min_it, max_it] = std::minmax_element(ts.begin(), ts.end());
+      if (*max_it - *min_it >= cfg_.allocate_keepalive_min_span_s)
+        ctx_.allocate_keepalive[d] = true;
+    }
+    ctx_.srtcp_stream[d] = ctx_.rtcp_trailing[d].looks_like_srtcp();
+  }
+  return ctx_;
+}
+
+}  // namespace rtcc::compliance

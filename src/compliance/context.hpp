@@ -1,0 +1,85 @@
+// Stream-scoped context for criterion-5 (syntax & semantic integrity)
+// checks, which need cross-message state: STUN transaction pairing,
+// Allocate keep-alive detection, RTP SSRC inventory for RTCP
+// cross-checks, and SRTCP trailer inference.
+//
+// Usage is two-phase: observe() every message of a stream, finalize(),
+// then run the checker over the same messages with this context.
+#pragma once
+
+#include <array>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "compliance/types.hpp"
+#include "dpi/message.hpp"
+
+namespace rtcc::compliance {
+
+struct TxidKey {
+  rtcc::proto::stun::TransactionId id{};
+  bool operator<(const TxidKey& o) const { return id < o.id; }
+};
+
+struct TxidStats {
+  int requests = 0;
+  int responses = 0;
+  int indications = 0;
+};
+
+/// Per-direction SRTCP trailing-bytes statistics.
+struct RtcpTrailingStats {
+  std::size_t observed = 0;       // RTCP messages in this direction
+  std::size_t with_trailing = 0;  // ... that had trailing bytes
+  std::map<std::size_t, std::size_t> size_histogram;
+  bool e_flag_seen = false;      // any trailer parsed with E=1
+  bool index_monotonic = true;   // SRTCP index strictly increases
+  std::uint32_t last_index = 0;
+  bool have_last_index = false;
+
+  /// Most common trailing size (0 when none).
+  [[nodiscard]] std::size_t modal_size() const;
+  /// True when the trailing bytes look like SRTCP (E flag + monotonic
+  /// 31-bit index), the signal the paper used for Google Meet (§5.2.3).
+  [[nodiscard]] bool looks_like_srtcp() const {
+    return e_flag_seen && index_monotonic && with_trailing >= 2;
+  }
+};
+
+struct StreamContext {
+  std::map<TxidKey, TxidStats> txids;
+  /// Allocate-request timestamps per direction.
+  std::array<std::vector<double>, 2> allocate_request_ts;
+  /// SSRCs of RTP packets observed in the stream.
+  std::set<std::uint32_t> rtp_ssrcs;
+  std::array<RtcpTrailingStats, 2> rtcp_trailing;
+
+  // ---- derived by finalize() ----
+  /// txids of requests repeated >= threshold with zero responses.
+  std::set<TxidKey> repeated_unanswered;
+  /// True when most responses in the stream match no observed request —
+  /// a systematic protocol deviation. (A handful of orphans is expected
+  /// on real captures: the request packet may simply have been lost, so
+  /// single orphans must not flip a verdict.)
+  bool systematic_orphan_responses = false;
+  /// Allocate keep-alive ping-pong detected (per direction).
+  std::array<bool, 2> allocate_keepalive{false, false};
+  /// Stream judged SRTCP-encrypted (bodies opaque) per direction.
+  std::array<bool, 2> srtcp_stream{false, false};
+};
+
+class ContextBuilder {
+ public:
+  explicit ContextBuilder(const ComplianceConfig& cfg) : cfg_(cfg) {}
+
+  void observe(const rtcc::dpi::ExtractedMessage& msg, int dir, double ts);
+  /// Computes the derived fields; call once after all observe() calls.
+  [[nodiscard]] StreamContext finalize();
+
+ private:
+  ComplianceConfig cfg_;
+  StreamContext ctx_;
+};
+
+}  // namespace rtcc::compliance

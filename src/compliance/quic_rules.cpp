@@ -1,0 +1,37 @@
+#include "compliance/rules.hpp"
+
+namespace rtcc::compliance::rules {
+
+namespace quic = rtcc::proto::quic;
+
+void check_quic(const quic::Header& h, const StreamContext& ctx,
+                const ComplianceConfig& cfg, std::vector<Violation>& out) {
+  (void)ctx;
+  (void)cfg;
+
+  // --- Criterion 1: packet type definition -------------------------------
+  // Long types 0-3 and the short form are all RFC 9000-defined; the
+  // 2-bit type field cannot take other values, so nothing can fail here.
+
+  // --- Criterion 2: header field validity --------------------------------
+  if (!h.fixed_bit && h.version != quic::kVersionNegotiation) {
+    out.push_back({Criterion::kHeaderFieldValidity,
+                   "fixed bit is 0 (RFC 9000 §17: MUST be 1)"});
+  }
+  if (h.long_form && h.version != quic::kVersion1 &&
+      h.version != quic::kVersionNegotiation) {
+    out.push_back({Criterion::kHeaderFieldValidity,
+                   "unknown QUIC version field"});
+  }
+  if (h.dcid.bytes.size() > 20 || h.scid.bytes.size() > 20) {
+    out.push_back({Criterion::kHeaderFieldValidity,
+                   "connection ID longer than 20 bytes (RFC 9000 §17.2)"});
+  }
+
+  // Criteria 3/4: QUIC payloads are always encrypted; there is no
+  // attribute surface visible to a passive observer. Criterion 5
+  // (DCID/SCID consistency) is enforced by the DPI validation stage —
+  // an inconsistent candidate never reaches the checker.
+}
+
+}  // namespace rtcc::compliance::rules

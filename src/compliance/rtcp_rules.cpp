@@ -1,0 +1,199 @@
+#include "compliance/rules.hpp"
+#include "proto/srtp/srtcp.hpp"
+
+namespace rtcc::compliance::rules {
+
+namespace rtcp = rtcc::proto::rtcp;
+namespace srtp = rtcc::proto::srtp;
+
+namespace {
+
+bool packet_type_defined(std::uint8_t pt) {
+  // 200-204: RFC 3550; 205/206: RFC 4585; 207: RFC 3611.
+  return pt >= 200 && pt <= 207;
+}
+
+/// RTPFB formats (RFC 4585 §6.2 + transport-cc registration).
+bool rtpfb_fmt_defined(std::uint8_t fmt) {
+  switch (fmt) {
+    case 1:   // Generic NACK
+    case 3:   // TMMBR
+    case 4:   // TMMBN
+    case 5:   // RTCP-SR-REQ (RFC 6051)
+    case 15:  // transport-wide congestion control
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// PSFB formats (RFC 4585 §6.3, RFC 5104).
+bool psfb_fmt_defined(std::uint8_t fmt) {
+  switch (fmt) {
+    case 1:   // PLI
+    case 2:   // SLI
+    case 3:   // RPSI
+    case 4:   // FIR
+    case 5:   // TSTR
+    case 6:   // TSTN
+    case 7:   // VBCM
+    case 15:  // Application layer feedback (REMB)
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::size_t min_body_for_count(const rtcp::Packet& p) {
+  switch (p.packet_type) {
+    case rtcp::kSenderReport:
+      return 24 + std::size_t{p.count} * 24;
+    case rtcp::kReceiverReport:
+      return 4 + std::size_t{p.count} * 24;
+    case rtcp::kBye:
+      return std::size_t{p.count} * 4;
+    case rtcp::kApp:
+      return 8;
+    case rtcp::kRtpFeedback:
+    case rtcp::kPayloadFeedback:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+void check_rtcp_packet(const rtcp::Packet& pkt, const rtcp::Compound& compound,
+                       std::size_t index, const StreamContext& ctx,
+                       const ComplianceConfig& cfg, int dir,
+                       std::vector<Violation>& out) {
+  const std::size_t d = static_cast<std::size_t>(dir & 1);
+  const bool encrypted = ctx.srtcp_stream[d];
+
+  // --- Criterion 1: packet type definition -------------------------------
+  if (!packet_type_defined(pkt.packet_type)) {
+    out.push_back({Criterion::kMessageTypeDefinition,
+                   "RTCP packet type " + std::to_string(pkt.packet_type) +
+                       " is not assigned"});
+  }
+
+  // --- Criterion 2: header field validity --------------------------------
+  if (pkt.version != 2) {
+    out.push_back({Criterion::kHeaderFieldValidity,
+                   "RTCP version " + std::to_string(pkt.version) + " != 2"});
+  }
+  if (pkt.padding && index + 1 != compound.packets.size()) {
+    out.push_back({Criterion::kHeaderFieldValidity,
+                   "padding bit set on a non-final packet of a compound "
+                   "(RFC 3550 §6.4.1)"});
+  }
+  if (!encrypted && pkt.body.size() < min_body_for_count(pkt)) {
+    out.push_back({Criterion::kHeaderFieldValidity,
+                   "declared report/source count exceeds the packet body"});
+  }
+
+  // SRTCP bodies are opaque ciphertext: attribute-level decoding (SDES
+  // items, feedback FCIs) would judge random bytes, so — like the
+  // paper — we only assess header + trailer structure for such streams.
+  if (!encrypted) {
+    // --- Criterion 3: attribute type validity ---------------------------
+    if (pkt.packet_type == rtcp::kSdes) {
+      if (auto sdes = rtcp::decode_sdes(pkt)) {
+        for (const auto& chunk : sdes->chunks) {
+          for (const auto& item : chunk.items) {
+            if (item.type == 0 || item.type > 8) {
+              out.push_back({Criterion::kAttributeTypeValidity,
+                             "SDES item type " + std::to_string(item.type) +
+                                 " is not assigned (RFC 3550 §12.2)"});
+            }
+          }
+        }
+      }
+    } else if (pkt.packet_type == rtcp::kRtpFeedback) {
+      if (!rtpfb_fmt_defined(pkt.count)) {
+        out.push_back({Criterion::kAttributeTypeValidity,
+                       "RTPFB format " + std::to_string(pkt.count) +
+                           " is not assigned (RFC 4585)"});
+      }
+    } else if (pkt.packet_type == rtcp::kPayloadFeedback) {
+      if (!psfb_fmt_defined(pkt.count)) {
+        out.push_back({Criterion::kAttributeTypeValidity,
+                       "PSFB format " + std::to_string(pkt.count) +
+                           " is not assigned (RFC 4585)"});
+      }
+    } else if (pkt.packet_type == rtcp::kExtendedReport) {
+      if (auto xr = rtcp::decode_xr(pkt)) {
+        for (const auto& block : xr->blocks) {
+          if (!rtcp::xr_block_type_defined(block.block_type)) {
+            out.push_back({Criterion::kAttributeTypeValidity,
+                           "XR block type " +
+                               std::to_string(block.block_type) +
+                               " is not assigned (RFC 3611)"});
+          }
+        }
+      } else {
+        out.push_back({Criterion::kAttributeValueValidity,
+                       "XR body is not a well-formed block sequence "
+                       "(RFC 3611 §3)"});
+      }
+    }
+
+    // --- Criterion 4: attribute value validity ---------------------------
+    if (pkt.packet_type == rtcp::kApp) {
+      if (auto app = rtcp::decode_app(pkt)) {
+        for (char c : app->name) {
+          if (c < 0x20 || c > 0x7E) {
+            out.push_back({Criterion::kAttributeValueValidity,
+                           "APP name is not four printable ASCII "
+                           "characters (RFC 3550 §6.7)"});
+            break;
+          }
+        }
+      }
+    }
+    if (pkt.packet_type == rtcp::kRtpFeedback && pkt.count == 1) {
+      // Generic NACK FCI is a sequence of 4-byte (PID, BLP) entries.
+      if (auto fb = rtcp::decode_feedback(pkt)) {
+        if (fb->fci.empty() || fb->fci.size() % 4 != 0) {
+          out.push_back({Criterion::kAttributeValueValidity,
+                         "Generic NACK FCI is not a sequence of 4-byte "
+                         "entries (RFC 4585 §6.2.1)"});
+        }
+      }
+    }
+  }
+
+  // --- Criterion 5: syntax & semantic integrity ---------------------------
+  if (compound.packets.size() >= 2 && index == 0 &&
+      pkt.packet_type != rtcp::kSenderReport &&
+      pkt.packet_type != rtcp::kReceiverReport) {
+    out.push_back({Criterion::kSyntaxSemanticIntegrity,
+                   "compound RTCP datagram does not begin with SR or RR "
+                   "(RFC 3550 §6.1)"});
+  }
+
+  if (!compound.trailing.empty()) {
+    const auto& stats = ctx.rtcp_trailing[d];
+    if (stats.looks_like_srtcp()) {
+      // SRTCP stream: RFC 3711 §3.4 REQUIRES an authentication tag.
+      const std::size_t tag_len = compound.trailing.size() >= 4
+                                      ? compound.trailing.size() - 4
+                                      : 0;
+      if (tag_len < cfg.srtcp_auth_tag_len) {
+        out.push_back({Criterion::kSyntaxSemanticIntegrity,
+                       "SRTCP message carries no authentication tag "
+                       "(trailer is only E-flag + index; RFC 3711 §3.4 "
+                       "makes the tag mandatory)"});
+      }
+    } else {
+      out.push_back({Criterion::kSyntaxSemanticIntegrity,
+                     "datagram carries " +
+                         std::to_string(compound.trailing.size()) +
+                         " trailing byte(s) not attributable to any RTCP "
+                         "or SRTCP structure"});
+    }
+  }
+}
+
+}  // namespace rtcc::compliance::rules

@@ -1,0 +1,63 @@
+#include "compliance/rules.hpp"
+#include "util/hex.hpp"
+
+namespace rtcc::compliance::rules {
+
+namespace rtp = rtcc::proto::rtp;
+
+void check_rtp(const rtp::Packet& pkt, const StreamContext& ctx,
+               const ComplianceConfig& cfg, std::vector<Violation>& out) {
+  (void)ctx;
+  (void)cfg;
+
+  // --- Criterion 1: message type definition -----------------------------
+  // The RTP payload type is a 7-bit profile-defined field; RFC 3550
+  // leaves its assignment to profiles and signaling, so any value
+  // 0..127 is a "defined" type. (This matches the paper, which counts
+  // e.g. Zoom's unassigned PTs 35/38/41/... as compliant; FaceTime's
+  // PTs fail later criteria, not this one.)
+
+  // --- Criterion 2: header field validity --------------------------------
+  if (pkt.version != 2) {
+    out.push_back({Criterion::kHeaderFieldValidity,
+                   "RTP version " + std::to_string(pkt.version) + " != 2"});
+  }
+  if (pkt.padding && pkt.padding_len == 0) {
+    out.push_back({Criterion::kHeaderFieldValidity,
+                   "P bit set but padding count is zero"});
+  }
+
+  // --- Criterion 3: attribute (header-extension) type validity -----------
+  if (pkt.extension) {
+    const std::uint16_t profile = pkt.extension->profile;
+    const bool defined_profile = profile == rtp::kOneByteProfile ||
+                                 rtp::is_two_byte_profile(profile);
+    if (!defined_profile) {
+      out.push_back({Criterion::kAttributeTypeValidity,
+                     "header extension profile " +
+                         rtcc::util::hex_u16(profile) +
+                         " is not defined in RFC 8285 (not 0xBEDE or "
+                         "0x1000-0x100F)"});
+    }
+  }
+
+  // --- Criterion 4: attribute value validity ------------------------------
+  if (pkt.extension) {
+    for (const auto& e : pkt.extension->elements) {
+      if (e.malformed_padding) {
+        out.push_back(
+            {Criterion::kAttributeValueValidity,
+             "extension element with ID 0 carries a non-zero length — "
+             "RFC 8285 §4.2 reserves ID 0 for padding with length 0"});
+      }
+    }
+  }
+
+  // --- Criterion 5: syntax & semantic integrity ---------------------------
+  // Multiple RTP messages per datagram are explicitly tolerated by
+  // RFC 3550 ("several RTP packets may be contained if permitted by the
+  // encapsulation"), so the Zoom pattern (§5.3) is *not* flagged here;
+  // it is surfaced as a behavioural finding by the report layer.
+}
+
+}  // namespace rtcc::compliance::rules

@@ -1,0 +1,38 @@
+// Per-protocol rulebooks behind the five-criterion checker. Each rule
+// function appends violations in criterion order; the checker applies
+// the sequential short-circuit on top.
+#pragma once
+
+#include "compliance/context.hpp"
+#include "compliance/types.hpp"
+#include "dpi/message.hpp"
+
+namespace rtcc::compliance::rules {
+
+void check_stun(const rtcc::proto::stun::Message& msg,
+                const rtcc::dpi::ExtractedMessage& raw,
+                const StreamContext& ctx, const ComplianceConfig& cfg,
+                int dir, std::vector<Violation>& out);
+
+void check_channel_data(const rtcc::proto::stun::ChannelData& cd,
+                        const rtcc::dpi::ExtractedMessage& raw,
+                        const StreamContext& ctx,
+                        const ComplianceConfig& cfg,
+                        std::vector<Violation>& out);
+
+void check_rtp(const rtcc::proto::rtp::Packet& pkt, const StreamContext& ctx,
+               const ComplianceConfig& cfg, std::vector<Violation>& out);
+
+/// Checks one RTCP packet inside a compound. `index`/`total` locate it
+/// within the compound (padding-bit and first-packet rules);
+/// compound-level trailing-bytes verdicts apply to every packet.
+void check_rtcp_packet(const rtcc::proto::rtcp::Packet& pkt,
+                       const rtcc::proto::rtcp::Compound& compound,
+                       std::size_t index, const StreamContext& ctx,
+                       const ComplianceConfig& cfg, int dir,
+                       std::vector<Violation>& out);
+
+void check_quic(const rtcc::proto::quic::Header& h, const StreamContext& ctx,
+                const ComplianceConfig& cfg, std::vector<Violation>& out);
+
+}  // namespace rtcc::compliance::rules

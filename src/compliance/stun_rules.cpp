@@ -1,0 +1,282 @@
+#include <algorithm>
+
+#include "compliance/rules.hpp"
+#include "crypto/crc32.hpp"
+#include "proto/stun/stun_registry.hpp"
+#include "util/hex.hpp"
+
+namespace rtcc::compliance::rules {
+
+namespace stun = rtcc::proto::stun;
+using rtcc::proto::SpecSource;
+using rtcc::util::hex_u16;
+
+namespace {
+
+bool source_defined(SpecSource s, const ComplianceConfig& cfg) {
+  if (s == SpecSource::kUndefined) return false;
+  if (s == SpecSource::kExtension)
+    return cfg.treat_extension_types_as_compliant;
+  return true;
+}
+
+/// Criterion 2 helper: a transaction ID that is clearly not "randomly
+/// generated" (RFC 5389 §6) — long runs of one byte value. 96 random
+/// bits produce such runs with negligible probability.
+bool txid_low_entropy(const stun::TransactionId& id) {
+  std::size_t longest = 1, run = 1;
+  for (std::size_t i = 1; i < id.size(); ++i) {
+    run = id[i] == id[i - 1] ? run + 1 : 1;
+    longest = std::max(longest, run);
+  }
+  return longest >= 8;
+}
+
+/// Address attribute value: 1 reserved byte, 1 family, 2 port, then a
+/// 4-byte (IPv4) or 16-byte (IPv6) address.
+void check_address_value(const stun::Attribute& a,
+                         const stun::AttributeInfo& info,
+                         std::vector<Violation>& out) {
+  if (a.value.size() < 4) {
+    out.push_back({Criterion::kAttributeValueValidity,
+                   info.name + " value shorter than the address header"});
+    return;
+  }
+  const std::uint8_t family = a.value[1];
+  if (family != 0x01 && family != 0x02) {
+    out.push_back({Criterion::kAttributeValueValidity,
+                   info.name + " has invalid address family " +
+                       std::to_string(family) + " (must be 0x01 or 0x02)"});
+    return;
+  }
+  const std::size_t want = family == 0x01 ? 8 : 20;
+  if (a.value.size() != want) {
+    out.push_back({Criterion::kAttributeValueValidity,
+                   info.name + " length " + std::to_string(a.value.size()) +
+                       " does not match family (want " +
+                       std::to_string(want) + ")"});
+  }
+}
+
+}  // namespace
+
+void check_stun(const stun::Message& msg,
+                const rtcc::dpi::ExtractedMessage& raw,
+                const StreamContext& ctx, const ComplianceConfig& cfg,
+                int dir, std::vector<Violation>& out) {
+  (void)raw;
+  (void)dir;
+
+  // --- Criterion 1: message type definition -----------------------------
+  const auto type_info = stun::lookup_message_type(msg.type);
+  if (!source_defined(type_info.source, cfg)) {
+    out.push_back({Criterion::kMessageTypeDefinition,
+                   "message type " + hex_u16(msg.type) +
+                       " is not defined in any STUN/TURN specification"});
+  }
+
+  // --- Criterion 2: header field validity --------------------------------
+  if (msg.length % 4 != 0) {
+    out.push_back({Criterion::kHeaderFieldValidity,
+                   "message length " + std::to_string(msg.length) +
+                       " is not a multiple of 4 (RFC 5389 §6)"});
+  }
+  if (!msg.has_magic_cookie()) {
+    // Classic RFC 3489 framing is fine for RFC 3489-era methods (the
+    // paper counts adherence to *any* published RFC); TURN methods
+    // never existed without the cookie.
+    const std::uint16_t method = msg.method();
+    const bool rfc3489_method =
+        method == stun::kMethodBinding || method == stun::kMethodSharedSecret;
+    if (!rfc3489_method) {
+      out.push_back({Criterion::kHeaderFieldValidity,
+                     "missing magic cookie on a method that postdates "
+                     "RFC 3489"});
+    }
+  }
+  if (txid_low_entropy(msg.transaction_id)) {
+    out.push_back({Criterion::kHeaderFieldValidity,
+                   "transaction ID does not appear randomly generated"});
+  }
+
+  // --- Criterion 3: attribute type validity ------------------------------
+  for (const auto& a : msg.attributes) {
+    const auto info = stun::lookup_attribute(a.type);
+    if (!source_defined(info.source, cfg)) {
+      out.push_back({Criterion::kAttributeTypeValidity,
+                     "attribute type " + hex_u16(a.type) +
+                         " is not defined in any specification"});
+    }
+  }
+
+  // --- Criterion 4: attribute value validity ------------------------------
+  const auto closed_set = stun::closed_attribute_set(msg.type);
+  for (const auto& a : msg.attributes) {
+    const auto info = stun::lookup_attribute(a.type);
+    if (!source_defined(info.source, cfg)) continue;  // judged above
+
+    if (info.fixed_length >= 0 &&
+        a.value.size() != static_cast<std::size_t>(info.fixed_length)) {
+      out.push_back({Criterion::kAttributeValueValidity,
+                     info.name + " length " + std::to_string(a.value.size()) +
+                         " != required " +
+                         std::to_string(info.fixed_length)});
+    }
+    if (info.min_length >= 0 &&
+        a.value.size() < static_cast<std::size_t>(info.min_length)) {
+      out.push_back({Criterion::kAttributeValueValidity,
+                     info.name + " shorter than the specified minimum"});
+    }
+    if (info.max_length >= 0 &&
+        a.value.size() > static_cast<std::size_t>(info.max_length)) {
+      out.push_back({Criterion::kAttributeValueValidity,
+                     info.name + " longer than the specified maximum"});
+    }
+    if (info.is_address) check_address_value(a, info, out);
+
+    if (a.type == stun::attr::kErrorCode && a.value.size() >= 4) {
+      const std::uint8_t cls = a.value[2] & 0x07;
+      const std::uint8_t number = a.value[3];
+      if (cls < 3 || cls > 6 || number > 99) {
+        out.push_back({Criterion::kAttributeValueValidity,
+                       "ERROR-CODE class/number out of range"});
+      }
+    }
+    if (a.type == stun::attr::kChannelNumber && a.value.size() >= 2) {
+      const std::uint16_t ch = rtcc::util::load_be16(a.value.data());
+      if (ch < 0x4000 || ch > 0x4FFF) {
+        out.push_back({Criterion::kAttributeValueValidity,
+                       "CHANNEL-NUMBER value " + hex_u16(ch) +
+                           " outside 0x4000-0x4FFF (RFC 8656 §12)"});
+      }
+    }
+
+    // FINGERPRINT is fully verifiable without keys: it must be the last
+    // attribute and carry CRC32(prefix) ^ 0x5354554e (RFC 5389 §15.5).
+    if (a.type == stun::attr::kFingerprint && a.value.size() == 4) {
+      if (&a != &msg.attributes.back()) {
+        out.push_back({Criterion::kAttributeValueValidity,
+                       "FINGERPRINT is not the last attribute "
+                       "(RFC 5389 §15.5)"});
+      } else if (raw.raw.size() >= msg.wire_size() &&
+                 msg.wire_size() >= 8) {
+        const std::size_t prefix_len = msg.wire_size() - 8;
+        const std::uint32_t expected = rtcc::crypto::stun_fingerprint(
+            rtcc::util::BytesView{raw.raw}.subspan(0, prefix_len));
+        if (rtcc::util::load_be32(a.value.data()) != expected) {
+          out.push_back({Criterion::kAttributeValueValidity,
+                         "FINGERPRINT CRC does not match the message "
+                         "contents"});
+        }
+      }
+    }
+
+    // Placement restrictions (e.g. PRIORITY only in Binding requests —
+    // the paper's own criterion-4 example).
+    if (const auto* rule = stun::lookup_usage_rule(a.type)) {
+      const bool allowed =
+          std::find(rule->allowed_in.begin(), rule->allowed_in.end(),
+                    msg.type) != rule->allowed_in.end();
+      if (!allowed) {
+        out.push_back({Criterion::kAttributeValueValidity,
+                       info.name + " is not permitted in " +
+                           stun::describe_message_type(msg.type)});
+      }
+    }
+    if (closed_set) {
+      const bool in_set = std::find(closed_set->begin(), closed_set->end(),
+                                    a.type) != closed_set->end();
+      if (!in_set) {
+        out.push_back({Criterion::kAttributeValueValidity,
+                       info.name + " not in the allowed attribute set of " +
+                           stun::describe_message_type(msg.type)});
+      }
+    }
+  }
+
+  // --- Criterion 5: syntax & semantic integrity ---------------------------
+  // Mandatory-attribute rules: RFC 8489 §7.3.3 (a Binding success
+  // response carries XOR-MAPPED-ADDRESS) and RFC 8656 §7.3 (an Allocate
+  // success response carries XOR-RELAYED-ADDRESS and LIFETIME).
+  if (msg.type == stun::kBindingSuccess && msg.has_magic_cookie() &&
+      !msg.find(stun::attr::kXorMappedAddress) &&
+      !msg.find(stun::attr::kMappedAddress)) {
+    out.push_back({Criterion::kSyntaxSemanticIntegrity,
+                   "Binding success response carries no (XOR-)MAPPED-"
+                   "ADDRESS (RFC 8489 §7.3.3)"});
+  }
+  if (msg.type == stun::kAllocateSuccess) {
+    if (!msg.find(stun::attr::kXorRelayedAddress)) {
+      out.push_back({Criterion::kSyntaxSemanticIntegrity,
+                     "Allocate success response carries no "
+                     "XOR-RELAYED-ADDRESS (RFC 8656 §7.3)"});
+    }
+    if (!msg.find(stun::attr::kLifetime)) {
+      out.push_back({Criterion::kSyntaxSemanticIntegrity,
+                     "Allocate success response carries no LIFETIME "
+                     "(RFC 8656 §7.3)"});
+    }
+  }
+  // UNKNOWN-ATTRIBUTES holds a list of 16-bit types (RFC 8489 §14.10).
+  if (const auto* unknown = msg.find(stun::attr::kUnknownAttributes)) {
+    if (unknown->value.size() % 2 != 0) {
+      out.push_back({Criterion::kSyntaxSemanticIntegrity,
+                     "UNKNOWN-ATTRIBUTES is not a sequence of 16-bit "
+                     "attribute types"});
+    }
+  }
+
+  const TxidKey key{msg.transaction_id};
+  if (msg.cls() == stun::Class::kRequest &&
+      ctx.repeated_unanswered.count(key) > 0) {
+    out.push_back(
+        {Criterion::kSyntaxSemanticIntegrity,
+         "request retransmitted with a constant transaction ID and never "
+         "answered — inconsistent with STUN retransmission semantics"});
+  }
+  if (msg.type == stun::kAllocateRequest) {
+    const bool keepalive = ctx.allocate_keepalive[0] ||
+                           ctx.allocate_keepalive[1];
+    if (keepalive) {
+      out.push_back({Criterion::kSyntaxSemanticIntegrity,
+                     "Allocate requests form a periodic ping-pong pattern; "
+                     "Allocate is for session setup, not connectivity "
+                     "checking"});
+    }
+  }
+  if (msg.cls() == stun::Class::kSuccessResponse ||
+      msg.cls() == stun::Class::kErrorResponse) {
+    auto it = ctx.txids.find(key);
+    // Only a *systematic* orphan-response pattern is a deviation; an
+    // isolated unmatched response usually means the capture (or the
+    // network) lost the request packet.
+    if (ctx.systematic_orphan_responses && it != ctx.txids.end() &&
+        it->second.requests == 0) {
+      out.push_back({Criterion::kSyntaxSemanticIntegrity,
+                     "response transaction ID matches no observed request "
+                     "(systematic across the stream)"});
+    }
+  }
+}
+
+void check_channel_data(const stun::ChannelData& cd,
+                        const rtcc::dpi::ExtractedMessage& raw,
+                        const StreamContext& ctx,
+                        const ComplianceConfig& cfg,
+                        std::vector<Violation>& out) {
+  (void)ctx;
+  (void)cfg;
+  // Criterion 1: ChannelData is defined (RFC 8656 §12.4); the parser
+  // already guarantees the channel number range.
+  // Criterion 2: header length consistency.
+  // Criterion 5: RFC 8656 §12.5 — over UDP, ChannelData MUST NOT be
+  // padded; extra bytes past the declared length are a violation (the
+  // FaceTime pattern).
+  if (raw.length > cd.wire_size()) {
+    out.push_back({Criterion::kSyntaxSemanticIntegrity,
+                   "ChannelData padded to a 4-byte boundary over UDP "
+                   "(RFC 8656 §12.5 forbids padding on UDP)"});
+  }
+}
+
+}  // namespace rtcc::compliance::rules

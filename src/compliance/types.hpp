@@ -1,0 +1,71 @@
+// Verdict model for the five-criterion compliance assessment (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/common.hpp"
+
+namespace rtcc::compliance {
+
+/// The paper's five sequential criteria (§4.2). A message must pass all
+/// five to be compliant; evaluation stops at the first failure.
+enum class Criterion : std::uint8_t {
+  kMessageTypeDefinition = 1,
+  kHeaderFieldValidity = 2,
+  kAttributeTypeValidity = 3,
+  kAttributeValueValidity = 4,
+  kSyntaxSemanticIntegrity = 5,
+};
+
+[[nodiscard]] std::string to_string(Criterion c);
+
+struct Violation {
+  Criterion criterion = Criterion::kMessageTypeDefinition;
+  std::string detail;
+};
+
+struct Verdict {
+  bool compliant = true;
+  /// Violations in criterion order. In sequential mode (the paper's
+  /// methodology) this holds at most one entry; exhaustive mode (used
+  /// by tests to validate the short-circuit) records all of them.
+  std::vector<Violation> violations;
+
+  [[nodiscard]] const Violation* first() const {
+    return violations.empty() ? nullptr : &violations.front();
+  }
+};
+
+struct ComplianceConfig {
+  /// Stop at the first failing criterion (§4.2's "strictly sequential").
+  bool sequential = true;
+  /// Count vendor-extension-defined types (SpecSource::kExtension) as
+  /// defined. The paper's ground truth does (Google Meet 0x0200/0x0300).
+  bool treat_extension_types_as_compliant = true;
+  /// Criterion 5: same-txid requests repeated at least this many times
+  /// with zero responses → "repurposed request" (FaceTime §5.2.1).
+  std::size_t repeated_request_threshold = 5;
+  /// Criterion 5: at least this many Allocate requests spread over at
+  /// least `allocate_keepalive_min_span_s` → keepalive ping-pong.
+  std::size_t allocate_keepalive_threshold = 6;
+  double allocate_keepalive_min_span_s = 30.0;
+  /// SRTCP: full trailer = 4-byte E+index + 10-byte auth tag.
+  std::size_t srtcp_auth_tag_len = 10;
+};
+
+/// One judged message instance, the unit both metrics aggregate over.
+struct CheckedMessage {
+  proto::Protocol protocol = proto::Protocol::kStunTurn;
+  /// Type label for the message-type-based metric: STUN "0x0001" /
+  /// "ChannelData"; RTP payload type "100"; RTCP packet type "205";
+  /// QUIC "long-0".."long-2"/"short".
+  std::string type_label;
+  Verdict verdict;
+  double ts = 0.0;
+  int dir = 0;
+};
+
+}  // namespace rtcc::compliance

@@ -1,0 +1,33 @@
+#include "crypto/crc32.hpp"
+
+#include <array>
+
+namespace rtcc::crypto {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(rtcc::util::BytesView data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) c = kTable[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t stun_fingerprint(rtcc::util::BytesView msg_prefix) {
+  return crc32(msg_prefix) ^ 0x5354554Eu;
+}
+
+}  // namespace rtcc::crypto

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) — used by the STUN
+// FINGERPRINT attribute (RFC 5389 §15.5: CRC-32 of the message XORed
+// with 0x5354554e).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace rtcc::crypto {
+
+[[nodiscard]] std::uint32_t crc32(rtcc::util::BytesView data);
+
+/// The value carried inside a STUN FINGERPRINT attribute.
+[[nodiscard]] std::uint32_t stun_fingerprint(rtcc::util::BytesView msg_prefix);
+
+}  // namespace rtcc::crypto

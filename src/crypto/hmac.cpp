@@ -1,0 +1,33 @@
+#include "crypto/hmac.hpp"
+
+namespace rtcc::crypto {
+
+std::array<std::uint8_t, Sha1::kDigestSize> hmac_sha1(
+    rtcc::util::BytesView key, rtcc::util::BytesView message) {
+  std::array<std::uint8_t, Sha1::kBlockSize> k_block{};
+  if (key.size() > Sha1::kBlockSize) {
+    auto digest = sha1(key);
+    std::copy(digest.begin(), digest.end(), k_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k_block.begin());
+  }
+
+  std::array<std::uint8_t, Sha1::kBlockSize> ipad{};
+  std::array<std::uint8_t, Sha1::kBlockSize> opad{};
+  for (std::size_t i = 0; i < Sha1::kBlockSize; ++i) {
+    ipad[i] = k_block[i] ^ 0x36;
+    opad[i] = k_block[i] ^ 0x5C;
+  }
+
+  Sha1 inner;
+  inner.update(rtcc::util::BytesView{ipad});
+  inner.update(message);
+  const auto inner_digest = inner.finalize();
+
+  Sha1 outer;
+  outer.update(rtcc::util::BytesView{opad});
+  outer.update(rtcc::util::BytesView{inner_digest});
+  return outer.finalize();
+}
+
+}  // namespace rtcc::crypto

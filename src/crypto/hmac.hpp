@@ -1,0 +1,14 @@
+// HMAC-SHA1 (RFC 2104) — STUN MESSAGE-INTEGRITY attribute (RFC 5389 §15.4).
+#pragma once
+
+#include <array>
+
+#include "crypto/sha1.hpp"
+#include "util/bytes.hpp"
+
+namespace rtcc::crypto {
+
+[[nodiscard]] std::array<std::uint8_t, Sha1::kDigestSize> hmac_sha1(
+    rtcc::util::BytesView key, rtcc::util::BytesView message);
+
+}  // namespace rtcc::crypto

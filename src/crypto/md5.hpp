@@ -1,0 +1,40 @@
+// MD5 (RFC 1321) — used to derive STUN long-term credential keys
+// (RFC 5389 §15.4: key = MD5(username ":" realm ":" password)).
+// MD5 is broken for security; implemented for spec compatibility only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace rtcc::crypto {
+
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Md5();
+  void update(rtcc::util::BytesView data);
+  [[nodiscard]] std::array<std::uint8_t, kDigestSize> finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+[[nodiscard]] std::array<std::uint8_t, Md5::kDigestSize> md5(
+    rtcc::util::BytesView data);
+
+/// RFC 5389 long-term credential key.
+[[nodiscard]] std::array<std::uint8_t, Md5::kDigestSize> stun_long_term_key(
+    std::string_view username, std::string_view realm,
+    std::string_view password);
+
+}  // namespace rtcc::crypto

@@ -1,0 +1,100 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+
+namespace rtcc::crypto {
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+Sha1::Sha1() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+}
+
+void Sha1::update(rtcc::util::BytesView data) {
+  total_bytes_ += data.size();
+  std::size_t i = 0;
+  if (buffered_ > 0) {
+    const std::size_t need = kBlockSize - buffered_;
+    const std::size_t take = std::min(need, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    i = take;
+    if (buffered_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  for (; i + kBlockSize <= data.size(); i += kBlockSize)
+    process_block(data.data() + i);
+  if (i < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + i, data.size() - i);
+    buffered_ = data.size() - i;
+  }
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> Sha1::finalize() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(rtcc::util::BytesView{&pad, 1});
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update(rtcc::util::BytesView{&zero, 1});
+  std::array<std::uint8_t, 8> len{};
+  for (int i = 0; i < 8; ++i)
+    len[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_len >> ((7 - i) * 8));
+  update(rtcc::util::BytesView{len});
+
+  std::array<std::uint8_t, kDigestSize> out{};
+  for (int i = 0; i < 5; ++i)
+    rtcc::util::store_be32(out.data() + i * 4, h_[static_cast<std::size_t>(i)]);
+  return out;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) w[t] = rtcc::util::load_be32(block + t * 4);
+  for (int t = 16; t < 80; ++t)
+    w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f, k;
+    if (t < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    std::uint32_t tmp = rotl(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> sha1(rtcc::util::BytesView data) {
+  Sha1 ctx;
+  ctx.update(data);
+  return ctx.finalize();
+}
+
+}  // namespace rtcc::crypto

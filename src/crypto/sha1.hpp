@@ -1,0 +1,34 @@
+// SHA-1 (FIPS 180-4) — needed for STUN MESSAGE-INTEGRITY (HMAC-SHA1).
+// SHA-1 is cryptographically broken for collision resistance but is
+// what RFC 5389 mandates; we implement it for wire compatibility only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace rtcc::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1();
+  void update(rtcc::util::BytesView data);
+  [[nodiscard]] std::array<std::uint8_t, kDigestSize> finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+[[nodiscard]] std::array<std::uint8_t, Sha1::kDigestSize> sha1(
+    rtcc::util::BytesView data);
+
+}  // namespace rtcc::crypto

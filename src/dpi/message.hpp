@@ -1,0 +1,76 @@
+// Extracted-message representation shared by the DPI engines and the
+// compliance checker.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/common.hpp"
+#include "proto/quic/quic.hpp"
+#include "proto/rtcp/rtcp.hpp"
+#include "proto/rtp/rtp.hpp"
+#include "proto/stun/stun.hpp"
+#include "util/bytes.hpp"
+
+namespace rtcc::dpi {
+
+/// Finer-grained than Protocol: ChannelData shares STUN's table slot in
+/// the paper but has its own wire format and compliance rules.
+enum class MessageKind : std::uint8_t {
+  kStun,
+  kChannelData,
+  kRtp,
+  kRtcp,
+  kQuic,
+};
+
+[[nodiscard]] proto::Protocol protocol_of(MessageKind k);
+[[nodiscard]] std::string to_string(MessageKind k);
+
+/// One validated protocol message found inside a UDP datagram.
+/// Exactly one of the typed payloads is populated, per `kind`.
+struct ExtractedMessage {
+  MessageKind kind = MessageKind::kStun;
+  std::size_t offset = 0;  // byte offset within the UDP payload
+  std::size_t length = 0;  // bytes this message owns
+
+  std::optional<proto::stun::Message> stun;
+  std::optional<proto::stun::ChannelData> channel_data;
+  std::optional<proto::rtp::Packet> rtp;
+  std::optional<proto::rtcp::Compound> rtcp;
+  std::optional<proto::quic::Header> quic;
+
+  /// Raw wire bytes of the message — kept for STUN only, where
+  /// compliance needs to recompute FINGERPRINT CRCs over the exact
+  /// bytes (empty for other kinds to avoid duplicating media payloads).
+  rtcc::util::Bytes raw;
+
+  /// Stable label for the message-type-based metric (§5.1):
+  /// STUN → 16-bit message type ("0x0001") or "ChannelData";
+  /// RTP → payload type ("100"); RTCP → packet type of each contained
+  /// packet (expanded by the caller); QUIC → long type / "short".
+  [[nodiscard]] std::string type_label() const;
+};
+
+/// Classification of one whole datagram (Figure 3).
+enum class DatagramClass : std::uint8_t {
+  kStandard,            // standard messages from offset 0
+  kProprietaryHeader,   // standard message(s) behind leading unknown bytes
+  kFullyProprietary,    // no standard message found anywhere
+};
+
+[[nodiscard]] std::string to_string(DatagramClass c);
+
+struct DatagramAnalysis {
+  DatagramClass klass = DatagramClass::kFullyProprietary;
+  /// Length of the unknown prefix when klass == kProprietaryHeader.
+  std::size_t proprietary_header_len = 0;
+  std::size_t payload_len = 0;
+  std::vector<ExtractedMessage> messages;
+  /// Candidates seen before protocol-specific validation (ablation data).
+  std::size_t candidates = 0;
+};
+
+}  // namespace rtcc::dpi

@@ -1,0 +1,503 @@
+#include "dpi/scanning_dpi.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "proto/stun/stun_registry.hpp"
+
+namespace rtcc::dpi {
+
+using rtcc::util::BytesView;
+
+namespace {
+
+namespace stun = rtcc::proto::stun;
+namespace rtp = rtcc::proto::rtp;
+namespace rtcp = rtcc::proto::rtcp;
+namespace quic = rtcc::proto::quic;
+
+/// Lightweight candidate: header fields only; the full (allocating)
+/// parse happens once per *accepted* candidate, keeping the scan cheap
+/// even though RTP's header pattern matches ~25% of random offsets.
+struct Candidate {
+  MessageKind kind = MessageKind::kRtp;
+  std::uint32_t datagram = 0;
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;  // wire extent (RTP: to end of datagram)
+  bool validated = false;
+
+  // Sniffed fields used by validation:
+  std::uint32_t ssrc = 0;         // RTP / RTCP first-packet SSRC
+  std::uint16_t seq = 0;          // RTP
+  std::uint8_t payload_type = 0;  // RTP PT / RTCP first packet type
+  std::uint16_t stun_type = 0;
+  bool stun_classic = false;
+  stun::TransactionId txid{};
+  std::uint16_t channel = 0;  // ChannelData
+  bool quic_long = false;
+};
+
+struct RtpSniff {
+  std::size_t header_size = 0;
+  std::uint8_t payload_type = 0;
+  std::uint16_t seq = 0;
+  std::uint32_t ssrc = 0;
+};
+
+/// Header-only RTP check: version 2, CSRC/extension fit in the bound.
+std::optional<RtpSniff> sniff_rtp(BytesView d) {
+  if (d.size() < 12) return std::nullopt;
+  if ((d[0] >> 6) != 2) return std::nullopt;
+  const std::size_t cc = d[0] & 0x0F;
+  const bool ext = (d[0] & 0x10) != 0;
+  std::size_t hdr = 12 + cc * 4;
+  if (d.size() < hdr) return std::nullopt;
+  if (ext) {
+    if (d.size() < hdr + 4) return std::nullopt;
+    const std::uint16_t words = rtcc::util::load_be16(d.data() + hdr + 2);
+    hdr += 4 + std::size_t{words} * 4;
+    if (d.size() < hdr) return std::nullopt;
+  }
+  if (d[0] & 0x20) {  // padding byte must fit
+    const std::uint8_t pad = d[d.size() - 1];
+    if (pad == 0 || hdr + pad > d.size()) return std::nullopt;
+  }
+  RtpSniff s;
+  s.header_size = hdr;
+  s.payload_type = d[1] & 0x7F;
+  s.seq = rtcc::util::load_be16(d.data() + 2);
+  s.ssrc = rtcc::util::load_be32(d.data() + 8);
+  return s;
+}
+
+/// Header-only RTCP compound check.
+struct RtcpSniff {
+  std::size_t parsed = 0;    // bytes covered by well-formed packets
+  std::size_t trailing = 0;  // leftover within the datagram
+  std::uint8_t first_pt = 0;
+  std::uint32_t first_ssrc = 0;
+  std::size_t packets = 0;
+};
+
+std::optional<RtcpSniff> sniff_rtcp(BytesView d, std::size_t max_trailing) {
+  if (d.size() < 8) return std::nullopt;
+  RtcpSniff s;
+  std::size_t pos = 0;
+  while (pos + 4 <= d.size()) {
+    const std::uint8_t b0 = d[pos];
+    if ((b0 >> 6) != 2) break;
+    const std::uint8_t pt = d[pos + 1];
+    // Restrict to the assigned 200-207 block: the full 192-223 range
+    // admits too many false positives when scanning mid-payload.
+    if (pt < 200 || pt > 207) break;
+    const std::size_t len =
+        4 + std::size_t{rtcc::util::load_be16(d.data() + pos + 2)} * 4;
+    if (pos + len > d.size()) break;
+    if (s.packets == 0) {
+      s.first_pt = pt;
+      if (len >= 8) s.first_ssrc = rtcc::util::load_be32(d.data() + pos + 4);
+    }
+    ++s.packets;
+    pos += len;
+  }
+  if (s.packets == 0) return std::nullopt;
+  s.parsed = pos;
+  s.trailing = d.size() - pos;
+  if (s.trailing > max_trailing) return std::nullopt;
+  return s;
+}
+
+std::uint16_t seq_distance(std::uint16_t a, std::uint16_t b) {
+  const std::uint16_t d1 = static_cast<std::uint16_t>(a - b);
+  const std::uint16_t d2 = static_cast<std::uint16_t>(b - a);
+  return std::min(d1, d2);
+}
+
+struct TxidKey {
+  stun::TransactionId id;
+  bool operator<(const TxidKey& o) const { return id < o.id; }
+};
+
+}  // namespace
+
+ScanningDpi::ScanningDpi(ScanOptions options) : options_(options) {}
+
+std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
+    const std::vector<StreamDatagram>& datagrams) const {
+  std::vector<Candidate> candidates;
+  candidates.reserve(datagrams.size() * 2);
+
+  // ---- Step 1: candidate extraction (Algorithm 1, lines 5-13) ----
+  for (std::size_t di = 0; di < datagrams.size(); ++di) {
+    const BytesView payload = datagrams[di].payload;
+    const std::size_t limit = std::min(options_.max_offset + 1, payload.size());
+    for (std::size_t i = 0; i < limit; ++i) {
+      const BytesView at = payload.subspan(i);
+
+      if (options_.scan_stun && at.size() >= stun::kHeaderSize &&
+          (at[0] & 0xC0) == 0) {
+        const std::uint32_t cookie = rtcc::util::load_be32(at.data() + 4);
+        const std::uint16_t dlen = rtcc::util::load_be16(at.data() + 2);
+        const bool modern = cookie == stun::kMagicCookie;
+        // Classic (RFC 3489) STUN has no cookie; to keep false
+        // positives manageable we require a defined method and an
+        // exact datagram-tail fit, which real classic stacks satisfy.
+        const bool classic_fit =
+            !modern &&
+            stun::lookup_message_type(rtcc::util::load_be16(at.data()))
+                    .source != proto::SpecSource::kUndefined &&
+            stun::kHeaderSize + std::size_t{dlen} == at.size();
+        if (modern || classic_fit) {
+          stun::ParseOptions po;
+          po.require_magic_cookie = modern;
+          if (auto parsed = stun::parse(at, po)) {
+            Candidate c;
+            c.kind = MessageKind::kStun;
+            c.datagram = static_cast<std::uint32_t>(di);
+            c.offset = static_cast<std::uint32_t>(i);
+            c.length = static_cast<std::uint32_t>(parsed->consumed);
+            c.stun_type = parsed->message.type;
+            c.stun_classic = !modern;
+            c.txid = parsed->message.transaction_id;
+            candidates.push_back(c);
+          }
+        }
+      }
+
+      // TURN ChannelData: first byte 0x40-0x4F.
+      if (options_.scan_stun && at.size() >= 4 && at[0] >= 0x40 &&
+          at[0] <= 0x4F) {
+        const std::uint16_t clen = rtcc::util::load_be16(at.data() + 2);
+        if (4 + std::size_t{clen} <= at.size()) {
+          Candidate c;
+          c.kind = MessageKind::kChannelData;
+          c.datagram = static_cast<std::uint32_t>(di);
+          c.offset = static_cast<std::uint32_t>(i);
+          // Extent includes trailing padding up to the 4-byte boundary
+          // only when it reaches the datagram end (the FaceTime
+          // pattern); otherwise exactly 4+len.
+          std::size_t extent = 4 + std::size_t{clen};
+          const std::size_t padded = (extent + 3) & ~std::size_t{3};
+          if (padded == at.size()) extent = padded;
+          c.length = static_cast<std::uint32_t>(extent);
+          c.channel = rtcc::util::load_be16(at.data());
+          candidates.push_back(c);
+        }
+      }
+
+      if (options_.scan_rtcp) {
+        if (auto s = sniff_rtcp(at, options_.max_rtcp_trailing)) {
+          Candidate c;
+          c.kind = MessageKind::kRtcp;
+          c.datagram = static_cast<std::uint32_t>(di);
+          c.offset = static_cast<std::uint32_t>(i);
+          c.length = static_cast<std::uint32_t>(s->parsed + s->trailing);
+          c.payload_type = s->first_pt;
+          c.ssrc = s->first_ssrc;
+          candidates.push_back(c);
+        }
+      }
+
+      if (options_.scan_quic && !at.empty()) {
+        const std::uint8_t b0 = at[0];
+        if ((b0 & 0xC0) == 0xC0) {  // long form + fixed bit
+          if (auto h = quic::parse(at)) {
+            // Only QUIC v1 long headers are scanned for: admitting the
+            // all-zero version-negotiation pattern would match zero
+            // runs inside opaque payloads.
+            if (h->version == quic::kVersion1) {
+              Candidate c;
+              c.kind = MessageKind::kQuic;
+              c.datagram = static_cast<std::uint32_t>(di);
+              c.offset = static_cast<std::uint32_t>(i);
+              c.length = static_cast<std::uint32_t>(h->wire_size());
+              c.quic_long = true;
+              candidates.push_back(c);
+            }
+          }
+        } else if ((b0 & 0xC0) == 0x40 && i == 0) {
+          // Short header: only meaningful at offset 0 and only if the
+          // stream establishes a connection (checked in validation).
+          Candidate c;
+          c.kind = MessageKind::kQuic;
+          c.datagram = static_cast<std::uint32_t>(di);
+          c.offset = 0;
+          c.length = static_cast<std::uint32_t>(at.size());
+          c.quic_long = false;
+          candidates.push_back(c);
+        }
+      }
+
+      if (options_.scan_rtp) {
+        if (auto s = sniff_rtp(at)) {
+          // Skip byte patterns that are really RTCP (PT 72-79 with the
+          // marker bit corresponds to RTCP types 200-207).
+          const std::uint8_t pt_byte = at[1];
+          if (!(pt_byte >= 0xC8 && pt_byte <= 0xCF)) {
+            Candidate c;
+            c.kind = MessageKind::kRtp;
+            c.datagram = static_cast<std::uint32_t>(di);
+            c.offset = static_cast<std::uint32_t>(i);
+            c.length = static_cast<std::uint32_t>(at.size());
+            c.ssrc = s->ssrc;
+            c.seq = s->seq;
+            c.payload_type = s->payload_type;
+            candidates.push_back(c);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Step 2: protocol-specific validation (lines 14-19) ----
+  std::unordered_map<std::uint32_t, std::vector<std::uint16_t>> rtp_seqs;
+  std::map<TxidKey, int> stun_txids;
+  std::unordered_map<std::uint16_t, int> channel_support;
+  std::unordered_map<std::uint32_t, int> rtcp_ssrc_support;
+  int quic_long_support = 0;
+
+  for (const auto& c : candidates) {
+    switch (c.kind) {
+      case MessageKind::kRtp:
+        rtp_seqs[c.ssrc].push_back(c.seq);
+        break;
+      case MessageKind::kStun:
+        ++stun_txids[TxidKey{c.txid}];
+        break;
+      case MessageKind::kChannelData:
+        ++channel_support[c.channel];
+        break;
+      case MessageKind::kRtcp:
+        ++rtcp_ssrc_support[c.ssrc];
+        break;
+      case MessageKind::kQuic:
+        if (c.quic_long) ++quic_long_support;
+        break;
+    }
+  }
+
+  // Validated RTP SSRCs (support + sequence-number continuity).
+  //
+  std::set<std::uint32_t> valid_rtp_ssrcs;
+  for (auto& [ssrc, seqs] : rtp_seqs) {
+    if (seqs.size() < options_.min_ssrc_support) continue;
+    // Continuity: a healthy stream's sorted sequence numbers are mostly
+    // adjacent; scanning noise produces uniformly random ones. Constant
+    // proprietary-header bytes produce the opposite artifact — the same
+    // fake (ssrc, seq) repeated verbatim — so genuine streams must also
+    // show the sequence number actually advancing.
+    auto sorted = seqs;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t close = 0, distinct = 1;
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      // A zero gap is a duplicate, not adjacency: constant header bytes
+      // masquerading as RTP repeat the same few (ssrc, seq) pairs, and
+      // duplicates must not count as continuity evidence.
+      const std::uint16_t gap = seq_distance(sorted[i], sorted[i - 1]);
+      if (gap >= 1 && gap <= 16) ++close;
+      if (sorted[i] != sorted[i - 1]) ++distinct;
+    }
+    const bool advancing =
+        distinct >= std::max<std::size_t>(2, sorted.size() / 4);
+    if (advancing && close * 2 >= sorted.size() - 1)
+      valid_rtp_ssrcs.insert(ssrc);
+  }
+
+  for (auto& c : candidates) {
+    if (!options_.validate) {
+      c.validated = true;
+      continue;
+    }
+    switch (c.kind) {
+      case MessageKind::kStun:
+        // Magic-cookie messages and exact-fit classic messages are
+        // structurally sound. Transaction pairing raises confidence but
+        // unanswered requests must still be extracted — they are the
+        // non-compliance evidence (e.g. FaceTime §5.2.1).
+        c.validated = true;
+        break;
+      case MessageKind::kChannelData: {
+        // A genuine ChannelData message extends to the datagram end
+        // (optionally via padding), and real TURN channels repeat the
+        // same channel number stream-wide; requiring both keeps random
+        // byte runs inside media payloads from matching.
+        const std::size_t remaining =
+            datagrams[c.datagram].payload.size() - c.offset;
+        c.validated = std::size_t{c.length} == remaining &&
+                      channel_support[c.channel] >= 2;
+        break;
+      }
+      case MessageKind::kRtp:
+        c.validated = valid_rtp_ssrcs.count(c.ssrc) > 0;
+        break;
+      case MessageKind::kRtcp: {
+        // Cross-validate against known RTP streams, or require repeated
+        // appearances of the same sender SSRC within this stream
+        // (covers RTCP-only streams and Discord's SSRC=0 usage).
+        const std::size_t remaining =
+            datagrams[c.datagram].payload.size() - c.offset;
+        const bool extent_ok = std::size_t{c.length} == remaining;
+        c.validated = extent_ok && (valid_rtp_ssrcs.count(c.ssrc) > 0 ||
+                                    rtcp_ssrc_support[c.ssrc] >= 2);
+        break;
+      }
+      case MessageKind::kQuic:
+        // Long headers validate on version+structure; short headers
+        // require the stream to have completed a long-header handshake.
+        c.validated = c.quic_long || quic_long_support >= 2;
+        break;
+    }
+  }
+
+  // ---- Overlap resolution + full parse of accepted candidates ----
+  std::vector<DatagramAnalysis> out(datagrams.size());
+  std::vector<std::vector<Candidate*>> per_datagram(datagrams.size());
+  for (auto& c : candidates) {
+    ++out[c.datagram].candidates;
+    if (c.validated) per_datagram[c.datagram].push_back(&c);
+  }
+
+  auto kind_rank = [](MessageKind k) {
+    switch (k) {
+      case MessageKind::kStun:
+        return 0;
+      case MessageKind::kChannelData:
+        return 1;
+      case MessageKind::kRtcp:
+        return 2;
+      case MessageKind::kQuic:
+        return 3;
+      case MessageKind::kRtp:
+        return 4;
+    }
+    return 5;
+  };
+
+  for (std::size_t di = 0; di < datagrams.size(); ++di) {
+    auto& anal = out[di];
+    anal.payload_len = datagrams[di].payload.size();
+    auto& cands = per_datagram[di];
+    std::sort(cands.begin(), cands.end(),
+              [&](const Candidate* a, const Candidate* b) {
+                if (a->offset != b->offset) return a->offset < b->offset;
+                return kind_rank(a->kind) < kind_rank(b->kind);
+              });
+
+    // Overlap dominance: misaligned RTP candidates can slip past the
+    // SSRC-support gate when their fake SSRC bytes partially coincide
+    // with a real stream's (e.g. the off-by-one alignment that blends a
+    // timestamp byte with three real SSRC bytes). A candidate whose
+    // SSRC has a small fraction of the support of an overlapping RTP
+    // candidate is noise and must not shadow the genuine message.
+    auto support_of = [&](const Candidate* c) -> std::size_t {
+      auto it = rtp_seqs.find(c->ssrc);
+      return it == rtp_seqs.end() ? 0 : it->second.size();
+    };
+    for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+      Candidate* c = cands[ci];
+      if (c->kind != MessageKind::kRtp) continue;
+      for (std::size_t cj = 0; cj < cands.size(); ++cj) {
+        const Candidate* n = cands[cj];
+        if (ci == cj || n->kind != MessageKind::kRtp) continue;
+        // Two RTP candidates in one datagram always overlap: each spans
+        // the datagram remainder (RTP carries no length field).
+        if (support_of(n) > 4 * support_of(c)) {
+          c->validated = false;
+          break;
+        }
+      }
+    }
+    std::erase_if(cands, [](const Candidate* c) { return !c->validated; });
+
+    std::size_t covered_until = 0;
+    for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+      Candidate* c = cands[ci];
+      if (c->offset < covered_until) continue;  // overlaps accepted msg
+
+      std::size_t extent = c->length;
+      if (c->kind == MessageKind::kRtp) {
+        // RTP has no length field: by default it spans the datagram
+        // remainder, but a later validated RTP candidate with the same
+        // SSRC splits it (the Zoom two-RTP-messages-per-datagram
+        // pattern, §5.3). Other candidate kinds never truncate RTP —
+        // they are overwhelmingly scan noise inside the media payload.
+        extent = anal.payload_len - c->offset;
+        for (std::size_t cj = ci + 1; cj < cands.size(); ++cj) {
+          const Candidate* n = cands[cj];
+          if (n->kind == MessageKind::kRtp && n->ssrc == c->ssrc &&
+              n->offset > c->offset + 12) {
+            extent = n->offset - c->offset;
+            break;
+          }
+        }
+      }
+
+      const BytesView view = datagrams[di].payload.subspan(c->offset, extent);
+      ExtractedMessage msg;
+      msg.kind = c->kind;
+      msg.offset = c->offset;
+      msg.length = extent;
+      bool ok = false;
+      switch (c->kind) {
+        case MessageKind::kStun: {
+          stun::ParseOptions po;
+          po.require_magic_cookie = false;
+          if (auto p = stun::parse(view, po)) {
+            msg.stun = std::move(p->message);
+            msg.raw.assign(view.begin(),
+                           view.begin() + static_cast<std::ptrdiff_t>(
+                                              p->consumed));
+            ok = true;
+          }
+          break;
+        }
+        case MessageKind::kChannelData:
+          if (auto p = stun::parse_channel_data(view)) {
+            msg.channel_data = std::move(*p);
+            ok = true;
+          }
+          break;
+        case MessageKind::kRtp:
+          if (auto p = rtp::parse(view)) {
+            msg.rtp = std::move(p->packet);
+            ok = true;
+          }
+          break;
+        case MessageKind::kRtcp: {
+          rtcp::ParseOptions po;
+          po.max_trailing = options_.max_rtcp_trailing;
+          if (auto p = rtcp::parse_compound(view, po)) {
+            msg.rtcp = std::move(*p);
+            ok = true;
+          }
+          break;
+        }
+        case MessageKind::kQuic: {
+          quic::ParseOptions po;
+          if (auto p = quic::parse(view, po)) {
+            msg.quic = std::move(*p);
+            ok = true;
+          }
+          break;
+        }
+      }
+      if (!ok) continue;
+      covered_until = c->offset + extent;
+      anal.messages.push_back(std::move(msg));
+    }
+
+    if (anal.messages.empty()) {
+      anal.klass = DatagramClass::kFullyProprietary;
+    } else if (anal.messages.front().offset > 0) {
+      anal.klass = DatagramClass::kProprietaryHeader;
+      anal.proprietary_header_len = anal.messages.front().offset;
+    } else {
+      anal.klass = DatagramClass::kStandard;
+    }
+  }
+  return out;
+}
+
+}  // namespace rtcc::dpi

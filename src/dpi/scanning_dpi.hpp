@@ -1,0 +1,63 @@
+// The paper's custom two-stage DPI (Algorithm 1, §4.1): offset-shifting
+// candidate extraction followed by protocol-specific, stream-contextual
+// validation.
+//
+// Works on one UDP stream at a time because the validation heuristics
+// are stream-level (RTP sequence continuity, STUN transaction pairing,
+// RTCP SSRC cross-validation against RTP, QUIC DCID consistency).
+#pragma once
+
+#include <vector>
+
+#include "dpi/message.hpp"
+
+namespace rtcc::dpi {
+
+struct ScanOptions {
+  /// Maximum candidate-extraction offset k (§4.1.1; the paper found
+  /// k = 200 reproduces full-payload extraction on their dataset).
+  std::size_t max_offset = 200;
+  /// Which protocols to scan for. Defaults to all.
+  bool scan_stun = true;
+  bool scan_rtp = true;
+  bool scan_rtcp = true;
+  bool scan_quic = true;
+  /// Disable stage-2 validation entirely (ablation: candidates become
+  /// the output, false positives included).
+  bool validate = true;
+  /// RTP validation: minimum messages sharing an SSRC in a stream for
+  /// that SSRC to be considered a genuine RTP stream.
+  std::size_t min_ssrc_support = 3;
+  /// RTCP trailing bytes tolerated after the last compound packet
+  /// (covers SRTCP trailers and small proprietary trailers).
+  std::size_t max_rtcp_trailing = 32;
+};
+
+/// One datagram handed to the DPI: payload bytes plus stream-relative
+/// metadata used by validation.
+struct StreamDatagram {
+  rtcc::util::BytesView payload;
+  double ts = 0.0;
+  /// Direction within the bidirectional stream (0 = A→B, 1 = B→A);
+  /// transaction pairing and counters are per-direction.
+  int dir = 0;
+};
+
+class ScanningDpi {
+ public:
+  explicit ScanningDpi(ScanOptions options = {});
+
+  /// Runs Algorithm 1 over one UDP stream: candidate extraction per
+  /// datagram, then stream-level validation, then per-datagram overlap
+  /// resolution and proprietary classification. Results are index-
+  /// aligned with `datagrams`.
+  [[nodiscard]] std::vector<DatagramAnalysis> analyze_stream(
+      const std::vector<StreamDatagram>& datagrams) const;
+
+  [[nodiscard]] const ScanOptions& options() const { return options_; }
+
+ private:
+  ScanOptions options_;
+};
+
+}  // namespace rtcc::dpi

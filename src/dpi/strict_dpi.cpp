@@ -1,0 +1,122 @@
+#include "dpi/strict_dpi.hpp"
+
+#include <set>
+
+#include "proto/stun/stun_registry.hpp"
+
+namespace rtcc::dpi {
+
+using rtcc::util::BytesView;
+
+namespace {
+
+namespace stun = rtcc::proto::stun;
+namespace rtp = rtcc::proto::rtp;
+namespace rtcp = rtcc::proto::rtcp;
+namespace quic = rtcc::proto::quic;
+
+/// RFC 3551 statically assigned payload types — the fixed list a
+/// Peafowl-style RTP inspector accepts.
+const std::set<std::uint8_t>& static_payload_types() {
+  static const std::set<std::uint8_t> kTypes = {
+      0,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14, 15, 16,
+      17, 18, 25, 26, 28, 31, 32, 33, 34};
+  return kTypes;
+}
+
+}  // namespace
+
+StrictDpi::StrictDpi(StrictOptions options) : options_(options) {}
+
+std::vector<DatagramAnalysis> StrictDpi::analyze_stream(
+    const std::vector<StreamDatagram>& datagrams) const {
+  std::vector<DatagramAnalysis> out(datagrams.size());
+  for (std::size_t di = 0; di < datagrams.size(); ++di) {
+    auto& anal = out[di];
+    const BytesView payload = datagrams[di].payload;
+    anal.payload_len = payload.size();
+    anal.klass = DatagramClass::kFullyProprietary;
+    if (payload.empty()) continue;
+
+    ExtractedMessage msg;
+    msg.offset = 0;
+    bool matched = false;
+
+    // STUN: offset zero, magic cookie mandatory, message type defined.
+    {
+      stun::ParseOptions po;
+      po.require_magic_cookie = true;
+      if (auto p = stun::parse(payload, po)) {
+        if (stun::lookup_message_type(p->message.type).source !=
+            proto::SpecSource::kUndefined) {
+          msg.kind = MessageKind::kStun;
+          msg.length = p->consumed;
+          msg.stun = std::move(p->message);
+          matched = true;
+        }
+      }
+    }
+
+    if (!matched) {
+      if (auto cd = stun::parse_channel_data(payload)) {
+        if (cd->wire_size() == payload.size()) {
+          msg.kind = MessageKind::kChannelData;
+          msg.length = cd->wire_size();
+          msg.channel_data = std::move(*cd);
+          matched = true;
+        }
+      }
+    }
+
+    // RTCP before RTP (the 200-207 types overlap RTP's PT space).
+    if (!matched) {
+      rtcp::ParseOptions po;
+      po.allow_trailing = false;  // strict: the compound must fit exactly
+      if (auto c = rtcp::parse_compound(payload, po)) {
+        msg.kind = MessageKind::kRtcp;
+        msg.length = c->parsed_size();
+        msg.rtcp = std::move(*c);
+        matched = true;
+      }
+    }
+
+    if (!matched) {
+      if (auto p = rtp::parse(payload)) {
+        const bool pt_ok =
+            !options_.restrict_rtp_payload_types ||
+            static_payload_types().count(p->packet.payload_type) > 0;
+        // Strict DPI also refuses undefined extension profiles.
+        const bool ext_ok =
+            !p->packet.extension ||
+            p->packet.extension->profile == rtp::kOneByteProfile ||
+            rtp::is_two_byte_profile(p->packet.extension->profile);
+        if (pt_ok && ext_ok) {
+          msg.kind = MessageKind::kRtp;
+          msg.length = payload.size();
+          msg.rtp = std::move(p->packet);
+          matched = true;
+        }
+      }
+    }
+
+    if (!matched && (payload[0] & 0xC0) == 0xC0) {
+      if (auto h = quic::parse(payload)) {
+        if (h->version == quic::kVersion1) {
+          msg.kind = MessageKind::kQuic;
+          msg.length = h->wire_size();
+          msg.quic = std::move(*h);
+          matched = true;
+        }
+      }
+    }
+
+    if (matched) {
+      anal.candidates = 1;
+      anal.klass = DatagramClass::kStandard;
+      anal.messages.push_back(std::move(msg));
+    }
+  }
+  return out;
+}
+
+}  // namespace rtcc::dpi

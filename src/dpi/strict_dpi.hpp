@@ -1,0 +1,34 @@
+// Peafowl-style strict baseline DPI (§4.1 motivation): matches protocol
+// headers at offset zero only, with strict field-value restrictions
+// (e.g. the ~30 "valid" RTP payload types Peafowl hardcodes, STUN magic
+// cookie required). Used by the ablation bench to show what fraction of
+// real RTC messages a conventional DPI misses.
+#pragma once
+
+#include <vector>
+
+#include "dpi/message.hpp"
+#include "dpi/scanning_dpi.hpp"
+
+namespace rtcc::dpi {
+
+struct StrictOptions {
+  /// Accept only RTP payload types in the Peafowl-style static list
+  /// (RFC 3551 assigned types). Dynamic types 96-127 are rejected —
+  /// this is exactly the restriction the paper removed.
+  bool restrict_rtp_payload_types = true;
+};
+
+class StrictDpi {
+ public:
+  explicit StrictDpi(StrictOptions options = {});
+
+  /// Same result shape as ScanningDpi so the ablation can diff them.
+  [[nodiscard]] std::vector<DatagramAnalysis> analyze_stream(
+      const std::vector<StreamDatagram>& datagrams) const;
+
+ private:
+  StrictOptions options_;
+};
+
+}  // namespace rtcc::dpi

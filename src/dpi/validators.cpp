@@ -1,0 +1,74 @@
+// Implementations for the shared message model (dpi/message.hpp).
+#include "dpi/message.hpp"
+
+#include "util/hex.hpp"
+
+namespace rtcc::dpi {
+
+proto::Protocol protocol_of(MessageKind k) {
+  switch (k) {
+    case MessageKind::kStun:
+    case MessageKind::kChannelData:
+      return proto::Protocol::kStunTurn;
+    case MessageKind::kRtp:
+      return proto::Protocol::kRtp;
+    case MessageKind::kRtcp:
+      return proto::Protocol::kRtcp;
+    case MessageKind::kQuic:
+      return proto::Protocol::kQuic;
+  }
+  return proto::Protocol::kStunTurn;
+}
+
+std::string to_string(MessageKind k) {
+  switch (k) {
+    case MessageKind::kStun:
+      return "STUN";
+    case MessageKind::kChannelData:
+      return "ChannelData";
+    case MessageKind::kRtp:
+      return "RTP";
+    case MessageKind::kRtcp:
+      return "RTCP";
+    case MessageKind::kQuic:
+      return "QUIC";
+  }
+  return "?";
+}
+
+std::string to_string(DatagramClass c) {
+  switch (c) {
+    case DatagramClass::kStandard:
+      return "standard";
+    case DatagramClass::kProprietaryHeader:
+      return "proprietary-header";
+    case DatagramClass::kFullyProprietary:
+      return "fully-proprietary";
+  }
+  return "?";
+}
+
+std::string ExtractedMessage::type_label() const {
+  switch (kind) {
+    case MessageKind::kStun:
+      return stun ? rtcc::util::hex_u16(stun->type) : "STUN?";
+    case MessageKind::kChannelData:
+      return "ChannelData";
+    case MessageKind::kRtp:
+      return rtp ? std::to_string(rtp->payload_type) : "RTP?";
+    case MessageKind::kRtcp:
+      // Compound datagrams are expanded per contained packet by the
+      // metrics layer; the label here names the first packet.
+      return rtcp && !rtcp->packets.empty()
+                 ? std::to_string(rtcp->packets.front().packet_type)
+                 : "RTCP?";
+    case MessageKind::kQuic:
+      if (!quic) return "QUIC?";
+      if (!quic->long_form) return "short";
+      return "long-" +
+             std::to_string(static_cast<int>(quic->long_type));
+  }
+  return "?";
+}
+
+}  // namespace rtcc::dpi

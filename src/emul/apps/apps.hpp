@@ -1,0 +1,69 @@
+// The six application models. Behaviour inventory: DESIGN.md §5.
+#pragma once
+
+#include "emul/app_model.hpp"
+
+namespace rtcc::emul {
+
+/// Zoom (§5.2.1/§5.3): proprietary SFU+media header on every media
+/// datagram, filler-burst bandwidth probes, occasional double-RTP
+/// datagrams, legacy RFC 3489 STUN with undefined attributes, fixed
+/// per-network SSRC sets, 50 compliant RTP payload types, RTCP 200/202.
+class ZoomModel final : public AppModel {
+ public:
+  [[nodiscard]] AppId id() const override { return AppId::kZoom; }
+  void generate(CallContext& ctx) const override;
+};
+
+/// FaceTime (§5.2.1/§5.2.2/§5.3): STUN/TURN+RTP+QUIC (no RTCP);
+/// undefined RTP extension profiles on every RTP message; 0x6000 relay
+/// header; unanswered constant-txid Binding Requests with attr 0x8007;
+/// invalid ALTERNATE-SERVER family + attr 0x8008; Data Indications with
+/// forbidden CHANNEL-NUMBER; padded ChannelData; 0xDEADBEEFCAFE
+/// cellular connectivity checks; compliant QUIC.
+class FaceTimeModel final : public AppModel {
+ public:
+  [[nodiscard]] AppId id() const override { return AppId::kFaceTime; }
+  void generate(CallContext& ctx) const override;
+};
+
+/// WhatsApp (§5.2.1): 0x0801/0x0802 bursts, 0x0800 at call end,
+/// 0x0803-0x0805 custom types, Allocate keep-alive ping-pong, undefined
+/// attr 0x4001 in 0x0101/0x0103; compliant RTP (5 PTs) and RTCP.
+class WhatsAppModel final : public AppModel {
+ public:
+  [[nodiscard]] AppId id() const override { return AppId::kWhatsApp; }
+  void generate(CallContext& ctx) const override;
+};
+
+/// Messenger: richest standard TURN usage (refresh/permission/channel
+/// bind + error responses + ChannelData all compliant) alongside the
+/// WhatsApp-style custom types and keep-alive Allocates.
+class MessengerModel final : public AppModel {
+ public:
+  [[nodiscard]] AppId id() const override { return AppId::kMessenger; }
+  void generate(CallContext& ctx) const override;
+};
+
+/// Discord (§5.2.2/§5.2.3/§5.3): RTP+RTCP only, always relay; ID=0
+/// extension elements with payloads, undefined extension profiles on
+/// PT 120, proprietary 3-byte RTCP trailer with a direction byte,
+/// SSRC=0 in a quarter of its transport feedback.
+class DiscordModel final : public AppModel {
+ public:
+  [[nodiscard]] AppId id() const override { return AppId::kDiscord; }
+  void generate(CallContext& ctx) const override;
+};
+
+/// Google Meet (§5.2.3): broad compliant STUN/TURN usage including the
+/// extension types 0x0200/0x0300 and ChannelData-framed media; Allocate
+/// keep-alive is its only STUN violation; SRTCP with the auth tag
+/// missing on most relay-Wi-Fi messages; DTLS handshake datagrams show
+/// up as fully proprietary.
+class GoogleMeetModel final : public AppModel {
+ public:
+  [[nodiscard]] AppId id() const override { return AppId::kGoogleMeet; }
+  void generate(CallContext& ctx) const override;
+};
+
+}  // namespace rtcc::emul

@@ -1,0 +1,199 @@
+#include "emul/apps/apps.hpp"
+#include "emul/media_util.hpp"
+
+namespace rtcc::emul {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::ByteWriter;
+
+namespace rtp = rtcc::proto::rtp;
+namespace rtcp = rtcc::proto::rtcp;
+
+namespace {
+
+/// §5.2.2: 4.91% of RTP messages carry a one-byte-form extension whose
+/// element has ID=0 but a non-zero length; the rest use a well-formed
+/// 0xBEDE extension. 2.58% of PT-120 messages instead use an undefined
+/// extension profile drawn from 0x0084-0xFBD2.
+void discord_decorate(rtp::PacketBuilder& b, rtcc::util::Rng& rng,
+                      bool allow_undefined_profile) {
+  if (allow_undefined_profile && rng.chance(0.0258)) {
+    const auto profile = static_cast<std::uint16_t>(
+        0x0084 + rng.below(0xFBD2 - 0x0084));
+    b.raw_extension(profile, BytesView{rng.bytes(8)});
+    return;
+  }
+  if (rng.chance(0.0491)) {
+    b.one_byte_extension();
+    auto payload = rng.bytes(3);
+    b.malformed_id0_element(BytesView{payload});
+    return;
+  }
+  b.one_byte_extension();
+  auto audio_level = rng.bytes(1);
+  b.element(1, BytesView{audio_level});
+}
+
+/// §5.2.3/§5.3: every Discord RTCP message ends with a 3-byte trailer —
+/// a 2-byte monotonic counter and a direction byte (0x80 client→server,
+/// 0x00 server→client). Bodies are encrypted with a proprietary scheme
+/// (headers and SSRC stay in the clear).
+Bytes discord_rtcp(rtcc::util::Rng& rng, std::uint8_t packet_type,
+                   std::uint32_t ssrc, std::uint16_t counter,
+                   bool to_server) {
+  rtcp::Packet p;
+  p.packet_type = packet_type;
+  ByteWriter body;
+  body.u32(ssrc);
+  switch (packet_type) {
+    case rtcp::kSenderReport:
+      p.count = 0;
+      body.raw(BytesView{rng.bytes(20)});  // encrypted sender info
+      break;
+    case rtcp::kReceiverReport:
+      p.count = 0;
+      break;
+    case rtcp::kApp:
+      p.count = 1;
+      body.str("disc");
+      body.raw(BytesView{rng.bytes(8)});
+      break;
+    case rtcp::kRtpFeedback:
+      p.count = 15;  // transport-cc
+      body.u32(rng.next_u32());  // media ssrc
+      body.raw(BytesView{rng.bytes(12)});  // encrypted FCI
+      break;
+    case rtcp::kPayloadFeedback:
+      p.count = 1;  // PLI
+      body.u32(rng.next_u32());
+      break;
+    default:
+      break;
+  }
+  p.body = std::move(body).take();
+  p.length_words = static_cast<std::uint16_t>(p.body.size() / 4);
+
+  Bytes wire = rtcp::encode_packet(p);
+  wire.push_back(static_cast<std::uint8_t>(counter >> 8));
+  wire.push_back(static_cast<std::uint8_t>(counter));
+  wire.push_back(to_server ? 0x80 : 0x00);
+  return wire;
+}
+
+}  // namespace
+
+void DiscordModel::generate(CallContext& ctx) const {
+  auto& rng = ctx.rng();
+  const auto& ep = ctx.ep();
+  // Discord always relays media and never uses STUN (§4.1.3).
+  const MediaPath media = media_path(ctx, TransmissionMode::kRelay,
+                                     ctx.ephemeral_port(),
+                                     ctx.ephemeral_port(), 50001);
+  const double t0 = ctx.call_start() + 0.7;
+  const double t1 = ctx.call_end() - 0.2;
+
+  const std::uint32_t audio_ssrc_a = rng.next_u32();
+  const std::uint32_t audio_ssrc_b = rng.next_u32();
+  const std::uint32_t video_ssrc_a = rng.next_u32();
+  const std::uint32_t video_ssrc_b = rng.next_u32();
+
+  // ---- RTP ----
+  auto audio_decorate = [](rtp::PacketBuilder& b, rtcc::util::Rng& r,
+                           std::size_t) { discord_decorate(b, r, true); };
+  auto video_decorate = [](rtp::PacketBuilder& b, rtcc::util::Rng& r,
+                           std::size_t) { discord_decorate(b, r, false); };
+  {
+    RtpLeg leg;  // audio: PT 120, the one with undefined profiles
+    leg.src = media.a;
+    leg.sport = media.a_port;
+    leg.dst = media.b;
+    leg.dport = media.b_port;
+    leg.ssrc = audio_ssrc_a;
+    leg.payload_type = 120;
+    leg.pps = 50;
+    leg.payload_size = 160;
+    leg.decorate = audio_decorate;
+    emit_rtp_leg(ctx, leg, t0, t1);
+    leg.src = media.b;
+    leg.sport = media.b_port;
+    leg.dst = media.a;
+    leg.dport = media.a_port;
+    leg.ssrc = audio_ssrc_b;
+    emit_rtp_leg(ctx, leg, t0, t1);
+  }
+  {
+    RtpLeg leg;  // video: PT 101
+    leg.src = media.a;
+    leg.sport = media.a_port;
+    leg.dst = media.b;
+    leg.dport = media.b_port;
+    leg.ssrc = video_ssrc_a;
+    leg.payload_type = 101;
+    leg.pps = 110;
+    leg.payload_size = 1000;
+    leg.decorate = video_decorate;
+    emit_rtp_leg(ctx, leg, t0, t1);
+    leg.src = media.b;
+    leg.sport = media.b_port;
+    leg.dst = media.a;
+    leg.dport = media.a_port;
+    leg.ssrc = video_ssrc_b;
+    emit_rtp_leg(ctx, leg, t0, t1);
+  }
+  // Probe payload types 102 / 96 with the same extension habits.
+  {
+    std::uint16_t seq = rng.next_u16();
+    double t = t0 + 4.0;
+    for (std::uint8_t pt : {std::uint8_t{102}, std::uint8_t{96}}) {
+      for (int i = 0; i < 30; ++i) {
+        rtp::PacketBuilder b;
+        b.payload_type(pt).seq(seq++).timestamp(rng.next_u32()).ssrc(
+            video_ssrc_a);
+        b.payload(BytesView{rng.bytes(300)});
+        // Guarantee at least some ID=0 violations per probe type.
+        if (i % 10 == 0) {
+          b.one_byte_extension();
+          auto payload = rng.bytes(2);
+          b.malformed_id0_element(BytesView{payload});
+        } else {
+          discord_decorate(b, rng, false);
+        }
+        Bytes wire = b.build();
+        ctx.emit_udp(t, media.a, media.a_port, media.b, media.b_port,
+                     BytesView{wire}, TruthKind::kRtc);
+        t += 1.7;
+      }
+    }
+  }
+
+  // ---- RTCP with the proprietary trailer ----
+  {
+    const std::uint8_t kTypes[] = {rtcp::kSenderReport, rtcp::kReceiverReport,
+                                   rtcp::kApp, rtcp::kRtpFeedback,
+                                   rtcp::kPayloadFeedback};
+    std::uint16_t counter_up = 1, counter_down = 1;
+    std::size_t rotate = 0;
+    for (double t :
+         packet_times(rng, t0, t1, 10.0, ctx.config().media_scale)) {
+      const std::uint8_t pt = kTypes[rotate++ % 5];
+      // §5.3: SSRC=0 in ~25% of transport feedback (205) messages.
+      std::uint32_t ssrc = audio_ssrc_a;
+      if (pt == rtcp::kRtpFeedback && rng.chance(0.25)) ssrc = 0;
+      Bytes up = discord_rtcp(rng, pt, ssrc, counter_up++, true);
+      ctx.emit_udp(t, media.a, media.a_port, media.b, media.b_port,
+                   BytesView{up}, TruthKind::kRtc);
+      const std::uint8_t down_pt = kTypes[rotate % 5];
+      std::uint32_t down_ssrc = audio_ssrc_b;
+      if (down_pt == rtcp::kRtpFeedback && rng.chance(0.25)) down_ssrc = 0;
+      Bytes down = discord_rtcp(rng, down_pt, down_ssrc,
+                                counter_down++, false);
+      ctx.emit_udp(t + 0.05, media.b, media.b_port, media.a, media.a_port,
+                   BytesView{down}, TruthKind::kRtc);
+    }
+  }
+
+  emit_signaling_tcp(ctx, ep.launch_server, "gateway.discord.example", 30.0);
+}
+
+}  // namespace rtcc::emul

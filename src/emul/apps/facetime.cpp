@@ -1,0 +1,280 @@
+#include <algorithm>
+
+#include "emul/apps/apps.hpp"
+#include "emul/media_util.hpp"
+#include "proto/quic/quic.hpp"
+
+namespace rtcc::emul {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::ByteWriter;
+
+namespace rtp = rtcc::proto::rtp;
+namespace stun = rtcc::proto::stun;
+namespace quic = rtcc::proto::quic;
+
+namespace {
+
+/// §5.3: relay-mode proprietary header — fixed 0x6000, then a 2-byte
+/// length covering the rest of the header plus the embedded message,
+/// then 4-15 opaque bytes (total header 8-19 bytes).
+Bytes facetime_header(rtcc::util::Rng& rng, std::size_t message_len) {
+  const std::size_t extra = 4 + rng.below(12);  // header len 8..19
+  ByteWriter w;
+  w.u16(0x6000);
+  w.u16(static_cast<std::uint16_t>(extra + message_len));
+  w.raw(BytesView{rng.bytes(extra)});
+  return std::move(w).take();
+}
+
+/// §5.2.2: every FaceTime RTP message attaches extensions with
+/// undefined profile identifiers.
+void facetime_extension(rtp::PacketBuilder& b, rtcc::util::Rng& rng) {
+  static constexpr std::uint16_t kProfiles[] = {0x8001, 0x8500, 0x8D00};
+  const auto profile = kProfiles[rng.below(3)];
+  b.raw_extension(profile, BytesView{rng.bytes(8)});
+}
+
+/// §5.3: 36-byte fully proprietary cellular connectivity check.
+Bytes deadbeef_probe(std::uint32_t counter_a, std::uint32_t counter_b) {
+  ByteWriter w;
+  w.raw(BytesView{std::array<std::uint8_t, 6>{0xDE, 0xAD, 0xBE, 0xEF, 0xCA,
+                                              0xFE}});
+  w.fill(0, 22);
+  w.u32(counter_a);
+  w.u32(counter_b);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+void FaceTimeModel::generate(CallContext& ctx) const {
+  auto& rng = ctx.rng();
+  const auto& ep = ctx.ep();
+  const TransmissionMode mode = ctx.initial_mode();
+  const bool relay = mode == TransmissionMode::kRelay;
+  const bool cellular = ctx.config().network == NetworkSetup::kCellular;
+  const double t0 = ctx.call_start() + 0.6;
+  const double t1 = ctx.call_end() - 0.2;
+
+  const MediaPath media = media_path(ctx, mode, ctx.ephemeral_port(),
+                                     ctx.ephemeral_port(), 3478);
+
+  // Relay mode: 89.2% of datagrams behind the 0x6000 header; in P2P the
+  // header shows up fewer than 50 times per call (§5.3).
+  const double header_p = relay ? 0.892 : 0.004;
+  auto wrap = [&, header_p](Bytes wire, rtcc::util::Rng& r, std::size_t) {
+    if (!r.chance(header_p)) return wire;
+    Bytes out = facetime_header(r, wire.size());
+    out.insert(out.end(), wire.begin(), wire.end());
+    return out;
+  };
+
+  // ---- RTP: all messages carry undefined extension profiles ----
+  const std::uint32_t video_ssrc_a = rng.next_u32();
+  const std::uint32_t video_ssrc_b = rng.next_u32();
+  const std::uint32_t audio_ssrc_a = rng.next_u32();
+  const std::uint32_t audio_ssrc_b = rng.next_u32();
+  auto decorate = [](rtp::PacketBuilder& b, rtcc::util::Rng& r, std::size_t) {
+    facetime_extension(b, r);
+  };
+  {
+    RtpLeg leg;
+    leg.src = media.a;
+    leg.sport = media.a_port;
+    leg.dst = media.b;
+    leg.dport = media.b_port;
+    leg.ssrc = video_ssrc_a;
+    leg.payload_type = 100;
+    leg.pps = 110;
+    leg.payload_size = 1000;
+    leg.decorate = decorate;
+    leg.wrap = wrap;
+    emit_rtp_leg(ctx, leg, t0, t1);
+    leg.src = media.b;
+    leg.sport = media.b_port;
+    leg.dst = media.a;
+    leg.dport = media.a_port;
+    leg.ssrc = video_ssrc_b;
+    emit_rtp_leg(ctx, leg, t0, t1);
+  }
+  {
+    RtpLeg leg;
+    leg.src = media.a;
+    leg.sport = media.a_port;
+    leg.dst = media.b;
+    leg.dport = media.b_port;
+    leg.ssrc = audio_ssrc_a;
+    leg.payload_type = 104;
+    leg.pps = 50;
+    leg.payload_size = 160;
+    leg.decorate = decorate;
+    leg.wrap = wrap;
+    emit_rtp_leg(ctx, leg, t0, t1);
+    leg.src = media.b;
+    leg.sport = media.b_port;
+    leg.dst = media.a;
+    leg.dport = media.a_port;
+    leg.ssrc = audio_ssrc_b;
+    emit_rtp_leg(ctx, leg, t0, t1);
+  }
+  // Probe payload types 108 / 13 / 20 (Table 5's FaceTime row).
+  {
+    std::uint16_t seq = rng.next_u16();
+    double t = t0 + 3.0;
+    for (std::uint8_t pt : {std::uint8_t{108}, std::uint8_t{13},
+                            std::uint8_t{20}}) {
+      for (int i = 0; i < 10; ++i) {
+        rtp::PacketBuilder b;
+        b.payload_type(pt).seq(seq++).timestamp(rng.next_u32()).ssrc(
+            audio_ssrc_a);
+        b.payload(BytesView{rng.bytes(200)});
+        facetime_extension(b, rng);
+        Bytes wire = wrap(b.build(), rng, 0);
+        ctx.emit_udp(t, media.a, media.a_port, media.b, media.b_port,
+                     BytesView{wire}, TruthKind::kRtc);
+        t += 1.1;
+      }
+    }
+  }
+
+  // ---- STUN (§5.2.1) ----
+  const std::uint16_t stun_sport = ctx.ephemeral_port();
+  {
+    // Repeated Binding Requests with one constant transaction ID, one
+    // per second for a minute, never answered; attr 0x8007 value
+    // depends on network/mode.
+    stun::TransactionId fixed_txid{};
+    for (auto& b : fixed_txid) b = rng.next_u8();
+    std::uint32_t attr_value = 0x00000009;
+    if (mode == TransmissionMode::kP2p)
+      attr_value = cellular ? 0x00000005 : 0x00000000;
+    for (int i = 0; i < 12; ++i) {
+      auto req = stun::MessageBuilder(stun::kBindingRequest)
+                     .transaction_id(fixed_txid)
+                     .attribute_u32(0x8007, attr_value)
+                     .build();
+      ctx.emit_udp(t0 + 5.0 + i, ep.device_a, stun_sport, ep.stun_server,
+                   3478, BytesView{req}, TruthKind::kRtc);
+    }
+    // The always-present 0x00000009 variant rides along in P2P modes.
+    if (mode == TransmissionMode::kP2p) {
+      stun::TransactionId txid2{};
+      for (auto& b : txid2) b = rng.next_u8();
+      for (int i = 0; i < 6; ++i) {
+        auto req = stun::MessageBuilder(stun::kBindingRequest)
+                       .transaction_id(txid2)
+                       .attribute_u32(0x8007, 0x00000009)
+                       .build();
+        ctx.emit_udp(t0 + 90.0 + i, ep.device_a, stun_sport, ep.stun_server,
+                     3478, BytesView{req}, TruthKind::kRtc);
+      }
+    }
+  }
+  {
+    // Answered Binding exchanges: 29.4% of success responses carry the
+    // invalid ALTERNATE-SERVER family plus undefined attr 0x8008.
+    for (int i = 0; i < 10; ++i) {
+      stun::TransactionId txid{};
+      for (auto& b : txid) b = rng.next_u8();
+      auto req = stun::MessageBuilder(stun::kBindingRequest)
+                     .transaction_id(txid)
+                     .attribute_u32(0x8007, 0x00000009)
+                     .build();
+      const double t = t0 + 20.0 + 25.0 * i;
+      ctx.emit_udp(t, ep.device_a, stun_sport, ep.stun_server, 3478,
+                   BytesView{req}, TruthKind::kRtc);
+      stun::MessageBuilder resp(stun::kBindingSuccess);
+      resp.transaction_id(txid);
+      resp.xor_address(stun::attr::kXorMappedAddress, ep.device_a,
+                       stun_sport);
+      if (i < 3) {  // ~29.4%
+        resp.address(stun::attr::kAlternateServer, ep.stun_server, 3478,
+                     /*family_override=*/0x00);
+        resp.attribute(0x8008, BytesView{rng.bytes(16)});
+      }
+      auto wire = resp.build();
+      ctx.emit_udp(t + 0.04, ep.stun_server, 3478, ep.device_a, stun_sport,
+                   BytesView{wire}, TruthKind::kRtc);
+    }
+  }
+
+  if (relay) {
+    // TURN Data Indications with the forbidden CHANNEL-NUMBER attribute
+    // (constant 4-byte zero value), §5.2.1.
+    for (double t : packet_times(rng, t0, t1, 5.0, ctx.config().media_scale)) {
+      stun::MessageBuilder ind(stun::kDataIndication);
+      ind.random_transaction_id(rng);
+      ind.xor_address(stun::attr::kXorPeerAddress, ep.device_b, 4500);
+      ind.attribute(stun::attr::kData, BytesView{rng.bytes(24)});
+      ind.attribute_u32(stun::attr::kChannelNumber, 0x00000000);
+      auto wire = ind.build();
+      ctx.emit_udp(t, ep.relay, 3478, ep.device_a, stun_sport,
+                   BytesView{wire}, TruthKind::kRtc);
+    }
+    // ChannelData padded over UDP (RFC 8656 §12.5 violation).
+    for (double t : packet_times(rng, t0, t1, 6.0, ctx.config().media_scale)) {
+      stun::ChannelData cd;
+      cd.channel_number = 0x4001;
+      cd.data = rng.bytes(21 + rng.below(40) * 2);  // odd → padding needed
+      Bytes wire = stun::encode_channel_data(cd);
+      while (wire.size() % 4 != 0) wire.push_back(0);
+      ctx.emit_udp(t, ep.device_a, stun_sport, ep.relay, 3478,
+                   BytesView{wire}, TruthKind::kRtc);
+    }
+  }
+
+  // ---- QUIC (compliant; long types 0/1/2 + short headers) ----
+  {
+    const std::uint16_t qport = ctx.ephemeral_port();
+    quic::ConnectionId client_cid{rng.bytes(8)};
+    quic::ConnectionId server_cid{rng.bytes(8)};
+    auto emit_quic = [&](double t, bool up, Bytes wire) {
+      if (up) {
+        ctx.emit_udp(t, ep.device_a, qport, ep.relay, 443, BytesView{wire},
+                     TruthKind::kRtc);
+      } else {
+        ctx.emit_udp(t, ep.relay, 443, ep.device_a, qport, BytesView{wire},
+                     TruthKind::kRtc);
+      }
+    };
+    emit_quic(t0 + 0.1, true,
+              quic::encode_long(quic::LongType::kInitial, quic::kVersion1,
+                                server_cid, client_cid,
+                                BytesView{rng.bytes(1100)}));
+    emit_quic(t0 + 0.15, false,
+              quic::encode_long(quic::LongType::kInitial, quic::kVersion1,
+                                client_cid, server_cid,
+                                BytesView{rng.bytes(150)}));
+    emit_quic(t0 + 0.2, true,
+              quic::encode_long(quic::LongType::kHandshake, quic::kVersion1,
+                                server_cid, client_cid,
+                                BytesView{rng.bytes(300)}));
+    emit_quic(t0 + 0.22, false,
+              quic::encode_long(quic::LongType::kZeroRtt, quic::kVersion1,
+                                client_cid, server_cid,
+                                BytesView{rng.bytes(200)}));
+    for (int i = 0; i < 8; ++i) {
+      emit_quic(t0 + 1.0 + 2.5 * i, i % 2 == 0,
+                quic::encode_short(i % 2 == 0 ? server_cid : client_cid,
+                                   BytesView{rng.bytes(120)}));
+    }
+  }
+
+  // ---- Fully proprietary connectivity checks (cellular-heavy) ----
+  {
+    const double pps = cellular ? 20.0 : 0.12;
+    std::uint32_t ca = 1, cb = 100;
+    for (double t : packet_times(rng, t0, t1, pps,
+                                 cellular ? ctx.config().media_scale : 1.0)) {
+      Bytes wire = deadbeef_probe(ca++, cb += 2);
+      ctx.emit_udp(t, media.a, media.a_port, media.b, media.b_port,
+                   BytesView{wire}, TruthKind::kRtc);
+    }
+  }
+
+  emit_signaling_tcp(ctx, ep.launch_server, "facetime.example.net", 25.0);
+}
+
+}  // namespace rtcc::emul

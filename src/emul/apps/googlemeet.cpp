@@ -1,0 +1,368 @@
+#include "crypto/md5.hpp"
+#include "emul/apps/apps.hpp"
+#include "emul/media_util.hpp"
+#include "proto/srtp/srtcp.hpp"
+
+namespace rtcc::emul {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::ByteWriter;
+
+namespace rtp = rtcc::proto::rtp;
+namespace rtcp = rtcc::proto::rtcp;
+namespace stun = rtcc::proto::stun;
+namespace srtp = rtcc::proto::srtp;
+
+namespace {
+
+stun::TransactionId random_txid(rtcc::util::Rng& rng) {
+  stun::TransactionId id{};
+  for (auto& b : id) b = rng.next_u8();
+  return id;
+}
+
+/// One SRTCP message: a single clear RTCP header (+SSRC) over an
+/// encrypted body, with the RFC 3711 trailer. `with_tag` false models
+/// the Google Meet relay-Wi-Fi violation (§5.2.3): only the 4-byte
+/// E-flag+index, no authentication tag.
+Bytes srtcp_message(rtcc::util::Rng& rng, std::uint8_t packet_type,
+                    std::uint32_t ssrc, std::uint32_t index, bool with_tag) {
+  rtcp::Packet p;
+  p.packet_type = packet_type;
+  p.count = 0;
+  ByteWriter body;
+  body.u32(ssrc);
+  // Sized so the (encrypted) body is structurally plausible for the
+  // declared type; values are opaque ciphertext.
+  std::size_t extra = 8;
+  if (packet_type == rtcp::kSenderReport) extra = 20;
+  if (packet_type == rtcp::kRtpFeedback ||
+      packet_type == rtcp::kPayloadFeedback)
+    extra = 12;
+  body.raw(BytesView{rng.bytes(extra)});
+  p.body = std::move(body).take();
+  p.length_words = static_cast<std::uint16_t>(p.body.size() / 4);
+
+  srtp::SrtcpTrailer trailer;
+  trailer.encrypted_flag = true;
+  trailer.index = index;
+  if (with_tag) trailer.auth_tag = rng.bytes(srtp::kDefaultAuthTagSize);
+  return srtp::append_trailer(BytesView{rtcp::encode_packet(p)}, trailer);
+}
+
+/// DTLS-SRTP handshake datagram — a real protocol, but not one of the
+/// five RTC protocols, so the DPI classifies it fully proprietary
+/// (exactly what the paper's framework would do).
+Bytes dtls_datagram(rtcc::util::Rng& rng, std::uint8_t handshake_type) {
+  ByteWriter w;
+  w.u8(0x16);        // handshake
+  w.u16(0xFEFD);     // DTLS 1.2
+  w.u16(0);          // epoch
+  w.raw(BytesView{rng.bytes(6)});  // sequence number
+  const auto body = rng.bytes(120);
+  w.u16(static_cast<std::uint16_t>(body.size() + 1));
+  w.u8(handshake_type);
+  w.raw(BytesView{body});
+  return std::move(w).take();
+}
+
+}  // namespace
+
+void GoogleMeetModel::generate(CallContext& ctx) const {
+  auto& rng = ctx.rng();
+  const auto& ep = ctx.ep();
+  const double t0 = ctx.call_start() + 0.5;
+  const double t1 = ctx.call_end() - 0.2;
+  const std::uint16_t sport = ctx.ephemeral_port();
+  const bool relay_wifi = ctx.config().network == NetworkSetup::kWifiRelay;
+
+  auto send_up = [&](double t, const Bytes& wire) {
+    ctx.emit_udp(t, ep.device_a, sport, ep.relay, 3478, BytesView{wire},
+                 TruthKind::kRtc);
+  };
+  auto send_down = [&](double t, const Bytes& wire) {
+    ctx.emit_udp(t, ep.relay, 3478, ep.device_a, sport, BytesView{wire},
+                 TruthKind::kRtc);
+  };
+
+  // ---- STUN/TURN: broad and almost fully compliant ----
+  // Allocate challenge dance (0x0003 → 0x0113 → 0x0003 → 0x0103).
+  {
+    const auto txid1 = random_txid(rng);
+    auto req1 = stun::MessageBuilder(stun::kAllocateRequest)
+                    .transaction_id(txid1)
+                    .attribute_u32(stun::attr::kRequestedTransport,
+                                   0x11000000)
+                    .build();
+    send_up(t0, req1);
+    ByteWriter err;
+    err.u16(0).u8(4).u8(1);
+    err.str("Unauthorized");
+    auto resp1 = stun::MessageBuilder(stun::kAllocateError)
+                     .transaction_id(txid1)
+                     .attribute(stun::attr::kErrorCode, err.view())
+                     .attribute_str(stun::attr::kRealm, "meet.example")
+                     .attribute_str(stun::attr::kNonce, "abcdef012345")
+                     .build();
+    send_down(t0 + 0.03, resp1);
+
+    const auto txid2 = random_txid(rng);
+    const auto key =
+        rtcc::crypto::stun_long_term_key("meet", "meet.example", "pw");
+    auto req2 = stun::MessageBuilder(stun::kAllocateRequest)
+                    .transaction_id(txid2)
+                    .attribute_u32(stun::attr::kRequestedTransport,
+                                   0x11000000)
+                    .attribute_str(stun::attr::kUsername, "meet")
+                    .attribute_str(stun::attr::kRealm, "meet.example")
+                    .attribute_str(stun::attr::kNonce, "abcdef012345")
+                    .message_integrity(BytesView{key})
+                    .build();
+    send_up(t0 + 0.06, req2);
+    stun::MessageBuilder ok(stun::kAllocateSuccess);
+    ok.transaction_id(txid2);
+    ok.xor_address(stun::attr::kXorRelayedAddress, ep.relay, 51000);
+    ok.xor_address(stun::attr::kXorMappedAddress, ep.device_a, sport);
+    ok.attribute_u32(stun::attr::kLifetime, 600);
+    send_down(t0 + 0.09, ok.build());
+  }
+
+  // Allocate keep-alive ping-pong — Google Meet's only STUN violation.
+  for (double t = t0 + 20.0; t < t1; t += 20.0) {
+    const auto txid = random_txid(rng);
+    auto req = stun::MessageBuilder(stun::kAllocateRequest)
+                   .transaction_id(txid)
+                   .attribute_u32(stun::attr::kRequestedTransport,
+                                  0x11000000)
+                   .build();
+    send_up(t, req);
+    stun::MessageBuilder ok(stun::kAllocateSuccess);
+    ok.transaction_id(txid);
+    ok.xor_address(stun::attr::kXorRelayedAddress, ep.relay, 51000);
+    ok.attribute_u32(stun::attr::kLifetime, 600);
+    send_down(t + 0.03, ok.build());
+  }
+
+  // Refresh / CreatePermission / ChannelBind (all compliant).
+  for (double t = t0 + 60.0; t < t1; t += 60.0) {
+    const auto txid = random_txid(rng);
+    auto req = stun::MessageBuilder(stun::kRefreshRequest)
+                   .transaction_id(txid)
+                   .attribute_u32(stun::attr::kLifetime, 600)
+                   .build();
+    send_up(t, req);
+    auto ok = stun::MessageBuilder(stun::kRefreshSuccess)
+                  .transaction_id(txid)
+                  .attribute_u32(stun::attr::kLifetime, 600)
+                  .build();
+    send_down(t + 0.03, ok);
+  }
+  {
+    const auto txid = random_txid(rng);
+    stun::MessageBuilder req(stun::kCreatePermissionRequest);
+    req.transaction_id(txid);
+    req.xor_address(stun::attr::kXorPeerAddress, ep.device_b, 4500);
+    send_up(t0 + 1.0, req.build());
+    send_down(t0 + 1.03, stun::MessageBuilder(stun::kCreatePermissionSuccess)
+                             .transaction_id(txid)
+                             .build());
+    const auto txid2 = random_txid(rng);
+    stun::MessageBuilder bind(stun::kChannelBindRequest);
+    bind.transaction_id(txid2);
+    bind.attribute_u32(stun::attr::kChannelNumber, 0x40020000);
+    bind.xor_address(stun::attr::kXorPeerAddress, ep.device_b, 4500);
+    send_up(t0 + 1.5, bind.build());
+    send_down(t0 + 1.53, stun::MessageBuilder(stun::kChannelBindSuccess)
+                             .transaction_id(txid2)
+                             .build());
+  }
+
+  // Send/Data indications (compliant).
+  for (double t : packet_times(rng, t0 + 2.0, t1, 4.0, ctx.config().media_scale)) {
+    stun::MessageBuilder send_ind(stun::kSendIndication);
+    send_ind.random_transaction_id(rng);
+    send_ind.xor_address(stun::attr::kXorPeerAddress, ep.device_b, 4500);
+    send_ind.attribute(stun::attr::kData, BytesView{rng.bytes(36)});
+    send_up(t, send_ind.build());
+    stun::MessageBuilder data_ind(stun::kDataIndication);
+    data_ind.random_transaction_id(rng);
+    data_ind.xor_address(stun::attr::kXorPeerAddress, ep.device_b, 4500);
+    data_ind.attribute(stun::attr::kData, BytesView{rng.bytes(36)});
+    send_down(t + 0.04, data_ind.build());
+  }
+
+  // ICE connectivity checks with MESSAGE-INTEGRITY + FINGERPRINT.
+  const auto ice_key =
+      rtcc::crypto::stun_long_term_key("ice", "meet.example", "pwd");
+  for (double t = t0 + 1.0; t < t1; t += 5.0) {
+    const auto txid = random_txid(rng);
+    auto req = stun::MessageBuilder(stun::kBindingRequest)
+                   .transaction_id(txid)
+                   .attribute_str(stun::attr::kUsername, "meetA:meetB")
+                   .attribute_u32(stun::attr::kPriority, 0x7E0000FF)
+                   .message_integrity(BytesView{ice_key})
+                   .fingerprint()
+                   .build();
+    ctx.emit_udp(t, ep.device_a, sport, ep.device_b, sport, BytesView{req},
+                 TruthKind::kRtc);
+    auto resp = stun::MessageBuilder(stun::kBindingSuccess)
+                    .transaction_id(txid)
+                    .xor_address(stun::attr::kXorMappedAddress, ep.device_a,
+                                 sport)
+                    .message_integrity(BytesView{ice_key})
+                    .fingerprint()
+                    .build();
+    ctx.emit_udp(t + 0.02, ep.device_b, sport, ep.device_a, sport,
+                 BytesView{resp}, TruthKind::kRtc);
+  }
+
+  // GOOG-PING extension exchanges (types 0x0200/0x0300; the paper's
+  // ground truth counts them compliant — SpecSource::kExtension).
+  for (double t = t0 + 2.5; t < t1; t += 4.0) {
+    const auto txid = random_txid(rng);
+    auto ping = stun::MessageBuilder(0x0200).transaction_id(txid).build();
+    ctx.emit_udp(t, ep.device_a, sport, ep.device_b, sport, BytesView{ping},
+                 TruthKind::kRtc);
+    auto pong = stun::MessageBuilder(0x0300).transaction_id(txid).build();
+    ctx.emit_udp(t + 0.02, ep.device_b, sport, ep.device_a, sport,
+                 BytesView{pong}, TruthKind::kRtc);
+  }
+
+  // ---- DTLS-SRTP handshake → fully-proprietary datagrams (§4.1.2) ----
+  {
+    const std::uint16_t dport = ctx.ephemeral_port();
+    double t = t0 + 0.2;
+    for (int round = 0; round < 30; ++round) {
+      Bytes up = dtls_datagram(rng, round % 2 ? 11 : 1);
+      ctx.emit_udp(t, ep.device_a, dport, ep.device_b, dport, BytesView{up},
+                   TruthKind::kRtc);
+      Bytes down = dtls_datagram(rng, round % 2 ? 14 : 2);
+      ctx.emit_udp(t + 0.03, ep.device_b, dport, ep.device_a, dport,
+                   BytesView{down}, TruthKind::kRtc);
+      t += round < 4 ? 0.1 : 10.0;  // handshake burst, then re-keying
+    }
+  }
+
+  // ---- Media ----
+  const std::uint32_t ssrc_audio_a = rng.next_u32();
+  const std::uint32_t ssrc_audio_b = rng.next_u32();
+  const std::uint32_t ssrc_video_a = rng.next_u32();
+  const std::uint32_t ssrc_video_b = rng.next_u32();
+
+  struct Phase {
+    double start, end;
+    TransmissionMode mode;
+  };
+  std::vector<Phase> phases;
+  if (ctx.config().network == NetworkSetup::kCellular) {
+    phases = {{t0, t0 + 30.0, TransmissionMode::kRelay},
+              {t0 + 30.0, t1, TransmissionMode::kP2p}};
+  } else {
+    phases = {{t0, t1, ctx.initial_mode()}};
+  }
+
+  for (const Phase& phase : phases) {
+    const bool relayed = phase.mode == TransmissionMode::kRelay;
+    const MediaPath media = media_path(ctx, phase.mode, ctx.ephemeral_port(),
+                                       ctx.ephemeral_port(), 19305);
+
+    // In relay mode roughly half the video rides inside TURN
+    // ChannelData framing — this is what pushes Meet's STUN/TURN share
+    // toward 19.8% (Table 2).
+    auto channel_wrap = [relayed](Bytes wire, rtcc::util::Rng& r,
+                                  std::size_t) {
+      if (!relayed || !r.chance(0.65)) return wire;
+      stun::ChannelData cd;
+      cd.channel_number = 0x4002;
+      cd.data = std::move(wire);
+      return stun::encode_channel_data(cd);
+    };
+
+    {
+      RtpLeg leg;  // audio PT 111 (Opus)
+      leg.src = media.a;
+      leg.sport = media.a_port;
+      leg.dst = media.b;
+      leg.dport = media.b_port;
+      leg.ssrc = ssrc_audio_a;
+      leg.payload_type = 111;
+      leg.pps = 50;
+      leg.payload_size = 160;
+      emit_rtp_leg(ctx, leg, phase.start, phase.end);
+      leg.src = media.b;
+      leg.sport = media.b_port;
+      leg.dst = media.a;
+      leg.dport = media.a_port;
+      leg.ssrc = ssrc_audio_b;
+      emit_rtp_leg(ctx, leg, phase.start, phase.end);
+    }
+    {
+      RtpLeg leg;  // video PT 96 (VP8), partially ChannelData-framed
+      leg.src = media.a;
+      leg.sport = media.a_port;
+      leg.dst = media.b;
+      leg.dport = media.b_port;
+      leg.ssrc = ssrc_video_a;
+      leg.payload_type = 96;
+      leg.pps = 110;
+      leg.payload_size = 1000;
+      leg.wrap = channel_wrap;
+      emit_rtp_leg(ctx, leg, phase.start, phase.end);
+      leg.src = media.b;
+      leg.sport = media.b_port;
+      leg.dst = media.a;
+      leg.dport = media.a_port;
+      leg.ssrc = ssrc_video_b;
+      emit_rtp_leg(ctx, leg, phase.start, phase.end);
+    }
+    // Probe PTs (Table 5's Meet row): 100,103,104,109,114,35,36,63,97.
+    {
+      std::uint16_t seq = rng.next_u16();
+      double t = phase.start + 2.0;
+      for (std::uint8_t pt : {std::uint8_t{100}, std::uint8_t{103},
+                              std::uint8_t{104}, std::uint8_t{109},
+                              std::uint8_t{114}, std::uint8_t{35},
+                              std::uint8_t{36}, std::uint8_t{63},
+                              std::uint8_t{97}}) {
+        for (int i = 0; i < 6 && t < phase.end; ++i) {
+          rtp::PacketBuilder b;
+          b.payload_type(pt).seq(seq++).timestamp(rng.next_u32()).ssrc(
+              ssrc_audio_a);
+          b.payload(BytesView{rng.bytes(200)});
+          auto wire = b.build();
+          ctx.emit_udp(t, media.a, media.a_port, media.b, media.b_port,
+                       BytesView{wire}, TruthKind::kRtc);
+          t += 1.9;
+        }
+      }
+    }
+
+    // SRTCP: full 14-byte trailer in P2P/cellular; in relay-Wi-Fi most
+    // messages miss the auth tag (§5.2.3). All of 200-207 rotate
+    // through the clear first-packet slot.
+    {
+      const std::uint8_t kTypes[] = {200, 201, 202, 204, 205, 206, 207};
+      std::uint32_t index_up = 1, index_down = 1;
+      std::size_t rotate = 0;
+      for (double t : packet_times(rng, phase.start, phase.end, 7.0,
+                                   ctx.config().media_scale)) {
+        const bool tag_up = relay_wifi ? rng.chance(0.1) : true;
+        Bytes up = srtcp_message(rng, kTypes[rotate % 7], ssrc_audio_a,
+                                 index_up++, tag_up);
+        ctx.emit_udp(t, media.a, media.a_port, media.b, media.b_port,
+                     BytesView{up}, TruthKind::kRtc);
+        const bool tag_down = relay_wifi ? rng.chance(0.1) : true;
+        Bytes down = srtcp_message(rng, kTypes[(rotate + 3) % 7],
+                                   ssrc_audio_b, index_down++, tag_down);
+        ctx.emit_udp(t + 0.06, media.b, media.b_port, media.a, media.a_port,
+                     BytesView{down}, TruthKind::kRtc);
+        ++rotate;
+      }
+    }
+  }
+
+  emit_signaling_tcp(ctx, ep.launch_server, "meetings.meet.example", 20.0);
+}
+
+}  // namespace rtcc::emul

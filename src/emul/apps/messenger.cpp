@@ -1,0 +1,328 @@
+#include "crypto/md5.hpp"
+#include "emul/apps/apps.hpp"
+#include "emul/media_util.hpp"
+
+namespace rtcc::emul {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+
+namespace rtp = rtcc::proto::rtp;
+namespace rtcp = rtcc::proto::rtcp;
+namespace stun = rtcc::proto::stun;
+
+namespace {
+
+stun::TransactionId random_txid(rtcc::util::Rng& rng) {
+  stun::TransactionId id{};
+  for (auto& b : id) b = rng.next_u8();
+  return id;
+}
+
+}  // namespace
+
+void MessengerModel::generate(CallContext& ctx) const {
+  auto& rng = ctx.rng();
+  const auto& ep = ctx.ep();
+  const double t0 = ctx.call_start() + 0.5;
+  const double t1 = ctx.call_end() - 0.2;
+  const std::uint16_t sport = ctx.ephemeral_port();
+
+  auto send_up = [&](double t, const Bytes& wire) {
+    ctx.emit_udp(t, ep.device_a, sport, ep.relay, 3478, BytesView{wire},
+                 TruthKind::kRtc);
+  };
+  auto send_down = [&](double t, const Bytes& wire) {
+    ctx.emit_udp(t, ep.relay, 3478, ep.device_a, sport, BytesView{wire},
+                 TruthKind::kRtc);
+  };
+
+  // ---- TURN control plane: the full, mostly-compliant dance ----
+  // Allocate with long-term-credential challenge: request → 401 error
+  // (0x0113) → authenticated request → success (0x0103, which Messenger
+  // taints with its undefined attribute 0x4001).
+  {
+    const auto txid1 = random_txid(rng);
+    auto req1 = stun::MessageBuilder(stun::kAllocateRequest)
+                    .transaction_id(txid1)
+                    .attribute_u32(stun::attr::kRequestedTransport,
+                                   0x11000000)
+                    .build();
+    send_up(t0, req1);
+    rtcc::util::ByteWriter err;
+    err.u16(0).u8(4).u8(1);  // class 4, number 01 → 401
+    err.str("Unauthorized");
+    auto resp1 = stun::MessageBuilder(stun::kAllocateError)
+                     .transaction_id(txid1)
+                     .attribute(stun::attr::kErrorCode, err.view())
+                     .attribute_str(stun::attr::kRealm, "fb.example")
+                     .attribute_str(stun::attr::kNonce, "n0nce12345")
+                     .build();
+    send_down(t0 + 0.03, resp1);
+
+    const auto txid2 = random_txid(rng);
+    const auto key =
+        rtcc::crypto::stun_long_term_key("msgr", "fb.example", "s3cret");
+    auto req2 = stun::MessageBuilder(stun::kAllocateRequest)
+                    .transaction_id(txid2)
+                    .attribute_u32(stun::attr::kRequestedTransport,
+                                   0x11000000)
+                    .attribute_str(stun::attr::kUsername, "msgr")
+                    .attribute_str(stun::attr::kRealm, "fb.example")
+                    .attribute_str(stun::attr::kNonce, "n0nce12345")
+                    .message_integrity(BytesView{key})
+                    .build();
+    send_up(t0 + 0.06, req2);
+    stun::MessageBuilder ok(stun::kAllocateSuccess);
+    ok.transaction_id(txid2);
+    ok.xor_address(stun::attr::kXorRelayedAddress, ep.relay, 50240);
+    ok.attribute_u32(stun::attr::kLifetime, 600);
+    ok.attribute(0x4001, BytesView{rng.bytes(4)});
+    send_down(t0 + 0.09, ok.build());
+  }
+
+  // Periodic Allocate keep-alive (the paper's criterion-5 example).
+  for (double t = t0 + 15.0; t < t1; t += 15.0) {
+    const auto txid = random_txid(rng);
+    auto req = stun::MessageBuilder(stun::kAllocateRequest)
+                   .transaction_id(txid)
+                   .attribute_u32(stun::attr::kRequestedTransport,
+                                  0x11000000)
+                   .build();
+    send_up(t, req);
+    stun::MessageBuilder ok(stun::kAllocateSuccess);
+    ok.transaction_id(txid);
+    ok.xor_address(stun::attr::kXorRelayedAddress, ep.relay, 50240);
+    ok.attribute_u32(stun::attr::kLifetime, 600);
+    ok.attribute(0x4001, BytesView{rng.bytes(4)});
+    send_down(t + 0.03, ok.build());
+  }
+
+  // Refresh every 60 s (0x0004/0x0104, compliant).
+  for (double t = t0 + 60.0; t < t1; t += 60.0) {
+    const auto txid = random_txid(rng);
+    auto req = stun::MessageBuilder(stun::kRefreshRequest)
+                   .transaction_id(txid)
+                   .attribute_u32(stun::attr::kLifetime, 600)
+                   .build();
+    send_up(t, req);
+    auto ok = stun::MessageBuilder(stun::kRefreshSuccess)
+                  .transaction_id(txid)
+                  .attribute_u32(stun::attr::kLifetime, 600)
+                  .build();
+    send_down(t + 0.03, ok);
+  }
+
+  // CreatePermission (0x0008/0x0108) plus one 403 error (0x0118).
+  for (int i = 0; i < 4; ++i) {
+    const double t = t0 + 1.0 + 70.0 * i;
+    const auto txid = random_txid(rng);
+    auto req = stun::MessageBuilder(stun::kCreatePermissionRequest)
+                   .transaction_id(txid);
+    req.xor_address(stun::attr::kXorPeerAddress, ep.device_b, 4500);
+    send_up(t, req.build());
+    if (i == 3) {
+      rtcc::util::ByteWriter err;
+      err.u16(0).u8(4).u8(3);  // 403
+      err.str("Forbidden");
+      auto resp = stun::MessageBuilder(stun::kCreatePermissionError)
+                      .transaction_id(txid)
+                      .attribute(stun::attr::kErrorCode, err.view())
+                      .build();
+      send_down(t + 0.03, resp);
+    } else {
+      auto resp = stun::MessageBuilder(stun::kCreatePermissionSuccess)
+                      .transaction_id(txid)
+                      .build();
+      send_down(t + 0.03, resp);
+    }
+  }
+
+  // ChannelBind (0x0009/0x0109) — CHANNEL-NUMBER is legal here.
+  {
+    const auto txid = random_txid(rng);
+    stun::MessageBuilder req(stun::kChannelBindRequest);
+    req.transaction_id(txid);
+    req.attribute_u32(stun::attr::kChannelNumber, 0x40010000);
+    req.xor_address(stun::attr::kXorPeerAddress, ep.device_b, 4500);
+    send_up(t0 + 2.0, req.build());
+    auto resp = stun::MessageBuilder(stun::kChannelBindSuccess)
+                    .transaction_id(txid)
+                    .build();
+    send_down(t0 + 2.03, resp);
+  }
+
+  // Send/Data indications (0x0016/0x0017, compliant closed sets).
+  for (double t : packet_times(rng, t0 + 3.0, t1, 8.0, ctx.config().media_scale)) {
+    stun::MessageBuilder send_ind(stun::kSendIndication);
+    send_ind.random_transaction_id(rng);
+    send_ind.xor_address(stun::attr::kXorPeerAddress, ep.device_b, 4500);
+    send_ind.attribute(stun::attr::kData, BytesView{rng.bytes(40)});
+    send_up(t, send_ind.build());
+    stun::MessageBuilder data_ind(stun::kDataIndication);
+    data_ind.random_transaction_id(rng);
+    data_ind.xor_address(stun::attr::kXorPeerAddress, ep.device_b, 4500);
+    data_ind.attribute(stun::attr::kData, BytesView{rng.bytes(40)});
+    send_down(t + 0.04, data_ind.build());
+  }
+
+  // ChannelData messages (compliant: exact fit, no padding needed).
+  for (double t : packet_times(rng, t0 + 3.0, t1, 10.0, ctx.config().media_scale)) {
+    stun::ChannelData cd;
+    cd.channel_number = 0x4001;
+    cd.data = rng.bytes(40 + rng.below(20) * 4);
+    Bytes wire = stun::encode_channel_data(cd);
+    send_up(t, wire);
+  }
+
+  // Binding checks: requests AND responses carry the undefined 0x4001
+  // (both 0x0001 and 0x0101 are non-compliant for Messenger, Table 4).
+  for (double t = t0 + 1.5; t < t1; t += 10.0) {
+    const auto txid = random_txid(rng);
+    auto req = stun::MessageBuilder(stun::kBindingRequest)
+                   .transaction_id(txid)
+                   .attribute_str(stun::attr::kUsername, "fb:caller")
+                   .attribute(0x4001, BytesView{rng.bytes(4)})
+                   .build();
+    ctx.emit_udp(t, ep.device_a, sport, ep.device_b, sport, BytesView{req},
+                 TruthKind::kRtc);
+    stun::MessageBuilder resp(stun::kBindingSuccess);
+    resp.transaction_id(txid);
+    resp.xor_address(stun::attr::kXorMappedAddress, ep.device_a, sport);
+    resp.attribute(0x4001, BytesView{rng.bytes(4)});
+    auto wire = resp.build();
+    ctx.emit_udp(t + 0.02, ep.device_b, sport, ep.device_a, sport,
+                 BytesView{wire}, TruthKind::kRtc);
+  }
+
+  // 0x0801/0x0802 pairs at call start and six 0x0800 at termination.
+  {
+    double t = t0 + 0.02;
+    for (int i = 0; i < 16; ++i) {
+      const auto txid = random_txid(rng);
+      const std::uint8_t ff = 0xFF;
+      stun::MessageBuilder big(0x0801);
+      big.transaction_id(txid);
+      Bytes zeros(460, 0x00);
+      big.attribute(0x4004, BytesView{zeros});
+      big.attribute(0x4003, BytesView{&ff, 1});
+      send_up(t, big.build());
+      stun::MessageBuilder small(0x0802);
+      small.transaction_id(txid);
+      small.attribute(0x4003, BytesView{&ff, 1});
+      send_down(t + 0.00005, small.build());
+      t += 0.000137;
+    }
+    for (int i = 0; i < 6; ++i) {
+      stun::MessageBuilder bye(0x0800);
+      bye.random_transaction_id(rng);
+      bye.attribute(0x4000, BytesView{rng.bytes(8)});
+      bye.xor_address(stun::attr::kXorRelayedAddress, ep.relay, 50240);
+      send_up(t1 - 0.5 + 0.07 * i, bye.build());
+    }
+  }
+
+  // ---- Media: compliant RTP; RTCP-heavy (≈10% of messages) ----
+  const std::uint32_t ssrc_audio_a = rng.next_u32();
+  const std::uint32_t ssrc_audio_b = rng.next_u32();
+  const std::uint32_t ssrc_video_a = rng.next_u32();
+  const std::uint32_t ssrc_video_b = rng.next_u32();
+
+  struct Phase {
+    double start, end;
+    TransmissionMode mode;
+  };
+  std::vector<Phase> phases;
+  if (ctx.config().network == NetworkSetup::kCellular) {
+    phases = {{t0, t0 + 30.0, TransmissionMode::kRelay},
+              {t0 + 30.0, t1, TransmissionMode::kP2p}};
+  } else {
+    phases = {{t0, t1, ctx.initial_mode()}};
+  }
+
+  for (const Phase& phase : phases) {
+    const MediaPath media = media_path(ctx, phase.mode, ctx.ephemeral_port(),
+                                       ctx.ephemeral_port(), 3480);
+    {
+      RtpLeg leg;  // audio PT 101
+      leg.src = media.a;
+      leg.sport = media.a_port;
+      leg.dst = media.b;
+      leg.dport = media.b_port;
+      leg.ssrc = ssrc_audio_a;
+      leg.payload_type = 101;
+      leg.pps = 50;
+      leg.payload_size = 160;
+      emit_rtp_leg(ctx, leg, phase.start, phase.end);
+      leg.src = media.b;
+      leg.sport = media.b_port;
+      leg.dst = media.a;
+      leg.dport = media.a_port;
+      leg.ssrc = ssrc_audio_b;
+      emit_rtp_leg(ctx, leg, phase.start, phase.end);
+    }
+    {
+      RtpLeg leg;  // video PT 97
+      leg.src = media.a;
+      leg.sport = media.a_port;
+      leg.dst = media.b;
+      leg.dport = media.b_port;
+      leg.ssrc = ssrc_video_a;
+      leg.payload_type = 97;
+      leg.pps = 110;
+      leg.payload_size = 1000;
+      emit_rtp_leg(ctx, leg, phase.start, phase.end);
+      leg.src = media.b;
+      leg.sport = media.b_port;
+      leg.dst = media.a;
+      leg.dport = media.a_port;
+      leg.ssrc = ssrc_video_b;
+      emit_rtp_leg(ctx, leg, phase.start, phase.end);
+    }
+    // Probe PTs 98 / 126 / 127.
+    {
+      std::uint16_t seq = rng.next_u16();
+      double t = phase.start + 2.0;
+      for (std::uint8_t pt : {std::uint8_t{98}, std::uint8_t{126},
+                              std::uint8_t{127}}) {
+        for (int i = 0; i < 8 && t < phase.end; ++i) {
+          rtp::PacketBuilder b;
+          b.payload_type(pt).seq(seq++).timestamp(rng.next_u32()).ssrc(
+              ssrc_audio_a);
+          b.payload(BytesView{rng.bytes(200)});
+          auto wire = b.build();
+          ctx.emit_udp(t, media.a, media.a_port, media.b, media.b_port,
+                       BytesView{wire}, TruthKind::kRtc);
+          t += 1.3;
+        }
+      }
+    }
+    // RTCP: heavy (types 200, 201, 205, 206 — no SDES, Table 6).
+    for (double t : packet_times(rng, phase.start, phase.end, 6.0,
+                                 ctx.config().media_scale)) {
+      rtcp::SenderReport sr;
+      sr.sender_ssrc = ssrc_audio_a;
+      sr.ntp_timestamp =
+          (std::uint64_t{rng.next_u32()} << 32) | rng.next_u32();
+      sr.rtp_timestamp = rng.next_u32();
+      sr.packet_count = rng.next_u32() % 100000;
+      sr.octet_count = rng.next_u32() % 10000000;
+      rtcp::Compound c;
+      c.packets.push_back(rtcp::make_sender_report(sr));
+      Bytes wire = rtcp::encode_compound(c);
+      ctx.emit_udp(t, media.a, media.a_port, media.b, media.b_port,
+                   BytesView{wire}, TruthKind::kRtc);
+
+      Bytes fb = make_feedback_compound(
+          rng, ssrc_audio_b, ssrc_video_a,
+          rng.chance(0.5) ? rtcp::kRtpFeedback : rtcp::kPayloadFeedback, 1);
+      ctx.emit_udp(t + 0.1, media.b, media.b_port, media.a, media.a_port,
+                   BytesView{fb}, TruthKind::kRtc);
+    }
+  }
+
+  emit_signaling_tcp(ctx, ep.launch_server, "edge-chat.messenger.example",
+                     20.0);
+}
+
+}  // namespace rtcc::emul

@@ -1,0 +1,232 @@
+#include "emul/apps/apps.hpp"
+#include "emul/media_util.hpp"
+
+namespace rtcc::emul {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+
+namespace rtp = rtcc::proto::rtp;
+namespace rtcp = rtcc::proto::rtcp;
+namespace stun = rtcc::proto::stun;
+
+namespace {
+
+/// One relay/P2P phase of the call: [start, end) with the given path.
+struct Phase {
+  double start, end;
+  TransmissionMode mode;
+};
+
+std::vector<Phase> call_phases(CallContext& ctx, double t0, double t1) {
+  if (ctx.config().network == NetworkSetup::kCellular) {
+    // §3.1.1: relay for the first 30 s, then P2P.
+    return {{t0, t0 + 30.0, TransmissionMode::kRelay},
+            {t0 + 30.0, t1, TransmissionMode::kP2p}};
+  }
+  return {{t0, t1, ctx.initial_mode()}};
+}
+
+}  // namespace
+
+void WhatsAppModel::generate(CallContext& ctx) const {
+  auto& rng = ctx.rng();
+  const auto& ep = ctx.ep();
+  const double t0 = ctx.call_start() + 0.5;
+  const double t1 = ctx.call_end() - 0.2;
+  const std::uint16_t stun_sport = ctx.ephemeral_port();
+
+  // ---- STUN/TURN control plane (§5.2.1) ----
+  // 0x0801/0x0802 burst before the callee joins: 16 pairs in ~2.2 ms.
+  {
+    double t = t0 + 0.05;
+    for (int i = 0; i < 16; ++i) {
+      stun::TransactionId txid{};
+      for (auto& b : txid) b = rng.next_u8();
+      // 0x0801: 500 bytes, attr 0x4004 = long zero run, attr 0x4003=0xFF.
+      stun::MessageBuilder big(0x0801);
+      big.transaction_id(txid);
+      Bytes zeros(460, 0x00);
+      big.attribute(0x4004, BytesView{zeros});
+      const std::uint8_t ff = 0xFF;
+      big.attribute(0x4003, BytesView{&ff, 1});
+      auto big_wire = big.build();
+      ctx.emit_udp(t, ep.device_a, stun_sport, ep.relay, 3478,
+                   BytesView{big_wire}, TruthKind::kRtc);
+      // 0x0802: compact 40-byte reply sharing the transaction ID.
+      stun::MessageBuilder small(0x0802);
+      small.transaction_id(txid);
+      small.attribute(0x4003, BytesView{&ff, 1});
+      small.attribute(0x4006, BytesView{rng.bytes(8)});
+      auto small_wire = small.build();
+      ctx.emit_udp(t + 0.00005, ep.relay, 3478, ep.device_a, stun_sport,
+                   BytesView{small_wire}, TruthKind::kRtc);
+      t += 0.000137;  // ≈2.2 ms for the 16 pairs
+    }
+  }
+
+  // Allocate at setup + periodic Allocate keep-alive ping-pong; every
+  // success response carries the undefined attribute 0x4001.
+  for (double t = t0 + 0.2; t < t1; t += 15.0) {
+    stun::TransactionId txid{};
+    for (auto& b : txid) b = rng.next_u8();
+    auto req = stun::MessageBuilder(stun::kAllocateRequest)
+                   .transaction_id(txid)
+                   .attribute_u32(stun::attr::kRequestedTransport,
+                                  0x11000000)
+                   .build();
+    ctx.emit_udp(t, ep.device_a, stun_sport, ep.relay, 3478, BytesView{req},
+                 TruthKind::kRtc);
+    stun::MessageBuilder resp(stun::kAllocateSuccess);
+    resp.transaction_id(txid);
+    resp.xor_address(stun::attr::kXorRelayedAddress, ep.relay, 49152);
+    resp.xor_address(stun::attr::kXorMappedAddress, ep.device_a, stun_sport);
+    resp.attribute_u32(stun::attr::kLifetime, 600);
+    resp.attribute(0x4001, BytesView{rng.bytes(4)});
+    auto resp_wire = resp.build();
+    ctx.emit_udp(t + 0.03, ep.relay, 3478, ep.device_a, stun_sport,
+                 BytesView{resp_wire}, TruthKind::kRtc);
+  }
+
+  // Binding connectivity checks: requests are compliant (0x0001), but
+  // every success response carries undefined attribute 0x4001 → 0x0101
+  // is a non-compliant type while 0x0001 stays compliant (Table 4).
+  for (double t = t0 + 1.0; t < t1; t += 10.0) {
+    stun::TransactionId txid{};
+    for (auto& b : txid) b = rng.next_u8();
+    auto req = stun::MessageBuilder(stun::kBindingRequest)
+                   .transaction_id(txid)
+                   .attribute_str(stun::attr::kUsername, "wa:caller")
+                   .attribute_u32(stun::attr::kPriority, 0x6E7F00FF)
+                   .build();
+    ctx.emit_udp(t, ep.device_a, stun_sport, ep.device_b, stun_sport,
+                 BytesView{req}, TruthKind::kRtc);
+    stun::MessageBuilder resp(stun::kBindingSuccess);
+    resp.transaction_id(txid);
+    resp.xor_address(stun::attr::kXorMappedAddress, ep.device_a, stun_sport);
+    resp.attribute(0x4001, BytesView{rng.bytes(4)});
+    auto resp_wire = resp.build();
+    ctx.emit_udp(t + 0.02, ep.device_b, stun_sport, ep.device_a, stun_sport,
+                 BytesView{resp_wire}, TruthKind::kRtc);
+  }
+
+  // A few mid-call messages of the undefined types 0x0803-0x0805.
+  {
+    double t = t0 + 45.0;
+    for (std::uint16_t type : {std::uint16_t{0x0803}, std::uint16_t{0x0804},
+                               std::uint16_t{0x0805}}) {
+      for (int i = 0; i < 3; ++i) {
+        auto msg = stun::MessageBuilder(type)
+                       .random_transaction_id(rng)
+                       .attribute(0x4002, BytesView{rng.bytes(12)})
+                       .build();
+        ctx.emit_udp(t, ep.device_a, stun_sport, ep.relay, 3478,
+                     BytesView{msg}, TruthKind::kRtc);
+        t += 20.0;
+      }
+    }
+  }
+
+  // Four 0x0800 messages at call termination (attr 0x4000 +
+  // XOR-RELAYED-ADDRESS), sent to the TURN servers used at setup.
+  for (int i = 0; i < 4; ++i) {
+    stun::MessageBuilder bye(0x0800);
+    bye.random_transaction_id(rng);
+    bye.attribute(0x4000, BytesView{rng.bytes(8)});
+    bye.xor_address(stun::attr::kXorRelayedAddress, ep.relay, 49152);
+    auto wire = bye.build();
+    ctx.emit_udp(t1 - 0.4 + 0.08 * i, ep.device_a, stun_sport, ep.relay,
+                 3478, BytesView{wire}, TruthKind::kRtc);
+  }
+
+  // ---- Media (compliant RTP + RTCP) ----
+  const std::uint32_t ssrc_audio_a = rng.next_u32();
+  const std::uint32_t ssrc_audio_b = rng.next_u32();
+  const std::uint32_t ssrc_video_a = rng.next_u32();
+  const std::uint32_t ssrc_video_b = rng.next_u32();
+
+  for (const Phase& phase : call_phases(ctx, t0, t1)) {
+    const MediaPath media =
+        media_path(ctx, phase.mode, ctx.ephemeral_port(),
+                   ctx.ephemeral_port(), 3480);
+    {
+      RtpLeg leg;  // audio PT 120
+      leg.src = media.a;
+      leg.sport = media.a_port;
+      leg.dst = media.b;
+      leg.dport = media.b_port;
+      leg.ssrc = ssrc_audio_a;
+      leg.payload_type = 120;
+      leg.pps = 50;
+      leg.payload_size = 160;
+      emit_rtp_leg(ctx, leg, phase.start, phase.end);
+      leg.src = media.b;
+      leg.sport = media.b_port;
+      leg.dst = media.a;
+      leg.dport = media.a_port;
+      leg.ssrc = ssrc_audio_b;
+      emit_rtp_leg(ctx, leg, phase.start, phase.end);
+    }
+    {
+      RtpLeg leg;  // video PT 97
+      leg.src = media.a;
+      leg.sport = media.a_port;
+      leg.dst = media.b;
+      leg.dport = media.b_port;
+      leg.ssrc = ssrc_video_a;
+      leg.payload_type = 97;
+      leg.pps = 110;
+      leg.payload_size = 1000;
+      emit_rtp_leg(ctx, leg, phase.start, phase.end);
+      leg.src = media.b;
+      leg.sport = media.b_port;
+      leg.dst = media.a;
+      leg.dport = media.a_port;
+      leg.ssrc = ssrc_video_b;
+      emit_rtp_leg(ctx, leg, phase.start, phase.end);
+    }
+    // Probe payload types 103 / 105 / 106 (Table 5's WhatsApp row).
+    {
+      std::uint16_t seq = rng.next_u16();
+      double t = phase.start + 2.0;
+      for (std::uint8_t pt : {std::uint8_t{103}, std::uint8_t{105},
+                              std::uint8_t{106}}) {
+        for (int i = 0; i < 8 && t < phase.end; ++i) {
+          rtp::PacketBuilder b;
+          b.payload_type(pt).seq(seq++).timestamp(rng.next_u32()).ssrc(
+              ssrc_audio_a);
+          b.payload(BytesView{rng.bytes(200)});
+          auto wire = b.build();
+          ctx.emit_udp(t, media.a, media.a_port, media.b, media.b_port,
+                       BytesView{wire}, TruthKind::kRtc);
+          t += 1.3;
+        }
+      }
+    }
+    // RTCP: SR+SDES compounds plus 205/206 feedback — all compliant.
+    for (double t : packet_times(rng, phase.start, phase.end, 0.3,
+                                 ctx.config().media_scale)) {
+      Bytes c = make_sr_sdes(rng, ssrc_audio_a, "wa-a@example");
+      ctx.emit_udp(t, media.a, media.a_port, media.b, media.b_port,
+                   BytesView{c}, TruthKind::kRtc);
+      Bytes d = make_sr_sdes(rng, ssrc_audio_b, "wa-b@example");
+      ctx.emit_udp(t + 0.1, media.b, media.b_port, media.a, media.a_port,
+                   BytesView{d}, TruthKind::kRtc);
+    }
+    for (double t : packet_times(rng, phase.start, phase.end, 0.15,
+                                 ctx.config().media_scale)) {
+      Bytes nack = make_feedback_compound(rng, ssrc_audio_a, ssrc_video_b,
+                                          rtcp::kRtpFeedback, 1, /*sr_first=*/true);
+      ctx.emit_udp(t, media.a, media.a_port, media.b, media.b_port,
+                   BytesView{nack}, TruthKind::kRtc);
+      Bytes pli = make_feedback_compound(rng, ssrc_audio_b, ssrc_video_a,
+                                         rtcp::kPayloadFeedback, 1, /*sr_first=*/true);
+      ctx.emit_udp(t + 0.2, media.b, media.b_port, media.a, media.a_port,
+                   BytesView{pli}, TruthKind::kRtc);
+    }
+  }
+
+  emit_signaling_tcp(ctx, ep.launch_server, "signal.whatsapp.example", 20.0);
+}
+
+}  // namespace rtcc::emul

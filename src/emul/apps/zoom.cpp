@@ -1,0 +1,310 @@
+#include <algorithm>
+#include <memory>
+
+#include "emul/apps/apps.hpp"
+#include "emul/media_util.hpp"
+
+namespace rtcc::emul {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::ByteWriter;
+
+namespace rtp = rtcc::proto::rtp;
+namespace stun = rtcc::proto::stun;
+
+namespace {
+
+// Zoom media-section types per Michel et al. and §5.3.
+constexpr std::uint8_t kMediaAudio = 15;
+constexpr std::uint8_t kMediaVideo = 16;
+constexpr std::uint8_t kMediaRtcp = 33;
+constexpr std::uint8_t kMediaWrapped = 7;
+
+/// The 24-byte (28 with the type-7 wrapper) proprietary header every
+/// Zoom media datagram carries: a 16-byte SFU section (direction byte,
+/// constant per-stream media ID, counter, reserved) and an 8-byte media
+/// section (type, subtype, embedded length, timestamp).
+Bytes zoom_header(std::uint8_t media_type, bool to_server,
+                  std::uint32_t media_id, std::uint32_t counter,
+                  std::uint16_t embedded_len, bool type7) {
+  ByteWriter w;
+  std::uint8_t dir = to_server ? 0x00 : 0x04;
+  if (type7) dir = to_server ? 0x01 : 0x05;
+  w.u8(dir);
+  w.u32(media_id);
+  w.fill(0, 7);  // reserved
+  w.u32(counter);
+  if (type7) {
+    w.u8(kMediaWrapped);
+    w.u8(media_type);  // inner (original) type
+    w.u16(embedded_len);
+    w.u32(counter * 960);
+    w.u8(media_type).fill(0, 3);  // inner wrapper
+  } else {
+    w.u8(media_type);
+    w.u8(0);
+    w.u16(embedded_len);
+    w.u32(counter * 960);
+  }
+  return std::move(w).take();
+}
+
+/// Payload types Zoom was observed using (Table 5's Zoom row).
+std::vector<std::uint8_t> zoom_probe_payload_types() {
+  std::vector<std::uint8_t> pts = {0,  3,  4,  5,  10, 12, 13, 19, 20, 25,
+                                   33, 35, 38, 41, 45, 46, 49, 59, 68, 69,
+                                   74, 75, 82, 83, 89, 92, 93, 95, 123, 126,
+                                   127};
+  for (std::uint8_t pt = 102; pt <= 121; ++pt) pts.push_back(pt);
+  return pts;  // plus the main media PTs 98/99 emitted by the legs
+}
+
+/// §5.2.2: SSRCs are fixed per network setting, never random.
+std::array<std::uint32_t, 4> zoom_ssrcs(NetworkSetup n) {
+  switch (n) {
+    case NetworkSetup::kCellular:
+      return {0x1001401, 0x1001402, 0x1000401, 0x1000402};
+    case NetworkSetup::kWifiP2p:
+      return {0x1000801, 0x1000802, 0x1000401, 0x1000402};
+    case NetworkSetup::kWifiRelay:
+      return {0x1000C01, 0x1000C02, 0x1000401, 0x1000402};
+  }
+  return {};
+}
+
+}  // namespace
+
+void ZoomModel::generate(CallContext& ctx) const {
+  auto& rng = ctx.rng();
+  const auto& ep = ctx.ep();
+  const TransmissionMode mode = ctx.initial_mode();
+  const bool relayish = mode == TransmissionMode::kRelay;
+  const double t0 = ctx.call_start() + 0.8;
+  const double t1 = ctx.call_end() - 0.2;
+  const auto ssrcs = zoom_ssrcs(ctx.config().network);
+
+  const std::uint16_t a_audio = ctx.ephemeral_port();
+  const std::uint16_t b_audio = ctx.ephemeral_port();
+  const std::uint16_t a_video = ctx.ephemeral_port();
+  const std::uint16_t b_video = ctx.ephemeral_port();
+  const MediaPath audio = media_path(ctx, mode, a_audio, b_audio, 8801);
+  const MediaPath video = media_path(ctx, mode, a_video, b_video, 8802);
+
+  const std::uint32_t audio_media_id = rng.next_u32();
+  const std::uint32_t video_media_id = rng.next_u32();
+
+  // §5.3: 6.9% of media packets gain the extra type-7 wrapper, observed
+  // under cellular and relay-Wi-Fi settings only.
+  const double type7_p = relayish ? 0.069 : 0.0;
+
+  auto wrap_media = [&](std::uint8_t media_type, std::uint32_t media_id,
+                        bool to_server) {
+    auto counter = std::make_shared<std::uint32_t>(rng.next_u32() % 10000);
+    return [&, media_type, media_id, to_server, counter,
+            type7_p](Bytes wire, rtcc::util::Rng& r, std::size_t) {
+      const bool type7 = r.chance(type7_p);
+      Bytes out = zoom_header(media_type, to_server, media_id, (*counter)++,
+                              static_cast<std::uint16_t>(wire.size()), type7);
+      out.insert(out.end(), wire.begin(), wire.end());
+      return out;
+    };
+  };
+
+  // ---- RTP media legs (all compliant; PTs 98/99) ----
+  std::size_t rtp_count = 0;
+  {
+    RtpLeg leg;
+    leg.src = audio.a;
+    leg.sport = audio.a_port;
+    leg.dst = audio.b;
+    leg.dport = audio.b_port;
+    leg.ssrc = ssrcs[2];
+    leg.payload_type = 99;
+    leg.pps = 50;
+    leg.payload_size = 160;
+    leg.wrap = wrap_media(kMediaAudio, audio_media_id, true);
+    rtp_count += emit_rtp_leg(ctx, leg, t0, t1);
+
+    leg.src = audio.b;
+    leg.sport = audio.b_port;
+    leg.dst = audio.a;
+    leg.dport = audio.a_port;
+    leg.ssrc = ssrcs[3];
+    leg.wrap = wrap_media(kMediaAudio, audio_media_id, false);
+    rtp_count += emit_rtp_leg(ctx, leg, t0, t1);
+  }
+  {
+    RtpLeg leg;
+    leg.src = video.a;
+    leg.sport = video.a_port;
+    leg.dst = video.b;
+    leg.dport = video.b_port;
+    leg.ssrc = ssrcs[0];
+    leg.payload_type = 98;
+    leg.pps = 110;
+    leg.payload_size = 1000;
+    leg.wrap = wrap_media(kMediaVideo, video_media_id, true);
+    rtp_count += emit_rtp_leg(ctx, leg, t0, t1);
+
+    leg.src = video.b;
+    leg.sport = video.b_port;
+    leg.dst = video.a;
+    leg.dport = video.a_port;
+    leg.ssrc = ssrcs[1];
+    leg.wrap = wrap_media(kMediaVideo, video_media_id, false);
+    rtp_count += emit_rtp_leg(ctx, leg, t0, t1);
+  }
+
+  // ---- Probe packets across the full observed payload-type set ----
+  {
+    auto pts = zoom_probe_payload_types();
+    std::uint16_t seq = rng.next_u16();
+    double t = t0 + 2.0;
+    auto wrap = wrap_media(kMediaVideo, video_media_id, true);
+    for (std::uint8_t pt : pts) {
+      for (int i = 0; i < 4; ++i) {
+        rtp::PacketBuilder b;
+        b.payload_type(pt).seq(seq++).timestamp(rng.next_u32()).ssrc(ssrcs[0]);
+        b.payload(BytesView{rng.bytes(120)});
+        Bytes wire = wrap(b.build(), rng, 0);
+        ctx.emit_udp(t, video.a, video.a_port, video.b, video.b_port,
+                     BytesView{wire}, TruthKind::kRtc);
+        t += 0.37;
+        ++rtp_count;
+      }
+    }
+  }
+
+  // ---- Double-RTP datagrams (§5.3): PT 110, 7-byte payload first ----
+  {
+    const std::size_t doubles = std::max<std::size_t>(rtp_count / 480, 2);
+    std::uint16_t seq = rng.next_u16();
+    auto wrap = wrap_media(kMediaVideo, video_media_id, true);
+    for (std::size_t i = 0; i < doubles; ++i) {
+      const std::uint32_t ts = rng.next_u32();
+      rtp::PacketBuilder first;
+      first.payload_type(110).seq(seq).timestamp(ts).ssrc(ssrcs[0]);
+      first.payload(BytesView{rng.bytes(7)});
+      rtp::PacketBuilder second;
+      second.payload_type(110)
+          .seq(static_cast<std::uint16_t>(seq + 7))
+          .timestamp(ts)
+          .ssrc(ssrcs[0]);
+      second.payload(BytesView{rng.bytes(1000)});
+      seq = static_cast<std::uint16_t>(seq + 11);
+      Bytes both = first.build();
+      Bytes tail = second.build();
+      both.insert(both.end(), tail.begin(), tail.end());
+      Bytes wire = wrap(std::move(both), rng, 0);
+      const double t = t0 + rng.uniform() * (t1 - t0);
+      ctx.emit_udp(t, video.a, video.a_port, video.b, video.b_port,
+                   BytesView{wire}, TruthKind::kRtc);
+    }
+  }
+
+  // ---- RTCP (compliant SR/SDES, types 200+202), proprietary-wrapped ----
+  {
+    auto wrap_up = wrap_media(kMediaRtcp, audio_media_id, true);
+    auto wrap_down = wrap_media(kMediaRtcp, audio_media_id, false);
+    for (double t : packet_times(rng, t0, t1, 0.5, ctx.config().media_scale)) {
+      Bytes c = make_sr_sdes(rng, ssrcs[2], "zoom-a@example");
+      Bytes wire = wrap_up(std::move(c), rng, 0);
+      ctx.emit_udp(t, audio.a, audio.a_port, audio.b, audio.b_port,
+                   BytesView{wire}, TruthKind::kRtc);
+    }
+    for (double t : packet_times(rng, t0, t1, 0.5, ctx.config().media_scale)) {
+      Bytes c = make_sr_sdes(rng, ssrcs[3], "zoom-b@example");
+      Bytes wire = wrap_down(std::move(c), rng, 0);
+      ctx.emit_udp(t, audio.b, audio.b_port, audio.a, audio.a_port,
+                   BytesView{wire}, TruthKind::kRtc);
+    }
+  }
+
+  // ---- Filler bursts (§5.3) + fully proprietary control datagrams ----
+  std::size_t filler_count = 0;
+  {
+    const double peak = relayish ? 500.0 : 180.0;
+    std::vector<double> burst_starts = {t0, t0 + 0.1};
+    burst_starts.push_back(t0 + 90.0);
+    burst_starts.push_back(t0 + 190.0);
+    std::uint8_t fill_value = 0x01;
+    for (double bs : burst_starts) {
+      const double duration = 10.0 + rng.uniform() * 10.0;
+      // Linear ramp 0→peak over the burst (§5.3).
+      double t = bs;
+      while (t < bs + duration && t < t1) {
+        const double progress = (t - bs) / duration;
+        const double rate =
+            std::max(2.0, peak * progress * ctx.config().media_scale);
+        t += 1.0 / rate;
+        Bytes filler(1000, fill_value);
+        ctx.emit_udp(t, video.a, video.a_port, video.b, video.b_port,
+                     BytesView{filler}, TruthKind::kRtc);
+        ++filler_count;
+      }
+      fill_value = static_cast<std::uint8_t>(fill_value % 7 + 1);
+    }
+  }
+  {
+    // Control datagrams: proprietary header + opaque body, no embedded
+    // standard message. Sized so fillers are ~53% of fully-proprietary
+    // volume (§5.3).
+    const std::size_t control_count = filler_count * 47 / 53;
+    auto wrap = wrap_media(kMediaVideo, video_media_id, true);
+    for (std::size_t i = 0; i < control_count; ++i) {
+      // Body starting with 0x00 can never match an RTP/STUN/QUIC
+      // pattern at offset 0; random tails are below validation support.
+      ByteWriter w;
+      w.u8(0x00).u8(0x3F);
+      w.raw(BytesView{rng.bytes(46)});
+      Bytes wire = wrap(std::move(w).take(), rng, 0);
+      const double t = t0 + rng.uniform() * (t1 - t0);
+      ctx.emit_udp(t, video.a, video.a_port, video.b, video.b_port,
+                   BytesView{wire}, TruthKind::kRtc);
+    }
+  }
+
+  // ---- STUN: legacy RFC 3489 with undefined attributes (§5.2.1) ----
+  // Pre-call launch-time STUN (to different infrastructure; stage 1
+  // filters it, exactly as the paper describes).
+  {
+    const std::uint16_t sport = ctx.ephemeral_port();
+    for (int i = 0; i < 3; ++i) {
+      auto req = stun::MessageBuilder(stun::kBindingRequest)
+                     .classic_rfc3489(rng)
+                     .random_transaction_id(rng)
+                     .attribute_str(0x0101, "12345678901234567890")
+                     .build();
+      ctx.emit_udp(ctx.schedule().capture_start + 20.0 + i, ep.device_a,
+                   sport, ep.launch_server, 3478, BytesView{req},
+                   TruthKind::kBackground);
+    }
+  }
+  // Mid-call STUN occurs only in P2P Wi-Fi (§4.1.3).
+  if (ctx.config().network == NetworkSetup::kWifiP2p) {
+    const std::uint16_t sport = ctx.ephemeral_port();
+    for (int i = 0; i < 10; ++i) {
+      const double t = t0 + 25.0 * i + rng.uniform();
+      auto req = stun::MessageBuilder(stun::kBindingRequest)
+                     .classic_rfc3489(rng)
+                     .random_transaction_id(rng)
+                     .attribute_str(0x0101, "12345678901234567890")
+                     .build();
+      ctx.emit_udp(t, ep.device_a, sport, ep.stun_server, 3478,
+                   BytesView{req}, TruthKind::kRtc);
+      // Server-originated Shared Secret Request with undefined 0x0103.
+      auto ssr = stun::MessageBuilder(stun::kSharedSecretRequest)
+                     .classic_rfc3489(rng)
+                     .random_transaction_id(rng)
+                     .attribute(0x0103, BytesView{rng.bytes(8)})
+                     .build();
+      ctx.emit_udp(t + 0.05, ep.stun_server, 3478, ep.device_a, sport,
+                   BytesView{ssr}, TruthKind::kRtc);
+    }
+  }
+
+  emit_signaling_tcp(ctx, ep.launch_server, "zoomrtc.example.net", 20.0);
+}
+
+}  // namespace rtcc::emul

@@ -1,0 +1,169 @@
+#include "emul/background.hpp"
+
+#include "proto/tls/client_hello.hpp"
+
+namespace rtcc::emul {
+
+using rtcc::net::IpAddr;
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+
+namespace {
+
+const IpAddr kApnsServer = IpAddr::v4(17, 57, 144, 10);
+const IpAddr kUpdateServer = IpAddr::v4(23, 10, 20, 5);
+const IpAddr kGoogleApi = IpAddr::v4(142, 250, 68, 10);
+const IpAddr kFacebookWeb = IpAddr::v4(157, 240, 22, 35);
+const IpAddr kDnsServer = IpAddr::v4(8, 8, 8, 8);
+const IpAddr kSsdpMulticast = IpAddr::v4(239, 255, 255, 250);
+const IpAddr kMdnsMulticast = IpAddr::v4(224, 0, 0, 251);
+const IpAddr kLanNeighbor = IpAddr::v4(192, 168, 1, 23);
+
+/// Opaque TLS application-data-looking record.
+Bytes tls_app_data(rtcc::util::Rng& rng, std::size_t size) {
+  rtcc::util::ByteWriter w;
+  w.u8(0x17).u16(0x0303);
+  w.u16(static_cast<std::uint16_t>(size));
+  w.raw(BytesView{rng.bytes(size)});
+  return std::move(w).take();
+}
+
+Bytes dns_query(rtcc::util::Rng& rng) {
+  rtcc::util::ByteWriter w;
+  w.u16(rng.next_u16());  // id
+  w.u16(0x0100);          // RD
+  w.u16(1).u16(0).u16(0).u16(0);
+  // "time.apple.com"
+  for (const char* label : {"time", "apple", "com"}) {
+    std::string_view s{label};
+    w.u8(static_cast<std::uint8_t>(s.size()));
+    w.str(s);
+  }
+  w.u8(0);
+  w.u16(1).u16(1);  // A IN
+  return std::move(w).take();
+}
+
+/// One TLS flow: ClientHello then a few data records in both directions.
+void tls_flow(CallContext& ctx, const IpAddr& device, double start,
+              double duration, const IpAddr& server, const std::string& sni,
+              std::size_t segments) {
+  const std::uint16_t sport = ctx.ephemeral_port();
+  auto hello = rtcc::proto::tls::build_client_hello(sni);
+  ctx.emit_tcp(start, device, sport, server, 443, BytesView{hello},
+               TruthKind::kBackground);
+  for (std::size_t i = 0; i < segments; ++i) {
+    const double ts =
+        start + duration * (static_cast<double>(i + 1) /
+                            static_cast<double>(segments + 1));
+    auto up = tls_app_data(ctx.rng(), 200 + ctx.rng().below(800));
+    auto down = tls_app_data(ctx.rng(), 400 + ctx.rng().below(1000));
+    ctx.emit_tcp(ts, device, sport, server, 443, BytesView{up},
+                 TruthKind::kBackground);
+    ctx.emit_tcp(ts + 0.02, server, 443, device, sport, BytesView{down},
+                 TruthKind::kBackground);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> background_sni_blocklist() {
+  return {"oauth2.googleapis.com", "web.facebook.com", "graph.facebook.com",
+          "updates.apple.com", "metrics.icloud.com"};
+}
+
+void generate_background(CallContext& ctx) {
+  const auto& sch = ctx.schedule();
+  auto& rng = ctx.rng();
+  const bool wifi = ctx.config().network != NetworkSetup::kCellular;
+  // Background services run over IPv4 even when the call is IPv6 —
+  // phones are dual-stack, and the OS chatter (APNS, DNS, SSDP) lives
+  // on the v4 side in our model.
+  const IpAddr device =
+      ctx.ep().device_a.is_v4()
+          ? ctx.ep().device_a
+          : (wifi ? IpAddr::v4(192, 168, 1, 10) : IpAddr::v4(10, 128, 0, 10));
+
+  // --- APNS-style persistent push connection -----------------------------
+  // One long-lived stream spanning the whole capture (stage-1 removal)…
+  {
+    const std::uint16_t sport = ctx.ephemeral_port();
+    for (double t = sch.capture_start + 1.0; t < sch.capture_end;
+         t += 8.0 + rng.uniform() * 6.0) {
+      auto keepalive = tls_app_data(rng, 32);
+      ctx.emit_tcp(t, device, sport, kApnsServer, 5223, BytesView{keepalive},
+                   TruthKind::kBackground);
+    }
+  }
+  // …plus an intra-call rebind to the same remote 3-tuple after a NAT
+  // rebinding (evades stage 1; caught by the 3-tuple timing filter).
+  {
+    const std::uint16_t sport = ctx.ephemeral_port();
+    const double start = sch.call_start + 40.0;
+    for (double t = start; t < start + 30.0; t += 9.0) {
+      auto keepalive = tls_app_data(rng, 32);
+      ctx.emit_tcp(t, device, sport, kApnsServer, 5223, BytesView{keepalive},
+                   TruthKind::kBackground);
+    }
+  }
+
+  // --- Pre-call OS update / login burst (stage 1) -------------------------
+  tls_flow(ctx, device, sch.capture_start + 5.0, 20.0, kUpdateServer,
+           "updates.apple.com", 6);
+
+  // --- Intra-call ad/analytics flows (stage 2, SNI blocklist) ------------
+  tls_flow(ctx, device, sch.call_start + 25.0, 8.0, kGoogleApi,
+           "oauth2.googleapis.com", 3);
+  tls_flow(ctx, device, sch.call_start + 120.0, 6.0, kFacebookWeb,
+           "web.facebook.com", 2);
+
+  // --- DNS lookups during the call (stage 2, port filter) ----------------
+  for (int i = 0; i < 5; ++i) {
+    const double t = sch.call_start + 10.0 + 50.0 * i + rng.uniform() * 10.0;
+    auto q = dns_query(rng);
+    ctx.emit_udp(t, device, ctx.ephemeral_port(), kDnsServer, 53,
+                 BytesView{q}, TruthKind::kBackground);
+  }
+
+  if (wifi) {
+    // --- SSDP / mDNS LAN chatter (stage 2, port filter) -------------------
+    for (int i = 0; i < 4; ++i) {
+      const double t = sch.call_start + 30.0 + 60.0 * i;
+      const std::string ssdp =
+          "M-SEARCH * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\n\r\n";
+      ctx.emit_udp(t, device, ctx.ephemeral_port(), kSsdpMulticast, 1900,
+                   BytesView{reinterpret_cast<const std::uint8_t*>(
+                                 ssdp.data()),
+                             ssdp.size()},
+                   TruthKind::kBackground);
+      auto mdns = rng.bytes(64);
+      ctx.emit_udp(t + 1.0, device, 5353, kMdnsMulticast, 5353,
+                   BytesView{mdns}, TruthKind::kBackground);
+    }
+
+    // --- LAN discovery with a neighbour (stage 2, local-IP filter) -------
+    // The same IP pair is active pre-call, so the in-call stream is
+    // attributable to persistent LAN management, not the call.
+    auto lan_payload = [&rng] { return rng.bytes(48); };
+    {
+      auto p = lan_payload();
+      ctx.emit_udp(sch.capture_start + 12.0, device, 7788, kLanNeighbor, 7788,
+                   BytesView{p}, TruthKind::kBackground);
+    }
+    for (int i = 0; i < 6; ++i) {
+      const double t = sch.call_start + 15.0 + 45.0 * i;
+      auto p = lan_payload();
+      // Different ports than the pre-call stream so neither stage 1 nor
+      // the 3-tuple filter catches it — only the local-IP heuristic
+      // (same local IP pair seen pre-call) can attribute it.
+      ctx.emit_udp(t, device, 7789, kLanNeighbor, 7790, BytesView{p},
+                   TruthKind::kBackground);
+    }
+  }
+
+  // --- Post-call flows (stage 1) ------------------------------------------
+  tls_flow(ctx, device, sch.call_end + 10.0, 15.0, kUpdateServer,
+           "metrics.icloud.com", 3);
+}
+
+}  // namespace rtcc::emul

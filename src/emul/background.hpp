@@ -1,0 +1,17 @@
+// Unrelated-traffic generator (§3.2's adversary): OS push services,
+// update checks, ad/analytics TLS flows, DNS/SSDP/mDNS chatter and LAN
+// discovery, spread across the pre-call/call/post-call phases so every
+// filter stage has work to do.
+#pragma once
+
+#include "emul/app_model.hpp"
+
+namespace rtcc::emul {
+
+void generate_background(CallContext& ctx);
+
+/// The SNI blocklist matching what generate_background emits (§3.2.2's
+/// "known non-RTC domains" built from idle-phone traffic).
+[[nodiscard]] std::vector<std::string> background_sni_blocklist();
+
+}  // namespace rtcc::emul

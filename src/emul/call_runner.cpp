@@ -1,0 +1,114 @@
+#include "emul/app_model.hpp"
+#include "emul/apps/apps.hpp"
+#include "emul/background.hpp"
+
+namespace rtcc::emul {
+
+using rtcc::net::IpAddr;
+
+namespace {
+
+Endpoints endpoints_for(const CallConfig& config) {
+  Endpoints ep;
+  if (config.ipv6) {
+    const auto app_octet =
+        static_cast<std::uint16_t>(20 + static_cast<std::uint8_t>(config.app));
+    auto v6 = [](const char* text) { return *IpAddr::parse(text); };
+    ep.device_a = v6(config.network == NetworkSetup::kCellular
+                         ? "fd00:ce11::10"
+                         : "fd00:1a:a::10");
+    ep.device_b = v6(config.network == NetworkSetup::kCellular
+                         ? "fd00:ce11::11"
+                         : "fd00:1a:a::11");
+    ep.relay = v6(("2001:db8:1::" + std::to_string(app_octet)).c_str());
+    ep.stun_server =
+        v6(("2001:db8:2::" + std::to_string(app_octet)).c_str());
+    ep.launch_server =
+        v6(("2001:db8:3::" + std::to_string(app_octet)).c_str());
+    return ep;
+  }
+  if (config.network == NetworkSetup::kCellular) {
+    // Carrier-grade NAT style addressing; no LAN around the devices.
+    ep.device_a = IpAddr::v4(10, 128, 0, 10);
+    ep.device_b = IpAddr::v4(10, 128, 0, 11);
+  } else {
+    ep.device_a = IpAddr::v4(192, 168, 1, 10);
+    ep.device_b = IpAddr::v4(192, 168, 1, 11);
+  }
+  // Distinct per-app infrastructure so cross-app aggregation never
+  // merges streams.
+  const auto app_octet = static_cast<std::uint8_t>(
+      20 + static_cast<std::uint8_t>(config.app));
+  ep.relay = IpAddr::v4(198, 51, 100, app_octet);
+  ep.stun_server = IpAddr::v4(198, 51, 100,
+                              static_cast<std::uint8_t>(app_octet + 40));
+  ep.launch_server = IpAddr::v4(203, 0, 113,
+                                static_cast<std::uint8_t>(app_octet + 10));
+  return ep;
+}
+
+std::uint64_t mix_seed(const CallConfig& c) {
+  std::uint64_t s = c.seed;
+  s = s * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(c.app) + 1;
+  s = s * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(c.network) + 1;
+  s = s * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(c.call_index) + 1;
+  return s;
+}
+
+}  // namespace
+
+const AppModel& model_for(AppId app) {
+  static const ZoomModel zoom;
+  static const FaceTimeModel facetime;
+  static const WhatsAppModel whatsapp;
+  static const MessengerModel messenger;
+  static const DiscordModel discord;
+  static const GoogleMeetModel meet;
+  switch (app) {
+    case AppId::kZoom:
+      return zoom;
+    case AppId::kFaceTime:
+      return facetime;
+    case AppId::kWhatsApp:
+      return whatsapp;
+    case AppId::kMessenger:
+      return messenger;
+    case AppId::kDiscord:
+      return discord;
+    case AppId::kGoogleMeet:
+      return meet;
+  }
+  return zoom;
+}
+
+EmulatedCall emulate_call(const CallConfig& config) {
+  rtcc::filter::CallSchedule schedule;
+  schedule.capture_start = 0.0;
+  schedule.call_start = config.pre_call_s;
+  schedule.call_end = config.pre_call_s + config.call_s;
+  schedule.capture_end = schedule.call_end + config.post_call_s;
+
+  CallContext ctx(config, endpoints_for(config), schedule, mix_seed(config));
+  model_for(config.app).generate(ctx);
+  if (config.background) generate_background(ctx);
+  return ctx.take_call();
+}
+
+rtcc::filter::FilterConfig filter_config_for(const EmulatedCall& call) {
+  rtcc::filter::FilterConfig cfg;
+  cfg.schedule = call.schedule;
+  cfg.sni_blocklist = background_sni_blocklist();
+  cfg.device_ips = {call.endpoints.device_a, call.endpoints.device_b};
+  if (call.config.ipv6) {
+    // Dual-stack: the devices' IPv4 identities carry background noise.
+    const bool wifi = call.config.network != NetworkSetup::kCellular;
+    cfg.device_ips.push_back(wifi ? IpAddr::v4(192, 168, 1, 10)
+                                  : IpAddr::v4(10, 128, 0, 10));
+    cfg.device_ips.push_back(wifi ? IpAddr::v4(192, 168, 1, 11)
+                                  : IpAddr::v4(10, 128, 0, 11));
+  }
+  cfg.excluded_ports = rtcc::filter::default_excluded_ports();
+  return cfg;
+}
+
+}  // namespace rtcc::emul

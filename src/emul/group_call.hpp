@@ -1,0 +1,41 @@
+// Group-call emulation — the paper's explicitly stated future work
+// (§2: "we plan the study of group calls as future work").
+//
+// Models a WebRTC-style SFU conference: every participant uplinks its
+// audio+video to the relay, which fans each stream out to every other
+// participant. Optional churn exercises mid-call joins/leaves (RTCP
+// BYE). The generated traffic is standards-compliant end to end, so it
+// doubles as a clean baseline workload for the compliance pipeline at
+// participant counts > 2.
+#pragma once
+
+#include "emul/app_model.hpp"
+
+namespace rtcc::emul {
+
+struct GroupCallConfig {
+  int participants = 4;  // >= 3 makes it a group call
+  double pre_call_s = 60.0;
+  double call_s = 300.0;
+  double post_call_s = 60.0;
+  double media_scale = 0.02;
+  bool background = true;
+  /// One participant leaves mid-call (with an RTCP BYE) and rejoins.
+  bool churn = true;
+  std::uint64_t seed = 1;
+};
+
+struct GroupCall {
+  rtcc::net::Trace trace;
+  std::vector<TruthKind> truth;
+  rtcc::filter::CallSchedule schedule;
+  std::vector<rtcc::net::IpAddr> devices;
+  rtcc::net::IpAddr sfu;
+};
+
+[[nodiscard]] GroupCall emulate_group_call(const GroupCallConfig& config);
+
+[[nodiscard]] rtcc::filter::FilterConfig group_filter_config(
+    const GroupCall& call);
+
+}  // namespace rtcc::emul

@@ -1,0 +1,151 @@
+#include "emul/media_util.hpp"
+
+#include "proto/tls/client_hello.hpp"
+
+namespace rtcc::emul {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+
+namespace rtp = rtcc::proto::rtp;
+namespace rtcp = rtcc::proto::rtcp;
+
+std::size_t emit_rtp_leg(CallContext& ctx, const RtpLeg& leg, double start,
+                         double end) {
+  auto& rng = ctx.rng();
+  const auto times =
+      packet_times(rng, start, end, leg.pps, ctx.config().media_scale);
+  std::uint16_t seq = rng.next_u16();
+  std::uint32_t ts = rng.next_u32();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    rtp::PacketBuilder b;
+    b.payload_type(leg.payload_type)
+        .seq(seq++)
+        .timestamp(ts)
+        .ssrc(leg.ssrc)
+        .payload(BytesView{rng.bytes(leg.payload_size)});
+    ts += leg.ts_step;
+    if (leg.decorate) leg.decorate(b, rng, i);
+    Bytes wire = b.build();
+    if (leg.wrap) wire = leg.wrap(std::move(wire), rng, i);
+    ctx.emit_udp(times[i], leg.src, leg.sport, leg.dst, leg.dport,
+                 BytesView{wire}, TruthKind::kRtc);
+  }
+  return times.size();
+}
+
+Bytes make_sr_sdes(rtcc::util::Rng& rng, std::uint32_t ssrc,
+                   std::string_view cname) {
+  rtcp::SenderReport sr;
+  sr.sender_ssrc = ssrc;
+  sr.ntp_timestamp = (std::uint64_t{rng.next_u32()} << 32) | rng.next_u32();
+  sr.rtp_timestamp = rng.next_u32();
+  sr.packet_count = rng.next_u32() % 100000;
+  sr.octet_count = rng.next_u32() % 10000000;
+
+  rtcp::Sdes sdes;
+  rtcp::SdesChunk chunk;
+  chunk.ssrc = ssrc;
+  rtcp::SdesItem item;
+  item.type = 1;  // CNAME
+  item.value.assign(cname.begin(), cname.end());
+  chunk.items.push_back(std::move(item));
+  sdes.chunks.push_back(std::move(chunk));
+
+  rtcp::Compound c;
+  c.packets.push_back(rtcp::make_sender_report(sr));
+  c.packets.push_back(rtcp::make_sdes(sdes));
+  return rtcp::encode_compound(c);
+}
+
+Bytes make_rr_sdes(rtcc::util::Rng& rng, std::uint32_t sender_ssrc,
+                   std::uint32_t media_ssrc, std::string_view cname) {
+  rtcp::ReceiverReport rr;
+  rr.sender_ssrc = sender_ssrc;
+  rtcp::ReportBlock block;
+  block.ssrc = media_ssrc;
+  block.fraction_lost = static_cast<std::uint8_t>(rng.below(10));
+  block.cumulative_lost = static_cast<std::uint32_t>(rng.below(1000));
+  block.highest_seq = rng.next_u32();
+  block.jitter = static_cast<std::uint32_t>(rng.below(500));
+  block.lsr = rng.next_u32();
+  block.dlsr = static_cast<std::uint32_t>(rng.below(65536));
+  rr.reports.push_back(block);
+
+  rtcp::Sdes sdes;
+  rtcp::SdesChunk chunk;
+  chunk.ssrc = sender_ssrc;
+  rtcp::SdesItem item;
+  item.type = 1;
+  item.value.assign(cname.begin(), cname.end());
+  chunk.items.push_back(std::move(item));
+  sdes.chunks.push_back(std::move(chunk));
+
+  rtcp::Compound c;
+  c.packets.push_back(rtcp::make_receiver_report(rr));
+  c.packets.push_back(rtcp::make_sdes(sdes));
+  return rtcp::encode_compound(c);
+}
+
+Bytes make_feedback_compound(rtcc::util::Rng& rng, std::uint32_t sender_ssrc,
+                             std::uint32_t media_ssrc,
+                             std::uint8_t packet_type, std::uint8_t fmt,
+                             bool sr_first) {
+  rtcp::Feedback fb;
+  fb.sender_ssrc = sender_ssrc;
+  fb.media_ssrc = media_ssrc;
+  if (packet_type == rtcp::kRtpFeedback && fmt == 1) {
+    // Generic NACK: one (PID, BLP) entry.
+    rtcc::util::ByteWriter w;
+    w.u16(rng.next_u16()).u16(0x0001);
+    fb.fci = std::move(w).take();
+  } else if (packet_type == rtcp::kPayloadFeedback && fmt == 1) {
+    // PLI carries no FCI.
+  } else if (packet_type == rtcp::kRtpFeedback && fmt == 15) {
+    // transport-cc: base seq, count, ref time, fb pkt count + one chunk.
+    rtcc::util::ByteWriter w;
+    w.u16(rng.next_u16()).u16(1);
+    w.u24(static_cast<std::uint32_t>(rng.below(1 << 24)));
+    w.u8(0);
+    w.u16(0x2001);  // run-length chunk
+    w.u16(0);       // padding to 32-bit
+    fb.fci = std::move(w).take();
+  }
+
+  rtcp::Compound c;
+  if (sr_first) {
+    rtcp::SenderReport sr;
+    sr.sender_ssrc = sender_ssrc;
+    sr.ntp_timestamp = (std::uint64_t{rng.next_u32()} << 32) | rng.next_u32();
+    sr.rtp_timestamp = rng.next_u32();
+    sr.packet_count = rng.next_u32() % 100000;
+    sr.octet_count = rng.next_u32() % 10000000;
+    c.packets.push_back(rtcp::make_sender_report(sr));
+  } else {
+    rtcp::ReceiverReport rr;
+    rr.sender_ssrc = sender_ssrc;
+    c.packets.push_back(rtcp::make_receiver_report(rr));
+  }
+  c.packets.push_back(rtcp::make_feedback(packet_type, fmt, fb));
+  return rtcp::encode_compound(c);
+}
+
+void emit_signaling_tcp(CallContext& ctx, const rtcc::net::IpAddr& server,
+                        const std::string& sni, double period_s) {
+  const std::uint16_t sport = ctx.ephemeral_port();
+  auto hello = rtcc::proto::tls::build_client_hello(sni);
+  const double start = ctx.call_start() + 0.5;
+  ctx.emit_tcp(start, ctx.ep().device_a, sport, server, 443,
+               BytesView{hello}, TruthKind::kRtc);
+  for (double t = start + period_s; t < ctx.call_end() - 1.0;
+       t += period_s) {
+    rtcc::util::ByteWriter w;
+    w.u8(0x17).u16(0x0303).u16(48);
+    w.raw(BytesView{ctx.rng().bytes(48)});
+    Bytes hb = std::move(w).take();
+    ctx.emit_tcp(t, ctx.ep().device_a, sport, server, 443, BytesView{hb},
+                 TruthKind::kRtc);
+  }
+}
+
+}  // namespace rtcc::emul

@@ -1,0 +1,62 @@
+// Shared building blocks for the per-application traffic models.
+#pragma once
+
+#include <functional>
+
+#include "emul/app_model.hpp"
+#include "proto/rtcp/rtcp.hpp"
+#include "proto/rtp/rtp.hpp"
+#include "proto/stun/stun.hpp"
+
+namespace rtcc::emul {
+
+/// One direction of an RTP media leg.
+struct RtpLeg {
+  rtcc::net::IpAddr src;
+  std::uint16_t sport = 0;
+  rtcc::net::IpAddr dst;
+  std::uint16_t dport = 0;
+  std::uint32_t ssrc = 0;
+  std::uint8_t payload_type = 0;
+  double pps = 50.0;
+  std::size_t payload_size = 160;
+  std::uint32_t ts_step = 960;
+  /// Decorates each packet before encoding (extensions, marker, ...).
+  /// `idx` is the packet's ordinal within the leg.
+  std::function<void(rtcc::proto::rtp::PacketBuilder&, rtcc::util::Rng&,
+                     std::size_t idx)>
+      decorate;
+  /// Wraps the encoded RTP bytes (proprietary headers, ChannelData
+  /// framing, ...). Identity when unset.
+  std::function<rtcc::util::Bytes(rtcc::util::Bytes wire, rtcc::util::Rng&,
+                                  std::size_t idx)>
+      wrap;
+};
+
+/// Emits one RTP leg over [start, end); returns packets emitted.
+std::size_t emit_rtp_leg(CallContext& ctx, const RtpLeg& leg, double start,
+                         double end);
+
+/// Canonical compliant RTCP compound: SR + SDES(CNAME), no trailer.
+[[nodiscard]] rtcc::util::Bytes make_sr_sdes(rtcc::util::Rng& rng,
+                                             std::uint32_t ssrc,
+                                             std::string_view cname);
+
+/// Compliant RR + SDES compound.
+[[nodiscard]] rtcc::util::Bytes make_rr_sdes(rtcc::util::Rng& rng,
+                                             std::uint32_t sender_ssrc,
+                                             std::uint32_t media_ssrc,
+                                             std::string_view cname);
+
+/// Compliant feedback compound: SR or RR first (per RFC 3550 §6.1),
+/// then RTPFB/PSFB with the given format.
+[[nodiscard]] rtcc::util::Bytes make_feedback_compound(
+    rtcc::util::Rng& rng, std::uint32_t sender_ssrc, std::uint32_t media_ssrc,
+    std::uint8_t packet_type, std::uint8_t fmt, bool sr_first = false);
+
+/// Simple in-call TLS "signaling/heartbeat" TCP stream (kept by the
+/// filter; accounts for Table 1's RTC TCP column).
+void emit_signaling_tcp(CallContext& ctx, const rtcc::net::IpAddr& server,
+                        const std::string& sni, double period_s);
+
+}  // namespace rtcc::emul

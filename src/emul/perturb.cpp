@@ -1,0 +1,38 @@
+#include "emul/perturb.hpp"
+
+#include <algorithm>
+
+namespace rtcc::emul {
+
+rtcc::net::Trace perturb(const rtcc::net::Trace& trace,
+                         const PerturbConfig& config) {
+  rtcc::util::Rng rng(config.seed);
+  rtcc::net::Trace out;
+  out.frames.reserve(trace.frames.size());
+
+  for (const auto& frame : trace.frames) {
+    if (rng.chance(config.drop_p)) continue;
+
+    rtcc::net::Frame copy = frame;
+    if (rng.chance(config.reorder_p)) {
+      const double shift =
+          (rng.uniform() * 2.0 - 1.0) * config.reorder_jitter_s;
+      copy.ts = std::max(0.0, copy.ts + shift);
+    }
+    out.frames.push_back(copy);
+
+    if (rng.chance(config.dup_p)) {
+      rtcc::net::Frame dup = copy;
+      dup.ts += 0.0005;  // retransmission-style near-duplicate
+      out.frames.push_back(std::move(dup));
+    }
+  }
+
+  std::stable_sort(out.frames.begin(), out.frames.end(),
+                   [](const rtcc::net::Frame& a, const rtcc::net::Frame& b) {
+                     return a.ts < b.ts;
+                   });
+  return out;
+}
+
+}  // namespace rtcc::emul

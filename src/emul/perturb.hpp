@@ -1,0 +1,27 @@
+// Trace perturbation for robustness / failure-injection testing: drops,
+// duplicates and reorders frames the way a lossy network path would.
+// The analysis pipeline's message-type verdicts must be insensitive to
+// these (the DPI's continuity heuristics tolerate loss; the checker's
+// context detectors key on patterns, not exact counts).
+#pragma once
+
+#include "net/pcap.hpp"
+#include "util/rng.hpp"
+
+namespace rtcc::emul {
+
+struct PerturbConfig {
+  double drop_p = 0.0;     // per-frame drop probability
+  double dup_p = 0.0;      // per-frame duplication probability
+  double reorder_p = 0.0;  // per-frame chance of a timestamp nudge
+  /// Maximum |timestamp shift| applied to reordered frames (seconds).
+  double reorder_jitter_s = 0.05;
+  std::uint64_t seed = 1;
+};
+
+/// Applies the perturbation and returns the frames re-sorted by their
+/// (possibly shifted) timestamps.
+[[nodiscard]] rtcc::net::Trace perturb(const rtcc::net::Trace& trace,
+                                       const PerturbConfig& config);
+
+}  // namespace rtcc::emul

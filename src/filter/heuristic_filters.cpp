@@ -1,0 +1,96 @@
+#include <algorithm>
+
+#include "filter/pipeline.hpp"
+#include "proto/tls/client_hello.hpp"
+
+namespace rtcc::filter {
+
+using rtcc::net::IpAddr;
+using rtcc::net::Stream;
+using rtcc::net::StreamTable;
+using rtcc::net::Trace;
+
+std::set<std::uint16_t> default_excluded_ports() {
+  // §3.2.2 names DNS (53), DHCP (67/547) and SSDP (1900); we include
+  // the rest of the common non-RTC LAN/service ports from the IANA
+  // registry that showed up in our background model.
+  return {53, 67, 68, 123, 137, 138, 139, 546, 547, 1900, 5353};
+}
+
+std::string to_string(Disposition d) {
+  switch (d) {
+    case Disposition::kKept:
+      return "kept";
+    case Disposition::kStage1Timespan:
+      return "stage1:timespan";
+    case Disposition::kStage2ThreeTuple:
+      return "stage2:3-tuple";
+    case Disposition::kStage2Sni:
+      return "stage2:sni";
+    case Disposition::kStage2LocalIp:
+      return "stage2:local-ip";
+    case Disposition::kStage2Port:
+      return "stage2:port";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_device(const IpAddr& ip, const FilterConfig& cfg) {
+  return std::find(cfg.device_ips.begin(), cfg.device_ips.end(), ip) !=
+         cfg.device_ips.end();
+}
+
+}  // namespace
+
+std::vector<ThreeTuple> collect_outside_tuples(
+    const StreamTable& table, const FilterConfig& cfg,
+    const std::vector<bool>& removed_stage1) {
+  // §3.2.2, 3-tuple timing filter: services like APNS keep a fixed
+  // remote (ip, port, proto) while rotating source ports, so their
+  // in-call streams evade stage 1. Any remote 3-tuple active outside
+  // the call window taints matching in-window streams.
+  std::vector<ThreeTuple> tuples;
+  for (std::size_t i = 0; i < table.streams.size(); ++i) {
+    if (!removed_stage1[i]) continue;
+    const Stream& s = table.streams[i];
+    auto add_if_remote = [&](const IpAddr& ip, std::uint16_t port) {
+      if (!is_device(ip, cfg))
+        tuples.push_back(ThreeTuple{ip, port, s.key.transport});
+    };
+    add_if_remote(s.key.a, s.key.a_port);
+    add_if_remote(s.key.b, s.key.b_port);
+  }
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  return tuples;
+}
+
+std::optional<std::string> stream_sni(const Trace& trace, const Stream& s) {
+  // The ClientHello is within the first packets of a TCP stream; scan a
+  // small prefix to keep the filter O(streams), not O(packets).
+  constexpr std::size_t kMaxProbe = 8;
+  const std::size_t n = std::min(s.packets.size(), kMaxProbe);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto payload = rtcc::net::packet_payload(trace, s.packets[i]);
+    if (payload.empty()) continue;
+    if (auto sni = rtcc::proto::tls::extract_sni(payload)) return sni;
+  }
+  return std::nullopt;
+}
+
+bool sni_blocked(const std::string& sni,
+                 const std::vector<std::string>& blocklist) {
+  for (const auto& domain : blocklist) {
+    if (sni == domain) return true;
+    if (sni.size() > domain.size() &&
+        sni.compare(sni.size() - domain.size(), domain.size(), domain) == 0 &&
+        sni[sni.size() - domain.size() - 1] == '.') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rtcc::filter

@@ -1,0 +1,14 @@
+#include "filter/pipeline.hpp"
+
+namespace rtcc::filter {
+
+bool enclosed_in_window(const rtcc::net::Stream& s,
+                        const CallSchedule& schedule) {
+  // §3.2.1: streams that begin before the call starts, end after it
+  // ends, or span both are unrelated; only streams fully inside the
+  // expanded window survive stage 1.
+  return s.first_ts >= schedule.window_begin() &&
+         s.last_ts <= schedule.window_end();
+}
+
+}  // namespace rtcc::filter

@@ -1,0 +1,183 @@
+#include "net/address.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace rtcc::net {
+
+IpAddr IpAddr::v4(std::uint32_t host_order) {
+  IpAddr a;
+  a.v4_ = true;
+  a.bytes_[12] = static_cast<std::uint8_t>(host_order >> 24);
+  a.bytes_[13] = static_cast<std::uint8_t>(host_order >> 16);
+  a.bytes_[14] = static_cast<std::uint8_t>(host_order >> 8);
+  a.bytes_[15] = static_cast<std::uint8_t>(host_order);
+  return a;
+}
+
+IpAddr IpAddr::v4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                  std::uint8_t d) {
+  return v4((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+            (std::uint32_t{c} << 8) | d);
+}
+
+IpAddr IpAddr::v6(const std::array<std::uint8_t, 16>& bytes) {
+  IpAddr a;
+  a.v4_ = false;
+  a.bytes_ = bytes;
+  return a;
+}
+
+std::uint32_t IpAddr::v4_value() const {
+  return (std::uint32_t{bytes_[12]} << 24) | (std::uint32_t{bytes_[13]} << 16) |
+         (std::uint32_t{bytes_[14]} << 8) | bytes_[15];
+}
+
+namespace {
+
+std::optional<IpAddr> parse_v4(std::string_view text) {
+  std::array<std::uint8_t, 4> parts{};
+  std::size_t idx = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  while (idx < 4) {
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255 || next == p) return std::nullopt;
+    parts[idx++] = static_cast<std::uint8_t>(value);
+    p = next;
+    if (idx < 4) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return IpAddr::v4(parts[0], parts[1], parts[2], parts[3]);
+}
+
+std::optional<IpAddr> parse_v6(std::string_view text) {
+  // Split on "::" into head and tail group lists.
+  std::array<std::uint16_t, 8> groups{};
+  std::size_t head_count = 0, tail_count = 0;
+  std::array<std::uint16_t, 8> head{}, tail{};
+  bool seen_gap = false;
+
+  auto parse_groups = [](std::string_view part, std::array<std::uint16_t, 8>& out,
+                         std::size_t& count) -> bool {
+    if (part.empty()) {
+      count = 0;
+      return true;
+    }
+    std::size_t start = 0;
+    while (true) {
+      std::size_t colon = part.find(':', start);
+      std::string_view g = colon == std::string_view::npos
+                               ? part.substr(start)
+                               : part.substr(start, colon - start);
+      if (g.empty() || g.size() > 4 || count >= 8) return false;
+      unsigned value = 0;
+      auto [next, ec] =
+          std::from_chars(g.data(), g.data() + g.size(), value, 16);
+      if (ec != std::errc{} || next != g.data() + g.size() || value > 0xFFFF)
+        return false;
+      out[count++] = static_cast<std::uint16_t>(value);
+      if (colon == std::string_view::npos) return true;
+      start = colon + 1;
+    }
+  };
+
+  std::size_t gap = text.find("::");
+  if (gap != std::string_view::npos) {
+    seen_gap = true;
+    if (!parse_groups(text.substr(0, gap), head, head_count))
+      return std::nullopt;
+    if (!parse_groups(text.substr(gap + 2), tail, tail_count))
+      return std::nullopt;
+    if (head_count + tail_count > 7) return std::nullopt;
+  } else {
+    if (!parse_groups(text, head, head_count)) return std::nullopt;
+    if (head_count != 8) return std::nullopt;
+  }
+
+  if (seen_gap) {
+    for (std::size_t i = 0; i < head_count; ++i) groups[i] = head[i];
+    for (std::size_t i = 0; i < tail_count; ++i)
+      groups[8 - tail_count + i] = tail[i];
+  } else {
+    groups = head;
+  }
+
+  std::array<std::uint8_t, 16> bytes{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[i * 2] = static_cast<std::uint8_t>(groups[i] >> 8);
+    bytes[i * 2 + 1] = static_cast<std::uint8_t>(groups[i]);
+  }
+  return IpAddr::v6(bytes);
+}
+
+}  // namespace
+
+std::optional<IpAddr> IpAddr::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  return parse_v4(text);
+}
+
+bool IpAddr::is_private_v4() const {
+  if (!v4_) return false;
+  const std::uint32_t v = v4_value();
+  return (v >> 24) == 10 ||                      // 10/8
+         (v >> 20) == (172u << 4 | 1) ||         // 172.16/12 => 0xAC1
+         (v >> 16) == ((192u << 8) | 168);       // 192.168/16
+}
+
+bool IpAddr::is_link_local_v6() const {
+  return !v4_ && bytes_[0] == 0xFE && (bytes_[1] & 0xC0) == 0x80;
+}
+
+bool IpAddr::is_unique_local_v6() const {
+  return !v4_ && (bytes_[0] & 0xFE) == 0xFC;
+}
+
+bool IpAddr::is_local_scope() const {
+  return is_private_v4() || is_link_local_v6() || is_unique_local_v6();
+}
+
+bool IpAddr::is_loopback() const {
+  if (v4_) return (v4_value() >> 24) == 127;
+  for (std::size_t i = 0; i < 15; ++i)
+    if (bytes_[i] != 0) return false;
+  return bytes_[15] == 1;
+}
+
+std::string IpAddr::to_string() const {
+  char buf[64];
+  if (v4_) {
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", bytes_[12], bytes_[13],
+                  bytes_[14], bytes_[15]);
+    return buf;
+  }
+  // Uncompressed but lowercase-hex IPv6 (sufficient for reports/tests).
+  std::string out;
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::uint16_t g = static_cast<std::uint16_t>(
+        (std::uint16_t{bytes_[i * 2]} << 8) | bytes_[i * 2 + 1]);
+    std::snprintf(buf, sizeof(buf), "%x", g);
+    if (i) out.push_back(':');
+    out.append(buf);
+  }
+  return out;
+}
+
+std::size_t IpAddrHash::operator()(const IpAddr& a) const noexcept {
+  // FNV-1a over the 16 bytes plus the family flag.
+  std::size_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  };
+  for (std::uint8_t b : a.v6_bytes()) mix(b);
+  mix(a.is_v4() ? 1 : 0);
+  return h;
+}
+
+}  // namespace rtcc::net

@@ -1,0 +1,61 @@
+// IP address value type covering IPv4 and IPv6, with the scope
+// predicates the stage-2 "local IP" filter needs (RFC 1918 private,
+// IPv6 link-local fe80::/10, IPv6 unique-local fd00::/8).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rtcc::net {
+
+class IpAddr {
+ public:
+  IpAddr() = default;
+
+  static IpAddr v4(std::uint32_t host_order);
+  static IpAddr v4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                   std::uint8_t d);
+  static IpAddr v6(const std::array<std::uint8_t, 16>& bytes);
+
+  /// Parses dotted-quad IPv4 or (possibly ::-compressed) IPv6 text.
+  static std::optional<IpAddr> parse(std::string_view text);
+
+  [[nodiscard]] bool is_v4() const { return v4_; }
+  [[nodiscard]] bool is_v6() const { return !v4_; }
+
+  /// IPv4 value in host byte order; only valid when is_v4().
+  [[nodiscard]] std::uint32_t v4_value() const;
+  [[nodiscard]] const std::array<std::uint8_t, 16>& v6_bytes() const {
+    return bytes_;
+  }
+
+  /// RFC 1918 10/8, 172.16/12, 192.168/16 (IPv4 only).
+  [[nodiscard]] bool is_private_v4() const;
+  /// fe80::/10.
+  [[nodiscard]] bool is_link_local_v6() const;
+  /// fc00::/7 (the paper names fd00::/8, the commonly used half).
+  [[nodiscard]] bool is_unique_local_v6() const;
+  /// Any of the above — "local scope" for the stage-2 filter.
+  [[nodiscard]] bool is_local_scope() const;
+  [[nodiscard]] bool is_loopback() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  auto operator<=>(const IpAddr&) const = default;
+
+ private:
+  // IPv4 stored in the final 4 bytes (like an IPv4-mapped address) so a
+  // single 16-byte array backs both families.
+  std::array<std::uint8_t, 16> bytes_{};
+  bool v4_ = true;
+};
+
+struct IpAddrHash {
+  std::size_t operator()(const IpAddr& a) const noexcept;
+};
+
+}  // namespace rtcc::net

@@ -1,0 +1,197 @@
+#include "net/headers.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+
+namespace rtcc::net {
+
+using rtcc::util::ByteReader;
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::ByteWriter;
+
+namespace {
+
+constexpr std::uint16_t kEtherIpv4 = 0x0800;
+constexpr std::uint16_t kEtherIpv6 = 0x86DD;
+constexpr std::size_t kEthHeader = 14;
+
+std::uint32_t sum16(BytesView data, std::uint32_t acc) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    acc += rtcc::util::load_be16(data.data() + i);
+  if (i < data.size()) acc += std::uint32_t{data[i]} << 8;
+  return acc;
+}
+
+std::uint16_t fold(std::uint32_t acc) {
+  while (acc >> 16) acc = (acc & 0xFFFF) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc);
+}
+
+}  // namespace
+
+std::string to_string(Transport t) {
+  switch (t) {
+    case Transport::kUdp:
+      return "UDP";
+    case Transport::kTcp:
+      return "TCP";
+    case Transport::kOther:
+      break;
+  }
+  return "OTHER";
+}
+
+std::uint16_t internet_checksum(BytesView data, std::uint32_t initial) {
+  return fold(sum16(data, initial));
+}
+
+std::optional<Decoded> decode_frame(BytesView frame) {
+  if (frame.size() < kEthHeader) return std::nullopt;
+  const std::uint16_t ethertype = rtcc::util::load_be16(frame.data() + 12);
+  BytesView ip = frame.subspan(kEthHeader);
+
+  Decoded out;
+  std::uint8_t proto = 0;
+  BytesView l4;
+
+  if (ethertype == kEtherIpv4) {
+    if (ip.size() < 20) return std::nullopt;
+    const std::uint8_t version = ip[0] >> 4;
+    const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0F) * 4;
+    if (version != 4 || ihl < 20 || ip.size() < ihl) return std::nullopt;
+    const std::uint16_t total_len = rtcc::util::load_be16(ip.data() + 2);
+    if (total_len < ihl || total_len > ip.size()) return std::nullopt;
+    proto = ip[9];
+    out.src = IpAddr::v4(rtcc::util::load_be32(ip.data() + 12));
+    out.dst = IpAddr::v4(rtcc::util::load_be32(ip.data() + 16));
+    out.is_v6 = false;
+    l4 = ip.subspan(ihl, total_len - ihl);
+  } else if (ethertype == kEtherIpv6) {
+    if (ip.size() < 40) return std::nullopt;
+    if ((ip[0] >> 4) != 6) return std::nullopt;
+    const std::uint16_t payload_len = rtcc::util::load_be16(ip.data() + 4);
+    if (std::size_t{payload_len} + 40 > ip.size()) return std::nullopt;
+    proto = ip[6];  // next header; extension headers unsupported on purpose
+    std::array<std::uint8_t, 16> src{}, dst{};
+    std::copy_n(ip.data() + 8, 16, src.begin());
+    std::copy_n(ip.data() + 24, 16, dst.begin());
+    out.src = IpAddr::v6(src);
+    out.dst = IpAddr::v6(dst);
+    out.is_v6 = true;
+    l4 = ip.subspan(40, payload_len);
+  } else {
+    return std::nullopt;
+  }
+
+  if (proto == 17) {
+    if (l4.size() < 8) return std::nullopt;
+    out.transport = Transport::kUdp;
+    out.src_port = rtcc::util::load_be16(l4.data());
+    out.dst_port = rtcc::util::load_be16(l4.data() + 2);
+    const std::uint16_t udp_len = rtcc::util::load_be16(l4.data() + 4);
+    if (udp_len < 8 || udp_len > l4.size()) return std::nullopt;
+    out.payload = l4.subspan(8, udp_len - 8);
+  } else if (proto == 6) {
+    if (l4.size() < 20) return std::nullopt;
+    out.transport = Transport::kTcp;
+    out.src_port = rtcc::util::load_be16(l4.data());
+    out.dst_port = rtcc::util::load_be16(l4.data() + 2);
+    const std::size_t data_off = static_cast<std::size_t>(l4[12] >> 4) * 4;
+    if (data_off < 20 || data_off > l4.size()) return std::nullopt;
+    out.payload = l4.subspan(data_off);
+  } else {
+    return std::nullopt;
+  }
+  return out;
+}
+
+Bytes build_frame(const FrameSpec& spec, BytesView payload) {
+  ByteWriter w(kEthHeader + 40 + 20 + payload.size());
+
+  // Ethernet header with fixed synthetic locally administered MACs.
+  const std::array<std::uint8_t, 6> dst_mac{0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+  const std::array<std::uint8_t, 6> src_mac{0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+  w.raw(BytesView{dst_mac}).raw(BytesView{src_mac});
+  w.u16(spec.src.is_v4() ? kEtherIpv4 : kEtherIpv6);
+
+  const auto proto_num = static_cast<std::uint8_t>(spec.transport);
+
+  // Transport header + payload assembled first so lengths are known.
+  ByteWriter l4;
+  if (spec.transport == Transport::kUdp) {
+    l4.u16(spec.src_port).u16(spec.dst_port);
+    l4.u16(static_cast<std::uint16_t>(8 + payload.size()));
+    l4.u16(0);  // checksum patched below
+    l4.raw(payload);
+  } else {
+    // Minimal TCP header: seq/ack zeroed, PSH+ACK, fixed window.
+    l4.u16(spec.src_port).u16(spec.dst_port);
+    l4.u32(0).u32(0);
+    l4.u8(0x50);  // data offset = 5 words
+    l4.u8(0x18);  // PSH|ACK
+    l4.u16(65535);
+    l4.u16(0).u16(0);  // checksum, urgent
+    l4.raw(payload);
+  }
+
+  if (spec.src.is_v4()) {
+    ByteWriter ip;
+    ip.u8(0x45).u8(0);
+    ip.u16(static_cast<std::uint16_t>(20 + l4.size()));
+    ip.u16(0).u16(0x4000);  // id=0, DF
+    ip.u8(spec.ttl).u8(proto_num);
+    ip.u16(0);  // header checksum placeholder
+    ip.u32(spec.src.v4_value());
+    ip.u32(spec.dst.v4_value());
+    Bytes ip_hdr = std::move(ip).take();
+    rtcc::util::store_be16(ip_hdr.data() + 10,
+                           internet_checksum(BytesView{ip_hdr}));
+
+    // UDP checksum over IPv4 pseudo-header.
+    if (spec.transport == Transport::kUdp) {
+      ByteWriter pseudo;
+      pseudo.u32(spec.src.v4_value()).u32(spec.dst.v4_value());
+      pseudo.u8(0).u8(proto_num);
+      pseudo.u16(static_cast<std::uint16_t>(l4.size()));
+      std::uint32_t acc = sum16(pseudo.view(), 0);
+      acc = sum16(l4.view(), acc);
+      std::uint16_t csum = fold(acc);
+      if (csum == 0) csum = 0xFFFF;
+      Bytes l4_bytes = std::move(l4).take();
+      rtcc::util::store_be16(l4_bytes.data() + 6, csum);
+      w.raw(BytesView{ip_hdr}).raw(BytesView{l4_bytes});
+    } else {
+      w.raw(BytesView{ip_hdr}).raw(l4.view());
+    }
+  } else {
+    ByteWriter ip;
+    ip.u32(0x60000000u);  // version 6, tc 0, flow 0
+    ip.u16(static_cast<std::uint16_t>(l4.size()));
+    ip.u8(proto_num).u8(spec.ttl);
+    ip.raw(BytesView{spec.src.v6_bytes()});
+    ip.raw(BytesView{spec.dst.v6_bytes()});
+
+    if (spec.transport == Transport::kUdp) {
+      ByteWriter pseudo;
+      pseudo.raw(BytesView{spec.src.v6_bytes()});
+      pseudo.raw(BytesView{spec.dst.v6_bytes()});
+      pseudo.u32(static_cast<std::uint32_t>(l4.size()));
+      pseudo.u24(0).u8(proto_num);
+      std::uint32_t acc = sum16(pseudo.view(), 0);
+      acc = sum16(l4.view(), acc);
+      std::uint16_t csum = fold(acc);
+      if (csum == 0) csum = 0xFFFF;
+      Bytes l4_bytes = std::move(l4).take();
+      rtcc::util::store_be16(l4_bytes.data() + 6, csum);
+      w.raw(ip.view()).raw(BytesView{l4_bytes});
+    } else {
+      w.raw(ip.view()).raw(l4.view());
+    }
+  }
+  return std::move(w).take();
+}
+
+}  // namespace rtcc::net

@@ -1,0 +1,66 @@
+// Link/network/transport header encode + decode.
+//
+// The emulator synthesises full Ethernet/IPv4|IPv6/UDP|TCP frames and the
+// analysis pipeline decodes them back — the same parsing path a real
+// capture would take through our pcap reader.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/address.hpp"
+#include "util/bytes.hpp"
+
+namespace rtcc::net {
+
+enum class Transport : std::uint8_t { kUdp = 17, kTcp = 6, kOther = 0 };
+
+[[nodiscard]] std::string to_string(Transport t);
+
+/// One captured frame: timestamp (seconds since experiment epoch) plus
+/// raw Ethernet bytes, exactly what a pcap record stores.
+struct Frame {
+  double ts = 0.0;
+  rtcc::util::Bytes data;
+};
+
+/// Decoded view over one frame. `payload` aliases the frame's bytes —
+/// valid only while the owning Frame is alive (Core Guidelines: views
+/// don't own; the Trace owns).
+struct Decoded {
+  IpAddr src;
+  IpAddr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Transport transport = Transport::kOther;
+  rtcc::util::BytesView payload;  // UDP payload or TCP segment payload
+  bool is_v6 = false;
+};
+
+/// Decodes Ethernet → IPv4/IPv6 → UDP/TCP. Returns nullopt for
+/// non-IP ethertypes, truncated headers, or unsupported transports
+/// (those frames are ignored upstream, matching Wireshark's behaviour
+/// of our filters only ever seeing UDP/TCP).
+[[nodiscard]] std::optional<Decoded> decode_frame(rtcc::util::BytesView frame);
+
+struct FrameSpec {
+  IpAddr src;
+  IpAddr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Transport transport = Transport::kUdp;
+  std::uint8_t ttl = 64;
+};
+
+/// Builds a full Ethernet frame (synthetic MACs) around `payload`.
+/// IPv4/IPv6 selected by the address family of `spec.src` (both
+/// endpoints must be the same family). UDP/IP checksums are computed.
+[[nodiscard]] rtcc::util::Bytes build_frame(const FrameSpec& spec,
+                                            rtcc::util::BytesView payload);
+
+/// RFC 1071 internet checksum (IPv4 header / UDP pseudo-header sums).
+[[nodiscard]] std::uint16_t internet_checksum(rtcc::util::BytesView data,
+                                              std::uint32_t initial = 0);
+
+}  // namespace rtcc::net

@@ -1,0 +1,152 @@
+#include "net/pcap.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace rtcc::net {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+
+namespace {
+
+constexpr std::uint32_t kMagicNative = 0xA1B2C3D4;
+constexpr std::uint32_t kMagicSwapped = 0xD4C3B2A1;
+constexpr std::uint32_t kLinkEthernet = 1;
+constexpr std::uint32_t kSnapLen = 262144;
+
+std::uint32_t load32(const std::uint8_t* p, bool swap) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  if (swap) v = __builtin_bswap32(v);
+  return v;
+}
+
+void push32(Bytes& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + 4);
+}
+
+void push16(Bytes& out, std::uint16_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + 2);
+}
+
+void set_error(std::string* error, const char* msg) {
+  if (error) *error = msg;
+}
+
+}  // namespace
+
+std::uint64_t Trace::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& f : frames) n += f.data.size();
+  return n;
+}
+
+Bytes encode_pcap(const Trace& trace) {
+  Bytes out;
+  out.reserve(24 + trace.frames.size() * 16 + trace.total_bytes());
+  push32(out, kMagicNative);
+  push16(out, 2);  // version major
+  push16(out, 4);  // version minor
+  push32(out, 0);  // thiszone
+  push32(out, 0);  // sigfigs
+  push32(out, kSnapLen);
+  push32(out, kLinkEthernet);
+
+  for (const auto& f : trace.frames) {
+    const double ts = f.ts < 0 ? 0.0 : f.ts;
+    const auto sec = static_cast<std::uint32_t>(ts);
+    const auto usec = static_cast<std::uint32_t>(
+        std::llround((ts - static_cast<double>(sec)) * 1e6) % 1000000);
+    push32(out, sec);
+    push32(out, usec);
+    push32(out, static_cast<std::uint32_t>(f.data.size()));
+    push32(out, static_cast<std::uint32_t>(f.data.size()));
+    out.insert(out.end(), f.data.begin(), f.data.end());
+  }
+  return out;
+}
+
+std::optional<Trace> decode_pcap(BytesView data, std::string* error) {
+  if (data.size() < 24) {
+    set_error(error, "pcap: file shorter than global header");
+    return std::nullopt;
+  }
+  std::uint32_t magic;
+  std::memcpy(&magic, data.data(), 4);
+  bool swap;
+  if (magic == kMagicNative) {
+    swap = false;
+  } else if (magic == kMagicSwapped) {
+    swap = true;
+  } else {
+    set_error(error, "pcap: bad magic number");
+    return std::nullopt;
+  }
+  const std::uint32_t linktype = load32(data.data() + 20, swap);
+  if (linktype != kLinkEthernet) {
+    set_error(error, "pcap: unsupported link type (want Ethernet)");
+    return std::nullopt;
+  }
+
+  Trace trace;
+  std::size_t pos = 24;
+  while (pos < data.size()) {
+    if (pos + 16 > data.size()) {
+      set_error(error, "pcap: truncated record header");
+      return std::nullopt;
+    }
+    const std::uint32_t sec = load32(data.data() + pos, swap);
+    const std::uint32_t usec = load32(data.data() + pos + 4, swap);
+    const std::uint32_t incl = load32(data.data() + pos + 8, swap);
+    pos += 16;
+    if (pos + incl > data.size()) {
+      set_error(error, "pcap: truncated packet record");
+      return std::nullopt;
+    }
+    Frame f;
+    f.ts = static_cast<double>(sec) + static_cast<double>(usec) * 1e-6;
+    f.data.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                  data.begin() + static_cast<std::ptrdiff_t>(pos + incl));
+    trace.frames.push_back(std::move(f));
+    pos += incl;
+  }
+  return trace;
+}
+
+std::optional<Trace> read_pcap(const std::string& path, std::string* error) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!fp) {
+    set_error(error, "pcap: cannot open file");
+    return std::nullopt;
+  }
+  Bytes data;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), fp.get())) > 0)
+    data.insert(data.end(), buf, buf + n);
+  return decode_pcap(BytesView{data}, error);
+}
+
+bool write_pcap(const std::string& path, const Trace& trace,
+                std::string* error) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!fp) {
+    set_error(error, "pcap: cannot open file for writing");
+    return false;
+  }
+  Bytes data = encode_pcap(trace);
+  if (std::fwrite(data.data(), 1, data.size(), fp.get()) != data.size()) {
+    set_error(error, "pcap: short write");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rtcc::net

@@ -1,0 +1,41 @@
+// Classic libpcap (.pcap) file reader/writer — microsecond timestamps,
+// LINKTYPE_ETHERNET. Both byte orders are accepted on read (magic
+// 0xA1B2C3D4 vs 0xD4C3B2A1); files are written in native little-endian
+// order like tcpdump does.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/headers.hpp"
+
+namespace rtcc::net {
+
+/// An ordered capture: what one Wireshark session on one device saw.
+struct Trace {
+  std::vector<Frame> frames;
+
+  [[nodiscard]] std::size_t size() const { return frames.size(); }
+  [[nodiscard]] std::uint64_t total_bytes() const;
+};
+
+struct PcapError {
+  std::string message;
+};
+
+/// Reads an entire .pcap file. Returns an error message for bad magic,
+/// truncated records, or non-Ethernet link types.
+[[nodiscard]] std::optional<Trace> read_pcap(const std::string& path,
+                                             std::string* error = nullptr);
+
+/// Writes `trace` as a classic pcap file (snaplen 262144).
+[[nodiscard]] bool write_pcap(const std::string& path, const Trace& trace,
+                              std::string* error = nullptr);
+
+/// In-memory round trip used heavily by tests.
+[[nodiscard]] rtcc::util::Bytes encode_pcap(const Trace& trace);
+[[nodiscard]] std::optional<Trace> decode_pcap(rtcc::util::BytesView data,
+                                               std::string* error = nullptr);
+
+}  // namespace rtcc::net

@@ -1,0 +1,114 @@
+#include "net/stream_table.hpp"
+
+#include <algorithm>
+
+namespace rtcc::net {
+
+std::string FlowKey::to_string() const {
+  return a.to_string() + ":" + std::to_string(a_port) + " <-> " +
+         b.to_string() + ":" + std::to_string(b_port) + " " +
+         rtcc::net::to_string(transport);
+}
+
+std::size_t FlowKeyHash::operator()(const FlowKey& k) const noexcept {
+  IpAddrHash ih;
+  std::size_t h = ih(k.a);
+  auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  };
+  mix(k.a_port);
+  mix(ih(k.b));
+  mix(k.b_port);
+  mix(static_cast<std::size_t>(k.transport));
+  return h;
+}
+
+std::pair<FlowKey, Direction> canonical_flow(const Decoded& d) {
+  const bool src_is_a =
+      std::tie(d.src, d.src_port) <= std::tie(d.dst, d.dst_port);
+  FlowKey key;
+  key.transport = d.transport;
+  if (src_is_a) {
+    key.a = d.src;
+    key.a_port = d.src_port;
+    key.b = d.dst;
+    key.b_port = d.dst_port;
+    return {key, Direction::kAtoB};
+  }
+  key.a = d.dst;
+  key.a_port = d.dst_port;
+  key.b = d.src;
+  key.b_port = d.src_port;
+  return {key, Direction::kBtoA};
+}
+
+std::uint64_t Stream::total_payload_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& p : packets) n += p.payload_len;
+  return n;
+}
+
+std::size_t StreamTable::udp_stream_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(streams.begin(), streams.end(), [](const Stream& s) {
+        return s.key.transport == Transport::kUdp;
+      }));
+}
+
+std::size_t StreamTable::tcp_stream_count() const {
+  return streams.size() - udp_stream_count();
+}
+
+std::uint64_t StreamTable::udp_datagram_count() const {
+  std::uint64_t n = 0;
+  for (const auto& s : streams)
+    if (s.key.transport == Transport::kUdp) n += s.packets.size();
+  return n;
+}
+
+std::uint64_t StreamTable::tcp_segment_count() const {
+  std::uint64_t n = 0;
+  for (const auto& s : streams)
+    if (s.key.transport == Transport::kTcp) n += s.packets.size();
+  return n;
+}
+
+StreamTable group_streams(const Trace& trace) {
+  StreamTable table;
+  std::unordered_map<FlowKey, std::size_t, FlowKeyHash> index;
+
+  for (std::size_t i = 0; i < trace.frames.size(); ++i) {
+    const Frame& frame = trace.frames[i];
+    auto decoded = decode_frame(rtcc::util::BytesView{frame.data});
+    if (!decoded) {
+      ++table.undecodable_frames;
+      continue;
+    }
+    auto [key, dir] = canonical_flow(*decoded);
+    auto [it, inserted] = index.try_emplace(key, table.streams.size());
+    if (inserted) {
+      Stream s;
+      s.key = key;
+      s.first_ts = frame.ts;
+      s.last_ts = frame.ts;
+      table.streams.push_back(std::move(s));
+    }
+    Stream& stream = table.streams[it->second];
+    stream.first_ts = std::min(stream.first_ts, frame.ts);
+    stream.last_ts = std::max(stream.last_ts, frame.ts);
+    stream.packets.push_back(StreamPacket{
+        static_cast<std::uint32_t>(i), frame.ts, dir,
+        static_cast<std::uint32_t>(decoded->payload.size())});
+  }
+  return table;
+}
+
+rtcc::util::BytesView packet_payload(const Trace& trace,
+                                     const StreamPacket& pkt) {
+  const Frame& frame = trace.frames.at(pkt.frame_index);
+  auto decoded = decode_frame(rtcc::util::BytesView{frame.data});
+  if (!decoded) return {};
+  return decoded->payload;
+}
+
+}  // namespace rtcc::net

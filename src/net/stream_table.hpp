@@ -1,0 +1,74 @@
+// Transport-stream grouping (§3.2): packets are grouped into streams by
+// their 5-tuple, treating the two directions of a conversation as one
+// bidirectional stream (like Wireshark's "Follow UDP stream").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "net/pcap.hpp"
+
+namespace rtcc::net {
+
+enum class Direction : std::uint8_t { kAtoB, kBtoA };
+
+/// Canonical bidirectional 5-tuple: endpoint A is the lexicographically
+/// smaller (ip, port) pair so both directions hash identically.
+struct FlowKey {
+  IpAddr a;
+  std::uint16_t a_port = 0;
+  IpAddr b;
+  std::uint16_t b_port = 0;
+  Transport transport = Transport::kUdp;
+
+  bool operator==(const FlowKey&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const noexcept;
+};
+
+/// Canonicalises a decoded packet into (key, direction-of-this-packet).
+[[nodiscard]] std::pair<FlowKey, Direction> canonical_flow(const Decoded& d);
+
+/// One packet's membership in a stream; indexes into the owning Trace.
+struct StreamPacket {
+  std::uint32_t frame_index = 0;
+  double ts = 0.0;
+  Direction dir = Direction::kAtoB;
+  std::uint32_t payload_len = 0;
+};
+
+struct Stream {
+  FlowKey key;
+  std::vector<StreamPacket> packets;
+  double first_ts = 0.0;
+  double last_ts = 0.0;
+
+  [[nodiscard]] std::uint64_t total_payload_bytes() const;
+};
+
+/// All streams of one trace plus decode bookkeeping.
+struct StreamTable {
+  std::vector<Stream> streams;
+  std::size_t undecodable_frames = 0;  // non-IP / truncated, skipped
+
+  [[nodiscard]] std::size_t udp_stream_count() const;
+  [[nodiscard]] std::size_t tcp_stream_count() const;
+  [[nodiscard]] std::uint64_t udp_datagram_count() const;
+  [[nodiscard]] std::uint64_t tcp_segment_count() const;
+};
+
+/// Single pass over a trace: decode every frame, group into streams.
+[[nodiscard]] StreamTable group_streams(const Trace& trace);
+
+/// Convenience for analysis stages: resolves a StreamPacket back to its
+/// transport payload bytes (view into the trace's frame).
+[[nodiscard]] rtcc::util::BytesView packet_payload(const Trace& trace,
+                                                   const StreamPacket& pkt);
+
+}  // namespace rtcc::net

@@ -1,0 +1,51 @@
+#include "proto/common.hpp"
+
+namespace rtcc::proto {
+
+std::string to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kStunTurn:
+      return "STUN/TURN";
+    case Protocol::kRtp:
+      return "RTP";
+    case Protocol::kRtcp:
+      return "RTCP";
+    case Protocol::kQuic:
+      return "QUIC";
+  }
+  return "?";
+}
+
+std::string to_string(SpecSource s) {
+  switch (s) {
+    case SpecSource::kRfc3489:
+      return "RFC 3489";
+    case SpecSource::kRfc5389:
+      return "RFC 5389";
+    case SpecSource::kRfc8489:
+      return "RFC 8489";
+    case SpecSource::kRfc8656:
+      return "RFC 8656";
+    case SpecSource::kRfc8445:
+      return "RFC 8445";
+    case SpecSource::kRfc5780:
+      return "RFC 5780";
+    case SpecSource::kRfc3550:
+      return "RFC 3550";
+    case SpecSource::kRfc8285:
+      return "RFC 8285";
+    case SpecSource::kRfc4585:
+      return "RFC 4585";
+    case SpecSource::kRfc3611:
+      return "RFC 3611";
+    case SpecSource::kRfc9000:
+      return "RFC 9000";
+    case SpecSource::kExtension:
+      return "extension";
+    case SpecSource::kUndefined:
+      return "undefined";
+  }
+  return "?";
+}
+
+}  // namespace rtcc::proto

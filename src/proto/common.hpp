@@ -1,0 +1,45 @@
+// Shared protocol taxonomy for the DPI and compliance layers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rtcc::proto {
+
+/// The RTC media-transmission protocols the paper analyses (§2.1).
+/// STUN and TURN share one wire format and are analysed jointly (§2.1),
+/// so they are a single enumerator, as in the paper's tables.
+enum class Protocol : std::uint8_t {
+  kStunTurn,
+  kRtp,
+  kRtcp,
+  kQuic,
+};
+
+[[nodiscard]] std::string to_string(Protocol p);
+
+/// Where a message/attribute type is defined. `kExtension` covers types
+/// the paper counts as defined but which appear only in vendor
+/// extensions (e.g. Google Meet's 0x0200/0x0300) — see DESIGN.md §1.
+enum class SpecSource : std::uint8_t {
+  kRfc3489,   // classic STUN
+  kRfc5389,   // STUN revision (magic cookie)
+  kRfc8489,   // current STUN
+  kRfc8656,   // TURN
+  kRfc8445,   // ICE attributes
+  kRfc5780,   // NAT behaviour discovery attributes
+  kRfc3550,   // RTP/RTCP
+  kRfc8285,   // RTP header extensions
+  kRfc4585,   // RTCP feedback (RTPFB/PSFB)
+  kRfc3611,   // RTCP XR
+  kRfc9000,   // QUIC v1
+  kExtension, // published vendor extension (counted compliant by paper)
+  kUndefined, // no known specification
+};
+
+[[nodiscard]] std::string to_string(SpecSource s);
+[[nodiscard]] inline bool is_defined(SpecSource s) {
+  return s != SpecSource::kUndefined;
+}
+
+}  // namespace rtcc::proto

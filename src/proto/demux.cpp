@@ -1,0 +1,35 @@
+#include "proto/demux.hpp"
+
+namespace rtcc::proto {
+
+std::string to_string(DemuxClass c) {
+  switch (c) {
+    case DemuxClass::kStun:
+      return "STUN";
+    case DemuxClass::kZrtp:
+      return "ZRTP";
+    case DemuxClass::kDtls:
+      return "DTLS";
+    case DemuxClass::kTurnChannel:
+      return "TURN-ChannelData";
+    case DemuxClass::kQuic:
+      return "QUIC";
+    case DemuxClass::kRtpRtcp:
+      return "RTP/RTCP";
+    case DemuxClass::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+DemuxClass classify_first_byte(std::uint8_t b) {
+  if (b <= 3) return DemuxClass::kStun;
+  if (b >= 16 && b <= 19) return DemuxClass::kZrtp;
+  if (b >= 20 && b <= 63) return DemuxClass::kDtls;
+  if (b >= 64 && b <= 79) return DemuxClass::kTurnChannel;
+  if (b >= 128 && b <= 191) return DemuxClass::kRtpRtcp;
+  if (b >= 192) return DemuxClass::kQuic;  // long header: 0b11......
+  return DemuxClass::kUnknown;
+}
+
+}  // namespace rtcc::proto

@@ -1,0 +1,33 @@
+// First-byte multiplexing classification per RFC 7983 (the scheme real
+// RTC stacks use to share one UDP socket among STUN, DTLS, TURN
+// ChannelData, RTP/RTCP and — per RFC 9443 — QUIC).
+//
+// The scanning DPI intentionally does NOT rely on this (proprietary
+// headers break it, which is the paper's point), but it is the right
+// primer for offset-zero classification and the strict baseline, and
+// useful to library users building their own tooling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rtcc::proto {
+
+enum class DemuxClass : std::uint8_t {
+  kStun,         // first byte 0..3
+  kZrtp,         // 16..19
+  kDtls,         // 20..63
+  kTurnChannel,  // 64..79 (TURN ChannelData)
+  kQuic,         // 128..191 with the long-header bit via RFC 9443 rules
+  kRtpRtcp,      // 128..191
+  kUnknown,
+};
+
+[[nodiscard]] std::string to_string(DemuxClass c);
+
+/// Classifies by the first payload byte per RFC 7983 §7 (+ RFC 9443's
+/// QUIC extension: in the 128..191 range, QUIC long headers set bit
+/// 0x40 *and* 0x80 — i.e. 192..255 — so plain 128..191 stays RTP/RTCP).
+[[nodiscard]] DemuxClass classify_first_byte(std::uint8_t b);
+
+}  // namespace rtcc::proto

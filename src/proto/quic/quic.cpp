@@ -1,0 +1,131 @@
+#include "proto/quic/quic.hpp"
+
+#include "util/hex.hpp"
+
+namespace rtcc::proto::quic {
+
+using rtcc::util::ByteReader;
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::ByteWriter;
+
+std::string ConnectionId::to_string() const {
+  return rtcc::util::to_hex(BytesView{bytes});
+}
+
+std::optional<Varint> read_varint(BytesView data) {
+  if (data.empty()) return std::nullopt;
+  const std::size_t width = std::size_t{1} << (data[0] >> 6);
+  if (data.size() < width) return std::nullopt;
+  std::uint64_t v = data[0] & 0x3F;
+  for (std::size_t i = 1; i < width; ++i) v = (v << 8) | data[i];
+  return Varint{v, width};
+}
+
+void write_varint(ByteWriter& w, std::uint64_t value) {
+  if (value < (1ULL << 6)) {
+    w.u8(static_cast<std::uint8_t>(value));
+  } else if (value < (1ULL << 14)) {
+    w.u16(static_cast<std::uint16_t>(value | 0x4000));
+  } else if (value < (1ULL << 30)) {
+    w.u32(static_cast<std::uint32_t>(value | 0x80000000u));
+  } else {
+    w.u64(value | 0xC000000000000000ULL);
+  }
+}
+
+std::optional<Header> parse(BytesView data, const ParseOptions& opts) {
+  if (data.empty()) return std::nullopt;
+  ByteReader r(data);
+  const std::uint8_t first = r.u8();
+
+  Header h;
+  h.long_form = (first & 0x80) != 0;
+  h.fixed_bit = (first & 0x40) != 0;
+
+  if (h.long_form) {
+    h.version = r.u32();
+    const std::uint8_t dcid_len = r.u8();
+    if (dcid_len > 20) return std::nullopt;  // RFC 9000 §17.2
+    h.dcid.bytes = r.copy(dcid_len);
+    const std::uint8_t scid_len = r.u8();
+    if (scid_len > 20) return std::nullopt;
+    h.scid.bytes = r.copy(scid_len);
+    if (!r.ok()) return std::nullopt;
+
+    if (h.version == kVersionNegotiation) {
+      // Version negotiation: rest is a list of supported versions.
+      if (r.remaining() % 4 != 0 || r.remaining() == 0) return std::nullopt;
+      h.header_size = r.offset();
+      h.payload_size = r.remaining();
+      return h;
+    }
+
+    h.long_type = static_cast<LongType>((first >> 4) & 0x03);
+
+    if (h.long_type == LongType::kRetry) {
+      // Retry: token until the 16-byte integrity tag; spans the rest.
+      if (r.remaining() < 16) return std::nullopt;
+      h.header_size = r.offset();
+      h.payload_size = r.remaining();
+      return h;
+    }
+
+    if (h.long_type == LongType::kInitial) {
+      auto token_len = read_varint(data.subspan(r.offset()));
+      if (!token_len) return std::nullopt;
+      r.skip(token_len->width);
+      if (r.remaining() < token_len->value) return std::nullopt;
+      r.skip(static_cast<std::size_t>(token_len->value));
+    }
+
+    auto length = read_varint(data.subspan(r.offset()));
+    if (!length) return std::nullopt;
+    r.skip(length->width);
+    if (r.remaining() < length->value) return std::nullopt;
+    h.header_size = r.offset();
+    h.payload_size = static_cast<std::size_t>(length->value);
+    return h;
+  }
+
+  // Short header: 1 byte + DCID (length known out-of-band) + pn + payload.
+  if (r.remaining() < opts.short_dcid_len + 1) return std::nullopt;
+  h.dcid.bytes = r.copy(opts.short_dcid_len);
+  h.version = kVersion1;
+  h.header_size = r.offset();
+  h.payload_size = r.remaining();
+  return h;
+}
+
+Bytes encode_long(LongType type, std::uint32_t version,
+                  const ConnectionId& dcid, const ConnectionId& scid,
+                  BytesView payload) {
+  ByteWriter w;
+  // Form=1, Fixed=1, type, 2-bit reserved/pn-length (pn len 2 => 0b01).
+  w.u8(static_cast<std::uint8_t>(0xC0 |
+                                 (static_cast<std::uint8_t>(type) << 4) |
+                                 0x01));
+  w.u32(version);
+  w.u8(static_cast<std::uint8_t>(dcid.bytes.size()));
+  w.raw(BytesView{dcid.bytes});
+  w.u8(static_cast<std::uint8_t>(scid.bytes.size()));
+  w.raw(BytesView{scid.bytes});
+  if (type == LongType::kInitial) write_varint(w, 0);  // empty token
+  // Length covers the 2-byte packet number + payload.
+  write_varint(w, 2 + payload.size());
+  w.u16(0x0001);  // packet number (unprotected in our model)
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+Bytes encode_short(const ConnectionId& dcid, BytesView payload, bool spin) {
+  ByteWriter w;
+  // Form=0, Fixed=1, spin, reserved 0, key phase 0, pn length 2 (0b01).
+  w.u8(static_cast<std::uint8_t>(0x40 | (spin ? 0x20 : 0x00) | 0x01));
+  w.raw(BytesView{dcid.bytes});
+  w.u16(0x0001);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+}  // namespace rtcc::proto::quic

@@ -1,0 +1,89 @@
+// QUIC v1 header codec — RFC 9000 §17 (long and short headers) plus
+// §16 variable-length integers and version negotiation.
+//
+// Payloads are encrypted in real traffic, so the analyzer (like the
+// paper's) only judges header structure: form bit, fixed bit, version,
+// packet type, DCID/SCID lengths and values.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace rtcc::proto::quic {
+
+constexpr std::uint32_t kVersion1 = 0x00000001;
+constexpr std::uint32_t kVersionNegotiation = 0x00000000;
+
+/// Long-header packet types (RFC 9000 Table 5).
+enum class LongType : std::uint8_t {
+  kInitial = 0,
+  kZeroRtt = 1,
+  kHandshake = 2,
+  kRetry = 3,
+};
+
+struct ConnectionId {
+  rtcc::util::Bytes bytes;
+
+  bool operator==(const ConnectionId&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct Header {
+  bool long_form = false;
+  bool fixed_bit = true;  // RFC 9000 §17.2/§17.3: MUST be 1
+  // Long header fields:
+  LongType long_type = LongType::kInitial;
+  std::uint32_t version = kVersion1;
+  ConnectionId dcid;
+  ConnectionId scid;  // long form only
+  // Parsed extent: long form consumes through the length-prefixed
+  // payload when present; short form spans the datagram remainder.
+  std::size_t header_size = 0;
+  std::size_t payload_size = 0;
+
+  [[nodiscard]] std::size_t wire_size() const {
+    return header_size + payload_size;
+  }
+};
+
+struct ParseOptions {
+  /// Short headers carry no DCID length on the wire; the parser needs
+  /// the connection's DCID length learned from the long-header phase.
+  std::size_t short_dcid_len = 8;
+};
+
+/// Parses one QUIC packet header at the start of `data`. Honors
+/// coalesced long-header packets (the Length field bounds them); a
+/// short-header packet always extends to the end of the datagram.
+[[nodiscard]] std::optional<Header> parse(rtcc::util::BytesView data,
+                                          const ParseOptions& opts = {});
+
+/// Variable-length integer (RFC 9000 §16). Returns value + width.
+struct Varint {
+  std::uint64_t value = 0;
+  std::size_t width = 0;
+};
+[[nodiscard]] std::optional<Varint> read_varint(rtcc::util::BytesView data);
+void write_varint(rtcc::util::ByteWriter& w, std::uint64_t value);
+
+/// Encodes a long-header packet with the given encrypted-payload bytes
+/// (the Length field covers packet number + payload; we model a 2-byte
+/// packet number).
+[[nodiscard]] rtcc::util::Bytes encode_long(LongType type,
+                                            std::uint32_t version,
+                                            const ConnectionId& dcid,
+                                            const ConnectionId& scid,
+                                            rtcc::util::BytesView payload);
+
+/// Encodes a short-header (1-RTT) packet.
+[[nodiscard]] rtcc::util::Bytes encode_short(const ConnectionId& dcid,
+                                             rtcc::util::BytesView payload,
+                                             bool spin = false);
+
+}  // namespace rtcc::proto::quic

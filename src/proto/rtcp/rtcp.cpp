@@ -1,0 +1,361 @@
+#include "proto/rtcp/rtcp.hpp"
+
+namespace rtcc::proto::rtcp {
+
+using rtcc::util::ByteReader;
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::ByteWriter;
+
+bool is_rtcp_packet_type(std::uint8_t pt) {
+  // RFC 5761 §4: RTCP packet types occupy 192..223 (64 values around
+  // the 200-207 block are reserved for RTCP to keep RTP/RTCP
+  // demultiplexing unambiguous).
+  return pt >= 192 && pt <= 223;
+}
+
+std::optional<std::uint32_t> Packet::ssrc() const {
+  if (body.size() < 4) return std::nullopt;
+  return rtcc::util::load_be32(body.data());
+}
+
+std::size_t Compound::parsed_size() const {
+  std::size_t n = 0;
+  for (const auto& p : packets) n += p.wire_size();
+  return n;
+}
+
+std::optional<Packet> parse_packet(BytesView data) {
+  if (data.size() < 4) return std::nullopt;
+  ByteReader r(data);
+  const std::uint8_t b0 = r.u8();
+  Packet p;
+  p.version = b0 >> 6;
+  if (p.version != 2) return std::nullopt;
+  p.padding = (b0 & 0x20) != 0;
+  p.count = b0 & 0x1F;
+  p.packet_type = r.u8();
+  if (!is_rtcp_packet_type(p.packet_type)) return std::nullopt;
+  p.length_words = r.u16();
+  const std::size_t body_len = std::size_t{p.length_words} * 4;
+  if (data.size() < 4 + body_len) return std::nullopt;
+  p.body = r.copy(body_len);
+  return p;
+}
+
+std::optional<Compound> parse_compound(BytesView data,
+                                       const ParseOptions& opts) {
+  Compound out;
+  std::size_t pos = 0;
+  while (pos + 4 <= data.size()) {
+    auto pkt = parse_packet(data.subspan(pos));
+    if (!pkt) break;
+    pos += pkt->wire_size();
+    out.packets.push_back(std::move(*pkt));
+  }
+  if (out.packets.empty()) return std::nullopt;
+  const std::size_t rest = data.size() - pos;
+  if (rest > 0) {
+    if (!opts.allow_trailing || rest > opts.max_trailing)
+      return std::nullopt;
+    out.trailing.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                        data.end());
+  }
+  return out;
+}
+
+Bytes encode_packet(const Packet& p) {
+  ByteWriter w(p.wire_size());
+  std::uint8_t b0 = static_cast<std::uint8_t>(p.version << 6);
+  if (p.padding) b0 |= 0x20;
+  b0 |= p.count & 0x1F;
+  w.u8(b0);
+  w.u8(p.packet_type);
+  w.u16(static_cast<std::uint16_t>(p.body.size() / 4));
+  w.raw(BytesView{p.body});
+  return std::move(w).take();
+}
+
+Bytes encode_compound(const Compound& c) {
+  ByteWriter w;
+  for (const auto& p : c.packets) w.raw(BytesView{encode_packet(p)});
+  w.raw(BytesView{c.trailing});
+  return std::move(w).take();
+}
+
+namespace {
+
+ReportBlock read_report_block(ByteReader& r) {
+  ReportBlock b;
+  b.ssrc = r.u32();
+  b.fraction_lost = r.u8();
+  b.cumulative_lost = r.u24();
+  b.highest_seq = r.u32();
+  b.jitter = r.u32();
+  b.lsr = r.u32();
+  b.dlsr = r.u32();
+  return b;
+}
+
+void write_report_block(ByteWriter& w, const ReportBlock& b) {
+  w.u32(b.ssrc);
+  w.u8(b.fraction_lost);
+  w.u24(b.cumulative_lost);
+  w.u32(b.highest_seq);
+  w.u32(b.jitter);
+  w.u32(b.lsr);
+  w.u32(b.dlsr);
+}
+
+}  // namespace
+
+bool xr_block_type_defined(std::uint8_t block_type) {
+  return block_type >= 1 && block_type <= 7;  // RFC 3611 §4
+}
+
+std::optional<Xr> decode_xr(const Packet& p) {
+  if (p.packet_type != kExtendedReport || p.body.size() < 4)
+    return std::nullopt;
+  ByteReader r(BytesView{p.body});
+  Xr out;
+  out.ssrc = r.u32();
+  while (r.remaining() >= 4) {
+    XrBlock b;
+    b.block_type = r.u8();
+    b.type_specific = r.u8();
+    const std::uint16_t words = r.u16();
+    b.body = r.copy(std::size_t{words} * 4);
+    if (!r.ok()) return std::nullopt;  // block overruns the packet
+    out.blocks.push_back(std::move(b));
+  }
+  if (r.remaining() != 0) return std::nullopt;  // dangling bytes
+  return out;
+}
+
+Packet make_xr(const Xr& xr) {
+  ByteWriter w;
+  w.u32(xr.ssrc);
+  for (const auto& b : xr.blocks) {
+    w.u8(b.block_type);
+    w.u8(b.type_specific);
+    const std::size_t padded = (b.body.size() + 3) & ~std::size_t{3};
+    w.u16(static_cast<std::uint16_t>(padded / 4));
+    w.raw(BytesView{b.body});
+    w.fill(0, padded - b.body.size());
+  }
+  Packet p;
+  p.packet_type = kExtendedReport;
+  p.count = 0;
+  p.body = std::move(w).take();
+  p.length_words = static_cast<std::uint16_t>(p.body.size() / 4);
+  return p;
+}
+
+std::optional<SenderReport> decode_sender_report(const Packet& p) {
+  if (p.packet_type != kSenderReport) return std::nullopt;
+  if (p.body.size() < 24 + std::size_t{p.count} * 24) return std::nullopt;
+  ByteReader r(BytesView{p.body});
+  SenderReport sr;
+  sr.sender_ssrc = r.u32();
+  sr.ntp_timestamp = r.u64();
+  sr.rtp_timestamp = r.u32();
+  sr.packet_count = r.u32();
+  sr.octet_count = r.u32();
+  for (std::uint8_t i = 0; i < p.count; ++i)
+    sr.reports.push_back(read_report_block(r));
+  if (!r.ok()) return std::nullopt;
+  return sr;
+}
+
+std::optional<ReceiverReport> decode_receiver_report(const Packet& p) {
+  if (p.packet_type != kReceiverReport) return std::nullopt;
+  if (p.body.size() < 4 + std::size_t{p.count} * 24) return std::nullopt;
+  ByteReader r(BytesView{p.body});
+  ReceiverReport rr;
+  rr.sender_ssrc = r.u32();
+  for (std::uint8_t i = 0; i < p.count; ++i)
+    rr.reports.push_back(read_report_block(r));
+  if (!r.ok()) return std::nullopt;
+  return rr;
+}
+
+std::optional<Sdes> decode_sdes(const Packet& p) {
+  if (p.packet_type != kSdes) return std::nullopt;
+  ByteReader r(BytesView{p.body});
+  Sdes out;
+  for (std::uint8_t c = 0; c < p.count; ++c) {
+    SdesChunk chunk;
+    chunk.ssrc = r.u32();
+    // Items until a zero terminator, then pad to 32-bit boundary.
+    while (r.ok()) {
+      const std::uint8_t type = r.u8();
+      if (type == 0) break;
+      const std::uint8_t len = r.u8();
+      SdesItem item;
+      item.type = type;
+      item.value = r.copy(len);
+      chunk.items.push_back(std::move(item));
+    }
+    while (r.ok() && (r.offset() % 4) != 0) r.skip(1);
+    if (!r.ok()) return std::nullopt;
+    out.chunks.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+std::optional<Bye> decode_bye(const Packet& p) {
+  if (p.packet_type != kBye) return std::nullopt;
+  if (p.body.size() < std::size_t{p.count} * 4) return std::nullopt;
+  ByteReader r(BytesView{p.body});
+  Bye out;
+  for (std::uint8_t i = 0; i < p.count; ++i) out.ssrcs.push_back(r.u32());
+  if (r.remaining() > 0) {
+    const std::uint8_t len = r.u8();
+    out.reason = r.copy(len);
+  }
+  if (!r.ok()) return std::nullopt;
+  return out;
+}
+
+std::optional<App> decode_app(const Packet& p) {
+  if (p.packet_type != kApp || p.body.size() < 8) return std::nullopt;
+  ByteReader r(BytesView{p.body});
+  App out;
+  out.ssrc = r.u32();
+  auto name = r.bytes(4);
+  for (std::size_t i = 0; i < 4; ++i)
+    out.name[i] = static_cast<char>(name[i]);
+  out.data = r.copy(r.remaining());
+  return out;
+}
+
+std::optional<Feedback> decode_feedback(const Packet& p) {
+  if ((p.packet_type != kRtpFeedback && p.packet_type != kPayloadFeedback) ||
+      p.body.size() < 8)
+    return std::nullopt;
+  ByteReader r(BytesView{p.body});
+  Feedback out;
+  out.sender_ssrc = r.u32();
+  out.media_ssrc = r.u32();
+  out.fci = r.copy(r.remaining());
+  return out;
+}
+
+Packet make_sender_report(const SenderReport& sr) {
+  ByteWriter w;
+  w.u32(sr.sender_ssrc);
+  w.u64(sr.ntp_timestamp);
+  w.u32(sr.rtp_timestamp);
+  w.u32(sr.packet_count);
+  w.u32(sr.octet_count);
+  for (const auto& b : sr.reports) write_report_block(w, b);
+  Packet p;
+  p.packet_type = kSenderReport;
+  p.count = static_cast<std::uint8_t>(sr.reports.size());
+  p.body = std::move(w).take();
+  p.length_words = static_cast<std::uint16_t>(p.body.size() / 4);
+  return p;
+}
+
+Packet make_receiver_report(const ReceiverReport& rr) {
+  ByteWriter w;
+  w.u32(rr.sender_ssrc);
+  for (const auto& b : rr.reports) write_report_block(w, b);
+  Packet p;
+  p.packet_type = kReceiverReport;
+  p.count = static_cast<std::uint8_t>(rr.reports.size());
+  p.body = std::move(w).take();
+  p.length_words = static_cast<std::uint16_t>(p.body.size() / 4);
+  return p;
+}
+
+Packet make_sdes(const Sdes& sdes) {
+  ByteWriter w;
+  for (const auto& chunk : sdes.chunks) {
+    w.u32(chunk.ssrc);
+    for (const auto& item : chunk.items) {
+      w.u8(item.type);
+      w.u8(static_cast<std::uint8_t>(item.value.size()));
+      w.raw(BytesView{item.value});
+    }
+    w.u8(0);  // terminator
+    while (w.size() % 4 != 0) w.u8(0);
+  }
+  Packet p;
+  p.packet_type = kSdes;
+  p.count = static_cast<std::uint8_t>(sdes.chunks.size());
+  p.body = std::move(w).take();
+  p.length_words = static_cast<std::uint16_t>(p.body.size() / 4);
+  return p;
+}
+
+Packet make_bye(const Bye& bye) {
+  ByteWriter w;
+  for (std::uint32_t s : bye.ssrcs) w.u32(s);
+  if (!bye.reason.empty()) {
+    w.u8(static_cast<std::uint8_t>(bye.reason.size()));
+    w.raw(BytesView{bye.reason});
+    while (w.size() % 4 != 0) w.u8(0);
+  }
+  Packet p;
+  p.packet_type = kBye;
+  p.count = static_cast<std::uint8_t>(bye.ssrcs.size());
+  p.body = std::move(w).take();
+  p.length_words = static_cast<std::uint16_t>(p.body.size() / 4);
+  return p;
+}
+
+Packet make_app(const App& app, std::uint8_t subtype) {
+  ByteWriter w;
+  w.u32(app.ssrc);
+  for (char c : app.name) w.u8(static_cast<std::uint8_t>(c));
+  w.raw(BytesView{app.data});
+  while (w.size() % 4 != 0) w.u8(0);
+  Packet p;
+  p.packet_type = kApp;
+  p.count = subtype & 0x1F;
+  p.body = std::move(w).take();
+  p.length_words = static_cast<std::uint16_t>(p.body.size() / 4);
+  return p;
+}
+
+Packet make_feedback(std::uint8_t packet_type, std::uint8_t fmt,
+                     const Feedback& fb) {
+  ByteWriter w;
+  w.u32(fb.sender_ssrc);
+  w.u32(fb.media_ssrc);
+  w.raw(BytesView{fb.fci});
+  while (w.size() % 4 != 0) w.u8(0);
+  Packet p;
+  p.packet_type = packet_type;
+  p.count = fmt & 0x1F;
+  p.body = std::move(w).take();
+  p.length_words = static_cast<std::uint16_t>(p.body.size() / 4);
+  return p;
+}
+
+std::string packet_type_name(std::uint8_t pt) {
+  switch (pt) {
+    case kSenderReport:
+      return "SR";
+    case kReceiverReport:
+      return "RR";
+    case kSdes:
+      return "SDES";
+    case kBye:
+      return "BYE";
+    case kApp:
+      return "APP";
+    case kRtpFeedback:
+      return "RTPFB";
+    case kPayloadFeedback:
+      return "PSFB";
+    case kExtendedReport:
+      return "XR";
+    default:
+      return is_rtcp_packet_type(pt) ? "RTCP-" + std::to_string(pt)
+                                     : "(not RTCP)";
+  }
+}
+
+}  // namespace rtcc::proto::rtcp

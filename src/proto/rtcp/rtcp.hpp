@@ -1,0 +1,177 @@
+// RTCP wire codec — RFC 3550 §6 packet formats (SR/RR/SDES/BYE/APP),
+// RFC 4585 feedback (RTPFB/PSFB) and RFC 3611 XR, plus compound-packet
+// parsing. Trailing bytes after the last well-formed packet (SRTCP
+// trailers, Discord's proprietary 3-byte trailer) are surfaced to the
+// caller rather than rejected — the compliance layer decides what they
+// mean.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/common.hpp"
+#include "util/bytes.hpp"
+
+namespace rtcc::proto::rtcp {
+
+// Packet types (RFC 3550 §12.1, RFC 4585, RFC 3611).
+constexpr std::uint8_t kSenderReport = 200;
+constexpr std::uint8_t kReceiverReport = 201;
+constexpr std::uint8_t kSdes = 202;
+constexpr std::uint8_t kBye = 203;
+constexpr std::uint8_t kApp = 204;
+constexpr std::uint8_t kRtpFeedback = 205;    // RTPFB (NACK, TWCC, ...)
+constexpr std::uint8_t kPayloadFeedback = 206;  // PSFB (PLI, FIR, REMB, ...)
+constexpr std::uint8_t kExtendedReport = 207;   // XR
+
+/// True for the RTCP packet-type range per RFC 5761 §4 demultiplexing.
+[[nodiscard]] bool is_rtcp_packet_type(std::uint8_t pt);
+
+/// One RTCP packet: common header + raw body. `count` is the 5-bit
+/// RC/SC/FMT field whose meaning depends on the packet type.
+struct Packet {
+  std::uint8_t version = 2;
+  bool padding = false;
+  std::uint8_t count = 0;
+  std::uint8_t packet_type = 0;
+  std::uint16_t length_words = 0;  // as declared (size/4 - 1)
+  rtcc::util::Bytes body;          // everything after the 4-byte header
+
+  [[nodiscard]] std::size_t wire_size() const {
+    return 4 + std::size_t{length_words} * 4;
+  }
+  /// Sender/packet SSRC (first body word); nullopt for bodies < 4 bytes.
+  [[nodiscard]] std::optional<std::uint32_t> ssrc() const;
+};
+
+/// A compound datagram: one or more packets plus unattributed trailing
+/// bytes (SRTCP auth portions, proprietary trailers, ...).
+struct Compound {
+  std::vector<Packet> packets;
+  rtcc::util::Bytes trailing;
+
+  [[nodiscard]] std::size_t parsed_size() const;
+};
+
+struct ParseOptions {
+  /// Stop at the first non-RTCP-looking byte run and report it as
+  /// trailing (default). When false, any leftover fails the parse.
+  bool allow_trailing = true;
+  /// Maximum trailing length tolerated before the candidate is
+  /// considered a false positive (SRTCP trailer is <= 14 bytes; the
+  /// validators tighten this based on stream context).
+  std::size_t max_trailing = SIZE_MAX;
+};
+
+[[nodiscard]] std::optional<Compound> parse_compound(
+    rtcc::util::BytesView data, const ParseOptions& opts = {});
+
+/// Parses exactly one packet at the start of `data` (bytes beyond the
+/// declared length are ignored). Fails on version != 2, non-RTCP packet
+/// type, or a declared length overrunning the input.
+[[nodiscard]] std::optional<Packet> parse_packet(rtcc::util::BytesView data);
+
+[[nodiscard]] rtcc::util::Bytes encode_packet(const Packet& p);
+[[nodiscard]] rtcc::util::Bytes encode_compound(const Compound& c);
+
+// ---- Typed views over Packet bodies -------------------------------------
+
+struct ReportBlock {
+  std::uint32_t ssrc = 0;
+  std::uint8_t fraction_lost = 0;
+  std::uint32_t cumulative_lost = 0;  // 24-bit signed on the wire
+  std::uint32_t highest_seq = 0;
+  std::uint32_t jitter = 0;
+  std::uint32_t lsr = 0;
+  std::uint32_t dlsr = 0;
+};
+
+struct SenderReport {
+  std::uint32_t sender_ssrc = 0;
+  std::uint64_t ntp_timestamp = 0;
+  std::uint32_t rtp_timestamp = 0;
+  std::uint32_t packet_count = 0;
+  std::uint32_t octet_count = 0;
+  std::vector<ReportBlock> reports;
+};
+
+struct ReceiverReport {
+  std::uint32_t sender_ssrc = 0;
+  std::vector<ReportBlock> reports;
+};
+
+struct SdesItem {
+  std::uint8_t type = 0;  // 1=CNAME ... 8=PRIV
+  rtcc::util::Bytes value;
+};
+
+struct SdesChunk {
+  std::uint32_t ssrc = 0;
+  std::vector<SdesItem> items;
+};
+
+struct Sdes {
+  std::vector<SdesChunk> chunks;
+};
+
+struct Bye {
+  std::vector<std::uint32_t> ssrcs;
+  rtcc::util::Bytes reason;
+};
+
+struct App {
+  std::uint32_t ssrc = 0;
+  std::array<char, 4> name{};
+  rtcc::util::Bytes data;
+};
+
+struct Feedback {  // RTPFB / PSFB common layout (RFC 4585 §6.1)
+  std::uint32_t sender_ssrc = 0;
+  std::uint32_t media_ssrc = 0;
+  rtcc::util::Bytes fci;
+};
+
+/// RTCP XR (RFC 3611): extended report blocks. Block types 1-7 are the
+/// RFC-defined set (loss RLE, duplicate RLE, timestamps, receiver
+/// reference time, DLRR, statistics summary, VoIP metrics).
+struct XrBlock {
+  std::uint8_t block_type = 0;
+  std::uint8_t type_specific = 0;
+  rtcc::util::Bytes body;
+};
+
+struct Xr {
+  std::uint32_t ssrc = 0;
+  std::vector<XrBlock> blocks;
+};
+
+[[nodiscard]] bool xr_block_type_defined(std::uint8_t block_type);
+[[nodiscard]] std::optional<Xr> decode_xr(const Packet& p);
+[[nodiscard]] Packet make_xr(const Xr& xr);
+
+[[nodiscard]] std::optional<SenderReport> decode_sender_report(
+    const Packet& p);
+[[nodiscard]] std::optional<ReceiverReport> decode_receiver_report(
+    const Packet& p);
+[[nodiscard]] std::optional<Sdes> decode_sdes(const Packet& p);
+[[nodiscard]] std::optional<Bye> decode_bye(const Packet& p);
+[[nodiscard]] std::optional<App> decode_app(const Packet& p);
+[[nodiscard]] std::optional<Feedback> decode_feedback(const Packet& p);
+
+// ---- Builders ------------------------------------------------------------
+
+[[nodiscard]] Packet make_sender_report(const SenderReport& sr);
+[[nodiscard]] Packet make_receiver_report(const ReceiverReport& rr);
+[[nodiscard]] Packet make_sdes(const Sdes& sdes);
+[[nodiscard]] Packet make_bye(const Bye& bye);
+[[nodiscard]] Packet make_app(const App& app, std::uint8_t subtype);
+/// fmt: e.g. 1=NACK / 15=TWCC for RTPFB; 1=PLI / 4=FIR / 15=REMB for PSFB.
+[[nodiscard]] Packet make_feedback(std::uint8_t packet_type, std::uint8_t fmt,
+                                   const Feedback& fb);
+
+[[nodiscard]] std::string packet_type_name(std::uint8_t pt);
+
+}  // namespace rtcc::proto::rtcp

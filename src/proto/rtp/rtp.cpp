@@ -1,0 +1,312 @@
+#include "proto/rtp/rtp.hpp"
+
+namespace rtcc::proto::rtp {
+
+using rtcc::util::ByteReader;
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::ByteWriter;
+
+namespace {
+
+/// Parses the body of an RFC 8285 extension block into elements.
+/// Returns false only on structural impossibility (element overruns the
+/// block); rule violations are recorded on the element.
+bool parse_elements(BytesView body, bool one_byte,
+                    std::vector<ExtensionElement>& out) {
+  std::size_t i = 0;
+  while (i < body.size()) {
+    const std::uint8_t first = body[i];
+    if (one_byte) {
+      const std::uint8_t id = first >> 4;
+      const std::uint8_t len_field = first & 0x0F;
+      if (id == 0) {
+        // RFC 8285 §4.2: ID 0 is padding, MUST have length field 0.
+        if (len_field == 0 && first == 0) {
+          ++i;  // legitimate padding byte
+          continue;
+        }
+        // Discord's violation: ID=0 with a non-zero length and payload.
+        ExtensionElement e;
+        e.id = 0;
+        e.malformed_padding = true;
+        const std::size_t dlen = std::size_t{len_field} + 1;
+        if (i + 1 + dlen > body.size()) return false;
+        e.data.assign(body.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                      body.begin() + static_cast<std::ptrdiff_t>(i + 1 + dlen));
+        out.push_back(std::move(e));
+        i += 1 + dlen;
+        continue;
+      }
+      if (id == 15) {
+        // §4.2: ID 15 terminates processing of the block.
+        break;
+      }
+      const std::size_t dlen = std::size_t{len_field} + 1;
+      if (i + 1 + dlen > body.size()) return false;
+      ExtensionElement e;
+      e.id = id;
+      e.data.assign(body.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                    body.begin() + static_cast<std::ptrdiff_t>(i + 1 + dlen));
+      out.push_back(std::move(e));
+      i += 1 + dlen;
+    } else {
+      if (first == 0) {
+        ++i;  // two-byte form padding
+        continue;
+      }
+      if (i + 2 > body.size()) return false;
+      const std::uint8_t len = body[i + 1];
+      if (i + 2 + len > body.size()) return false;
+      ExtensionElement e;
+      e.id = first;
+      e.data.assign(body.begin() + static_cast<std::ptrdiff_t>(i + 2),
+                    body.begin() + static_cast<std::ptrdiff_t>(i + 2 + len));
+      out.push_back(std::move(e));
+      i += 2 + std::size_t{len};
+    }
+  }
+  return true;
+}
+
+void encode_elements(ByteWriter& w, const Packet& p) {
+  const auto& ext = *p.extension;
+  const bool one_byte = ext.profile == kOneByteProfile;
+  for (const auto& e : ext.elements) {
+    if (one_byte) {
+      if (e.malformed_padding) {
+        // Reproduce the Discord wire pattern exactly.
+        w.u8(static_cast<std::uint8_t>(e.data.size() - 1) & 0x0F);
+        w.raw(BytesView{e.data});
+      } else {
+        w.u8(static_cast<std::uint8_t>((e.id << 4) |
+                                       ((e.data.size() - 1) & 0x0F)));
+        w.raw(BytesView{e.data});
+      }
+    } else {
+      w.u8(e.id);
+      w.u8(static_cast<std::uint8_t>(e.data.size()));
+      w.raw(BytesView{e.data});
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t Packet::wire_size() const {
+  std::size_t n = 12 + csrc.size() * 4;
+  if (extension) n += 4 + std::size_t{extension->length_words} * 4;
+  n += payload.size() + padding_len;
+  return n;
+}
+
+std::optional<ParseResult> parse(BytesView data) {
+  if (data.size() < 12) return std::nullopt;
+  ByteReader r(data);
+
+  Packet p;
+  const std::uint8_t b0 = r.u8();
+  p.version = b0 >> 6;
+  if (p.version != 2) return std::nullopt;  // the only deployed version
+  p.padding = (b0 & 0x20) != 0;
+  p.has_extension = (b0 & 0x10) != 0;
+  const std::uint8_t cc = b0 & 0x0F;
+
+  const std::uint8_t b1 = r.u8();
+  p.marker = (b1 & 0x80) != 0;
+  p.payload_type = b1 & 0x7F;
+  p.sequence_number = r.u16();
+  p.timestamp = r.u32();
+  p.ssrc = r.u32();
+
+  for (std::uint8_t i = 0; i < cc; ++i) p.csrc.push_back(r.u32());
+  if (!r.ok()) return std::nullopt;
+
+  if (p.has_extension) {
+    if (r.remaining() < 4) return std::nullopt;
+    HeaderExtension ext;
+    ext.profile = r.u16();
+    ext.length_words = r.u16();
+    const std::size_t body_len = std::size_t{ext.length_words} * 4;
+    if (r.remaining() < body_len) return std::nullopt;
+    auto body = r.bytes(body_len);
+    ext.raw.assign(body.begin(), body.end());
+    if (ext.profile == kOneByteProfile) {
+      if (!parse_elements(body, /*one_byte=*/true, ext.elements))
+        return std::nullopt;
+    } else if (is_two_byte_profile(ext.profile)) {
+      if (!parse_elements(body, /*one_byte=*/false, ext.elements))
+        return std::nullopt;
+    }
+    p.extension = std::move(ext);
+  }
+
+  // The remainder of the bounded input is payload (+ optional padding).
+  std::size_t rest = r.remaining();
+  if (p.padding) {
+    if (rest == 0) return std::nullopt;
+    const std::uint8_t pad = data[data.size() - 1];
+    // RFC 3550 §5.1: padding count includes itself and must fit.
+    if (pad == 0 || pad > rest) return std::nullopt;
+    p.padding_len = pad;
+    rest -= pad;
+  }
+  auto payload = r.bytes(rest);
+  p.payload.assign(payload.begin(), payload.end());
+
+  return ParseResult{std::move(p), data.size()};
+}
+
+Bytes encode(const Packet& p) {
+  ByteWriter w(p.wire_size());
+  std::uint8_t b0 = static_cast<std::uint8_t>(p.version << 6);
+  if (p.padding) b0 |= 0x20;
+  const bool has_ext = p.extension.has_value();
+  if (has_ext) b0 |= 0x10;
+  b0 |= static_cast<std::uint8_t>(p.csrc.size() & 0x0F);
+  w.u8(b0);
+  w.u8(static_cast<std::uint8_t>((p.marker ? 0x80 : 0x00) |
+                                 (p.payload_type & 0x7F)));
+  w.u16(p.sequence_number);
+  w.u32(p.timestamp);
+  w.u32(p.ssrc);
+  for (std::uint32_t c : p.csrc) w.u32(c);
+
+  if (has_ext) {
+    const auto& ext = *p.extension;
+    w.u16(ext.profile);
+    if (!ext.elements.empty() && (ext.profile == kOneByteProfile ||
+                                  is_two_byte_profile(ext.profile))) {
+      ByteWriter body;
+      Packet tmp = p;  // encode_elements reads via p.extension
+      encode_elements(body, tmp);
+      const std::size_t padded = (body.size() + 3) & ~std::size_t{3};
+      w.u16(static_cast<std::uint16_t>(padded / 4));
+      w.raw(body.view());
+      w.fill(0, padded - body.size());
+    } else {
+      const std::size_t padded = (ext.raw.size() + 3) & ~std::size_t{3};
+      w.u16(static_cast<std::uint16_t>(padded / 4));
+      w.raw(BytesView{ext.raw});
+      w.fill(0, padded - ext.raw.size());
+    }
+  }
+
+  w.raw(BytesView{p.payload});
+  if (p.padding && p.padding_len > 0) {
+    w.fill(0, std::size_t{p.padding_len} - 1);
+    w.u8(p.padding_len);
+  }
+  return std::move(w).take();
+}
+
+PacketBuilder& PacketBuilder::payload_type(std::uint8_t pt) {
+  pkt_.payload_type = pt & 0x7F;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::marker(bool m) {
+  pkt_.marker = m;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::seq(std::uint16_t s) {
+  pkt_.sequence_number = s;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::timestamp(std::uint32_t ts) {
+  pkt_.timestamp = ts;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::ssrc(std::uint32_t ssrc) {
+  pkt_.ssrc = ssrc;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::csrc(std::uint32_t c) {
+  pkt_.csrc.push_back(c);
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::payload(BytesView data) {
+  pkt_.payload.assign(data.begin(), data.end());
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::payload_fill(std::uint8_t value,
+                                           std::size_t size) {
+  pkt_.payload.assign(size, value);
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::one_byte_extension() {
+  pkt_.extension = HeaderExtension{};
+  pkt_.extension->profile = kOneByteProfile;
+  pending_one_byte_ = true;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::two_byte_extension(std::uint8_t appbits) {
+  pkt_.extension = HeaderExtension{};
+  pkt_.extension->profile =
+      static_cast<std::uint16_t>(kTwoByteProfileBase | (appbits & 0x0F));
+  pending_one_byte_ = false;
+  appbits_ = appbits;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::raw_extension(std::uint16_t profile,
+                                            BytesView body) {
+  pkt_.extension = HeaderExtension{};
+  pkt_.extension->profile = profile;
+  pkt_.extension->raw.assign(body.begin(), body.end());
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::element(std::uint8_t id, BytesView data) {
+  pending_elements_.push_back(
+      {id, Bytes(data.begin(), data.end()), /*malformed_id0=*/false});
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::malformed_id0_element(BytesView data) {
+  pending_elements_.push_back(
+      {0, Bytes(data.begin(), data.end()), /*malformed_id0=*/true});
+  return *this;
+}
+
+Packet PacketBuilder::build_packet() {
+  Packet out = pkt_;
+  if (out.extension) {
+    for (auto& pe : pending_elements_) {
+      ExtensionElement e;
+      e.id = pe.id;
+      e.data = pe.data;
+      e.malformed_padding = pe.malformed_id0;
+      out.extension->elements.push_back(std::move(e));
+    }
+    // Compute length_words from an encode pass for consistency.
+    Bytes wire = encode(out);
+    auto parsed = parse(BytesView{wire});
+    if (parsed) return std::move(parsed->packet);
+  }
+  return out;
+}
+
+Bytes PacketBuilder::build() {
+  Packet out = pkt_;
+  if (out.extension) {
+    for (auto& pe : pending_elements_) {
+      ExtensionElement e;
+      e.id = pe.id;
+      e.data = pe.data;
+      e.malformed_padding = pe.malformed_id0;
+      out.extension->elements.push_back(std::move(e));
+    }
+  }
+  return encode(out);
+}
+
+}  // namespace rtcc::proto::rtp

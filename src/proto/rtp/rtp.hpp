@@ -1,0 +1,122 @@
+// RTP wire codec — RFC 3550 §5.1 fixed header, CSRC list, padding, and
+// RFC 8285 general-purpose header extensions (one-byte 0xBEDE and
+// two-byte 0x100x forms).
+//
+// Like the STUN codec, parsing is permissive: undefined payload types,
+// undefined extension profiles, and rule-violating extension elements
+// are all *represented* faithfully so the compliance layer can judge
+// them; only structurally impossible layouts fail to parse.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "proto/common.hpp"
+#include "util/bytes.hpp"
+
+namespace rtcc::proto::rtp {
+
+constexpr std::uint16_t kOneByteProfile = 0xBEDE;
+/// RFC 8285 §4.3: two-byte form uses 0x100 in the upper 12 bits; the
+/// low 4 bits are "appbits".
+constexpr std::uint16_t kTwoByteProfileBase = 0x1000;
+
+[[nodiscard]] inline bool is_two_byte_profile(std::uint16_t profile) {
+  return (profile & 0xFFF0) == kTwoByteProfileBase;
+}
+
+/// One RFC 8285 extension element as it appeared on the wire.
+struct ExtensionElement {
+  std::uint8_t id = 0;
+  rtcc::util::Bytes data;
+  /// True when the wire encoding violated RFC 8285 (e.g. the Discord
+  /// pattern: one-byte form with ID=0 but a non-zero length). Such
+  /// elements terminate normal parsing per the RFC, so we record the
+  /// violation instead of discarding the message.
+  bool malformed_padding = false;
+};
+
+struct HeaderExtension {
+  std::uint16_t profile = 0;
+  /// Declared length in 32-bit words (not counting the 4-byte preamble).
+  std::uint16_t length_words = 0;
+  rtcc::util::Bytes raw;  // the extension body exactly as on the wire
+  std::vector<ExtensionElement> elements;  // parsed when profile is 8285
+};
+
+struct Packet {
+  std::uint8_t version = 2;
+  bool padding = false;
+  bool has_extension = false;
+  bool marker = false;
+  std::uint8_t payload_type = 0;
+  std::uint16_t sequence_number = 0;
+  std::uint32_t timestamp = 0;
+  std::uint32_t ssrc = 0;
+  std::vector<std::uint32_t> csrc;
+  std::optional<HeaderExtension> extension;
+  rtcc::util::Bytes payload;
+  /// Number of padding bytes consumed (last byte value when P=1).
+  std::uint8_t padding_len = 0;
+
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+struct ParseResult {
+  Packet packet;
+  std::size_t consumed = 0;
+};
+
+/// Parses an RTP packet at the start of `data`.
+/// `datagram_bounded` controls the packet's extent: RTP carries no
+/// length field, so normally a packet spans the rest of the datagram.
+/// The DPI also calls this mid-payload where the bound is the input end.
+[[nodiscard]] std::optional<ParseResult> parse(rtcc::util::BytesView data);
+
+/// Serialises; extension elements are re-encoded per the profile form
+/// (one-byte vs two-byte); `raw` is used verbatim for non-8285 profiles.
+[[nodiscard]] rtcc::util::Bytes encode(const Packet& p);
+
+/// Builder used by the emulator/tests.
+class PacketBuilder {
+ public:
+  PacketBuilder& payload_type(std::uint8_t pt);
+  PacketBuilder& marker(bool m);
+  PacketBuilder& seq(std::uint16_t s);
+  PacketBuilder& timestamp(std::uint32_t ts);
+  PacketBuilder& ssrc(std::uint32_t ssrc);
+  PacketBuilder& csrc(std::uint32_t c);
+  PacketBuilder& payload(rtcc::util::BytesView data);
+  PacketBuilder& payload_fill(std::uint8_t value, std::size_t size);
+
+  /// Starts a one-byte (0xBEDE) extension block.
+  PacketBuilder& one_byte_extension();
+  /// Starts a two-byte extension block with the given appbits.
+  PacketBuilder& two_byte_extension(std::uint8_t appbits = 0);
+  /// Starts an extension block with an arbitrary (possibly undefined)
+  /// profile and raw body (used to emit FaceTime/Discord patterns).
+  PacketBuilder& raw_extension(std::uint16_t profile,
+                               rtcc::util::BytesView body);
+  /// Appends an element to the pending 8285 block.
+  PacketBuilder& element(std::uint8_t id, rtcc::util::BytesView data);
+  /// Appends the Discord violation: one-byte element with ID=0 and a
+  /// non-zero length field carrying payload.
+  PacketBuilder& malformed_id0_element(rtcc::util::BytesView data);
+
+  [[nodiscard]] rtcc::util::Bytes build();
+  [[nodiscard]] Packet build_packet();
+
+ private:
+  Packet pkt_;
+  bool pending_one_byte_ = false;
+  std::uint8_t appbits_ = 0;
+  struct PendingElement {
+    std::uint8_t id;
+    rtcc::util::Bytes data;
+    bool malformed_id0;
+  };
+  std::vector<PendingElement> pending_elements_;
+};
+
+}  // namespace rtcc::proto::rtp

@@ -1,0 +1,29 @@
+#include "proto/srtp/srtcp.hpp"
+
+namespace rtcc::proto::srtp {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::ByteWriter;
+
+Bytes append_trailer(BytesView rtcp, const SrtcpTrailer& trailer) {
+  ByteWriter w(rtcp.size() + trailer.wire_size());
+  w.raw(rtcp);
+  const std::uint32_t word = (trailer.encrypted_flag ? 0x80000000u : 0u) |
+                             (trailer.index & 0x7FFFFFFFu);
+  w.u32(word);
+  w.raw(BytesView{trailer.auth_tag});
+  return std::move(w).take();
+}
+
+std::optional<SrtcpTrailer> parse_trailer(BytesView trailer_bytes) {
+  if (trailer_bytes.size() < 4) return std::nullopt;
+  SrtcpTrailer t;
+  const std::uint32_t word = rtcc::util::load_be32(trailer_bytes.data());
+  t.encrypted_flag = (word & 0x80000000u) != 0;
+  t.index = word & 0x7FFFFFFFu;
+  t.auth_tag.assign(trailer_bytes.begin() + 4, trailer_bytes.end());
+  return t;
+}
+
+}  // namespace rtcc::proto::srtp

@@ -1,0 +1,38 @@
+// SRTCP framing per RFC 3711 §3.4: an SRTCP message is the (first,
+// cleartext) RTCP header + encrypted body, followed by a mandatory
+// trailer: 1-bit E flag + 31-bit SRTCP index, an optional MKI, and a
+// REQUIRED authentication tag (10 bytes for the default transforms).
+//
+// Google Meet's non-compliance (§5.2.3) is precisely a missing auth
+// tag: a 4-byte trailer with only E+index. This codec frames/deframes
+// both shapes so the compliance rule can detect the violation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace rtcc::proto::srtp {
+
+constexpr std::size_t kDefaultAuthTagSize = 10;
+
+struct SrtcpTrailer {
+  bool encrypted_flag = false;  // E bit
+  std::uint32_t index = 0;      // 31-bit SRTCP index
+  rtcc::util::Bytes auth_tag;   // empty == the Meet violation
+
+  [[nodiscard]] std::size_t wire_size() const { return 4 + auth_tag.size(); }
+};
+
+/// Appends an SRTCP trailer to an encoded RTCP compound.
+[[nodiscard]] rtcc::util::Bytes append_trailer(rtcc::util::BytesView rtcp,
+                                               const SrtcpTrailer& trailer);
+
+/// Interprets the last `trailer_size` bytes of an SRTCP message as the
+/// trailer. The analyzer infers trailer_size per stream (14 vs 4) from
+/// observed message deltas, mirroring the paper's methodology.
+[[nodiscard]] std::optional<SrtcpTrailer> parse_trailer(
+    rtcc::util::BytesView trailer_bytes);
+
+}  // namespace rtcc::proto::srtp

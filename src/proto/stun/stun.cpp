@@ -1,0 +1,279 @@
+#include "proto/stun/stun.hpp"
+
+#include <algorithm>
+
+#include "crypto/crc32.hpp"
+#include "crypto/hmac.hpp"
+
+namespace rtcc::proto::stun {
+
+using rtcc::util::ByteReader;
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::ByteWriter;
+
+std::uint16_t make_type(std::uint16_t method, Class cls) {
+  // RFC 5389 §6: M11..M0 interleaved with C1 (bit 8) and C0 (bit 4).
+  const std::uint16_t m = method;
+  const auto c = static_cast<std::uint16_t>(cls);
+  return static_cast<std::uint16_t>(((m & 0xF80) << 2) | ((m & 0x070) << 1) |
+                                    (m & 0x00F) | ((c & 0x2) << 7) |
+                                    ((c & 0x1) << 4));
+}
+
+std::uint16_t method_of(std::uint16_t type) {
+  return static_cast<std::uint16_t>(((type >> 2) & 0xF80) |
+                                    ((type >> 1) & 0x070) | (type & 0x00F));
+}
+
+Class class_of(std::uint16_t type) {
+  return static_cast<Class>(((type >> 7) & 0x2) | ((type >> 4) & 0x1));
+}
+
+const Attribute* Message::find(std::uint16_t attr_type) const {
+  for (const auto& a : attributes)
+    if (a.type == attr_type) return &a;
+  return nullptr;
+}
+
+std::size_t Message::count(std::uint16_t attr_type) const {
+  return static_cast<std::size_t>(std::count_if(
+      attributes.begin(), attributes.end(),
+      [attr_type](const Attribute& a) { return a.type == attr_type; }));
+}
+
+std::optional<ParseResult> parse(BytesView data, const ParseOptions& opts) {
+  if (data.size() < kHeaderSize) return std::nullopt;
+
+  ByteReader r(data);
+  const std::uint16_t type = r.u16();
+  // RFC 5389 §6: the two most significant bits of every STUN message
+  // are zeroes — this is also the primary demultiplexing signal.
+  if (type & 0xC000) return std::nullopt;
+
+  const std::uint16_t length = r.u16();
+  if (opts.require_length_multiple_of_4 && (length % 4) != 0)
+    return std::nullopt;
+  const std::uint32_t cookie = r.u32();
+  if (opts.require_magic_cookie && cookie != kMagicCookie) return std::nullopt;
+
+  if (data.size() < kHeaderSize + std::size_t{length}) return std::nullopt;
+
+  Message msg;
+  msg.type = type;
+  msg.length = length;
+  msg.cookie = cookie;
+  auto txid = r.bytes(12);
+  std::copy(txid.begin(), txid.end(), msg.transaction_id.begin());
+
+  // Attribute TLV walk, confined to the declared length.
+  std::size_t remaining = length;
+  while (remaining > 0) {
+    if (remaining < 4) return std::nullopt;  // dangling TL bytes
+    Attribute a;
+    a.type = r.u16();
+    const std::uint16_t vlen = r.u16();
+    const std::size_t padded = (std::size_t{vlen} + 3) & ~std::size_t{3};
+    if (padded + 4 > remaining) return std::nullopt;  // overruns message
+    a.value = r.copy(vlen);
+    r.skip(padded - vlen);
+    remaining -= 4 + padded;
+    msg.attributes.push_back(std::move(a));
+  }
+  if (!r.ok()) return std::nullopt;
+
+  return ParseResult{std::move(msg), kHeaderSize + std::size_t{length}};
+}
+
+std::optional<ChannelData> parse_channel_data(BytesView data) {
+  if (data.size() < 4) return std::nullopt;
+  ByteReader r(data);
+  ChannelData cd;
+  cd.channel_number = r.u16();
+  // RFC 8656 §12: channel numbers are in [0x4000, 0x4FFF].
+  if (cd.channel_number < 0x4000 || cd.channel_number > 0x4FFF)
+    return std::nullopt;
+  cd.length = r.u16();
+  if (data.size() < 4 + std::size_t{cd.length}) return std::nullopt;
+  cd.data = r.copy(cd.length);
+  return cd;
+}
+
+Bytes encode_channel_data(const ChannelData& cd) {
+  ByteWriter w(4 + cd.data.size());
+  w.u16(cd.channel_number);
+  w.u16(static_cast<std::uint16_t>(cd.data.size()));
+  w.raw(BytesView{cd.data});
+  return std::move(w).take();
+}
+
+MessageBuilder::MessageBuilder(std::uint16_t type) {
+  msg_.type = type;
+  msg_.cookie = kMagicCookie;
+}
+
+MessageBuilder& MessageBuilder::transaction_id(const TransactionId& id) {
+  msg_.transaction_id = id;
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::random_transaction_id(rtcc::util::Rng& rng) {
+  for (auto& b : msg_.transaction_id) b = rng.next_u8();
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::classic_rfc3489(rtcc::util::Rng& rng) {
+  msg_.cookie = rng.next_u32();
+  // Avoid accidentally matching the modern cookie.
+  if (msg_.cookie == kMagicCookie) msg_.cookie ^= 1;
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::attribute(std::uint16_t type, BytesView value) {
+  msg_.attributes.push_back(
+      Attribute{type, Bytes(value.begin(), value.end())});
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::attribute_u32(std::uint16_t type,
+                                              std::uint32_t value) {
+  ByteWriter w(4);
+  w.u32(value);
+  return attribute(type, w.view());
+}
+
+MessageBuilder& MessageBuilder::attribute_str(std::uint16_t type,
+                                              std::string_view value) {
+  return attribute(
+      type, BytesView{reinterpret_cast<const std::uint8_t*>(value.data()),
+                      value.size()});
+}
+
+MessageBuilder& MessageBuilder::xor_address(std::uint16_t type,
+                                            const rtcc::net::IpAddr& ip,
+                                            std::uint16_t port) {
+  ByteWriter w;
+  w.u8(0);
+  w.u8(ip.is_v4() ? 0x01 : 0x02);
+  w.u16(static_cast<std::uint16_t>(port ^ (kMagicCookie >> 16)));
+  if (ip.is_v4()) {
+    w.u32(ip.v4_value() ^ kMagicCookie);
+  } else {
+    // v6 addresses XOR with cookie || txid.
+    std::array<std::uint8_t, 16> mask{};
+    rtcc::util::store_be32(mask.data(), kMagicCookie);
+    std::copy(msg_.transaction_id.begin(), msg_.transaction_id.end(),
+              mask.begin() + 4);
+    const auto& b = ip.v6_bytes();
+    for (std::size_t i = 0; i < 16; ++i)
+      w.u8(static_cast<std::uint8_t>(b[i] ^ mask[i]));
+  }
+  return attribute(type, w.view());
+}
+
+MessageBuilder& MessageBuilder::address(std::uint16_t type,
+                                        const rtcc::net::IpAddr& ip,
+                                        std::uint16_t port,
+                                        int family_override) {
+  ByteWriter w;
+  w.u8(0);
+  const std::uint8_t family =
+      family_override >= 0 ? static_cast<std::uint8_t>(family_override)
+                           : (ip.is_v4() ? 0x01 : 0x02);
+  w.u8(family);
+  w.u16(port);
+  if (ip.is_v4()) {
+    w.u32(ip.v4_value());
+  } else {
+    w.raw(BytesView{ip.v6_bytes()});
+  }
+  return attribute(type, w.view());
+}
+
+namespace {
+
+void encode_into(ByteWriter& w, const Message& msg) {
+  std::size_t attr_len = 0;
+  for (const auto& a : msg.attributes)
+    attr_len += 4 + ((a.value.size() + 3) & ~std::size_t{3});
+
+  w.u16(msg.type);
+  w.u16(static_cast<std::uint16_t>(attr_len));
+  w.u32(msg.cookie);
+  w.raw(BytesView{msg.transaction_id});
+  for (const auto& a : msg.attributes) {
+    w.u16(a.type);
+    w.u16(static_cast<std::uint16_t>(a.value.size()));
+    w.raw(BytesView{a.value});
+    w.fill(0, ((a.value.size() + 3) & ~std::size_t{3}) - a.value.size());
+  }
+}
+
+}  // namespace
+
+MessageBuilder& MessageBuilder::message_integrity(BytesView key) {
+  // RFC 5389 §15.4: HMAC over the message up to (not including) the
+  // MESSAGE-INTEGRITY attribute, with the header length field set as if
+  // the message ended right after MESSAGE-INTEGRITY.
+  ByteWriter w;
+  encode_into(w, msg_);
+  Bytes prefix = std::move(w).take();
+  const std::size_t new_len = (prefix.size() - kHeaderSize) + 24;
+  rtcc::util::store_be16(prefix.data() + 2,
+                         static_cast<std::uint16_t>(new_len));
+  const auto mac = rtcc::crypto::hmac_sha1(key, BytesView{prefix});
+  return attribute(attr::kMessageIntegrity, BytesView{mac});
+}
+
+MessageBuilder& MessageBuilder::fingerprint() {
+  // RFC 5389 §15.5: CRC-32 over the message up to FINGERPRINT with the
+  // length field covering FINGERPRINT itself, XORed with 0x5354554e.
+  ByteWriter w;
+  encode_into(w, msg_);
+  Bytes prefix = std::move(w).take();
+  const std::size_t new_len = (prefix.size() - kHeaderSize) + 8;
+  rtcc::util::store_be16(prefix.data() + 2,
+                         static_cast<std::uint16_t>(new_len));
+  return attribute_u32(attr::kFingerprint,
+                       rtcc::crypto::stun_fingerprint(BytesView{prefix}));
+}
+
+Bytes MessageBuilder::build() const {
+  ByteWriter w;
+  encode_into(w, msg_);
+  return std::move(w).take();
+}
+
+Message MessageBuilder::build_message() const {
+  Message out = msg_;
+  std::size_t attr_len = 0;
+  for (const auto& a : out.attributes)
+    attr_len += 4 + ((a.value.size() + 3) & ~std::size_t{3});
+  out.length = static_cast<std::uint16_t>(attr_len);
+  return out;
+}
+
+std::optional<XorAddress> decode_xor_address(BytesView value,
+                                             const TransactionId& txid) {
+  if (value.size() != 8 && value.size() != 20) return std::nullopt;
+  ByteReader r(value);
+  r.skip(1);
+  XorAddress out;
+  out.family = r.u8();
+  out.port = static_cast<std::uint16_t>(r.u16() ^ (kMagicCookie >> 16));
+  if (value.size() == 8) {
+    out.ip = rtcc::net::IpAddr::v4(r.u32() ^ kMagicCookie);
+  } else {
+    std::array<std::uint8_t, 16> mask{};
+    rtcc::util::store_be32(mask.data(), kMagicCookie);
+    std::copy(txid.begin(), txid.end(), mask.begin() + 4);
+    std::array<std::uint8_t, 16> bytes{};
+    for (std::size_t i = 0; i < 16; ++i)
+      bytes[i] = static_cast<std::uint8_t>(r.u8() ^ mask[i]);
+    out.ip = rtcc::net::IpAddr::v6(bytes);
+  }
+  if (!r.ok()) return std::nullopt;
+  return out;
+}
+
+}  // namespace rtcc::proto::stun

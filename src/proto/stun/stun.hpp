@@ -1,0 +1,219 @@
+// STUN/TURN wire codec — RFC 3489 (classic), RFC 5389/8489 (STUN),
+// RFC 8656 (TURN), including TURN ChannelData framing.
+//
+// The parser is deliberately permissive: it accepts undefined message
+// types and attributes (that is the entire point of this study — we
+// must *extract* non-compliant messages in order to judge them). All
+// structural strictness lives in the DPI validators and the compliance
+// rulebook, not here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "proto/common.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace rtcc::proto::stun {
+
+constexpr std::uint32_t kMagicCookie = 0x2112A442;
+constexpr std::size_t kHeaderSize = 20;
+
+/// STUN message classes (the C1/C0 bits of the message type).
+enum class Class : std::uint8_t {
+  kRequest = 0b00,
+  kIndication = 0b01,
+  kSuccessResponse = 0b10,
+  kErrorResponse = 0b11,
+};
+
+/// Splits/combines the 14-bit method and 2-bit class per RFC 5389 §6.
+[[nodiscard]] std::uint16_t make_type(std::uint16_t method, Class cls);
+[[nodiscard]] std::uint16_t method_of(std::uint16_t type);
+[[nodiscard]] Class class_of(std::uint16_t type);
+
+// Methods (RFC 5389 / 8656 / 3489).
+constexpr std::uint16_t kMethodBinding = 0x001;
+constexpr std::uint16_t kMethodSharedSecret = 0x002;  // RFC 3489 only
+constexpr std::uint16_t kMethodAllocate = 0x003;
+constexpr std::uint16_t kMethodRefresh = 0x004;
+constexpr std::uint16_t kMethodSend = 0x006;
+constexpr std::uint16_t kMethodData = 0x007;
+constexpr std::uint16_t kMethodCreatePermission = 0x008;
+constexpr std::uint16_t kMethodChannelBind = 0x009;
+
+// Frequently referenced message types (method+class combined).
+constexpr std::uint16_t kBindingRequest = 0x0001;
+constexpr std::uint16_t kBindingIndication = 0x0011;
+constexpr std::uint16_t kBindingSuccess = 0x0101;
+constexpr std::uint16_t kBindingError = 0x0111;
+constexpr std::uint16_t kSharedSecretRequest = 0x0002;
+constexpr std::uint16_t kAllocateRequest = 0x0003;
+constexpr std::uint16_t kAllocateSuccess = 0x0103;
+constexpr std::uint16_t kAllocateError = 0x0113;
+constexpr std::uint16_t kRefreshRequest = 0x0004;
+constexpr std::uint16_t kRefreshSuccess = 0x0104;
+constexpr std::uint16_t kSendIndication = 0x0016;
+constexpr std::uint16_t kDataIndication = 0x0017;
+constexpr std::uint16_t kCreatePermissionRequest = 0x0008;
+constexpr std::uint16_t kCreatePermissionSuccess = 0x0108;
+constexpr std::uint16_t kCreatePermissionError = 0x0118;
+constexpr std::uint16_t kChannelBindRequest = 0x0009;
+constexpr std::uint16_t kChannelBindSuccess = 0x0109;
+
+// Attribute types referenced throughout the compliance rulebook.
+namespace attr {
+constexpr std::uint16_t kMappedAddress = 0x0001;
+constexpr std::uint16_t kResponseAddress = 0x0002;   // RFC 3489
+constexpr std::uint16_t kChangeRequest = 0x0003;     // RFC 3489 / 5780
+constexpr std::uint16_t kSourceAddress = 0x0004;     // RFC 3489
+constexpr std::uint16_t kChangedAddress = 0x0005;    // RFC 3489
+constexpr std::uint16_t kUsername = 0x0006;
+constexpr std::uint16_t kPassword = 0x0007;          // RFC 3489
+constexpr std::uint16_t kMessageIntegrity = 0x0008;
+constexpr std::uint16_t kErrorCode = 0x0009;
+constexpr std::uint16_t kUnknownAttributes = 0x000A;
+constexpr std::uint16_t kReflectedFrom = 0x000B;     // RFC 3489
+constexpr std::uint16_t kChannelNumber = 0x000C;     // TURN
+constexpr std::uint16_t kLifetime = 0x000D;          // TURN
+constexpr std::uint16_t kXorPeerAddress = 0x0012;    // TURN
+constexpr std::uint16_t kData = 0x0013;              // TURN
+constexpr std::uint16_t kRealm = 0x0014;
+constexpr std::uint16_t kNonce = 0x0015;
+constexpr std::uint16_t kXorRelayedAddress = 0x0016;  // TURN
+constexpr std::uint16_t kRequestedAddressFamily = 0x0017;
+constexpr std::uint16_t kEvenPort = 0x0018;          // TURN
+constexpr std::uint16_t kRequestedTransport = 0x0019;  // TURN
+constexpr std::uint16_t kDontFragment = 0x001A;      // TURN
+constexpr std::uint16_t kMessageIntegritySha256 = 0x001C;
+constexpr std::uint16_t kPasswordAlgorithm = 0x001D;
+constexpr std::uint16_t kUserhash = 0x001E;
+constexpr std::uint16_t kXorMappedAddress = 0x0020;
+constexpr std::uint16_t kReservationToken = 0x0022;  // TURN
+constexpr std::uint16_t kPriority = 0x0024;          // ICE
+constexpr std::uint16_t kUseCandidate = 0x0025;      // ICE
+constexpr std::uint16_t kResponsePort = 0x0026;      // RFC 5780
+constexpr std::uint16_t kPadding = 0x0027;           // RFC 5780
+constexpr std::uint16_t kPasswordAlgorithms = 0x8002;
+constexpr std::uint16_t kAlternateDomain = 0x8003;
+constexpr std::uint16_t kSoftware = 0x8022;
+constexpr std::uint16_t kAlternateServer = 0x8023;
+constexpr std::uint16_t kFingerprint = 0x8028;
+constexpr std::uint16_t kIceControlled = 0x8029;
+constexpr std::uint16_t kIceControlling = 0x802A;
+constexpr std::uint16_t kResponseOrigin = 0x802B;    // RFC 5780
+constexpr std::uint16_t kOtherAddress = 0x802C;      // RFC 5780
+}  // namespace attr
+
+using TransactionId = std::array<std::uint8_t, 12>;
+
+struct Attribute {
+  std::uint16_t type = 0;
+  rtcc::util::Bytes value;
+};
+
+struct Message {
+  std::uint16_t type = 0;
+  /// Declared length of the attribute section in bytes.
+  std::uint16_t length = 0;
+  /// The 4 bytes where RFC 5389+ puts the magic cookie. For RFC 3489
+  /// messages these are simply the first third of the 128-bit txid.
+  std::uint32_t cookie = 0;
+  TransactionId transaction_id{};
+  std::vector<Attribute> attributes;
+
+  [[nodiscard]] bool has_magic_cookie() const { return cookie == kMagicCookie; }
+  [[nodiscard]] std::uint16_t method() const { return method_of(type); }
+  [[nodiscard]] Class cls() const { return class_of(type); }
+  [[nodiscard]] const Attribute* find(std::uint16_t attr_type) const;
+  [[nodiscard]] std::size_t count(std::uint16_t attr_type) const;
+  /// Total wire size (header + declared attribute length).
+  [[nodiscard]] std::size_t wire_size() const { return kHeaderSize + length; }
+};
+
+struct ParseResult {
+  Message message;
+  /// Bytes actually consumed from the input (== message.wire_size()).
+  std::size_t consumed = 0;
+};
+
+struct ParseOptions {
+  /// RFC 5389+ requires the magic cookie; with this false the parser
+  /// also accepts RFC 3489 classic STUN (cookie bytes become txid).
+  bool require_magic_cookie = false;
+  /// RFC 5389 §6 requires length % 4 == 0; RFC 3489 does not state it
+  /// but all defined attributes pad to 4, so we keep it configurable.
+  bool require_length_multiple_of_4 = true;
+};
+
+/// Parses one STUN message from the start of `data`. Trailing bytes
+/// after the declared length are left unconsumed (the DPI uses this to
+/// continue scanning). Fails when: input shorter than header, top two
+/// bits of the type are set, declared length exceeds available bytes,
+/// or attribute TLV walk overruns the declared length.
+[[nodiscard]] std::optional<ParseResult> parse(rtcc::util::BytesView data,
+                                               const ParseOptions& opts = {});
+
+/// TURN ChannelData (RFC 8656 §12.4): 2-byte channel number in
+/// [0x4000,0x4FFF], 2-byte length, then data.
+struct ChannelData {
+  std::uint16_t channel_number = 0;
+  std::uint16_t length = 0;
+  rtcc::util::Bytes data;
+
+  [[nodiscard]] std::size_t wire_size() const { return 4 + length; }
+};
+
+[[nodiscard]] std::optional<ChannelData> parse_channel_data(
+    rtcc::util::BytesView data);
+[[nodiscard]] rtcc::util::Bytes encode_channel_data(const ChannelData& cd);
+
+/// Fluent builder for STUN messages (used by the emulator and tests).
+class MessageBuilder {
+ public:
+  explicit MessageBuilder(std::uint16_t type);
+
+  MessageBuilder& transaction_id(const TransactionId& id);
+  MessageBuilder& random_transaction_id(rtcc::util::Rng& rng);
+  /// Switches to RFC 3489 classic framing: the cookie field carries
+  /// random txid bytes instead of 0x2112A442.
+  MessageBuilder& classic_rfc3489(rtcc::util::Rng& rng);
+
+  MessageBuilder& attribute(std::uint16_t type, rtcc::util::BytesView value);
+  MessageBuilder& attribute_u32(std::uint16_t type, std::uint32_t value);
+  MessageBuilder& attribute_str(std::uint16_t type, std::string_view value);
+  /// XOR-MAPPED-ADDRESS / XOR-PEER-ADDRESS / XOR-RELAYED-ADDRESS coding.
+  MessageBuilder& xor_address(std::uint16_t type, const rtcc::net::IpAddr& ip,
+                              std::uint16_t port);
+  /// Plain MAPPED-ADDRESS / ALTERNATE-SERVER style address attribute.
+  /// `family_override` lets tests emit the invalid family FaceTime uses.
+  MessageBuilder& address(std::uint16_t type, const rtcc::net::IpAddr& ip,
+                          std::uint16_t port, int family_override = -1);
+  /// Appends MESSAGE-INTEGRITY computed with HMAC-SHA1 over the message
+  /// so far (with length pre-adjusted per RFC 5389 §15.4).
+  MessageBuilder& message_integrity(rtcc::util::BytesView key);
+  /// Appends FINGERPRINT (must be last).
+  MessageBuilder& fingerprint();
+
+  [[nodiscard]] rtcc::util::Bytes build() const;
+  [[nodiscard]] Message build_message() const;
+
+ private:
+  Message msg_;
+};
+
+/// Decodes an XOR'd address attribute value back to (ip, port).
+struct XorAddress {
+  rtcc::net::IpAddr ip;
+  std::uint16_t port = 0;
+  std::uint8_t family = 0;
+};
+[[nodiscard]] std::optional<XorAddress> decode_xor_address(
+    rtcc::util::BytesView value, const TransactionId& txid);
+
+}  // namespace rtcc::proto::stun

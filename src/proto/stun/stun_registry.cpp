@@ -1,0 +1,254 @@
+#include "proto/stun/stun_registry.hpp"
+
+#include <unordered_map>
+
+#include "util/hex.hpp"
+
+namespace rtcc::proto::stun {
+namespace {
+
+struct MethodEntry {
+  const char* name;
+  SpecSource source;
+  // Which classes the spec defines for this method (bitmask by Class).
+  std::uint8_t classes;
+};
+
+constexpr std::uint8_t kReq = 1 << 0;
+constexpr std::uint8_t kInd = 1 << 1;
+constexpr std::uint8_t kSucc = 1 << 2;
+constexpr std::uint8_t kErr = 1 << 3;
+
+const std::unordered_map<std::uint16_t, MethodEntry>& methods() {
+  static const std::unordered_map<std::uint16_t, MethodEntry> kMethods = {
+      {kMethodBinding,
+       {"Binding", SpecSource::kRfc8489, kReq | kInd | kSucc | kErr}},
+      // Shared Secret exists only in classic STUN and has no indication.
+      {kMethodSharedSecret,
+       {"Shared Secret", SpecSource::kRfc3489, kReq | kSucc | kErr}},
+      {kMethodAllocate,
+       {"Allocate", SpecSource::kRfc8656, kReq | kSucc | kErr}},
+      {kMethodRefresh, {"Refresh", SpecSource::kRfc8656, kReq | kSucc | kErr}},
+      {kMethodSend, {"Send", SpecSource::kRfc8656, kInd}},
+      {kMethodData, {"Data", SpecSource::kRfc8656, kInd}},
+      {kMethodCreatePermission,
+       {"CreatePermission", SpecSource::kRfc8656, kReq | kSucc | kErr}},
+      {kMethodChannelBind,
+       {"ChannelBind", SpecSource::kRfc8656, kReq | kSucc | kErr}},
+      // Extension-defined method types the paper's ground truth counts
+      // as compliant for Google Meet (see DESIGN.md §1). We model them
+      // as vendor-published extension methods: GOOG-PING / GOOG-DATA.
+      {0x080, {"GOOG-PING", SpecSource::kExtension, kReq | kSucc}},
+      {0x0C0, {"GOOG-DATA", SpecSource::kExtension, kReq | kSucc}},
+  };
+  return kMethods;
+}
+
+std::uint8_t class_bit(Class c) {
+  switch (c) {
+    case Class::kRequest:
+      return kReq;
+    case Class::kIndication:
+      return kInd;
+    case Class::kSuccessResponse:
+      return kSucc;
+    case Class::kErrorResponse:
+      return kErr;
+  }
+  return 0;
+}
+
+const char* class_name(Class c) {
+  switch (c) {
+    case Class::kRequest:
+      return "Request";
+    case Class::kIndication:
+      return "Indication";
+    case Class::kSuccessResponse:
+      return "Success Response";
+    case Class::kErrorResponse:
+      return "Error Response";
+  }
+  return "?";
+}
+
+AttributeInfo make_attr(std::uint16_t type, const char* name, SpecSource src) {
+  AttributeInfo a;
+  a.type = type;
+  a.name = name;
+  a.source = src;
+  return a;
+}
+
+AttributeInfo fixed(std::uint16_t type, const char* name, SpecSource src,
+                    int len) {
+  AttributeInfo a = make_attr(type, name, src);
+  a.fixed_length = len;
+  return a;
+}
+
+AttributeInfo ranged(std::uint16_t type, const char* name, SpecSource src,
+                     int min_len, int max_len) {
+  AttributeInfo a = make_attr(type, name, src);
+  a.min_length = min_len;
+  a.max_length = max_len;
+  return a;
+}
+
+AttributeInfo address_attr(std::uint16_t type, const char* name,
+                           SpecSource src, bool xored) {
+  AttributeInfo a = make_attr(type, name, src);
+  a.is_address = true;
+  a.is_xor_address = xored;
+  a.min_length = 8;
+  a.max_length = 20;
+  return a;
+}
+
+const std::unordered_map<std::uint16_t, AttributeInfo>& attributes() {
+  using S = SpecSource;
+  static const std::unordered_map<std::uint16_t, AttributeInfo> kAttrs = [] {
+    std::unordered_map<std::uint16_t, AttributeInfo> m;
+    auto add = [&m](AttributeInfo a) { m.emplace(a.type, std::move(a)); };
+    add(address_attr(attr::kMappedAddress, "MAPPED-ADDRESS", S::kRfc8489,
+                     false));
+    add(address_attr(attr::kResponseAddress, "RESPONSE-ADDRESS", S::kRfc3489,
+                     false));
+    add(fixed(attr::kChangeRequest, "CHANGE-REQUEST", S::kRfc5780, 4));
+    add(address_attr(attr::kSourceAddress, "SOURCE-ADDRESS", S::kRfc3489,
+                     false));
+    add(address_attr(attr::kChangedAddress, "CHANGED-ADDRESS", S::kRfc3489,
+                     false));
+    add(ranged(attr::kUsername, "USERNAME", S::kRfc8489, 1, 513));
+    add(ranged(attr::kPassword, "PASSWORD", S::kRfc3489, 1, 767));
+    add(fixed(attr::kMessageIntegrity, "MESSAGE-INTEGRITY", S::kRfc8489, 20));
+    add(ranged(attr::kErrorCode, "ERROR-CODE", S::kRfc8489, 4, 763));
+    add(ranged(attr::kUnknownAttributes, "UNKNOWN-ATTRIBUTES", S::kRfc8489, 0,
+               -1));
+    add(address_attr(attr::kReflectedFrom, "REFLECTED-FROM", S::kRfc3489,
+                     false));
+    add(fixed(attr::kChannelNumber, "CHANNEL-NUMBER", S::kRfc8656, 4));
+    add(fixed(attr::kLifetime, "LIFETIME", S::kRfc8656, 4));
+    add(address_attr(attr::kXorPeerAddress, "XOR-PEER-ADDRESS", S::kRfc8656,
+                     true));
+    add(ranged(attr::kData, "DATA", S::kRfc8656, 0, -1));
+    add(ranged(attr::kRealm, "REALM", S::kRfc8489, 1, 763));
+    add(ranged(attr::kNonce, "NONCE", S::kRfc8489, 1, 763));
+    add(address_attr(attr::kXorRelayedAddress, "XOR-RELAYED-ADDRESS",
+                     S::kRfc8656, true));
+    add(fixed(attr::kRequestedAddressFamily, "REQUESTED-ADDRESS-FAMILY",
+              S::kRfc8656, 4));
+    add(fixed(attr::kEvenPort, "EVEN-PORT", S::kRfc8656, 1));
+    add(fixed(attr::kRequestedTransport, "REQUESTED-TRANSPORT", S::kRfc8656,
+              4));
+    add(fixed(attr::kDontFragment, "DONT-FRAGMENT", S::kRfc8656, 0));
+    add(ranged(attr::kMessageIntegritySha256, "MESSAGE-INTEGRITY-SHA256",
+               S::kRfc8489, 16, 32));
+    add(fixed(attr::kPasswordAlgorithm, "PASSWORD-ALGORITHM", S::kRfc8489, 4));
+    add(ranged(attr::kUserhash, "USERHASH", S::kRfc8489, 32, 32));
+    add(address_attr(attr::kXorMappedAddress, "XOR-MAPPED-ADDRESS",
+                     S::kRfc8489, true));
+    add(fixed(attr::kReservationToken, "RESERVATION-TOKEN", S::kRfc8656, 8));
+    add(fixed(attr::kPriority, "PRIORITY", S::kRfc8445, 4));
+    add(fixed(attr::kUseCandidate, "USE-CANDIDATE", S::kRfc8445, 0));
+    add(fixed(attr::kResponsePort, "RESPONSE-PORT", S::kRfc5780, 4));
+    add(ranged(attr::kPadding, "PADDING", S::kRfc5780, 0, -1));
+    add(ranged(attr::kPasswordAlgorithms, "PASSWORD-ALGORITHMS", S::kRfc8489,
+               0, -1));
+    add(ranged(attr::kAlternateDomain, "ALTERNATE-DOMAIN", S::kRfc8489, 1,
+               255));
+    add(ranged(attr::kSoftware, "SOFTWARE", S::kRfc8489, 0, 763));
+    add(address_attr(attr::kAlternateServer, "ALTERNATE-SERVER", S::kRfc8489,
+                     false));
+    add(fixed(attr::kFingerprint, "FINGERPRINT", S::kRfc8489, 4));
+    add(fixed(attr::kIceControlled, "ICE-CONTROLLED", S::kRfc8445, 8));
+    add(fixed(attr::kIceControlling, "ICE-CONTROLLING", S::kRfc8445, 8));
+    add(address_attr(attr::kResponseOrigin, "RESPONSE-ORIGIN", S::kRfc5780,
+                     false));
+    add(address_attr(attr::kOtherAddress, "OTHER-ADDRESS", S::kRfc5780,
+                     false));
+    // TURN RFC 8656 additions.
+    add(fixed(0x8000, "ADDITIONAL-ADDRESS-FAMILY", S::kRfc8656, 4));
+    add(ranged(0x8001, "ADDRESS-ERROR-CODE", S::kRfc8656, 4, 763));
+    add(fixed(0x8004, "ICMP", S::kRfc8656, 8));
+    // Vendor extension attributes counted as published (e.g. libwebrtc's
+    // GOOG-NETWORK-INFO), used by the Google Meet model.
+    add(fixed(0xC057, "GOOG-NETWORK-INFO", S::kExtension, 4));
+    return m;
+  }();
+  return kAttrs;
+}
+
+}  // namespace
+
+MessageTypeInfo lookup_message_type(std::uint16_t type) {
+  MessageTypeInfo info;
+  info.type = type;
+  // Top two bits set can never be STUN; callers shouldn't pass those,
+  // but be defensive.
+  if (type & 0xC000) {
+    info.name = "(not a STUN type)";
+    return info;
+  }
+  const std::uint16_t method = method_of(type);
+  const Class cls = class_of(type);
+  auto it = methods().find(method);
+  if (it == methods().end() || !(it->second.classes & class_bit(cls))) {
+    info.name = "(undefined)";
+    return info;
+  }
+  info.name = std::string(it->second.name) + " " + class_name(cls);
+  info.source = it->second.source;
+  return info;
+}
+
+AttributeInfo lookup_attribute(std::uint16_t type) {
+  auto it = attributes().find(type);
+  if (it != attributes().end()) return it->second;
+  AttributeInfo info;
+  info.type = type;
+  info.name = "(undefined)";
+  return info;
+}
+
+const AttributeUsageRule* lookup_usage_rule(std::uint16_t attr_type) {
+  // RFC 8445 §7.1/§7.2: ICE connectivity-check attributes appear only in
+  // Binding requests. RFC 8656 §11.1/§12.6: CHANNEL-NUMBER appears only
+  // in ChannelBind requests; RESERVATION-TOKEN in Allocate exchanges.
+  static const std::vector<AttributeUsageRule> kRules = {
+      {attr::kPriority, {kBindingRequest}},
+      {attr::kUseCandidate, {kBindingRequest}},
+      {attr::kIceControlled, {kBindingRequest}},
+      {attr::kIceControlling, {kBindingRequest}},
+      {attr::kChannelNumber, {kChannelBindRequest}},
+      {attr::kReservationToken, {kAllocateRequest, kAllocateSuccess}},
+      {attr::kRequestedTransport, {kAllocateRequest}},
+      {attr::kEvenPort, {kAllocateRequest}},
+      {attr::kXorRelayedAddress, {kAllocateSuccess}},
+  };
+  for (const auto& r : kRules)
+    if (r.attr_type == attr_type) return &r;
+  return nullptr;
+}
+
+std::optional<std::vector<std::uint16_t>> closed_attribute_set(
+    std::uint16_t message_type) {
+  // RFC 8656 §11.6: a Data indication contains XOR-PEER-ADDRESS and
+  // DATA (we additionally tolerate ICMP per §11.6 para 3). §11.4: Send
+  // indication carries XOR-PEER-ADDRESS, DATA and optionally
+  // DONT-FRAGMENT.
+  if (message_type == kDataIndication)
+    return std::vector<std::uint16_t>{attr::kXorPeerAddress, attr::kData,
+                                      0x8004 /* ICMP */};
+  if (message_type == kSendIndication)
+    return std::vector<std::uint16_t>{attr::kXorPeerAddress, attr::kData,
+                                      attr::kDontFragment};
+  return std::nullopt;
+}
+
+std::string describe_message_type(std::uint16_t type) {
+  const MessageTypeInfo info = lookup_message_type(type);
+  return rtcc::util::hex_u16(type) + " " + info.name;
+}
+
+}  // namespace rtcc::proto::stun

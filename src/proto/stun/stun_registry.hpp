@@ -1,0 +1,73 @@
+// Specification registry for STUN/TURN: which message types and
+// attribute types are defined (and by which RFC), plus the structural
+// constraints on each attribute's value. This is the ground truth the
+// five-criterion compliance checker consults for criteria 1, 3 and 4.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/common.hpp"
+#include "proto/stun/stun.hpp"
+
+namespace rtcc::proto::stun {
+
+struct MessageTypeInfo {
+  std::uint16_t type = 0;
+  std::string name;
+  SpecSource source = SpecSource::kUndefined;
+};
+
+/// Looks up a full 16-bit message type (method+class combined).
+/// Undefined combinations (e.g. WhatsApp's 0x0800) return a record with
+/// source == kUndefined.
+[[nodiscard]] MessageTypeInfo lookup_message_type(std::uint16_t type);
+
+/// Value-shape constraint for a defined attribute.
+struct AttributeInfo {
+  std::uint16_t type = 0;
+  std::string name;
+  SpecSource source = SpecSource::kUndefined;
+  /// Exact value length in bytes, if the spec fixes one (-1 otherwise).
+  int fixed_length = -1;
+  /// Bounds when the length is variable (-1 = unbounded).
+  int min_length = -1;
+  int max_length = -1;
+  /// True for MAPPED-ADDRESS-family attributes (family/port/addr shape).
+  bool is_address = false;
+  /// True for the XOR'd address variants.
+  bool is_xor_address = false;
+  /// True if the attribute is comprehension-optional (type >= 0x8000);
+  /// receivers ignore unknown optional attributes, but an *undefined*
+  /// type still fails criterion 3 per the paper's model.
+  [[nodiscard]] bool comprehension_optional() const { return type >= 0x8000; }
+};
+
+[[nodiscard]] AttributeInfo lookup_attribute(std::uint16_t type);
+
+/// Attribute-set rules per message type (criterion 4/5 support):
+/// e.g. RFC 8656 §11.6 Data Indication carries exactly
+/// XOR-PEER-ADDRESS + DATA; ICE PRIORITY appears only in Binding
+/// *requests* (RFC 8445 §7.1.1).
+struct AttributeUsageRule {
+  std::uint16_t attr_type = 0;
+  /// Message types where the attribute is permitted. Empty = anywhere.
+  std::vector<std::uint16_t> allowed_in;
+};
+
+/// Returns nullptr if the attribute has no placement restriction.
+[[nodiscard]] const AttributeUsageRule* lookup_usage_rule(
+    std::uint16_t attr_type);
+
+/// For message types with a closed attribute set (Data/Send Indication),
+/// returns the exhaustive allowed list; nullopt if the set is open.
+[[nodiscard]] std::optional<std::vector<std::uint16_t>> closed_attribute_set(
+    std::uint16_t message_type);
+
+/// Human-readable message-type label used by report tables
+/// ("0x0001 Binding Request", "0x0800 (undefined)").
+[[nodiscard]] std::string describe_message_type(std::uint16_t type);
+
+}  // namespace rtcc::proto::stun

@@ -1,0 +1,104 @@
+#include "proto/tls/client_hello.hpp"
+
+namespace rtcc::proto::tls {
+
+using rtcc::util::ByteReader;
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::ByteWriter;
+
+namespace {
+constexpr std::uint8_t kRecordHandshake = 0x16;
+constexpr std::uint8_t kHandshakeClientHello = 0x01;
+constexpr std::uint16_t kExtServerName = 0x0000;
+}  // namespace
+
+bool looks_like_tls_handshake(BytesView data) {
+  // record type 0x16, version major 3, minor 1..4 (TLS 1.0 - 1.3 compat).
+  return data.size() >= 5 && data[0] == kRecordHandshake && data[1] == 3 &&
+         data[2] >= 1 && data[2] <= 4;
+}
+
+std::optional<std::string> extract_sni(BytesView data) {
+  if (!looks_like_tls_handshake(data)) return std::nullopt;
+  ByteReader r(data);
+  r.skip(1 + 2);  // record type + version
+  const std::uint16_t record_len = r.u16();
+  if (r.remaining() < record_len) return std::nullopt;
+
+  if (r.peek_u8() != kHandshakeClientHello) return std::nullopt;
+  r.skip(1);
+  const std::uint32_t hs_len = r.u24();
+  if (r.remaining() < hs_len) return std::nullopt;
+
+  r.skip(2);   // client version
+  r.skip(32);  // random
+  const std::uint8_t session_id_len = r.u8();
+  r.skip(session_id_len);
+  const std::uint16_t cipher_len = r.u16();
+  r.skip(cipher_len);
+  const std::uint8_t compression_len = r.u8();
+  r.skip(compression_len);
+  if (!r.ok() || r.remaining() < 2) return std::nullopt;
+
+  std::uint16_t ext_total = r.u16();
+  while (r.ok() && ext_total >= 4) {
+    const std::uint16_t ext_type = r.u16();
+    const std::uint16_t ext_len = r.u16();
+    ext_total = static_cast<std::uint16_t>(ext_total - 4);
+    if (ext_len > ext_total || r.remaining() < ext_len) return std::nullopt;
+    if (ext_type == kExtServerName) {
+      ByteReader e(r.bytes(ext_len));
+      const std::uint16_t list_len = e.u16();
+      (void)list_len;
+      const std::uint8_t name_type = e.u8();
+      const std::uint16_t name_len = e.u16();
+      if (!e.ok() || name_type != 0) return std::nullopt;
+      auto name = e.bytes(name_len);
+      if (!e.ok()) return std::nullopt;
+      return std::string(name.begin(), name.end());
+    }
+    r.skip(ext_len);
+    ext_total = static_cast<std::uint16_t>(ext_total - ext_len);
+  }
+  return std::nullopt;
+}
+
+Bytes build_client_hello(std::string_view sni) {
+  // Extension block: server_name only.
+  ByteWriter sni_ext;
+  sni_ext.u16(static_cast<std::uint16_t>(sni.size() + 3));  // list length
+  sni_ext.u8(0);                                            // host_name
+  sni_ext.u16(static_cast<std::uint16_t>(sni.size()));
+  sni_ext.str(sni);
+
+  ByteWriter exts;
+  exts.u16(kExtServerName);
+  exts.u16(static_cast<std::uint16_t>(sni_ext.size()));
+  exts.raw(sni_ext.view());
+
+  ByteWriter body;
+  body.u16(0x0303);  // TLS 1.2 legacy version
+  body.fill(0xAB, 32);  // "random" (deterministic for reproducibility)
+  body.u8(0);           // empty session id
+  body.u16(2);          // one cipher suite
+  body.u16(0x1301);     // TLS_AES_128_GCM_SHA256
+  body.u8(1);           // one compression method
+  body.u8(0);           // null compression
+  body.u16(static_cast<std::uint16_t>(exts.size()));
+  body.raw(exts.view());
+
+  ByteWriter hs;
+  hs.u8(kHandshakeClientHello);
+  hs.u24(static_cast<std::uint32_t>(body.size()));
+  hs.raw(body.view());
+
+  ByteWriter record;
+  record.u8(kRecordHandshake);
+  record.u16(0x0301);
+  record.u16(static_cast<std::uint16_t>(hs.size()));
+  record.raw(hs.view());
+  return std::move(record).take();
+}
+
+}  // namespace rtcc::proto::tls

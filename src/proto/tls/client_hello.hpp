@@ -1,0 +1,28 @@
+// Minimal TLS parser: just enough to pull the SNI host name out of a
+// ClientHello, which is all the stage-2 "TLS SNI-based filtering"
+// (§3.2.2) needs. Handles the TLS record layer, handshake framing, and
+// the server_name (0) extension.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace rtcc::proto::tls {
+
+/// Returns the (first) host_name entry of the server_name extension, or
+/// nullopt when `data` is not a ClientHello or carries no SNI.
+[[nodiscard]] std::optional<std::string> extract_sni(
+    rtcc::util::BytesView data);
+
+/// True when `data` starts with a TLS handshake record (the cheap
+/// pre-check the filter uses before attempting full SNI extraction).
+[[nodiscard]] bool looks_like_tls_handshake(rtcc::util::BytesView data);
+
+/// Builds a syntactically valid ClientHello (record + handshake +
+/// extensions) advertising `sni` — the emulator uses this to synthesise
+/// background HTTPS flows the SNI filter must catch.
+[[nodiscard]] rtcc::util::Bytes build_client_hello(std::string_view sni);
+
+}  // namespace rtcc::proto::tls

@@ -1,0 +1,94 @@
+#include "proto/vendor/vendor_headers.hpp"
+
+#include "util/hex.hpp"
+
+namespace rtcc::proto::vendor {
+
+using rtcc::util::ByteReader;
+using rtcc::util::BytesView;
+
+bool zoom_media_type_known(std::uint8_t value) {
+  switch (static_cast<ZoomMediaType>(value)) {
+    case ZoomMediaType::kAudio:
+    case ZoomMediaType::kVideo:
+    case ZoomMediaType::kRtcp33:
+    case ZoomMediaType::kRtcp34:
+    case ZoomMediaType::kRtcp35:
+    case ZoomMediaType::kWrapped:
+      return true;
+  }
+  return false;
+}
+
+std::optional<ZoomHeader> parse_zoom_header(BytesView payload) {
+  // SFU section: direction(1) media_id(4) reserved(7) counter(4);
+  // media section: type(1) subtype(1) embedded_len(2) timestamp(4)
+  // [+ 4-byte inner wrapper under type 7].
+  if (payload.size() < 24) return std::nullopt;
+  ByteReader r(payload);
+  ZoomHeader h;
+  h.direction = r.u8();
+  if (h.direction != 0x00 && h.direction != 0x04 && h.direction != 0x01 &&
+      h.direction != 0x05)
+    return std::nullopt;
+  h.media_id = r.u32();
+  r.skip(7);  // reserved
+  h.counter = r.u32();
+  h.media_type = r.u8();
+  if (!zoom_media_type_known(h.media_type)) return std::nullopt;
+  const std::uint8_t subtype = r.u8();
+  h.embedded_length = r.u16();
+  r.skip(4);  // timestamp
+  if (h.media_type == 7) {
+    if (payload.size() < 28) return std::nullopt;
+    h.inner_type = subtype;
+    r.skip(4);  // inner wrapper
+    if (!zoom_media_type_known(h.inner_type) || h.inner_type == 7)
+      return std::nullopt;
+    // §5.3: under the type-7 wrapper the direction byte moves to
+    // 0x01/0x05.
+    if (h.direction != 0x01 && h.direction != 0x05) return std::nullopt;
+    h.header_size = 28;
+  } else {
+    if (h.direction != 0x00 && h.direction != 0x04) return std::nullopt;
+    h.inner_type = h.media_type;
+    h.header_size = 24;
+  }
+  if (!r.ok()) return std::nullopt;
+  // The embedded length must exactly cover the remaining payload.
+  if (h.header_size + std::size_t{h.embedded_length} != payload.size())
+    return std::nullopt;
+  return h;
+}
+
+std::optional<FaceTimeHeader> parse_facetime_header(
+    BytesView payload, std::size_t message_offset_hint) {
+  if (payload.size() < 8) return std::nullopt;
+  if (rtcc::util::load_be16(payload.data()) != 0x6000) return std::nullopt;
+  FaceTimeHeader h;
+  h.declared_length = rtcc::util::load_be16(payload.data() + 2);
+  // Declared length covers the opaque extra bytes plus the embedded
+  // message, i.e. everything after the 4 fixed bytes.
+  if (4 + std::size_t{h.declared_length} != payload.size())
+    return std::nullopt;
+  if (message_offset_hint > 0) {
+    if (message_offset_hint < 8 || message_offset_hint > payload.size())
+      return std::nullopt;
+    h.header_size = message_offset_hint;
+  } else {
+    h.header_size = 8;  // minimum envelope; extras unknown without DPI
+  }
+  h.message_size = payload.size() - h.header_size;
+  return h;
+}
+
+std::string describe(const ZoomHeader& h) {
+  std::string out = h.to_server() ? "client->server " : "server->client ";
+  out += "media-id " + rtcc::util::hex_u32(h.media_id);
+  out += " type " + std::to_string(h.effective_type());
+  if (h.wrapped()) out += " (type-7 wrapped)";
+  out += " embedded " + std::to_string(h.embedded_length) + "B";
+  return out;
+}
+
+}  // namespace rtcc::proto::vendor

@@ -1,0 +1,75 @@
+// Decoders for the two reverse-engineered proprietary headers the paper
+// documents (§5.3): Zoom's SFU+media framing (after Michel et al.,
+// IMC'22) and FaceTime's 0x6000 relay envelope. These are *not* RFC
+// protocols — they are the vendor formats the compliance study exposed,
+// decoded here so tooling can look inside the envelopes the scanning
+// DPI reports as "proprietary header" bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace rtcc::proto::vendor {
+
+/// Zoom media-section types (§5.3): 15 = audio RTP, 16 = video RTP,
+/// 33-35 = RTCP, 7 = wrapper around one of the former.
+enum class ZoomMediaType : std::uint8_t {
+  kAudio = 15,
+  kVideo = 16,
+  kRtcp33 = 33,
+  kRtcp34 = 34,
+  kRtcp35 = 35,
+  kWrapped = 7,
+};
+
+[[nodiscard]] bool zoom_media_type_known(std::uint8_t value);
+
+struct ZoomHeader {
+  /// 0x00 client→server / 0x04 server→client; 0x01/0x05 under type 7.
+  std::uint8_t direction = 0;
+  /// Constant per transport stream within a call (the "media ID").
+  std::uint32_t media_id = 0;
+  std::uint32_t counter = 0;
+  std::uint8_t media_type = 0;  // outer type (7 when wrapped)
+  std::uint8_t inner_type = 0;  // meaningful when media_type == 7
+  std::uint16_t embedded_length = 0;
+  std::size_t header_size = 0;  // 24, or 28 with the type-7 wrapper
+
+  [[nodiscard]] bool to_server() const {
+    return direction == 0x00 || direction == 0x01;
+  }
+  [[nodiscard]] bool wrapped() const { return media_type == 7; }
+  /// The media type that describes the embedded payload (inner type
+  /// for wrapped headers, outer otherwise).
+  [[nodiscard]] std::uint8_t effective_type() const {
+    return wrapped() ? inner_type : media_type;
+  }
+};
+
+/// Parses a Zoom proprietary header at the start of a UDP payload.
+/// Rejects payloads whose direction byte, media type, or embedded
+/// length are inconsistent with the documented format.
+[[nodiscard]] std::optional<ZoomHeader> parse_zoom_header(
+    rtcc::util::BytesView payload);
+
+struct FaceTimeHeader {
+  /// Declared length: opaque extra bytes + the embedded message.
+  std::uint16_t declared_length = 0;
+  std::size_t header_size = 0;  // 8..19 bytes in observed traffic
+  std::size_t message_size = 0;  // bytes of embedded standard message
+};
+
+/// Parses a FaceTime 0x6000 relay envelope: fixed 2-byte magic, 2-byte
+/// length, then opaque bytes; the embedded message fills the remainder.
+/// `message_offset_hint` is where a DPI found the embedded message
+/// (header_size is derived from it; pass 0 to require the declared
+/// length to exactly cover the rest of the payload).
+[[nodiscard]] std::optional<FaceTimeHeader> parse_facetime_header(
+    rtcc::util::BytesView payload, std::size_t message_offset_hint = 0);
+
+[[nodiscard]] std::string describe(const ZoomHeader& h);
+
+}  // namespace rtcc::proto::vendor

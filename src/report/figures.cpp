@@ -1,0 +1,111 @@
+#include "report/figures.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace rtcc::report {
+
+using rtcc::proto::Protocol;
+using rtcc::util::format_pct;
+using rtcc::util::pad_right;
+
+std::string bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto filled = static_cast<std::size_t>(fraction * width + 0.5);
+  std::string out(filled, '#');
+  out.append(width - filled, '.');
+  return out;
+}
+
+std::string render_figure3(const AppResults& results) {
+  std::ostringstream os;
+  os << "Figure 3: breakdown of datagrams — standard vs proprietary\n";
+  for (const auto& [app, a] : results) {
+    const double total = static_cast<double>(
+        a.dgram_standard + a.dgram_prop_header + a.dgram_fully_prop);
+    if (total == 0) continue;
+    const double std_f = static_cast<double>(a.dgram_standard) / total;
+    const double hdr_f = static_cast<double>(a.dgram_prop_header) / total;
+    const double full_f = static_cast<double>(a.dgram_fully_prop) / total;
+    os << pad_right(to_string(app), 13) << "standard " << bar(std_f, 30)
+       << " " << format_pct(std_f, 1) << "\n";
+    os << pad_right("", 13) << "prop-hdr " << bar(hdr_f, 30) << " "
+       << format_pct(hdr_f, 1) << "\n";
+    os << pad_right("", 13) << "fully-pr " << bar(full_f, 30) << " "
+       << format_pct(full_f, 1) << "\n";
+  }
+  return std::move(os).str();
+}
+
+namespace {
+
+struct Ratio {
+  std::uint64_t num = 0;
+  std::uint64_t den = 0;
+  [[nodiscard]] double value() const {
+    return den ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+  }
+};
+
+void render_ratios(std::ostringstream& os,
+                   const std::vector<std::pair<std::string, Ratio>>& rows) {
+  for (const auto& [name, ratio] : rows) {
+    if (ratio.den == 0) continue;
+    os << pad_right(name, 13) << bar(ratio.value()) << " "
+       << format_pct(ratio.value(), 1) << "\n";
+  }
+}
+
+}  // namespace
+
+std::string render_figure4(const AppResults& results) {
+  std::ostringstream os;
+  os << "Figure 4: compliance ratio by traffic volume\n";
+  os << "-- per application --\n";
+  std::vector<std::pair<std::string, Ratio>> apps;
+  std::map<Protocol, Ratio> by_proto;
+  for (const auto& [app, a] : results) {
+    Ratio r{a.total_compliant(), a.total_messages()};
+    apps.emplace_back(to_string(app), r);
+    for (const auto& [proto, stats] : a.protocols) {
+      by_proto[proto].num += stats.compliant;
+      by_proto[proto].den += stats.messages;
+    }
+  }
+  render_ratios(os, apps);
+  os << "-- per protocol --\n";
+  std::vector<std::pair<std::string, Ratio>> protos;
+  for (const auto& [proto, r] : by_proto)
+    protos.emplace_back(to_string(proto), r);
+  render_ratios(os, protos);
+  return std::move(os).str();
+}
+
+std::string render_figure5(const AppResults& results) {
+  std::ostringstream os;
+  os << "Figure 5: compliance ratio by message type\n";
+  os << "-- per application --\n";
+  std::vector<std::pair<std::string, Ratio>> apps;
+  std::map<Protocol, Ratio> by_proto;
+  for (const auto& [app, a] : results) {
+    Ratio r;
+    for (const auto& [proto, stats] : a.protocols) {
+      r.num += stats.compliant_types();
+      r.den += stats.total_types();
+      by_proto[proto].num += stats.compliant_types();
+      by_proto[proto].den += stats.total_types();
+    }
+    apps.emplace_back(to_string(app), r);
+  }
+  render_ratios(os, apps);
+  os << "-- per protocol --\n";
+  std::vector<std::pair<std::string, Ratio>> protos;
+  for (const auto& [proto, r] : by_proto)
+    protos.emplace_back(to_string(proto), r);
+  render_ratios(os, protos);
+  return std::move(os).str();
+}
+
+}  // namespace rtcc::report

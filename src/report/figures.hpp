@@ -1,0 +1,22 @@
+// ASCII renderers for the paper's data figures (3, 4, 5).
+#pragma once
+
+#include "report/tables.hpp"
+
+namespace rtcc::report {
+
+/// Figure 3: per-app breakdown of RTC datagrams into standard /
+/// proprietary-header / fully-proprietary.
+[[nodiscard]] std::string render_figure3(const AppResults& results);
+
+/// Figure 4: compliance ratio by traffic volume — one bar per app and
+/// one per protocol (aggregated across apps).
+[[nodiscard]] std::string render_figure4(const AppResults& results);
+
+/// Figure 5: compliance ratio by message type, same two groupings.
+[[nodiscard]] std::string render_figure5(const AppResults& results);
+
+/// Shared helper: a unit-interval ASCII bar.
+[[nodiscard]] std::string bar(double fraction, std::size_t width = 40);
+
+}  // namespace rtcc::report

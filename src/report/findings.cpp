@@ -1,0 +1,447 @@
+#include "report/findings.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "proto/srtp/srtcp.hpp"
+#include "util/hex.hpp"
+
+namespace rtcc::report {
+
+using rtcc::dpi::DatagramAnalysis;
+using rtcc::dpi::DatagramClass;
+using rtcc::dpi::MessageKind;
+using rtcc::dpi::StreamDatagram;
+using rtcc::util::BytesView;
+
+namespace {
+
+std::string fmt(const char* format, double a, double b = 0, double c = 0) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), format, a, b, c);
+  return buf;
+}
+
+bool all_bytes_equal(BytesView v) {
+  if (v.empty()) return false;
+  for (std::uint8_t b : v)
+    if (b != v[0]) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<StreamAnalysis> analyze_rtc_streams(
+    const rtcc::net::Trace& trace, const rtcc::net::StreamTable& table,
+    const rtcc::filter::FilterReport& filter_report,
+    const rtcc::dpi::ScanOptions& scan) {
+  std::vector<StreamAnalysis> out;
+  const rtcc::dpi::ScanningDpi dpi(scan);
+  for (std::size_t stream_idx : filter_report.rtc_udp_streams) {
+    const auto& stream = table.streams[stream_idx];
+    StreamAnalysis sa;
+    sa.stream_index = stream_idx;
+    sa.datagrams.reserve(stream.packets.size());
+    for (const auto& pkt : stream.packets) {
+      StreamDatagram d;
+      d.payload = rtcc::net::packet_payload(trace, pkt);
+      d.ts = pkt.ts;
+      d.dir = pkt.dir == rtcc::net::Direction::kAtoB ? 0 : 1;
+      sa.datagrams.push_back(d);
+    }
+    sa.analyses = dpi.analyze_stream(sa.datagrams);
+    out.push_back(std::move(sa));
+  }
+  return out;
+}
+
+std::vector<Finding> detect_findings(const rtcc::net::Trace& trace,
+                                     const rtcc::filter::FilterConfig& fcfg,
+                                     const AnalysisOptions& opts) {
+  std::vector<Finding> findings;
+  const auto table = rtcc::net::group_streams(trace);
+  const auto filter_report = rtcc::filter::run_pipeline(trace, table, fcfg);
+  const auto streams =
+      analyze_rtc_streams(trace, table, filter_report, opts.scan);
+
+  // ---- filler-messages (Zoom §5.3) ---------------------------------------
+  {
+    std::uint64_t filler = 0, fully_prop = 0;
+    double first_ts = 0, last_ts = 0;
+    double peak_rate = 0;
+    for (const auto& sa : streams) {
+      std::vector<double> filler_ts;
+      for (std::size_t i = 0; i < sa.analyses.size(); ++i) {
+        if (sa.analyses[i].klass != DatagramClass::kFullyProprietary)
+          continue;
+        ++fully_prop;
+        const BytesView payload = sa.datagrams[i].payload;
+        if (payload.size() >= 900 && all_bytes_equal(payload)) {
+          ++filler;
+          filler_ts.push_back(sa.datagrams[i].ts);
+          if (filler == 1) first_ts = sa.datagrams[i].ts;
+          last_ts = sa.datagrams[i].ts;
+        }
+      }
+      // Peak rate over 1-second windows within this stream.
+      std::sort(filler_ts.begin(), filler_ts.end());
+      for (std::size_t i = 0; i < filler_ts.size(); ++i) {
+        std::size_t j = i;
+        while (j < filler_ts.size() && filler_ts[j] < filler_ts[i] + 1.0)
+          ++j;
+        peak_rate = std::max(peak_rate, static_cast<double>(j - i));
+      }
+    }
+    if (filler >= 20) {
+      Finding f;
+      f.id = "filler-messages";
+      f.summary = fmt(
+          "%.0f fully-proprietary datagrams of >=900 identical bytes "
+          "(%.1f%% of fully-proprietary volume, peak %.0f pkt/s) — "
+          "bandwidth-probe filler traffic",
+          static_cast<double>(filler),
+          100.0 * static_cast<double>(filler) /
+              static_cast<double>(fully_prop),
+          peak_rate);
+      f.stats["count"] = static_cast<double>(filler);
+      f.stats["share_of_fully_proprietary"] =
+          static_cast<double>(filler) / static_cast<double>(fully_prop);
+      f.stats["peak_rate_pps"] = peak_rate;
+      f.stats["span_s"] = last_ts - first_ts;
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // ---- double-rtp (Zoom §5.3) ---------------------------------------------
+  {
+    std::uint64_t doubles = 0, rtp_datagrams = 0;
+    double first_payload = -1;
+    bool same_ts = true;
+    for (const auto& sa : streams) {
+      for (const auto& anal : sa.analyses) {
+        std::vector<const rtcc::dpi::ExtractedMessage*> rtps;
+        for (const auto& m : anal.messages)
+          if (m.kind == MessageKind::kRtp) rtps.push_back(&m);
+        if (!rtps.empty()) ++rtp_datagrams;
+        if (rtps.size() >= 2 &&
+            rtps[0]->rtp->ssrc == rtps[1]->rtp->ssrc) {
+          ++doubles;
+          if (first_payload < 0)
+            first_payload =
+                static_cast<double>(rtps[0]->rtp->payload.size());
+          if (rtps[0]->rtp->timestamp != rtps[1]->rtp->timestamp)
+            same_ts = false;
+        }
+      }
+    }
+    if (doubles > 0) {
+      Finding f;
+      f.id = "double-rtp";
+      f.summary = fmt(
+          "%.0f datagrams carry two RTP messages with one SSRC "
+          "(%.2f%% of RTP datagrams); leading message payload is "
+          "%.0f bytes",
+          static_cast<double>(doubles),
+          100.0 * static_cast<double>(doubles) /
+              static_cast<double>(rtp_datagrams),
+          first_payload);
+      f.stats["count"] = static_cast<double>(doubles);
+      f.stats["share_of_rtp_datagrams"] =
+          static_cast<double>(doubles) / static_cast<double>(rtp_datagrams);
+      f.stats["first_payload_bytes"] = first_payload;
+      f.stats["same_timestamp"] = same_ts ? 1.0 : 0.0;
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // ---- constant-prefix-probes (FaceTime §5.3) -----------------------------
+  {
+    // Fixed-size fully-proprietary datagrams sharing a >=4-byte prefix.
+    std::map<std::pair<std::size_t, std::uint32_t>, std::vector<double>>
+        groups;
+    for (const auto& sa : streams) {
+      for (std::size_t i = 0; i < sa.analyses.size(); ++i) {
+        if (sa.analyses[i].klass != DatagramClass::kFullyProprietary)
+          continue;
+        const BytesView payload = sa.datagrams[i].payload;
+        if (payload.size() < 8 || payload.size() > 128) continue;
+        if (all_bytes_equal(payload)) continue;  // that's filler
+        const std::uint32_t prefix = rtcc::util::load_be32(payload.data());
+        groups[{payload.size(), prefix}].push_back(sa.datagrams[i].ts);
+      }
+    }
+    for (auto& [key, ts] : groups) {
+      if (ts.size() < 30) continue;
+      std::sort(ts.begin(), ts.end());
+      const double span = ts.back() - ts.front();
+      if (span <= 1.0) continue;
+      const double rate = static_cast<double>(ts.size()) / span;
+      // Even intervals: coefficient of variation of gaps below 1.5.
+      double mean_gap = span / static_cast<double>(ts.size() - 1);
+      double var = 0;
+      for (std::size_t i = 1; i < ts.size(); ++i) {
+        const double g = ts[i] - ts[i - 1] - mean_gap;
+        var += g * g;
+      }
+      var /= static_cast<double>(ts.size() - 1);
+      const double cv = std::sqrt(var) / mean_gap;
+      Finding f;
+      f.id = "constant-prefix-probes";
+      f.summary =
+          fmt("%.0f fixed-size fully-proprietary datagrams (%.0f bytes) "
+              "at a steady %.1f pkt/s — proprietary connectivity checks",
+              static_cast<double>(ts.size()),
+              static_cast<double>(key.first), rate) +
+          " [prefix " + rtcc::util::hex_u32(key.second) + "]";
+      f.stats["count"] = static_cast<double>(ts.size());
+      f.stats["size_bytes"] = static_cast<double>(key.first);
+      f.stats["rate_pps"] = rate;
+      f.stats["interval_cv"] = cv;
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // ---- proprietary-header-envelope (Zoom/FaceTime §5.3) -------------------
+  {
+    // Characterizes the byte envelope in front of embedded standard
+    // messages: length range and which leading byte positions are
+    // constant (the paper reverse-engineers Zoom's direction byte and
+    // media-ID and FaceTime's fixed 0x6000 this way).
+    std::uint64_t wrapped = 0, total = 0;
+    std::size_t min_len = SIZE_MAX, max_len = 0;
+    std::array<std::set<std::uint8_t>, 4> leading;  // values at bytes 0-3
+    for (const auto& sa : streams) {
+      for (std::size_t i = 0; i < sa.analyses.size(); ++i) {
+        ++total;
+        const auto& anal = sa.analyses[i];
+        if (anal.klass != DatagramClass::kProprietaryHeader) continue;
+        ++wrapped;
+        min_len = std::min(min_len, anal.proprietary_header_len);
+        max_len = std::max(max_len, anal.proprietary_header_len);
+        const BytesView payload = sa.datagrams[i].payload;
+        for (std::size_t b = 0; b < 4 && b < payload.size(); ++b)
+          leading[b].insert(payload[b]);
+      }
+    }
+    if (wrapped >= 50) {
+      std::size_t constant_positions = 0;
+      for (const auto& values : leading)
+        if (values.size() <= 2) ++constant_positions;  // per-direction pairs
+      Finding f;
+      f.id = "proprietary-header-envelope";
+      f.summary = fmt(
+          "%.0f datagrams (%.1f%%) prepend a proprietary header of "
+          "%.0f", static_cast<double>(wrapped),
+          100.0 * static_cast<double>(wrapped) /
+              static_cast<double>(total),
+          static_cast<double>(min_len)) +
+          fmt("-%.0f bytes; %.0f of the first 4 byte positions are "
+              "(near-)constant — structured vendor framing",
+              static_cast<double>(max_len),
+              static_cast<double>(constant_positions));
+      f.stats["wrapped"] = static_cast<double>(wrapped);
+      f.stats["share"] =
+          static_cast<double>(wrapped) / static_cast<double>(total);
+      f.stats["min_header_len"] = static_cast<double>(min_len);
+      f.stats["max_header_len"] = static_cast<double>(max_len);
+      f.stats["constant_leading_positions"] =
+          static_cast<double>(constant_positions);
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // ---- rtcp-zero-ssrc (Discord §5.3) --------------------------------------
+  {
+    std::map<std::uint8_t, std::pair<std::uint64_t, std::uint64_t>> per_type;
+    for (const auto& sa : streams) {
+      for (const auto& anal : sa.analyses) {
+        for (const auto& m : anal.messages) {
+          if (m.kind != MessageKind::kRtcp) continue;
+          for (const auto& pkt : m.rtcp->packets) {
+            auto& [zero, total] = per_type[pkt.packet_type];
+            ++total;
+            if (pkt.ssrc() == 0u) ++zero;
+          }
+        }
+      }
+    }
+    for (const auto& [type, counts] : per_type) {
+      const auto [zero, total] = counts;
+      if (zero == 0 || total < 20) continue;
+      const double share = static_cast<double>(zero) /
+                           static_cast<double>(total);
+      if (share < 0.05) continue;
+      Finding f;
+      f.id = "rtcp-zero-ssrc";
+      f.summary = fmt(
+          "sender SSRC is zero in %.1f%% of RTCP type-%.0f messages",
+          100.0 * share, static_cast<double>(type));
+      f.stats["packet_type"] = static_cast<double>(type);
+      f.stats["share"] = share;
+      f.stats["count"] = static_cast<double>(zero);
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // ---- rtcp-direction-byte (Discord §5.2.3) --------------------------------
+  {
+    // Last trailing byte takes exactly one value per direction.
+    std::array<std::set<std::uint8_t>, 2> last_bytes;
+    std::uint64_t trailed = 0;
+    for (const auto& sa : streams) {
+      for (std::size_t i = 0; i < sa.analyses.size(); ++i) {
+        for (const auto& m : sa.analyses[i].messages) {
+          if (m.kind != MessageKind::kRtcp || m.rtcp->trailing.empty())
+            continue;
+          // SRTCP trailers are not direction flags; skip plausible ones.
+          if (m.rtcp->trailing.size() >= 4) continue;
+          ++trailed;
+          last_bytes[static_cast<std::size_t>(sa.datagrams[i].dir)].insert(
+              m.rtcp->trailing.back());
+        }
+      }
+    }
+    if (trailed >= 20 && last_bytes[0].size() == 1 &&
+        last_bytes[1].size() == 1 &&
+        *last_bytes[0].begin() != *last_bytes[1].begin()) {
+      Finding f;
+      f.id = "rtcp-direction-byte";
+      char buf[200];
+      std::snprintf(buf, sizeof(buf),
+                    "final trailing byte of %llu RTCP messages perfectly "
+                    "encodes packet direction (0x%02X one way, 0x%02X the "
+                    "other) — a proprietary direction flag",
+                    static_cast<unsigned long long>(trailed),
+                    *last_bytes[0].begin(), *last_bytes[1].begin());
+      f.summary = buf;
+      f.stats["count"] = static_cast<double>(trailed);
+      f.stats["value_dir0"] = *last_bytes[0].begin();
+      f.stats["value_dir1"] = *last_bytes[1].begin();
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // ---- srtcp-missing-auth-tag (Google Meet §5.2.3) -------------------------
+  {
+    std::uint64_t srtcp = 0, tagless = 0;
+    for (const auto& sa : streams) {
+      for (const auto& anal : sa.analyses) {
+        for (const auto& m : anal.messages) {
+          if (m.kind != MessageKind::kRtcp || m.rtcp->trailing.empty())
+            continue;
+          auto trailer = rtcc::proto::srtp::parse_trailer(
+              BytesView{m.rtcp->trailing});
+          if (!trailer || !trailer->encrypted_flag) continue;
+          ++srtcp;
+          if (trailer->auth_tag.size() <
+              rtcc::proto::srtp::kDefaultAuthTagSize)
+            ++tagless;
+        }
+      }
+    }
+    if (srtcp >= 20 && tagless > 0) {
+      Finding f;
+      f.id = "srtcp-missing-auth-tag";
+      f.summary = fmt(
+          "%.1f%% of %.0f SRTCP messages end without the mandatory "
+          "authentication tag (RFC 3711 §3.4)",
+          100.0 * static_cast<double>(tagless) /
+              static_cast<double>(srtcp),
+          static_cast<double>(srtcp));
+      f.stats["share"] =
+          static_cast<double>(tagless) / static_cast<double>(srtcp);
+      f.stats["srtcp_messages"] = static_cast<double>(srtcp);
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // ---- repeated-unanswered-stun (FaceTime §5.2.1) --------------------------
+  {
+    std::uint64_t trains = 0;
+    std::uint64_t longest = 0;
+    for (const auto& sa : streams) {
+      rtcc::compliance::StreamComplianceChecker checker(opts.compliance);
+      std::map<rtcc::compliance::TxidKey, std::uint64_t> counts;
+      for (std::size_t i = 0; i < sa.analyses.size(); ++i) {
+        for (const auto& m : sa.analyses[i].messages) {
+          checker.observe(m, sa.datagrams[i].dir, sa.datagrams[i].ts);
+          if (m.kind == MessageKind::kStun && m.stun &&
+              m.stun->cls() == rtcc::proto::stun::Class::kRequest) {
+            ++counts[rtcc::compliance::TxidKey{m.stun->transaction_id}];
+          }
+        }
+      }
+      checker.finalize();
+      for (const auto& txid : checker.context().repeated_unanswered) {
+        ++trains;
+        longest = std::max(longest, counts[txid]);
+      }
+    }
+    if (trains > 0) {
+      Finding f;
+      f.id = "repeated-unanswered-stun";
+      f.summary = fmt(
+          "%.0f constant-transaction-ID request trains never receive a "
+          "response (longest: %.0f retransmissions) — requests "
+          "repurposed for something other than binding",
+          static_cast<double>(trains), static_cast<double>(longest));
+      f.stats["trains"] = static_cast<double>(trains);
+      f.stats["longest_train"] = static_cast<double>(longest);
+      findings.push_back(std::move(f));
+    }
+  }
+
+  return findings;
+}
+
+std::vector<Finding> detect_findings(const rtcc::emul::EmulatedCall& call,
+                                     const AnalysisOptions& opts) {
+  return detect_findings(call.trace, rtcc::emul::filter_config_for(call),
+                         opts);
+}
+
+std::set<std::uint32_t> call_rtp_ssrcs(const rtcc::emul::EmulatedCall& call,
+                                       const AnalysisOptions& opts) {
+  std::set<std::uint32_t> out;
+  const auto table = rtcc::net::group_streams(call.trace);
+  const auto filter_report = rtcc::filter::run_pipeline(
+      call.trace, table, rtcc::emul::filter_config_for(call));
+  for (const auto& sa :
+       analyze_rtc_streams(call.trace, table, filter_report, opts.scan)) {
+    for (const auto& anal : sa.analyses)
+      for (const auto& m : anal.messages)
+        if (m.kind == MessageKind::kRtp) out.insert(m.rtp->ssrc);
+  }
+  return out;
+}
+
+std::optional<Finding> detect_ssrc_reuse(
+    const std::vector<std::set<std::uint32_t>>& per_call_ssrcs) {
+  if (per_call_ssrcs.size() < 2) return std::nullopt;
+  // Intersection across all calls; random 32-bit SSRCs essentially
+  // never repeat across independent calls.
+  std::set<std::uint32_t> common = per_call_ssrcs.front();
+  for (const auto& s : per_call_ssrcs) {
+    std::set<std::uint32_t> next;
+    std::set_intersection(common.begin(), common.end(), s.begin(), s.end(),
+                          std::inserter(next, next.begin()));
+    common = std::move(next);
+  }
+  if (common.empty()) return std::nullopt;
+  Finding f;
+  f.id = "deterministic-ssrc";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%zu RTP SSRC value(s) recur verbatim across %zu "
+                "independent calls — SSRCs are assigned "
+                "deterministically, not randomly (RFC 3550 §8)",
+                common.size(), per_call_ssrcs.size());
+  f.summary = buf;
+  f.stats["recurring_ssrcs"] = static_cast<double>(common.size());
+  f.stats["calls"] = static_cast<double>(per_call_ssrcs.size());
+  return f;
+}
+
+}  // namespace rtcc::report

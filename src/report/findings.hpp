@@ -1,0 +1,77 @@
+// Behavioural-findings detectors — the paper's §5.2.2/§5.3
+// "application-specific network behaviors" made systematic. Each
+// detector is app-agnostic: it scans any analyzed call and reports
+// when a pattern is present, exactly as a passive measurement tool
+// must (the paper did this by manual inspection; we encode the
+// signatures).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "report/metrics.hpp"
+
+namespace rtcc::report {
+
+struct Finding {
+  /// Stable identifier, e.g. "filler-messages", "double-rtp".
+  std::string id;
+  /// One-sentence human-readable description with the key numbers.
+  std::string summary;
+  /// Machine-readable evidence (counts, shares, rates).
+  std::map<std::string, double> stats;
+};
+
+/// Per-stream pipeline intermediate shared by metrics and findings.
+/// `datagrams` holds views into `trace` — keep the trace alive.
+struct StreamAnalysis {
+  std::size_t stream_index = 0;
+  std::vector<rtcc::dpi::StreamDatagram> datagrams;
+  std::vector<rtcc::dpi::DatagramAnalysis> analyses;
+};
+
+[[nodiscard]] std::vector<StreamAnalysis> analyze_rtc_streams(
+    const rtcc::net::Trace& trace, const rtcc::net::StreamTable& table,
+    const rtcc::filter::FilterReport& filter_report,
+    const rtcc::dpi::ScanOptions& scan = {});
+
+/// Runs every single-call detector. Detectors (paper reference):
+///  - "filler-messages"           Zoom's 1000-identical-byte bandwidth
+///                                probes in bursts (§5.3)
+///  - "double-rtp"                two RTP messages per datagram, same
+///                                SSRC and timestamp (§5.3)
+///  - "constant-prefix-probes"    fixed-size fully-proprietary
+///                                datagrams with a constant prefix at a
+///                                steady rate (FaceTime 0xDEADBEEFCAFE,
+///                                §5.3)
+///  - "rtcp-zero-ssrc"            SSRC=0 in RTCP feedback (Discord,
+///                                §5.3)
+///  - "rtcp-direction-byte"       trailing byte perfectly correlated
+///                                with packet direction (Discord,
+///                                §5.2.3)
+///  - "srtcp-missing-auth-tag"    share of SRTCP messages without an
+///                                auth tag (Google Meet, §5.2.3)
+///  - "repeated-unanswered-stun"  constant-txid request trains
+///                                (FaceTime, §5.2.1)
+[[nodiscard]] std::vector<Finding> detect_findings(
+    const rtcc::net::Trace& trace, const rtcc::filter::FilterConfig& fcfg,
+    const AnalysisOptions& opts = {});
+
+/// Convenience overload for emulated calls.
+[[nodiscard]] std::vector<Finding> detect_findings(
+    const rtcc::emul::EmulatedCall& call, const AnalysisOptions& opts = {});
+
+/// Cross-call detector for §5.2.2's Zoom SSRC determinism: given the
+/// RTP SSRC sets of repeated calls under one network setting, reports
+/// when the sets repeat verbatim (random SSRCs collide with negligible
+/// probability).
+[[nodiscard]] std::optional<Finding> detect_ssrc_reuse(
+    const std::vector<std::set<std::uint32_t>>& per_call_ssrcs);
+
+/// Extracts the RTP SSRC set of one call (helper for detect_ssrc_reuse).
+[[nodiscard]] std::set<std::uint32_t> call_rtp_ssrcs(
+    const rtcc::emul::EmulatedCall& call, const AnalysisOptions& opts = {});
+
+}  // namespace rtcc::report

@@ -1,0 +1,23 @@
+// JSON export of analysis results and findings — the machine-readable
+// companion to the ASCII tables, for downstream tooling (the paper
+// releases its dataset + framework; this is the interchange surface).
+#pragma once
+
+#include "report/findings.hpp"
+#include "report/metrics.hpp"
+#include "report/tables.hpp"
+
+namespace rtcc::report {
+
+/// One CallAnalysis as a JSON object: filtering stats, datagram
+/// classes, and per-protocol / per-type compliance with criterion
+/// failure histograms.
+[[nodiscard]] std::string to_json(const CallAnalysis& analysis);
+
+/// A full experiment (app → analysis) as a JSON object keyed by app.
+[[nodiscard]] std::string to_json(const AppResults& results);
+
+/// Findings as a JSON array.
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+}  // namespace rtcc::report

@@ -1,0 +1,232 @@
+#include "report/metrics.hpp"
+
+#include <cstdlib>
+#include <future>
+#include <thread>
+
+namespace rtcc::report {
+
+using rtcc::compliance::CheckedMessage;
+using rtcc::compliance::StreamComplianceChecker;
+using rtcc::dpi::DatagramAnalysis;
+using rtcc::dpi::ScanningDpi;
+using rtcc::dpi::StreamDatagram;
+
+std::size_t ProtocolStats::compliant_types() const {
+  std::size_t n = 0;
+  for (const auto& [label, stats] : types)
+    if (stats.type_compliant()) ++n;
+  return n;
+}
+
+std::uint64_t CallAnalysis::total_messages() const {
+  std::uint64_t n = 0;
+  for (const auto& [proto, stats] : protocols) n += stats.messages;
+  return n;
+}
+
+std::uint64_t CallAnalysis::total_compliant() const {
+  std::uint64_t n = 0;
+  for (const auto& [proto, stats] : protocols) n += stats.compliant;
+  return n;
+}
+
+std::uint64_t CallAnalysis::distribution_total() const {
+  return total_messages() + dgram_fully_prop;
+}
+
+CallAnalysis analyze_trace(const rtcc::net::Trace& trace,
+                           const rtcc::filter::FilterConfig& fcfg,
+                           const AnalysisOptions& opts) {
+  CallAnalysis out;
+  out.raw_bytes = trace.total_bytes();
+
+  const auto table = rtcc::net::group_streams(trace);
+  out.raw_udp_streams = table.udp_stream_count();
+  out.raw_udp_datagrams = table.udp_datagram_count();
+  out.raw_tcp_streams = table.tcp_stream_count();
+  out.raw_tcp_segments = table.tcp_segment_count();
+
+  const auto filter_report = rtcc::filter::run_pipeline(trace, table, fcfg);
+  out.stage1_udp = filter_report.stage1_udp;
+  out.stage2_udp = filter_report.stage2_udp;
+  out.stage1_tcp = filter_report.stage1_tcp;
+  out.stage2_tcp = filter_report.stage2_tcp;
+  out.rtc_udp = filter_report.rtc_udp;
+  out.rtc_tcp = filter_report.rtc_tcp;
+
+  const ScanningDpi dpi(opts.scan);
+  for (std::size_t stream_idx : filter_report.rtc_udp_streams) {
+    const auto& stream = table.streams[stream_idx];
+
+    std::vector<StreamDatagram> datagrams;
+    datagrams.reserve(stream.packets.size());
+    for (const auto& pkt : stream.packets) {
+      StreamDatagram d;
+      d.payload = rtcc::net::packet_payload(trace, pkt);
+      d.ts = pkt.ts;
+      d.dir = pkt.dir == rtcc::net::Direction::kAtoB ? 0 : 1;
+      datagrams.push_back(d);
+    }
+
+    const auto analyses = dpi.analyze_stream(datagrams);
+
+    StreamComplianceChecker checker(opts.compliance);
+    for (std::size_t i = 0; i < analyses.size(); ++i) {
+      out.dpi_candidates += analyses[i].candidates;
+      for (const auto& msg : analyses[i].messages)
+        checker.observe(msg, datagrams[i].dir, datagrams[i].ts);
+    }
+    checker.finalize();
+
+    for (std::size_t i = 0; i < analyses.size(); ++i) {
+      const auto& anal = analyses[i];
+      switch (anal.klass) {
+        case rtcc::dpi::DatagramClass::kStandard:
+          ++out.dgram_standard;
+          break;
+        case rtcc::dpi::DatagramClass::kProprietaryHeader:
+          ++out.dgram_prop_header;
+          break;
+        case rtcc::dpi::DatagramClass::kFullyProprietary:
+          ++out.dgram_fully_prop;
+          break;
+      }
+      for (const auto& msg : anal.messages) {
+        ++out.dpi_messages;
+        const auto checked =
+            checker.check(msg, datagrams[i].dir, datagrams[i].ts);
+        for (const auto& cm : checked) {
+          auto& pstats = out.protocols[cm.protocol];
+          ++pstats.messages;
+          auto& tstats = pstats.types[cm.type_label];
+          ++tstats.total;
+          if (cm.verdict.compliant) {
+            ++pstats.compliant;
+            ++tstats.compliant;
+          } else if (const auto* v = cm.verdict.first()) {
+            ++tstats.criterion_failures[rtcc::compliance::to_string(
+                v->criterion)];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CallAnalysis analyze_call(const rtcc::emul::EmulatedCall& call,
+                          const AnalysisOptions& opts) {
+  return analyze_trace(call.trace, rtcc::emul::filter_config_for(call), opts);
+}
+
+namespace {
+
+void merge_stage(rtcc::filter::StageStats& into,
+                 const rtcc::filter::StageStats& from) {
+  into.streams += from.streams;
+  into.packets += from.packets;
+}
+
+}  // namespace
+
+void merge(CallAnalysis& into, const CallAnalysis& from) {
+  into.raw_bytes += from.raw_bytes;
+  into.raw_udp_streams += from.raw_udp_streams;
+  into.raw_udp_datagrams += from.raw_udp_datagrams;
+  into.raw_tcp_streams += from.raw_tcp_streams;
+  into.raw_tcp_segments += from.raw_tcp_segments;
+  merge_stage(into.stage1_udp, from.stage1_udp);
+  merge_stage(into.stage2_udp, from.stage2_udp);
+  merge_stage(into.stage1_tcp, from.stage1_tcp);
+  merge_stage(into.stage2_tcp, from.stage2_tcp);
+  merge_stage(into.rtc_udp, from.rtc_udp);
+  merge_stage(into.rtc_tcp, from.rtc_tcp);
+  into.dgram_standard += from.dgram_standard;
+  into.dgram_prop_header += from.dgram_prop_header;
+  into.dgram_fully_prop += from.dgram_fully_prop;
+  into.dpi_candidates += from.dpi_candidates;
+  into.dpi_messages += from.dpi_messages;
+  for (const auto& [proto, pstats] : from.protocols) {
+    auto& dst = into.protocols[proto];
+    dst.messages += pstats.messages;
+    dst.compliant += pstats.compliant;
+    for (const auto& [label, tstats] : pstats.types) {
+      auto& t = dst.types[label];
+      t.total += tstats.total;
+      t.compliant += tstats.compliant;
+      for (const auto& [criterion, count] : tstats.criterion_failures)
+        t.criterion_failures[criterion] += count;
+    }
+  }
+}
+
+std::map<rtcc::emul::AppId, CallAnalysis> run_experiment(
+    const ExperimentConfig& cfg) {
+  // Enumerate the full call matrix up front so the parallel path can
+  // dispatch one task per call while keeping a deterministic merge
+  // order (app-major, then network, then repeat).
+  struct Job {
+    rtcc::emul::AppId app;
+    rtcc::emul::CallConfig call_cfg;
+  };
+  std::vector<Job> jobs;
+  for (auto app : cfg.apps) {
+    for (auto network : cfg.networks) {
+      for (int repeat = 0; repeat < cfg.repeats; ++repeat) {
+        rtcc::emul::CallConfig call_cfg;
+        call_cfg.app = app;
+        call_cfg.network = network;
+        call_cfg.media_scale = cfg.media_scale;
+        call_cfg.call_s = cfg.call_s;
+        call_cfg.background = cfg.background;
+        call_cfg.seed = cfg.seed;
+        call_cfg.call_index = repeat;
+        jobs.push_back(Job{app, call_cfg});
+      }
+    }
+  }
+
+  auto run_one = [&cfg](const rtcc::emul::CallConfig& call_cfg) {
+    const auto call = rtcc::emul::emulate_call(call_cfg);
+    return analyze_call(call, cfg.analysis);
+  };
+
+  std::vector<CallAnalysis> results(jobs.size());
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (cfg.parallel && jobs.size() > 1 && hw > 1) {
+    // Wave dispatch bounded by the core count: each call allocates a
+    // multi-megabyte trace, so unbounded async oversubscribes both CPU
+    // and memory.
+    for (std::size_t base = 0; base < jobs.size(); base += hw) {
+      const std::size_t end = std::min(jobs.size(), base + hw);
+      std::vector<std::future<CallAnalysis>> futures;
+      for (std::size_t i = base; i < end; ++i)
+        futures.push_back(
+            std::async(std::launch::async, run_one, jobs[i].call_cfg));
+      for (std::size_t i = base; i < end; ++i)
+        results[i] = futures[i - base].get();
+    }
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      results[i] = run_one(jobs[i].call_cfg);
+  }
+
+  std::map<rtcc::emul::AppId, CallAnalysis> out;
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    merge(out[jobs[i].app], results[i]);
+  return out;
+}
+
+ExperimentConfig experiment_config_from_env() {
+  ExperimentConfig cfg;
+  if (const char* scale = std::getenv("RTCC_SCALE"))
+    cfg.media_scale = std::strtod(scale, nullptr);
+  if (const char* repeats = std::getenv("RTCC_REPEATS"))
+    cfg.repeats = std::max(1, std::atoi(repeats));
+  if (const char* seed = std::getenv("RTCC_SEED"))
+    cfg.seed = std::strtoull(seed, nullptr, 10);
+  return cfg;
+}
+
+}  // namespace rtcc::report

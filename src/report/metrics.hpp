@@ -1,0 +1,104 @@
+// End-to-end analysis orchestration and the paper's two compliance
+// metrics (§5.1): volume-based (per message) and message-type-based
+// (a type is compliant only if every observed instance is).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "compliance/checker.hpp"
+#include "dpi/scanning_dpi.hpp"
+#include "emul/app_model.hpp"
+#include "filter/pipeline.hpp"
+
+namespace rtcc::report {
+
+struct AnalysisOptions {
+  rtcc::dpi::ScanOptions scan;
+  rtcc::compliance::ComplianceConfig compliance;
+};
+
+/// Stats for one (protocol, message-type-label) cell of Tables 3-6.
+struct TypeStats {
+  std::uint64_t total = 0;
+  std::uint64_t compliant = 0;
+  /// First-failing-criterion histogram ("3:attribute-type-validity"→n).
+  std::map<std::string, std::uint64_t> criterion_failures;
+
+  [[nodiscard]] bool type_compliant() const { return compliant == total; }
+};
+
+struct ProtocolStats {
+  std::uint64_t messages = 0;
+  std::uint64_t compliant = 0;
+  std::map<std::string, TypeStats> types;
+
+  [[nodiscard]] std::size_t compliant_types() const;
+  [[nodiscard]] std::size_t total_types() const { return types.size(); }
+};
+
+/// Everything one call (or a merged experiment) contributes to the
+/// paper's tables and figures.
+struct CallAnalysis {
+  // --- Table 1 ---
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t raw_udp_streams = 0, raw_udp_datagrams = 0;
+  std::uint64_t raw_tcp_streams = 0, raw_tcp_segments = 0;
+  rtcc::filter::StageStats stage1_udp, stage2_udp, stage1_tcp, stage2_tcp;
+  rtcc::filter::StageStats rtc_udp, rtc_tcp;
+
+  // --- Figure 3 (RTC UDP datagram classes) ---
+  std::uint64_t dgram_standard = 0;
+  std::uint64_t dgram_prop_header = 0;
+  std::uint64_t dgram_fully_prop = 0;
+
+  // --- Tables 2-6 / Figures 4-5 ---
+  std::map<rtcc::proto::Protocol, ProtocolStats> protocols;
+
+  // --- DPI ablation data ---
+  std::uint64_t dpi_candidates = 0;
+  std::uint64_t dpi_messages = 0;
+
+  [[nodiscard]] std::uint64_t total_messages() const;
+  [[nodiscard]] std::uint64_t total_compliant() const;
+  /// Units for Table 2: messages plus fully-proprietary datagrams.
+  [[nodiscard]] std::uint64_t distribution_total() const;
+};
+
+/// Full pipeline on one emulated call: stream grouping → two-stage
+/// filter → scanning DPI per RTC UDP stream → five-criterion checker.
+[[nodiscard]] CallAnalysis analyze_call(const rtcc::emul::EmulatedCall& call,
+                                        const AnalysisOptions& opts = {});
+
+/// Same pipeline but on an arbitrary trace + externally supplied filter
+/// config (for analyzing pcaps from disk).
+[[nodiscard]] CallAnalysis analyze_trace(
+    const rtcc::net::Trace& trace, const rtcc::filter::FilterConfig& fcfg,
+    const AnalysisOptions& opts = {});
+
+void merge(CallAnalysis& into, const CallAnalysis& from);
+
+/// The paper's experiment matrix: apps × network configs × repeats.
+struct ExperimentConfig {
+  std::vector<rtcc::emul::AppId> apps = rtcc::emul::all_apps();
+  std::vector<rtcc::emul::NetworkSetup> networks = rtcc::emul::all_networks();
+  int repeats = 2;
+  double media_scale = 0.02;
+  double call_s = 300.0;
+  bool background = true;
+  std::uint64_t seed = 42;
+  /// Emulate+analyze calls concurrently (one task per call). Results
+  /// are merged in a fixed order, so parallel and serial runs produce
+  /// identical aggregates.
+  bool parallel = true;
+  AnalysisOptions analysis;
+};
+
+[[nodiscard]] std::map<rtcc::emul::AppId, CallAnalysis> run_experiment(
+    const ExperimentConfig& cfg);
+
+/// Reads RTCC_SCALE / RTCC_REPEATS env vars so benches can be sped up
+/// or made more faithful without recompiling.
+[[nodiscard]] ExperimentConfig experiment_config_from_env();
+
+}  // namespace rtcc::report

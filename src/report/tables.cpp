@@ -1,0 +1,190 @@
+#include "report/tables.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace rtcc::report {
+
+using rtcc::emul::AppId;
+using rtcc::proto::Protocol;
+using rtcc::util::format_pct;
+using rtcc::util::human_count;
+using rtcc::util::human_megabytes;
+using rtcc::util::pad_left;
+using rtcc::util::pad_right;
+
+namespace {
+
+std::string strms_dgrams(std::uint64_t streams, std::uint64_t packets) {
+  return std::to_string(streams) + " | " + human_count(packets);
+}
+
+const ProtocolStats* find_protocol(const CallAnalysis& a, Protocol p) {
+  auto it = a.protocols.find(p);
+  return it == a.protocols.end() ? nullptr : &it->second;
+}
+
+/// Sort type labels numerically where possible ("96" < "103"), keeping
+/// hex labels and names in lexical order after numbers.
+std::vector<std::string> sorted_labels(
+    const std::map<std::string, TypeStats>& types, bool compliant) {
+  std::vector<std::string> out;
+  for (const auto& [label, stats] : types)
+    if (stats.type_compliant() == compliant) out.push_back(label);
+  std::sort(out.begin(), out.end(), [](const std::string& a,
+                                       const std::string& b) {
+    const bool na = !a.empty() && (std::isdigit(a[0]) != 0);
+    const bool nb = !b.empty() && (std::isdigit(b[0]) != 0);
+    if (na && nb) return std::stol(a) < std::stol(b);
+    if (na != nb) return na;
+    return a < b;
+  });
+  return out;
+}
+
+std::string join_labels(const std::vector<std::string>& labels) {
+  if (labels.empty()) return "-";
+  return rtcc::util::join(labels, ", ");
+}
+
+std::string type_table(const AppResults& results, Protocol protocol,
+                       const std::string& title) {
+  std::ostringstream os;
+  os << title << "\n";
+  os << pad_right("Application", 13) << "| Compliant Types | Non-compliant "
+     << "Types\n";
+  os << std::string(78, '-') << "\n";
+  for (const auto& [app, analysis] : results) {
+    const auto* stats = find_protocol(analysis, protocol);
+    os << pad_right(to_string(app), 13) << "| ";
+    if (!stats || stats->types.empty()) {
+      os << "N/A | N/A\n";
+      continue;
+    }
+    os << join_labels(sorted_labels(stats->types, true)) << " | "
+       << join_labels(sorted_labels(stats->types, false)) << "\n";
+  }
+  return std::move(os).str();
+}
+
+}  // namespace
+
+std::string render_table1(const AppResults& results) {
+  std::ostringstream os;
+  os << "Table 1: traffic traces and filtering progress (streams | "
+        "packets)\n";
+  os << pad_right("Application", 13) << pad_right("Volume", 12)
+     << pad_right("Raw UDP", 16) << pad_right("Raw TCP", 16)
+     << pad_right("S1 UDP", 14) << pad_right("S2 UDP", 14)
+     << pad_right("S1 TCP", 14) << pad_right("S2 TCP", 14)
+     << pad_right("RTC UDP", 16) << "RTC TCP\n";
+  os << std::string(132, '-') << "\n";
+  for (const auto& [app, a] : results) {
+    os << pad_right(to_string(app), 13)
+       << pad_right(human_megabytes(a.raw_bytes), 12)
+       << pad_right(strms_dgrams(a.raw_udp_streams, a.raw_udp_datagrams), 16)
+       << pad_right(strms_dgrams(a.raw_tcp_streams, a.raw_tcp_segments), 16)
+       << pad_right(strms_dgrams(a.stage1_udp.streams, a.stage1_udp.packets),
+                    14)
+       << pad_right(strms_dgrams(a.stage2_udp.streams, a.stage2_udp.packets),
+                    14)
+       << pad_right(strms_dgrams(a.stage1_tcp.streams, a.stage1_tcp.packets),
+                    14)
+       << pad_right(strms_dgrams(a.stage2_tcp.streams, a.stage2_tcp.packets),
+                    14)
+       << pad_right(strms_dgrams(a.rtc_udp.streams, a.rtc_udp.packets), 16)
+       << strms_dgrams(a.rtc_tcp.streams, a.rtc_tcp.packets) << "\n";
+  }
+  return std::move(os).str();
+}
+
+std::string render_table2(const AppResults& results) {
+  std::ostringstream os;
+  os << "Table 2: message distribution by protocol and application\n";
+  os << pad_right("Application", 13) << pad_left("STUN/TURN", 11)
+     << pad_left("RTP", 9) << pad_left("RTCP", 9) << pad_left("QUIC", 9)
+     << pad_left("Fully Proprietary", 19) << "\n";
+  os << std::string(70, '-') << "\n";
+  for (const auto& [app, a] : results) {
+    const double total = static_cast<double>(a.distribution_total());
+    auto cell = [&](Protocol p) -> std::string {
+      const auto* stats = find_protocol(a, p);
+      if (!stats || stats->messages == 0) return "N/A";
+      return format_pct(static_cast<double>(stats->messages) / total, 1);
+    };
+    os << pad_right(to_string(app), 13)
+       << pad_left(cell(Protocol::kStunTurn), 11)
+       << pad_left(cell(Protocol::kRtp), 9)
+       << pad_left(cell(Protocol::kRtcp), 9)
+       << pad_left(cell(Protocol::kQuic), 9)
+       << pad_left(format_pct(
+                       static_cast<double>(a.dgram_fully_prop) / total, 1),
+                   19)
+       << "\n";
+  }
+  return std::move(os).str();
+}
+
+std::string render_table3(const AppResults& results) {
+  std::ostringstream os;
+  os << "Table 3: protocol compliance ratio by message type\n";
+  os << pad_right("Application", 13) << pad_left("STUN/TURN", 11)
+     << pad_left("RTP", 9) << pad_left("RTCP", 9) << pad_left("QUIC", 9)
+     << pad_left("All Protocols", 15) << "\n";
+  os << std::string(66, '-') << "\n";
+
+  std::map<Protocol, std::pair<std::size_t, std::size_t>> bottom;
+  for (const auto& [app, a] : results) {
+    std::size_t all_compliant = 0, all_total = 0;
+    auto cell = [&](Protocol p) -> std::string {
+      const auto* stats = find_protocol(a, p);
+      if (!stats || stats->types.empty()) return "N/A";
+      const std::size_t c = stats->compliant_types();
+      const std::size_t t = stats->total_types();
+      all_compliant += c;
+      all_total += t;
+      bottom[p].first += c;
+      bottom[p].second += t;
+      return std::to_string(c) + "/" + std::to_string(t);
+    };
+    const std::string stun = cell(Protocol::kStunTurn);
+    const std::string rtp = cell(Protocol::kRtp);
+    const std::string rtcp = cell(Protocol::kRtcp);
+    const std::string quic = cell(Protocol::kQuic);
+    os << pad_right(to_string(app), 13) << pad_left(stun, 11)
+       << pad_left(rtp, 9) << pad_left(rtcp, 9) << pad_left(quic, 9)
+       << pad_left(std::to_string(all_compliant) + "/" +
+                       std::to_string(all_total),
+                   15)
+       << "\n";
+  }
+  os << pad_right("All Apps", 13);
+  for (Protocol p : {Protocol::kStunTurn, Protocol::kRtp, Protocol::kRtcp,
+                     Protocol::kQuic}) {
+    const auto [c, t] = bottom[p];
+    os << pad_left(t ? std::to_string(c) + "/" + std::to_string(t)
+                     : std::string("N/A"),
+                   p == Protocol::kStunTurn ? 11 : 9);
+  }
+  os << "\n";
+  return std::move(os).str();
+}
+
+std::string render_table4(const AppResults& results) {
+  return type_table(results, Protocol::kStunTurn,
+                    "Table 4: observed STUN/TURN message types");
+}
+
+std::string render_table5(const AppResults& results) {
+  return type_table(results, Protocol::kRtp,
+                    "Table 5: observed RTP message (payload) types");
+}
+
+std::string render_table6(const AppResults& results) {
+  return type_table(results, Protocol::kRtcp,
+                    "Table 6: observed RTCP message types");
+}
+
+}  // namespace rtcc::report

@@ -1,0 +1,29 @@
+// Renderers producing the paper's tables (1-6) from merged analyses.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "report/metrics.hpp"
+
+namespace rtcc::report {
+
+using AppResults = std::map<rtcc::emul::AppId, CallAnalysis>;
+
+/// Table 1: traffic traces and filtering progress per application.
+[[nodiscard]] std::string render_table1(const AppResults& results);
+
+/// Table 2: message distribution by protocol (+ fully proprietary).
+[[nodiscard]] std::string render_table2(const AppResults& results);
+
+/// Table 3: compliance ratio by message type (apps × protocols matrix,
+/// plus the per-protocol aggregate bottom row).
+[[nodiscard]] std::string render_table3(const AppResults& results);
+
+/// Tables 4/5/6: observed STUN/TURN / RTP / RTCP types, compliant vs
+/// non-compliant per application.
+[[nodiscard]] std::string render_table4(const AppResults& results);
+[[nodiscard]] std::string render_table5(const AppResults& results);
+[[nodiscard]] std::string render_table6(const AppResults& results);
+
+}  // namespace rtcc::report

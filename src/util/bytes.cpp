@@ -1,0 +1,157 @@
+#include "util/bytes.hpp"
+
+#include <algorithm>
+
+namespace rtcc::util {
+
+bool ByteReader::take(std::size_t n, const std::uint8_t** out) {
+  if (failed_ || remaining() < n) {
+    failed_ = true;
+    *out = nullptr;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  const std::uint8_t* p = nullptr;
+  return take(1, &p) ? p[0] : 0;
+}
+
+std::uint16_t ByteReader::u16() {
+  const std::uint8_t* p = nullptr;
+  return take(2, &p) ? load_be16(p) : 0;
+}
+
+std::uint32_t ByteReader::u24() {
+  const std::uint8_t* p = nullptr;
+  if (!take(3, &p)) return 0;
+  return (std::uint32_t{p[0]} << 16) | (std::uint32_t{p[1]} << 8) | p[2];
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint8_t* p = nullptr;
+  return take(4, &p) ? load_be32(p) : 0;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint8_t* p = nullptr;
+  return take(8, &p) ? load_be64(p) : 0;
+}
+
+BytesView ByteReader::bytes(std::size_t n) {
+  const std::uint8_t* p = nullptr;
+  return take(n, &p) ? BytesView{p, n} : BytesView{};
+}
+
+Bytes ByteReader::copy(std::size_t n) {
+  BytesView v = bytes(n);
+  return Bytes(v.begin(), v.end());
+}
+
+void ByteReader::skip(std::size_t n) {
+  const std::uint8_t* p = nullptr;
+  (void)take(n, &p);
+}
+
+void ByteReader::seek(std::size_t pos) {
+  if (pos > data_.size()) {
+    failed_ = true;
+    return;
+  }
+  pos_ = pos;
+}
+
+std::uint8_t ByteReader::peek_u8(std::size_t ahead) const {
+  return remaining() >= ahead + 1 ? data_[pos_ + ahead] : 0;
+}
+
+std::uint16_t ByteReader::peek_u16(std::size_t ahead) const {
+  return remaining() >= ahead + 2 ? load_be16(data_.data() + pos_ + ahead) : 0;
+}
+
+std::uint32_t ByteReader::peek_u32(std::size_t ahead) const {
+  return remaining() >= ahead + 4 ? load_be32(data_.data() + pos_ + ahead) : 0;
+}
+
+ByteWriter& ByteWriter::u8(std::uint8_t v) {
+  buf_.push_back(v);
+  return *this;
+}
+
+ByteWriter& ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  return *this;
+}
+
+ByteWriter& ByteWriter::u24(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  return *this;
+}
+
+ByteWriter& ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v >> 16));
+  u16(static_cast<std::uint16_t>(v));
+  return *this;
+}
+
+ByteWriter& ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+  return *this;
+}
+
+ByteWriter& ByteWriter::raw(BytesView v) {
+  buf_.insert(buf_.end(), v.begin(), v.end());
+  return *this;
+}
+
+ByteWriter& ByteWriter::str(std::string_view s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+  return *this;
+}
+
+ByteWriter& ByteWriter::fill(std::uint8_t value, std::size_t count) {
+  buf_.insert(buf_.end(), count, value);
+  return *this;
+}
+
+void ByteWriter::patch_u16(std::size_t at, std::uint16_t v) {
+  if (at + 2 <= buf_.size()) store_be16(buf_.data() + at, v);
+}
+
+void ByteWriter::patch_u32(std::size_t at, std::uint32_t v) {
+  if (at + 4 <= buf_.size()) store_be32(buf_.data() + at, v);
+}
+
+std::uint16_t load_be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) | p[1]);
+}
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | p[3];
+}
+
+std::uint64_t load_be64(const std::uint8_t* p) {
+  return (std::uint64_t{load_be32(p)} << 32) | load_be32(p + 4);
+}
+
+void store_be16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace rtcc::util

@@ -1,0 +1,101 @@
+// Big-endian byte stream reader/writer used by every protocol codec.
+//
+// Network protocols in this repo (STUN, RTP, RTCP, QUIC, TLS, IP/UDP/TCP)
+// are all big-endian on the wire, so the reader/writer default to
+// network byte order. Readers never throw: out-of-bounds reads flip a
+// sticky error flag and return zeroes, so codecs can parse speculatively
+// (the DPI scans arbitrary offsets) and check `ok()` once at the end.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtcc::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Sequential big-endian reader over a non-owning byte view.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+  ByteReader(const std::uint8_t* p, std::size_t n) : data_(p, n) {}
+
+  [[nodiscard]] std::size_t offset() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const {
+    return pos_ <= data_.size() ? data_.size() - pos_ : 0;
+  }
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] bool at_end() const { return remaining() == 0; }
+
+  /// Reads fail silently after the first error; callers check ok().
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u24();  // 3-byte big-endian (RTCP app data, TLS lengths)
+  std::uint32_t u32();
+  std::uint64_t u64();
+
+  /// Returns a view of `n` bytes and advances; empty view + error on overrun.
+  BytesView bytes(std::size_t n);
+  /// Copies `n` bytes out; empty vector + error on overrun.
+  Bytes copy(std::size_t n);
+
+  void skip(std::size_t n);
+  /// Absolute reposition; out-of-range positions set the error flag.
+  void seek(std::size_t pos);
+
+  /// Peek without advancing. Returns 0 and does NOT set error on overrun
+  /// (peeks are used for speculative protocol sniffing).
+  [[nodiscard]] std::uint8_t peek_u8(std::size_t ahead = 0) const;
+  [[nodiscard]] std::uint16_t peek_u16(std::size_t ahead = 0) const;
+  [[nodiscard]] std::uint32_t peek_u32(std::size_t ahead = 0) const;
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** out);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Append-only big-endian writer building an owned byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  ByteWriter& u8(std::uint8_t v);
+  ByteWriter& u16(std::uint16_t v);
+  ByteWriter& u24(std::uint32_t v);
+  ByteWriter& u32(std::uint32_t v);
+  ByteWriter& u64(std::uint64_t v);
+  ByteWriter& raw(BytesView v);
+  ByteWriter& raw(const Bytes& v) { return raw(BytesView{v}); }
+  ByteWriter& str(std::string_view s);
+  ByteWriter& fill(std::uint8_t value, std::size_t count);
+
+  /// Patch a previously written big-endian u16 at absolute offset.
+  void patch_u16(std::size_t at, std::uint16_t v);
+  void patch_u32(std::size_t at, std::uint32_t v);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const Bytes& data() const& { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] BytesView view() const { return BytesView{buf_}; }
+
+ private:
+  Bytes buf_;
+};
+
+/// Constant-free helpers for one-off loads (header sniffing).
+[[nodiscard]] std::uint16_t load_be16(const std::uint8_t* p);
+[[nodiscard]] std::uint32_t load_be32(const std::uint8_t* p);
+[[nodiscard]] std::uint64_t load_be64(const std::uint8_t* p);
+void store_be16(std::uint8_t* p, std::uint16_t v);
+void store_be32(std::uint8_t* p, std::uint32_t v);
+
+}  // namespace rtcc::util

@@ -1,0 +1,100 @@
+#include "util/hex.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace rtcc::util {
+namespace {
+
+constexpr char kLower[] = "0123456789abcdef";
+constexpr char kUpper[] = "0123456789ABCDEF";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kLower[b >> 4]);
+    out.push_back(kLower[b & 0xF]);
+  }
+  return out;
+}
+
+std::string hex_u16(std::uint16_t v) {
+  std::string out = "0x";
+  for (int shift = 12; shift >= 0; shift -= 4)
+    out.push_back(kUpper[(v >> shift) & 0xF]);
+  return out;
+}
+
+std::string hex_u32(std::uint32_t v) {
+  std::string out = "0x";
+  for (int shift = 28; shift >= 0; shift -= 4)
+    out.push_back(kUpper[(v >> shift) & 0xF]);
+  return out;
+}
+
+std::optional<Bytes> from_hex(std::string_view s) {
+  if (s.starts_with("0x") || s.starts_with("0X")) s.remove_prefix(2);
+  Bytes out;
+  out.reserve(s.size() / 2);
+  int hi = -1;
+  for (char c : s) {
+    if (c == ' ' || c == ':') {
+      if (hi >= 0) return std::nullopt;  // separator mid-byte
+      continue;
+    }
+    int n = nibble(c);
+    if (n < 0) return std::nullopt;
+    if (hi < 0) {
+      hi = n;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | n));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) return std::nullopt;  // odd nibble count
+  return out;
+}
+
+std::string hexdump(BytesView data, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = std::min(data.size(), max_bytes);
+  for (std::size_t line = 0; line < n; line += 16) {
+    // offset
+    std::array<char, 9> off{};
+    for (int i = 0; i < 8; ++i)
+      off[static_cast<std::size_t>(i)] =
+          kLower[(line >> ((7 - i) * 4)) & 0xF];
+    out.append(off.data(), 8).append("  ");
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (line + i < n) {
+        std::uint8_t b = data[line + i];
+        out.push_back(kLower[b >> 4]);
+        out.push_back(kLower[b & 0xF]);
+        out.push_back(' ');
+      } else {
+        out.append("   ");
+      }
+      if (i == 7) out.push_back(' ');
+    }
+    out.append(" |");
+    for (std::size_t i = 0; i < 16 && line + i < n; ++i) {
+      char c = static_cast<char>(data[line + i]);
+      out.push_back(std::isprint(static_cast<unsigned char>(c)) ? c : '.');
+    }
+    out.append("|\n");
+  }
+  if (n < data.size()) out.append("... (truncated)\n");
+  return out;
+}
+
+}  // namespace rtcc::util

@@ -1,0 +1,29 @@
+// Hex encode/decode and hexdump helpers for diagnostics and tests.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace rtcc::util {
+
+/// "deadbeef" (lowercase, no separators).
+[[nodiscard]] std::string to_hex(BytesView data);
+
+/// Formats like `0x2112A442` with uppercase digits and fixed width
+/// (width = number of hex digits, not counting the 0x prefix).
+[[nodiscard]] std::string hex_u16(std::uint16_t v);
+[[nodiscard]] std::string hex_u32(std::uint32_t v);
+
+/// Parses hex with optional "0x" prefix and optional spaces/colons
+/// between byte pairs. Returns nullopt on any invalid digit or odd
+/// number of nibbles.
+[[nodiscard]] std::optional<Bytes> from_hex(std::string_view s);
+
+/// Classic 16-bytes-per-line hexdump with ASCII gutter, for debugging
+/// proprietary payloads.
+[[nodiscard]] std::string hexdump(BytesView data, std::size_t max_bytes = 256);
+
+}  // namespace rtcc::util

@@ -1,0 +1,138 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rtcc::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_if_needed() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_value_.empty()) {
+    if (has_value_.back()) out_ += ',';
+    has_value_.back() = true;
+  }
+}
+
+void JsonWriter::push_scope(bool) { has_value_.push_back(false); }
+
+void JsonWriter::pop_scope() {
+  if (!has_value_.empty()) has_value_.pop_back();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  push_scope(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  pop_scope();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  push_scope(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  pop_scope();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  comma_if_needed();
+  if (!std::isfinite(d)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", d);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_if_needed();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_if_needed();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma_if_needed();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_if_needed();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace rtcc::util

@@ -1,0 +1,47 @@
+// Minimal JSON writer — enough to export analysis results for
+// downstream tooling (no parsing, no DOM; strictly a serializer).
+// Escapes strings per RFC 8259 and renders numbers with enough
+// precision to round-trip doubles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rtcc::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Starts a key inside an object; follow with a value call.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view{s}); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  [[nodiscard]] const std::string& str() const& { return out_; }
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+
+ private:
+  void comma_if_needed();
+  void push_scope(bool is_object);
+  void pop_scope();
+
+  std::string out_;
+  // One bool per open scope: whether a value was already emitted.
+  std::vector<bool> has_value_;
+  bool after_key_ = false;
+};
+
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace rtcc::util

@@ -1,0 +1,31 @@
+// Small string/format helpers shared by report tables and diagnostics.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtcc::util {
+
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Fixed-width column padding (left-aligned / right-aligned).
+[[nodiscard]] std::string pad_right(std::string s, std::size_t width);
+[[nodiscard]] std::string pad_left(std::string s, std::size_t width);
+
+/// "12345678" -> "12,345,678" for table readability.
+[[nodiscard]] std::string with_commas(std::uint64_t v);
+
+/// Percent with fixed decimals, e.g. format_pct(0.9731, 1) == "97.3%".
+[[nodiscard]] std::string format_pct(double fraction, int decimals = 1);
+
+/// Compact count used by the paper's Table 1 ("3.2m", "72.4k", "601").
+[[nodiscard]] std::string human_count(std::uint64_t v);
+
+/// Bytes as "2975.9 MB" style used in Table 1.
+[[nodiscard]] std::string human_megabytes(std::uint64_t bytes);
+
+}  // namespace rtcc::util

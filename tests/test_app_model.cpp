@@ -1,0 +1,181 @@
+// CallContext emission machinery, shared media helpers, and a full
+// app × network sweep of datagram-classification invariants.
+#include <gtest/gtest.h>
+
+#include "emul/media_util.hpp"
+#include "report/metrics.hpp"
+
+namespace rtcc::emul {
+namespace {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::Rng;
+
+CallContext make_ctx(NetworkSetup network = NetworkSetup::kWifiP2p) {
+  CallConfig cfg;
+  cfg.network = network;
+  Endpoints ep;
+  ep.device_a = *net::IpAddr::parse("192.168.1.10");
+  ep.device_b = *net::IpAddr::parse("192.168.1.11");
+  ep.relay = *net::IpAddr::parse("198.51.100.5");
+  filter::CallSchedule schedule;
+  return CallContext(cfg, ep, schedule, 5);
+}
+
+TEST(CallContext, EmissionsAreSortedOnTake) {
+  auto ctx = make_ctx();
+  const Bytes payload = {1};
+  ctx.emit_udp(5.0, ctx.ep().device_a, 1, ctx.ep().device_b, 2,
+               BytesView{payload}, TruthKind::kRtc);
+  ctx.emit_udp(1.0, ctx.ep().device_a, 1, ctx.ep().device_b, 2,
+               BytesView{payload}, TruthKind::kBackground);
+  ctx.emit_udp(3.0, ctx.ep().device_a, 1, ctx.ep().device_b, 2,
+               BytesView{payload}, TruthKind::kRtc);
+  auto call = ctx.take_call();
+  ASSERT_EQ(call.trace.size(), 3u);
+  EXPECT_EQ(call.trace.frames[0].ts, 1.0);
+  EXPECT_EQ(call.trace.frames[2].ts, 5.0);
+  // Truth labels travel with the frames through the sort.
+  EXPECT_EQ(call.truth[0], TruthKind::kBackground);
+  EXPECT_EQ(call.truth[1], TruthKind::kRtc);
+}
+
+TEST(CallContext, EphemeralPortsInRange) {
+  auto ctx = make_ctx();
+  for (int i = 0; i < 200; ++i) {
+    const auto p = ctx.ephemeral_port();
+    EXPECT_GE(p, 20000);
+    EXPECT_LT(p, 60000);
+  }
+}
+
+TEST(PacketTimes, RateScalesLinearly) {
+  Rng rng(3);
+  const auto at_1 = packet_times(rng, 0, 100, 50, 1.0).size();
+  Rng rng2(3);
+  const auto at_tenth = packet_times(rng2, 0, 100, 50, 0.1).size();
+  EXPECT_NEAR(static_cast<double>(at_1), 5000.0, 300.0);
+  EXPECT_NEAR(static_cast<double>(at_tenth), 500.0, 100.0);
+}
+
+TEST(PacketTimes, EmptyForDegenerateInputs) {
+  Rng rng(4);
+  EXPECT_TRUE(packet_times(rng, 10, 10, 50, 1.0).empty());
+  EXPECT_TRUE(packet_times(rng, 10, 5, 50, 1.0).empty());
+  EXPECT_TRUE(packet_times(rng, 0, 100, 0, 1.0).empty());
+}
+
+TEST(PacketTimes, AllWithinInterval) {
+  Rng rng(5);
+  for (double t : packet_times(rng, 7.0, 9.0, 100, 1.0)) {
+    EXPECT_GE(t, 7.0);
+    EXPECT_LT(t, 9.0);
+  }
+}
+
+TEST(MediaPath, P2pVsRelayResolution) {
+  auto ctx = make_ctx();
+  const auto p2p = media_path(ctx, TransmissionMode::kP2p, 100, 200, 300);
+  EXPECT_EQ(p2p.a, ctx.ep().device_a);
+  EXPECT_EQ(p2p.b, ctx.ep().device_b);
+  EXPECT_EQ(p2p.b_port, 200);
+  const auto relay = media_path(ctx, TransmissionMode::kRelay, 100, 200, 300);
+  EXPECT_EQ(relay.b, ctx.ep().relay);
+  EXPECT_EQ(relay.b_port, 300);
+}
+
+TEST(EmitRtpLeg, SequenceNumbersAdvanceByOne) {
+  auto ctx = make_ctx();
+  RtpLeg leg;
+  leg.src = ctx.ep().device_a;
+  leg.sport = 4000;
+  leg.dst = ctx.ep().device_b;
+  leg.dport = 4001;
+  leg.ssrc = 42;
+  leg.payload_type = 96;
+  leg.pps = 100;
+  leg.payload_size = 50;
+  const auto count = emit_rtp_leg(ctx, leg, 60.0, 70.0);
+  ASSERT_GT(count, 5u);
+  auto call = ctx.take_call();
+
+  std::vector<std::uint16_t> seqs;
+  for (const auto& frame : call.trace.frames) {
+    auto d = net::decode_frame(BytesView{frame.data});
+    ASSERT_TRUE(d);
+    auto p = proto::rtp::parse(d->payload);
+    ASSERT_TRUE(p);
+    seqs.push_back(p->packet.sequence_number);
+  }
+  for (std::size_t i = 1; i < seqs.size(); ++i)
+    EXPECT_EQ(static_cast<std::uint16_t>(seqs[i] - seqs[i - 1]), 1u);
+}
+
+// ---- Full matrix sweep of classification invariants -----------------------
+
+using SweepCase = std::tuple<AppId, NetworkSetup>;
+
+class MatrixSweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(MatrixSweep, ClassificationInvariants) {
+  const auto [app, network] = GetParam();
+  CallConfig cfg;
+  cfg.app = app;
+  cfg.network = network;
+  cfg.media_scale = 0.02;
+  cfg.seed = 1234;
+  const auto analysis = report::analyze_call(emulate_call(cfg));
+
+  const std::uint64_t total = analysis.dgram_standard +
+                              analysis.dgram_prop_header +
+                              analysis.dgram_fully_prop;
+  ASSERT_GT(total, 0u);
+  // Every surviving RTC datagram is classified exactly once.
+  EXPECT_EQ(total, analysis.rtc_udp.packets);
+
+  // Per-app invariants from Figure 3 / Table 2.
+  const double std_share =
+      static_cast<double>(analysis.dgram_standard) / total;
+  switch (app) {
+    case AppId::kZoom:
+      EXPECT_LT(std_share, 0.01);
+      break;
+    case AppId::kFaceTime:
+      if (network == NetworkSetup::kWifiRelay) {
+        EXPECT_LT(std_share, 0.2);
+      } else {
+        EXPECT_GT(std_share, 0.85);
+      }
+      break;
+    case AppId::kWhatsApp:
+    case AppId::kMessenger:
+    case AppId::kDiscord:
+      EXPECT_GT(std_share, 0.99);
+      break;
+    case AppId::kGoogleMeet:
+      EXPECT_GT(std_share, 0.97);
+      break;
+  }
+
+  // The DPI extracted something from every app in every mode.
+  EXPECT_GT(analysis.total_messages(), 50u);
+  // Candidates always exceed validated messages (validation filters).
+  EXPECT_GT(analysis.dpi_candidates, analysis.dpi_messages);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, MatrixSweep,
+    testing::Combine(testing::ValuesIn(all_apps()),
+                     testing::ValuesIn(all_networks())),
+    [](const testing::TestParamInfo<SweepCase>& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_" +
+                         to_string(std::get<1>(info.param));
+      std::erase_if(name, [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) == 0;
+      });
+      return name;
+    });
+
+}  // namespace
+}  // namespace rtcc::emul

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace rtcc::util {
+namespace {
+
+TEST(ByteReader, ReadsBigEndianIntegers) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                               0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C,
+                               0x0D, 0x0E, 0x0F, 0x10, 0x11, 0x12};
+  ByteReader r(data, sizeof(data));
+  EXPECT_EQ(r.u8(), 0x01);
+  EXPECT_EQ(r.u16(), 0x0203);
+  EXPECT_EQ(r.u24(), 0x040506u);
+  EXPECT_EQ(r.u32(), 0x0708090Au);
+  EXPECT_EQ(r.u64(), 0x0B0C0D0E0F101112ULL);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteReader, OverrunSetsStickyError) {
+  const std::uint8_t data[] = {0xAA, 0xBB};
+  ByteReader r(data, sizeof(data));
+  EXPECT_EQ(r.u32(), 0u);  // overrun → zero
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // error is sticky
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, BytesReturnsViewAndAdvances) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  ByteReader r(data, sizeof(data));
+  auto view = r.bytes(3);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0], 1);
+  EXPECT_EQ(view[2], 3);
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(ByteReader, CopyProducesOwnedBytes) {
+  const std::uint8_t data[] = {9, 8, 7};
+  ByteReader r(data, sizeof(data));
+  Bytes copy = r.copy(2);
+  EXPECT_EQ(copy, (Bytes{9, 8}));
+}
+
+TEST(ByteReader, SkipAndSeek) {
+  const std::uint8_t data[] = {1, 2, 3, 4};
+  ByteReader r(data, sizeof(data));
+  r.skip(2);
+  EXPECT_EQ(r.u8(), 3);
+  r.seek(0);
+  EXPECT_EQ(r.u8(), 1);
+  r.seek(10);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, PeekDoesNotAdvanceOrError) {
+  const std::uint8_t data[] = {0x12, 0x34, 0x56, 0x78};
+  ByteReader r(data, sizeof(data));
+  EXPECT_EQ(r.peek_u8(), 0x12);
+  EXPECT_EQ(r.peek_u16(1), 0x3456);
+  EXPECT_EQ(r.peek_u32(), 0x12345678u);
+  EXPECT_EQ(r.peek_u32(2), 0u);  // would overrun: returns 0, no error
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.offset(), 0u);
+}
+
+TEST(ByteWriter, WritesBigEndian) {
+  ByteWriter w;
+  w.u8(0x01).u16(0x0203).u24(0x040506).u32(0x0708090A);
+  w.u64(0x0B0C0D0E0F101112ULL);
+  const Bytes expected = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                          0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C,
+                          0x0D, 0x0E, 0x0F, 0x10, 0x11, 0x12};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(ByteWriter, RawStrFill) {
+  ByteWriter w;
+  const Bytes raw = {1, 2};
+  w.raw(BytesView{raw}).str("ab").fill(0xFF, 2);
+  EXPECT_EQ(w.data(), (Bytes{1, 2, 'a', 'b', 0xFF, 0xFF}));
+}
+
+TEST(ByteWriter, PatchInPlace) {
+  ByteWriter w;
+  w.u16(0).u32(0);
+  w.patch_u16(0, 0xBEEF);
+  w.patch_u32(2, 0xDEADC0DE);
+  EXPECT_EQ(w.data(), (Bytes{0xBE, 0xEF, 0xDE, 0xAD, 0xC0, 0xDE}));
+}
+
+TEST(ByteWriter, PatchOutOfRangeIsIgnored) {
+  ByteWriter w;
+  w.u8(1);
+  w.patch_u16(0, 0xAAAA);  // needs 2 bytes, only 1 → no-op
+  EXPECT_EQ(w.data(), Bytes{1});
+}
+
+TEST(Bytes, RoundTripThroughReaderWriter) {
+  ByteWriter w;
+  for (std::uint32_t i = 0; i < 100; ++i) w.u32(i * 2654435761u);
+  ByteReader r(w.view());
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(r.u32(), i * 2654435761u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(LoadStore, BigEndianHelpers) {
+  std::uint8_t buf[8] = {};
+  store_be16(buf, 0x1234);
+  EXPECT_EQ(load_be16(buf), 0x1234);
+  store_be32(buf, 0x89ABCDEFu);
+  EXPECT_EQ(load_be32(buf), 0x89ABCDEFu);
+  const std::uint8_t big[] = {0x01, 0x02, 0x03, 0x04,
+                              0x05, 0x06, 0x07, 0x08};
+  EXPECT_EQ(load_be64(big), 0x0102030405060708ULL);
+}
+
+TEST(ByteReader, EmptyInput) {
+  ByteReader r(BytesView{});
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace rtcc::util

@@ -1,0 +1,82 @@
+// DESIGN.md ablation 3: the sequential short-circuit (§4.2's "strictly
+// sequential" evaluation) must never change a verdict relative to
+// exhaustive evaluation — only the number of reported violations.
+// Verified over the entire emulated corpus, not just unit cases.
+#include <gtest/gtest.h>
+
+#include "report/findings.hpp"
+
+namespace rtcc::compliance {
+namespace {
+
+class CheckerModeEquivalence
+    : public testing::TestWithParam<rtcc::emul::AppId> {};
+
+TEST_P(CheckerModeEquivalence, SequentialNeverChangesVerdicts) {
+  rtcc::emul::CallConfig cfg;
+  cfg.app = GetParam();
+  cfg.network = rtcc::emul::NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.02;
+  cfg.seed = 777;
+  const auto call = rtcc::emul::emulate_call(cfg);
+  const auto table = rtcc::net::group_streams(call.trace);
+  const auto fr = rtcc::filter::run_pipeline(
+      call.trace, table, rtcc::emul::filter_config_for(call));
+  const auto streams =
+      rtcc::report::analyze_rtc_streams(call.trace, table, fr);
+
+  ComplianceConfig sequential;
+  sequential.sequential = true;
+  ComplianceConfig exhaustive;
+  exhaustive.sequential = false;
+
+  std::uint64_t checked = 0, with_extra_violations = 0;
+  for (const auto& sa : streams) {
+    StreamComplianceChecker seq(sequential);
+    StreamComplianceChecker exh(exhaustive);
+    for (std::size_t i = 0; i < sa.analyses.size(); ++i) {
+      for (const auto& m : sa.analyses[i].messages) {
+        seq.observe(m, sa.datagrams[i].dir, sa.datagrams[i].ts);
+        exh.observe(m, sa.datagrams[i].dir, sa.datagrams[i].ts);
+      }
+    }
+    seq.finalize();
+    exh.finalize();
+    for (std::size_t i = 0; i < sa.analyses.size(); ++i) {
+      for (const auto& m : sa.analyses[i].messages) {
+        const auto s = seq.check(m, sa.datagrams[i].dir, sa.datagrams[i].ts);
+        const auto e = exh.check(m, sa.datagrams[i].dir, sa.datagrams[i].ts);
+        ASSERT_EQ(s.size(), e.size());
+        for (std::size_t k = 0; k < s.size(); ++k) {
+          ++checked;
+          // Same verdict...
+          ASSERT_EQ(s[k].verdict.compliant, e[k].verdict.compliant)
+              << s[k].type_label;
+          // ...same first failing criterion...
+          if (!s[k].verdict.compliant) {
+            ASSERT_EQ(s[k].verdict.violations.size(), 1u);
+            ASSERT_GE(e[k].verdict.violations.size(), 1u);
+            EXPECT_EQ(s[k].verdict.first()->criterion,
+                      e[k].verdict.first()->criterion)
+                << s[k].type_label;
+            if (e[k].verdict.violations.size() > 1)
+              ++with_extra_violations;
+          }
+        }
+      }
+    }
+  }
+  ASSERT_GT(checked, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, CheckerModeEquivalence,
+    testing::ValuesIn(rtcc::emul::all_apps()),
+    [](const testing::TestParamInfo<rtcc::emul::AppId>& info) {
+      std::string name = rtcc::emul::to_string(info.param);
+      name.erase(std::remove(name.begin(), name.end(), ' '), name.end());
+      return name;
+    });
+
+}  // namespace
+}  // namespace rtcc::compliance

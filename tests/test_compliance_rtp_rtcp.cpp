@@ -1,0 +1,357 @@
+// RTP and RTCP rulebooks: the §5.2.2/§5.2.3 case studies plus the
+// SRTCP-trailer inference.
+#include <gtest/gtest.h>
+
+#include "compliance/checker.hpp"
+#include "proto/srtp/srtcp.hpp"
+#include "util/rng.hpp"
+
+namespace rtcc::compliance {
+namespace {
+
+namespace rtp = rtcc::proto::rtp;
+namespace rtcp = rtcc::proto::rtcp;
+namespace srtp = rtcc::proto::srtp;
+using rtcc::dpi::ExtractedMessage;
+using rtcc::dpi::MessageKind;
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::Rng;
+
+ExtractedMessage wrap_rtp(rtp::Packet p) {
+  ExtractedMessage m;
+  m.kind = MessageKind::kRtp;
+  m.rtp = std::move(p);
+  return m;
+}
+
+ExtractedMessage wrap_rtcp(rtcp::Compound c) {
+  ExtractedMessage m;
+  m.kind = MessageKind::kRtcp;
+  m.rtcp = std::move(c);
+  return m;
+}
+
+std::vector<CheckedMessage> judge(const ExtractedMessage& m, int dir = 0) {
+  StreamComplianceChecker checker;
+  checker.observe(m, dir, 100.0);
+  checker.finalize();
+  return checker.check(m, dir, 100.0);
+}
+
+TEST(RtpRules, PlainPacketCompliant) {
+  rtp::PacketBuilder b;
+  b.payload_type(96).seq(1).timestamp(2).ssrc(3);
+  auto out = judge(wrap_rtp(b.build_packet()));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].verdict.compliant);
+  EXPECT_EQ(out[0].type_label, "96");
+  EXPECT_EQ(out[0].protocol, proto::Protocol::kRtp);
+}
+
+TEST(RtpRules, AnyPayloadTypeIsDefined) {
+  // §5.1/Table 5: even unassigned PTs (e.g. Zoom's 74/75) are counted
+  // compliant; the PT field itself cannot fail criterion 1.
+  for (std::uint8_t pt : {0, 13, 35, 74, 96, 127}) {
+    rtp::PacketBuilder b;
+    b.payload_type(pt).seq(1).timestamp(2).ssrc(3);
+    EXPECT_TRUE(judge(wrap_rtp(b.build_packet()))[0].verdict.compliant)
+        << int(pt);
+  }
+}
+
+TEST(RtpRules, UndefinedExtensionProfileFailsCriterion3) {
+  // FaceTime's 0x8001/0x8500/0x8D00 (§5.2.2) and Discord's
+  // 0x0084-0xFBD2 profiles.
+  Rng rng(1);
+  for (std::uint16_t profile : {0x8001, 0x8500, 0x8D00, 0x0084, 0xFBD2}) {
+    rtp::PacketBuilder b;
+    b.payload_type(100).seq(1).timestamp(2).ssrc(3);
+    b.raw_extension(profile, BytesView{rng.bytes(8)});
+    auto out = judge(wrap_rtp(b.build_packet()));
+    ASSERT_FALSE(out[0].verdict.compliant) << profile;
+    EXPECT_EQ(out[0].verdict.first()->criterion,
+              Criterion::kAttributeTypeValidity);
+  }
+}
+
+TEST(RtpRules, DefinedProfilesPass) {
+  Rng rng(2);
+  rtp::PacketBuilder b;
+  b.payload_type(111).seq(1).timestamp(2).ssrc(3);
+  auto lvl = rng.bytes(1);
+  b.one_byte_extension().element(1, BytesView{lvl});
+  EXPECT_TRUE(judge(wrap_rtp(b.build_packet()))[0].verdict.compliant);
+
+  rtp::PacketBuilder b2;
+  b2.payload_type(111).seq(1).timestamp(2).ssrc(3);
+  auto data = rng.bytes(20);
+  b2.two_byte_extension().element(7, BytesView{data});
+  EXPECT_TRUE(judge(wrap_rtp(b2.build_packet()))[0].verdict.compliant);
+}
+
+TEST(RtpRules, MalformedId0ElementFailsCriterion4) {
+  // Discord's reserved-identifier misuse (§5.2.2).
+  rtp::PacketBuilder b;
+  b.payload_type(120).seq(1).timestamp(2).ssrc(3);
+  const Bytes payload = {1, 2, 3};
+  b.one_byte_extension().malformed_id0_element(BytesView{payload});
+  auto out = judge(wrap_rtp(b.build_packet()));
+  ASSERT_FALSE(out[0].verdict.compliant);
+  EXPECT_EQ(out[0].verdict.first()->criterion,
+            Criterion::kAttributeValueValidity);
+  EXPECT_NE(out[0].verdict.first()->detail.find("ID 0"), std::string::npos);
+}
+
+TEST(RtcpRules, CompliantSrSdesCompound) {
+  rtcp::SenderReport sr;
+  sr.sender_ssrc = 1;
+  rtcp::Sdes sdes;
+  rtcp::SdesChunk chunk;
+  chunk.ssrc = 1;
+  chunk.items.push_back({1, Bytes{'c'}});
+  sdes.chunks.push_back(chunk);
+  rtcp::Compound c;
+  c.packets.push_back(rtcp::make_sender_report(sr));
+  c.packets.push_back(rtcp::make_sdes(sdes));
+
+  auto out = judge(wrap_rtcp(c));
+  ASSERT_EQ(out.size(), 2u);  // one verdict per packet in the compound
+  EXPECT_TRUE(out[0].verdict.compliant);
+  EXPECT_TRUE(out[1].verdict.compliant);
+  EXPECT_EQ(out[0].type_label, "200");
+  EXPECT_EQ(out[1].type_label, "202");
+}
+
+TEST(RtcpRules, CompoundMustStartWithReport) {
+  rtcp::Sdes sdes;
+  rtcp::SdesChunk chunk;
+  chunk.ssrc = 1;
+  sdes.chunks.push_back(chunk);
+  rtcp::SenderReport sr;
+  sr.sender_ssrc = 1;
+  rtcp::Compound c;
+  c.packets.push_back(rtcp::make_sdes(sdes));  // SDES first: violation
+  c.packets.push_back(rtcp::make_sender_report(sr));
+
+  auto out = judge(wrap_rtcp(c));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out[0].verdict.compliant);
+  EXPECT_EQ(out[0].verdict.first()->criterion,
+            Criterion::kSyntaxSemanticIntegrity);
+  EXPECT_TRUE(out[1].verdict.compliant);
+}
+
+TEST(RtcpRules, SingleNonReportPacketAllowed) {
+  // Reduced-size RTCP (RFC 5506) style single feedback datagram.
+  rtcp::Feedback fb;
+  fb.sender_ssrc = 1;
+  fb.media_ssrc = 2;
+  rtcp::Compound c;
+  c.packets.push_back(rtcp::make_feedback(rtcp::kPayloadFeedback, 1, fb));
+  auto out = judge(wrap_rtcp(c));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].verdict.compliant);
+}
+
+TEST(RtcpRules, UndefinedFeedbackFormatFailsCriterion3) {
+  rtcp::Feedback fb;
+  fb.sender_ssrc = 1;
+  fb.media_ssrc = 2;
+  rtcp::Compound c;
+  c.packets.push_back(rtcp::make_feedback(rtcp::kRtpFeedback, 9, fb));
+  auto out = judge(wrap_rtcp(c));
+  ASSERT_FALSE(out[0].verdict.compliant);
+  EXPECT_EQ(out[0].verdict.first()->criterion,
+            Criterion::kAttributeTypeValidity);
+}
+
+TEST(RtcpRules, UndefinedSdesItemTypeFailsCriterion3) {
+  rtcp::Sdes sdes;
+  rtcp::SdesChunk chunk;
+  chunk.ssrc = 1;
+  chunk.items.push_back({9, Bytes{'x'}});  // item type 9 unassigned
+  sdes.chunks.push_back(chunk);
+  rtcp::Compound c;
+  c.packets.push_back(rtcp::make_sdes(sdes));
+  auto out = judge(wrap_rtcp(c));
+  ASSERT_FALSE(out[0].verdict.compliant);
+  EXPECT_EQ(out[0].verdict.first()->criterion,
+            Criterion::kAttributeTypeValidity);
+}
+
+TEST(RtcpRules, NonPrintableAppNameFailsCriterion4) {
+  rtcp::App app;
+  app.ssrc = 1;
+  app.name = {'\x01', 'b', 'c', 'd'};
+  rtcp::Compound c;
+  c.packets.push_back(rtcp::make_app(app, 0));
+  auto out = judge(wrap_rtcp(c));
+  ASSERT_FALSE(out[0].verdict.compliant);
+  EXPECT_EQ(out[0].verdict.first()->criterion,
+            Criterion::kAttributeValueValidity);
+}
+
+TEST(RtcpRules, DiscordTrailerFailsCriterion5) {
+  // The 3-byte counter+direction trailer (§5.2.3): unattributable
+  // trailing bytes.
+  rtcp::SenderReport sr;
+  sr.sender_ssrc = 1;
+  rtcp::Compound c;
+  c.packets.push_back(rtcp::make_sender_report(sr));
+  c.trailing = {0x00, 0x07, 0x80};
+
+  auto out = judge(wrap_rtcp(c));
+  ASSERT_FALSE(out[0].verdict.compliant);
+  EXPECT_EQ(out[0].verdict.first()->criterion,
+            Criterion::kSyntaxSemanticIntegrity);
+  EXPECT_NE(out[0].verdict.first()->detail.find("trailing"),
+            std::string::npos);
+}
+
+/// Builds an SRTCP-looking compound with a given trailer.
+ExtractedMessage srtcp_msg(Rng& rng, std::uint32_t index, bool with_tag) {
+  rtcp::SenderReport sr;
+  sr.sender_ssrc = 77;
+  rtcp::Compound c;
+  c.packets.push_back(rtcp::make_sender_report(sr));
+  srtp::SrtcpTrailer t;
+  t.encrypted_flag = true;
+  t.index = index;
+  if (with_tag) t.auth_tag = rng.bytes(10);
+  const Bytes wire = srtp::append_trailer(BytesView{}, t);
+  c.trailing = wire;
+  return wrap_rtcp(c);
+}
+
+TEST(RtcpRules, SrtcpWithAuthTagCompliant) {
+  // Google Meet P2P/cellular shape: full 14-byte trailer.
+  Rng rng(3);
+  StreamComplianceChecker checker;
+  std::vector<ExtractedMessage> msgs;
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    msgs.push_back(srtcp_msg(rng, i, /*with_tag=*/true));
+    checker.observe(msgs.back(), 0, 100.0 + i);
+  }
+  checker.finalize();
+  EXPECT_TRUE(checker.context().srtcp_stream[0]);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    auto out = checker.check(msgs[i], 0, 100.0 + i);
+    EXPECT_TRUE(out[0].verdict.compliant) << i;
+  }
+}
+
+TEST(RtcpRules, SrtcpMissingAuthTagFailsCriterion5) {
+  // Google Meet relay-Wi-Fi shape (§5.2.3): 4-byte trailer only.
+  Rng rng(4);
+  StreamComplianceChecker checker;
+  std::vector<ExtractedMessage> msgs;
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    msgs.push_back(srtcp_msg(rng, i, /*with_tag=*/false));
+    checker.observe(msgs.back(), 0, 100.0 + i);
+  }
+  checker.finalize();
+  ASSERT_TRUE(checker.context().srtcp_stream[0]);
+  auto out = checker.check(msgs[0], 0, 101.0);
+  ASSERT_FALSE(out[0].verdict.compliant);
+  EXPECT_EQ(out[0].verdict.first()->criterion,
+            Criterion::kSyntaxSemanticIntegrity);
+  EXPECT_NE(out[0].verdict.first()->detail.find("authentication tag"),
+            std::string::npos);
+}
+
+TEST(RtcpRules, SrtcpMixedTrailersFlagOnlyTaglessOnes) {
+  Rng rng(5);
+  StreamComplianceChecker checker;
+  std::vector<ExtractedMessage> msgs;
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    msgs.push_back(srtcp_msg(rng, i, /*with_tag=*/i % 2 == 0));
+    checker.observe(msgs.back(), 0, 100.0 + i);
+  }
+  checker.finalize();
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    const bool tagged = (i + 1) % 2 == 0;
+    auto out = checker.check(msgs[i], 0, 100.0 + i);
+    EXPECT_EQ(out[0].verdict.compliant, tagged) << i;
+  }
+}
+
+TEST(RtcpRules, EncryptedBodiesSkipAttributeChecks) {
+  // An SRTCP stream whose (encrypted) SDES body decodes to garbage item
+  // types must NOT be flagged on criterion 3 — only trailer structure
+  // is assessable (mirrors the paper's treatment of Meet/Discord).
+  Rng rng(6);
+  rtcp::Packet sdes;
+  sdes.packet_type = rtcp::kSdes;
+  sdes.count = 1;
+  sdes.body = rng.bytes(16);  // ciphertext
+  sdes.length_words = 4;
+  rtcp::Compound c;
+  c.packets.push_back(sdes);
+  srtp::SrtcpTrailer t;
+  t.encrypted_flag = true;
+  t.index = 1;
+  t.auth_tag = rng.bytes(10);
+  c.trailing = srtp::append_trailer(BytesView{}, t);
+  const auto msg = wrap_rtcp(c);
+
+  StreamComplianceChecker checker;
+  checker.observe(msg, 0, 1.0);
+  auto msg2 = msg;
+  msg2.rtcp->trailing[3] = 2;  // index 2, keeps monotonicity
+  checker.observe(msg2, 0, 2.0);
+  checker.finalize();
+  ASSERT_TRUE(checker.context().srtcp_stream[0]);
+  EXPECT_TRUE(checker.check(msg, 0, 1.0)[0].verdict.compliant);
+}
+
+TEST(RtcpRules, PaddingOnNonFinalPacketFails) {
+  rtcp::SenderReport sr;
+  sr.sender_ssrc = 1;
+  rtcp::Packet first = rtcp::make_sender_report(sr);
+  first.padding = true;  // padding flag on a non-final compound packet
+  rtcc::proto::rtcp::ReceiverReport rr;
+  rr.sender_ssrc = 1;
+  rtcp::Compound c;
+  c.packets.push_back(first);
+  c.packets.push_back(rtcp::make_receiver_report(rr));
+  auto out = judge(wrap_rtcp(c));
+  ASSERT_FALSE(out[0].verdict.compliant);
+  EXPECT_EQ(out[0].verdict.first()->criterion,
+            Criterion::kHeaderFieldValidity);
+}
+
+TEST(QuicRules, WellFormedHeadersCompliant) {
+  Rng rng(7);
+  rtcc::proto::quic::ConnectionId cid{rng.bytes(8)};
+  const Bytes wire = rtcc::proto::quic::encode_long(
+      rtcc::proto::quic::LongType::kInitial, rtcc::proto::quic::kVersion1,
+      cid, cid, BytesView{rng.bytes(100)});
+  auto h = rtcc::proto::quic::parse(BytesView{wire});
+  ASSERT_TRUE(h);
+  ExtractedMessage m;
+  m.kind = MessageKind::kQuic;
+  m.quic = *h;
+  auto out = judge(m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].verdict.compliant);
+  EXPECT_EQ(out[0].type_label, "long-0");
+  EXPECT_EQ(out[0].protocol, proto::Protocol::kQuic);
+}
+
+TEST(QuicRules, ClearedFixedBitFails) {
+  rtcc::proto::quic::Header h;
+  h.long_form = false;
+  h.fixed_bit = false;
+  ExtractedMessage m;
+  m.kind = MessageKind::kQuic;
+  m.quic = h;
+  auto out = judge(m);
+  ASSERT_FALSE(out[0].verdict.compliant);
+  EXPECT_EQ(out[0].verdict.first()->criterion,
+            Criterion::kHeaderFieldValidity);
+  EXPECT_EQ(out[0].type_label, "short");
+}
+
+}  // namespace
+}  // namespace rtcc::compliance

@@ -1,0 +1,401 @@
+// Five-criterion checker, STUN/TURN rulebook: every criterion and every
+// §5.2.1 case study has a dedicated test.
+#include <gtest/gtest.h>
+
+#include "compliance/checker.hpp"
+#include "proto/stun/stun.hpp"
+#include "util/rng.hpp"
+
+namespace rtcc::compliance {
+namespace {
+
+namespace stun = rtcc::proto::stun;
+using rtcc::dpi::ExtractedMessage;
+using rtcc::dpi::MessageKind;
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::Rng;
+
+ExtractedMessage wrap(stun::Message msg) {
+  ExtractedMessage m;
+  m.kind = MessageKind::kStun;
+  m.length = msg.wire_size();
+  m.stun = std::move(msg);
+  return m;
+}
+
+ExtractedMessage wrap_cd(stun::ChannelData cd, std::size_t wire_len) {
+  ExtractedMessage m;
+  m.kind = MessageKind::kChannelData;
+  m.length = wire_len;
+  m.channel_data = std::move(cd);
+  return m;
+}
+
+/// Runs observe+check on a single message with default config.
+CheckedMessage judge(const ExtractedMessage& m,
+                     ComplianceConfig cfg = {}) {
+  StreamComplianceChecker checker(cfg);
+  checker.observe(m, 0, 100.0);
+  checker.finalize();
+  auto out = checker.check(m, 0, 100.0);
+  EXPECT_EQ(out.size(), 1u);
+  return out.front();
+}
+
+stun::Message binding_request(Rng& rng) {
+  return stun::MessageBuilder(stun::kBindingRequest)
+      .random_transaction_id(rng)
+      .build_message();
+}
+
+TEST(StunCriterion1, DefinedTypeIsCompliant) {
+  Rng rng(1);
+  auto v = judge(wrap(binding_request(rng)));
+  EXPECT_TRUE(v.verdict.compliant);
+  EXPECT_EQ(v.type_label, "0x0001");
+  EXPECT_EQ(v.protocol, proto::Protocol::kStunTurn);
+}
+
+TEST(StunCriterion1, UndefinedTypeFails) {
+  Rng rng(2);
+  auto msg = stun::MessageBuilder(0x0800)
+                 .random_transaction_id(rng)
+                 .build_message();
+  auto v = judge(wrap(msg));
+  ASSERT_FALSE(v.verdict.compliant);
+  EXPECT_EQ(v.verdict.first()->criterion,
+            Criterion::kMessageTypeDefinition);
+}
+
+TEST(StunCriterion1, ExtensionTypesFollowConfig) {
+  Rng rng(3);
+  auto msg = stun::MessageBuilder(0x0200)  // GOOG-PING request
+                 .random_transaction_id(rng)
+                 .build_message();
+  EXPECT_TRUE(judge(wrap(msg)).verdict.compliant);
+
+  ComplianceConfig strict;
+  strict.treat_extension_types_as_compliant = false;
+  auto v = judge(wrap(msg), strict);
+  ASSERT_FALSE(v.verdict.compliant);
+  EXPECT_EQ(v.verdict.first()->criterion,
+            Criterion::kMessageTypeDefinition);
+}
+
+TEST(StunCriterion2, ClassicRfc3489BindingIsFine) {
+  // Footnote 2: adherence to ANY published RFC counts.
+  Rng rng(4);
+  auto msg = stun::MessageBuilder(stun::kBindingRequest)
+                 .classic_rfc3489(rng)
+                 .random_transaction_id(rng)
+                 .build_message();
+  EXPECT_TRUE(judge(wrap(msg)).verdict.compliant);
+}
+
+TEST(StunCriterion2, TurnMethodWithoutCookieFails) {
+  // TURN postdates RFC 3489 — an Allocate without the magic cookie
+  // cannot comply with any published spec.
+  Rng rng(5);
+  auto msg = stun::MessageBuilder(stun::kAllocateRequest)
+                 .classic_rfc3489(rng)
+                 .random_transaction_id(rng)
+                 .build_message();
+  auto v = judge(wrap(msg));
+  ASSERT_FALSE(v.verdict.compliant);
+  EXPECT_EQ(v.verdict.first()->criterion, Criterion::kHeaderFieldValidity);
+}
+
+TEST(StunCriterion2, LowEntropyTransactionIdFails) {
+  stun::TransactionId constant{};  // twelve zero bytes
+  auto msg = stun::MessageBuilder(stun::kBindingRequest)
+                 .transaction_id(constant)
+                 .build_message();
+  auto v = judge(wrap(msg));
+  ASSERT_FALSE(v.verdict.compliant);
+  EXPECT_EQ(v.verdict.first()->criterion, Criterion::kHeaderFieldValidity);
+  EXPECT_NE(v.verdict.first()->detail.find("randomly"), std::string::npos);
+}
+
+TEST(StunCriterion3, UndefinedAttributeFails) {
+  // The Zoom 0x0101 / WhatsApp 0x4003 / FaceTime 0x8007 pattern.
+  Rng rng(6);
+  for (std::uint16_t attr_type : {0x0101, 0x4003, 0x8007, 0x4000}) {
+    auto msg = stun::MessageBuilder(stun::kBindingRequest)
+                   .random_transaction_id(rng)
+                   .attribute_u32(static_cast<std::uint16_t>(attr_type), 1)
+                   .build_message();
+    auto v = judge(wrap(msg));
+    ASSERT_FALSE(v.verdict.compliant) << attr_type;
+    EXPECT_EQ(v.verdict.first()->criterion,
+              Criterion::kAttributeTypeValidity);
+  }
+}
+
+TEST(StunCriterion4, WrongFixedLengthFails) {
+  // The paper's example: RESERVATION-TOKEN of incorrect length.
+  Rng rng(7);
+  auto msg = stun::MessageBuilder(stun::kAllocateRequest)
+                 .random_transaction_id(rng)
+                 .attribute_u32(stun::attr::kReservationToken, 1)  // 4 != 8
+                 .build_message();
+  auto v = judge(wrap(msg));
+  ASSERT_FALSE(v.verdict.compliant);
+  EXPECT_EQ(v.verdict.first()->criterion,
+            Criterion::kAttributeValueValidity);
+}
+
+TEST(StunCriterion4, PriorityInSuccessResponseFails) {
+  // The paper's own criterion-4 example.
+  Rng rng(8);
+  auto msg = stun::MessageBuilder(stun::kBindingSuccess)
+                 .random_transaction_id(rng)
+                 .attribute_u32(stun::attr::kPriority, 123)
+                 .build_message();
+  auto v = judge(wrap(msg));
+  ASSERT_FALSE(v.verdict.compliant);
+  EXPECT_EQ(v.verdict.first()->criterion,
+            Criterion::kAttributeValueValidity);
+}
+
+TEST(StunCriterion4, InvalidAddressFamilyFails) {
+  // FaceTime's ALTERNATE-SERVER with family 0x00 (§5.2.1).
+  Rng rng(9);
+  auto msg = stun::MessageBuilder(stun::kBindingSuccess)
+                 .random_transaction_id(rng)
+                 .address(stun::attr::kAlternateServer,
+                          *rtcc::net::IpAddr::parse("1.2.3.4"), 3478,
+                          /*family_override=*/0x00)
+                 .build_message();
+  auto v = judge(wrap(msg));
+  ASSERT_FALSE(v.verdict.compliant);
+  EXPECT_EQ(v.verdict.first()->criterion,
+            Criterion::kAttributeValueValidity);
+  EXPECT_NE(v.verdict.first()->detail.find("family"), std::string::npos);
+}
+
+TEST(StunCriterion4, DataIndicationClosedSet) {
+  // FaceTime's CHANNEL-NUMBER inside a Data Indication (§5.2.1).
+  Rng rng(10);
+  auto msg = stun::MessageBuilder(stun::kDataIndication)
+                 .random_transaction_id(rng);
+  msg.xor_address(stun::attr::kXorPeerAddress,
+                  *rtcc::net::IpAddr::parse("9.9.9.9"), 4500);
+  msg.attribute(stun::attr::kData, BytesView{});
+  msg.attribute_u32(stun::attr::kChannelNumber, 0x00000000);
+  auto v = judge(wrap(msg.build_message()));
+  ASSERT_FALSE(v.verdict.compliant);
+  EXPECT_EQ(v.verdict.first()->criterion,
+            Criterion::kAttributeValueValidity);
+}
+
+TEST(StunCriterion4, CompliantDataIndicationPasses) {
+  Rng rng(11);
+  auto msg = stun::MessageBuilder(stun::kDataIndication)
+                 .random_transaction_id(rng);
+  msg.xor_address(stun::attr::kXorPeerAddress,
+                  *rtcc::net::IpAddr::parse("9.9.9.9"), 4500);
+  const Bytes data = {1, 2, 3};
+  msg.attribute(stun::attr::kData, BytesView{data});
+  EXPECT_TRUE(judge(wrap(msg.build_message())).verdict.compliant);
+}
+
+TEST(StunCriterion4, ErrorCodeRange) {
+  Rng rng(12);
+  rtcc::util::ByteWriter bad;
+  bad.u16(0).u8(7).u8(0);  // class 7 invalid
+  auto msg = stun::MessageBuilder(stun::kBindingError)
+                 .random_transaction_id(rng)
+                 .attribute(stun::attr::kErrorCode, bad.view())
+                 .build_message();
+  auto v = judge(wrap(msg));
+  ASSERT_FALSE(v.verdict.compliant);
+  EXPECT_EQ(v.verdict.first()->criterion,
+            Criterion::kAttributeValueValidity);
+}
+
+TEST(StunCriterion5, RepeatedUnansweredRequestsFail) {
+  // FaceTime: same txid once per second, never answered (§5.2.1).
+  Rng rng(13);
+  stun::TransactionId txid{};
+  for (auto& b : txid) b = rng.next_u8();
+  auto msg = stun::MessageBuilder(stun::kBindingRequest)
+                 .transaction_id(txid)
+                 .build_message();
+  const auto wrapped = wrap(msg);
+
+  StreamComplianceChecker checker;
+  for (int i = 0; i < 6; ++i) checker.observe(wrapped, 0, 100.0 + i);
+  checker.finalize();
+  auto out = checker.check(wrapped, 0, 100.0);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_FALSE(out[0].verdict.compliant);
+  EXPECT_EQ(out[0].verdict.first()->criterion,
+            Criterion::kSyntaxSemanticIntegrity);
+}
+
+TEST(StunCriterion5, AnsweredRetransmissionsAreFine) {
+  Rng rng(14);
+  stun::TransactionId txid{};
+  for (auto& b : txid) b = rng.next_u8();
+  auto req = wrap(stun::MessageBuilder(stun::kBindingRequest)
+                      .transaction_id(txid)
+                      .build_message());
+  auto resp = wrap(stun::MessageBuilder(stun::kBindingSuccess)
+                       .transaction_id(txid)
+                       .xor_address(stun::attr::kXorMappedAddress,
+                                    *rtcc::net::IpAddr::parse("1.2.3.4"),
+                                    4500)
+                       .build_message());
+
+  StreamComplianceChecker checker;
+  for (int i = 0; i < 6; ++i) checker.observe(req, 0, 100.0 + i);
+  checker.observe(resp, 1, 107.0);
+  checker.finalize();
+  EXPECT_TRUE(checker.check(req, 0, 100.0)[0].verdict.compliant);
+  EXPECT_TRUE(checker.check(resp, 1, 107.0)[0].verdict.compliant);
+}
+
+TEST(StunCriterion5, AllocateKeepalivePingPongFails) {
+  // The paper's own criterion-5 example (§4.2), used by WhatsApp /
+  // Messenger / Google Meet models.
+  Rng rng(15);
+  StreamComplianceChecker checker;
+  std::vector<ExtractedMessage> requests;
+  for (int i = 0; i < 8; ++i) {
+    auto req = wrap(stun::MessageBuilder(stun::kAllocateRequest)
+                        .random_transaction_id(rng)
+                        .build_message());
+    checker.observe(req, 0, 100.0 + 15.0 * i);
+    requests.push_back(std::move(req));
+  }
+  checker.finalize();
+  auto v = checker.check(requests[0], 0, 100.0);
+  ASSERT_FALSE(v[0].verdict.compliant);
+  EXPECT_EQ(v[0].verdict.first()->criterion,
+            Criterion::kSyntaxSemanticIntegrity);
+  EXPECT_NE(v[0].verdict.first()->detail.find("ping-pong"),
+            std::string::npos);
+}
+
+TEST(StunCriterion5, SetupAllocatesAreFine) {
+  // A couple of Allocates during session setup must NOT be flagged.
+  Rng rng(16);
+  StreamComplianceChecker checker;
+  std::vector<ExtractedMessage> requests;
+  for (int i = 0; i < 2; ++i) {
+    auto req = wrap(stun::MessageBuilder(stun::kAllocateRequest)
+                        .random_transaction_id(rng)
+                        .build_message());
+    checker.observe(req, 0, 100.0 + 0.1 * i);
+    requests.push_back(std::move(req));
+  }
+  checker.finalize();
+  EXPECT_TRUE(checker.check(requests[0], 0, 100.0)[0].verdict.compliant);
+}
+
+TEST(StunCriterion5, SystematicOrphanResponsesFail) {
+  // A stream whose responses never match a request is a deviation...
+  Rng rng(17);
+  StreamComplianceChecker checker;
+  std::vector<ExtractedMessage> orphans;
+  for (int i = 0; i < 4; ++i) {
+    orphans.push_back(wrap(stun::MessageBuilder(stun::kBindingSuccess)
+                               .random_transaction_id(rng)
+                               .xor_address(stun::attr::kXorMappedAddress,
+                                            *rtcc::net::IpAddr::parse(
+                                                "1.2.3.4"),
+                                            4500)
+                               .build_message()));
+    checker.observe(orphans.back(), 1, 100.0 + i);
+  }
+  checker.finalize();
+  auto v = checker.check(orphans[0], 1, 100.0);
+  ASSERT_FALSE(v[0].verdict.compliant);
+  EXPECT_EQ(v[0].verdict.first()->criterion,
+            Criterion::kSyntaxSemanticIntegrity);
+}
+
+TEST(StunCriterion5, SingleOrphanResponseTolerated) {
+  // ...but one unmatched response is indistinguishable from the request
+  // packet having been lost by the network/capture — not a violation.
+  Rng rng(18);
+  StreamComplianceChecker checker;
+  // Several properly matched exchanges...
+  std::vector<ExtractedMessage> msgs;
+  for (int i = 0; i < 3; ++i) {
+    stun::TransactionId txid{};
+    for (auto& b : txid) b = rng.next_u8();
+    msgs.push_back(wrap(stun::MessageBuilder(stun::kBindingRequest)
+                            .transaction_id(txid)
+                            .build_message()));
+    msgs.push_back(wrap(stun::MessageBuilder(stun::kBindingSuccess)
+                            .transaction_id(txid)
+                            .xor_address(stun::attr::kXorMappedAddress,
+                                         *rtcc::net::IpAddr::parse(
+                                             "1.2.3.4"),
+                                         4500)
+                            .build_message()));
+  }
+  // ...plus one orphan response.
+  auto orphan = wrap(stun::MessageBuilder(stun::kBindingSuccess)
+                         .random_transaction_id(rng)
+                         .xor_address(stun::attr::kXorMappedAddress,
+                                      *rtcc::net::IpAddr::parse("1.2.3.4"),
+                                      4500)
+                         .build_message());
+  for (std::size_t i = 0; i < msgs.size(); ++i)
+    checker.observe(msgs[i], static_cast<int>(i % 2), 100.0 + i);
+  checker.observe(orphan, 1, 120.0);
+  checker.finalize();
+  EXPECT_TRUE(checker.check(orphan, 1, 120.0)[0].verdict.compliant);
+}
+
+TEST(StunSequential, FirstCriterionWinsAndExhaustiveFindsAll) {
+  // A message violating criteria 1, 3 and 4 at once: sequential mode
+  // reports only criterion 1; exhaustive mode reports all, and the
+  // verdict itself is identical.
+  Rng rng(18);
+  auto msg = stun::MessageBuilder(0x0800)
+                 .random_transaction_id(rng)
+                 .attribute_u32(0x4000, 1)
+                 .attribute_u32(stun::attr::kPriority, 1)
+                 .build_message();
+  auto sequential = judge(wrap(msg));
+  ASSERT_FALSE(sequential.verdict.compliant);
+  EXPECT_EQ(sequential.verdict.violations.size(), 1u);
+  EXPECT_EQ(sequential.verdict.first()->criterion,
+            Criterion::kMessageTypeDefinition);
+
+  ComplianceConfig exhaustive;
+  exhaustive.sequential = false;
+  auto full = judge(wrap(msg), exhaustive);
+  EXPECT_FALSE(full.verdict.compliant);
+  EXPECT_GE(full.verdict.violations.size(), 3u);
+  EXPECT_EQ(full.verdict.violations.front().criterion,
+            Criterion::kMessageTypeDefinition);
+}
+
+TEST(ChannelDataRules, ExactFitCompliant) {
+  stun::ChannelData cd;
+  cd.channel_number = 0x4001;
+  cd.data = Bytes(8, 1);
+  auto v = judge(wrap_cd(cd, cd.wire_size()));
+  EXPECT_TRUE(v.verdict.compliant);
+  EXPECT_EQ(v.type_label, "ChannelData");
+}
+
+TEST(ChannelDataRules, UdpPaddingViolation) {
+  // FaceTime pads ChannelData to 4 bytes over UDP (§5.2.1 / RFC 8656
+  // §12.5).
+  stun::ChannelData cd;
+  cd.channel_number = 0x4001;
+  cd.data = Bytes(7, 1);                       // wire 11, padded 12
+  auto v = judge(wrap_cd(cd, 12));
+  ASSERT_FALSE(v.verdict.compliant);
+  EXPECT_EQ(v.verdict.first()->criterion,
+            Criterion::kSyntaxSemanticIntegrity);
+}
+
+}  // namespace
+}  // namespace rtcc::compliance

@@ -1,0 +1,238 @@
+// Compliance stream-context derivation and report metrics plumbing.
+#include <gtest/gtest.h>
+
+#include "compliance/context.hpp"
+#include "proto/srtp/srtcp.hpp"
+#include "report/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace rtcc {
+namespace {
+
+namespace stun = rtcc::proto::stun;
+namespace rtcp = rtcc::proto::rtcp;
+namespace srtp = rtcc::proto::srtp;
+using compliance::ComplianceConfig;
+using compliance::ContextBuilder;
+using compliance::TxidKey;
+using dpi::ExtractedMessage;
+using dpi::MessageKind;
+using util::Bytes;
+using util::BytesView;
+using util::Rng;
+
+ExtractedMessage stun_msg(std::uint16_t type, const stun::TransactionId& id) {
+  ExtractedMessage m;
+  m.kind = MessageKind::kStun;
+  stun::Message msg;
+  msg.type = type;
+  msg.cookie = stun::kMagicCookie;
+  msg.transaction_id = id;
+  m.stun = std::move(msg);
+  return m;
+}
+
+ExtractedMessage rtcp_with_trailer(Rng& rng, std::uint32_t index,
+                                   bool with_tag) {
+  ExtractedMessage m;
+  m.kind = MessageKind::kRtcp;
+  rtcp::ReceiverReport rr;
+  rr.sender_ssrc = 1;
+  rtcp::Compound c;
+  c.packets.push_back(rtcp::make_receiver_report(rr));
+  srtp::SrtcpTrailer t;
+  t.encrypted_flag = true;
+  t.index = index;
+  if (with_tag) t.auth_tag = rng.bytes(10);
+  c.trailing = srtp::append_trailer(BytesView{}, t);
+  m.rtcp = std::move(c);
+  return m;
+}
+
+TEST(Context, TxidPairing) {
+  ContextBuilder builder{ComplianceConfig{}};
+  stun::TransactionId id{};
+  id[0] = 9;
+  builder.observe(stun_msg(stun::kBindingRequest, id), 0, 1.0);
+  builder.observe(stun_msg(stun::kBindingSuccess, id), 1, 1.1);
+  auto ctx = builder.finalize();
+  const auto& stats = ctx.txids.at(TxidKey{id});
+  EXPECT_EQ(stats.requests, 1);
+  EXPECT_EQ(stats.responses, 1);
+  EXPECT_TRUE(ctx.repeated_unanswered.empty());
+}
+
+TEST(Context, RepeatedUnansweredThreshold) {
+  ComplianceConfig cfg;
+  cfg.repeated_request_threshold = 4;
+  stun::TransactionId id{};
+  id[5] = 42;
+  {
+    ContextBuilder below{cfg};
+    for (int i = 0; i < 3; ++i)
+      below.observe(stun_msg(stun::kBindingRequest, id), 0, i);
+    EXPECT_TRUE(below.finalize().repeated_unanswered.empty());
+  }
+  {
+    ContextBuilder at{cfg};
+    for (int i = 0; i < 4; ++i)
+      at.observe(stun_msg(stun::kBindingRequest, id), 0, i);
+    EXPECT_EQ(at.finalize().repeated_unanswered.count(TxidKey{id}), 1u);
+  }
+}
+
+TEST(Context, AllocateKeepaliveNeedsCountAndSpan) {
+  ComplianceConfig cfg;
+  cfg.allocate_keepalive_threshold = 6;
+  cfg.allocate_keepalive_min_span_s = 30.0;
+  Rng rng(1);
+  auto make = [&rng] {
+    stun::TransactionId id{};
+    for (auto& b : id) b = rng.next_u8();
+    return stun_msg(stun::kAllocateRequest, id);
+  };
+  {
+    // Enough requests but compressed into setup: no flag.
+    ContextBuilder burst{cfg};
+    for (int i = 0; i < 8; ++i) burst.observe(make(), 0, 100.0 + 0.1 * i);
+    EXPECT_FALSE(burst.finalize().allocate_keepalive[0]);
+  }
+  {
+    // Spread across the call: flagged, per direction.
+    ContextBuilder spread{cfg};
+    for (int i = 0; i < 8; ++i) spread.observe(make(), 0, 100.0 + 15.0 * i);
+    auto ctx = spread.finalize();
+    EXPECT_TRUE(ctx.allocate_keepalive[0]);
+    EXPECT_FALSE(ctx.allocate_keepalive[1]);
+  }
+}
+
+TEST(Context, SrtcpInference) {
+  Rng rng(2);
+  ContextBuilder builder{ComplianceConfig{}};
+  for (std::uint32_t i = 1; i <= 4; ++i)
+    builder.observe(rtcp_with_trailer(rng, i, true), 0, i);
+  auto ctx = builder.finalize();
+  EXPECT_TRUE(ctx.srtcp_stream[0]);
+  EXPECT_FALSE(ctx.srtcp_stream[1]);
+  EXPECT_EQ(ctx.rtcp_trailing[0].modal_size(), 14u);
+  EXPECT_TRUE(ctx.rtcp_trailing[0].index_monotonic);
+}
+
+TEST(Context, NonMonotonicIndexBreaksSrtcpInference) {
+  Rng rng(3);
+  ContextBuilder builder{ComplianceConfig{}};
+  for (std::uint32_t index : {5u, 2u, 9u, 1u})
+    builder.observe(rtcp_with_trailer(rng, index, true), 0, 1.0);
+  auto ctx = builder.finalize();
+  EXPECT_FALSE(ctx.srtcp_stream[0]);
+}
+
+TEST(Context, RtpSsrcInventory) {
+  ContextBuilder builder{ComplianceConfig{}};
+  ExtractedMessage m;
+  m.kind = MessageKind::kRtp;
+  proto::rtp::Packet p;
+  p.ssrc = 0xABCD;
+  m.rtp = p;
+  builder.observe(m, 0, 1.0);
+  EXPECT_EQ(builder.finalize().rtp_ssrcs.count(0xABCD), 1u);
+}
+
+TEST(Metrics, MergeAccumulatesEverything) {
+  report::CallAnalysis a;
+  a.raw_udp_datagrams = 10;
+  a.dgram_standard = 5;
+  a.protocols[proto::Protocol::kRtp].messages = 7;
+  a.protocols[proto::Protocol::kRtp].compliant = 6;
+  a.protocols[proto::Protocol::kRtp].types["96"].total = 7;
+  a.protocols[proto::Protocol::kRtp].types["96"].compliant = 6;
+  a.protocols[proto::Protocol::kRtp]
+      .types["96"]
+      .criterion_failures["3:attribute-type-validity"] = 1;
+
+  report::CallAnalysis b = a;
+  report::merge(a, b);
+  EXPECT_EQ(a.raw_udp_datagrams, 20u);
+  EXPECT_EQ(a.dgram_standard, 10u);
+  const auto& rtp = a.protocols.at(proto::Protocol::kRtp);
+  EXPECT_EQ(rtp.messages, 14u);
+  EXPECT_EQ(rtp.types.at("96").total, 14u);
+  EXPECT_EQ(rtp.types.at("96").criterion_failures.at(
+                "3:attribute-type-validity"),
+            2u);
+}
+
+TEST(Metrics, TypeComplianceSemantics) {
+  report::TypeStats t;
+  t.total = 10;
+  t.compliant = 10;
+  EXPECT_TRUE(t.type_compliant());
+  t.compliant = 9;  // one bad instance taints the whole type (§5.1)
+  EXPECT_FALSE(t.type_compliant());
+
+  report::ProtocolStats p;
+  p.types["a"].total = p.types["a"].compliant = 1;
+  p.types["b"].total = 2;
+  p.types["b"].compliant = 1;
+  EXPECT_EQ(p.compliant_types(), 1u);
+  EXPECT_EQ(p.total_types(), 2u);
+}
+
+TEST(Metrics, DistributionTotalsIncludeFullyProprietary) {
+  report::CallAnalysis a;
+  a.protocols[proto::Protocol::kRtp].messages = 90;
+  a.dgram_fully_prop = 10;
+  EXPECT_EQ(a.total_messages(), 90u);
+  EXPECT_EQ(a.distribution_total(), 100u);
+}
+
+TEST(Metrics, EnvConfigParsing) {
+  setenv("RTCC_SCALE", "0.25", 1);
+  setenv("RTCC_REPEATS", "7", 1);
+  setenv("RTCC_SEED", "123", 1);
+  auto cfg = report::experiment_config_from_env();
+  EXPECT_DOUBLE_EQ(cfg.media_scale, 0.25);
+  EXPECT_EQ(cfg.repeats, 7);
+  EXPECT_EQ(cfg.seed, 123u);
+  unsetenv("RTCC_SCALE");
+  unsetenv("RTCC_REPEATS");
+  unsetenv("RTCC_SEED");
+  auto defaults = report::experiment_config_from_env();
+  EXPECT_EQ(defaults.repeats, 2);
+}
+
+TEST(Metrics, AnalyzeTraceEqualsAnalyzeCall) {
+  emul::CallConfig cfg;
+  cfg.app = emul::AppId::kWhatsApp;
+  cfg.network = emul::NetworkSetup::kWifiP2p;
+  cfg.media_scale = 0.01;
+  const auto call = emul::emulate_call(cfg);
+  const auto via_call = report::analyze_call(call);
+  const auto via_trace =
+      report::analyze_trace(call.trace, emul::filter_config_for(call));
+  EXPECT_EQ(via_call.total_messages(), via_trace.total_messages());
+  EXPECT_EQ(via_call.rtc_udp.packets, via_trace.rtc_udp.packets);
+}
+
+TEST(Metrics, PcapRoundTripPreservesAnalysis) {
+  // Writing the call to pcap and reading it back must not change any
+  // verdict (the serialization is lossless for analysis purposes).
+  emul::CallConfig cfg;
+  cfg.app = emul::AppId::kDiscord;
+  cfg.network = emul::NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.01;
+  const auto call = emul::emulate_call(cfg);
+  const auto direct = report::analyze_call(call);
+
+  auto decoded = net::decode_pcap(BytesView{net::encode_pcap(call.trace)});
+  ASSERT_TRUE(decoded);
+  const auto via_pcap =
+      report::analyze_trace(*decoded, emul::filter_config_for(call));
+  EXPECT_EQ(direct.total_messages(), via_pcap.total_messages());
+  EXPECT_EQ(direct.total_compliant(), via_pcap.total_compliant());
+  EXPECT_EQ(direct.dgram_fully_prop, via_pcap.dgram_fully_prop);
+}
+
+}  // namespace
+}  // namespace rtcc

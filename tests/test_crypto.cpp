@@ -1,0 +1,113 @@
+// Known-answer tests for the crypto primitives STUN compliance depends
+// on (FINGERPRINT = CRC-32, MESSAGE-INTEGRITY = HMAC-SHA1, long-term
+// key = MD5), using published test vectors.
+#include <gtest/gtest.h>
+
+#include "crypto/crc32.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/md5.hpp"
+#include "crypto/sha1.hpp"
+#include "util/hex.hpp"
+
+namespace rtcc::crypto {
+namespace {
+
+using rtcc::util::BytesView;
+using rtcc::util::to_hex;
+
+BytesView sv(const char* s) {
+  return BytesView{reinterpret_cast<const std::uint8_t*>(s),
+                   std::char_traits<char>::length(s)};
+}
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc32(sv("")), 0x00000000u);
+  EXPECT_EQ(crc32(sv("123456789")), 0xCBF43926u);  // classic check value
+  EXPECT_EQ(crc32(sv("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, StunFingerprintXor) {
+  // FINGERPRINT = CRC32(msg) ^ 0x5354554e (RFC 5389 §15.5).
+  EXPECT_EQ(stun_fingerprint(sv("123456789")),
+            0xCBF43926u ^ 0x5354554Eu);
+}
+
+TEST(Sha1, Rfc3174Vectors) {
+  EXPECT_EQ(to_hex(BytesView{sha1(sv("abc"))}),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(to_hex(BytesView{sha1(sv(""))}),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(to_hex(BytesView{sha1(sv(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))}),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(sv(chunk.c_str()));
+  EXPECT_EQ(to_hex(BytesView{ctx.finalize()}),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "incremental hashing must be equivalent to one-shot hashing";
+  Sha1 ctx;
+  for (char c : msg)
+    ctx.update(BytesView{reinterpret_cast<const std::uint8_t*>(&c), 1});
+  EXPECT_EQ(ctx.finalize(), sha1(sv(msg.c_str())));
+}
+
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(to_hex(BytesView{md5(sv(""))}),
+            "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(to_hex(BytesView{md5(sv("a"))}),
+            "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(to_hex(BytesView{md5(sv("abc"))}),
+            "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(to_hex(BytesView{md5(sv("message digest"))}),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(to_hex(BytesView{md5(sv(
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz012345"
+                "6789"))}),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+}
+
+TEST(Md5, StunLongTermKey) {
+  // RFC 5389 §15.4: key = MD5(username ":" realm ":" password).
+  const auto key = stun_long_term_key("user", "realm", "pass");
+  EXPECT_EQ(BytesView{key}.size(), 16u);
+  EXPECT_EQ(to_hex(BytesView{key}),
+            to_hex(BytesView{md5(sv("user:realm:pass"))}));
+}
+
+TEST(HmacSha1, Rfc2202Vectors) {
+  // Test case 1: key = 20 x 0x0b, data = "Hi There".
+  rtcc::util::Bytes key1(20, 0x0B);
+  EXPECT_EQ(to_hex(BytesView{hmac_sha1(BytesView{key1}, sv("Hi There"))}),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+  // Test case 2: key = "Jefe", data = "what do ya want for nothing?".
+  EXPECT_EQ(to_hex(BytesView{hmac_sha1(
+                sv("Jefe"), sv("what do ya want for nothing?"))}),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+  // Test case 3: key = 20 x 0xaa, data = 50 x 0xdd.
+  rtcc::util::Bytes key3(20, 0xAA);
+  rtcc::util::Bytes data3(50, 0xDD);
+  EXPECT_EQ(to_hex(BytesView{hmac_sha1(BytesView{key3}, BytesView{data3})}),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1, LongKeyIsHashedFirst) {
+  // RFC 2202 test case 6: 80-byte key.
+  rtcc::util::Bytes key(80, 0xAA);
+  EXPECT_EQ(to_hex(BytesView{hmac_sha1(
+                BytesView{key},
+                sv("Test Using Larger Than Block-Size Key - Hash Key "
+                   "First"))}),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+}  // namespace
+}  // namespace rtcc::crypto

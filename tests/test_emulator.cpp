@@ -1,0 +1,294 @@
+// Application-model invariants: protocol sets, documented behaviours,
+// determinism, and mode logic.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "emul/app_model.hpp"
+#include "report/metrics.hpp"
+
+namespace rtcc::emul {
+namespace {
+
+report::CallAnalysis analyze(AppId app, NetworkSetup network,
+                             double scale = 0.02, std::uint64_t seed = 5,
+                             int index = 0) {
+  CallConfig cfg;
+  cfg.app = app;
+  cfg.network = network;
+  cfg.media_scale = scale;
+  cfg.seed = seed;
+  cfg.call_index = index;
+  return report::analyze_call(emulate_call(cfg));
+}
+
+std::set<std::string> observed_types(const report::CallAnalysis& a,
+                                     proto::Protocol p) {
+  std::set<std::string> out;
+  auto it = a.protocols.find(p);
+  if (it == a.protocols.end()) return out;
+  for (const auto& [label, stats] : it->second.types) out.insert(label);
+  return out;
+}
+
+TEST(Emulator, Deterministic) {
+  CallConfig cfg;
+  cfg.app = AppId::kDiscord;
+  cfg.network = NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.01;
+  cfg.seed = 77;
+  const auto a = emulate_call(cfg);
+  const auto b = emulate_call(cfg);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    ASSERT_EQ(a.trace.frames[i].ts, b.trace.frames[i].ts);
+    ASSERT_EQ(a.trace.frames[i].data, b.trace.frames[i].data);
+  }
+}
+
+TEST(Emulator, SeedChangesTraffic) {
+  CallConfig cfg;
+  cfg.app = AppId::kDiscord;
+  cfg.network = NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.01;
+  cfg.seed = 77;
+  const auto a = emulate_call(cfg);
+  cfg.seed = 78;
+  const auto b = emulate_call(cfg);
+  EXPECT_NE(a.trace.size(), b.trace.size());
+}
+
+TEST(Emulator, FramesAreTimeSorted) {
+  CallConfig cfg;
+  cfg.app = AppId::kGoogleMeet;
+  cfg.network = NetworkSetup::kCellular;
+  cfg.media_scale = 0.01;
+  const auto call = emulate_call(cfg);
+  for (std::size_t i = 1; i < call.trace.size(); ++i)
+    ASSERT_LE(call.trace.frames[i - 1].ts, call.trace.frames[i].ts);
+}
+
+TEST(Emulator, ProtocolSetsMatchPaperFinding1) {
+  // Finding (1): Zoom = STUN+RTP+RTCP; Messenger/WhatsApp/Meet =
+  // STUN+TURN+RTP+RTCP; FaceTime = STUN+TURN+RTP+QUIC; Discord =
+  // RTP+RTCP only.
+  using P = proto::Protocol;
+  auto has = [](const report::CallAnalysis& a, P p) {
+    auto it = a.protocols.find(p);
+    return it != a.protocols.end() && it->second.messages > 0;
+  };
+
+  auto zoom = analyze(AppId::kZoom, NetworkSetup::kWifiP2p);
+  EXPECT_TRUE(has(zoom, P::kStunTurn));
+  EXPECT_TRUE(has(zoom, P::kRtp));
+  EXPECT_TRUE(has(zoom, P::kRtcp));
+  EXPECT_FALSE(has(zoom, P::kQuic));
+
+  auto facetime = analyze(AppId::kFaceTime, NetworkSetup::kWifiRelay);
+  EXPECT_TRUE(has(facetime, P::kStunTurn));
+  EXPECT_TRUE(has(facetime, P::kRtp));
+  EXPECT_FALSE(has(facetime, P::kRtcp));  // FaceTime has no RTCP
+  EXPECT_TRUE(has(facetime, P::kQuic));
+
+  auto discord = analyze(AppId::kDiscord, NetworkSetup::kWifiP2p);
+  EXPECT_FALSE(has(discord, P::kStunTurn));  // Discord has no STUN
+  EXPECT_TRUE(has(discord, P::kRtp));
+  EXPECT_TRUE(has(discord, P::kRtcp));
+
+  for (AppId app : {AppId::kWhatsApp, AppId::kMessenger,
+                    AppId::kGoogleMeet}) {
+    auto a = analyze(app, NetworkSetup::kWifiRelay);
+    EXPECT_TRUE(has(a, P::kStunTurn)) << to_string(app);
+    EXPECT_TRUE(has(a, P::kRtp)) << to_string(app);
+    EXPECT_TRUE(has(a, P::kRtcp)) << to_string(app);
+    EXPECT_FALSE(has(a, P::kQuic)) << to_string(app);
+  }
+}
+
+TEST(Emulator, ZoomSsrcSetsAreFixedPerNetwork) {
+  // §5.2.2: same SSRCs across repeated calls in a network setting,
+  // different sets across settings.
+  auto ssrcs_of = [](NetworkSetup n, int index) {
+    CallConfig cfg;
+    cfg.app = AppId::kZoom;
+    cfg.network = n;
+    cfg.media_scale = 0.01;
+    cfg.call_index = index;
+    cfg.background = false;
+    const auto call = emulate_call(cfg);
+    const auto table = net::group_streams(call.trace);
+    std::set<std::uint32_t> ssrcs;
+    dpi::ScanningDpi engine;
+    for (const auto& s : table.streams) {
+      if (s.key.transport != net::Transport::kUdp) continue;
+      std::vector<dpi::StreamDatagram> dgs;
+      for (const auto& p : s.packets) {
+        dpi::StreamDatagram d;
+        d.payload = net::packet_payload(call.trace, p);
+        dgs.push_back(d);
+      }
+      for (const auto& anal : engine.analyze_stream(dgs))
+        for (const auto& m : anal.messages)
+          if (m.rtp) ssrcs.insert(m.rtp->ssrc);
+    }
+    return ssrcs;
+  };
+
+  const auto cell_1 = ssrcs_of(NetworkSetup::kCellular, 0);
+  const auto cell_2 = ssrcs_of(NetworkSetup::kCellular, 1);
+  EXPECT_EQ(cell_1, cell_2);  // identical across repeats
+  EXPECT_TRUE(cell_1.count(0x1001401));
+  EXPECT_TRUE(cell_1.count(0x1000402));
+
+  const auto wifi = ssrcs_of(NetworkSetup::kWifiP2p, 0);
+  EXPECT_TRUE(wifi.count(0x1000801));
+  EXPECT_FALSE(wifi.count(0x1001401));
+}
+
+TEST(Emulator, ZoomStunOnlyInWifiP2p) {
+  // §4.1.3: mid-call STUN messages only occur in P2P Wi-Fi.
+  auto p2p = analyze(AppId::kZoom, NetworkSetup::kWifiP2p);
+  EXPECT_TRUE(p2p.protocols.count(proto::Protocol::kStunTurn));
+  auto relay = analyze(AppId::kZoom, NetworkSetup::kWifiRelay);
+  EXPECT_FALSE(relay.protocols.count(proto::Protocol::kStunTurn));
+  auto cell = analyze(AppId::kZoom, NetworkSetup::kCellular);
+  EXPECT_FALSE(cell.protocols.count(proto::Protocol::kStunTurn));
+}
+
+TEST(Emulator, ZoomDatagramsAreProprietary) {
+  // Finding (5): >99.9% of Zoom datagrams carry non-standard headers.
+  auto a = analyze(AppId::kZoom, NetworkSetup::kWifiRelay);
+  const double total = static_cast<double>(
+      a.dgram_standard + a.dgram_prop_header + a.dgram_fully_prop);
+  EXPECT_GT((a.dgram_prop_header + a.dgram_fully_prop) / total, 0.999);
+  EXPECT_GT(a.dgram_fully_prop / total, 0.10);  // filler + control
+}
+
+TEST(Emulator, FaceTimeHeaderOnlyInRelay) {
+  auto relay = analyze(AppId::kFaceTime, NetworkSetup::kWifiRelay);
+  const double rt = static_cast<double>(
+      relay.dgram_standard + relay.dgram_prop_header +
+      relay.dgram_fully_prop);
+  EXPECT_GT(relay.dgram_prop_header / rt, 0.7);
+
+  auto p2p = analyze(AppId::kFaceTime, NetworkSetup::kWifiP2p);
+  EXPECT_LT(p2p.dgram_prop_header, 50u);  // "fewer than 50 appearances"
+}
+
+TEST(Emulator, FaceTimeCellularProprietaryProbes) {
+  // §5.3: ~10% fully proprietary under cellular, <1% under Wi-Fi.
+  auto cell = analyze(AppId::kFaceTime, NetworkSetup::kCellular, 0.05);
+  const double ct = static_cast<double>(cell.dgram_standard +
+                                        cell.dgram_prop_header +
+                                        cell.dgram_fully_prop);
+  EXPECT_GT(cell.dgram_fully_prop / ct, 0.04);
+  auto wifi = analyze(AppId::kFaceTime, NetworkSetup::kWifiP2p, 0.05);
+  const double wt = static_cast<double>(wifi.dgram_standard +
+                                        wifi.dgram_prop_header +
+                                        wifi.dgram_fully_prop);
+  EXPECT_LT(wifi.dgram_fully_prop / wt, 0.01);
+}
+
+TEST(Emulator, WhatsAppStunTypeSet) {
+  report::CallAnalysis merged;
+  for (auto n : all_networks())
+    report::merge(merged, analyze(AppId::kWhatsApp, n));
+  const auto types = observed_types(merged, proto::Protocol::kStunTurn);
+  const std::set<std::string> expected = {
+      "0x0001", "0x0003", "0x0101", "0x0103", "0x0800",
+      "0x0801", "0x0802", "0x0803", "0x0804", "0x0805"};
+  EXPECT_EQ(types, expected);
+}
+
+TEST(Emulator, MessengerStunTypeCount) {
+  report::CallAnalysis merged;
+  for (auto n : all_networks())
+    report::merge(merged, analyze(AppId::kMessenger, n));
+  const auto& stats = merged.protocols.at(proto::Protocol::kStunTurn);
+  EXPECT_EQ(stats.total_types(), 18u);   // Table 3: 11/18
+  EXPECT_EQ(stats.compliant_types(), 11u);
+}
+
+TEST(Emulator, GoogleMeetModeSwitchOnCellular) {
+  CallConfig cfg;
+  cfg.app = AppId::kGoogleMeet;
+  cfg.network = NetworkSetup::kCellular;
+  const auto call = emulate_call(cfg);
+  CallContext ctx(cfg, call.endpoints, call.schedule, 1);
+  EXPECT_EQ(ctx.mode_at(call.schedule.call_start + 5.0),
+            TransmissionMode::kRelay);
+  EXPECT_EQ(ctx.mode_at(call.schedule.call_start + 31.0),
+            TransmissionMode::kP2p);
+}
+
+TEST(Emulator, ModeLogicPerApp) {
+  for (auto [app, expected] :
+       std::vector<std::pair<AppId, TransmissionMode>>{
+           {AppId::kZoom, TransmissionMode::kRelay},
+           {AppId::kDiscord, TransmissionMode::kRelay},
+           {AppId::kFaceTime, TransmissionMode::kP2p}}) {
+    CallConfig cfg;
+    cfg.app = app;
+    cfg.network = NetworkSetup::kCellular;
+    CallContext ctx(cfg, Endpoints{}, filter::CallSchedule{}, 1);
+    EXPECT_EQ(ctx.initial_mode(), expected) << to_string(app);
+    // Zoom/Discord/FaceTime never switch.
+    EXPECT_EQ(ctx.mode_at(1e9), expected) << to_string(app);
+  }
+}
+
+TEST(Emulator, DiscordSsrcZeroFeedback) {
+  // §5.3: SSRC = 0 in ~25% of Discord's type-205 messages.
+  CallConfig cfg;
+  cfg.app = AppId::kDiscord;
+  cfg.network = NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.1;
+  cfg.background = false;
+  const auto call = emulate_call(cfg);
+  const auto table = net::group_streams(call.trace);
+  dpi::ScanningDpi engine;
+  std::size_t fb_total = 0, fb_zero = 0;
+  for (const auto& s : table.streams) {
+    if (s.key.transport != net::Transport::kUdp) continue;
+    std::vector<dpi::StreamDatagram> dgs;
+    for (const auto& p : s.packets) {
+      dpi::StreamDatagram d;
+      d.payload = net::packet_payload(call.trace, p);
+      dgs.push_back(d);
+    }
+    for (const auto& anal : engine.analyze_stream(dgs)) {
+      for (const auto& m : anal.messages) {
+        if (!m.rtcp) continue;
+        for (const auto& pkt : m.rtcp->packets) {
+          if (pkt.packet_type != proto::rtcp::kRtpFeedback) continue;
+          ++fb_total;
+          if (pkt.ssrc() == 0u) ++fb_zero;
+        }
+      }
+    }
+  }
+  ASSERT_GT(fb_total, 20u);
+  const double frac = static_cast<double>(fb_zero) / fb_total;
+  EXPECT_GT(frac, 0.10);
+  EXPECT_LT(frac, 0.40);
+}
+
+TEST(Emulator, BackgroundCanBeDisabled) {
+  CallConfig cfg;
+  cfg.app = AppId::kWhatsApp;
+  cfg.network = NetworkSetup::kWifiP2p;
+  cfg.media_scale = 0.01;
+  cfg.background = false;
+  const auto call = emulate_call(cfg);
+  for (auto t : call.truth) EXPECT_EQ(t, TruthKind::kRtc);
+}
+
+TEST(Emulator, NamesAndLists) {
+  EXPECT_EQ(all_apps().size(), 6u);
+  EXPECT_EQ(all_networks().size(), 3u);
+  EXPECT_EQ(to_string(AppId::kGoogleMeet), "Google Meet");
+  EXPECT_EQ(to_string(NetworkSetup::kWifiRelay), "WiFi-Relay");
+}
+
+}  // namespace
+}  // namespace rtcc::emul

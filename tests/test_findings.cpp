@@ -1,0 +1,156 @@
+// Behavioural-findings detectors (§5.2/§5.3): each fires for exactly
+// the applications the paper attributes the behaviour to.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "report/findings.hpp"
+
+namespace rtcc::report {
+namespace {
+
+using rtcc::emul::AppId;
+using rtcc::emul::CallConfig;
+using rtcc::emul::NetworkSetup;
+
+std::vector<Finding> findings_for(AppId app, NetworkSetup network,
+                                  double scale = 0.05) {
+  CallConfig cfg;
+  cfg.app = app;
+  cfg.network = network;
+  cfg.media_scale = scale;
+  cfg.seed = 31337;
+  return detect_findings(rtcc::emul::emulate_call(cfg));
+}
+
+const Finding* find(const std::vector<Finding>& fs, const std::string& id) {
+  auto it = std::find_if(fs.begin(), fs.end(),
+                         [&](const Finding& f) { return f.id == id; });
+  return it == fs.end() ? nullptr : &*it;
+}
+
+TEST(Findings, ZoomFillerMessages) {
+  auto fs = findings_for(AppId::kZoom, NetworkSetup::kWifiRelay);
+  const auto* f = find(fs, "filler-messages");
+  ASSERT_NE(f, nullptr);
+  // §5.3: fillers are ~53% of Zoom's fully-proprietary volume.
+  EXPECT_NEAR(f->stats.at("share_of_fully_proprietary"), 0.53, 0.05);
+  EXPECT_GT(f->stats.at("count"), 100);
+}
+
+TEST(Findings, ZoomDoubleRtp) {
+  auto fs = findings_for(AppId::kZoom, NetworkSetup::kWifiRelay);
+  const auto* f = find(fs, "double-rtp");
+  ASSERT_NE(f, nullptr);
+  // §5.3: ~0.21% of RTP datagrams, 7-byte leading payload, same ts.
+  EXPECT_NEAR(f->stats.at("share_of_rtp_datagrams"), 0.0021, 0.002);
+  EXPECT_EQ(f->stats.at("first_payload_bytes"), 7);
+  EXPECT_EQ(f->stats.at("same_timestamp"), 1.0);
+}
+
+TEST(Findings, FaceTimeDeadbeefProbes) {
+  auto cellular = findings_for(AppId::kFaceTime, NetworkSetup::kCellular);
+  const auto* f = find(cellular, "constant-prefix-probes");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->stats.at("size_bytes"), 36);  // §5.3: 36-byte probes
+  EXPECT_NE(f->summary.find("0xDEADBEEF"), std::string::npos);
+}
+
+TEST(Findings, FaceTimeRepeatedUnansweredStun) {
+  auto fs = findings_for(AppId::kFaceTime, NetworkSetup::kWifiP2p);
+  const auto* f = find(fs, "repeated-unanswered-stun");
+  ASSERT_NE(f, nullptr);
+  EXPECT_GE(f->stats.at("longest_train"), 6);
+}
+
+TEST(Findings, DiscordZeroSsrcAndDirectionByte) {
+  auto fs = findings_for(AppId::kDiscord, NetworkSetup::kWifiRelay);
+  const auto* zero = find(fs, "rtcp-zero-ssrc");
+  ASSERT_NE(zero, nullptr);
+  EXPECT_EQ(zero->stats.at("packet_type"), 205);  // §5.3
+  EXPECT_NEAR(zero->stats.at("share"), 0.25, 0.15);
+
+  const auto* dir = find(fs, "rtcp-direction-byte");
+  ASSERT_NE(dir, nullptr);
+  // §5.2.3: 0x80 one way, 0x00 the other.
+  const double v0 = dir->stats.at("value_dir0");
+  const double v1 = dir->stats.at("value_dir1");
+  EXPECT_TRUE((v0 == 0x80 && v1 == 0x00) || (v0 == 0x00 && v1 == 0x80));
+}
+
+TEST(Findings, MeetMissingAuthTagOnlyInRelayWifi) {
+  auto relay = findings_for(AppId::kGoogleMeet, NetworkSetup::kWifiRelay);
+  const auto* f = find(relay, "srtcp-missing-auth-tag");
+  ASSERT_NE(f, nullptr);
+  EXPECT_GT(f->stats.at("share"), 0.7);  // "most" messages (§5.2.3)
+
+  auto p2p = findings_for(AppId::kGoogleMeet, NetworkSetup::kWifiP2p);
+  EXPECT_EQ(find(p2p, "srtcp-missing-auth-tag"), nullptr);
+  auto cell = findings_for(AppId::kGoogleMeet, NetworkSetup::kCellular);
+  EXPECT_EQ(find(cell, "srtcp-missing-auth-tag"), nullptr);
+}
+
+TEST(Findings, CleanAppsFireNoProprietaryDetectors) {
+  for (AppId app : {AppId::kWhatsApp, AppId::kMessenger}) {
+    for (NetworkSetup n : rtcc::emul::all_networks()) {
+      auto fs = findings_for(app, n, 0.03);
+      for (const char* id :
+           {"filler-messages", "double-rtp", "constant-prefix-probes",
+            "rtcp-zero-ssrc", "rtcp-direction-byte",
+            "srtcp-missing-auth-tag", "repeated-unanswered-stun"}) {
+        EXPECT_EQ(find(fs, id), nullptr)
+            << rtcc::emul::to_string(app) << " " << id;
+      }
+    }
+  }
+}
+
+TEST(Findings, DeterministicSsrcFiresOnlyForZoom) {
+  auto ssrcs_for = [](AppId app) {
+    std::vector<std::set<std::uint32_t>> out;
+    for (int i = 0; i < 3; ++i) {
+      CallConfig cfg;
+      cfg.app = app;
+      cfg.network = NetworkSetup::kWifiRelay;
+      cfg.media_scale = 0.02;
+      cfg.seed = 7;
+      cfg.call_index = i;
+      out.push_back(call_rtp_ssrcs(rtcc::emul::emulate_call(cfg)));
+    }
+    return out;
+  };
+  auto zoom = detect_ssrc_reuse(ssrcs_for(AppId::kZoom));
+  ASSERT_TRUE(zoom);
+  EXPECT_EQ(zoom->stats.at("recurring_ssrcs"), 4);  // §5.2.2: four SSRCs
+  EXPECT_FALSE(detect_ssrc_reuse(ssrcs_for(AppId::kWhatsApp)));
+  EXPECT_FALSE(detect_ssrc_reuse(ssrcs_for(AppId::kDiscord)));
+}
+
+TEST(Findings, SsrcReuseNeedsAtLeastTwoCalls) {
+  EXPECT_FALSE(detect_ssrc_reuse({}));
+  EXPECT_FALSE(detect_ssrc_reuse({{1, 2, 3}}));
+  auto f = detect_ssrc_reuse({{1, 2}, {2, 3}, {2, 9}});
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->stats.at("recurring_ssrcs"), 1);
+}
+
+TEST(Findings, AnalyzeRtcStreamsSharesPipelineResults) {
+  CallConfig cfg;
+  cfg.app = AppId::kDiscord;
+  cfg.network = NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.02;
+  const auto call = rtcc::emul::emulate_call(cfg);
+  const auto table = rtcc::net::group_streams(call.trace);
+  const auto fr = rtcc::filter::run_pipeline(
+      call.trace, table, rtcc::emul::filter_config_for(call));
+  const auto streams = analyze_rtc_streams(call.trace, table, fr);
+  ASSERT_EQ(streams.size(), fr.rtc_udp_streams.size());
+  for (const auto& sa : streams) {
+    EXPECT_EQ(sa.datagrams.size(), sa.analyses.size());
+    EXPECT_EQ(sa.datagrams.size(),
+              table.streams[sa.stream_index].packets.size());
+  }
+}
+
+}  // namespace
+}  // namespace rtcc::report

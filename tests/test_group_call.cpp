@@ -1,0 +1,131 @@
+// Group-call emulation (the paper's future work) through the pipeline.
+#include <gtest/gtest.h>
+
+#include "emul/group_call.hpp"
+#include "report/metrics.hpp"
+
+namespace rtcc::emul {
+namespace {
+
+report::CallAnalysis analyze(const GroupCall& call) {
+  return report::analyze_trace(call.trace, group_filter_config(call));
+}
+
+GroupCall make(int participants, bool churn = true,
+               double scale = 0.02) {
+  GroupCallConfig cfg;
+  cfg.participants = participants;
+  cfg.churn = churn;
+  cfg.media_scale = scale;
+  cfg.seed = 11;
+  return emulate_group_call(cfg);
+}
+
+TEST(GroupCall, AllTrafficCompliant) {
+  const auto call = make(4);
+  const auto a = analyze(call);
+  ASSERT_GT(a.total_messages(), 100u);
+  EXPECT_EQ(a.total_compliant(), a.total_messages());
+  // Standard messages only — no proprietary framing in the baseline.
+  EXPECT_EQ(a.dgram_prop_header, 0u);
+  EXPECT_EQ(a.dgram_fully_prop, 0u);
+}
+
+TEST(GroupCall, StreamsScaleWithParticipants) {
+  const auto small = analyze(make(3, /*churn=*/false));
+  const auto large = analyze(make(6, /*churn=*/false));
+  EXPECT_GT(large.rtc_udp.streams, small.rtc_udp.streams);
+  EXPECT_GT(large.raw_udp_datagrams, small.raw_udp_datagrams);
+}
+
+TEST(GroupCall, SsrcCountMatchesParticipants) {
+  const int n = 5;
+  const auto call = make(n, /*churn=*/false);
+  const auto table = net::group_streams(call.trace);
+  const auto fr =
+      filter::run_pipeline(call.trace, table, group_filter_config(call));
+  std::set<std::uint32_t> ssrcs;
+  dpi::ScanningDpi engine;
+  for (auto si : fr.rtc_udp_streams) {
+    const auto& s = table.streams[si];
+    std::vector<dpi::StreamDatagram> dgs;
+    for (const auto& p : s.packets) {
+      dpi::StreamDatagram d;
+      d.payload = net::packet_payload(call.trace, p);
+      dgs.push_back(d);
+    }
+    for (const auto& anal : engine.analyze_stream(dgs))
+      for (const auto& m : anal.messages)
+        if (m.rtp) ssrcs.insert(m.rtp->ssrc);
+  }
+  // Two SSRCs (audio+video) per participant.
+  EXPECT_EQ(ssrcs.size(), static_cast<std::size_t>(2 * n));
+}
+
+TEST(GroupCall, ChurnProducesByeAndGroupReportBlocks) {
+  const int n = 4;
+  const auto call = make(n, /*churn=*/true, 0.03);
+  const auto table = net::group_streams(call.trace);
+  const auto fr =
+      filter::run_pipeline(call.trace, table, group_filter_config(call));
+  bool saw_bye = false;
+  std::size_t max_report_blocks = 0;
+  dpi::ScanningDpi engine;
+  for (auto si : fr.rtc_udp_streams) {
+    const auto& s = table.streams[si];
+    std::vector<dpi::StreamDatagram> dgs;
+    for (const auto& p : s.packets) {
+      dpi::StreamDatagram d;
+      d.payload = net::packet_payload(call.trace, p);
+      dgs.push_back(d);
+    }
+    for (const auto& anal : engine.analyze_stream(dgs)) {
+      for (const auto& m : anal.messages) {
+        if (!m.rtcp) continue;
+        for (const auto& pkt : m.rtcp->packets) {
+          if (pkt.packet_type == proto::rtcp::kBye) saw_bye = true;
+          if (pkt.packet_type == proto::rtcp::kReceiverReport)
+            max_report_blocks =
+                std::max(max_report_blocks, std::size_t{pkt.count});
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_bye);
+  // RR carries one block per remote participant — a group-only shape.
+  EXPECT_EQ(max_report_blocks, static_cast<std::size_t>(n - 1));
+}
+
+TEST(GroupCall, FilterHandlesManyDevices) {
+  const auto call = make(5);
+  const auto table = net::group_streams(call.trace);
+  const auto fr =
+      filter::run_pipeline(call.trace, table, group_filter_config(call));
+  std::uint64_t rtc_kept = 0, rtc_total = 0, bg_kept = 0;
+  for (std::size_t i = 0; i < table.streams.size(); ++i) {
+    for (const auto& pkt : table.streams[i].packets) {
+      const bool is_rtc = call.truth[pkt.frame_index] == TruthKind::kRtc;
+      const bool kept =
+          fr.dispositions[i] == filter::Disposition::kKept;
+      if (is_rtc) {
+        ++rtc_total;
+        rtc_kept += kept;
+      } else if (kept) {
+        ++bg_kept;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(rtc_kept) / rtc_total, 0.99);
+  EXPECT_EQ(bg_kept, 0u);
+}
+
+TEST(GroupCall, MinimumThreeParticipants) {
+  GroupCallConfig cfg;
+  cfg.participants = 1;  // clamped up to 3
+  cfg.media_scale = 0.01;
+  const auto call = emulate_group_call(cfg);
+  EXPECT_EQ(call.devices.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rtcc::emul

@@ -1,0 +1,101 @@
+// Dual-stack: the full pipeline over IPv6 calls (IPv4 background noise)
+// must reproduce the same type-level verdicts as IPv4 calls.
+#include <gtest/gtest.h>
+
+#include "report/metrics.hpp"
+
+namespace rtcc {
+namespace {
+
+using emul::AppId;
+using emul::NetworkSetup;
+
+class Ipv6Pipeline : public testing::TestWithParam<AppId> {};
+
+TEST_P(Ipv6Pipeline, SameTypeVerdictsAsIpv4) {
+  emul::CallConfig cfg;
+  cfg.app = GetParam();
+  cfg.network = NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.02;
+  cfg.seed = 9090;
+
+  cfg.ipv6 = false;
+  const auto v4 = report::analyze_call(emul::emulate_call(cfg));
+  cfg.ipv6 = true;
+  const auto v6 = report::analyze_call(emul::emulate_call(cfg));
+
+  ASSERT_GT(v6.total_messages(), 100u);
+  ASSERT_EQ(v4.protocols.size(), v6.protocols.size());
+  for (const auto& [proto_id, v4_stats] : v4.protocols) {
+    const auto& v6_stats = v6.protocols.at(proto_id);
+    EXPECT_EQ(v4_stats.total_types(), v6_stats.total_types())
+        << to_string(proto_id);
+    EXPECT_EQ(v4_stats.compliant_types(), v6_stats.compliant_types())
+        << to_string(proto_id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, Ipv6Pipeline,
+    testing::Values(AppId::kWhatsApp, AppId::kMessenger, AppId::kDiscord,
+                    AppId::kGoogleMeet, AppId::kFaceTime),
+    [](const testing::TestParamInfo<AppId>& info) {
+      std::string name = emul::to_string(info.param);
+      name.erase(std::remove(name.begin(), name.end(), ' '), name.end());
+      return name;
+    });
+
+TEST(Ipv6Pipeline, EndpointsAreV6AndFramesDecode) {
+  emul::CallConfig cfg;
+  cfg.app = AppId::kWhatsApp;
+  cfg.network = NetworkSetup::kWifiP2p;
+  cfg.media_scale = 0.01;
+  cfg.ipv6 = true;
+  const auto call = emul::emulate_call(cfg);
+  EXPECT_TRUE(call.endpoints.device_a.is_v6());
+  EXPECT_TRUE(call.endpoints.device_a.is_unique_local_v6());
+  EXPECT_TRUE(call.endpoints.relay.is_v6());
+  EXPECT_FALSE(call.endpoints.relay.is_local_scope());
+
+  // The trace is genuinely dual-stack: v6 media plus v4 background.
+  bool saw_v6 = false, saw_v4 = false;
+  for (const auto& frame : call.trace.frames) {
+    auto d = net::decode_frame(util::BytesView{frame.data});
+    if (!d) continue;
+    (d->is_v6 ? saw_v6 : saw_v4) = true;
+  }
+  EXPECT_TRUE(saw_v6);
+  EXPECT_TRUE(saw_v4);
+}
+
+TEST(Ipv6Pipeline, FilterKeepsV6MediaRemovesV4Background) {
+  emul::CallConfig cfg;
+  cfg.app = AppId::kDiscord;
+  cfg.network = NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.01;
+  cfg.ipv6 = true;
+  const auto call = emul::emulate_call(cfg);
+  const auto table = net::group_streams(call.trace);
+  const auto fr =
+      filter::run_pipeline(call.trace, table, emul::filter_config_for(call));
+  std::uint64_t rtc_kept = 0, rtc_total = 0, bg_kept = 0;
+  for (std::size_t i = 0; i < table.streams.size(); ++i) {
+    for (const auto& pkt : table.streams[i].packets) {
+      const bool is_rtc =
+          call.truth[pkt.frame_index] == emul::TruthKind::kRtc;
+      const bool kept =
+          fr.dispositions[i] == filter::Disposition::kKept;
+      if (is_rtc) {
+        ++rtc_total;
+        rtc_kept += kept;
+      } else if (kept) {
+        ++bg_kept;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(rtc_kept) / rtc_total, 0.99);
+  EXPECT_EQ(bg_kept, 0u);
+}
+
+}  // namespace
+}  // namespace rtcc

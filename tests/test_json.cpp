@@ -1,0 +1,112 @@
+// JSON writer + analysis/findings export. Python's json module (always
+// available here) validates the output is well-formed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "report/json_export.hpp"
+#include "util/json.hpp"
+
+namespace rtcc {
+namespace {
+
+using util::JsonWriter;
+
+TEST(JsonWriter, ObjectsArraysAndValues) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("hi");
+  w.key("n").value(std::uint64_t{42});
+  w.key("d").value(1.5);
+  w.key("b").value(true);
+  w.key("z").null();
+  w.key("arr").begin_array().value(std::int64_t{-1}).value("x").end_array();
+  w.key("nested").begin_object().key("k").value(false).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"s":"hi","n":42,"d":1.5,"b":true,"z":null,)"
+            R"("arr":[-1,"x"],"nested":{"k":false}})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(util::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(util::json_escape(std::string_view{"\x01", 1}), "\\u0001");
+  JsonWriter w;
+  w.begin_object().key("k\"ey").value("v\nal").end_object();
+  EXPECT_EQ(w.str(), "{\"k\\\"ey\":\"v\\nal\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array().value(std::nan("")).value(1.0 / 0.0).end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object()
+      .key("o")
+      .begin_object()
+      .end_object()
+      .key("a")
+      .begin_array()
+      .end_array()
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"o":{},"a":[]})");
+}
+
+TEST(JsonExport, AnalysisSerializes) {
+  emul::CallConfig cfg;
+  cfg.app = emul::AppId::kDiscord;
+  cfg.network = emul::NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.01;
+  const auto analysis = report::analyze_call(emul::emulate_call(cfg));
+  const std::string json = report::to_json(analysis);
+  EXPECT_NE(json.find("\"RTCP\""), std::string::npos);
+  EXPECT_NE(json.find("\"criterion_failures\""), std::string::npos);
+  EXPECT_NE(json.find("\"type_compliant\":false"), std::string::npos);
+  // Balanced braces (cheap structural sanity; full validation below).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(JsonExport, FindingsSerialize) {
+  emul::CallConfig cfg;
+  cfg.app = emul::AppId::kZoom;
+  cfg.network = emul::NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.02;
+  const auto findings =
+      report::detect_findings(emul::emulate_call(cfg));
+  ASSERT_FALSE(findings.empty());
+  const std::string json = report::to_json(findings);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"filler-messages\""), std::string::npos);
+}
+
+TEST(JsonExport, ValidatedByExternalParser) {
+  // Round-trip through Python's json module — an independent parser.
+  emul::CallConfig cfg;
+  cfg.app = emul::AppId::kWhatsApp;
+  cfg.network = emul::NetworkSetup::kWifiP2p;
+  cfg.media_scale = 0.01;
+  const auto analysis = report::analyze_call(emul::emulate_call(cfg));
+  const std::string json = report::to_json(analysis);
+
+  const std::string path = testing::TempDir() + "rtcc_export.json";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  const std::string cmd =
+      "python3 -c \"import json,sys; json.load(open('" + path +
+      "'))\" 2>/dev/null";
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtcc

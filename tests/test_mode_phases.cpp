@@ -1,0 +1,104 @@
+// Cellular relay→P2P switching (§3.1.1): WhatsApp, Messenger and Google
+// Meet start on the relay and move to P2P 30 s in; the relay-phase and
+// P2P-phase media form distinct streams with the expected timespans.
+#include <gtest/gtest.h>
+
+#include "report/metrics.hpp"
+
+namespace rtcc::emul {
+namespace {
+
+struct PhaseSummary {
+  bool has_relay_stream = false;
+  bool has_p2p_stream = false;
+  double relay_last_ts = 0;
+  double p2p_first_ts = 1e18;
+};
+
+PhaseSummary summarize(AppId app) {
+  CallConfig cfg;
+  cfg.app = app;
+  cfg.network = NetworkSetup::kCellular;
+  cfg.media_scale = 0.02;
+  cfg.seed = 321;
+  const auto call = emulate_call(cfg);
+  const auto table = net::group_streams(call.trace);
+  const auto fr =
+      filter::run_pipeline(call.trace, table, filter_config_for(call));
+
+  PhaseSummary out;
+  for (auto si : fr.rtc_udp_streams) {
+    const auto& s = table.streams[si];
+    const bool involves_relay = s.key.a == call.endpoints.relay ||
+                                s.key.b == call.endpoints.relay;
+    const bool device_pair = (s.key.a == call.endpoints.device_a ||
+                              s.key.a == call.endpoints.device_b) &&
+                             (s.key.b == call.endpoints.device_a ||
+                              s.key.b == call.endpoints.device_b);
+    // Only consider *media* streams: STUN control traffic legitimately
+    // keeps flowing to the relay for the whole call (keep-alives), so
+    // discriminate by payload size — media streams carry ~1000-byte
+    // video payloads, control streams stay far smaller.
+    if (s.packets.size() < 50) continue;
+    const double avg_payload =
+        static_cast<double>(s.total_payload_bytes()) /
+        static_cast<double>(s.packets.size());
+    if (avg_payload < 400.0) continue;
+    if (involves_relay) {
+      out.has_relay_stream = true;
+      out.relay_last_ts = std::max(out.relay_last_ts, s.last_ts);
+    } else if (device_pair) {
+      out.has_p2p_stream = true;
+      out.p2p_first_ts = std::min(out.p2p_first_ts, s.first_ts);
+    }
+  }
+  return out;
+}
+
+class CellularSwitch : public testing::TestWithParam<AppId> {};
+
+TEST_P(CellularSwitch, RelayThenP2pAtThirtySeconds) {
+  const auto s = summarize(GetParam());
+  ASSERT_TRUE(s.has_relay_stream);
+  ASSERT_TRUE(s.has_p2p_stream);
+  // Relay media ends around +30 s; P2P media begins there.
+  EXPECT_LT(s.relay_last_ts, 60.0 + 33.0);
+  EXPECT_GT(s.p2p_first_ts, 60.0 + 29.0);
+  EXPECT_LT(s.p2p_first_ts, 60.0 + 40.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SwitchingApps, CellularSwitch,
+    testing::Values(AppId::kWhatsApp, AppId::kMessenger,
+                    AppId::kGoogleMeet),
+    [](const testing::TestParamInfo<AppId>& info) {
+      std::string name = to_string(info.param);
+      name.erase(std::remove(name.begin(), name.end(), ' '), name.end());
+      return name;
+    });
+
+class NoSwitchApps : public testing::TestWithParam<AppId> {};
+
+TEST_P(NoSwitchApps, StayOnInitialModeAllCall) {
+  const auto s = summarize(GetParam());
+  if (GetParam() == AppId::kFaceTime) {
+    // FaceTime cellular is always P2P (§3.1.1).
+    EXPECT_FALSE(s.has_relay_stream);
+    EXPECT_TRUE(s.has_p2p_stream);
+  } else {
+    // Zoom and Discord always relay on cellular.
+    EXPECT_TRUE(s.has_relay_stream);
+    EXPECT_FALSE(s.has_p2p_stream);
+    EXPECT_GT(s.relay_last_ts, 60.0 + 250.0);  // relay spans the call
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FixedModeApps, NoSwitchApps,
+    testing::Values(AppId::kZoom, AppId::kDiscord, AppId::kFaceTime),
+    [](const testing::TestParamInfo<AppId>& info) {
+      return to_string(info.param);
+    });
+
+}  // namespace
+}  // namespace rtcc::emul

@@ -1,0 +1,278 @@
+// Address parsing/scopes, frame encode/decode, checksums, pcap I/O,
+// and stream grouping.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "net/address.hpp"
+#include "net/headers.hpp"
+#include "net/pcap.hpp"
+#include "net/stream_table.hpp"
+
+namespace rtcc::net {
+namespace {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+
+TEST(IpAddr, ParseAndFormatV4) {
+  auto ip = IpAddr::parse("192.168.1.10");
+  ASSERT_TRUE(ip);
+  EXPECT_TRUE(ip->is_v4());
+  EXPECT_EQ(ip->to_string(), "192.168.1.10");
+  EXPECT_EQ(ip->v4_value(), 0xC0A8010Au);
+}
+
+TEST(IpAddr, ParseRejectsBadV4) {
+  EXPECT_FALSE(IpAddr::parse("256.1.1.1"));
+  EXPECT_FALSE(IpAddr::parse("1.2.3"));
+  EXPECT_FALSE(IpAddr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(IpAddr::parse("a.b.c.d"));
+  EXPECT_FALSE(IpAddr::parse("1.2.3.4 "));
+}
+
+TEST(IpAddr, ParseV6) {
+  auto ip = IpAddr::parse("fe80::1");
+  ASSERT_TRUE(ip);
+  EXPECT_TRUE(ip->is_v6());
+  EXPECT_TRUE(ip->is_link_local_v6());
+  auto full = IpAddr::parse("2001:db8:0:0:0:0:0:1");
+  ASSERT_TRUE(full);
+  EXPECT_EQ(*full, *IpAddr::parse("2001:db8::1"));
+}
+
+TEST(IpAddr, ParseRejectsBadV6) {
+  EXPECT_FALSE(IpAddr::parse("fe80:::1"));
+  EXPECT_FALSE(IpAddr::parse("1:2:3:4:5:6:7:8:9"));
+  EXPECT_FALSE(IpAddr::parse("12345::1"));
+}
+
+TEST(IpAddr, ScopePredicates) {
+  EXPECT_TRUE(IpAddr::parse("10.1.2.3")->is_private_v4());
+  EXPECT_TRUE(IpAddr::parse("172.16.0.1")->is_private_v4());
+  EXPECT_TRUE(IpAddr::parse("172.31.255.255")->is_private_v4());
+  EXPECT_FALSE(IpAddr::parse("172.32.0.1")->is_private_v4());
+  EXPECT_TRUE(IpAddr::parse("192.168.0.1")->is_private_v4());
+  EXPECT_FALSE(IpAddr::parse("8.8.8.8")->is_private_v4());
+  EXPECT_TRUE(IpAddr::parse("fd00::1")->is_unique_local_v6());
+  EXPECT_TRUE(IpAddr::parse("fe80::abcd")->is_link_local_v6());
+  EXPECT_FALSE(IpAddr::parse("2001:db8::1")->is_local_scope());
+  EXPECT_TRUE(IpAddr::parse("127.0.0.1")->is_loopback());
+  EXPECT_TRUE(IpAddr::parse("::1")->is_loopback());
+}
+
+TEST(Frame, UdpV4RoundTrip) {
+  FrameSpec spec;
+  spec.src = *IpAddr::parse("192.168.1.10");
+  spec.dst = *IpAddr::parse("8.8.8.8");
+  spec.src_port = 5000;
+  spec.dst_port = 53;
+  const Bytes payload = {1, 2, 3, 4, 5};
+  const Bytes frame = build_frame(spec, BytesView{payload});
+
+  auto decoded = decode_frame(BytesView{frame});
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->src, spec.src);
+  EXPECT_EQ(decoded->dst, spec.dst);
+  EXPECT_EQ(decoded->src_port, 5000);
+  EXPECT_EQ(decoded->dst_port, 53);
+  EXPECT_EQ(decoded->transport, Transport::kUdp);
+  EXPECT_EQ(Bytes(decoded->payload.begin(), decoded->payload.end()),
+            payload);
+}
+
+TEST(Frame, UdpV6RoundTrip) {
+  FrameSpec spec;
+  spec.src = *IpAddr::parse("fd00::10");
+  spec.dst = *IpAddr::parse("fd00::11");
+  spec.src_port = 6000;
+  spec.dst_port = 6001;
+  const Bytes payload(100, 0xAB);
+  auto decoded = decode_frame(BytesView{build_frame(spec, BytesView{payload})});
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->is_v6);
+  EXPECT_EQ(decoded->payload.size(), 100u);
+}
+
+TEST(Frame, TcpRoundTrip) {
+  FrameSpec spec;
+  spec.src = *IpAddr::parse("10.0.0.1");
+  spec.dst = *IpAddr::parse("10.0.0.2");
+  spec.src_port = 443;
+  spec.dst_port = 50000;
+  spec.transport = Transport::kTcp;
+  const Bytes payload = {0x16, 0x03, 0x01};
+  auto decoded = decode_frame(BytesView{build_frame(spec, BytesView{payload})});
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->transport, Transport::kTcp);
+  EXPECT_EQ(decoded->payload.size(), 3u);
+}
+
+TEST(Frame, Ipv4HeaderChecksumIsValid) {
+  FrameSpec spec;
+  spec.src = *IpAddr::parse("1.2.3.4");
+  spec.dst = *IpAddr::parse("5.6.7.8");
+  spec.src_port = 1;
+  spec.dst_port = 2;
+  const Bytes frame = build_frame(spec, BytesView{});
+  // Internet checksum over the full IPv4 header (bytes 14..34) is 0.
+  EXPECT_EQ(internet_checksum(BytesView{frame}.subspan(14, 20)), 0);
+}
+
+TEST(Frame, DecodeRejectsTruncated) {
+  FrameSpec spec;
+  spec.src = *IpAddr::parse("1.2.3.4");
+  spec.dst = *IpAddr::parse("5.6.7.8");
+  const Bytes frame = build_frame(spec, BytesView{});
+  for (std::size_t cut : {0u, 10u, 20u, 30u}) {
+    auto partial = BytesView{frame}.subspan(0, cut);
+    EXPECT_FALSE(decode_frame(partial)) << "cut=" << cut;
+  }
+}
+
+TEST(Frame, DecodeRejectsNonIpEthertype) {
+  Bytes frame(60, 0);
+  frame[12] = 0x08;
+  frame[13] = 0x06;  // ARP
+  EXPECT_FALSE(decode_frame(BytesView{frame}));
+}
+
+TEST(Pcap, InMemoryRoundTrip) {
+  Trace trace;
+  FrameSpec spec;
+  spec.src = *IpAddr::parse("192.0.2.1");
+  spec.dst = *IpAddr::parse("192.0.2.2");
+  spec.src_port = 1111;
+  spec.dst_port = 2222;
+  for (int i = 0; i < 10; ++i) {
+    Bytes payload(static_cast<std::size_t>(i + 1), static_cast<std::uint8_t>(i));
+    trace.frames.push_back(
+        Frame{0.5 * i, build_frame(spec, BytesView{payload})});
+  }
+  auto decoded = decode_pcap(BytesView{encode_pcap(trace)});
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->frames.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(decoded->frames[static_cast<std::size_t>(i)].ts, 0.5 * i,
+                1e-5);
+    EXPECT_EQ(decoded->frames[static_cast<std::size_t>(i)].data,
+              trace.frames[static_cast<std::size_t>(i)].data);
+  }
+}
+
+TEST(Pcap, FileRoundTrip) {
+  Trace trace;
+  FrameSpec spec;
+  spec.src = *IpAddr::parse("192.0.2.1");
+  spec.dst = *IpAddr::parse("192.0.2.2");
+  trace.frames.push_back(Frame{1.25, build_frame(spec, BytesView{})});
+  const std::string path = testing::TempDir() + "rtcc_test.pcap";
+  ASSERT_TRUE(write_pcap(path, trace));
+  auto loaded = read_pcap(path);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->frames.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  Bytes junk(64, 0x42);
+  std::string error;
+  EXPECT_FALSE(decode_pcap(BytesView{junk}, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(Pcap, RejectsTruncatedRecord) {
+  Trace trace;
+  FrameSpec spec;
+  spec.src = *IpAddr::parse("192.0.2.1");
+  spec.dst = *IpAddr::parse("192.0.2.2");
+  trace.frames.push_back(Frame{0.0, build_frame(spec, BytesView{})});
+  Bytes encoded = encode_pcap(trace);
+  encoded.resize(encoded.size() - 5);
+  std::string error;
+  EXPECT_FALSE(decode_pcap(BytesView{encoded}, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(StreamTable, BidirectionalGrouping) {
+  Trace trace;
+  FrameSpec up;
+  up.src = *IpAddr::parse("192.168.1.10");
+  up.dst = *IpAddr::parse("8.8.4.4");
+  up.src_port = 5000;
+  up.dst_port = 443;
+  FrameSpec down = up;
+  std::swap(down.src, down.dst);
+  std::swap(down.src_port, down.dst_port);
+
+  trace.frames.push_back(Frame{1.0, build_frame(up, BytesView{})});
+  trace.frames.push_back(Frame{2.0, build_frame(down, BytesView{})});
+  trace.frames.push_back(Frame{3.0, build_frame(up, BytesView{})});
+
+  auto table = group_streams(trace);
+  ASSERT_EQ(table.streams.size(), 1u);
+  const Stream& s = table.streams[0];
+  EXPECT_EQ(s.packets.size(), 3u);
+  EXPECT_EQ(s.first_ts, 1.0);
+  EXPECT_EQ(s.last_ts, 3.0);
+  // Directions alternate.
+  EXPECT_NE(s.packets[0].dir, s.packets[1].dir);
+  EXPECT_EQ(s.packets[0].dir, s.packets[2].dir);
+}
+
+TEST(StreamTable, DistinctPortsMakeDistinctStreams) {
+  Trace trace;
+  for (std::uint16_t port : {5000, 5001, 5002}) {
+    FrameSpec spec;
+    spec.src = *IpAddr::parse("192.168.1.10");
+    spec.dst = *IpAddr::parse("8.8.4.4");
+    spec.src_port = port;
+    spec.dst_port = 443;
+    trace.frames.push_back(Frame{0.0, build_frame(spec, BytesView{})});
+  }
+  EXPECT_EQ(group_streams(trace).streams.size(), 3u);
+}
+
+TEST(StreamTable, CountsByTransport) {
+  Trace trace;
+  FrameSpec udp;
+  udp.src = *IpAddr::parse("192.168.1.10");
+  udp.dst = *IpAddr::parse("8.8.4.4");
+  udp.src_port = 1;
+  udp.dst_port = 2;
+  FrameSpec tcp = udp;
+  tcp.transport = Transport::kTcp;
+  tcp.src_port = 3;
+  trace.frames.push_back(Frame{0.0, build_frame(udp, BytesView{})});
+  trace.frames.push_back(Frame{0.0, build_frame(udp, BytesView{})});
+  trace.frames.push_back(Frame{0.0, build_frame(tcp, BytesView{})});
+  auto table = group_streams(trace);
+  EXPECT_EQ(table.udp_stream_count(), 1u);
+  EXPECT_EQ(table.tcp_stream_count(), 1u);
+  EXPECT_EQ(table.udp_datagram_count(), 2u);
+  EXPECT_EQ(table.tcp_segment_count(), 1u);
+}
+
+TEST(StreamTable, UndecodableFramesCounted) {
+  Trace trace;
+  trace.frames.push_back(Frame{0.0, Bytes(5, 0)});
+  auto table = group_streams(trace);
+  EXPECT_EQ(table.undecodable_frames, 1u);
+  EXPECT_TRUE(table.streams.empty());
+}
+
+TEST(StreamTable, PacketPayloadResolution) {
+  Trace trace;
+  FrameSpec spec;
+  spec.src = *IpAddr::parse("192.168.1.10");
+  spec.dst = *IpAddr::parse("8.8.4.4");
+  const Bytes payload = {9, 9, 9};
+  trace.frames.push_back(Frame{0.0, build_frame(spec, BytesView{payload})});
+  auto table = group_streams(trace);
+  ASSERT_EQ(table.streams.size(), 1u);
+  auto view = packet_payload(trace, table.streams[0].packets[0]);
+  EXPECT_EQ(Bytes(view.begin(), view.end()), payload);
+}
+
+}  // namespace
+}  // namespace rtcc::net

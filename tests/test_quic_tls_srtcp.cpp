@@ -1,0 +1,209 @@
+// QUIC header codec, TLS ClientHello/SNI parser, SRTCP framing.
+#include <gtest/gtest.h>
+
+#include "proto/quic/quic.hpp"
+#include "proto/srtp/srtcp.hpp"
+#include "proto/tls/client_hello.hpp"
+#include "util/rng.hpp"
+
+namespace rtcc::proto {
+namespace {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::ByteWriter;
+using rtcc::util::Rng;
+
+// ---- QUIC ----------------------------------------------------------------
+
+TEST(QuicVarint, AllWidths) {
+  struct Case {
+    std::uint64_t value;
+    std::size_t width;
+  };
+  for (const auto& [value, width] :
+       {Case{0, 1}, Case{63, 1}, Case{64, 2}, Case{16383, 2}, Case{16384, 4},
+        Case{(1ULL << 30) - 1, 4}, Case{1ULL << 30, 8},
+        Case{0x3FFFFFFFFFFFFFFFULL, 8}}) {
+    ByteWriter w;
+    quic::write_varint(w, value);
+    EXPECT_EQ(w.size(), width) << value;
+    auto read = quic::read_varint(w.view());
+    ASSERT_TRUE(read) << value;
+    EXPECT_EQ(read->value, value);
+    EXPECT_EQ(read->width, width);
+  }
+}
+
+TEST(QuicVarint, TruncatedFails) {
+  Bytes one = {0x40};  // declares 2-byte varint, only 1 present
+  EXPECT_FALSE(quic::read_varint(BytesView{one}));
+  EXPECT_FALSE(quic::read_varint(BytesView{}));
+}
+
+TEST(QuicHeader, InitialRoundTrip) {
+  Rng rng(1);
+  quic::ConnectionId dcid{rng.bytes(8)};
+  quic::ConnectionId scid{rng.bytes(5)};
+  const Bytes payload = rng.bytes(1200);
+  const Bytes wire = quic::encode_long(quic::LongType::kInitial,
+                                       quic::kVersion1, dcid, scid,
+                                       BytesView{payload});
+  auto h = quic::parse(BytesView{wire});
+  ASSERT_TRUE(h);
+  EXPECT_TRUE(h->long_form);
+  EXPECT_TRUE(h->fixed_bit);
+  EXPECT_EQ(h->long_type, quic::LongType::kInitial);
+  EXPECT_EQ(h->version, quic::kVersion1);
+  EXPECT_EQ(h->dcid, dcid);
+  EXPECT_EQ(h->scid, scid);
+  EXPECT_EQ(h->wire_size(), wire.size());
+}
+
+TEST(QuicHeader, HandshakeAndZeroRtt) {
+  Rng rng(2);
+  quic::ConnectionId cid{rng.bytes(8)};
+  for (auto type : {quic::LongType::kHandshake, quic::LongType::kZeroRtt}) {
+    const Bytes wire =
+        quic::encode_long(type, quic::kVersion1, cid, cid, BytesView{});
+    auto h = quic::parse(BytesView{wire});
+    ASSERT_TRUE(h);
+    EXPECT_EQ(h->long_type, type);
+  }
+}
+
+TEST(QuicHeader, ShortHeaderUsesKnownDcidLen) {
+  Rng rng(3);
+  quic::ConnectionId dcid{rng.bytes(8)};
+  const Bytes wire = quic::encode_short(dcid, BytesView{rng.bytes(50)});
+  quic::ParseOptions opts;
+  opts.short_dcid_len = 8;
+  auto h = quic::parse(BytesView{wire}, opts);
+  ASSERT_TRUE(h);
+  EXPECT_FALSE(h->long_form);
+  EXPECT_EQ(h->dcid, dcid);
+  EXPECT_EQ(h->wire_size(), wire.size());
+}
+
+TEST(QuicHeader, RejectsOversizedCid) {
+  Bytes wire = {0xC1, 0x00, 0x00, 0x00, 0x01, 25};  // dcid_len 25 > 20
+  wire.insert(wire.end(), 30, 0);
+  EXPECT_FALSE(quic::parse(BytesView{wire}));
+}
+
+TEST(QuicHeader, CoalescedLongHeaderBoundedByLength) {
+  Rng rng(4);
+  quic::ConnectionId cid{rng.bytes(4)};
+  const Bytes first = quic::encode_long(quic::LongType::kInitial,
+                                        quic::kVersion1, cid, cid,
+                                        BytesView{rng.bytes(100)});
+  Bytes datagram = first;
+  const Bytes second = quic::encode_long(quic::LongType::kHandshake,
+                                         quic::kVersion1, cid, cid,
+                                         BytesView{rng.bytes(60)});
+  datagram.insert(datagram.end(), second.begin(), second.end());
+
+  auto h1 = quic::parse(BytesView{datagram});
+  ASSERT_TRUE(h1);
+  EXPECT_EQ(h1->wire_size(), first.size());
+  auto h2 = quic::parse(BytesView{datagram}.subspan(h1->wire_size()));
+  ASSERT_TRUE(h2);
+  EXPECT_EQ(h2->long_type, quic::LongType::kHandshake);
+}
+
+TEST(QuicHeader, VersionNegotiationShape) {
+  Rng rng(5);
+  quic::ConnectionId cid{rng.bytes(4)};
+  ByteWriter w;
+  w.u8(0xC0);
+  w.u32(quic::kVersionNegotiation);
+  w.u8(4).raw(BytesView{cid.bytes});
+  w.u8(4).raw(BytesView{cid.bytes});
+  w.u32(quic::kVersion1);  // one supported version
+  auto h = quic::parse(w.view());
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h->version, quic::kVersionNegotiation);
+}
+
+// ---- TLS ------------------------------------------------------------------
+
+TEST(TlsSni, BuildAndExtract) {
+  const Bytes hello = tls::build_client_hello("media.example.org");
+  EXPECT_TRUE(tls::looks_like_tls_handshake(BytesView{hello}));
+  auto sni = tls::extract_sni(BytesView{hello});
+  ASSERT_TRUE(sni);
+  EXPECT_EQ(*sni, "media.example.org");
+}
+
+TEST(TlsSni, NotAHandshake) {
+  Bytes app_data = {0x17, 0x03, 0x03, 0x00, 0x05, 1, 2, 3, 4, 5};
+  EXPECT_FALSE(tls::looks_like_tls_handshake(BytesView{app_data}));
+  EXPECT_FALSE(tls::extract_sni(BytesView{app_data}));
+  EXPECT_FALSE(tls::extract_sni(BytesView{}));
+}
+
+TEST(TlsSni, TruncatedHelloFailsGracefully) {
+  const Bytes hello = tls::build_client_hello("x.example");
+  for (std::size_t cut = 1; cut < hello.size(); cut += 7) {
+    auto partial = BytesView{hello}.subspan(0, cut);
+    EXPECT_FALSE(tls::extract_sni(partial)) << "cut=" << cut;
+  }
+}
+
+TEST(TlsSni, LongHostName) {
+  const std::string host(200, 'a');
+  auto sni = tls::extract_sni(BytesView{tls::build_client_hello(host)});
+  ASSERT_TRUE(sni);
+  EXPECT_EQ(*sni, host);
+}
+
+// ---- SRTCP ----------------------------------------------------------------
+
+TEST(Srtcp, FullTrailerRoundTrip) {
+  Rng rng(6);
+  const Bytes rtcp = rng.bytes(32);
+  srtp::SrtcpTrailer t;
+  t.encrypted_flag = true;
+  t.index = 12345;
+  t.auth_tag = rng.bytes(srtp::kDefaultAuthTagSize);
+
+  const Bytes wire = srtp::append_trailer(BytesView{rtcp}, t);
+  ASSERT_EQ(wire.size(), rtcp.size() + 14);
+  auto parsed = srtp::parse_trailer(
+      BytesView{wire}.subspan(rtcp.size()));
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->encrypted_flag);
+  EXPECT_EQ(parsed->index, 12345u);
+  EXPECT_EQ(parsed->auth_tag, t.auth_tag);
+}
+
+TEST(Srtcp, TaglessTrailerIsTheMeetViolationShape) {
+  srtp::SrtcpTrailer t;
+  t.encrypted_flag = true;
+  t.index = 7;
+  const Bytes wire = srtp::append_trailer(BytesView{}, t);
+  ASSERT_EQ(wire.size(), 4u);
+  auto parsed = srtp::parse_trailer(BytesView{wire});
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->auth_tag.empty());
+  EXPECT_EQ(parsed->index, 7u);
+}
+
+TEST(Srtcp, IndexIs31Bits) {
+  srtp::SrtcpTrailer t;
+  t.encrypted_flag = false;
+  t.index = 0x7FFFFFFF;
+  const Bytes wire = srtp::append_trailer(BytesView{}, t);
+  auto parsed = srtp::parse_trailer(BytesView{wire});
+  ASSERT_TRUE(parsed);
+  EXPECT_FALSE(parsed->encrypted_flag);
+  EXPECT_EQ(parsed->index, 0x7FFFFFFFu);
+}
+
+TEST(Srtcp, TooShortTrailerRejected) {
+  Bytes three = {1, 2, 3};
+  EXPECT_FALSE(srtp::parse_trailer(BytesView{three}));
+}
+
+}  // namespace
+}  // namespace rtcc::proto

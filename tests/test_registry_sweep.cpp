@@ -1,0 +1,134 @@
+// Registry consistency sweeps: every defined STUN attribute and message
+// type must carry coherent metadata, and the edge thresholds of the
+// header-field heuristics are pinned down.
+#include <gtest/gtest.h>
+
+#include "compliance/checker.hpp"
+#include "proto/stun/stun_registry.hpp"
+#include "util/hex.hpp"
+
+namespace rtcc::proto::stun {
+namespace {
+
+const std::vector<std::uint16_t>& defined_attributes() {
+  static const std::vector<std::uint16_t> kAttrs = {
+      attr::kMappedAddress,    attr::kResponseAddress,
+      attr::kChangeRequest,    attr::kSourceAddress,
+      attr::kChangedAddress,   attr::kUsername,
+      attr::kPassword,         attr::kMessageIntegrity,
+      attr::kErrorCode,        attr::kUnknownAttributes,
+      attr::kReflectedFrom,    attr::kChannelNumber,
+      attr::kLifetime,         attr::kXorPeerAddress,
+      attr::kData,             attr::kRealm,
+      attr::kNonce,            attr::kXorRelayedAddress,
+      attr::kRequestedAddressFamily, attr::kEvenPort,
+      attr::kRequestedTransport, attr::kDontFragment,
+      attr::kMessageIntegritySha256, attr::kPasswordAlgorithm,
+      attr::kUserhash,         attr::kXorMappedAddress,
+      attr::kReservationToken, attr::kPriority,
+      attr::kUseCandidate,     attr::kResponsePort,
+      attr::kPadding,          attr::kPasswordAlgorithms,
+      attr::kAlternateDomain,  attr::kSoftware,
+      attr::kAlternateServer,  attr::kFingerprint,
+      attr::kIceControlled,    attr::kIceControlling,
+      attr::kResponseOrigin,   attr::kOtherAddress,
+  };
+  return kAttrs;
+}
+
+TEST(RegistrySweep, EveryDefinedAttributeHasCoherentMetadata) {
+  for (std::uint16_t type : defined_attributes()) {
+    const auto info = lookup_attribute(type);
+    EXPECT_NE(info.source, SpecSource::kUndefined) << type;
+    EXPECT_NE(info.name, "(undefined)") << type;
+    EXPECT_EQ(info.type, type);
+    // Fixed-length and range constraints are mutually exclusive.
+    if (info.fixed_length >= 0) {
+      EXPECT_EQ(info.min_length, -1) << info.name;
+      EXPECT_EQ(info.max_length, -1) << info.name;
+    }
+    if (info.is_xor_address) {
+      EXPECT_TRUE(info.is_address) << info.name;
+    }
+    if (info.is_address) {
+      EXPECT_EQ(info.min_length, 8) << info.name;
+      EXPECT_EQ(info.max_length, 20) << info.name;
+    }
+    EXPECT_EQ(info.comprehension_optional(), type >= 0x8000) << info.name;
+  }
+}
+
+TEST(RegistrySweep, UsageRulesReferenceDefinedTypes) {
+  for (std::uint16_t type : defined_attributes()) {
+    const auto* rule = lookup_usage_rule(type);
+    if (!rule) continue;
+    EXPECT_FALSE(rule->allowed_in.empty()) << type;
+    for (std::uint16_t msg_type : rule->allowed_in) {
+      EXPECT_NE(lookup_message_type(msg_type).source,
+                SpecSource::kUndefined)
+          << type << " allows undefined message type " << msg_type;
+    }
+  }
+}
+
+TEST(RegistrySweep, AllStandardMessageTypesDefined) {
+  for (std::uint16_t type :
+       {kBindingRequest, kBindingIndication, kBindingSuccess, kBindingError,
+        kSharedSecretRequest, kAllocateRequest, kAllocateSuccess,
+        kAllocateError, kRefreshRequest, kRefreshSuccess, kSendIndication,
+        kDataIndication, kCreatePermissionRequest, kCreatePermissionSuccess,
+        kCreatePermissionError, kChannelBindRequest, kChannelBindSuccess}) {
+    EXPECT_NE(lookup_message_type(type).source, SpecSource::kUndefined)
+        << rtcc::util::hex_u16(type);
+  }
+}
+
+TEST(RegistrySweep, ClosedSetsContainOnlyDefinedAttributes) {
+  for (std::uint16_t msg_type : {kDataIndication, kSendIndication}) {
+    auto set = closed_attribute_set(msg_type);
+    ASSERT_TRUE(set);
+    for (std::uint16_t attr_type : *set) {
+      EXPECT_NE(lookup_attribute(attr_type).source, SpecSource::kUndefined)
+          << attr_type;
+    }
+  }
+}
+
+// ---- Heuristic thresholds --------------------------------------------------
+
+compliance::Verdict judge_txid(const TransactionId& id) {
+  Message msg;
+  msg.type = kBindingRequest;
+  msg.cookie = kMagicCookie;
+  msg.transaction_id = id;
+  dpi::ExtractedMessage m;
+  m.kind = dpi::MessageKind::kStun;
+  m.stun = std::move(msg);
+  compliance::StreamComplianceChecker checker;
+  checker.observe(m, 0, 1.0);
+  checker.finalize();
+  return checker.check(m, 0, 1.0).front().verdict;
+}
+
+TEST(HeuristicThresholds, TxidEntropyBoundary) {
+  // Run of 7 identical bytes: accepted; run of 8: flagged.
+  TransactionId seven{};
+  for (std::size_t i = 0; i < seven.size(); ++i)
+    seven[i] = static_cast<std::uint8_t>(i < 7 ? 0xAA : 0x10 + i);
+  EXPECT_TRUE(judge_txid(seven).compliant);
+
+  TransactionId eight{};
+  for (std::size_t i = 0; i < eight.size(); ++i)
+    eight[i] = static_cast<std::uint8_t>(i < 8 ? 0xAA : 0x10 + i);
+  EXPECT_FALSE(judge_txid(eight).compliant);
+}
+
+TEST(HeuristicThresholds, RunPositionDoesNotMatter) {
+  TransactionId tail_run{};
+  for (std::size_t i = 0; i < tail_run.size(); ++i)
+    tail_run[i] = static_cast<std::uint8_t>(i < 4 ? 0x10 + i : 0xBB);
+  EXPECT_FALSE(judge_txid(tail_run).compliant);  // 8-byte run at the end
+}
+
+}  // namespace
+}  // namespace rtcc::proto::stun

@@ -1,0 +1,141 @@
+// Table/figure renderers against hand-built analyses (the integration
+// suite smoke-tests them on real runs; these check cell-level content).
+#include <gtest/gtest.h>
+
+#include "report/figures.hpp"
+#include "report/tables.hpp"
+
+namespace rtcc::report {
+namespace {
+
+using rtcc::emul::AppId;
+using rtcc::proto::Protocol;
+
+AppResults synthetic() {
+  AppResults results;
+  CallAnalysis zoom;
+  zoom.raw_bytes = 2'975'900'000ull;
+  zoom.raw_udp_streams = 2200;
+  zoom.raw_udp_datagrams = 3'200'000;
+  zoom.raw_tcp_streams = 2300;
+  zoom.raw_tcp_segments = 469'000;
+  zoom.stage1_udp = {323, 4600};
+  zoom.stage2_udp = {1371, 7300};
+  zoom.stage1_tcp = {919, 252'000};
+  zoom.stage2_tcp = {583, 43'800};
+  zoom.rtc_udp = {476, 3'200'000};
+  zoom.rtc_tcp = {333, 72'400};
+  zoom.dgram_prop_header = 79;
+  zoom.dgram_fully_prop = 21;
+
+  auto& stun = zoom.protocols[Protocol::kStunTurn];
+  stun.messages = 100;
+  stun.compliant = 0;
+  stun.types["0x0001"].total = 60;
+  stun.types["0x0002"].total = 40;
+  auto& rtp = zoom.protocols[Protocol::kRtp];
+  rtp.messages = 1000;
+  rtp.compliant = 1000;
+  rtp.types["98"] = {500, 500, {}};
+  rtp.types["99"] = {500, 500, {}};
+  results.emplace(AppId::kZoom, std::move(zoom));
+
+  CallAnalysis discord;
+  auto& rtcp = discord.protocols[Protocol::kRtcp];
+  rtcp.messages = 10;
+  rtcp.compliant = 0;
+  rtcp.types["200"].total = 10;
+  rtcp.types["200"].criterion_failures["5:syntax-semantic-integrity"] = 10;
+  discord.dgram_standard = 10;
+  results.emplace(AppId::kDiscord, std::move(discord));
+  return results;
+}
+
+TEST(Table1, RendersCountsInPaperUnits) {
+  const std::string t = render_table1(synthetic());
+  EXPECT_NE(t.find("2975.9 MB"), std::string::npos);
+  EXPECT_NE(t.find("2200 | 3.2m"), std::string::npos);
+  EXPECT_NE(t.find("476 | 3.2m"), std::string::npos);
+  EXPECT_NE(t.find("333 | 72.4k"), std::string::npos);
+}
+
+TEST(Table2, PercentagesAndNA) {
+  const std::string t = render_table2(synthetic());
+  // Zoom: 1100 messages + 21 fully-prop = 1121 units.
+  EXPECT_NE(t.find("89.2%"), std::string::npos);  // RTP 1000/1121
+  EXPECT_NE(t.find("N/A"), std::string::npos);    // Zoom QUIC column
+}
+
+TEST(Table3, RatioCellsAndBottomRow) {
+  const std::string t = render_table3(synthetic());
+  EXPECT_NE(t.find("0/2"), std::string::npos);    // Zoom STUN
+  EXPECT_NE(t.find("2/2"), std::string::npos);    // Zoom RTP
+  EXPECT_NE(t.find("0/1"), std::string::npos);    // Discord RTCP
+  EXPECT_NE(t.find("All Apps"), std::string::npos);
+}
+
+TEST(Table456, CompliantAndNonCompliantColumns) {
+  const auto results = synthetic();
+  const std::string t4 = render_table4(results);
+  // Zoom STUN: no compliant types; 0x0001+0x0002 non-compliant.
+  EXPECT_NE(t4.find("- | 0x0001, 0x0002"), std::string::npos);
+  const std::string t5 = render_table5(results);
+  EXPECT_NE(t5.find("98, 99 | -"), std::string::npos);
+  const std::string t6 = render_table6(results);
+  EXPECT_NE(t6.find("- | 200"), std::string::npos);
+  // Apps without the protocol render N/A.
+  EXPECT_NE(t6.find("N/A"), std::string::npos);
+}
+
+TEST(Table45, NumericSortOfTypeLabels) {
+  AppResults results;
+  CallAnalysis a;
+  auto& rtp = a.protocols[Protocol::kRtp];
+  for (const char* label : {"110", "9", "96"}) {
+    rtp.types[label].total = 1;
+    rtp.types[label].compliant = 1;
+  }
+  results.emplace(AppId::kZoom, std::move(a));
+  const std::string t = render_table5(results);
+  // "9" sorts before "96" before "110" (numeric, not lexicographic).
+  const auto p9 = t.find("9,");
+  const auto p96 = t.find("96,");
+  const auto p110 = t.find("110");
+  ASSERT_NE(p9, std::string::npos);
+  ASSERT_NE(p96, std::string::npos);
+  ASSERT_NE(p110, std::string::npos);
+  EXPECT_LT(p9, p96);
+  EXPECT_LT(p96, p110);
+}
+
+TEST(Figure3, SharesSumAndRender) {
+  const std::string f = render_figure3(synthetic());
+  EXPECT_NE(f.find("prop-hdr"), std::string::npos);
+  EXPECT_NE(f.find("79.0%"), std::string::npos);
+  EXPECT_NE(f.find("21.0%"), std::string::npos);
+  EXPECT_NE(f.find("100.0%"), std::string::npos);  // Discord standard
+}
+
+TEST(Figure4, VolumeRatios) {
+  const std::string f = render_figure4(synthetic());
+  // Zoom: 1000/1100 compliant ≈ 90.9%.
+  EXPECT_NE(f.find("90.9%"), std::string::npos);
+  // Discord: 0%.
+  EXPECT_NE(f.find("0.0%"), std::string::npos);
+  EXPECT_NE(f.find("per protocol"), std::string::npos);
+}
+
+TEST(Figure5, TypeRatios) {
+  const std::string f = render_figure5(synthetic());
+  // Zoom: 2 compliant of 4 types = 50%.
+  EXPECT_NE(f.find("50.0%"), std::string::npos);
+}
+
+TEST(Bar, Rendering) {
+  EXPECT_EQ(bar(0.0, 8), "........");
+  EXPECT_EQ(bar(1.0, 8), "########");
+  EXPECT_EQ(bar(0.25, 8), "##......");
+}
+
+}  // namespace
+}  // namespace rtcc::report

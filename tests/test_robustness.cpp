@@ -1,0 +1,148 @@
+// Failure injection: the analysis pipeline's qualitative results must
+// survive packet loss, duplication and reordering — real captures have
+// all three, and the paper's methodology has to cope with them.
+#include <gtest/gtest.h>
+
+#include "emul/perturb.hpp"
+#include "report/metrics.hpp"
+
+namespace rtcc {
+namespace {
+
+using emul::AppId;
+using emul::NetworkSetup;
+using emul::PerturbConfig;
+
+struct RobustnessCase {
+  AppId app;
+  NetworkSetup network;
+};
+
+class PipelineRobustness : public testing::TestWithParam<RobustnessCase> {};
+
+TEST_P(PipelineRobustness, TypeVerdictsSurviveNetworkPathology) {
+  const auto [app, network] = GetParam();
+  emul::CallConfig cfg;
+  cfg.app = app;
+  cfg.network = network;
+  cfg.media_scale = 0.03;
+  cfg.seed = 4242;
+  const auto call = emul::emulate_call(cfg);
+  const auto fcfg = emul::filter_config_for(call);
+  const auto clean = report::analyze_trace(call.trace, fcfg);
+
+  PerturbConfig pathology;
+  pathology.drop_p = 0.05;
+  pathology.dup_p = 0.01;
+  pathology.reorder_p = 0.02;
+  pathology.seed = 7;
+  const auto lossy_trace = emul::perturb(call.trace, pathology);
+  const auto lossy = report::analyze_trace(lossy_trace, fcfg);
+
+  // Loss changes counts, not verdicts: every surviving type keeps its
+  // compliant/non-compliant classification, no phantom types appear,
+  // and at most a couple of single-instance types (e.g. a one-shot
+  // ChannelBind exchange whose only packet was dropped) may vanish.
+  ASSERT_EQ(clean.protocols.size(), lossy.protocols.size());
+  for (const auto& [proto_id, clean_stats] : clean.protocols) {
+    const auto& lossy_stats = lossy.protocols.at(proto_id);
+    std::size_t missing = 0;
+    for (const auto& [label, clean_type] : clean_stats.types) {
+      auto it = lossy_stats.types.find(label);
+      if (it == lossy_stats.types.end()) {
+        EXPECT_LE(clean_type.total, 3u)
+            << to_string(proto_id) << " " << label
+            << " had many instances yet vanished";
+        ++missing;
+        continue;
+      }
+      EXPECT_EQ(clean_type.type_compliant(), it->second.type_compliant())
+          << to_string(proto_id) << " " << label;
+    }
+    EXPECT_LE(missing, 2u) << to_string(proto_id);
+    for (const auto& [label, lossy_type] : lossy_stats.types) {
+      EXPECT_TRUE(clean_stats.types.count(label))
+          << "phantom type " << to_string(proto_id) << " " << label;
+    }
+  }
+
+  // Extraction degrades by at most the drop+noise margin.
+  const double clean_msgs = static_cast<double>(clean.total_messages());
+  const double lossy_msgs = static_cast<double>(lossy.total_messages());
+  EXPECT_GT(lossy_msgs, clean_msgs * 0.88);
+  EXPECT_LT(lossy_msgs, clean_msgs * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsUnderLoss, PipelineRobustness,
+    testing::Values(RobustnessCase{AppId::kZoom, NetworkSetup::kWifiRelay},
+                    RobustnessCase{AppId::kFaceTime,
+                                   NetworkSetup::kCellular},
+                    RobustnessCase{AppId::kWhatsApp,
+                                   NetworkSetup::kWifiP2p},
+                    RobustnessCase{AppId::kMessenger,
+                                   NetworkSetup::kWifiRelay},
+                    RobustnessCase{AppId::kDiscord,
+                                   NetworkSetup::kWifiRelay},
+                    RobustnessCase{AppId::kGoogleMeet,
+                                   NetworkSetup::kWifiRelay}),
+    [](const testing::TestParamInfo<RobustnessCase>& info) {
+      return to_string(info.param.app).substr(0, 6) +
+             std::to_string(static_cast<int>(info.param.network));
+    });
+
+TEST(Perturb, DropRateIsRespected) {
+  emul::CallConfig cfg;
+  cfg.app = AppId::kDiscord;
+  cfg.network = NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.02;
+  const auto call = emul::emulate_call(cfg);
+
+  PerturbConfig heavy;
+  heavy.drop_p = 0.5;
+  const auto dropped = emul::perturb(call.trace, heavy);
+  const double ratio = static_cast<double>(dropped.frames.size()) /
+                       static_cast<double>(call.trace.frames.size());
+  EXPECT_NEAR(ratio, 0.5, 0.05);
+}
+
+TEST(Perturb, DuplicationAddsFrames) {
+  emul::CallConfig cfg;
+  cfg.app = AppId::kWhatsApp;
+  cfg.network = NetworkSetup::kWifiP2p;
+  cfg.media_scale = 0.02;
+  const auto call = emul::emulate_call(cfg);
+  PerturbConfig dup;
+  dup.dup_p = 0.2;
+  const auto duplicated = emul::perturb(call.trace, dup);
+  EXPECT_GT(duplicated.frames.size(), call.trace.frames.size());
+}
+
+TEST(Perturb, OutputIsTimeSorted) {
+  emul::CallConfig cfg;
+  cfg.app = AppId::kZoom;
+  cfg.network = NetworkSetup::kWifiP2p;
+  cfg.media_scale = 0.02;
+  const auto call = emul::emulate_call(cfg);
+  PerturbConfig reorder;
+  reorder.reorder_p = 0.5;
+  reorder.reorder_jitter_s = 0.2;
+  const auto shuffled = emul::perturb(call.trace, reorder);
+  for (std::size_t i = 1; i < shuffled.frames.size(); ++i)
+    ASSERT_LE(shuffled.frames[i - 1].ts, shuffled.frames[i].ts);
+}
+
+TEST(Perturb, IdentityWhenAllProbabilitiesZero) {
+  emul::CallConfig cfg;
+  cfg.app = AppId::kMessenger;
+  cfg.network = NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.01;
+  const auto call = emul::emulate_call(cfg);
+  const auto same = emul::perturb(call.trace, PerturbConfig{});
+  ASSERT_EQ(same.frames.size(), call.trace.frames.size());
+  for (std::size_t i = 0; i < same.frames.size(); ++i)
+    ASSERT_EQ(same.frames[i].data, call.trace.frames[i].data);
+}
+
+}  // namespace
+}  // namespace rtcc

@@ -1,0 +1,291 @@
+// RTCP codec: every packet type, compound parsing, trailing bytes.
+#include <gtest/gtest.h>
+
+#include "proto/rtcp/rtcp.hpp"
+#include "util/rng.hpp"
+
+namespace rtcc::proto::rtcp {
+namespace {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::Rng;
+
+TEST(RtcpTypes, RangePredicate) {
+  EXPECT_TRUE(is_rtcp_packet_type(200));
+  EXPECT_TRUE(is_rtcp_packet_type(207));
+  EXPECT_TRUE(is_rtcp_packet_type(192));
+  EXPECT_TRUE(is_rtcp_packet_type(223));
+  EXPECT_FALSE(is_rtcp_packet_type(191));
+  EXPECT_FALSE(is_rtcp_packet_type(224));
+  EXPECT_FALSE(is_rtcp_packet_type(96));
+}
+
+TEST(RtcpSenderReport, RoundTrip) {
+  SenderReport sr;
+  sr.sender_ssrc = 0x12345678;
+  sr.ntp_timestamp = 0xAABBCCDDEEFF0011ULL;
+  sr.rtp_timestamp = 90000;
+  sr.packet_count = 1000;
+  sr.octet_count = 800000;
+  ReportBlock block;
+  block.ssrc = 0x9999;
+  block.fraction_lost = 12;
+  block.cumulative_lost = 345;
+  block.highest_seq = 70000;
+  block.jitter = 88;
+  block.lsr = 0x11112222;
+  block.dlsr = 500;
+  sr.reports.push_back(block);
+
+  const Packet p = make_sender_report(sr);
+  EXPECT_EQ(p.packet_type, kSenderReport);
+  EXPECT_EQ(p.count, 1);
+  auto decoded = decode_sender_report(p);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->sender_ssrc, sr.sender_ssrc);
+  EXPECT_EQ(decoded->ntp_timestamp, sr.ntp_timestamp);
+  EXPECT_EQ(decoded->packet_count, sr.packet_count);
+  ASSERT_EQ(decoded->reports.size(), 1u);
+  EXPECT_EQ(decoded->reports[0].cumulative_lost, 345u);
+  EXPECT_EQ(decoded->reports[0].dlsr, 500u);
+}
+
+TEST(RtcpReceiverReport, RoundTripMultipleBlocks) {
+  ReceiverReport rr;
+  rr.sender_ssrc = 1;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ReportBlock b;
+    b.ssrc = 100 + i;
+    rr.reports.push_back(b);
+  }
+  const Packet p = make_receiver_report(rr);
+  EXPECT_EQ(p.count, 3);
+  auto decoded = decode_receiver_report(p);
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->reports.size(), 3u);
+  EXPECT_EQ(decoded->reports[2].ssrc, 102u);
+}
+
+TEST(RtcpSdes, RoundTripWithItems) {
+  Sdes sdes;
+  SdesChunk chunk;
+  chunk.ssrc = 42;
+  chunk.items.push_back({1, Bytes{'c', 'n', 'a', 'm', 'e'}});
+  chunk.items.push_back({2, Bytes{'n'}});
+  sdes.chunks.push_back(chunk);
+  const Packet p = make_sdes(sdes);
+  EXPECT_EQ(p.body.size() % 4, 0u);
+  auto decoded = decode_sdes(p);
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->chunks.size(), 1u);
+  ASSERT_EQ(decoded->chunks[0].items.size(), 2u);
+  EXPECT_EQ(decoded->chunks[0].items[0].type, 1);
+  EXPECT_EQ(decoded->chunks[0].items[0].value,
+            (Bytes{'c', 'n', 'a', 'm', 'e'}));
+}
+
+TEST(RtcpBye, RoundTripWithReason) {
+  Bye bye;
+  bye.ssrcs = {7, 8};
+  bye.reason = {'d', 'o', 'n', 'e'};
+  const Packet p = make_bye(bye);
+  auto decoded = decode_bye(p);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->ssrcs, (std::vector<std::uint32_t>{7, 8}));
+  EXPECT_EQ(decoded->reason, bye.reason);
+}
+
+TEST(RtcpApp, RoundTrip) {
+  App app;
+  app.ssrc = 99;
+  app.name = {'q', 'o', 's', '0'};
+  app.data = {1, 2, 3, 4};
+  const Packet p = make_app(app, 5);
+  EXPECT_EQ(p.count, 5);
+  auto decoded = decode_app(p);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->ssrc, 99u);
+  EXPECT_EQ(decoded->name, app.name);
+  EXPECT_EQ(decoded->data, app.data);
+}
+
+TEST(RtcpFeedback, NackAndPli) {
+  Feedback fb;
+  fb.sender_ssrc = 1;
+  fb.media_ssrc = 2;
+  fb.fci = {0x00, 0x10, 0x00, 0x01};  // one NACK entry
+  const Packet nack = make_feedback(kRtpFeedback, 1, fb);
+  EXPECT_EQ(nack.count, 1);
+  auto decoded = decode_feedback(nack);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->media_ssrc, 2u);
+  EXPECT_EQ(decoded->fci.size(), 4u);
+
+  Feedback pli;
+  pli.sender_ssrc = 3;
+  pli.media_ssrc = 4;
+  const Packet p = make_feedback(kPayloadFeedback, 1, pli);
+  auto d2 = decode_feedback(p);
+  ASSERT_TRUE(d2);
+  EXPECT_TRUE(d2->fci.empty());
+}
+
+TEST(RtcpCompound, TwoPacketRoundTrip) {
+  SenderReport sr;
+  sr.sender_ssrc = 11;
+  Sdes sdes;
+  SdesChunk chunk;
+  chunk.ssrc = 11;
+  chunk.items.push_back({1, Bytes{'x'}});
+  sdes.chunks.push_back(chunk);
+
+  Compound c;
+  c.packets.push_back(make_sender_report(sr));
+  c.packets.push_back(make_sdes(sdes));
+  const Bytes wire = encode_compound(c);
+
+  auto parsed = parse_compound(BytesView{wire});
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->packets.size(), 2u);
+  EXPECT_EQ(parsed->packets[0].packet_type, kSenderReport);
+  EXPECT_EQ(parsed->packets[1].packet_type, kSdes);
+  EXPECT_TRUE(parsed->trailing.empty());
+  EXPECT_EQ(parsed->parsed_size(), wire.size());
+}
+
+TEST(RtcpCompound, TrailingBytesSurfaced) {
+  ReceiverReport rr;
+  rr.sender_ssrc = 5;
+  Compound c;
+  c.packets.push_back(make_receiver_report(rr));
+  Bytes wire = encode_compound(c);
+  wire.push_back(0x12);
+  wire.push_back(0x34);
+  wire.push_back(0x80);  // Discord-style 3-byte trailer
+
+  auto parsed = parse_compound(BytesView{wire});
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->packets.size(), 1u);
+  EXPECT_EQ(parsed->trailing, (Bytes{0x12, 0x34, 0x80}));
+}
+
+TEST(RtcpCompound, TrailingPolicyEnforced) {
+  ReceiverReport rr;
+  rr.sender_ssrc = 5;
+  Compound c;
+  c.packets.push_back(make_receiver_report(rr));
+  Bytes wire = encode_compound(c);
+  wire.insert(wire.end(), 40, 0xFF);
+
+  ParseOptions strict;
+  strict.allow_trailing = false;
+  EXPECT_FALSE(parse_compound(BytesView{wire}, strict));
+
+  ParseOptions bounded;
+  bounded.max_trailing = 32;
+  EXPECT_FALSE(parse_compound(BytesView{wire}, bounded));
+
+  ParseOptions loose;
+  loose.max_trailing = 64;
+  EXPECT_TRUE(parse_compound(BytesView{wire}, loose));
+}
+
+TEST(RtcpPacket, RejectsWrongVersion) {
+  Bytes wire = {0x40, 200, 0x00, 0x00};
+  EXPECT_FALSE(parse_packet(BytesView{wire}));
+}
+
+TEST(RtcpPacket, RejectsNonRtcpType) {
+  Bytes wire = {0x80, 96, 0x00, 0x00};  // PT 96 is RTP space
+  EXPECT_FALSE(parse_packet(BytesView{wire}));
+}
+
+TEST(RtcpPacket, RejectsLengthOverrun) {
+  Bytes wire = {0x80, 200, 0x00, 0x10};  // claims 64-byte body
+  EXPECT_FALSE(parse_packet(BytesView{wire}));
+}
+
+TEST(RtcpPacket, SsrcAccessor) {
+  ReceiverReport rr;
+  rr.sender_ssrc = 0xABCD0123;
+  const Packet p = make_receiver_report(rr);
+  EXPECT_EQ(p.ssrc(), 0xABCD0123u);
+  Packet empty;
+  EXPECT_FALSE(empty.ssrc().has_value());
+}
+
+TEST(RtcpDecode, TypeMismatchReturnsNull) {
+  ReceiverReport rr;
+  const Packet p = make_receiver_report(rr);
+  EXPECT_FALSE(decode_sender_report(p));
+  EXPECT_FALSE(decode_sdes(p));
+  EXPECT_FALSE(decode_app(p));
+  EXPECT_FALSE(decode_feedback(p));
+}
+
+TEST(RtcpDecode, CountLargerThanBodyFails) {
+  Packet p;
+  p.packet_type = kReceiverReport;
+  p.count = 2;  // two 24-byte blocks claimed
+  p.body = Bytes(4, 0);
+  p.length_words = 1;
+  EXPECT_FALSE(decode_receiver_report(p));
+}
+
+TEST(RtcpNames, PacketTypeName) {
+  EXPECT_EQ(packet_type_name(200), "SR");
+  EXPECT_EQ(packet_type_name(205), "RTPFB");
+  EXPECT_EQ(packet_type_name(207), "XR");
+  EXPECT_EQ(packet_type_name(210), "RTCP-210");
+  EXPECT_EQ(packet_type_name(96), "(not RTCP)");
+}
+
+/// Property: random compounds of valid packets round-trip.
+class RtcpFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RtcpFuzz, CompoundRoundTrip) {
+  Rng rng(GetParam());
+  Compound c;
+  const std::size_t n = 1 + rng.below(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng.below(4)) {
+      case 0: {
+        SenderReport sr;
+        sr.sender_ssrc = rng.next_u32();
+        c.packets.push_back(make_sender_report(sr));
+        break;
+      }
+      case 1: {
+        ReceiverReport rr;
+        rr.sender_ssrc = rng.next_u32();
+        c.packets.push_back(make_receiver_report(rr));
+        break;
+      }
+      case 2: {
+        Bye bye;
+        bye.ssrcs.push_back(rng.next_u32());
+        c.packets.push_back(make_bye(bye));
+        break;
+      }
+      default: {
+        Feedback fb;
+        fb.sender_ssrc = rng.next_u32();
+        fb.media_ssrc = rng.next_u32();
+        c.packets.push_back(make_feedback(kPayloadFeedback, 1, fb));
+        break;
+      }
+    }
+  }
+  const Bytes wire = encode_compound(c);
+  auto parsed = parse_compound(BytesView{wire});
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->packets.size(), n);
+  EXPECT_EQ(encode_compound(*parsed), wire);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtcpFuzz,
+                         testing::Range<std::uint64_t>(500, 525));
+
+}  // namespace
+}  // namespace rtcc::proto::rtcp

@@ -1,0 +1,210 @@
+// RTP codec: fixed header, CSRC, padding, RFC 8285 one/two-byte
+// extensions including the malformed ID-0 pattern.
+#include <gtest/gtest.h>
+
+#include "proto/rtp/rtp.hpp"
+#include "util/rng.hpp"
+
+namespace rtcc::proto::rtp {
+namespace {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::Rng;
+
+TEST(RtpCodec, MinimalRoundTrip) {
+  PacketBuilder b;
+  b.payload_type(96).seq(1234).timestamp(567890).ssrc(0xCAFEBABE);
+  b.payload_fill(0xEE, 10);
+  auto parsed = parse(BytesView{b.build()});
+  ASSERT_TRUE(parsed);
+  const Packet& p = parsed->packet;
+  EXPECT_EQ(p.version, 2);
+  EXPECT_EQ(p.payload_type, 96);
+  EXPECT_EQ(p.sequence_number, 1234);
+  EXPECT_EQ(p.timestamp, 567890u);
+  EXPECT_EQ(p.ssrc, 0xCAFEBABEu);
+  EXPECT_EQ(p.payload.size(), 10u);
+  EXPECT_FALSE(p.extension);
+  EXPECT_FALSE(p.marker);
+}
+
+TEST(RtpCodec, MarkerAndCsrc) {
+  PacketBuilder b;
+  b.payload_type(0).marker(true).seq(1).timestamp(2).ssrc(3);
+  b.csrc(0x11111111).csrc(0x22222222);
+  auto parsed = parse(BytesView{b.build()});
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->packet.marker);
+  ASSERT_EQ(parsed->packet.csrc.size(), 2u);
+  EXPECT_EQ(parsed->packet.csrc[1], 0x22222222u);
+}
+
+TEST(RtpCodec, OneByteExtensionRoundTrip) {
+  PacketBuilder b;
+  b.payload_type(111).seq(7).timestamp(8).ssrc(9);
+  const Bytes lvl = {0x55};
+  const Bytes mid = {'a', 'u', 'd'};
+  b.one_byte_extension().element(1, BytesView{lvl}).element(
+      3, BytesView{mid});
+  b.payload_fill(1, 20);
+  auto parsed = parse(BytesView{b.build()});
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->packet.extension);
+  const auto& ext = *parsed->packet.extension;
+  EXPECT_EQ(ext.profile, kOneByteProfile);
+  ASSERT_EQ(ext.elements.size(), 2u);
+  EXPECT_EQ(ext.elements[0].id, 1);
+  EXPECT_EQ(ext.elements[0].data, lvl);
+  EXPECT_EQ(ext.elements[1].id, 3);
+  EXPECT_EQ(ext.elements[1].data, mid);
+  EXPECT_FALSE(ext.elements[0].malformed_padding);
+}
+
+TEST(RtpCodec, TwoByteExtensionRoundTrip) {
+  PacketBuilder b;
+  b.payload_type(100).seq(1).timestamp(1).ssrc(1);
+  const Bytes big = Bytes(17, 0xAB);  // needs two-byte form (>16 bytes)
+  b.two_byte_extension().element(5, BytesView{big});
+  auto parsed = parse(BytesView{b.build()});
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->packet.extension);
+  EXPECT_TRUE(is_two_byte_profile(parsed->packet.extension->profile));
+  ASSERT_EQ(parsed->packet.extension->elements.size(), 1u);
+  EXPECT_EQ(parsed->packet.extension->elements[0].data, big);
+}
+
+TEST(RtpCodec, MalformedId0ElementSurvivesRoundTrip) {
+  // The Discord pattern (§5.2.2): ID 0 with a non-zero length field.
+  PacketBuilder b;
+  b.payload_type(120).seq(1).timestamp(1).ssrc(1);
+  const Bytes payload = {9, 9, 9};
+  b.one_byte_extension().malformed_id0_element(BytesView{payload});
+  auto parsed = parse(BytesView{b.build()});
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->packet.extension);
+  ASSERT_EQ(parsed->packet.extension->elements.size(), 1u);
+  const auto& e = parsed->packet.extension->elements[0];
+  EXPECT_EQ(e.id, 0);
+  EXPECT_TRUE(e.malformed_padding);
+  EXPECT_EQ(e.data, payload);
+}
+
+TEST(RtpCodec, LegitimatePaddingBytesInExtensionIgnored) {
+  // A one-byte extension whose body contains genuine 0x00 padding: the
+  // encoded block pads to 4 bytes; the zero bytes must not become
+  // elements.
+  PacketBuilder b;
+  b.payload_type(96).seq(1).timestamp(1).ssrc(1);
+  const Bytes one = {0x42};
+  b.one_byte_extension().element(2, BytesView{one});  // 2 bytes → pads 2
+  auto parsed = parse(BytesView{b.build()});
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->packet.extension->elements.size(), 1u);
+}
+
+TEST(RtpCodec, UndefinedProfileKeptRaw) {
+  PacketBuilder b;
+  b.payload_type(100).seq(1).timestamp(1).ssrc(1);
+  const Bytes body = {1, 2, 3, 4, 5, 6, 7, 8};
+  b.raw_extension(0x8500, BytesView{body});
+  auto parsed = parse(BytesView{b.build()});
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->packet.extension);
+  EXPECT_EQ(parsed->packet.extension->profile, 0x8500);
+  EXPECT_TRUE(parsed->packet.extension->elements.empty());
+  EXPECT_EQ(parsed->packet.extension->raw, body);
+}
+
+TEST(RtpCodec, PaddingRoundTrip) {
+  Packet p;
+  p.payload_type = 8;
+  p.sequence_number = 10;
+  p.timestamp = 20;
+  p.ssrc = 30;
+  p.payload = {1, 2, 3};
+  p.padding = true;
+  p.padding_len = 5;
+  auto parsed = parse(BytesView{encode(p)});
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->packet.padding);
+  EXPECT_EQ(parsed->packet.padding_len, 5);
+  EXPECT_EQ(parsed->packet.payload, (Bytes{1, 2, 3}));
+}
+
+TEST(RtpCodec, RejectsWrongVersion) {
+  Bytes wire(12, 0);
+  wire[0] = 0x40;  // version 1
+  EXPECT_FALSE(parse(BytesView{wire}));
+  wire[0] = 0x00;  // version 0
+  EXPECT_FALSE(parse(BytesView{wire}));
+}
+
+TEST(RtpCodec, RejectsTruncatedHeader) {
+  Bytes wire(11, 0);
+  wire[0] = 0x80;
+  EXPECT_FALSE(parse(BytesView{wire}));
+}
+
+TEST(RtpCodec, RejectsCsrcOverrun) {
+  Bytes wire(12, 0);
+  wire[0] = 0x8F;  // version 2, cc = 15 → needs 72 bytes
+  EXPECT_FALSE(parse(BytesView{wire}));
+}
+
+TEST(RtpCodec, RejectsExtensionOverrun) {
+  Bytes wire(16, 0);
+  wire[0] = 0x90;  // ext bit
+  wire[14] = 0x00;
+  wire[15] = 0xFF;  // 255 words of extension → overrun
+  EXPECT_FALSE(parse(BytesView{wire}));
+}
+
+TEST(RtpCodec, RejectsBadPadding) {
+  Bytes wire(13, 0);
+  wire[0] = 0xA0;      // version 2 + padding bit
+  wire[12] = 0x00;     // padding count zero → invalid
+  EXPECT_FALSE(parse(BytesView{wire}));
+  wire[12] = 200;      // padding count exceeds packet → invalid
+  EXPECT_FALSE(parse(BytesView{wire}));
+}
+
+/// Property sweep: random packets round-trip bit-exactly.
+class RtpFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RtpFuzz, EncodeParseRoundTrip) {
+  Rng rng(GetParam());
+  PacketBuilder b;
+  b.payload_type(static_cast<std::uint8_t>(rng.below(128)));
+  b.marker(rng.chance(0.5));
+  b.seq(rng.next_u16());
+  b.timestamp(rng.next_u32());
+  b.ssrc(rng.next_u32());
+  const std::size_t n_csrc = rng.below(4);
+  for (std::size_t i = 0; i < n_csrc; ++i) b.csrc(rng.next_u32());
+  if (rng.chance(0.5)) {
+    b.one_byte_extension();
+    const std::size_t n = 1 + rng.below(3);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto data = rng.bytes(1 + rng.below(16));
+      b.element(static_cast<std::uint8_t>(1 + rng.below(14)),
+                BytesView{data});
+    }
+  }
+  auto payload = rng.bytes(rng.below(500));
+  b.payload(BytesView{payload});
+
+  const Bytes wire = b.build();
+  auto parsed = parse(BytesView{wire});
+  ASSERT_TRUE(parsed);
+  // Re-encoding the parsed packet reproduces the wire bytes.
+  EXPECT_EQ(encode(parsed->packet), wire);
+  EXPECT_EQ(parsed->packet.payload, payload);
+  EXPECT_EQ(parsed->packet.csrc.size(), n_csrc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtpFuzz,
+                         testing::Range<std::uint64_t>(100, 130));
+
+}  // namespace
+}  // namespace rtcc::proto::rtp

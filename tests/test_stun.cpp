@@ -1,0 +1,351 @@
+// STUN/TURN codec: header coding, TLV walk, XOR addresses, integrity,
+// fingerprint, ChannelData, and property-style sweeps over the
+// method/class space.
+#include <gtest/gtest.h>
+
+#include "crypto/crc32.hpp"
+#include "proto/stun/stun.hpp"
+#include "proto/stun/stun_registry.hpp"
+#include "util/rng.hpp"
+
+namespace rtcc::proto::stun {
+namespace {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::Rng;
+
+TEST(StunTypeCoding, KnownCombinations) {
+  EXPECT_EQ(make_type(kMethodBinding, Class::kRequest), 0x0001);
+  EXPECT_EQ(make_type(kMethodBinding, Class::kIndication), 0x0011);
+  EXPECT_EQ(make_type(kMethodBinding, Class::kSuccessResponse), 0x0101);
+  EXPECT_EQ(make_type(kMethodBinding, Class::kErrorResponse), 0x0111);
+  EXPECT_EQ(make_type(kMethodAllocate, Class::kRequest), 0x0003);
+  EXPECT_EQ(make_type(kMethodAllocate, Class::kSuccessResponse), 0x0103);
+  EXPECT_EQ(make_type(kMethodAllocate, Class::kErrorResponse), 0x0113);
+  EXPECT_EQ(make_type(kMethodSend, Class::kIndication), 0x0016);
+  EXPECT_EQ(make_type(kMethodData, Class::kIndication), 0x0017);
+  EXPECT_EQ(make_type(kMethodChannelBind, Class::kRequest), 0x0009);
+}
+
+/// Property: make_type / method_of / class_of are mutually inverse over
+/// the full 12-bit method space and all four classes.
+class StunTypeRoundTrip : public testing::TestWithParam<std::uint16_t> {};
+
+TEST_P(StunTypeRoundTrip, MethodAndClassSurviveEncoding) {
+  const std::uint16_t method = GetParam();
+  for (Class cls : {Class::kRequest, Class::kIndication,
+                    Class::kSuccessResponse, Class::kErrorResponse}) {
+    const std::uint16_t type = make_type(method, cls);
+    EXPECT_EQ(type & 0xC000, 0) << "top bits must stay clear";
+    EXPECT_EQ(method_of(type), method);
+    EXPECT_EQ(class_of(type), cls);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MethodSweep, StunTypeRoundTrip,
+                         testing::Values(0x001, 0x002, 0x003, 0x004, 0x006,
+                                         0x007, 0x008, 0x009, 0x080, 0x0FF,
+                                         0x100, 0x555, 0x7B3, 0xFFF));
+
+TEST(StunParse, MinimalBindingRequest) {
+  Rng rng(1);
+  const Bytes wire = MessageBuilder(kBindingRequest)
+                         .random_transaction_id(rng)
+                         .build();
+  ASSERT_EQ(wire.size(), kHeaderSize);
+  auto parsed = parse(BytesView{wire});
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->message.type, kBindingRequest);
+  EXPECT_EQ(parsed->message.length, 0);
+  EXPECT_TRUE(parsed->message.has_magic_cookie());
+  EXPECT_EQ(parsed->consumed, kHeaderSize);
+}
+
+TEST(StunParse, AttributesRoundTrip) {
+  Rng rng(2);
+  const Bytes wire = MessageBuilder(kBindingRequest)
+                         .random_transaction_id(rng)
+                         .attribute_str(attr::kUsername, "alice:bob")
+                         .attribute_u32(attr::kPriority, 0x7E0000FF)
+                         .attribute(0x4003, BytesView{})
+                         .build();
+  auto parsed = parse(BytesView{wire});
+  ASSERT_TRUE(parsed);
+  const Message& m = parsed->message;
+  ASSERT_EQ(m.attributes.size(), 3u);
+  const auto* username = m.find(attr::kUsername);
+  ASSERT_NE(username, nullptr);
+  EXPECT_EQ(std::string(username->value.begin(), username->value.end()),
+            "alice:bob");
+  EXPECT_EQ(m.find(attr::kPriority)->value.size(), 4u);
+  EXPECT_EQ(m.find(0x4003)->value.size(), 0u);
+  EXPECT_EQ(m.count(attr::kUsername), 1u);
+  EXPECT_EQ(m.find(0x9999), nullptr);
+}
+
+TEST(StunParse, PaddingIsSkippedButLengthPreserved) {
+  Rng rng(3);
+  // 5-byte value → 3 bytes of padding on the wire.
+  const Bytes value = {1, 2, 3, 4, 5};
+  const Bytes wire = MessageBuilder(kBindingRequest)
+                         .random_transaction_id(rng)
+                         .attribute(0x8001, BytesView{value})
+                         .build();
+  EXPECT_EQ(wire.size(), kHeaderSize + 4 + 8);  // TLV + padded value
+  auto parsed = parse(BytesView{wire});
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->message.find(0x8001)->value, value);
+}
+
+TEST(StunParse, RejectsTopBitsSet) {
+  Bytes wire(kHeaderSize, 0);
+  wire[0] = 0xC0;
+  EXPECT_FALSE(parse(BytesView{wire}));
+}
+
+TEST(StunParse, RejectsDeclaredLengthOverrun) {
+  Rng rng(4);
+  Bytes wire = MessageBuilder(kBindingRequest)
+                   .random_transaction_id(rng)
+                   .build();
+  wire[2] = 0x01;  // claim 256+ bytes of attributes that are not there
+  EXPECT_FALSE(parse(BytesView{wire}));
+}
+
+TEST(StunParse, RejectsAttributeOverrunningMessage) {
+  Rng rng(5);
+  Bytes wire = MessageBuilder(kBindingRequest)
+                   .random_transaction_id(rng)
+                   .attribute_u32(attr::kPriority, 1)
+                   .build();
+  // Corrupt the attribute's length to overrun the declared msg length.
+  rtcc::util::store_be16(wire.data() + kHeaderSize + 2, 200);
+  EXPECT_FALSE(parse(BytesView{wire}));
+}
+
+TEST(StunParse, OddLengthPolicy) {
+  Rng rng(6);
+  Bytes wire = MessageBuilder(kBindingRequest)
+                   .random_transaction_id(rng)
+                   .build();
+  wire[3] = 2;  // length 2: not a multiple of 4
+  wire.push_back(0);
+  wire.push_back(0);
+  ParseOptions strict;
+  EXPECT_FALSE(parse(BytesView{wire}, strict));
+  ParseOptions lax;
+  lax.require_length_multiple_of_4 = false;
+  // Still fails the TLV walk (2 dangling bytes), which is correct.
+  EXPECT_FALSE(parse(BytesView{wire}, lax));
+}
+
+TEST(StunParse, MagicCookieRequirement) {
+  Rng rng(7);
+  Bytes wire = MessageBuilder(kBindingRequest)
+                   .classic_rfc3489(rng)
+                   .random_transaction_id(rng)
+                   .build();
+  ParseOptions require;
+  require.require_magic_cookie = true;
+  EXPECT_FALSE(parse(BytesView{wire}, require));
+  auto lax = parse(BytesView{wire});
+  ASSERT_TRUE(lax);
+  EXPECT_FALSE(lax->message.has_magic_cookie());
+}
+
+TEST(StunParse, TrailingBytesLeftUnconsumed) {
+  Rng rng(8);
+  Bytes wire = MessageBuilder(kBindingRequest)
+                   .random_transaction_id(rng)
+                   .build();
+  const std::size_t msg_size = wire.size();
+  wire.push_back(0xAA);
+  wire.push_back(0xBB);
+  auto parsed = parse(BytesView{wire});
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->consumed, msg_size);
+}
+
+TEST(StunXorAddress, V4RoundTrip) {
+  Rng rng(9);
+  const auto ip = *rtcc::net::IpAddr::parse("203.0.113.7");
+  MessageBuilder b(kBindingSuccess);
+  b.random_transaction_id(rng);
+  b.xor_address(attr::kXorMappedAddress, ip, 54321);
+  const Message m = b.build_message();
+  const auto* a = m.find(attr::kXorMappedAddress);
+  ASSERT_NE(a, nullptr);
+  auto decoded = decode_xor_address(BytesView{a->value}, m.transaction_id);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->ip, ip);
+  EXPECT_EQ(decoded->port, 54321);
+  EXPECT_EQ(decoded->family, 0x01);
+}
+
+TEST(StunXorAddress, V6RoundTripUsesTransactionId) {
+  Rng rng(10);
+  const auto ip = *rtcc::net::IpAddr::parse("2001:db8::42");
+  MessageBuilder b(kBindingSuccess);
+  b.random_transaction_id(rng);
+  b.xor_address(attr::kXorMappedAddress, ip, 443);
+  const Message m = b.build_message();
+  auto decoded = decode_xor_address(
+      BytesView{m.find(attr::kXorMappedAddress)->value}, m.transaction_id);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->ip, ip);
+  EXPECT_EQ(decoded->port, 443);
+  // Wrong txid decodes to a different address (the XOR mask differs).
+  TransactionId other{};
+  auto wrong = decode_xor_address(
+      BytesView{m.find(attr::kXorMappedAddress)->value}, other);
+  ASSERT_TRUE(wrong);
+  EXPECT_NE(wrong->ip, ip);
+}
+
+TEST(StunIntegrity, FingerprintMatchesSpecFormula) {
+  Rng rng(11);
+  const Bytes wire = MessageBuilder(kBindingRequest)
+                         .random_transaction_id(rng)
+                         .attribute_str(attr::kUsername, "u")
+                         .fingerprint()
+                         .build();
+  auto parsed = parse(BytesView{wire});
+  ASSERT_TRUE(parsed);
+  const auto* fp = parsed->message.find(attr::kFingerprint);
+  ASSERT_NE(fp, nullptr);
+  ASSERT_EQ(fp->value.size(), 4u);
+  // Recompute: CRC32 over everything before the FINGERPRINT attribute.
+  const std::size_t fp_offset = wire.size() - 8;
+  const std::uint32_t expected = rtcc::crypto::stun_fingerprint(
+      BytesView{wire}.subspan(0, fp_offset));
+  EXPECT_EQ(rtcc::util::load_be32(fp->value.data()), expected);
+}
+
+TEST(StunIntegrity, MessageIntegrityIs20Bytes) {
+  Rng rng(12);
+  const Bytes key = rng.bytes(16);
+  const Bytes wire = MessageBuilder(kAllocateRequest)
+                         .random_transaction_id(rng)
+                         .attribute_str(attr::kUsername, "user")
+                         .message_integrity(BytesView{key})
+                         .build();
+  auto parsed = parse(BytesView{wire});
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->message.find(attr::kMessageIntegrity)->value.size(),
+            20u);
+}
+
+TEST(ChannelData, RoundTrip) {
+  ChannelData cd;
+  cd.channel_number = 0x4001;
+  cd.data = {1, 2, 3, 4, 5, 6, 7, 8};
+  const Bytes wire = encode_channel_data(cd);
+  auto parsed = parse_channel_data(BytesView{wire});
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->channel_number, 0x4001);
+  EXPECT_EQ(parsed->data, cd.data);
+  EXPECT_EQ(parsed->wire_size(), wire.size());
+}
+
+TEST(ChannelData, RejectsOutOfRangeChannel) {
+  for (std::uint16_t ch : {0x0000, 0x3FFF, 0x5000, 0xFFFF}) {
+    Bytes wire = {static_cast<std::uint8_t>(ch >> 8),
+                  static_cast<std::uint8_t>(ch), 0, 0};
+    EXPECT_FALSE(parse_channel_data(BytesView{wire})) << ch;
+  }
+}
+
+TEST(ChannelData, RejectsTruncatedData) {
+  Bytes wire = {0x40, 0x00, 0x00, 0x10};  // claims 16 bytes, has none
+  EXPECT_FALSE(parse_channel_data(BytesView{wire}));
+}
+
+/// Property: arbitrary attribute soup round-trips exactly.
+class StunAttributeFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StunAttributeFuzz, BuilderParserRoundTrip) {
+  Rng rng(GetParam());
+  MessageBuilder b(make_type(
+      static_cast<std::uint16_t>(rng.below(0xFFF)),
+      static_cast<Class>(rng.below(4))));
+  b.random_transaction_id(rng);
+  const std::size_t n_attrs = rng.below(8);
+  std::vector<std::pair<std::uint16_t, Bytes>> expected;
+  for (std::size_t i = 0; i < n_attrs; ++i) {
+    const auto type = static_cast<std::uint16_t>(rng.below(0xFFFF));
+    Bytes value = rng.bytes(rng.below(40));
+    b.attribute(type, BytesView{value});
+    expected.emplace_back(type, std::move(value));
+  }
+  auto parsed = parse(BytesView{b.build()});
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->message.attributes.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(parsed->message.attributes[i].type, expected[i].first);
+    EXPECT_EQ(parsed->message.attributes[i].value, expected[i].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StunAttributeFuzz,
+                         testing::Range<std::uint64_t>(1, 21));
+
+TEST(StunRegistry, KnownMessageTypes) {
+  EXPECT_EQ(lookup_message_type(0x0001).source, SpecSource::kRfc8489);
+  EXPECT_EQ(lookup_message_type(0x0002).source, SpecSource::kRfc3489);
+  EXPECT_EQ(lookup_message_type(0x0003).source, SpecSource::kRfc8656);
+  EXPECT_EQ(lookup_message_type(0x0017).source, SpecSource::kRfc8656);
+  EXPECT_EQ(lookup_message_type(0x0200).source, SpecSource::kExtension);
+  EXPECT_EQ(lookup_message_type(0x0300).source, SpecSource::kExtension);
+}
+
+TEST(StunRegistry, UndefinedMessageTypes) {
+  for (std::uint16_t t : {0x0800, 0x0801, 0x0802, 0x0805, 0x0BBB}) {
+    EXPECT_EQ(lookup_message_type(t).source, SpecSource::kUndefined) << t;
+  }
+  // Shared Secret has no indication class.
+  EXPECT_EQ(lookup_message_type(make_type(kMethodSharedSecret,
+                                          Class::kIndication))
+                .source,
+            SpecSource::kUndefined);
+  // Send/Data exist only as indications.
+  EXPECT_EQ(lookup_message_type(make_type(kMethodSend, Class::kRequest))
+                .source,
+            SpecSource::kUndefined);
+}
+
+TEST(StunRegistry, AttributeConstraints) {
+  EXPECT_EQ(lookup_attribute(attr::kMessageIntegrity).fixed_length, 20);
+  EXPECT_EQ(lookup_attribute(attr::kFingerprint).fixed_length, 4);
+  EXPECT_EQ(lookup_attribute(attr::kChannelNumber).fixed_length, 4);
+  EXPECT_TRUE(lookup_attribute(attr::kXorMappedAddress).is_xor_address);
+  EXPECT_TRUE(lookup_attribute(attr::kAlternateServer).is_address);
+  EXPECT_EQ(lookup_attribute(0x4003).source, SpecSource::kUndefined);
+  EXPECT_EQ(lookup_attribute(0x8007).source, SpecSource::kUndefined);
+  EXPECT_TRUE(lookup_attribute(0x8007).comprehension_optional());
+}
+
+TEST(StunRegistry, UsageRulesAndClosedSets) {
+  const auto* priority = lookup_usage_rule(attr::kPriority);
+  ASSERT_NE(priority, nullptr);
+  EXPECT_EQ(priority->allowed_in, std::vector<std::uint16_t>{kBindingRequest});
+  EXPECT_EQ(lookup_usage_rule(attr::kUsername), nullptr);
+
+  auto data_ind = closed_attribute_set(kDataIndication);
+  ASSERT_TRUE(data_ind);
+  EXPECT_NE(std::find(data_ind->begin(), data_ind->end(),
+                      attr::kXorPeerAddress),
+            data_ind->end());
+  EXPECT_EQ(std::find(data_ind->begin(), data_ind->end(),
+                      attr::kChannelNumber),
+            data_ind->end());
+  EXPECT_FALSE(closed_attribute_set(kBindingRequest));
+}
+
+TEST(StunRegistry, Describe) {
+  EXPECT_EQ(describe_message_type(0x0001), "0x0001 Binding Request");
+  EXPECT_EQ(describe_message_type(0x0800), "0x0800 (undefined)");
+}
+
+}  // namespace
+}  // namespace rtcc::proto::stun

@@ -1,0 +1,135 @@
+// hex / rng / strings helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace rtcc::util {
+namespace {
+
+TEST(Hex, EncodeDecode) {
+  const Bytes data = {0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(to_hex(BytesView{data}), "deadbeef");
+  EXPECT_EQ(from_hex("deadbeef"), data);
+  EXPECT_EQ(from_hex("0xDEADBEEF"), data);
+  EXPECT_EQ(from_hex("de ad be ef"), data);
+  EXPECT_EQ(from_hex("de:ad:be:ef"), data);
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_FALSE(from_hex("abc").has_value());    // odd nibbles
+  EXPECT_FALSE(from_hex("zz").has_value());     // bad digit
+  EXPECT_FALSE(from_hex("a bc").has_value());   // separator mid-byte
+  EXPECT_TRUE(from_hex("").has_value());        // empty is empty
+}
+
+TEST(Hex, FixedWidthFormatting) {
+  EXPECT_EQ(hex_u16(0x0001), "0x0001");
+  EXPECT_EQ(hex_u16(0xBEDE), "0xBEDE");
+  EXPECT_EQ(hex_u32(0x2112A442), "0x2112A442");
+}
+
+TEST(Hex, HexdumpShape) {
+  Bytes data(20, 0x41);  // 'A'
+  const std::string dump = hexdump(BytesView{data});
+  EXPECT_NE(dump.find("41 41"), std::string::npos);
+  EXPECT_NE(dump.find("|AAAAAAAAAAAAAAAA|"), std::string::npos);
+  EXPECT_EQ(hexdump(BytesView{data}, 4).find("truncated") !=
+                std::string::npos,
+            true);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+  EXPECT_EQ(rng.below(1), 0u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(21);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(1);  // same salt, later state → different
+  EXPECT_NE(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Strings, SplitJoin) {
+  EXPECT_EQ(split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), std::vector<std::string>{""});
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(join({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("abcdef", 4), "abcdef");  // never truncates
+}
+
+TEST(Strings, Numbers) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(format_pct(0.9731, 1), "97.3%");
+  EXPECT_EQ(format_pct(1.0, 0), "100%");
+  EXPECT_EQ(human_count(999), "999");
+  EXPECT_EQ(human_count(72400), "72.4k");
+  EXPECT_EQ(human_count(3200000), "3.2m");
+  EXPECT_EQ(human_megabytes(2975900000ull), "2975.9 MB");
+}
+
+TEST(Strings, EndsWith) {
+  EXPECT_TRUE(ends_with("web.facebook.com", ".com"));
+  EXPECT_FALSE(ends_with("com", "facebook.com"));
+}
+
+}  // namespace
+}  // namespace rtcc::util

@@ -1,0 +1,131 @@
+// Vendor-header decoders (§5.3) against the emulator's actual wire
+// output — every Zoom media datagram must decode, with the documented
+// direction-byte and media-type semantics.
+#include <gtest/gtest.h>
+
+#include "proto/vendor/vendor_headers.hpp"
+#include "report/findings.hpp"
+
+namespace rtcc::proto::vendor {
+namespace {
+
+using rtcc::util::BytesView;
+
+TEST(ZoomHeader, DecodesEmulatedZoomTraffic) {
+  emul::CallConfig cfg;
+  cfg.app = emul::AppId::kZoom;
+  cfg.network = emul::NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.02;
+  cfg.seed = 5150;
+  const auto call = emul::emulate_call(cfg);
+  const auto table = net::group_streams(call.trace);
+  const auto fr = filter::run_pipeline(call.trace, table,
+                                       emul::filter_config_for(call));
+  const auto streams = report::analyze_rtc_streams(call.trace, table, fr);
+
+  std::size_t decoded = 0, wrapped = 0, header_datagrams = 0;
+  std::map<std::uint32_t, std::set<int>> media_ids_per_stream;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    const auto& sa = streams[s];
+    for (std::size_t i = 0; i < sa.analyses.size(); ++i) {
+      if (sa.analyses[i].klass != dpi::DatagramClass::kProprietaryHeader)
+        continue;
+      ++header_datagrams;
+      auto h = parse_zoom_header(sa.datagrams[i].payload);
+      if (!h) continue;
+      ++decoded;
+      if (h->wrapped()) ++wrapped;
+      // Direction byte ↔ actual direction must agree.
+      EXPECT_EQ(h->to_server(), sa.datagrams[i].dir == 0);
+      // The header size matches where the DPI found the message.
+      EXPECT_EQ(h->header_size, sa.analyses[i].proprietary_header_len);
+      media_ids_per_stream[h->media_id].insert(static_cast<int>(s));
+      // Audio/video/RTCP types map onto the embedded message kind.
+      const auto kind = sa.analyses[i].messages.front().kind;
+      if (h->effective_type() >= 33) {
+        EXPECT_EQ(kind, dpi::MessageKind::kRtcp);
+      } else {
+        EXPECT_EQ(kind, dpi::MessageKind::kRtp);
+      }
+    }
+  }
+  ASSERT_GT(header_datagrams, 100u);
+  // Every proprietary-header datagram decodes as a Zoom header.
+  EXPECT_EQ(decoded, header_datagrams);
+  EXPECT_GT(wrapped, 0u);  // relay setting → type-7 wrappers present
+  // §5.3: the media-ID field is constant per transport stream.
+  for (const auto& [media_id, stream_set] : media_ids_per_stream)
+    EXPECT_EQ(stream_set.size(), 1u) << media_id;
+}
+
+TEST(ZoomHeader, RejectsNonZoomBytes) {
+  rtcc::util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    auto junk = rng.bytes(40);
+    junk[0] = 0x42;  // invalid direction byte
+    EXPECT_FALSE(parse_zoom_header(BytesView{junk}));
+  }
+  // Valid direction but wrong embedded length.
+  rtcc::util::ByteWriter w;
+  w.u8(0x00).u32(1).fill(0, 7).u32(2);
+  w.u8(15).u8(0).u16(999).u32(0);
+  EXPECT_FALSE(parse_zoom_header(w.view()));
+}
+
+TEST(FaceTimeHeader, DecodesEmulatedRelayTraffic) {
+  emul::CallConfig cfg;
+  cfg.app = emul::AppId::kFaceTime;
+  cfg.network = emul::NetworkSetup::kWifiRelay;
+  cfg.media_scale = 0.02;
+  cfg.seed = 6;
+  const auto call = emul::emulate_call(cfg);
+  const auto table = net::group_streams(call.trace);
+  const auto fr = filter::run_pipeline(call.trace, table,
+                                       emul::filter_config_for(call));
+  const auto streams = report::analyze_rtc_streams(call.trace, table, fr);
+
+  std::size_t decoded = 0, total = 0;
+  for (const auto& sa : streams) {
+    for (std::size_t i = 0; i < sa.analyses.size(); ++i) {
+      const auto& anal = sa.analyses[i];
+      if (anal.klass != dpi::DatagramClass::kProprietaryHeader) continue;
+      ++total;
+      auto h = parse_facetime_header(sa.datagrams[i].payload,
+                                     anal.proprietary_header_len);
+      if (!h) continue;
+      ++decoded;
+      // §5.3: header length 8-19 bytes; declared length covers
+      // extras + message.
+      EXPECT_GE(h->header_size, 8u);
+      EXPECT_LE(h->header_size, 19u);
+      EXPECT_EQ(h->message_size, anal.messages.front().length);
+    }
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_EQ(decoded, total);
+}
+
+TEST(FaceTimeHeader, RejectsWrongMagicOrLength) {
+  rtcc::util::ByteWriter w;
+  w.u16(0x6001).u16(10).fill(0xAA, 10);
+  EXPECT_FALSE(parse_facetime_header(w.view()));
+  rtcc::util::ByteWriter w2;
+  w2.u16(0x6000).u16(99).fill(0xAA, 10);  // declared ≠ actual
+  EXPECT_FALSE(parse_facetime_header(w2.view()));
+}
+
+TEST(ZoomHeader, DescribeIsHumanReadable) {
+  ZoomHeader h;
+  h.direction = 0x00;
+  h.media_id = 0xABCD0001;
+  h.media_type = 16;
+  h.inner_type = 16;
+  h.embedded_length = 1000;
+  const auto text = describe(h);
+  EXPECT_NE(text.find("client->server"), std::string::npos);
+  EXPECT_NE(text.find("0xABCD0001"), std::string::npos);
+  EXPECT_NE(text.find("type 16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtcc::proto::vendor

@@ -1,0 +1,229 @@
+// Later additions: RTCP XR block codec + rules, RFC 7983 demux
+// classification, and cryptographic FINGERPRINT verification.
+#include <gtest/gtest.h>
+
+#include "compliance/checker.hpp"
+#include "proto/demux.hpp"
+#include "proto/rtcp/rtcp.hpp"
+#include "util/rng.hpp"
+
+namespace rtcc {
+namespace {
+
+namespace rtcp = rtcc::proto::rtcp;
+namespace stun = rtcc::proto::stun;
+using util::Bytes;
+using util::BytesView;
+using util::Rng;
+
+// ---- XR codec ------------------------------------------------------------
+
+TEST(RtcpXr, RoundTrip) {
+  Rng rng(1);
+  rtcp::Xr xr;
+  xr.ssrc = 0x1234;
+  rtcp::XrBlock rrt;  // receiver reference time
+  rrt.block_type = 4;
+  rrt.body = rng.bytes(8);
+  xr.blocks.push_back(rrt);
+  rtcp::XrBlock dlrr;
+  dlrr.block_type = 5;
+  dlrr.body = rng.bytes(12);
+  xr.blocks.push_back(dlrr);
+
+  const rtcp::Packet p = rtcp::make_xr(xr);
+  EXPECT_EQ(p.packet_type, rtcp::kExtendedReport);
+  auto decoded = rtcp::decode_xr(p);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->ssrc, 0x1234u);
+  ASSERT_EQ(decoded->blocks.size(), 2u);
+  EXPECT_EQ(decoded->blocks[0].block_type, 4);
+  EXPECT_EQ(decoded->blocks[0].body, rrt.body);
+  EXPECT_EQ(decoded->blocks[1].block_type, 5);
+}
+
+TEST(RtcpXr, BlockTypeRegistry) {
+  for (std::uint8_t t = 1; t <= 7; ++t)
+    EXPECT_TRUE(rtcp::xr_block_type_defined(t)) << int(t);
+  EXPECT_FALSE(rtcp::xr_block_type_defined(0));
+  EXPECT_FALSE(rtcp::xr_block_type_defined(8));
+  EXPECT_FALSE(rtcp::xr_block_type_defined(200));
+}
+
+TEST(RtcpXr, DecodeRejectsOverrunningBlock) {
+  rtcp::Packet p;
+  p.packet_type = rtcp::kExtendedReport;
+  util::ByteWriter w;
+  w.u32(7);          // ssrc
+  w.u8(4).u8(0);     // block type 4
+  w.u16(10);         // claims 40 bytes of body that are not there
+  p.body = std::move(w).take();
+  p.length_words = static_cast<std::uint16_t>(p.body.size() / 4);
+  EXPECT_FALSE(rtcp::decode_xr(p));
+}
+
+TEST(RtcpXr, ComplianceFlagsUndefinedBlockType) {
+  Rng rng(2);
+  rtcp::Xr xr;
+  xr.ssrc = 1;
+  rtcp::XrBlock bogus;
+  bogus.block_type = 42;
+  bogus.body = rng.bytes(4);
+  xr.blocks.push_back(bogus);
+  rtcp::Compound c;
+  c.packets.push_back(rtcp::make_xr(xr));
+
+  dpi::ExtractedMessage m;
+  m.kind = dpi::MessageKind::kRtcp;
+  m.rtcp = std::move(c);
+  compliance::StreamComplianceChecker checker;
+  checker.observe(m, 0, 1.0);
+  checker.finalize();
+  auto out = checker.check(m, 0, 1.0);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_FALSE(out[0].verdict.compliant);
+  EXPECT_EQ(out[0].verdict.first()->criterion,
+            compliance::Criterion::kAttributeTypeValidity);
+}
+
+TEST(RtcpXr, ComplianceAcceptsDefinedBlocks) {
+  Rng rng(3);
+  rtcp::Xr xr;
+  xr.ssrc = 1;
+  rtcp::XrBlock rrt;
+  rrt.block_type = 4;
+  rrt.body = rng.bytes(8);
+  xr.blocks.push_back(rrt);
+  rtcp::Compound c;
+  c.packets.push_back(rtcp::make_xr(xr));
+
+  dpi::ExtractedMessage m;
+  m.kind = dpi::MessageKind::kRtcp;
+  m.rtcp = std::move(c);
+  compliance::StreamComplianceChecker checker;
+  checker.observe(m, 0, 1.0);
+  checker.finalize();
+  EXPECT_TRUE(checker.check(m, 0, 1.0)[0].verdict.compliant);
+}
+
+// ---- RFC 7983 demux --------------------------------------------------------
+
+TEST(Demux, CanonicalRanges) {
+  using proto::DemuxClass;
+  EXPECT_EQ(proto::classify_first_byte(0x00), DemuxClass::kStun);
+  EXPECT_EQ(proto::classify_first_byte(0x01), DemuxClass::kStun);
+  EXPECT_EQ(proto::classify_first_byte(0x03), DemuxClass::kStun);
+  EXPECT_EQ(proto::classify_first_byte(0x10), DemuxClass::kZrtp);
+  EXPECT_EQ(proto::classify_first_byte(0x16), DemuxClass::kDtls);  // handshake
+  EXPECT_EQ(proto::classify_first_byte(0x3F), DemuxClass::kDtls);
+  EXPECT_EQ(proto::classify_first_byte(0x40), DemuxClass::kTurnChannel);
+  EXPECT_EQ(proto::classify_first_byte(0x4F), DemuxClass::kTurnChannel);
+  EXPECT_EQ(proto::classify_first_byte(0x80), DemuxClass::kRtpRtcp);
+  EXPECT_EQ(proto::classify_first_byte(0xBF), DemuxClass::kRtpRtcp);
+  EXPECT_EQ(proto::classify_first_byte(0xC1), DemuxClass::kQuic);
+  EXPECT_EQ(proto::classify_first_byte(0x04), DemuxClass::kUnknown);
+  EXPECT_EQ(proto::classify_first_byte(0x50), DemuxClass::kUnknown);
+}
+
+TEST(Demux, AgreesWithOurEncoders) {
+  Rng rng(4);
+  // STUN messages start 0x00/0x01.
+  auto stun_wire = stun::MessageBuilder(stun::kBindingRequest)
+                       .random_transaction_id(rng)
+                       .build();
+  EXPECT_EQ(proto::classify_first_byte(stun_wire[0]),
+            proto::DemuxClass::kStun);
+  // RTP starts 0x80-0xBF.
+  proto::rtp::PacketBuilder b;
+  b.payload_type(96).seq(1).timestamp(1).ssrc(1);
+  EXPECT_EQ(proto::classify_first_byte(b.build()[0]),
+            proto::DemuxClass::kRtpRtcp);
+  // ChannelData starts 0x40-0x4F (channels 0x4000-0x4FFF).
+  stun::ChannelData cd;
+  cd.channel_number = 0x4ABC;
+  EXPECT_EQ(proto::classify_first_byte(stun::encode_channel_data(cd)[0]),
+            proto::DemuxClass::kTurnChannel);
+  // QUIC long headers start 0xC0+.
+  proto::quic::ConnectionId cid{rng.bytes(4)};
+  auto quic_wire = proto::quic::encode_long(
+      proto::quic::LongType::kInitial, proto::quic::kVersion1, cid, cid,
+      BytesView{});
+  EXPECT_EQ(proto::classify_first_byte(quic_wire[0]),
+            proto::DemuxClass::kQuic);
+}
+
+// ---- FINGERPRINT verification ----------------------------------------------
+
+compliance::CheckedMessage judge_stun_wire(const Bytes& wire) {
+  auto parsed = stun::parse(BytesView{wire});
+  EXPECT_TRUE(parsed);
+  dpi::ExtractedMessage m;
+  m.kind = dpi::MessageKind::kStun;
+  m.stun = parsed->message;
+  m.raw = wire;
+  m.length = parsed->consumed;
+  compliance::StreamComplianceChecker checker;
+  checker.observe(m, 0, 1.0);
+  checker.finalize();
+  auto out = checker.check(m, 0, 1.0);
+  EXPECT_EQ(out.size(), 1u);
+  return out.front();
+}
+
+TEST(Fingerprint, ValidCrcPasses) {
+  Rng rng(5);
+  const Bytes wire = stun::MessageBuilder(stun::kBindingRequest)
+                         .random_transaction_id(rng)
+                         .attribute_str(stun::attr::kUsername, "a:b")
+                         .fingerprint()
+                         .build();
+  EXPECT_TRUE(judge_stun_wire(wire).verdict.compliant);
+}
+
+TEST(Fingerprint, CorruptedCrcFailsCriterion4) {
+  Rng rng(6);
+  Bytes wire = stun::MessageBuilder(stun::kBindingRequest)
+                   .random_transaction_id(rng)
+                   .fingerprint()
+                   .build();
+  wire.back() ^= 0xFF;  // flip a CRC byte
+  auto v = judge_stun_wire(wire);
+  ASSERT_FALSE(v.verdict.compliant);
+  EXPECT_EQ(v.verdict.first()->criterion,
+            compliance::Criterion::kAttributeValueValidity);
+  EXPECT_NE(v.verdict.first()->detail.find("FINGERPRINT"),
+            std::string::npos);
+}
+
+TEST(Fingerprint, MustBeLastAttribute) {
+  Rng rng(7);
+  const Bytes wire = stun::MessageBuilder(stun::kBindingRequest)
+                         .random_transaction_id(rng)
+                         .fingerprint()
+                         .attribute_str(stun::attr::kUsername, "late")
+                         .build();
+  auto v = judge_stun_wire(wire);
+  ASSERT_FALSE(v.verdict.compliant);
+  EXPECT_NE(v.verdict.first()->detail.find("last attribute"),
+            std::string::npos);
+}
+
+TEST(Fingerprint, SkippedWhenRawBytesUnavailable) {
+  // Messages constructed without wire bytes (unit-test style) are not
+  // penalized: the check needs the exact bytes to recompute the CRC.
+  Rng rng(8);
+  auto msg = stun::MessageBuilder(stun::kBindingRequest)
+                 .random_transaction_id(rng)
+                 .attribute_u32(stun::attr::kFingerprint, 0xBADBAD00)
+                 .build_message();
+  dpi::ExtractedMessage m;
+  m.kind = dpi::MessageKind::kStun;
+  m.stun = std::move(msg);
+  compliance::StreamComplianceChecker checker;
+  checker.observe(m, 0, 1.0);
+  checker.finalize();
+  EXPECT_TRUE(checker.check(m, 0, 1.0)[0].verdict.compliant);
+}
+
+}  // namespace
+}  // namespace rtcc
