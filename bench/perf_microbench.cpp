@@ -106,44 +106,76 @@ void BM_SniExtract(benchmark::State& state) {
 }
 BENCHMARK(BM_SniExtract);
 
-/// The §4.1.1 tradeoff: scanning cost grows with the offset limit k.
-void BM_ScanningDpi(benchmark::State& state) {
-  emul::CallConfig cfg;
-  cfg.app = emul::AppId::kZoom;
-  cfg.network = emul::NetworkSetup::kWifiRelay;
-  cfg.media_scale = 0.02;
-  cfg.background = false;
-  const auto call = emul::emulate_call(cfg);
-  const auto table = net::group_streams(call.trace);
-
-  // Largest stream's datagrams as the workload.
-  const net::Stream* biggest = nullptr;
-  for (const auto& s : table.streams)
-    if (s.key.transport == net::Transport::kUdp &&
-        (!biggest || s.packets.size() > biggest->packets.size()))
-      biggest = &s;
-  std::vector<dpi::StreamDatagram> dgs;
+/// Collects the largest UDP stream of a Zoom relay call (every media
+/// datagram behind a proprietary header — the DPI stress case) as a
+/// reusable scanning workload.
+struct DpiWorkload {
+  emul::EmulatedCall call;
+  std::vector<dpi::StreamDatagram> datagrams;
   std::uint64_t bytes = 0;
-  for (const auto& p : biggest->packets) {
-    dpi::StreamDatagram d;
-    d.payload = net::packet_payload(call.trace, p);
-    d.ts = p.ts;
-    dgs.push_back(d);
-    bytes += d.payload.size();
-  }
 
-  dpi::ScanOptions opts;
-  opts.max_offset = static_cast<std::size_t>(state.range(0));
+  explicit DpiWorkload(double media_scale, double call_s = 300.0) {
+    emul::CallConfig cfg;
+    cfg.app = emul::AppId::kZoom;
+    cfg.network = emul::NetworkSetup::kWifiRelay;
+    cfg.media_scale = media_scale;
+    cfg.call_s = call_s;
+    cfg.background = false;
+    call = emul::emulate_call(cfg);
+    const auto table = net::group_streams(call.trace);
+    const net::Stream* biggest = nullptr;
+    for (const auto& s : table.streams)
+      if (s.key.transport == net::Transport::kUdp &&
+          (!biggest || s.packets.size() > biggest->packets.size()))
+        biggest = &s;
+    for (const auto& p : biggest->packets) {
+      dpi::StreamDatagram d;
+      d.payload = net::packet_payload(call.trace, p);
+      d.ts = p.ts;
+      datagrams.push_back(d);
+      bytes += d.payload.size();
+    }
+  }
+};
+
+void run_scanning_bench(benchmark::State& state, const DpiWorkload& wl,
+                        const dpi::ScanOptions& opts) {
   const dpi::ScanningDpi engine(opts);
   for (auto _ : state) {
-    auto analyses = engine.analyze_stream(dgs);
+    auto analyses = engine.analyze_stream(wl.datagrams);
     benchmark::DoNotOptimize(analyses);
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(bytes));
-  state.counters["datagrams"] = static_cast<double>(dgs.size());
+                          static_cast<std::int64_t>(wl.bytes));
+  state.counters["datagrams/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(wl.datagrams.size()),
+      benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_ScanningDpi)->Arg(0)->Arg(40)->Arg(200)->Arg(400);
+
+/// The §4.1.1 tradeoff: scanning cost grows with the offset limit k.
+/// Arg 0 = k, arg 1 = anchor prefilter on/off.
+void BM_ScanningDpi(benchmark::State& state) {
+  static const DpiWorkload wl(0.02);
+  dpi::ScanOptions opts;
+  opts.max_offset = static_cast<std::size_t>(state.range(0));
+  opts.use_anchor_prefilter = state.range(1) != 0;
+  run_scanning_bench(state, wl, opts);
+}
+BENCHMARK(BM_ScanningDpi)
+    ->ArgsProduct({{0, 40, 200, 400}, {0, 1}})
+    ->ArgNames({"k", "anchor"});
+
+/// Macro benchmark at full media scale (≈160 pps per direction), the
+/// acceptance workload for the anchor prefilter: anchor=1 vs anchor=0
+/// is the claimed ≥3x.
+void BM_ScanningDpiMacro(benchmark::State& state) {
+  static const DpiWorkload wl(1.0, 30.0);
+  dpi::ScanOptions opts;
+  opts.use_anchor_prefilter = state.range(0) != 0;
+  run_scanning_bench(state, wl, opts);
+}
+BENCHMARK(BM_ScanningDpiMacro)->Arg(0)->Arg(1)->ArgNames({"anchor"});
 
 void BM_StrictDpi(benchmark::State& state) {
   emul::CallConfig cfg;
@@ -170,6 +202,34 @@ void BM_StrictDpi(benchmark::State& state) {
   state.counters["datagrams"] = static_cast<double>(dgs.size());
 }
 BENCHMARK(BM_StrictDpi);
+
+/// Experiment dispatch ablation: serial vs barrier-stalling waves vs
+/// the persistent work-stealing pool, over a matrix whose call costs
+/// are deliberately heterogeneous (relay-mode Zoom with filler bursts
+/// is several times slower than the small P2P calls).
+void BM_ExperimentDispatch(benchmark::State& state) {
+  report::ExperimentConfig cfg;
+  cfg.repeats = 1;
+  cfg.media_scale = 0.05;
+  cfg.call_s = 120.0;
+  cfg.exec = static_cast<report::ExecMode>(state.range(0));
+  for (auto _ : state) {
+    auto results = report::run_experiment(cfg);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetLabel(report::to_string(cfg.exec));
+  state.counters["calls"] = static_cast<double>(
+      cfg.apps.size() * cfg.networks.size() *
+      static_cast<std::size_t>(cfg.repeats));
+}
+BENCHMARK(BM_ExperimentDispatch)
+    ->Arg(static_cast<int>(report::ExecMode::kSerial))
+    ->Arg(static_cast<int>(report::ExecMode::kWave))
+    ->Arg(static_cast<int>(report::ExecMode::kPooled))
+    ->ArgNames({"mode"})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void BM_EndToEndCall(benchmark::State& state) {
   emul::CallConfig cfg;

@@ -1,0 +1,13 @@
+#include "dpi/anchor_scan.hpp"
+
+namespace rtcc::dpi {
+
+void scan_anchors(rtcc::util::BytesView payload, const ScanOptions& opts,
+                  std::vector<AnchorHit>& out) {
+  for_each_anchor(payload, opts,
+                  [&out](std::uint32_t offset, std::uint8_t mask) {
+                    out.push_back({offset, mask});
+                  });
+}
+
+}  // namespace rtcc::dpi

@@ -1,0 +1,254 @@
+// Single-pass anchor prefilter for the scanning DPI (Algorithm 1).
+//
+// The naive candidate-extraction loop attempts every protocol sniff at
+// every offset 0..k, even though almost all offsets can be rejected
+// from one or two bytes. This scanner walks each datagram once and
+// reports, per offset, which protocols' cheap byte anchors match:
+//
+//   STUN        top two bits 00 + (magic cookie 0x2112A442 at offset+4
+//               OR classic-STUN exact tail-fit length at offset+2)
+//   ChannelData first byte 0x40-0x4F (TURN channel range)
+//   RTP/RTCP    version bits 10; the PT byte splits the two (RTCP owns
+//               the assigned 200-207 block, RTP everything else)
+//   QUIC long   form+fixed bits 11 + version 1 at offset+1
+//   QUIC short  form+fixed bits 01 at offset 0
+//
+// Every anchor is a *necessary* condition of the corresponding full
+// sniff in ScanningDpi::analyze_stream, so running the sniffs only at
+// anchored offsets produces a byte-identical candidate set (enforced by
+// the equivalence sweep in tests/test_determinism.cpp).
+//
+// On SSE2 targets (any x86-64) the per-offset tests are evaluated 16
+// offsets at a time and only flagged lanes fall back to the scalar
+// test; the vector tests are the same necessary conditions, never a
+// replacement, so the scalar/vector paths are interchangeable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dpi/scanning_dpi.hpp"
+#include "proto/quic/quic.hpp"
+#include "proto/stun/stun.hpp"
+#include "util/bytes.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace rtcc::dpi {
+
+namespace anchor {
+constexpr std::uint8_t kStun = 0x01;
+constexpr std::uint8_t kChannelData = 0x02;
+constexpr std::uint8_t kRtcp = 0x04;
+constexpr std::uint8_t kQuicLong = 0x08;
+constexpr std::uint8_t kQuicShort = 0x10;
+constexpr std::uint8_t kRtp = 0x20;
+}  // namespace anchor
+
+/// One anchored offset and the protocols whose anchors matched there.
+struct AnchorHit {
+  std::uint32_t offset = 0;
+  std::uint8_t mask = 0;
+};
+
+/// Visitor form of the scan: invokes fn(offset, mask) for each anchored
+/// offset of `payload`, in increasing offset order, scanning offsets
+/// [0, min(max_offset + 1, payload.size())). Honours the per-protocol
+/// scan_* switches in `opts`. The hot path in ScanningDpi uses this
+/// directly — on media payloads a sizeable fraction of offsets anchor
+/// as RTP, so materialising a hit list would cost more than the sniffs
+/// it saves.
+template <typename Fn>
+void for_each_anchor(rtcc::util::BytesView payload, const ScanOptions& opts,
+                     Fn&& fn) {
+  namespace stun = rtcc::proto::stun;
+  namespace quic = rtcc::proto::quic;
+
+  const std::size_t n = payload.size();
+  const std::size_t limit = std::min(opts.max_offset + 1, n);
+  const std::uint8_t* p = payload.data();
+  const bool scan_stun = opts.scan_stun;
+  const bool scan_rtp = opts.scan_rtp;
+  const bool scan_rtcp = opts.scan_rtcp;
+  const bool scan_quic = opts.scan_quic;
+
+  // Main region: every per-protocol remainder bound holds whenever at
+  // least kHeaderSize (20, the largest bound) bytes remain, so the body
+  // below carries no length checks; the short tail loop at the end
+  // repeats the tests with the bounds restored.
+  const std::size_t fast_end =
+      std::min(limit, n >= stun::kHeaderSize ? n - stun::kHeaderSize + 1
+                                             : std::size_t{0});
+
+  const auto scan_at = [&](std::size_t i) {
+    const std::uint8_t b0 = p[i];
+    const unsigned cls = b0 >> 6;
+    if (cls == 2) {  // RTP/RTCP version 2; the PT byte splits the two.
+      const std::uint8_t pt = p[i + 1];
+      const bool rtcp_pt = pt >= 200 && pt <= 207;
+      if (scan_rtp && !rtcp_pt)
+        fn(static_cast<std::uint32_t>(i), anchor::kRtp);
+      else if (scan_rtcp && rtcp_pt)
+        fn(static_cast<std::uint32_t>(i), anchor::kRtcp);
+    } else if (cls == 0) {  // STUN: top two bits clear.
+      if (scan_stun) {
+        const bool modern =
+            rtcc::util::load_be32(p + i + 4) == stun::kMagicCookie;
+        // Classic (RFC 3489) STUN has no cookie; its anchor is the
+        // exact datagram-tail fit of the length field (the registry
+        // method check stays in the sniff stage).
+        const bool classic_fit =
+            stun::kHeaderSize + std::size_t{rtcc::util::load_be16(p + i + 2)} ==
+            n - i;
+        if (modern || classic_fit)
+          fn(static_cast<std::uint32_t>(i), anchor::kStun);
+      }
+    } else if (cls == 1) {  // ChannelData prefix / QUIC short at 0.
+      std::uint8_t mask = 0;
+      if (scan_stun && b0 <= 0x4F) mask |= anchor::kChannelData;
+      if (scan_quic && i == 0) mask |= anchor::kQuicShort;
+      if (mask) fn(static_cast<std::uint32_t>(i), mask);
+    } else {  // QUIC long form + fixed bit; only v1 is scanned for.
+      if (scan_quic && rtcc::util::load_be32(p + i + 1) == quic::kVersion1)
+        fn(static_cast<std::uint32_t>(i), anchor::kQuicLong);
+    }
+  };
+
+  std::size_t i = 0;
+#if defined(__SSE2__)
+  // Vector pre-pass: evaluate the anchor conditions for 16 offsets at
+  // once and run the scalar test only on flagged lanes. Each vector
+  // test is a necessary condition of the scalar one (the STUN cookie is
+  // narrowed to its first byte, the classic tail-fit sum may wrap the
+  // 16-bit lane), so false positives are re-rejected by scan_at and
+  // false negatives cannot occur.
+  if (i < fast_end) {
+    scan_at(i);  // offset 0 separately: the QUIC short anchor lives there
+    ++i;
+  }
+  if (i + 16 <= fast_end) {
+    const __m128i vzero = _mm_setzero_si128();
+    const __m128i vtop = _mm_set1_epi8(static_cast<char>(0xC0));
+    const __m128i v80 = _mm_set1_epi8(static_cast<char>(0x80));
+    const __m128i vf0 = _mm_set1_epi8(static_cast<char>(0xF0));
+    const __m128i v40 = _mm_set1_epi8(0x40);
+    const __m128i vcookie0 =
+        _mm_set1_epi8(static_cast<char>(stun::kMagicCookie >> 24));
+    const __m128i v01 = _mm_set1_epi8(1);
+    const __m128i vall = _mm_cmpeq_epi8(vzero, vzero);
+    const __m128i gate_rtp = (scan_rtp || scan_rtcp) ? vall : vzero;
+    const __m128i gate_stun = scan_stun ? vall : vzero;
+    const __m128i gate_quic = scan_quic ? vall : vzero;
+    const __m128i vramp = _mm_set_epi16(7, 6, 5, 4, 3, 2, 1, 0);
+    const __m128i vtail_target =
+        _mm_set1_epi16(static_cast<short>(n - stun::kHeaderSize));
+    for (; i + 16 <= fast_end; i += 16) {
+      const auto load = [&](std::size_t at) {
+        return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + at));
+      };
+      const __m128i a = load(i);
+      const __m128i b1 = load(i + 1);
+      const __m128i b2 = load(i + 2);
+      const __m128i b3 = load(i + 3);
+      const __m128i b4 = load(i + 4);
+      const __m128i top = _mm_and_si128(a, vtop);
+      // RTP/RTCP (version bits 10): always worth a scalar look.
+      __m128i hot = _mm_and_si128(_mm_cmpeq_epi8(top, v80), gate_rtp);
+      // ChannelData: first byte 0x40-0x4F exactly.
+      hot = _mm_or_si128(
+          hot, _mm_and_si128(_mm_cmpeq_epi8(_mm_and_si128(a, vf0), v40),
+                             gate_stun));
+      {  // STUN: cookie first byte, or classic tail-fit
+         // (kHeaderSize + be16(p+i+2) == n - i  <=>  be16 + i == n - 20).
+        const __m128i cls0 = _mm_cmpeq_epi8(top, vzero);
+        const __m128i cookie = _mm_cmpeq_epi8(b4, vcookie0);
+        const __m128i be_lo = _mm_unpacklo_epi8(b3, b2);
+        const __m128i be_hi = _mm_unpackhi_epi8(b3, b2);
+        const __m128i base = _mm_set1_epi16(static_cast<short>(i));
+        const __m128i idx_lo = _mm_add_epi16(base, vramp);
+        const __m128i idx_hi =
+            _mm_add_epi16(idx_lo, _mm_set1_epi16(8));
+        const __m128i tf_lo = _mm_cmpeq_epi16(_mm_add_epi16(be_lo, idx_lo),
+                                              vtail_target);
+        const __m128i tf_hi = _mm_cmpeq_epi16(_mm_add_epi16(be_hi, idx_hi),
+                                              vtail_target);
+        const __m128i tailfit = _mm_packs_epi16(tf_lo, tf_hi);
+        hot = _mm_or_si128(
+            hot, _mm_and_si128(
+                     _mm_and_si128(cls0, _mm_or_si128(cookie, tailfit)),
+                     gate_stun));
+      }
+      {  // QUIC v1 long header: form+fixed bits 11, version 00 00 00 01.
+        const __m128i cls3 = _mm_cmpeq_epi8(top, vtop);
+        const __m128i ver = _mm_and_si128(
+            _mm_and_si128(_mm_cmpeq_epi8(b1, vzero),
+                          _mm_cmpeq_epi8(b2, vzero)),
+            _mm_and_si128(_mm_cmpeq_epi8(b3, vzero),
+                          _mm_cmpeq_epi8(b4, v01)));
+        hot = _mm_or_si128(hot,
+                           _mm_and_si128(_mm_and_si128(cls3, ver), gate_quic));
+      }
+      unsigned bits =
+          static_cast<unsigned>(_mm_movemask_epi8(hot));
+      while (bits) {
+        const unsigned k = static_cast<unsigned>(__builtin_ctz(bits));
+        bits &= bits - 1;
+        scan_at(i + k);
+      }
+    }
+  }
+#endif
+  for (; i < fast_end; ++i) scan_at(i);
+
+  // Tail: fewer than kHeaderSize bytes remain; re-instate the bounds.
+  for (; i < limit; ++i) {
+    const std::uint8_t b0 = p[i];
+    const std::size_t rem = n - i;
+    switch (b0 >> 6) {
+      case 2: {
+        const std::uint8_t pt = rem >= 2 ? p[i + 1] : 0;
+        const bool rtcp_pt = pt >= 200 && pt <= 207;
+        if (scan_rtp && !rtcp_pt && rem >= 12)
+          fn(static_cast<std::uint32_t>(i), anchor::kRtp);
+        else if (scan_rtcp && rtcp_pt && rem >= 8)
+          fn(static_cast<std::uint32_t>(i), anchor::kRtcp);
+        break;
+      }
+      case 0:
+        if (scan_stun && rem >= stun::kHeaderSize) {
+          const bool modern =
+              rtcc::util::load_be32(p + i + 4) == stun::kMagicCookie;
+          const bool classic_fit =
+              stun::kHeaderSize +
+                  std::size_t{rtcc::util::load_be16(p + i + 2)} ==
+              rem;
+          if (modern || classic_fit)
+            fn(static_cast<std::uint32_t>(i), anchor::kStun);
+        }
+        break;
+      case 1: {
+        std::uint8_t mask = 0;
+        if (scan_stun && b0 <= 0x4F && rem >= 4) mask |= anchor::kChannelData;
+        if (scan_quic && i == 0) mask |= anchor::kQuicShort;
+        if (mask) fn(static_cast<std::uint32_t>(i), mask);
+        break;
+      }
+      case 3:
+        if (scan_quic && rem >= 5 &&
+            rtcc::util::load_be32(p + i + 1) == quic::kVersion1)
+          fn(static_cast<std::uint32_t>(i), anchor::kQuicLong);
+        break;
+    }
+  }
+}
+
+/// Appends hits for `payload` to `out` in increasing offset order.
+/// `out` is not cleared so callers can reuse one buffer across
+/// datagrams. Thin wrapper over for_each_anchor, kept for callers that
+/// want the hit list itself.
+void scan_anchors(rtcc::util::BytesView payload, const ScanOptions& opts,
+                  std::vector<AnchorHit>& out);
+
+}  // namespace rtcc::dpi

@@ -1,10 +1,9 @@
 #include "dpi/scanning_dpi.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
 #include <unordered_map>
 
+#include "dpi/anchor_scan.hpp"
 #include "proto/stun/stun_registry.hpp"
 
 namespace rtcc::dpi {
@@ -12,6 +11,16 @@ namespace rtcc::dpi {
 using rtcc::util::BytesView;
 
 namespace {
+
+// The emit helpers run once per anchored offset — ~25% of all scanned
+// bytes on encrypted payloads — so a real call (argument spills plus
+// materialising the optional sniff result) costs more than the sniff
+// itself. Force-inline them into both extraction loops.
+#if defined(__GNUC__) || defined(__clang__)
+#define RTCC_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define RTCC_ALWAYS_INLINE inline
+#endif
 
 namespace stun = rtcc::proto::stun;
 namespace rtp = rtcc::proto::rtp;
@@ -47,7 +56,7 @@ struct RtpSniff {
 };
 
 /// Header-only RTP check: version 2, CSRC/extension fit in the bound.
-std::optional<RtpSniff> sniff_rtp(BytesView d) {
+RTCC_ALWAYS_INLINE std::optional<RtpSniff> sniff_rtp(BytesView d) {
   if (d.size() < 12) return std::nullopt;
   if ((d[0] >> 6) != 2) return std::nullopt;
   const std::size_t cc = d[0] & 0x0F;
@@ -81,7 +90,7 @@ struct RtcpSniff {
   std::size_t packets = 0;
 };
 
-std::optional<RtcpSniff> sniff_rtcp(BytesView d, std::size_t max_trailing) {
+RTCC_ALWAYS_INLINE std::optional<RtcpSniff> sniff_rtcp(BytesView d, std::size_t max_trailing) {
   if (d.size() < 8) return std::nullopt;
   RtcpSniff s;
   std::size_t pos = 0;
@@ -115,10 +124,159 @@ std::uint16_t seq_distance(std::uint16_t a, std::uint16_t b) {
   return std::min(d1, d2);
 }
 
-struct TxidKey {
-  stun::TransactionId id;
-  bool operator<(const TxidKey& o) const { return id < o.id; }
+/// Sorts packed (ssrc << 16 | seq) keys. The keys are 48-bit and there
+/// is roughly one per case-2 anchor — ~10^5 for a relay media stream —
+/// so comparison sorting them costs more than the whole validation
+/// walk; three 16-bit LSD counting passes are near-linear instead.
+void sort_rtp_pairs(std::vector<std::uint64_t>& v) {
+  if (v.size() < 2048) {
+    std::sort(v.begin(), v.end());
+    return;
+  }
+  std::vector<std::uint64_t> tmp(v.size());
+  std::vector<std::uint32_t> pos(1 << 16);
+  for (int pass = 0; pass < 3; ++pass) {
+    const int shift = pass * 16;
+    std::fill(pos.begin(), pos.end(), 0);
+    for (const std::uint64_t x : v) ++pos[(x >> shift) & 0xFFFF];
+    std::uint32_t running = 0;
+    for (std::uint32_t& c : pos) {
+      const std::uint32_t n = c;
+      c = running;
+      running += n;
+    }
+    for (const std::uint64_t x : v) tmp[pos[(x >> shift) & 0xFFFF]++] = x;
+    v.swap(tmp);
+  }
+}
+
+struct TxidHash {
+  std::size_t operator()(const stun::TransactionId& id) const {
+    std::uint64_t h = 14695981039346656037ULL;  // FNV-1a
+    for (const std::uint8_t b : id) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
 };
+
+// ---- Candidate emission, one helper per protocol ----
+//
+// Each helper re-checks its full structural conditions, so it emits the
+// same candidate whether invoked at every offset (naive oracle) or only
+// at anchored offsets (prefilter): the anchors in anchor_scan.cpp are
+// necessary conditions of these checks, never a replacement for them.
+
+RTCC_ALWAYS_INLINE void emit_stun(BytesView at, std::uint32_t di, std::uint32_t off,
+               std::vector<Candidate>& out) {
+  if (at.size() < stun::kHeaderSize || (at[0] & 0xC0) != 0) return;
+  const std::uint32_t cookie = rtcc::util::load_be32(at.data() + 4);
+  const std::uint16_t dlen = rtcc::util::load_be16(at.data() + 2);
+  const bool modern = cookie == stun::kMagicCookie;
+  // Classic (RFC 3489) STUN has no cookie; to keep false positives
+  // manageable we require a defined method and an exact datagram-tail
+  // fit, which real classic stacks satisfy.
+  const bool classic_fit =
+      !modern &&
+      stun::lookup_message_type(rtcc::util::load_be16(at.data())).source !=
+          proto::SpecSource::kUndefined &&
+      stun::kHeaderSize + std::size_t{dlen} == at.size();
+  if (!modern && !classic_fit) return;
+  stun::ParseOptions po;
+  po.require_magic_cookie = modern;
+  if (auto parsed = stun::parse(at, po)) {
+    Candidate& c = out.emplace_back();
+    c.kind = MessageKind::kStun;
+    c.datagram = di;
+    c.offset = off;
+    c.length = static_cast<std::uint32_t>(parsed->consumed);
+    c.stun_type = parsed->message.type;
+    c.stun_classic = !modern;
+    c.txid = parsed->message.transaction_id;
+  }
+}
+
+RTCC_ALWAYS_INLINE void emit_channel_data(BytesView at, std::uint32_t di, std::uint32_t off,
+                       std::vector<Candidate>& out) {
+  // TURN ChannelData: first byte 0x40-0x4F.
+  if (at.size() < 4 || at[0] < 0x40 || at[0] > 0x4F) return;
+  const std::uint16_t clen = rtcc::util::load_be16(at.data() + 2);
+  if (4 + std::size_t{clen} > at.size()) return;
+  Candidate& c = out.emplace_back();
+  c.kind = MessageKind::kChannelData;
+  c.datagram = di;
+  c.offset = off;
+  // Extent includes trailing padding up to the 4-byte boundary only
+  // when it reaches the datagram end (the FaceTime pattern); otherwise
+  // exactly 4+len.
+  std::size_t extent = 4 + std::size_t{clen};
+  const std::size_t padded = (extent + 3) & ~std::size_t{3};
+  if (padded == at.size()) extent = padded;
+  c.length = static_cast<std::uint32_t>(extent);
+  c.channel = rtcc::util::load_be16(at.data());
+}
+
+RTCC_ALWAYS_INLINE void emit_rtcp(BytesView at, std::uint32_t di, std::uint32_t off,
+               std::size_t max_trailing, std::vector<Candidate>& out) {
+  if (auto s = sniff_rtcp(at, max_trailing)) {
+    Candidate& c = out.emplace_back();
+    c.kind = MessageKind::kRtcp;
+    c.datagram = di;
+    c.offset = off;
+    c.length = static_cast<std::uint32_t>(s->parsed + s->trailing);
+    c.payload_type = s->first_pt;
+    c.ssrc = s->first_ssrc;
+  }
+}
+
+RTCC_ALWAYS_INLINE void emit_quic(BytesView at, std::uint32_t di, std::uint32_t off,
+               std::vector<Candidate>& out) {
+  if (at.empty()) return;
+  const std::uint8_t b0 = at[0];
+  if ((b0 & 0xC0) == 0xC0) {  // long form + fixed bit
+    if (auto h = quic::parse(at)) {
+      // Only QUIC v1 long headers are scanned for: admitting the
+      // all-zero version-negotiation pattern would match zero runs
+      // inside opaque payloads.
+      if (h->version == quic::kVersion1) {
+        Candidate& c = out.emplace_back();
+        c.kind = MessageKind::kQuic;
+        c.datagram = di;
+        c.offset = off;
+        c.length = static_cast<std::uint32_t>(h->wire_size());
+        c.quic_long = true;
+      }
+    }
+  } else if ((b0 & 0xC0) == 0x40 && off == 0) {
+    // Short header: only meaningful at offset 0 and only if the stream
+    // establishes a connection (checked in validation).
+    Candidate& c = out.emplace_back();
+    c.kind = MessageKind::kQuic;
+    c.datagram = di;
+    c.offset = 0;
+    c.length = static_cast<std::uint32_t>(at.size());
+    c.quic_long = false;
+  }
+}
+
+RTCC_ALWAYS_INLINE void emit_rtp(BytesView at, std::uint32_t di, std::uint32_t off,
+              std::vector<Candidate>& out) {
+  if (auto s = sniff_rtp(at)) {
+    // Skip byte patterns that are really RTCP (PT 72-79 with the marker
+    // bit corresponds to RTCP types 200-207).
+    const std::uint8_t pt_byte = at[1];
+    if (pt_byte >= 0xC8 && pt_byte <= 0xCF) return;
+    Candidate& c = out.emplace_back();
+    c.kind = MessageKind::kRtp;
+    c.datagram = di;
+    c.offset = off;
+    c.length = static_cast<std::uint32_t>(at.size());
+    c.ssrc = s->ssrc;
+    c.seq = s->seq;
+    c.payload_type = s->payload_type;
+  }
+}
 
 }  // namespace
 
@@ -130,130 +288,65 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
   candidates.reserve(datagrams.size() * 2);
 
   // ---- Step 1: candidate extraction (Algorithm 1, lines 5-13) ----
-  for (std::size_t di = 0; di < datagrams.size(); ++di) {
-    const BytesView payload = datagrams[di].payload;
-    const std::size_t limit = std::min(options_.max_offset + 1, payload.size());
-    for (std::size_t i = 0; i < limit; ++i) {
-      const BytesView at = payload.subspan(i);
-
-      if (options_.scan_stun && at.size() >= stun::kHeaderSize &&
-          (at[0] & 0xC0) == 0) {
-        const std::uint32_t cookie = rtcc::util::load_be32(at.data() + 4);
-        const std::uint16_t dlen = rtcc::util::load_be16(at.data() + 2);
-        const bool modern = cookie == stun::kMagicCookie;
-        // Classic (RFC 3489) STUN has no cookie; to keep false
-        // positives manageable we require a defined method and an
-        // exact datagram-tail fit, which real classic stacks satisfy.
-        const bool classic_fit =
-            !modern &&
-            stun::lookup_message_type(rtcc::util::load_be16(at.data()))
-                    .source != proto::SpecSource::kUndefined &&
-            stun::kHeaderSize + std::size_t{dlen} == at.size();
-        if (modern || classic_fit) {
-          stun::ParseOptions po;
-          po.require_magic_cookie = modern;
-          if (auto parsed = stun::parse(at, po)) {
-            Candidate c;
-            c.kind = MessageKind::kStun;
-            c.datagram = static_cast<std::uint32_t>(di);
-            c.offset = static_cast<std::uint32_t>(i);
-            c.length = static_cast<std::uint32_t>(parsed->consumed);
-            c.stun_type = parsed->message.type;
-            c.stun_classic = !modern;
-            c.txid = parsed->message.transaction_id;
-            candidates.push_back(c);
-          }
-        }
-      }
-
-      // TURN ChannelData: first byte 0x40-0x4F.
-      if (options_.scan_stun && at.size() >= 4 && at[0] >= 0x40 &&
-          at[0] <= 0x4F) {
-        const std::uint16_t clen = rtcc::util::load_be16(at.data() + 2);
-        if (4 + std::size_t{clen} <= at.size()) {
-          Candidate c;
-          c.kind = MessageKind::kChannelData;
-          c.datagram = static_cast<std::uint32_t>(di);
-          c.offset = static_cast<std::uint32_t>(i);
-          // Extent includes trailing padding up to the 4-byte boundary
-          // only when it reaches the datagram end (the FaceTime
-          // pattern); otherwise exactly 4+len.
-          std::size_t extent = 4 + std::size_t{clen};
-          const std::size_t padded = (extent + 3) & ~std::size_t{3};
-          if (padded == at.size()) extent = padded;
-          c.length = static_cast<std::uint32_t>(extent);
-          c.channel = rtcc::util::load_be16(at.data());
-          candidates.push_back(c);
-        }
-      }
-
-      if (options_.scan_rtcp) {
-        if (auto s = sniff_rtcp(at, options_.max_rtcp_trailing)) {
-          Candidate c;
-          c.kind = MessageKind::kRtcp;
-          c.datagram = static_cast<std::uint32_t>(di);
-          c.offset = static_cast<std::uint32_t>(i);
-          c.length = static_cast<std::uint32_t>(s->parsed + s->trailing);
-          c.payload_type = s->first_pt;
-          c.ssrc = s->first_ssrc;
-          candidates.push_back(c);
-        }
-      }
-
-      if (options_.scan_quic && !at.empty()) {
-        const std::uint8_t b0 = at[0];
-        if ((b0 & 0xC0) == 0xC0) {  // long form + fixed bit
-          if (auto h = quic::parse(at)) {
-            // Only QUIC v1 long headers are scanned for: admitting the
-            // all-zero version-negotiation pattern would match zero
-            // runs inside opaque payloads.
-            if (h->version == quic::kVersion1) {
-              Candidate c;
-              c.kind = MessageKind::kQuic;
-              c.datagram = static_cast<std::uint32_t>(di);
-              c.offset = static_cast<std::uint32_t>(i);
-              c.length = static_cast<std::uint32_t>(h->wire_size());
-              c.quic_long = true;
-              candidates.push_back(c);
+  if (options_.use_anchor_prefilter) {
+    // Fast path: one cheap pass per datagram (anchor_scan.hpp) finds
+    // the offsets whose byte anchors match and the full sniffs run
+    // right there, fused into the scan. Per-offset protocol order
+    // (STUN, ChannelData, RTCP, QUIC, RTP) matches the oracle loop so
+    // the candidate list is identical, not merely equal as a set.
+    for (std::size_t di = 0; di < datagrams.size(); ++di) {
+      const BytesView payload = datagrams[di].payload;
+      const auto d32 = static_cast<std::uint32_t>(di);
+      for_each_anchor(
+          payload, options_, [&](std::uint32_t off, std::uint8_t mask) {
+            const BytesView at = payload.subspan(off);
+            if (mask == anchor::kRtp) {  // ~25% of offsets: keep it lean
+              emit_rtp(at, d32, off, candidates);
+              return;
             }
-          }
-        } else if ((b0 & 0xC0) == 0x40 && i == 0) {
-          // Short header: only meaningful at offset 0 and only if the
-          // stream establishes a connection (checked in validation).
-          Candidate c;
-          c.kind = MessageKind::kQuic;
-          c.datagram = static_cast<std::uint32_t>(di);
-          c.offset = 0;
-          c.length = static_cast<std::uint32_t>(at.size());
-          c.quic_long = false;
-          candidates.push_back(c);
+            if (mask & anchor::kStun) emit_stun(at, d32, off, candidates);
+            if (mask & anchor::kChannelData)
+              emit_channel_data(at, d32, off, candidates);
+            if (mask & anchor::kRtcp)
+              emit_rtcp(at, d32, off, options_.max_rtcp_trailing, candidates);
+            if (mask & (anchor::kQuicLong | anchor::kQuicShort))
+              emit_quic(at, d32, off, candidates);
+            if (mask & anchor::kRtp) emit_rtp(at, d32, off, candidates);
+          });
+    }
+  } else {
+    // Oracle path: every protocol sniff at every offset 0..k.
+    for (std::size_t di = 0; di < datagrams.size(); ++di) {
+      const BytesView payload = datagrams[di].payload;
+      const std::size_t limit =
+          std::min(options_.max_offset + 1, payload.size());
+      const auto d32 = static_cast<std::uint32_t>(di);
+      for (std::size_t i = 0; i < limit; ++i) {
+        const BytesView at = payload.subspan(i);
+        const auto off = static_cast<std::uint32_t>(i);
+        if (options_.scan_stun) {
+          emit_stun(at, d32, off, candidates);
+          emit_channel_data(at, d32, off, candidates);
         }
-      }
-
-      if (options_.scan_rtp) {
-        if (auto s = sniff_rtp(at)) {
-          // Skip byte patterns that are really RTCP (PT 72-79 with the
-          // marker bit corresponds to RTCP types 200-207).
-          const std::uint8_t pt_byte = at[1];
-          if (!(pt_byte >= 0xC8 && pt_byte <= 0xCF)) {
-            Candidate c;
-            c.kind = MessageKind::kRtp;
-            c.datagram = static_cast<std::uint32_t>(di);
-            c.offset = static_cast<std::uint32_t>(i);
-            c.length = static_cast<std::uint32_t>(at.size());
-            c.ssrc = s->ssrc;
-            c.seq = s->seq;
-            c.payload_type = s->payload_type;
-            candidates.push_back(c);
-          }
-        }
+        if (options_.scan_rtcp)
+          emit_rtcp(at, d32, off, options_.max_rtcp_trailing, candidates);
+        if (options_.scan_quic) emit_quic(at, d32, off, candidates);
+        if (options_.scan_rtp) emit_rtp(at, d32, off, candidates);
       }
     }
   }
 
   // ---- Step 2: protocol-specific validation (lines 14-19) ----
-  std::unordered_map<std::uint32_t, std::vector<std::uint16_t>> rtp_seqs;
-  std::map<TxidKey, int> stun_txids;
+  // These tables sit in the per-stream hot loop. The RTP table is the
+  // big one — the scan yields one noise candidate per ~25% of offsets,
+  // so it holds one entry per candidate with mostly-unique fake SSRCs —
+  // and is kept flat: (ssrc, seq) packed into one u64, sorted once,
+  // then walked group-by-group. A map of per-SSRC vectors here costs an
+  // allocation per noise SSRC and dominates validation time. The small
+  // tables (STUN txids, channels, RTCP SSRCs) stay hashed.
+  std::vector<std::uint64_t> rtp_pairs;  // ssrc << 16 | seq
+  rtp_pairs.reserve(candidates.size());
+  std::unordered_map<stun::TransactionId, int, TxidHash> stun_txids;
   std::unordered_map<std::uint16_t, int> channel_support;
   std::unordered_map<std::uint32_t, int> rtcp_ssrc_support;
   int quic_long_support = 0;
@@ -261,10 +354,10 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
   for (const auto& c : candidates) {
     switch (c.kind) {
       case MessageKind::kRtp:
-        rtp_seqs[c.ssrc].push_back(c.seq);
+        rtp_pairs.push_back(std::uint64_t{c.ssrc} << 16 | c.seq);
         break;
       case MessageKind::kStun:
-        ++stun_txids[TxidKey{c.txid}];
+        ++stun_txids[c.txid];
         break;
       case MessageKind::kChannelData:
         ++channel_support[c.channel];
@@ -278,32 +371,50 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
     }
   }
 
-  // Validated RTP SSRCs (support + sequence-number continuity).
-  //
-  std::set<std::uint32_t> valid_rtp_ssrcs;
-  for (auto& [ssrc, seqs] : rtp_seqs) {
-    if (seqs.size() < options_.min_ssrc_support) continue;
-    // Continuity: a healthy stream's sorted sequence numbers are mostly
-    // adjacent; scanning noise produces uniformly random ones. Constant
-    // proprietary-header bytes produce the opposite artifact — the same
-    // fake (ssrc, seq) repeated verbatim — so genuine streams must also
-    // show the sequence number actually advancing.
-    auto sorted = seqs;
-    std::sort(sorted.begin(), sorted.end());
-    std::size_t close = 0, distinct = 1;
-    for (std::size_t i = 1; i < sorted.size(); ++i) {
-      // A zero gap is a duplicate, not adjacency: constant header bytes
-      // masquerading as RTP repeat the same few (ssrc, seq) pairs, and
-      // duplicates must not count as continuity evidence.
-      const std::uint16_t gap = seq_distance(sorted[i], sorted[i - 1]);
-      if (gap >= 1 && gap <= 16) ++close;
-      if (sorted[i] != sorted[i - 1]) ++distinct;
+  // Sorting the packed pairs groups each SSRC's sequence numbers in
+  // ascending order, exactly what the continuity check needs.
+  sort_rtp_pairs(rtp_pairs);
+
+  // Per-SSRC support (for overlap dominance) and validated SSRCs
+  // (support + sequence-number continuity), ascending, probed with
+  // binary search in the loops below.
+  std::vector<std::uint32_t> rtp_ssrcs, rtp_support, valid_rtp_ssrcs;
+  rtp_ssrcs.reserve(rtp_pairs.size());
+  rtp_support.reserve(rtp_pairs.size());
+  for (std::size_t lo = 0; lo < rtp_pairs.size();) {
+    const auto ssrc = static_cast<std::uint32_t>(rtp_pairs[lo] >> 16);
+    std::size_t hi = lo + 1;
+    while (hi < rtp_pairs.size() && (rtp_pairs[hi] >> 16) == ssrc) ++hi;
+    const std::size_t support = hi - lo;
+    rtp_ssrcs.push_back(ssrc);
+    rtp_support.push_back(static_cast<std::uint32_t>(support));
+    if (support >= options_.min_ssrc_support) {
+      // Continuity: a healthy stream's sorted sequence numbers are
+      // mostly adjacent; scanning noise produces uniformly random ones.
+      // Constant proprietary-header bytes produce the opposite artifact
+      // — the same fake (ssrc, seq) repeated verbatim — so genuine
+      // streams must also show the sequence number actually advancing.
+      std::size_t close = 0, distinct = 1;
+      for (std::size_t i = lo + 1; i < hi; ++i) {
+        const auto seq = static_cast<std::uint16_t>(rtp_pairs[i]);
+        const auto prev = static_cast<std::uint16_t>(rtp_pairs[i - 1]);
+        // A zero gap is a duplicate, not adjacency: constant header
+        // bytes masquerading as RTP repeat the same few (ssrc, seq)
+        // pairs, and duplicates must not count as continuity evidence.
+        const std::uint16_t gap = seq_distance(seq, prev);
+        if (gap >= 1 && gap <= 16) ++close;
+        if (seq != prev) ++distinct;
+      }
+      const bool advancing = distinct >= std::max<std::size_t>(2, support / 4);
+      if (advancing && close * 2 >= support - 1)
+        valid_rtp_ssrcs.push_back(ssrc);
     }
-    const bool advancing =
-        distinct >= std::max<std::size_t>(2, sorted.size() / 4);
-    if (advancing && close * 2 >= sorted.size() - 1)
-      valid_rtp_ssrcs.insert(ssrc);
+    lo = hi;
   }
+  const auto ssrc_valid = [&valid_rtp_ssrcs](std::uint32_t ssrc) {
+    return std::binary_search(valid_rtp_ssrcs.begin(), valid_rtp_ssrcs.end(),
+                              ssrc);
+  };
 
   for (auto& c : candidates) {
     if (!options_.validate) {
@@ -330,7 +441,7 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
         break;
       }
       case MessageKind::kRtp:
-        c.validated = valid_rtp_ssrcs.count(c.ssrc) > 0;
+        c.validated = ssrc_valid(c.ssrc);
         break;
       case MessageKind::kRtcp: {
         // Cross-validate against known RTP streams, or require repeated
@@ -339,7 +450,7 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
         const std::size_t remaining =
             datagrams[c.datagram].payload.size() - c.offset;
         const bool extent_ok = std::size_t{c.length} == remaining;
-        c.validated = extent_ok && (valid_rtp_ssrcs.count(c.ssrc) > 0 ||
+        c.validated = extent_ok && (ssrc_valid(c.ssrc) ||
                                     rtcp_ssrc_support[c.ssrc] >= 2);
         break;
       }
@@ -352,38 +463,27 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
   }
 
   // ---- Overlap resolution + full parse of accepted candidates ----
+  // Both extraction paths emit candidates in (datagram, offset,
+  // kind-rank) order — ascending offsets, and per offset the fixed
+  // STUN, ChannelData, RTCP, QUIC, RTP sequence — so the per-datagram
+  // groups below are contiguous ranges of `candidates`, already in the
+  // order the cover walk needs; no per-datagram sort or bucket vectors.
   std::vector<DatagramAnalysis> out(datagrams.size());
-  std::vector<std::vector<Candidate*>> per_datagram(datagrams.size());
-  for (auto& c : candidates) {
-    ++out[c.datagram].candidates;
-    if (c.validated) per_datagram[c.datagram].push_back(&c);
-  }
-
-  auto kind_rank = [](MessageKind k) {
-    switch (k) {
-      case MessageKind::kStun:
-        return 0;
-      case MessageKind::kChannelData:
-        return 1;
-      case MessageKind::kRtcp:
-        return 2;
-      case MessageKind::kQuic:
-        return 3;
-      case MessageKind::kRtp:
-        return 4;
-    }
-    return 5;
-  };
+  std::vector<Candidate*> cands;  // scratch, reused across datagrams
+  std::size_t range_begin = 0;
 
   for (std::size_t di = 0; di < datagrams.size(); ++di) {
     auto& anal = out[di];
     anal.payload_len = datagrams[di].payload.size();
-    auto& cands = per_datagram[di];
-    std::sort(cands.begin(), cands.end(),
-              [&](const Candidate* a, const Candidate* b) {
-                if (a->offset != b->offset) return a->offset < b->offset;
-                return kind_rank(a->kind) < kind_rank(b->kind);
-              });
+    std::size_t range_end = range_begin;
+    while (range_end < candidates.size() &&
+           candidates[range_end].datagram == di)
+      ++range_end;
+    anal.candidates = range_end - range_begin;
+    cands.clear();
+    for (std::size_t i = range_begin; i < range_end; ++i)
+      if (candidates[i].validated) cands.push_back(&candidates[i]);
+    range_begin = range_end;
 
     // Overlap dominance: misaligned RTP candidates can slip past the
     // SSRC-support gate when their fake SSRC bytes partially coincide
@@ -392,8 +492,10 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
     // SSRC has a small fraction of the support of an overlapping RTP
     // candidate is noise and must not shadow the genuine message.
     auto support_of = [&](const Candidate* c) -> std::size_t {
-      auto it = rtp_seqs.find(c->ssrc);
-      return it == rtp_seqs.end() ? 0 : it->second.size();
+      const auto it =
+          std::lower_bound(rtp_ssrcs.begin(), rtp_ssrcs.end(), c->ssrc);
+      if (it == rtp_ssrcs.end() || *it != c->ssrc) return 0;
+      return rtp_support[static_cast<std::size_t>(it - rtp_ssrcs.begin())];
     };
     for (std::size_t ci = 0; ci < cands.size(); ++ci) {
       Candidate* c = cands[ci];

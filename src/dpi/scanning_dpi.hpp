@@ -31,6 +31,11 @@ struct ScanOptions {
   /// RTCP trailing bytes tolerated after the last compound packet
   /// (covers SRTCP trailers and small proprietary trailers).
   std::size_t max_rtcp_trailing = 32;
+  /// Single-pass byte-anchor prefilter (anchor_scan.hpp): run the full
+  /// protocol sniffs only at offsets whose cheap anchors match, instead
+  /// of at every offset 0..k. Off = the naive loop, kept as the oracle;
+  /// both produce byte-identical output (tests/test_determinism.cpp).
+  bool use_anchor_prefilter = true;
 };
 
 /// One datagram handed to the DPI: payload bytes plus stream-relative

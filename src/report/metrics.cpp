@@ -4,6 +4,8 @@
 #include <future>
 #include <thread>
 
+#include "util/thread_pool.hpp"
+
 namespace rtcc::report {
 
 using rtcc::compliance::CheckedMessage;
@@ -55,9 +57,17 @@ CallAnalysis analyze_trace(const rtcc::net::Trace& trace,
   out.rtc_udp = filter_report.rtc_udp;
   out.rtc_tcp = filter_report.rtc_tcp;
 
+  // Streams are independent (all validation heuristics and compliance
+  // context are stream-scoped), so each one fills its own partial and
+  // the partials merge in stream order — output is identical whether
+  // the loop below runs serially or on the pool.
+  const auto& rtc_streams = filter_report.rtc_udp_streams;
   const ScanningDpi dpi(opts.scan);
-  for (std::size_t stream_idx : filter_report.rtc_udp_streams) {
-    const auto& stream = table.streams[stream_idx];
+  std::vector<CallAnalysis> partials(rtc_streams.size());
+
+  const auto analyze_one_stream = [&](std::size_t si) {
+    const auto& stream = table.streams[rtc_streams[si]];
+    CallAnalysis& part = partials[si];
 
     std::vector<StreamDatagram> datagrams;
     datagrams.reserve(stream.packets.size());
@@ -73,7 +83,7 @@ CallAnalysis analyze_trace(const rtcc::net::Trace& trace,
 
     StreamComplianceChecker checker(opts.compliance);
     for (std::size_t i = 0; i < analyses.size(); ++i) {
-      out.dpi_candidates += analyses[i].candidates;
+      part.dpi_candidates += analyses[i].candidates;
       for (const auto& msg : analyses[i].messages)
         checker.observe(msg, datagrams[i].dir, datagrams[i].ts);
     }
@@ -83,21 +93,21 @@ CallAnalysis analyze_trace(const rtcc::net::Trace& trace,
       const auto& anal = analyses[i];
       switch (anal.klass) {
         case rtcc::dpi::DatagramClass::kStandard:
-          ++out.dgram_standard;
+          ++part.dgram_standard;
           break;
         case rtcc::dpi::DatagramClass::kProprietaryHeader:
-          ++out.dgram_prop_header;
+          ++part.dgram_prop_header;
           break;
         case rtcc::dpi::DatagramClass::kFullyProprietary:
-          ++out.dgram_fully_prop;
+          ++part.dgram_fully_prop;
           break;
       }
       for (const auto& msg : anal.messages) {
-        ++out.dpi_messages;
+        ++part.dpi_messages;
         const auto checked =
             checker.check(msg, datagrams[i].dir, datagrams[i].ts);
         for (const auto& cm : checked) {
-          auto& pstats = out.protocols[cm.protocol];
+          auto& pstats = part.protocols[cm.protocol];
           ++pstats.messages;
           auto& tstats = pstats.types[cm.type_label];
           ++tstats.total;
@@ -111,7 +121,16 @@ CallAnalysis analyze_trace(const rtcc::net::Trace& trace,
         }
       }
     }
+  };
+
+  if (opts.parallel_streams && rtc_streams.size() > 1) {
+    rtcc::util::ThreadPool::shared().parallel_for(rtc_streams.size(),
+                                                  analyze_one_stream);
+  } else {
+    for (std::size_t si = 0; si < rtc_streams.size(); ++si)
+      analyze_one_stream(si);
   }
+  for (const auto& part : partials) merge(out, part);
   return out;
 }
 
@@ -193,29 +212,55 @@ std::map<rtcc::emul::AppId, CallAnalysis> run_experiment(
   };
 
   std::vector<CallAnalysis> results(jobs.size());
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  if (cfg.parallel && jobs.size() > 1 && hw > 1) {
-    // Wave dispatch bounded by the core count: each call allocates a
-    // multi-megabyte trace, so unbounded async oversubscribes both CPU
-    // and memory.
-    for (std::size_t base = 0; base < jobs.size(); base += hw) {
-      const std::size_t end = std::min(jobs.size(), base + hw);
-      std::vector<std::future<CallAnalysis>> futures;
-      for (std::size_t i = base; i < end; ++i)
-        futures.push_back(
-            std::async(std::launch::async, run_one, jobs[i].call_cfg));
-      for (std::size_t i = base; i < end; ++i)
-        results[i] = futures[i - base].get();
+  switch (jobs.size() > 1 ? cfg.exec : ExecMode::kSerial) {
+    case ExecMode::kSerial:
+      for (std::size_t i = 0; i < jobs.size(); ++i)
+        results[i] = run_one(jobs[i].call_cfg);
+      break;
+    case ExecMode::kWave: {
+      // Legacy dispatch, kept as the benchmark baseline: core-count
+      // waves of std::async with a barrier per wave, so one slow call
+      // (relay-mode Zoom with filler bursts) idles the rest of its
+      // wave.
+      const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+      for (std::size_t base = 0; base < jobs.size(); base += hw) {
+        const std::size_t end = std::min(jobs.size(), base + hw);
+        std::vector<std::future<CallAnalysis>> futures;
+        for (std::size_t i = base; i < end; ++i)
+          futures.push_back(
+              std::async(std::launch::async, run_one, jobs[i].call_cfg));
+        for (std::size_t i = base; i < end; ++i)
+          results[i] = futures[i - base].get();
+      }
+      break;
     }
-  } else {
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-      results[i] = run_one(jobs[i].call_cfg);
+    case ExecMode::kPooled:
+      // Persistent work-stealing pool: the pool is bounded by the core
+      // count (each call allocates a multi-megabyte trace, so unbounded
+      // async would oversubscribe CPU and memory), and a finished
+      // worker immediately steals the next undone call.
+      rtcc::util::ThreadPool::shared().parallel_for(
+          jobs.size(),
+          [&](std::size_t i) { results[i] = run_one(jobs[i].call_cfg); });
+      break;
   }
 
   std::map<rtcc::emul::AppId, CallAnalysis> out;
   for (std::size_t i = 0; i < jobs.size(); ++i)
     merge(out[jobs[i].app], results[i]);
   return out;
+}
+
+std::string to_string(ExecMode m) {
+  switch (m) {
+    case ExecMode::kSerial:
+      return "serial";
+    case ExecMode::kWave:
+      return "wave";
+    case ExecMode::kPooled:
+      return "pooled";
+  }
+  return "?";
 }
 
 ExperimentConfig experiment_config_from_env() {
@@ -226,6 +271,16 @@ ExperimentConfig experiment_config_from_env() {
     cfg.repeats = std::max(1, std::atoi(repeats));
   if (const char* seed = std::getenv("RTCC_SEED"))
     cfg.seed = std::strtoull(seed, nullptr, 10);
+  if (const char* parallel = std::getenv("RTCC_PARALLEL")) {
+    // Values parsing to 0 (including non-numeric strings) force fully
+    // serial execution (calls and per-call streams); anything parsing
+    // nonzero keeps the pooled default. Results are identical either
+    // way — the knob only changes dispatch.
+    if (std::atoi(parallel) == 0) {
+      cfg.exec = ExecMode::kSerial;
+      cfg.analysis.parallel_streams = false;
+    }
+  }
   return cfg;
 }
 

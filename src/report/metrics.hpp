@@ -16,6 +16,10 @@ namespace rtcc::report {
 struct AnalysisOptions {
   rtcc::dpi::ScanOptions scan;
   rtcc::compliance::ComplianceConfig compliance;
+  /// Analyze a call's RTC UDP streams concurrently on the shared
+  /// thread pool. Per-stream partial results merge in stream order, so
+  /// output is identical to the serial loop.
+  bool parallel_streams = true;
 };
 
 /// Stats for one (protocol, message-type-label) cell of Tables 3-6.
@@ -78,6 +82,18 @@ struct CallAnalysis {
 
 void merge(CallAnalysis& into, const CallAnalysis& from);
 
+/// How run_experiment dispatches the per-call tasks. All three produce
+/// bit-identical results (fixed app-major merge order); they differ
+/// only in wall-clock. kWave is kept as the ablation baseline for the
+/// pool benchmarks.
+enum class ExecMode : std::uint8_t {
+  kSerial,  // one call at a time on the calling thread
+  kWave,    // core-count-sized std::async waves with a barrier per wave
+  kPooled,  // persistent work-stealing pool (util/thread_pool.hpp)
+};
+
+[[nodiscard]] std::string to_string(ExecMode m);
+
 /// The paper's experiment matrix: apps × network configs × repeats.
 struct ExperimentConfig {
   std::vector<rtcc::emul::AppId> apps = rtcc::emul::all_apps();
@@ -88,17 +104,18 @@ struct ExperimentConfig {
   bool background = true;
   std::uint64_t seed = 42;
   /// Emulate+analyze calls concurrently (one task per call). Results
-  /// are merged in a fixed order, so parallel and serial runs produce
-  /// identical aggregates.
-  bool parallel = true;
+  /// are merged in a fixed order, so every mode produces identical
+  /// aggregates.
+  ExecMode exec = ExecMode::kPooled;
   AnalysisOptions analysis;
 };
 
 [[nodiscard]] std::map<rtcc::emul::AppId, CallAnalysis> run_experiment(
     const ExperimentConfig& cfg);
 
-/// Reads RTCC_SCALE / RTCC_REPEATS env vars so benches can be sped up
-/// or made more faithful without recompiling.
+/// Reads the RTCC_* env vars (RTCC_SCALE, RTCC_REPEATS, RTCC_SEED,
+/// RTCC_PARALLEL; see EXPERIMENTS.md) so benches can be sped up or made
+/// more faithful without recompiling.
 [[nodiscard]] ExperimentConfig experiment_config_from_env();
 
 }  // namespace rtcc::report

@@ -129,29 +129,4 @@ void ByteWriter::patch_u32(std::size_t at, std::uint32_t v) {
   if (at + 4 <= buf_.size()) store_be32(buf_.data() + at, v);
 }
 
-std::uint16_t load_be16(const std::uint8_t* p) {
-  return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) | p[1]);
-}
-
-std::uint32_t load_be32(const std::uint8_t* p) {
-  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
-         (std::uint32_t{p[2]} << 8) | p[3];
-}
-
-std::uint64_t load_be64(const std::uint8_t* p) {
-  return (std::uint64_t{load_be32(p)} << 32) | load_be32(p + 4);
-}
-
-void store_be16(std::uint8_t* p, std::uint16_t v) {
-  p[0] = static_cast<std::uint8_t>(v >> 8);
-  p[1] = static_cast<std::uint8_t>(v);
-}
-
-void store_be32(std::uint8_t* p, std::uint32_t v) {
-  p[0] = static_cast<std::uint8_t>(v >> 24);
-  p[1] = static_cast<std::uint8_t>(v >> 16);
-  p[2] = static_cast<std::uint8_t>(v >> 8);
-  p[3] = static_cast<std::uint8_t>(v);
-}
-
 }  // namespace rtcc::util

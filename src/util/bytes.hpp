@@ -91,11 +91,27 @@ class ByteWriter {
   Bytes buf_;
 };
 
-/// Constant-free helpers for one-off loads (header sniffing).
-[[nodiscard]] std::uint16_t load_be16(const std::uint8_t* p);
-[[nodiscard]] std::uint32_t load_be32(const std::uint8_t* p);
-[[nodiscard]] std::uint64_t load_be64(const std::uint8_t* p);
-void store_be16(std::uint8_t* p, std::uint16_t v);
-void store_be32(std::uint8_t* p, std::uint32_t v);
+/// Constant-free helpers for one-off loads (header sniffing). Inline:
+/// the DPI anchor scanner runs these per candidate byte.
+[[nodiscard]] inline std::uint16_t load_be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) | p[1]);
+}
+[[nodiscard]] inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | p[3];
+}
+[[nodiscard]] inline std::uint64_t load_be64(const std::uint8_t* p) {
+  return (std::uint64_t{load_be32(p)} << 32) | load_be32(p + 4);
+}
+inline void store_be16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
 
 }  // namespace rtcc::util

@@ -1,0 +1,68 @@
+// Persistent work-stealing thread pool.
+//
+// Replaces the wave dispatch previously used by report::run_experiment,
+// where one slow call (relay-mode Zoom with filler bursts) idled the
+// whole wave at every barrier. Here workers pull indices from a shared
+// atomic cursor, so a finished worker immediately steals the next
+// undone index instead of waiting for its wave to drain.
+//
+// Determinism: parallel_for only decides *when* fn(i) runs, never what
+// it computes; callers write results[i] and merge in a fixed order, so
+// pooled and serial runs produce identical output (enforced by
+// tests/test_determinism.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtcc::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool, created on first use and reused across calls /
+  /// experiments. Sized from RTCC_THREADS when set (>0), otherwise
+  /// hardware_concurrency.
+  static ThreadPool& shared();
+
+  [[nodiscard]] unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs fn(0) .. fn(n-1) across the pool and returns when all have
+  /// completed. The calling thread participates (steals indices), so
+  /// nested parallel_for from inside a task cannot deadlock: the inner
+  /// caller can always drain its own batch alone while idle workers
+  /// join from the shared queue. Rethrows the first task exception
+  /// after the batch drains.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  /// Pulls indices from `b` until its cursor passes n. Returns with the
+  /// batch exhausted (but not necessarily completed by other thieves).
+  static void run_batch(Batch& b);
+  void retire_if_exhausted(const std::shared_ptr<Batch>& b);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  /// Batches with unstolen indices; workers steal from the front.
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace rtcc::util

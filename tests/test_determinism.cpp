@@ -1,0 +1,270 @@
+// Equivalence + determinism guarantees for the throughput layer:
+//
+//  * the anchor prefilter (dpi/anchor_scan) produces byte-identical
+//    DPI output vs the naive all-offsets oracle, across the whole
+//    6-app x 3-network corpus;
+//  * run_experiment produces bit-identical aggregates under serial,
+//    wave, and pooled dispatch (and with per-stream parallelism on or
+//    off) — the pool only reorders *when* work runs, never its result;
+//  * the work-stealing pool itself runs every index exactly once,
+//    supports nested parallel_for, and propagates task exceptions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "emul/app_model.hpp"
+#include "net/stream_table.hpp"
+#include "report/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace rtcc;
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  constexpr std::size_t kN = 997;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, EmptyAndSingleIndexBatches) {
+  util::ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  util::ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    util::ThreadPool::shared().parallel_for(
+        50, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 8 * 50);
+}
+
+TEST(ThreadPool, SelfNestedParallelForDoesNotDeadlock) {
+  // Nesting into the *same* pool: the inner caller must be able to
+  // drain its own batch even when every worker is busy with the outer.
+  util::ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(6, [&](std::size_t) {
+    pool.parallel_for(10, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 6 * 10);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  util::ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [&](std::size_t i) {
+                                   if (i == 7)
+                                     throw std::runtime_error("task 7");
+                                   ++completed;
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 15);  // the batch still drains
+}
+
+// ---------------------------------------------------------------------
+// Anchor prefilter equivalence (sweep over the whole corpus)
+// ---------------------------------------------------------------------
+
+void expect_identical_analyses(
+    const std::vector<dpi::DatagramAnalysis>& a,
+    const std::vector<dpi::DatagramAnalysis>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("datagram " + std::to_string(i));
+    EXPECT_EQ(a[i].klass, b[i].klass);
+    EXPECT_EQ(a[i].proprietary_header_len, b[i].proprietary_header_len);
+    EXPECT_EQ(a[i].payload_len, b[i].payload_len);
+    EXPECT_EQ(a[i].candidates, b[i].candidates);
+    ASSERT_EQ(a[i].messages.size(), b[i].messages.size());
+    for (std::size_t m = 0; m < a[i].messages.size(); ++m) {
+      const auto& ma = a[i].messages[m];
+      const auto& mb = b[i].messages[m];
+      EXPECT_EQ(ma.kind, mb.kind);
+      EXPECT_EQ(ma.offset, mb.offset);
+      EXPECT_EQ(ma.length, mb.length);
+      EXPECT_EQ(ma.type_label(), mb.type_label());
+      EXPECT_EQ(ma.raw, mb.raw);
+    }
+  }
+}
+
+TEST(AnchorPrefilter, SweepMatchesOracleAcrossCorpus) {
+  for (const auto app : emul::all_apps()) {
+    for (const auto network : emul::all_networks()) {
+      emul::CallConfig cfg;
+      cfg.app = app;
+      cfg.network = network;
+      cfg.media_scale = 0.02;
+      cfg.call_s = 60.0;
+      const auto call = emul::emulate_call(cfg);
+      const auto table = net::group_streams(call.trace);
+
+      dpi::ScanOptions anchored;
+      anchored.use_anchor_prefilter = true;
+      dpi::ScanOptions oracle = anchored;
+      oracle.use_anchor_prefilter = false;
+      const dpi::ScanningDpi fast(anchored);
+      const dpi::ScanningDpi naive(oracle);
+
+      // Every UDP stream, background included: the prefilter must agree
+      // with the oracle on noise, not just on well-formed RTC streams.
+      for (const auto& stream : table.streams) {
+        if (stream.key.transport != net::Transport::kUdp) continue;
+        std::vector<dpi::StreamDatagram> dgs;
+        dgs.reserve(stream.packets.size());
+        for (const auto& pkt : stream.packets) {
+          dpi::StreamDatagram d;
+          d.payload = net::packet_payload(call.trace, pkt);
+          d.ts = pkt.ts;
+          d.dir = pkt.dir == net::Direction::kAtoB ? 0 : 1;
+          dgs.push_back(d);
+        }
+        SCOPED_TRACE(to_string(app) + "/" + to_string(network));
+        expect_identical_analyses(fast.analyze_stream(dgs),
+                                  naive.analyze_stream(dgs));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// run_experiment determinism across execution modes
+// ---------------------------------------------------------------------
+
+void expect_identical_stats(const rtcc::filter::StageStats& a,
+                            const rtcc::filter::StageStats& b) {
+  EXPECT_EQ(a.streams, b.streams);
+  EXPECT_EQ(a.packets, b.packets);
+}
+
+void expect_identical_call_analysis(const report::CallAnalysis& a,
+                                    const report::CallAnalysis& b) {
+  EXPECT_EQ(a.raw_bytes, b.raw_bytes);
+  EXPECT_EQ(a.raw_udp_streams, b.raw_udp_streams);
+  EXPECT_EQ(a.raw_udp_datagrams, b.raw_udp_datagrams);
+  EXPECT_EQ(a.raw_tcp_streams, b.raw_tcp_streams);
+  EXPECT_EQ(a.raw_tcp_segments, b.raw_tcp_segments);
+  expect_identical_stats(a.stage1_udp, b.stage1_udp);
+  expect_identical_stats(a.stage2_udp, b.stage2_udp);
+  expect_identical_stats(a.stage1_tcp, b.stage1_tcp);
+  expect_identical_stats(a.stage2_tcp, b.stage2_tcp);
+  expect_identical_stats(a.rtc_udp, b.rtc_udp);
+  expect_identical_stats(a.rtc_tcp, b.rtc_tcp);
+  EXPECT_EQ(a.dgram_standard, b.dgram_standard);
+  EXPECT_EQ(a.dgram_prop_header, b.dgram_prop_header);
+  EXPECT_EQ(a.dgram_fully_prop, b.dgram_fully_prop);
+  EXPECT_EQ(a.dpi_candidates, b.dpi_candidates);
+  EXPECT_EQ(a.dpi_messages, b.dpi_messages);
+
+  ASSERT_EQ(a.protocols.size(), b.protocols.size());
+  auto ita = a.protocols.begin();
+  auto itb = b.protocols.begin();
+  for (; ita != a.protocols.end(); ++ita, ++itb) {
+    EXPECT_EQ(ita->first, itb->first);
+    EXPECT_EQ(ita->second.messages, itb->second.messages);
+    EXPECT_EQ(ita->second.compliant, itb->second.compliant);
+    ASSERT_EQ(ita->second.types.size(), itb->second.types.size());
+    auto ta = ita->second.types.begin();
+    auto tb = itb->second.types.begin();
+    for (; ta != ita->second.types.end(); ++ta, ++tb) {
+      EXPECT_EQ(ta->first, tb->first);
+      EXPECT_EQ(ta->second.total, tb->second.total);
+      EXPECT_EQ(ta->second.compliant, tb->second.compliant);
+      EXPECT_EQ(ta->second.criterion_failures, tb->second.criterion_failures);
+    }
+  }
+}
+
+void expect_identical_experiments(
+    const std::map<emul::AppId, report::CallAnalysis>& a,
+    const std::map<emul::AppId, report::CallAnalysis>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  auto ita = a.begin();
+  auto itb = b.begin();
+  for (; ita != a.end(); ++ita, ++itb) {
+    ASSERT_EQ(ita->first, itb->first);
+    SCOPED_TRACE("app " + to_string(ita->first));
+    expect_identical_call_analysis(ita->second, itb->second);
+  }
+}
+
+report::ExperimentConfig small_experiment() {
+  report::ExperimentConfig cfg;
+  cfg.apps = {emul::AppId::kZoom, emul::AppId::kFaceTime,
+              emul::AppId::kDiscord};
+  cfg.repeats = 1;
+  cfg.media_scale = 0.02;
+  cfg.call_s = 60.0;
+  return cfg;
+}
+
+TEST(ExperimentDeterminism, SerialWavePooledIdentical) {
+  // Force a real multi-thread pool even on single-core CI: shared() is
+  // created on first use, which in this process happens below.
+  setenv("RTCC_THREADS", "4", 1);
+
+  auto cfg = small_experiment();
+  cfg.exec = report::ExecMode::kSerial;
+  cfg.analysis.parallel_streams = false;
+  const auto serial = report::run_experiment(cfg);
+
+  cfg.exec = report::ExecMode::kWave;
+  cfg.analysis.parallel_streams = false;
+  const auto wave = report::run_experiment(cfg);
+
+  cfg.exec = report::ExecMode::kPooled;
+  cfg.analysis.parallel_streams = true;
+  const auto pooled = report::run_experiment(cfg);
+
+  expect_identical_experiments(serial, wave);
+  expect_identical_experiments(serial, pooled);
+  unsetenv("RTCC_THREADS");
+}
+
+TEST(ExperimentDeterminism, AnchorPrefilterOnOffIdentical) {
+  auto cfg = small_experiment();
+  cfg.exec = report::ExecMode::kSerial;
+  cfg.analysis.parallel_streams = false;
+  cfg.analysis.scan.use_anchor_prefilter = true;
+  const auto anchored = report::run_experiment(cfg);
+  cfg.analysis.scan.use_anchor_prefilter = false;
+  const auto oracle = report::run_experiment(cfg);
+  expect_identical_experiments(anchored, oracle);
+}
+
+TEST(ExperimentDeterminism, EnvParallelKnob) {
+  setenv("RTCC_PARALLEL", "0", 1);
+  auto cfg = report::experiment_config_from_env();
+  EXPECT_EQ(cfg.exec, report::ExecMode::kSerial);
+  EXPECT_FALSE(cfg.analysis.parallel_streams);
+  setenv("RTCC_PARALLEL", "1", 1);
+  cfg = report::experiment_config_from_env();
+  EXPECT_EQ(cfg.exec, report::ExecMode::kPooled);
+  EXPECT_TRUE(cfg.analysis.parallel_streams);
+  unsetenv("RTCC_PARALLEL");
+  cfg = report::experiment_config_from_env();
+  EXPECT_EQ(cfg.exec, report::ExecMode::kPooled);
+}
+
+}  // namespace
