@@ -5,24 +5,52 @@
 namespace rtcc::crypto {
 namespace {
 
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected IEEE 802.3
+
+/// Slice-by-8 tables: table[0] is the classic byte table; table[k][b]
+/// is the CRC contribution of byte b seen k positions earlier, so eight
+/// bytes fold in one step with no inter-byte dependency chain.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k)
-      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    table[i] = c;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? kPoly ^ (c >> 1) : c >> 1;
+    t[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k)
+    for (std::uint32_t i = 0; i < 256; ++i)
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+  return t;
 }
 
-constexpr auto kTable = make_table();
+constexpr auto kT = make_tables();
 
 }  // namespace
 
 std::uint32_t crc32(rtcc::util::BytesView data) {
   std::uint32_t c = 0xFFFFFFFFu;
-  for (std::uint8_t b : data) c = kTable[(c ^ b) & 0xFF] ^ (c >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    // Byte-indexed loads keep this endianness-independent; the
+    // compiler fuses the first four into one 32-bit load on LE.
+    c ^= std::uint32_t{p[0]} | std::uint32_t{p[1]} << 8 |
+         std::uint32_t{p[2]} << 16 | std::uint32_t{p[3]} << 24;
+    c = kT[7][c & 0xFF] ^ kT[6][(c >> 8) & 0xFF] ^ kT[5][(c >> 16) & 0xFF] ^
+        kT[4][c >> 24] ^ kT[3][p[4]] ^ kT[2][p[5]] ^ kT[1][p[6]] ^ kT[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; ++p, --n) c = kT[0][(c ^ *p) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32_bitwise(rtcc::util::BytesView data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) {
+    c ^= b;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? kPoly ^ (c >> 1) : c >> 1;
+  }
   return c ^ 0xFFFFFFFFu;
 }
 

@@ -1,6 +1,10 @@
 // CRC-32 (IEEE 802.3 polynomial, reflected) — used by the STUN
 // FINGERPRINT attribute (RFC 5389 §15.5: CRC-32 of the message XORed
 // with 0x5354554e).
+//
+// crc32() runs slice-by-8 (eight bytes folded per iteration through
+// eight 256-entry tables built at compile time); crc32_bitwise() is the
+// table-free bit-at-a-time definition, kept as the cross-check oracle.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +14,10 @@
 namespace rtcc::crypto {
 
 [[nodiscard]] std::uint32_t crc32(rtcc::util::BytesView data);
+
+/// Reference implementation straight off the polynomial; identical
+/// values to crc32() (enforced by tests), ~8x slower. Not for hot paths.
+[[nodiscard]] std::uint32_t crc32_bitwise(rtcc::util::BytesView data);
 
 /// The value carried inside a STUN FINGERPRINT attribute.
 [[nodiscard]] std::uint32_t stun_fingerprint(rtcc::util::BytesView msg_prefix);

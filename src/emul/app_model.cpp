@@ -53,7 +53,8 @@ CallContext::CallContext(const CallConfig& config, const Endpoints& endpoints,
     : config_(config),
       endpoints_(endpoints),
       schedule_(schedule),
-      rng_(seed) {}
+      rng_(seed),
+      use_arena_(rtcc::net::arena_enabled()) {}
 
 TransmissionMode CallContext::initial_mode() const {
   switch (config_.network) {
@@ -93,6 +94,19 @@ std::uint16_t CallContext::ephemeral_port() {
   return static_cast<std::uint16_t>(20000 + rng_.below(40000));
 }
 
+void CallContext::emit(double ts, const rtcc::net::FrameSpec& spec,
+                       BytesView payload, TruthKind kind) {
+  if (use_arena_) {
+    emissions_.push_back(
+        Emission{ts, rtcc::net::build_frame_arena(arena_, ts, spec, payload),
+                 kind});
+  } else {
+    emissions_.push_back(Emission{
+        ts, rtcc::net::Frame{ts, rtcc::net::build_frame(spec, payload)},
+        kind});
+  }
+}
+
 void CallContext::emit_udp(double ts, const IpAddr& src, std::uint16_t sport,
                            const IpAddr& dst, std::uint16_t dport,
                            BytesView payload, TruthKind kind) {
@@ -102,9 +116,7 @@ void CallContext::emit_udp(double ts, const IpAddr& src, std::uint16_t sport,
   spec.src_port = sport;
   spec.dst_port = dport;
   spec.transport = rtcc::net::Transport::kUdp;
-  emissions_.push_back(
-      Emission{ts, rtcc::net::Frame{ts, rtcc::net::build_frame(spec, payload)},
-               kind});
+  emit(ts, spec, payload, kind);
 }
 
 void CallContext::emit_tcp(double ts, const IpAddr& src, std::uint16_t sport,
@@ -116,9 +128,7 @@ void CallContext::emit_tcp(double ts, const IpAddr& src, std::uint16_t sport,
   spec.src_port = sport;
   spec.dst_port = dport;
   spec.transport = rtcc::net::Transport::kTcp;
-  emissions_.push_back(
-      Emission{ts, rtcc::net::Frame{ts, rtcc::net::build_frame(spec, payload)},
-               kind});
+  emit(ts, spec, payload, kind);
 }
 
 EmulatedCall CallContext::take_call() {
@@ -129,13 +139,16 @@ EmulatedCall CallContext::take_call() {
   call.schedule = schedule_;
   call.endpoints = endpoints_;
   call.config = config_;
-  call.trace.frames.reserve(emissions_.size());
+  call.trace = rtcc::net::Trace(use_arena_);
+  if (use_arena_) call.trace.adopt_arena(std::move(arena_));
+  call.trace.reserve(emissions_.size());
   call.truth.reserve(emissions_.size());
   for (auto& e : emissions_) {
-    call.trace.frames.push_back(std::move(e.frame));
+    call.trace.add_frame(std::move(e.frame));
     call.truth.push_back(e.kind);
   }
   emissions_.clear();
+  arena_ = rtcc::net::FrameArena();
   return call;
 }
 

@@ -7,31 +7,39 @@ namespace rtcc::emul {
 rtcc::net::Trace perturb(const rtcc::net::Trace& trace,
                          const PerturbConfig& config) {
   rtcc::util::Rng rng(config.seed);
-  rtcc::net::Trace out;
-  out.frames.reserve(trace.frames.size());
 
-  for (const auto& frame : trace.frames) {
+  // Decide survivors/jitter/dups first over cheap (ts, source-frame)
+  // descriptors, then copy bytes into the output trace in final order.
+  struct Item {
+    double ts;
+    const rtcc::net::Frame* src;
+  };
+  std::vector<Item> items;
+  items.reserve(trace.size());
+
+  for (const auto& frame : trace.frames()) {
     if (rng.chance(config.drop_p)) continue;
 
-    rtcc::net::Frame copy = frame;
+    double ts = frame.ts;
     if (rng.chance(config.reorder_p)) {
       const double shift =
           (rng.uniform() * 2.0 - 1.0) * config.reorder_jitter_s;
-      copy.ts = std::max(0.0, copy.ts + shift);
+      ts = std::max(0.0, ts + shift);
     }
-    out.frames.push_back(copy);
+    items.push_back(Item{ts, &frame});
 
     if (rng.chance(config.dup_p)) {
-      rtcc::net::Frame dup = copy;
-      dup.ts += 0.0005;  // retransmission-style near-duplicate
-      out.frames.push_back(std::move(dup));
+      // Retransmission-style near-duplicate.
+      items.push_back(Item{ts + 0.0005, &frame});
     }
   }
 
-  std::stable_sort(out.frames.begin(), out.frames.end(),
-                   [](const rtcc::net::Frame& a, const rtcc::net::Frame& b) {
-                     return a.ts < b.ts;
-                   });
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.ts < b.ts; });
+
+  rtcc::net::Trace out(trace.uses_arena());
+  out.reserve(items.size());
+  for (const auto& item : items) out.add_frame(item.ts, trace.bytes(*item.src));
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "net/headers.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/bytes.hpp"
 
@@ -108,90 +109,123 @@ std::optional<Decoded> decode_frame(BytesView frame) {
   return out;
 }
 
-Bytes build_frame(const FrameSpec& spec, BytesView payload) {
-  ByteWriter w(kEthHeader + 40 + 20 + payload.size());
+namespace {
 
+/// Writes the full frame into `out` (exactly frame_wire_size bytes).
+/// Headers, payload and checksums are written in place — this is the
+/// shared core of build_frame (owned buffer) and build_frame_arena
+/// (slab), so both produce identical bytes by construction.
+void write_frame(std::uint8_t* out, const FrameSpec& spec,
+                 BytesView payload) {
   // Ethernet header with fixed synthetic locally administered MACs.
-  const std::array<std::uint8_t, 6> dst_mac{0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
-  const std::array<std::uint8_t, 6> src_mac{0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
-  w.raw(BytesView{dst_mac}).raw(BytesView{src_mac});
-  w.u16(spec.src.is_v4() ? kEtherIpv4 : kEtherIpv6);
+  constexpr std::uint8_t dst_mac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+  constexpr std::uint8_t src_mac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+  std::memcpy(out, dst_mac, 6);
+  std::memcpy(out + 6, src_mac, 6);
+  rtcc::util::store_be16(out + 12,
+                         spec.src.is_v4() ? kEtherIpv4 : kEtherIpv6);
 
   const auto proto_num = static_cast<std::uint8_t>(spec.transport);
+  const std::size_t ip_hdr = spec.src.is_v4() ? 20 : 40;
+  const std::size_t l4_len =
+      (spec.transport == Transport::kUdp ? 8 : 20) + payload.size();
+  std::uint8_t* ip = out + kEthHeader;
+  std::uint8_t* l4 = ip + ip_hdr;
 
-  // Transport header + payload assembled first so lengths are known.
-  ByteWriter l4;
   if (spec.transport == Transport::kUdp) {
-    l4.u16(spec.src_port).u16(spec.dst_port);
-    l4.u16(static_cast<std::uint16_t>(8 + payload.size()));
-    l4.u16(0);  // checksum patched below
-    l4.raw(payload);
+    rtcc::util::store_be16(l4, spec.src_port);
+    rtcc::util::store_be16(l4 + 2, spec.dst_port);
+    rtcc::util::store_be16(l4 + 4,
+                           static_cast<std::uint16_t>(8 + payload.size()));
+    rtcc::util::store_be16(l4 + 6, 0);  // checksum patched below
+    if (!payload.empty()) std::memcpy(l4 + 8, payload.data(), payload.size());
   } else {
-    // Minimal TCP header: seq/ack zeroed, PSH+ACK, fixed window.
-    l4.u16(spec.src_port).u16(spec.dst_port);
-    l4.u32(0).u32(0);
-    l4.u8(0x50);  // data offset = 5 words
-    l4.u8(0x18);  // PSH|ACK
-    l4.u16(65535);
-    l4.u16(0).u16(0);  // checksum, urgent
-    l4.raw(payload);
+    // Minimal TCP header: seq/ack zeroed, PSH+ACK, fixed window,
+    // checksum left zero (the analysis pipeline never verifies it).
+    rtcc::util::store_be16(l4, spec.src_port);
+    rtcc::util::store_be16(l4 + 2, spec.dst_port);
+    rtcc::util::store_be32(l4 + 4, 0);
+    rtcc::util::store_be32(l4 + 8, 0);
+    l4[12] = 0x50;  // data offset = 5 words
+    l4[13] = 0x18;  // PSH|ACK
+    rtcc::util::store_be16(l4 + 14, 65535);
+    rtcc::util::store_be16(l4 + 16, 0);  // checksum
+    rtcc::util::store_be16(l4 + 18, 0);  // urgent
+    if (!payload.empty()) std::memcpy(l4 + 20, payload.data(), payload.size());
   }
 
   if (spec.src.is_v4()) {
-    ByteWriter ip;
-    ip.u8(0x45).u8(0);
-    ip.u16(static_cast<std::uint16_t>(20 + l4.size()));
-    ip.u16(0).u16(0x4000);  // id=0, DF
-    ip.u8(spec.ttl).u8(proto_num);
-    ip.u16(0);  // header checksum placeholder
-    ip.u32(spec.src.v4_value());
-    ip.u32(spec.dst.v4_value());
-    Bytes ip_hdr = std::move(ip).take();
-    rtcc::util::store_be16(ip_hdr.data() + 10,
-                           internet_checksum(BytesView{ip_hdr}));
+    ip[0] = 0x45;
+    ip[1] = 0;
+    rtcc::util::store_be16(ip + 2, static_cast<std::uint16_t>(20 + l4_len));
+    rtcc::util::store_be16(ip + 4, 0);       // id
+    rtcc::util::store_be16(ip + 6, 0x4000);  // DF
+    ip[8] = spec.ttl;
+    ip[9] = proto_num;
+    rtcc::util::store_be16(ip + 10, 0);  // header checksum placeholder
+    rtcc::util::store_be32(ip + 12, spec.src.v4_value());
+    rtcc::util::store_be32(ip + 16, spec.dst.v4_value());
+    rtcc::util::store_be16(ip + 10, internet_checksum(BytesView{ip, 20}));
 
-    // UDP checksum over IPv4 pseudo-header.
     if (spec.transport == Transport::kUdp) {
-      ByteWriter pseudo;
-      pseudo.u32(spec.src.v4_value()).u32(spec.dst.v4_value());
-      pseudo.u8(0).u8(proto_num);
-      pseudo.u16(static_cast<std::uint16_t>(l4.size()));
-      std::uint32_t acc = sum16(pseudo.view(), 0);
-      acc = sum16(l4.view(), acc);
+      // UDP checksum over the IPv4 pseudo-header.
+      std::uint8_t pseudo[12];
+      rtcc::util::store_be32(pseudo, spec.src.v4_value());
+      rtcc::util::store_be32(pseudo + 4, spec.dst.v4_value());
+      pseudo[8] = 0;
+      pseudo[9] = proto_num;
+      rtcc::util::store_be16(pseudo + 10, static_cast<std::uint16_t>(l4_len));
+      std::uint32_t acc = sum16(BytesView{pseudo, sizeof pseudo}, 0);
+      acc = sum16(BytesView{l4, l4_len}, acc);
       std::uint16_t csum = fold(acc);
       if (csum == 0) csum = 0xFFFF;
-      Bytes l4_bytes = std::move(l4).take();
-      rtcc::util::store_be16(l4_bytes.data() + 6, csum);
-      w.raw(BytesView{ip_hdr}).raw(BytesView{l4_bytes});
-    } else {
-      w.raw(BytesView{ip_hdr}).raw(l4.view());
+      rtcc::util::store_be16(l4 + 6, csum);
     }
   } else {
-    ByteWriter ip;
-    ip.u32(0x60000000u);  // version 6, tc 0, flow 0
-    ip.u16(static_cast<std::uint16_t>(l4.size()));
-    ip.u8(proto_num).u8(spec.ttl);
-    ip.raw(BytesView{spec.src.v6_bytes()});
-    ip.raw(BytesView{spec.dst.v6_bytes()});
+    rtcc::util::store_be32(ip, 0x60000000u);  // version 6, tc 0, flow 0
+    rtcc::util::store_be16(ip + 4, static_cast<std::uint16_t>(l4_len));
+    ip[6] = proto_num;
+    ip[7] = spec.ttl;
+    std::memcpy(ip + 8, spec.src.v6_bytes().data(), 16);
+    std::memcpy(ip + 24, spec.dst.v6_bytes().data(), 16);
 
     if (spec.transport == Transport::kUdp) {
-      ByteWriter pseudo;
-      pseudo.raw(BytesView{spec.src.v6_bytes()});
-      pseudo.raw(BytesView{spec.dst.v6_bytes()});
-      pseudo.u32(static_cast<std::uint32_t>(l4.size()));
-      pseudo.u24(0).u8(proto_num);
-      std::uint32_t acc = sum16(pseudo.view(), 0);
-      acc = sum16(l4.view(), acc);
+      std::uint8_t pseudo[40];
+      std::memcpy(pseudo, spec.src.v6_bytes().data(), 16);
+      std::memcpy(pseudo + 16, spec.dst.v6_bytes().data(), 16);
+      rtcc::util::store_be32(pseudo + 32, static_cast<std::uint32_t>(l4_len));
+      pseudo[36] = 0;
+      pseudo[37] = 0;
+      pseudo[38] = 0;
+      pseudo[39] = proto_num;
+      std::uint32_t acc = sum16(BytesView{pseudo, sizeof pseudo}, 0);
+      acc = sum16(BytesView{l4, l4_len}, acc);
       std::uint16_t csum = fold(acc);
       if (csum == 0) csum = 0xFFFF;
-      Bytes l4_bytes = std::move(l4).take();
-      rtcc::util::store_be16(l4_bytes.data() + 6, csum);
-      w.raw(ip.view()).raw(BytesView{l4_bytes});
-    } else {
-      w.raw(ip.view()).raw(l4.view());
+      rtcc::util::store_be16(l4 + 6, csum);
     }
   }
-  return std::move(w).take();
+}
+
+}  // namespace
+
+std::size_t frame_wire_size(const FrameSpec& spec, std::size_t payload_size) {
+  return kEthHeader + (spec.src.is_v4() ? 20u : 40u) +
+         (spec.transport == Transport::kUdp ? 8u : 20u) + payload_size;
+}
+
+Bytes build_frame(const FrameSpec& spec, BytesView payload) {
+  Bytes out(frame_wire_size(spec, payload.size()));
+  write_frame(out.data(), spec, payload);
+  return out;
+}
+
+Frame build_frame_arena(FrameArena& arena, double ts, const FrameSpec& spec,
+                        BytesView payload) {
+  const std::size_t n = frame_wire_size(spec, payload.size());
+  std::uint64_t off = 0;
+  write_frame(arena.alloc(n, off), spec, payload);
+  return Frame{ts, {}, off, static_cast<std::uint32_t>(n)};
 }
 
 }  // namespace rtcc::net

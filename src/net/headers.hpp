@@ -10,6 +10,7 @@
 #include <string>
 
 #include "net/address.hpp"
+#include "net/arena.hpp"
 #include "util/bytes.hpp"
 
 namespace rtcc::net {
@@ -19,10 +20,19 @@ enum class Transport : std::uint8_t { kUdp = 17, kTcp = 6, kOther = 0 };
 [[nodiscard]] std::string to_string(Transport t);
 
 /// One captured frame: timestamp (seconds since experiment epoch) plus
-/// raw Ethernet bytes, exactly what a pcap record stores.
+/// raw Ethernet bytes, exactly what a pcap record stores. The bytes
+/// live either in `data` (legacy owned-buffer mode) or, when `data` is
+/// empty, at [off, off+len) in the owning Trace's FrameArena — resolve
+/// through Trace::bytes(), never through these fields directly.
 struct Frame {
   double ts = 0.0;
-  rtcc::util::Bytes data;
+  rtcc::util::Bytes data;  // legacy owned storage; empty when arena-backed
+  std::uint64_t off = 0;   // arena offset (arena-backed frames)
+  std::uint32_t len = 0;   // arena view length
+
+  [[nodiscard]] std::size_t size() const {
+    return data.empty() ? len : data.size();
+  }
 };
 
 /// Decoded view over one frame. `payload` aliases the frame's bytes —
@@ -53,11 +63,22 @@ struct FrameSpec {
   std::uint8_t ttl = 64;
 };
 
+/// Exact wire size of the frame build_frame would synthesise.
+[[nodiscard]] std::size_t frame_wire_size(const FrameSpec& spec,
+                                          std::size_t payload_size);
+
 /// Builds a full Ethernet frame (synthetic MACs) around `payload`.
 /// IPv4/IPv6 selected by the address family of `spec.src` (both
 /// endpoints must be the same family). UDP/IP checksums are computed.
 [[nodiscard]] rtcc::util::Bytes build_frame(const FrameSpec& spec,
                                             rtcc::util::BytesView payload);
+
+/// Arena variant: writes the frame straight into `arena` (headers,
+/// checksums and payload in place — no temporary vectors) and returns
+/// an arena-backed Frame. Byte-identical to build_frame.
+[[nodiscard]] Frame build_frame_arena(FrameArena& arena, double ts,
+                                      const FrameSpec& spec,
+                                      rtcc::util::BytesView payload);
 
 /// RFC 1071 internet checksum (IPv4 header / UDP pseudo-header sums).
 [[nodiscard]] std::uint16_t internet_checksum(rtcc::util::BytesView data,

@@ -4,6 +4,15 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RTCC_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace rtcc::net {
 
@@ -38,43 +47,14 @@ void set_error(std::string* error, const char* msg) {
   if (error) *error = msg;
 }
 
-}  // namespace
-
-std::uint64_t Trace::total_bytes() const {
-  std::uint64_t n = 0;
-  for (const auto& f : frames) n += f.data.size();
-  return n;
-}
-
-Bytes encode_pcap(const Trace& trace) {
-  Bytes out;
-  out.reserve(24 + trace.frames.size() * 16 + trace.total_bytes());
-  push32(out, kMagicNative);
-  push16(out, 2);  // version major
-  push16(out, 4);  // version minor
-  push32(out, 0);  // thiszone
-  push32(out, 0);  // sigfigs
-  push32(out, kSnapLen);
-  push32(out, kLinkEthernet);
-
-  for (const auto& f : trace.frames) {
-    const double ts = f.ts < 0 ? 0.0 : f.ts;
-    const auto sec = static_cast<std::uint32_t>(ts);
-    const auto usec = static_cast<std::uint32_t>(
-        std::llround((ts - static_cast<double>(sec)) * 1e6) % 1000000);
-    push32(out, sec);
-    push32(out, usec);
-    push32(out, static_cast<std::uint32_t>(f.data.size()));
-    push32(out, static_cast<std::uint32_t>(f.data.size()));
-    out.insert(out.end(), f.data.begin(), f.data.end());
-  }
-  return out;
-}
-
-std::optional<Trace> decode_pcap(BytesView data, std::string* error) {
+/// Shared record walk of both decode paths: validates the global header
+/// and every record header, then hands (ts, payload offset, len) to the
+/// sink — which either copies the bytes or registers a view.
+template <typename FrameSink>
+bool parse_pcap(BytesView data, std::string* error, FrameSink&& on_frame) {
   if (data.size() < 24) {
     set_error(error, "pcap: file shorter than global header");
-    return std::nullopt;
+    return false;
   }
   std::uint32_t magic;
   std::memcpy(&magic, data.data(), 4);
@@ -85,52 +65,174 @@ std::optional<Trace> decode_pcap(BytesView data, std::string* error) {
     swap = true;
   } else {
     set_error(error, "pcap: bad magic number");
-    return std::nullopt;
+    return false;
   }
   const std::uint32_t linktype = load32(data.data() + 20, swap);
   if (linktype != kLinkEthernet) {
     set_error(error, "pcap: unsupported link type (want Ethernet)");
-    return std::nullopt;
+    return false;
   }
 
-  Trace trace;
   std::size_t pos = 24;
   while (pos < data.size()) {
     if (pos + 16 > data.size()) {
       set_error(error, "pcap: truncated record header");
-      return std::nullopt;
+      return false;
     }
     const std::uint32_t sec = load32(data.data() + pos, swap);
     const std::uint32_t usec = load32(data.data() + pos + 4, swap);
+    // incl_len is what the capture stored (snaplen-clipped); orig_len
+    // (pos + 12) is informational and deliberately ignored, matching
+    // how the analysis treats clipped records: bytes-on-disk only.
     const std::uint32_t incl = load32(data.data() + pos + 8, swap);
     pos += 16;
-    if (pos + incl > data.size()) {
+    if (incl > data.size() || pos + incl > data.size()) {
       set_error(error, "pcap: truncated packet record");
-      return std::nullopt;
+      return false;
     }
-    Frame f;
-    f.ts = static_cast<double>(sec) + static_cast<double>(usec) * 1e-6;
-    f.data.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
-                  data.begin() + static_cast<std::ptrdiff_t>(pos + incl));
-    trace.frames.push_back(std::move(f));
+    const double ts =
+        static_cast<double>(sec) + static_cast<double>(usec) * 1e-6;
+    on_frame(ts, pos, incl);
     pos += incl;
   }
+  return true;
+}
+
+}  // namespace
+
+Frame& Trace::add_frame(double ts, BytesView bytes) {
+  Frame f;
+  f.ts = ts;
+  if (use_arena_) {
+    f.len = static_cast<std::uint32_t>(bytes.size());
+    f.off = bytes.empty() ? 0 : arena_.append(bytes);
+  } else {
+    f.data.assign(bytes.begin(), bytes.end());
+  }
+  return add_frame(std::move(f));
+}
+
+Frame& Trace::add_frame(Frame f) {
+  total_bytes_ += f.size();
+  frames_.push_back(std::move(f));
+  return frames_.back();
+}
+
+void Trace::adopt_arena(FrameArena&& arena) {
+  // Offsets of already-registered view frames would shift if slabs were
+  // merged, so adoption is only defined onto an empty arena.
+  if (!arena_.empty()) return;
+  arena_ = std::move(arena);
+}
+
+Bytes encode_pcap(const Trace& trace) {
+  Bytes out;
+  out.reserve(24 + trace.size() * 16 + trace.total_bytes());
+  push32(out, kMagicNative);
+  push16(out, 2);  // version major
+  push16(out, 4);  // version minor
+  push32(out, 0);  // thiszone
+  push32(out, 0);  // sigfigs
+  push32(out, kSnapLen);
+  push32(out, kLinkEthernet);
+
+  for (const auto& f : trace.frames()) {
+    const double ts = f.ts < 0 ? 0.0 : f.ts;
+    const auto sec = static_cast<std::uint32_t>(ts);
+    const auto usec = static_cast<std::uint32_t>(
+        std::llround((ts - static_cast<double>(sec)) * 1e6) % 1000000);
+    const BytesView bytes = trace.bytes(f);
+    push32(out, sec);
+    push32(out, usec);
+    push32(out, static_cast<std::uint32_t>(bytes.size()));
+    push32(out, static_cast<std::uint32_t>(bytes.size()));
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  return out;
+}
+
+std::optional<Trace> decode_pcap(BytesView data, std::string* error) {
+  Trace trace;
+  if (!parse_pcap(data, error,
+                  [&](double ts, std::size_t pos, std::uint32_t incl) {
+                    trace.add_frame(ts, data.subspan(pos, incl));
+                  }))
+    return std::nullopt;
   return trace;
 }
 
+std::optional<Trace> decode_pcap_zero_copy(BytesView data,
+                                           std::shared_ptr<void> keepalive,
+                                           std::string* error) {
+  Trace trace(/*use_arena=*/true);
+  const std::uint64_t base = trace.adopt_buffer(data, std::move(keepalive));
+  if (!parse_pcap(data, error,
+                  [&](double ts, std::size_t pos, std::uint32_t incl) {
+                    trace.add_frame(Frame{ts, {}, base + pos, incl});
+                  }))
+    return std::nullopt;
+  return trace;
+}
+
+std::optional<Trace> decode_pcap_owned(Bytes data, std::string* error) {
+  auto owner = std::make_shared<Bytes>(std::move(data));
+  return decode_pcap_zero_copy(BytesView{*owner}, owner, error);
+}
+
+namespace {
+
+std::optional<Trace> read_pcap_buffered(std::FILE* fp, bool zero_copy,
+                                        std::string* error) {
+  Bytes data;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), fp)) > 0)
+    data.insert(data.end(), buf, buf + n);
+  if (zero_copy) return decode_pcap_owned(std::move(data), error);
+  return decode_pcap(BytesView{data}, error);
+}
+
+}  // namespace
+
 std::optional<Trace> read_pcap(const std::string& path, std::string* error) {
+#ifdef RTCC_HAS_MMAP
+  if (arena_enabled()) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      set_error(error, "pcap: cannot open file");
+      return std::nullopt;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      const auto len = static_cast<std::size_t>(st.st_size);
+      void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (map != MAP_FAILED) {
+        ::close(fd);
+        std::shared_ptr<void> unmapper(
+            map, [len](void* p) { ::munmap(p, len); });
+        return decode_pcap_zero_copy(
+            BytesView{static_cast<const std::uint8_t*>(map), len},
+            std::move(unmapper), error);
+      }
+    }
+    // mmap unavailable (empty file, pipe, weird fs): single-buffer read.
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(::fdopen(fd, "rb"),
+                                                       &std::fclose);
+    if (!fp) {
+      ::close(fd);
+      set_error(error, "pcap: cannot open file");
+      return std::nullopt;
+    }
+    return read_pcap_buffered(fp.get(), /*zero_copy=*/true, error);
+  }
+#endif
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> fp(
       std::fopen(path.c_str(), "rb"), &std::fclose);
   if (!fp) {
     set_error(error, "pcap: cannot open file");
     return std::nullopt;
   }
-  Bytes data;
-  std::uint8_t buf[1 << 16];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), fp.get())) > 0)
-    data.insert(data.end(), buf, buf + n);
-  return decode_pcap(BytesView{data}, error);
+  return read_pcap_buffered(fp.get(), arena_enabled(), error);
 }
 
 bool write_pcap(const std::string& path, const Trace& trace,

@@ -2,22 +2,88 @@
 // LINKTYPE_ETHERNET. Both byte orders are accepted on read (magic
 // 0xA1B2C3D4 vs 0xD4C3B2A1); files are written in native little-endian
 // order like tcpdump does.
+//
+// Reading is zero-copy by default: read_pcap mmaps the file (read()
+// with a single whole-file buffer as fallback), adopts the buffer into
+// the trace's FrameArena, and registers each frame as an {offset, len}
+// view over the file bytes — no per-packet allocation or copy. The
+// legacy one-owned-buffer-per-frame path is kept behind RTCC_ARENA=0
+// as the equivalence oracle (see net/arena.hpp).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "net/arena.hpp"
 #include "net/headers.hpp"
 
 namespace rtcc::net {
 
 /// An ordered capture: what one Wireshark session on one device saw.
-struct Trace {
-  std::vector<Frame> frames;
+/// Frames are appended through add_frame (never by mutating a frames()
+/// element), which keeps the byte total cached and routes storage into
+/// the arena or per-frame owned buffers depending on the trace's mode.
+class Trace {
+ public:
+  /// Mode follows the process-wide arena_enabled() switch.
+  Trace() : use_arena_(arena_enabled()) {}
+  explicit Trace(bool use_arena) : use_arena_(use_arena) {}
 
-  [[nodiscard]] std::size_t size() const { return frames.size(); }
-  [[nodiscard]] std::uint64_t total_bytes() const;
+  Trace(Trace&&) noexcept = default;
+  Trace& operator=(Trace&&) noexcept = default;
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  [[nodiscard]] const std::vector<Frame>& frames() const { return frames_; }
+  [[nodiscard]] std::size_t size() const { return frames_.size(); }
+  [[nodiscard]] bool empty() const { return frames_.empty(); }
+  /// Sum of all frame sizes — cached on append, O(1).
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] bool uses_arena() const { return use_arena_; }
+  [[nodiscard]] const FrameArena& arena() const { return arena_; }
+  [[nodiscard]] FrameArena& arena() { return arena_; }
+
+  /// Resolves a frame's wire bytes regardless of storage mode.
+  [[nodiscard]] rtcc::util::BytesView bytes(const Frame& f) const {
+    return f.data.empty() ? arena_.view(f.off, f.len)
+                          : rtcc::util::BytesView{f.data};
+  }
+  [[nodiscard]] rtcc::util::BytesView frame_bytes(std::size_t i) const {
+    return bytes(frames_[i]);
+  }
+
+  void reserve(std::size_t n) { frames_.reserve(n); }
+
+  /// Copies `bytes` into this trace's storage (arena slab or per-frame
+  /// owned buffer) and appends the frame.
+  Frame& add_frame(double ts, rtcc::util::BytesView bytes);
+
+  /// Adopts a prebuilt frame: either one owning its bytes, or an
+  /// arena-backed view into this trace's arena (e.g. produced by
+  /// build_frame_arena against arena() or an arena later passed to
+  /// adopt_arena).
+  Frame& add_frame(Frame f);
+
+  /// Takes over an externally built arena (the emulator builds frames
+  /// into a CallContext arena, sorts the descriptors, then hands the
+  /// arena to the call's trace). Only valid while this arena is empty.
+  void adopt_arena(FrameArena&& arena);
+
+  /// Registers an externally owned immutable buffer (mmap'ed file,
+  /// whole-file read) in the arena; returns its base offset for
+  /// registering view frames over it.
+  std::uint64_t adopt_buffer(rtcc::util::BytesView data,
+                             std::shared_ptr<void> keepalive) {
+    return arena_.adopt(data, std::move(keepalive));
+  }
+
+ private:
+  FrameArena arena_;
+  std::vector<Frame> frames_;
+  std::uint64_t total_bytes_ = 0;
+  bool use_arena_ = true;
 };
 
 struct PcapError {
@@ -25,7 +91,9 @@ struct PcapError {
 };
 
 /// Reads an entire .pcap file. Returns an error message for bad magic,
-/// truncated records, or non-Ethernet link types.
+/// truncated records, or non-Ethernet link types. In arena mode the
+/// file is mmap'ed (or read once into a single adopted buffer) and
+/// frames are zero-copy views into it.
 [[nodiscard]] std::optional<Trace> read_pcap(const std::string& path,
                                              std::string* error = nullptr);
 
@@ -33,9 +101,22 @@ struct PcapError {
 [[nodiscard]] bool write_pcap(const std::string& path, const Trace& trace,
                               std::string* error = nullptr);
 
-/// In-memory round trip used heavily by tests.
+/// In-memory round trip used heavily by tests. decode_pcap copies frame
+/// bytes out of `data` (into the arena, or per-frame in legacy mode).
 [[nodiscard]] rtcc::util::Bytes encode_pcap(const Trace& trace);
 [[nodiscard]] std::optional<Trace> decode_pcap(rtcc::util::BytesView data,
                                                std::string* error = nullptr);
+
+/// Zero-copy decode: `data` is adopted into the trace's arena and every
+/// frame becomes a view into it. `keepalive` is held for the life of
+/// the trace (the mmap unmapper or owning buffer; may be null when the
+/// caller guarantees `data` outlives the trace, as benches do).
+[[nodiscard]] std::optional<Trace> decode_pcap_zero_copy(
+    rtcc::util::BytesView data, std::shared_ptr<void> keepalive = nullptr,
+    std::string* error = nullptr);
+
+/// Zero-copy decode taking ownership of a whole-file buffer.
+[[nodiscard]] std::optional<Trace> decode_pcap_owned(
+    rtcc::util::Bytes data, std::string* error = nullptr);
 
 }  // namespace rtcc::net

@@ -77,9 +77,10 @@ StreamTable group_streams(const Trace& trace) {
   StreamTable table;
   std::unordered_map<FlowKey, std::size_t, FlowKeyHash> index;
 
-  for (std::size_t i = 0; i < trace.frames.size(); ++i) {
-    const Frame& frame = trace.frames[i];
-    auto decoded = decode_frame(rtcc::util::BytesView{frame.data});
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Frame& frame = trace.frames()[i];
+    const rtcc::util::BytesView wire = trace.bytes(frame);
+    auto decoded = decode_frame(wire);
     if (!decoded) {
       ++table.undecodable_frames;
       continue;
@@ -96,19 +97,22 @@ StreamTable group_streams(const Trace& trace) {
     Stream& stream = table.streams[it->second];
     stream.first_ts = std::min(stream.first_ts, frame.ts);
     stream.last_ts = std::max(stream.last_ts, frame.ts);
+    // The decoded payload aliases `wire`, so its start offset within
+    // the frame falls out of pointer arithmetic for free.
     stream.packets.push_back(StreamPacket{
         static_cast<std::uint32_t>(i), frame.ts, dir,
-        static_cast<std::uint32_t>(decoded->payload.size())});
+        static_cast<std::uint32_t>(decoded->payload.size()),
+        static_cast<std::uint32_t>(decoded->payload.data() - wire.data())});
   }
   return table;
 }
 
 rtcc::util::BytesView packet_payload(const Trace& trace,
                                      const StreamPacket& pkt) {
-  const Frame& frame = trace.frames.at(pkt.frame_index);
-  auto decoded = decode_frame(rtcc::util::BytesView{frame.data});
-  if (!decoded) return {};
-  return decoded->payload;
+  const rtcc::util::BytesView wire = trace.frame_bytes(pkt.frame_index);
+  if (std::uint64_t{pkt.payload_off} + pkt.payload_len > wire.size())
+    return {};
+  return wire.subspan(pkt.payload_off, pkt.payload_len);
 }
 
 }  // namespace rtcc::net

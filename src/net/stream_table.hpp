@@ -36,11 +36,15 @@ struct FlowKeyHash {
 [[nodiscard]] std::pair<FlowKey, Direction> canonical_flow(const Decoded& d);
 
 /// One packet's membership in a stream; indexes into the owning Trace.
+/// `payload_off` is the transport payload's start within the frame
+/// bytes, recorded at grouping time so packet_payload() is a pure
+/// subspan into the trace arena — no per-access frame re-decode.
 struct StreamPacket {
   std::uint32_t frame_index = 0;
   double ts = 0.0;
   Direction dir = Direction::kAtoB;
   std::uint32_t payload_len = 0;
+  std::uint32_t payload_off = 0;
 };
 
 struct Stream {

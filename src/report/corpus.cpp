@@ -1,0 +1,184 @@
+#include "report/corpus.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+#ifdef __unix__
+#include <sys/resource.h>
+#endif
+
+namespace rtcc::report {
+namespace {
+
+/// Counting gate bounding live traces. acquire() blocks until a slot
+/// is free; the byte counters ride along under the same mutex so the
+/// recorded peak is exact, not sampled.
+class TraceGate {
+ public:
+  explicit TraceGate(std::size_t slots) : free_(slots) {}
+
+  void acquire() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return free_ > 0; });
+    --free_;
+    ++live_;
+    peak_live_ = std::max(peak_live_, live_);
+  }
+
+  void add_bytes(std::uint64_t n) {
+    std::lock_guard lock(mutex_);
+    live_bytes_ += n;
+    peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+  }
+
+  void release(std::uint64_t bytes) {
+    {
+      std::lock_guard lock(mutex_);
+      live_bytes_ -= bytes;
+      --live_;
+      ++free_;
+    }
+    cv_.notify_one();
+  }
+
+  [[nodiscard]] std::uint64_t peak_bytes() const { return peak_bytes_; }
+  [[nodiscard]] std::size_t peak_live() const { return peak_live_; }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t free_;
+  std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
+  std::uint64_t live_bytes_ = 0;
+  std::uint64_t peak_bytes_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() {
+#ifdef __linux__
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    std::uint64_t kib = 0;
+    bool found = false;
+    while (std::fgets(line, sizeof line, f)) {
+      if (std::sscanf(line, "VmHWM: %llu kB",
+                      reinterpret_cast<unsigned long long*>(&kib)) == 1) {
+        found = true;
+        break;
+      }
+    }
+    std::fclose(f);
+    if (found) return kib * 1024;
+  }
+#endif
+#ifdef __unix__
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+    // ru_maxrss is KiB on Linux, bytes on macOS.
+#ifdef __APPLE__
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+CorpusResult run_corpus(const CorpusOptions& opts) {
+  const auto& cfg = opts.experiment;
+
+  // Same enumeration as run_experiment: app-major, then network, then
+  // repeat — slot i of every result vector belongs to job i, so the
+  // merge order (and thus the aggregates) is independent of scheduling.
+  struct Job {
+    rtcc::emul::AppId app;
+    rtcc::emul::NetworkSetup network;
+    int repeat;
+    rtcc::emul::CallConfig call_cfg;
+  };
+  std::vector<Job> jobs;
+  for (auto app : cfg.apps) {
+    for (auto network : cfg.networks) {
+      for (int repeat = 0; repeat < cfg.repeats; ++repeat) {
+        rtcc::emul::CallConfig call_cfg;
+        call_cfg.app = app;
+        call_cfg.network = network;
+        call_cfg.media_scale = cfg.media_scale;
+        call_cfg.call_s = cfg.call_s;
+        call_cfg.background = cfg.background;
+        call_cfg.seed = cfg.seed;
+        call_cfg.call_index = repeat;
+        jobs.push_back(Job{app, network, repeat, call_cfg});
+      }
+    }
+  }
+
+  const bool serial = cfg.exec == ExecMode::kSerial || jobs.size() <= 1;
+  auto& pool = rtcc::util::ThreadPool::shared();
+  std::size_t slots = opts.max_live_traces;
+  if (slots == 0) slots = serial ? 1 : std::size_t{2} * pool.worker_count();
+  TraceGate gate(slots);
+
+  std::vector<CallAnalysis> analyses(jobs.size());
+  std::vector<CorpusCallStats> stats(jobs.size());
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto run_one = [&](std::size_t i) {
+    const Job& job = jobs[i];
+    gate.acquire();
+    std::uint64_t bytes = 0;
+    {
+      // Trace lifetime is this block: generated, counted, analyzed,
+      // destroyed — never parked in a corpus-wide container.
+      const auto call = rtcc::emul::emulate_call(job.call_cfg);
+      bytes = call.trace.total_bytes();
+      gate.add_bytes(bytes);
+      analyses[i] = analyze_call(call, cfg.analysis);
+      stats[i] = CorpusCallStats{job.app, job.network, job.repeat, bytes,
+                                 call.trace.size()};
+    }
+    gate.release(bytes);
+  };
+
+  if (serial) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+  } else {
+    pool.parallel_for(jobs.size(), run_one);
+  }
+
+  CorpusResult out;
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             started)
+                   .count();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    merge(out.per_app[jobs[i].app], analyses[i]);
+    out.total_trace_bytes += stats[i].trace_bytes;
+  }
+  out.calls = std::move(stats);
+  out.peak_live_trace_bytes = gate.peak_bytes();
+  out.peak_live_traces = gate.peak_live();
+  out.peak_rss_bytes = peak_rss_bytes();
+  return out;
+}
+
+CorpusOptions corpus_options_from_env() {
+  CorpusOptions opts;
+  opts.experiment = experiment_config_from_env();
+  if (std::getenv("RTCC_REPEATS") == nullptr) opts.experiment.repeats = 5;
+  if (const char* live = std::getenv("RTCC_MAX_LIVE"))
+    opts.max_live_traces =
+        static_cast<std::size_t>(std::max(1, std::atoi(live)));
+  return opts;
+}
+
+}  // namespace rtcc::report

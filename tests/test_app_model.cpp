@@ -34,8 +34,8 @@ TEST(CallContext, EmissionsAreSortedOnTake) {
                BytesView{payload}, TruthKind::kRtc);
   auto call = ctx.take_call();
   ASSERT_EQ(call.trace.size(), 3u);
-  EXPECT_EQ(call.trace.frames[0].ts, 1.0);
-  EXPECT_EQ(call.trace.frames[2].ts, 5.0);
+  EXPECT_EQ(call.trace.frames()[0].ts, 1.0);
+  EXPECT_EQ(call.trace.frames()[2].ts, 5.0);
   // Truth labels travel with the frames through the sort.
   EXPECT_EQ(call.truth[0], TruthKind::kBackground);
   EXPECT_EQ(call.truth[1], TruthKind::kRtc);
@@ -101,8 +101,8 @@ TEST(EmitRtpLeg, SequenceNumbersAdvanceByOne) {
   auto call = ctx.take_call();
 
   std::vector<std::uint16_t> seqs;
-  for (const auto& frame : call.trace.frames) {
-    auto d = net::decode_frame(BytesView{frame.data});
+  for (const auto& frame : call.trace.frames()) {
+    auto d = net::decode_frame(call.trace.bytes(frame));
     ASSERT_TRUE(d);
     auto p = proto::rtp::parse(d->payload);
     ASSERT_TRUE(p);

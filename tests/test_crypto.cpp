@@ -27,6 +27,18 @@ TEST(Crc32, KnownVectors) {
             0x414FA339u);
 }
 
+TEST(Crc32, SliceBy8MatchesBitwise) {
+  // The slice-by-8 fast path and the bit-at-a-time reference must agree
+  // on every length mod 8 (0..7 tail bytes) and across chunk seams.
+  rtcc::util::Bytes data(257);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  for (std::size_t len = 0; len <= data.size(); ++len) {
+    const rtcc::util::BytesView v{data.data(), len};
+    ASSERT_EQ(crc32(v), crc32_bitwise(v)) << "len=" << len;
+  }
+}
+
 TEST(Crc32, StunFingerprintXor) {
   // FINGERPRINT = CRC32(msg) ^ 0x5354554e (RFC 5389 §15.5).
   EXPECT_EQ(stun_fingerprint(sv("123456789")),

@@ -41,8 +41,11 @@ TEST(Emulator, Deterministic) {
   const auto b = emulate_call(cfg);
   ASSERT_EQ(a.trace.size(), b.trace.size());
   for (std::size_t i = 0; i < a.trace.size(); ++i) {
-    ASSERT_EQ(a.trace.frames[i].ts, b.trace.frames[i].ts);
-    ASSERT_EQ(a.trace.frames[i].data, b.trace.frames[i].data);
+    ASSERT_EQ(a.trace.frames()[i].ts, b.trace.frames()[i].ts);
+    const auto fa = a.trace.frame_bytes(i);
+    const auto fb = b.trace.frame_bytes(i);
+    ASSERT_EQ(rtcc::util::Bytes(fa.begin(), fa.end()),
+              rtcc::util::Bytes(fb.begin(), fb.end()));
   }
 }
 
@@ -65,7 +68,7 @@ TEST(Emulator, FramesAreTimeSorted) {
   cfg.media_scale = 0.01;
   const auto call = emulate_call(cfg);
   for (std::size_t i = 1; i < call.trace.size(); ++i)
-    ASSERT_LE(call.trace.frames[i - 1].ts, call.trace.frames[i].ts);
+    ASSERT_LE(call.trace.frames()[i - 1].ts, call.trace.frames()[i].ts);
 }
 
 TEST(Emulator, ProtocolSetsMatchPaperFinding1) {

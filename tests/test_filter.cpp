@@ -84,8 +84,7 @@ struct PipelineFixture {
     spec.dst = *IpAddr::parse(dst);
     spec.src_port = sport;
     spec.dst_port = dport;
-    trace.frames.push_back(
-        Frame{ts, rtcc::net::build_frame(spec, BytesView{payload})});
+    trace.add_frame(ts, BytesView{rtcc::net::build_frame(spec, BytesView{payload})});
   }
 
   void add_tcp(double ts, const char* src, std::uint16_t sport,
@@ -96,8 +95,7 @@ struct PipelineFixture {
     spec.src_port = sport;
     spec.dst_port = dport;
     spec.transport = Transport::kTcp;
-    trace.frames.push_back(
-        Frame{ts, rtcc::net::build_frame(spec, BytesView{payload})});
+    trace.add_frame(ts, BytesView{rtcc::net::build_frame(spec, BytesView{payload})});
   }
 
   FilterReport run() {

@@ -59,8 +59,8 @@ TEST(Ipv6Pipeline, EndpointsAreV6AndFramesDecode) {
 
   // The trace is genuinely dual-stack: v6 media plus v4 background.
   bool saw_v6 = false, saw_v4 = false;
-  for (const auto& frame : call.trace.frames) {
-    auto d = net::decode_frame(util::BytesView{frame.data});
+  for (const auto& frame : call.trace.frames()) {
+    auto d = net::decode_frame(call.trace.bytes(frame));
     if (!d) continue;
     (d->is_v6 ? saw_v6 : saw_v4) = true;
   }

@@ -146,17 +146,17 @@ TEST(Pcap, InMemoryRoundTrip) {
   spec.dst_port = 2222;
   for (int i = 0; i < 10; ++i) {
     Bytes payload(static_cast<std::size_t>(i + 1), static_cast<std::uint8_t>(i));
-    trace.frames.push_back(
-        Frame{0.5 * i, build_frame(spec, BytesView{payload})});
+    const Bytes wire = build_frame(spec, BytesView{payload});
+    trace.add_frame(0.5 * i, BytesView{wire});
   }
   auto decoded = decode_pcap(BytesView{encode_pcap(trace)});
   ASSERT_TRUE(decoded);
-  ASSERT_EQ(decoded->frames.size(), 10u);
-  for (int i = 0; i < 10; ++i) {
-    EXPECT_NEAR(decoded->frames[static_cast<std::size_t>(i)].ts, 0.5 * i,
-                1e-5);
-    EXPECT_EQ(decoded->frames[static_cast<std::size_t>(i)].data,
-              trace.frames[static_cast<std::size_t>(i)].data);
+  ASSERT_EQ(decoded->size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(decoded->frames()[i].ts, 0.5 * static_cast<double>(i), 1e-5);
+    const auto got = decoded->frame_bytes(i);
+    const auto want = trace.frame_bytes(i);
+    EXPECT_EQ(Bytes(got.begin(), got.end()), Bytes(want.begin(), want.end()));
   }
 }
 
@@ -165,12 +165,12 @@ TEST(Pcap, FileRoundTrip) {
   FrameSpec spec;
   spec.src = *IpAddr::parse("192.0.2.1");
   spec.dst = *IpAddr::parse("192.0.2.2");
-  trace.frames.push_back(Frame{1.25, build_frame(spec, BytesView{})});
+  trace.add_frame(1.25, BytesView{build_frame(spec, BytesView{})});
   const std::string path = testing::TempDir() + "rtcc_test.pcap";
   ASSERT_TRUE(write_pcap(path, trace));
   auto loaded = read_pcap(path);
   ASSERT_TRUE(loaded);
-  EXPECT_EQ(loaded->frames.size(), 1u);
+  EXPECT_EQ(loaded->size(), 1u);
   std::remove(path.c_str());
 }
 
@@ -186,7 +186,7 @@ TEST(Pcap, RejectsTruncatedRecord) {
   FrameSpec spec;
   spec.src = *IpAddr::parse("192.0.2.1");
   spec.dst = *IpAddr::parse("192.0.2.2");
-  trace.frames.push_back(Frame{0.0, build_frame(spec, BytesView{})});
+  trace.add_frame(0.0, BytesView{build_frame(spec, BytesView{})});
   Bytes encoded = encode_pcap(trace);
   encoded.resize(encoded.size() - 5);
   std::string error;
@@ -205,9 +205,9 @@ TEST(StreamTable, BidirectionalGrouping) {
   std::swap(down.src, down.dst);
   std::swap(down.src_port, down.dst_port);
 
-  trace.frames.push_back(Frame{1.0, build_frame(up, BytesView{})});
-  trace.frames.push_back(Frame{2.0, build_frame(down, BytesView{})});
-  trace.frames.push_back(Frame{3.0, build_frame(up, BytesView{})});
+  trace.add_frame(1.0, BytesView{build_frame(up, BytesView{})});
+  trace.add_frame(2.0, BytesView{build_frame(down, BytesView{})});
+  trace.add_frame(3.0, BytesView{build_frame(up, BytesView{})});
 
   auto table = group_streams(trace);
   ASSERT_EQ(table.streams.size(), 1u);
@@ -228,7 +228,7 @@ TEST(StreamTable, DistinctPortsMakeDistinctStreams) {
     spec.dst = *IpAddr::parse("8.8.4.4");
     spec.src_port = port;
     spec.dst_port = 443;
-    trace.frames.push_back(Frame{0.0, build_frame(spec, BytesView{})});
+    trace.add_frame(0.0, BytesView{build_frame(spec, BytesView{})});
   }
   EXPECT_EQ(group_streams(trace).streams.size(), 3u);
 }
@@ -243,9 +243,9 @@ TEST(StreamTable, CountsByTransport) {
   FrameSpec tcp = udp;
   tcp.transport = Transport::kTcp;
   tcp.src_port = 3;
-  trace.frames.push_back(Frame{0.0, build_frame(udp, BytesView{})});
-  trace.frames.push_back(Frame{0.0, build_frame(udp, BytesView{})});
-  trace.frames.push_back(Frame{0.0, build_frame(tcp, BytesView{})});
+  trace.add_frame(0.0, BytesView{build_frame(udp, BytesView{})});
+  trace.add_frame(0.0, BytesView{build_frame(udp, BytesView{})});
+  trace.add_frame(0.0, BytesView{build_frame(tcp, BytesView{})});
   auto table = group_streams(trace);
   EXPECT_EQ(table.udp_stream_count(), 1u);
   EXPECT_EQ(table.tcp_stream_count(), 1u);
@@ -255,7 +255,7 @@ TEST(StreamTable, CountsByTransport) {
 
 TEST(StreamTable, UndecodableFramesCounted) {
   Trace trace;
-  trace.frames.push_back(Frame{0.0, Bytes(5, 0)});
+  trace.add_frame(0.0, BytesView{Bytes(5, 0)});
   auto table = group_streams(trace);
   EXPECT_EQ(table.undecodable_frames, 1u);
   EXPECT_TRUE(table.streams.empty());
@@ -267,7 +267,7 @@ TEST(StreamTable, PacketPayloadResolution) {
   spec.src = *IpAddr::parse("192.168.1.10");
   spec.dst = *IpAddr::parse("8.8.4.4");
   const Bytes payload = {9, 9, 9};
-  trace.frames.push_back(Frame{0.0, build_frame(spec, BytesView{payload})});
+  trace.add_frame(0.0, BytesView{build_frame(spec, BytesView{payload})});
   auto table = group_streams(trace);
   ASSERT_EQ(table.streams.size(), 1u);
   auto view = packet_payload(trace, table.streams[0].packets[0]);

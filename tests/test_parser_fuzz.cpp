@@ -94,8 +94,8 @@ TEST_P(ParserFuzz, PcapDecoderSurvivesCorruption) {
   spec.dst = *net::IpAddr::parse("192.0.2.2");
   for (int i = 0; i < 5; ++i) {
     auto payload = rng.bytes(40);
-    trace.frames.push_back(
-        net::Frame{0.1 * i, net::build_frame(spec, BytesView{payload})});
+    trace.add_frame(0.1 * i,
+                    BytesView{net::build_frame(spec, BytesView{payload})});
   }
   Bytes encoded = net::encode_pcap(trace);
   for (int round = 0; round < 50; ++round) {
@@ -104,8 +104,7 @@ TEST_P(ParserFuzz, PcapDecoderSurvivesCorruption) {
     auto result = net::decode_pcap(BytesView{mutated});
     if (result) {
       // Parsed traces must be internally consistent.
-      for (const auto& f : result->frames)
-        EXPECT_LT(f.data.size(), 1u << 20);
+      for (const auto& f : result->frames()) EXPECT_LT(f.size(), 1u << 20);
     }
   }
 }

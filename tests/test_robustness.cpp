@@ -12,6 +12,7 @@ namespace {
 using emul::AppId;
 using emul::NetworkSetup;
 using emul::PerturbConfig;
+using util::Bytes;
 
 struct RobustnessCase {
   AppId app;
@@ -101,8 +102,8 @@ TEST(Perturb, DropRateIsRespected) {
   PerturbConfig heavy;
   heavy.drop_p = 0.5;
   const auto dropped = emul::perturb(call.trace, heavy);
-  const double ratio = static_cast<double>(dropped.frames.size()) /
-                       static_cast<double>(call.trace.frames.size());
+  const double ratio = static_cast<double>(dropped.size()) /
+                       static_cast<double>(call.trace.size());
   EXPECT_NEAR(ratio, 0.5, 0.05);
 }
 
@@ -115,7 +116,7 @@ TEST(Perturb, DuplicationAddsFrames) {
   PerturbConfig dup;
   dup.dup_p = 0.2;
   const auto duplicated = emul::perturb(call.trace, dup);
-  EXPECT_GT(duplicated.frames.size(), call.trace.frames.size());
+  EXPECT_GT(duplicated.size(), call.trace.size());
 }
 
 TEST(Perturb, OutputIsTimeSorted) {
@@ -128,8 +129,8 @@ TEST(Perturb, OutputIsTimeSorted) {
   reorder.reorder_p = 0.5;
   reorder.reorder_jitter_s = 0.2;
   const auto shuffled = emul::perturb(call.trace, reorder);
-  for (std::size_t i = 1; i < shuffled.frames.size(); ++i)
-    ASSERT_LE(shuffled.frames[i - 1].ts, shuffled.frames[i].ts);
+  for (std::size_t i = 1; i < shuffled.size(); ++i)
+    ASSERT_LE(shuffled.frames()[i - 1].ts, shuffled.frames()[i].ts);
 }
 
 TEST(Perturb, IdentityWhenAllProbabilitiesZero) {
@@ -139,9 +140,12 @@ TEST(Perturb, IdentityWhenAllProbabilitiesZero) {
   cfg.media_scale = 0.01;
   const auto call = emul::emulate_call(cfg);
   const auto same = emul::perturb(call.trace, PerturbConfig{});
-  ASSERT_EQ(same.frames.size(), call.trace.frames.size());
-  for (std::size_t i = 0; i < same.frames.size(); ++i)
-    ASSERT_EQ(same.frames[i].data, call.trace.frames[i].data);
+  ASSERT_EQ(same.size(), call.trace.size());
+  for (std::size_t i = 0; i < same.size(); ++i) {
+    const auto a = same.frame_bytes(i);
+    const auto b = call.trace.frame_bytes(i);
+    ASSERT_EQ(Bytes(a.begin(), a.end()), Bytes(b.begin(), b.end()));
+  }
 }
 
 }  // namespace
