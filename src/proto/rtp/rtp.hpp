@@ -98,7 +98,9 @@ class PacketBuilder {
   /// profile and raw body (used to emit FaceTime/Discord patterns).
   PacketBuilder& raw_extension(std::uint16_t profile,
                                rtcc::util::BytesView body);
-  /// Appends an element to the pending 8285 block.
+  /// Appends an element to the pending 8285 block. In the two-byte
+  /// form, ID 0 is wire-reserved as padding: an element built with it
+  /// encodes but can never re-parse.
   PacketBuilder& element(std::uint8_t id, rtcc::util::BytesView data);
   /// Appends the Discord violation: one-byte element with ID=0 and a
   /// non-zero length field carrying payload.

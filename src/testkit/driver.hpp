@@ -1,0 +1,80 @@
+// Deterministic structure-aware fuzz driver.
+//
+// One iteration = pick a seed family and a mutator family (both cycle
+// so the cross product gets even coverage), build a well-formed seed,
+// mutate it, and run the buffer oracles. Every `stream_stride`-th
+// iteration additionally builds a whole seed stream, mutates a few of
+// its datagrams, and runs the heavier stream oracles (differential DPI,
+// arena/pcap parity, checker idempotence) plus the strict-subset oracle
+// on the clean stream.
+//
+// Everything is a pure function of DriverOptions::seed, so any finding
+// reproduces from its (seed, iteration) pair; findings are additionally
+// minimized (greedy datagram drop + per-datagram chunk removal) and can
+// be saved as hex corpus files for check-in as regression tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace rtcc::testkit {
+
+struct DriverOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t iters = 2000;
+  /// Run the stream-level oracles every Nth iteration (they cost ~two
+  /// orders of magnitude more than the buffer oracles).
+  std::uint64_t stream_stride = 25;
+  /// Datagrams per fuzzed stream. Must satisfy the stream validators'
+  /// support thresholds (>= 4 keeps every family comfortably valid).
+  std::size_t stream_len = 6;
+  /// Stop collecting (but keep iterating) after this many distinct
+  /// findings; duplicates of an already-seen violation are not re-kept.
+  std::size_t max_findings = 8;
+  /// When non-empty, minimized findings are saved here as .hex files.
+  std::string corpus_dir;
+};
+
+/// One oracle violation with its minimized reproducer.
+struct FuzzFinding {
+  std::string description;
+  std::string mutator;
+  std::string seed_family;
+  std::uint64_t iteration = 0;
+  std::vector<rtcc::util::Bytes> datagrams;
+};
+
+struct DriverStats {
+  std::uint64_t iterations = 0;
+  std::uint64_t buffer_checks = 0;
+  std::uint64_t stream_checks = 0;
+  std::uint64_t strict_subset_checks = 0;
+  std::map<std::string, std::uint64_t> mutations_per_family;
+  std::vector<FuzzFinding> findings;
+};
+
+[[nodiscard]] DriverStats run_fuzz_driver(const DriverOptions& opts);
+
+/// Corpus files: '#'-prefixed comment lines, then one lowercase-hex
+/// datagram per line.
+[[nodiscard]] std::optional<std::vector<rtcc::util::Bytes>> load_corpus_file(
+    const std::string& path, std::string* error = nullptr);
+[[nodiscard]] bool save_corpus_file(const std::string& path,
+                                    const FuzzFinding& finding);
+/// Deterministic corpus file name for a finding (content-hashed).
+[[nodiscard]] std::string corpus_file_name(const FuzzFinding& finding);
+/// All *.hex files under `dir`, sorted by name (empty if unreadable).
+[[nodiscard]] std::vector<std::string> list_corpus_files(
+    const std::string& dir);
+
+/// Replays one corpus entry through the buffer oracles (per datagram)
+/// and the stream oracles (whole entry). nullopt = all oracles hold.
+[[nodiscard]] std::optional<std::string> replay_corpus_entry(
+    const std::vector<rtcc::util::Bytes>& datagrams);
+
+}  // namespace rtcc::testkit

@@ -1,0 +1,96 @@
+#include "testkit/golden.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "emul/app_model.hpp"
+#include "report/json_export.hpp"
+#include "report/metrics.hpp"
+
+namespace rtcc::testkit {
+
+namespace {
+
+std::string first_difference(const std::string& a, const std::string& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  std::size_t line = 1;
+  for (std::size_t k = 0; k < i; ++k)
+    if (a[k] == '\n') ++line;
+  std::ostringstream out;
+  out << "first difference at byte " << i << " (line " << line << "); sizes "
+      << a.size() << " vs " << b.size();
+  return out.str();
+}
+
+}  // namespace
+
+std::string compute_golden_json(const GoldenOptions& opts) {
+  std::map<std::string, std::string> cells;
+  std::uint64_t cell_seed = opts.seed;
+  for (const auto app : rtcc::emul::all_apps()) {
+    for (const auto network : rtcc::emul::all_networks()) {
+      rtcc::emul::CallConfig cfg;
+      cfg.app = app;
+      cfg.network = network;
+      cfg.pre_call_s = opts.pre_call_s;
+      cfg.call_s = opts.call_s;
+      cfg.post_call_s = opts.post_call_s;
+      cfg.media_scale = opts.media_scale;
+      cfg.background = opts.background;
+      cfg.seed = cell_seed++;
+      const auto call = rtcc::emul::emulate_call(cfg);
+      const auto analysis = rtcc::report::analyze_call(call);
+      cells[to_string(app) + "|" + to_string(network)] =
+          rtcc::report::to_json(analysis);
+    }
+  }
+  std::ostringstream out;
+  out << "{\n";
+  bool first = true;
+  for (const auto& [key, json] : cells) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "\"" << key << "\": " << json;
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+std::optional<std::string> check_golden(const std::string& path,
+                                        const GoldenOptions& opts) {
+  const std::string run1 = compute_golden_json(opts);
+  const std::string run2 = compute_golden_json(opts);
+  if (run1 != run2)
+    return "golden determinism violation: two consecutive computations "
+           "differ (" +
+           first_difference(run1, run2) + ")";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "cannot open golden snapshot " + path;
+  std::ostringstream file;
+  file << in.rdbuf();
+  if (file.str() != run1)
+    return "golden snapshot mismatch vs " + path + ": " +
+           first_difference(file.str(), run1) +
+           " (refresh intentionally with --update-golden)";
+  return std::nullopt;
+}
+
+std::optional<std::string> update_golden(const std::string& path,
+                                         const GoldenOptions& opts) {
+  const std::string run1 = compute_golden_json(opts);
+  const std::string run2 = compute_golden_json(opts);
+  if (run1 != run2)
+    return "golden determinism violation: two consecutive computations "
+           "differ (" +
+           first_difference(run1, run2) + ")";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return "cannot write golden snapshot " + path;
+  out << run1;
+  if (!out) return "write failed for " + path;
+  return std::nullopt;
+}
+
+}  // namespace rtcc::testkit

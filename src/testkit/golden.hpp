@@ -1,0 +1,42 @@
+// Golden-corpus conformance snapshots.
+//
+// The full 6-app × 3-network matrix is emulated and analyzed at a small
+// fixed scale and every CallAnalysis is serialized to JSON. The result
+// is a pure function of the code: any behavioural change in the
+// emulator, filter, DPI or checker shows up as a byte-level diff
+// against the checked-in snapshot, and intentional changes are absorbed
+// with `fuzz_driver --update-golden`.
+//
+// Determinism is asserted directly: every check computes the matrix
+// twice and fails on any difference between the two runs before ever
+// comparing against the file.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace rtcc::testkit {
+
+struct GoldenOptions {
+  double media_scale = 0.01;
+  double call_s = 45.0;
+  double pre_call_s = 5.0;
+  double post_call_s = 5.0;
+  bool background = true;
+  std::uint64_t seed = 2026;
+};
+
+/// JSON object keyed "app|network" (sorted), one CallAnalysis each.
+[[nodiscard]] std::string compute_golden_json(const GoldenOptions& opts = {});
+
+/// Computes the matrix twice, asserts the two runs are byte-identical,
+/// then compares against the snapshot at `path`. nullopt = match.
+[[nodiscard]] std::optional<std::string> check_golden(
+    const std::string& path, const GoldenOptions& opts = {});
+
+/// Rewrites the snapshot (still asserting two-run determinism first).
+/// Returns an error description on failure.
+[[nodiscard]] std::optional<std::string> update_golden(
+    const std::string& path, const GoldenOptions& opts = {});
+
+}  // namespace rtcc::testkit

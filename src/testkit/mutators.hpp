@@ -1,0 +1,48 @@
+// Structure-aware wire-format mutators.
+//
+// Each mutator understands just enough of its format to damage a
+// *specific* structural invariant (a TLV boundary, a declared length, a
+// compound-packet header) rather than hoping random bit flips land
+// there. Mutated buffers are frequently still parseable — that is the
+// point: the interesting bugs live where a parser accepts a damaged
+// structure and a downstream layer trusts its fields.
+//
+// All mutators are total: on inputs too short or too damaged to carry
+// their structure they fall back to generic byte-level mutations, so a
+// driver can pipe any seed through any family.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace rtcc::testkit {
+
+enum class MutatorFamily : std::uint8_t {
+  kStunTlvSplice,    // reorder / duplicate / delete / cut STUN attributes
+  kStunLengthLie,    // header or attribute length fields vs actual bytes
+  kRtpExtension,     // RFC 8285 extension block + header-flag corruption
+  kRtcpReshuffle,    // compound-packet reorder / dup / drop / length lies
+  kQuicHeaderFlip,   // long-header field flips: version, CID lens, varints
+  kVendorHeaderFlip, // Zoom / FaceTime envelope field flips
+  kGenericBitFlip,   // 1-8 random bit flips anywhere
+  kGenericTruncate,  // random prefix of the seed
+  kGenericPrefix,    // random proprietary-header-style prefix bytes
+  kGenericSplice,    // head of one seed + tail of another
+};
+
+[[nodiscard]] std::string to_string(MutatorFamily f);
+[[nodiscard]] const std::vector<MutatorFamily>& all_mutator_families();
+
+/// Applies one mutation of `family` to `seed`. `other` feeds the splice
+/// family (pass any second seed; ignored elsewhere). Deterministic in
+/// `rng`; never returns the seed unchanged except on empty input.
+[[nodiscard]] rtcc::util::Bytes mutate(MutatorFamily family,
+                                       rtcc::util::BytesView seed,
+                                       rtcc::util::BytesView other,
+                                       rtcc::util::Rng& rng);
+
+}  // namespace rtcc::testkit

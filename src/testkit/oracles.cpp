@@ -1,0 +1,530 @@
+#include "testkit/oracles.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "compliance/checker.hpp"
+#include "dpi/anchor_scan.hpp"
+#include "dpi/scanning_dpi.hpp"
+#include "dpi/strict_dpi.hpp"
+#include "net/arena.hpp"
+#include "net/headers.hpp"
+#include "net/pcap.hpp"
+#include "proto/demux.hpp"
+#include "proto/quic/quic.hpp"
+#include "proto/rtcp/rtcp.hpp"
+#include "proto/rtp/rtp.hpp"
+#include "proto/stun/stun.hpp"
+#include "proto/tls/client_hello.hpp"
+#include "proto/vendor/vendor_headers.hpp"
+
+namespace rtcc::testkit {
+
+namespace {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+
+/// Exact dyadic timestamps (multiples of 1/64 s) survive the pcap
+/// µs quantisation bit-for-bit, so encode→decode→encode comparisons
+/// never trip over timestamp rounding.
+double ts_for(std::size_t i) { return static_cast<double>(i) * 0.015625; }
+
+std::vector<rtcc::dpi::StreamDatagram> as_stream(
+    const std::vector<Bytes>& datagrams, bool alternate_dir) {
+  std::vector<rtcc::dpi::StreamDatagram> out;
+  out.reserve(datagrams.size());
+  for (std::size_t i = 0; i < datagrams.size(); ++i)
+    out.push_back({BytesView{datagrams[i]}, ts_for(i),
+                   alternate_dir ? static_cast<int>(i & 1) : 0});
+  return out;
+}
+
+std::optional<std::string> compare_analyses(
+    const std::vector<rtcc::dpi::DatagramAnalysis>& a,
+    const std::vector<rtcc::dpi::DatagramAnalysis>& b, const char* a_name,
+    const char* b_name) {
+  std::ostringstream err;
+  if (a.size() != b.size()) {
+    err << a_name << " produced " << a.size() << " analyses, " << b_name
+        << " produced " << b.size();
+    return err.str();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a[i];
+    const auto& y = b[i];
+    const auto fail = [&](const char* what) {
+      err << "datagram " << i << ": " << a_name << " vs " << b_name
+          << " disagree on " << what;
+      return err.str();
+    };
+    if (x.klass != y.klass) return fail("class");
+    if (x.proprietary_header_len != y.proprietary_header_len)
+      return fail("proprietary_header_len");
+    if (x.payload_len != y.payload_len) return fail("payload_len");
+    if (x.candidates != y.candidates) return fail("candidates");
+    if (x.messages.size() != y.messages.size()) return fail("message count");
+    for (std::size_t m = 0; m < x.messages.size(); ++m) {
+      const auto& mx = x.messages[m];
+      const auto& my = y.messages[m];
+      if (mx.kind != my.kind) return fail("message kind");
+      if (mx.offset != my.offset) return fail("message offset");
+      if (mx.length != my.length) return fail("message length");
+      if (mx.type_label() != my.type_label()) return fail("message type label");
+      if (mx.raw != my.raw) return fail("message raw bytes");
+    }
+  }
+  return std::nullopt;
+}
+
+/// Independent scalar re-implementation of the anchor conditions in
+/// dpi/anchor_scan.hpp (the tail-loop rules applied at every offset).
+/// Deliberately written against the *documented* conditions, not the
+/// SIMD code, so it can catch both scalar and vector-path regressions.
+void reference_anchor_scan(BytesView payload, const rtcc::dpi::ScanOptions& opts,
+                           std::vector<rtcc::dpi::AnchorHit>& out) {
+  namespace anchor = rtcc::dpi::anchor;
+  namespace stun = rtcc::proto::stun;
+  namespace quic = rtcc::proto::quic;
+  const std::size_t n = payload.size();
+  const std::size_t limit = std::min(opts.max_offset + 1, n);
+  const std::uint8_t* p = payload.data();
+  for (std::size_t i = 0; i < limit; ++i) {
+    const std::uint8_t b0 = p[i];
+    const std::size_t rem = n - i;
+    std::uint8_t mask = 0;
+    switch (b0 >> 6) {
+      case 2: {
+        const std::uint8_t pt = rem >= 2 ? p[i + 1] : 0;
+        const bool rtcp_pt = pt >= 200 && pt <= 207;
+        if (opts.scan_rtp && !rtcp_pt && rem >= 12) mask |= anchor::kRtp;
+        else if (opts.scan_rtcp && rtcp_pt && rem >= 8) mask |= anchor::kRtcp;
+        break;
+      }
+      case 0:
+        if (opts.scan_stun && rem >= stun::kHeaderSize) {
+          const bool modern =
+              rtcc::util::load_be32(p + i + 4) == stun::kMagicCookie;
+          const bool classic_fit =
+              stun::kHeaderSize +
+                  std::size_t{rtcc::util::load_be16(p + i + 2)} ==
+              rem;
+          if (modern || classic_fit) mask |= anchor::kStun;
+        }
+        break;
+      case 1:
+        if (opts.scan_stun && b0 <= 0x4F && rem >= 4)
+          mask |= anchor::kChannelData;
+        if (opts.scan_quic && i == 0) mask |= anchor::kQuicShort;
+        break;
+      default:  // 3
+        if (opts.scan_quic && rem >= 5 &&
+            rtcc::util::load_be32(p + i + 1) == quic::kVersion1)
+          mask |= anchor::kQuicLong;
+        break;
+    }
+    if (mask) out.push_back({static_cast<std::uint32_t>(i), mask});
+  }
+}
+
+net::FrameSpec oracle_frame_spec() {
+  net::FrameSpec spec;
+  spec.src = net::IpAddr::v4(10, 0, 0, 1);
+  spec.dst = net::IpAddr::v4(10, 0, 0, 2);
+  spec.src_port = 40000;
+  spec.dst_port = 3478;
+  spec.transport = net::Transport::kUdp;
+  return spec;
+}
+
+/// UDP payload length field is 16-bit; anything bigger cannot be framed.
+constexpr std::size_t kMaxFramePayload = 60000;
+
+std::optional<std::string> compare_traces(const net::Trace& a,
+                                          const net::Trace& b,
+                                          const char* a_name,
+                                          const char* b_name) {
+  std::ostringstream err;
+  if (a.size() != b.size()) {
+    err << a_name << " has " << a.size() << " frames, " << b_name << " has "
+        << b.size();
+    return err.str();
+  }
+  if (a.total_bytes() != b.total_bytes()) {
+    err << a_name << " total_bytes " << a.total_bytes() << " != " << b_name
+        << " total_bytes " << b.total_bytes();
+    return err.str();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.frames()[i].ts != b.frames()[i].ts) {
+      err << "frame " << i << " ts differs between " << a_name << " and "
+          << b_name;
+      return err.str();
+    }
+    const BytesView va = a.frame_bytes(i);
+    const BytesView vb = b.frame_bytes(i);
+    if (va.size() != vb.size() ||
+        !std::equal(va.begin(), va.end(), vb.begin())) {
+      err << "frame " << i << " bytes differ between " << a_name << " and "
+          << b_name;
+      return err.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<compliance::CheckedMessage> run_checker(
+    const std::vector<rtcc::dpi::StreamDatagram>& stream,
+    const std::vector<rtcc::dpi::DatagramAnalysis>& analyses, int passes) {
+  compliance::StreamComplianceChecker checker;
+  for (std::size_t i = 0; i < analyses.size(); ++i)
+    for (const auto& msg : analyses[i].messages)
+      checker.observe(msg, stream[i].dir, stream[i].ts);
+  checker.finalize();
+  std::vector<compliance::CheckedMessage> out;
+  for (int pass = 0; pass < passes; ++pass) {
+    out.clear();
+    for (std::size_t i = 0; i < analyses.size(); ++i)
+      for (const auto& msg : analyses[i].messages) {
+        auto checked = checker.check(msg, stream[i].dir, stream[i].ts);
+        out.insert(out.end(), checked.begin(), checked.end());
+      }
+  }
+  return out;
+}
+
+std::optional<std::string> compare_checked(
+    const std::vector<compliance::CheckedMessage>& a,
+    const std::vector<compliance::CheckedMessage>& b, const char* what) {
+  std::ostringstream err;
+  if (a.size() != b.size()) {
+    err << what << ": " << a.size() << " vs " << b.size()
+        << " checked messages";
+    return err.str();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a[i];
+    const auto& y = b[i];
+    const auto fail = [&](const char* field) {
+      err << what << ": checked message " << i << " differs on " << field;
+      return err.str();
+    };
+    if (x.protocol != y.protocol) return fail("protocol");
+    if (x.type_label != y.type_label) return fail("type_label");
+    if (x.ts != y.ts) return fail("ts");
+    if (x.dir != y.dir) return fail("dir");
+    if (x.verdict.compliant != y.verdict.compliant) return fail("compliant");
+    if (x.verdict.violations.size() != y.verdict.violations.size())
+      return fail("violation count");
+    for (std::size_t v = 0; v < x.verdict.violations.size(); ++v) {
+      if (x.verdict.violations[v].criterion != y.verdict.violations[v].criterion)
+        return fail("violation criterion");
+      if (x.verdict.violations[v].detail != y.verdict.violations[v].detail)
+        return fail("violation detail");
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> parser_sweep(BytesView data) {
+  namespace stun = rtcc::proto::stun;
+  namespace rtp = rtcc::proto::rtp;
+  namespace rtcp = rtcc::proto::rtcp;
+  namespace quic = rtcc::proto::quic;
+  namespace tls = rtcc::proto::tls;
+  namespace vendor = rtcc::proto::vendor;
+  std::ostringstream err;
+
+  if (auto r = stun::parse(data)) {
+    if (r->consumed > data.size()) return "stun: consumed > input size";
+    if (r->consumed != r->message.wire_size())
+      return "stun: consumed != wire_size()";
+  }
+  {
+    stun::ParseOptions strict_opts;
+    strict_opts.require_magic_cookie = true;
+    if (auto r = stun::parse(data, strict_opts)) {
+      if (!r->message.has_magic_cookie())
+        return "stun: require_magic_cookie accepted a cookieless message";
+    }
+  }
+  if (auto cd = stun::parse_channel_data(data)) {
+    if (cd->wire_size() > data.size())
+      return "channel_data: wire_size > input size";
+    if (cd->data.size() != cd->length)
+      return "channel_data: data.size() != declared length";
+    if (cd->channel_number < 0x4000 || cd->channel_number > 0x4FFF)
+      return "channel_data: channel number outside RFC 8656 range";
+  }
+
+  if (auto r = rtp::parse(data)) {
+    if (r->consumed > data.size()) return "rtp: consumed > input size";
+    if (r->packet.padding_len > data.size())
+      return "rtp: padding_len > input size";
+    // Re-encoding any accepted packet must be well-defined (crash/UB
+    // detection is the sanitizers' job).
+    (void)rtp::encode(r->packet);
+  }
+
+  if (auto c = rtcp::parse_compound(data)) {
+    if (c->parsed_size() > data.size())
+      return "rtcp: parsed_size > input size";
+    if (c->packets.empty()) return "rtcp: empty compound accepted";
+    for (const auto& p : c->packets) {
+      if (p.version != 2) return "rtcp: accepted version != 2";
+      if (!rtcp::is_rtcp_packet_type(p.packet_type))
+        return "rtcp: accepted non-RTCP packet type";
+      if (p.body.size() != std::size_t{p.length_words} * 4)
+        return "rtcp: body size != declared length";
+      // Typed decoders must survive any accepted packet.
+      (void)rtcp::decode_sender_report(p);
+      (void)rtcp::decode_receiver_report(p);
+      (void)rtcp::decode_sdes(p);
+      (void)rtcp::decode_bye(p);
+      (void)rtcp::decode_app(p);
+      (void)rtcp::decode_feedback(p);
+      (void)rtcp::decode_xr(p);
+    }
+  }
+  {
+    rtcp::ParseOptions exact;
+    exact.allow_trailing = false;
+    if (auto c = rtcp::parse_compound(data, exact)) {
+      if (!c->trailing.empty())
+        return "rtcp: allow_trailing=false returned trailing bytes";
+      if (c->parsed_size() != data.size())
+        return "rtcp: allow_trailing=false accepted a non-exact fit";
+    }
+  }
+
+  if (auto h = quic::parse(data)) {
+    if (h->wire_size() > data.size()) return "quic: wire_size > input size";
+    if (!h->long_form && h->wire_size() != data.size())
+      return "quic: short header does not span the datagram";
+  }
+  if (auto v = quic::read_varint(data)) {
+    if (v->width != 1 && v->width != 2 && v->width != 4 && v->width != 8)
+      return "quic: varint width not in {1,2,4,8}";
+    if (v->width > data.size()) return "quic: varint width > input size";
+  }
+
+  (void)tls::looks_like_tls_handshake(data);
+  (void)tls::extract_sni(data);
+  if (!data.empty())
+    (void)rtcc::proto::to_string(rtcc::proto::classify_first_byte(data[0]));
+
+  if (auto z = vendor::parse_zoom_header(data)) {
+    if (z->header_size != 24 && z->header_size != 28)
+      return "zoom: header_size not 24/28";
+    if (z->header_size + z->embedded_length != data.size())
+      return "zoom: embedded_length does not cover the remainder";
+  }
+  if (auto f = vendor::parse_facetime_header(data)) {
+    if (f->header_size > data.size())
+      return "facetime: header_size > input size";
+    if (f->header_size < 8 || f->header_size > 19)
+      return "facetime: header_size outside 8..19";
+  }
+
+  if (auto d = net::decode_frame(data)) {
+    const std::uint8_t* lo = data.data();
+    const std::uint8_t* hi = data.data() + data.size();
+    if (!d->payload.empty() &&
+        (d->payload.data() < lo || d->payload.data() + d->payload.size() > hi))
+      return "decode_frame: payload view escapes the frame";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_anchor_parity(BytesView payload) {
+  const rtcc::dpi::ScanOptions opts;
+  std::vector<rtcc::dpi::AnchorHit> simd;
+  std::vector<rtcc::dpi::AnchorHit> ref;
+  rtcc::dpi::scan_anchors(payload, opts, simd);
+  reference_anchor_scan(payload, opts, ref);
+  if (simd.size() != ref.size()) {
+    std::ostringstream err;
+    err << "anchor parity: scan_anchors found " << simd.size()
+        << " hits, scalar reference found " << ref.size() << " (payload "
+        << payload.size() << " bytes)";
+    return err.str();
+  }
+  for (std::size_t i = 0; i < simd.size(); ++i) {
+    if (simd[i].offset != ref[i].offset || simd[i].mask != ref[i].mask) {
+      std::ostringstream err;
+      err << "anchor parity: hit " << i << " differs: scan_anchors offset "
+          << simd[i].offset << " mask " << int{simd[i].mask}
+          << " vs reference offset " << ref[i].offset << " mask "
+          << int{ref[i].mask};
+      return err.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_scan_equivalence(
+    const std::vector<Bytes>& datagrams) {
+  const auto stream = as_stream(datagrams, /*alternate_dir=*/true);
+  rtcc::dpi::ScanOptions anchored;
+  anchored.use_anchor_prefilter = true;
+  rtcc::dpi::ScanOptions naive;
+  naive.use_anchor_prefilter = false;
+  const auto a = rtcc::dpi::ScanningDpi(anchored).analyze_stream(stream);
+  const auto b = rtcc::dpi::ScanningDpi(naive).analyze_stream(stream);
+  return compare_analyses(a, b, "anchored", "naive");
+}
+
+std::optional<std::string> check_arena_parity(
+    const std::vector<Bytes>& payloads) {
+  const net::FrameSpec spec = oracle_frame_spec();
+
+  net::Trace arena_trace(/*use_arena=*/true);
+  net::Trace legacy_trace(/*use_arena=*/false);
+  std::size_t kept = 0;
+  for (const auto& payload : payloads) {
+    if (payload.size() > kMaxFramePayload) continue;
+    const double ts = ts_for(kept++);
+    // The arena trace is built through the in-place arena writer, the
+    // legacy one through the temporary-vector builder — this doubles as
+    // the build_frame / build_frame_arena byte-parity check.
+    arena_trace.add_frame(
+        net::build_frame_arena(arena_trace.arena(), ts, spec, payload));
+    legacy_trace.add_frame(ts, net::build_frame(spec, payload));
+  }
+  if (auto err = compare_traces(arena_trace, legacy_trace, "arena", "legacy"))
+    return "arena parity: " + *err;
+
+  const Bytes enc_arena = net::encode_pcap(arena_trace);
+  const Bytes enc_legacy = net::encode_pcap(legacy_trace);
+  if (enc_arena != enc_legacy)
+    return "arena parity: encode_pcap bytes differ between modes";
+
+  std::optional<net::Trace> dec_arena;
+  std::optional<net::Trace> dec_legacy;
+  {
+    net::ArenaModeGuard guard(true);
+    dec_arena = net::decode_pcap(enc_arena);
+  }
+  {
+    net::ArenaModeGuard guard(false);
+    dec_legacy = net::decode_pcap(enc_arena);
+  }
+  if (!dec_arena || !dec_legacy)
+    return "arena parity: decode_pcap failed on encoder output";
+  if (auto err = compare_traces(*dec_arena, *dec_legacy, "arena-decode",
+                                "legacy-decode"))
+    return "arena parity: " + *err;
+  return std::nullopt;
+}
+
+std::optional<std::string> check_pcap_roundtrip(
+    const std::vector<Bytes>& payloads) {
+  const net::FrameSpec spec = oracle_frame_spec();
+  net::Trace trace;
+  std::size_t kept = 0;
+  for (const auto& payload : payloads) {
+    if (payload.size() > kMaxFramePayload) continue;
+    trace.add_frame(ts_for(kept++), net::build_frame(spec, payload));
+  }
+
+  const Bytes e1 = net::encode_pcap(trace);
+  std::string error;
+  const auto d1 = net::decode_pcap(e1, &error);
+  if (!d1) return "pcap roundtrip: decode_pcap rejected encoder output: " + error;
+  if (auto err = compare_traces(trace, *d1, "original", "decoded"))
+    return "pcap roundtrip: " + *err;
+  const Bytes e2 = net::encode_pcap(*d1);
+  if (e2 != e1) return "pcap roundtrip: encode(decode(x)) != x";
+
+  const auto dz = net::decode_pcap_zero_copy(e1);
+  if (!dz) return "pcap roundtrip: zero-copy decode rejected encoder output";
+  if (auto err = compare_traces(*d1, *dz, "decoded", "zero-copy"))
+    return "pcap roundtrip: " + *err;
+  return std::nullopt;
+}
+
+std::optional<std::string> check_strict_subset(const SeedStream& stream) {
+  switch (stream.family) {
+    case SeedFamily::kStun:
+    case SeedFamily::kChannelData:
+    case SeedFamily::kRtp:
+    case SeedFamily::kRtcp:
+    case SeedFamily::kQuic:
+      break;
+    default:
+      // Vendor / emulated streams carry no cross-datagram support
+      // guarantees, so the subset relation is not a sound oracle there.
+      return std::nullopt;
+  }
+  const auto datagrams = as_stream(stream.datagrams, /*alternate_dir=*/false);
+  const auto strict = rtcc::dpi::StrictDpi().analyze_stream(datagrams);
+  const auto scan = rtcc::dpi::ScanningDpi().analyze_stream(datagrams);
+  std::ostringstream err;
+  for (std::size_t i = 0; i < datagrams.size(); ++i) {
+    // Seed-stream construction guarantees every datagram satisfies the
+    // scanner's stream-level validators.
+    if (scan[i].klass != rtcc::dpi::DatagramClass::kStandard) {
+      err << "strict subset: " << to_string(stream.family) << " seed datagram "
+          << i << " not standard under the scanning DPI ("
+          << rtcc::dpi::to_string(scan[i].klass) << ")";
+      return err.str();
+    }
+    if (strict[i].klass != rtcc::dpi::DatagramClass::kStandard) continue;
+    if (strict[i].messages.empty() || scan[i].messages.empty()) {
+      err << "strict subset: datagram " << i
+          << " standard but message list empty";
+      return err.str();
+    }
+    const auto& sm = strict[i].messages.front();
+    const auto& cm = scan[i].messages.front();
+    if (sm.offset != 0 || cm.offset != 0) {
+      err << "strict subset: datagram " << i << " first message not at offset 0";
+      return err.str();
+    }
+    if (sm.kind != cm.kind) {
+      err << "strict subset: datagram " << i << " kind mismatch: strict "
+          << rtcc::dpi::to_string(sm.kind) << " vs scanning "
+          << rtcc::dpi::to_string(cm.kind);
+      return err.str();
+    }
+    if (sm.type_label() != cm.type_label()) {
+      err << "strict subset: datagram " << i << " type label mismatch: strict "
+          << sm.type_label() << " vs scanning " << cm.type_label();
+      return err.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_checker_idempotence(
+    const std::vector<Bytes>& datagrams) {
+  const auto stream = as_stream(datagrams, /*alternate_dir=*/true);
+  const auto analyses = rtcc::dpi::ScanningDpi().analyze_stream(stream);
+  const auto first = run_checker(stream, analyses, /*passes=*/1);
+  const auto repeated = run_checker(stream, analyses, /*passes=*/2);
+  if (auto err = compare_checked(first, repeated,
+                                 "checker idempotence (re-check)"))
+    return err;
+  const auto rebuilt = run_checker(stream, analyses, /*passes=*/1);
+  return compare_checked(first, rebuilt, "checker idempotence (re-run)");
+}
+
+std::optional<std::string> run_buffer_oracles(BytesView data) {
+  if (auto err = parser_sweep(data)) return "parser_sweep: " + *err;
+  if (auto err = check_anchor_parity(data)) return err;
+  return std::nullopt;
+}
+
+std::optional<std::string> run_stream_oracles(
+    const std::vector<Bytes>& datagrams) {
+  if (auto err = check_scan_equivalence(datagrams))
+    return "scan equivalence: " + *err;
+  if (auto err = check_arena_parity(datagrams)) return err;
+  if (auto err = check_pcap_roundtrip(datagrams)) return err;
+  if (auto err = check_checker_idempotence(datagrams)) return err;
+  return std::nullopt;
+}
+
+}  // namespace rtcc::testkit

@@ -1,0 +1,68 @@
+// Differential and invariant oracles for the fuzz driver.
+//
+// Each oracle returns std::nullopt when the invariant holds and a
+// human-readable violation description otherwise; memory errors are the
+// sanitizers' jurisdiction (the driver runs under ASan+UBSan in CI).
+//
+// The oracle list (DESIGN.md "testkit"):
+//   1. parser_sweep          — every parser survives arbitrary bytes and
+//                              keeps its structural invariants.
+//   2. check_anchor_parity   — SIMD anchor scan vs an independent scalar
+//                              reference re-implementation.
+//   3. check_scan_equivalence— anchored ScanningDpi vs the naive
+//                              all-offsets oracle, byte-identical.
+//   4. check_arena_parity    — arena-backed vs legacy traces build and
+//                              serialize identically; pcap decode agrees.
+//   5. check_pcap_roundtrip  — encode→decode→encode is a fixed point.
+//   6. check_strict_subset   — on clean seed streams, every datagram the
+//                              strict DPI accepts is classified standard
+//                              with the same message by the scanner.
+//   7. check_checker_idempotence — the compliance checker is a pure
+//                              function of the stream: re-running it
+//                              (and re-calling check()) changes nothing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testkit/seeds.hpp"
+#include "util/bytes.hpp"
+
+namespace rtcc::testkit {
+
+/// Feeds `data` to every wire parser (proto/*, net, vendor) and checks
+/// cheap structural invariants on whatever parses. Crash/UB detection
+/// is delegated to the sanitizers.
+[[nodiscard]] std::optional<std::string> parser_sweep(
+    rtcc::util::BytesView data);
+
+[[nodiscard]] std::optional<std::string> check_anchor_parity(
+    rtcc::util::BytesView payload);
+
+[[nodiscard]] std::optional<std::string> check_scan_equivalence(
+    const std::vector<rtcc::util::Bytes>& datagrams);
+
+[[nodiscard]] std::optional<std::string> check_arena_parity(
+    const std::vector<rtcc::util::Bytes>& payloads);
+
+[[nodiscard]] std::optional<std::string> check_pcap_roundtrip(
+    const std::vector<rtcc::util::Bytes>& payloads);
+
+[[nodiscard]] std::optional<std::string> check_strict_subset(
+    const SeedStream& stream);
+
+[[nodiscard]] std::optional<std::string> check_checker_idempotence(
+    const std::vector<rtcc::util::Bytes>& datagrams);
+
+/// Every oracle that accepts arbitrary (possibly mutated) single
+/// buffers, in a fixed order. Used by the driver and corpus replay.
+[[nodiscard]] std::optional<std::string> run_buffer_oracles(
+    rtcc::util::BytesView data);
+
+/// Every oracle that accepts arbitrary (possibly mutated) datagram
+/// streams, in a fixed order.
+[[nodiscard]] std::optional<std::string> run_stream_oracles(
+    const std::vector<rtcc::util::Bytes>& datagrams);
+
+}  // namespace rtcc::testkit

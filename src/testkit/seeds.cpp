@@ -1,0 +1,312 @@
+#include "testkit/seeds.hpp"
+
+#include <algorithm>
+
+#include "emul/app_model.hpp"
+#include "net/stream_table.hpp"
+#include "proto/quic/quic.hpp"
+#include "proto/rtcp/rtcp.hpp"
+#include "proto/rtp/rtp.hpp"
+#include "proto/stun/stun.hpp"
+
+namespace rtcc::testkit {
+
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::ByteWriter;
+using rtcc::util::Rng;
+
+namespace stun = rtcc::proto::stun;
+namespace rtp = rtcc::proto::rtp;
+namespace rtcp = rtcc::proto::rtcp;
+namespace quic = rtcc::proto::quic;
+
+std::string to_string(SeedFamily f) {
+  switch (f) {
+    case SeedFamily::kStun:
+      return "stun";
+    case SeedFamily::kChannelData:
+      return "channel-data";
+    case SeedFamily::kRtp:
+      return "rtp";
+    case SeedFamily::kRtcp:
+      return "rtcp";
+    case SeedFamily::kQuic:
+      return "quic";
+    case SeedFamily::kVendorZoom:
+      return "vendor-zoom";
+    case SeedFamily::kVendorFaceTime:
+      return "vendor-facetime";
+    case SeedFamily::kEmulated:
+      return "emulated";
+  }
+  return "?";
+}
+
+const std::vector<SeedFamily>& all_seed_families() {
+  static const std::vector<SeedFamily> kAll = {
+      SeedFamily::kStun,       SeedFamily::kChannelData,
+      SeedFamily::kRtp,        SeedFamily::kRtcp,
+      SeedFamily::kQuic,       SeedFamily::kVendorZoom,
+      SeedFamily::kVendorFaceTime, SeedFamily::kEmulated,
+  };
+  return kAll;
+}
+
+namespace {
+
+Bytes make_stun_seed(Rng& rng) {
+  static constexpr std::uint16_t kTypes[] = {
+      stun::kBindingRequest,   stun::kBindingSuccess,
+      stun::kBindingIndication, stun::kAllocateRequest,
+      stun::kAllocateSuccess,  stun::kRefreshRequest,
+      stun::kSendIndication,   stun::kCreatePermissionRequest,
+      stun::kChannelBindRequest,
+  };
+  stun::MessageBuilder b(kTypes[rng.below(std::size(kTypes))]);
+  b.random_transaction_id(rng);
+  if (rng.chance(0.5)) b.attribute_str(stun::attr::kUsername, "fuzz:seed");
+  if (rng.chance(0.4))
+    b.attribute_u32(stun::attr::kPriority, rng.next_u32());
+  if (rng.chance(0.4)) {
+    const auto ip = rtcc::net::IpAddr::v4(rng.next_u32());
+    b.xor_address(stun::attr::kXorMappedAddress, ip, rng.next_u16());
+  }
+  if (rng.chance(0.3)) b.attribute_str(stun::attr::kSoftware, "rtcc/测试");
+  if (rng.chance(0.3))
+    b.attribute_u32(stun::attr::kLifetime, 600);
+  if (rng.chance(0.5)) b.fingerprint();
+  return b.build();
+}
+
+Bytes make_channel_data_seed(Rng& rng, std::uint16_t channel) {
+  stun::ChannelData cd;
+  cd.channel_number = channel;
+  cd.data = rng.bytes(8 + rng.below(64));
+  cd.length = static_cast<std::uint16_t>(cd.data.size());
+  return stun::encode_channel_data(cd);
+}
+
+Bytes make_rtp_seed(Rng& rng, std::uint32_t ssrc, std::uint16_t seq) {
+  rtp::PacketBuilder b;
+  b.payload_type(static_cast<std::uint8_t>(rng.chance(0.5) ? 0 : 8))
+      .marker(rng.chance(0.1))
+      .seq(seq)
+      .timestamp(seq * 160u)
+      .ssrc(ssrc);
+  if (rng.chance(0.3)) {
+    b.one_byte_extension();
+    const Bytes ext = rng.bytes(1 + rng.below(4));
+    b.element(static_cast<std::uint8_t>(1 + rng.below(14)), BytesView{ext});
+  } else if (rng.chance(0.2)) {
+    b.two_byte_extension(static_cast<std::uint8_t>(rng.below(16)));
+    const Bytes ext = rng.bytes(rng.below(6));
+    // ID 0 is wire-reserved as padding in the two-byte form: an element
+    // encoded with it can never re-parse (the fuzz harness caught this
+    // as a strict-subset violation; see tests/corpus).
+    b.element(static_cast<std::uint8_t>(1 + rng.below(255)), BytesView{ext});
+  }
+  b.payload_fill(static_cast<std::uint8_t>(rng.next_u8()),
+                 20 + rng.below(80));
+  return b.build();
+}
+
+Bytes make_rtcp_seed(Rng& rng, std::uint32_t ssrc) {
+  rtcp::Compound c;
+  rtcp::SenderReport sr;
+  sr.sender_ssrc = ssrc;
+  sr.ntp_timestamp = rng.next_u64();
+  sr.rtp_timestamp = rng.next_u32();
+  sr.packet_count = rng.next_u32() & 0xFFFF;
+  sr.octet_count = rng.next_u32() & 0xFFFFF;
+  if (rng.chance(0.6)) {
+    rtcp::ReportBlock rb;
+    rb.ssrc = rng.next_u32();
+    rb.highest_seq = rng.next_u32() & 0xFFFF;
+    sr.reports.push_back(rb);
+  }
+  c.packets.push_back(rtcp::make_sender_report(sr));
+  if (rng.chance(0.7)) {
+    rtcp::Sdes sdes;
+    rtcp::SdesChunk chunk;
+    chunk.ssrc = ssrc;
+    rtcp::SdesItem item;
+    item.type = 1;  // CNAME
+    const Bytes name = rng.bytes(4 + rng.below(12));
+    item.value = name;
+    chunk.items.push_back(item);
+    sdes.chunks.push_back(chunk);
+    c.packets.push_back(rtcp::make_sdes(sdes));
+  }
+  if (rng.chance(0.3)) {
+    rtcp::Feedback fb;
+    fb.sender_ssrc = ssrc;
+    fb.media_ssrc = rng.next_u32();
+    fb.fci = rng.bytes(4);
+    c.packets.push_back(rtcp::make_feedback(
+        rtcp::kRtpFeedback, static_cast<std::uint8_t>(1), fb));
+  }
+  return rtcp::encode_compound(c);
+}
+
+Bytes make_quic_seed(Rng& rng, bool long_form) {
+  quic::ConnectionId dcid{rng.bytes(8)};
+  quic::ConnectionId scid{rng.bytes(8)};
+  const Bytes payload = rng.bytes(20 + rng.below(100));
+  if (long_form) {
+    static constexpr quic::LongType kTypes[] = {
+        quic::LongType::kInitial, quic::LongType::kZeroRtt,
+        quic::LongType::kHandshake};
+    return quic::encode_long(kTypes[rng.below(std::size(kTypes))],
+                             quic::kVersion1, dcid, scid,
+                             BytesView{payload});
+  }
+  return quic::encode_short(dcid, BytesView{payload}, rng.chance(0.5));
+}
+
+/// Zoom SFU+media framing (§5.3, proto/vendor/vendor_headers.cpp):
+/// direction(1) media_id(4) reserved(7) counter(4) type(1) subtype(1)
+/// embedded_len(2) timestamp(4) [+4 inner wrapper], then the embedded
+/// standard message.
+Bytes make_zoom_seed(Rng& rng) {
+  const bool wrapped = rng.chance(0.3);
+  const Bytes inner = make_rtp_seed(rng, rng.next_u32(), rng.next_u16());
+  ByteWriter w;
+  w.u8(wrapped ? (rng.chance(0.5) ? 0x01 : 0x05)
+               : (rng.chance(0.5) ? 0x00 : 0x04));
+  w.u32(rng.next_u32());  // media_id
+  w.fill(0, 7);           // reserved
+  w.u32(rng.next_u32());  // counter
+  if (wrapped) {
+    w.u8(7);
+    w.u8(rng.chance(0.5) ? 15 : 16);  // inner type
+  } else {
+    w.u8(rng.chance(0.5) ? 15 : 16);
+    w.u8(0);  // subtype
+  }
+  w.u16(static_cast<std::uint16_t>(inner.size()));
+  w.u32(rng.next_u32());        // timestamp
+  if (wrapped) w.fill(0, 4);    // inner wrapper
+  w.raw(BytesView{inner});
+  return std::move(w).take();
+}
+
+/// FaceTime 0x6000 relay envelope: magic(2) declared_len(2) opaque
+/// extra bytes, then an embedded STUN message filling the remainder.
+Bytes make_facetime_seed(Rng& rng) {
+  const Bytes inner = make_stun_seed(rng);
+  const std::size_t extra = 4 + rng.below(12);
+  ByteWriter w;
+  w.u16(0x6000);
+  w.u16(static_cast<std::uint16_t>(extra + inner.size()));
+  w.raw(BytesView{rng.bytes(extra)});
+  w.raw(BytesView{inner});
+  return std::move(w).take();
+}
+
+}  // namespace
+
+Bytes make_seed(SeedFamily family, Rng& rng) {
+  switch (family) {
+    case SeedFamily::kStun:
+      return make_stun_seed(rng);
+    case SeedFamily::kChannelData:
+      return make_channel_data_seed(
+          rng, static_cast<std::uint16_t>(0x4000 + rng.below(0x1000)));
+    case SeedFamily::kRtp:
+      return make_rtp_seed(rng, rng.next_u32(), rng.next_u16());
+    case SeedFamily::kRtcp:
+      return make_rtcp_seed(rng, rng.next_u32());
+    case SeedFamily::kQuic:
+      return make_quic_seed(rng, rng.chance(0.7));
+    case SeedFamily::kVendorZoom:
+      return make_zoom_seed(rng);
+    case SeedFamily::kVendorFaceTime:
+      return make_facetime_seed(rng);
+    case SeedFamily::kEmulated: {
+      const auto& pool = emulator_seed_pool();
+      return pool.empty() ? make_stun_seed(rng)
+                          : pool[rng.below(pool.size())];
+    }
+  }
+  return {};
+}
+
+SeedStream make_seed_stream(SeedFamily family, Rng& rng, std::size_t n) {
+  SeedStream s;
+  s.family = family;
+  s.datagrams.reserve(n);
+  switch (family) {
+    case SeedFamily::kChannelData: {
+      // Real TURN channels repeat stream-wide (the scanning validator
+      // requires support >= 2); emit every datagram on one channel.
+      const auto channel =
+          static_cast<std::uint16_t>(0x4000 + rng.below(0x1000));
+      for (std::size_t i = 0; i < n; ++i)
+        s.datagrams.push_back(make_channel_data_seed(rng, channel));
+      break;
+    }
+    case SeedFamily::kRtp: {
+      // Sequential numbers on one SSRC so the continuity validator
+      // accepts the stream (min_ssrc_support plus adjacent gaps).
+      const std::uint32_t ssrc = rng.next_u32();
+      const std::uint16_t base = rng.next_u16();
+      for (std::size_t i = 0; i < n; ++i)
+        s.datagrams.push_back(make_rtp_seed(
+            rng, ssrc, static_cast<std::uint16_t>(base + i)));
+      break;
+    }
+    case SeedFamily::kRtcp: {
+      // Repeated sender SSRC (rtcp_ssrc_support >= 2).
+      const std::uint32_t ssrc = rng.next_u32();
+      for (std::size_t i = 0; i < n; ++i)
+        s.datagrams.push_back(make_rtcp_seed(rng, ssrc));
+      break;
+    }
+    case SeedFamily::kQuic:
+      // Long-header handshake first (quic_long_support >= 2), then
+      // short-header 1-RTT traffic.
+      for (std::size_t i = 0; i < n; ++i)
+        s.datagrams.push_back(make_quic_seed(rng, i < 2 || i + 1 == n));
+      break;
+    default:
+      for (std::size_t i = 0; i < n; ++i)
+        s.datagrams.push_back(make_seed(family, rng));
+      break;
+  }
+  return s;
+}
+
+const std::vector<Bytes>& emulator_seed_pool() {
+  static const std::vector<Bytes> kPool = [] {
+    std::vector<Bytes> pool;
+    for (const auto app : rtcc::emul::all_apps()) {
+      rtcc::emul::CallConfig cfg;
+      cfg.app = app;
+      cfg.network = rtcc::emul::NetworkSetup::kWifiRelay;
+      cfg.media_scale = 0.01;
+      cfg.call_s = 20.0;
+      cfg.pre_call_s = 10.0;
+      cfg.post_call_s = 5.0;
+      cfg.background = false;
+      cfg.seed = 0x5eed + static_cast<std::uint64_t>(app);
+      const auto call = rtcc::emul::emulate_call(cfg);
+      const auto table = rtcc::net::group_streams(call.trace);
+      std::size_t taken = 0;
+      for (const auto& stream : table.streams) {
+        if (stream.key.transport != rtcc::net::Transport::kUdp) continue;
+        for (const auto& pkt : stream.packets) {
+          if (taken >= 48) break;  // ~48 payloads per app is plenty
+          const auto payload = rtcc::net::packet_payload(call.trace, pkt);
+          if (payload.size() < 8) continue;
+          pool.emplace_back(payload.begin(), payload.end());
+          ++taken;
+        }
+      }
+    }
+    return pool;
+  }();
+  return kPool;
+}
+
+}  // namespace rtcc::testkit

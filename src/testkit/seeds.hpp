@@ -1,0 +1,64 @@
+// Seed-corpus generation for the structure-aware fuzzer.
+//
+// Every mutation starts from a *well-formed* wire message so the
+// mutators can damage specific structures (a TLV boundary, an extension
+// length, a compound packet header) instead of relying on random bytes
+// to stumble into deep parser paths. Seeds come from two sources:
+//   * per-protocol builders (deterministic from the Rng) that cover the
+//     codec surface including the vendor formats, and
+//   * payloads harvested from a tiny emulated call per app, so the
+//     fuzzer also starts from the exact byte patterns the six app
+//     models emit (Zoom SFU framing, FaceTime envelopes, ...).
+//
+// make_seed_stream additionally constructs whole *streams* whose
+// stream-level validation preconditions hold (RTP sequence continuity,
+// repeated TURN channels, repeated RTCP sender SSRCs, a QUIC
+// long-header handshake) — the inputs on which the strict-vs-scanning
+// subset oracle is sound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace rtcc::testkit {
+
+enum class SeedFamily : std::uint8_t {
+  kStun,
+  kChannelData,
+  kRtp,
+  kRtcp,
+  kQuic,
+  kVendorZoom,
+  kVendorFaceTime,
+  kEmulated,  // harvested from the app models
+};
+
+[[nodiscard]] std::string to_string(SeedFamily f);
+[[nodiscard]] const std::vector<SeedFamily>& all_seed_families();
+
+/// One deterministic well-formed wire message of the given family.
+[[nodiscard]] rtcc::util::Bytes make_seed(SeedFamily family,
+                                          rtcc::util::Rng& rng);
+
+/// A clean single-stream sequence of `n` datagrams of one family, with
+/// enough cross-datagram support to satisfy the scanning DPI's
+/// stream-level validators (and the strict DPI's per-datagram rules).
+struct SeedStream {
+  SeedFamily family = SeedFamily::kStun;
+  std::vector<rtcc::util::Bytes> datagrams;
+};
+
+[[nodiscard]] SeedStream make_seed_stream(SeedFamily family,
+                                          rtcc::util::Rng& rng,
+                                          std::size_t n);
+
+/// UDP payloads harvested once from a tiny emulated call per app
+/// (deterministic; cached for the process lifetime). Capped to a few
+/// hundred distinct payloads to keep seed picks cheap.
+[[nodiscard]] const std::vector<rtcc::util::Bytes>& emulator_seed_pool();
+
+}  // namespace rtcc::testkit

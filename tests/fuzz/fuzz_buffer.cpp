@@ -1,0 +1,21 @@
+// libFuzzer entrypoint over the single-buffer oracles (every wire
+// parser + SIMD/scalar anchor parity). Build with -DRTCC_LIBFUZZER=ON
+// (clang only):
+//
+//   ./build/tests/fuzz_buffer tests/corpus
+//
+// The structure-aware ctest driver (fuzz_driver) is the CI workhorse;
+// this entrypoint adds open-ended coverage-guided exploration on top.
+#include <cstdio>
+#include <cstdlib>
+
+#include "testkit/oracles.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (auto err = rtcc::testkit::run_buffer_oracles({data, size})) {
+    std::fprintf(stderr, "oracle violation: %s\n", err->c_str());
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// libFuzzer entrypoint over the stream-level differential oracles
+// (anchored-vs-naive DPI, arena/pcap parity, checker idempotence).
+//
+// The flat input is split into datagrams with 2-byte big-endian length
+// prefixes, so the fuzzer can learn multi-datagram structure; malformed
+// prefixes simply terminate the list (never rejected, to keep the
+// search space smooth).
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "testkit/oracles.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::vector<rtcc::util::Bytes> datagrams;
+  std::size_t pos = 0;
+  while (pos + 2 <= size && datagrams.size() < 16) {
+    const std::size_t len =
+        (static_cast<std::size_t>(data[pos]) << 8) | data[pos + 1];
+    pos += 2;
+    const std::size_t take = std::min(len, size - pos);
+    datagrams.emplace_back(data + pos, data + pos + take);
+    pos += take;
+  }
+  if (auto err = rtcc::testkit::run_stream_oracles(datagrams)) {
+    std::fprintf(stderr, "oracle violation: %s\n", err->c_str());
+    std::abort();
+  }
+  return 0;
+}

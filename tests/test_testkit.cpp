@@ -1,0 +1,199 @@
+// rtcc::testkit self-tests: seed well-formedness, mutator determinism
+// and totality, the oracle suite on clean inputs, a small driver run,
+// corpus file round-trips, and golden snapshot determinism.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "proto/quic/quic.hpp"
+#include "proto/rtcp/rtcp.hpp"
+#include "proto/rtp/rtp.hpp"
+#include "proto/stun/stun.hpp"
+#include "proto/vendor/vendor_headers.hpp"
+#include "testkit/driver.hpp"
+#include "testkit/golden.hpp"
+#include "testkit/mutators.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/seeds.hpp"
+
+namespace {
+
+using namespace rtcc::testkit;
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::Rng;
+
+TEST(TestkitSeeds, EveryFamilyProducesItsWireFormat) {
+  Rng rng(11);
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_TRUE(rtcc::proto::stun::parse(
+                    BytesView{make_seed(SeedFamily::kStun, rng)})
+                    .has_value());
+    EXPECT_TRUE(rtcc::proto::stun::parse_channel_data(
+                    BytesView{make_seed(SeedFamily::kChannelData, rng)})
+                    .has_value());
+    EXPECT_TRUE(
+        rtcc::proto::rtp::parse(BytesView{make_seed(SeedFamily::kRtp, rng)})
+            .has_value());
+    EXPECT_TRUE(rtcc::proto::rtcp::parse_compound(
+                    BytesView{make_seed(SeedFamily::kRtcp, rng)})
+                    .has_value());
+    EXPECT_TRUE(
+        rtcc::proto::quic::parse(BytesView{make_seed(SeedFamily::kQuic, rng)})
+            .has_value());
+    EXPECT_TRUE(rtcc::proto::vendor::parse_zoom_header(
+                    BytesView{make_seed(SeedFamily::kVendorZoom, rng)})
+                    .has_value());
+    EXPECT_TRUE(rtcc::proto::vendor::parse_facetime_header(
+                    BytesView{make_seed(SeedFamily::kVendorFaceTime, rng)})
+                    .has_value());
+    EXPECT_GE(make_seed(SeedFamily::kEmulated, rng).size(), 8u);
+  }
+}
+
+TEST(TestkitSeeds, EmulatorPoolIsNonEmptyAndStable) {
+  const auto& pool = emulator_seed_pool();
+  ASSERT_FALSE(pool.empty());
+  EXPECT_EQ(pool.size(), emulator_seed_pool().size());
+}
+
+TEST(TestkitMutators, DeterministicAndTotalOnEveryCombo) {
+  for (const auto sf : all_seed_families()) {
+    for (const auto mf : all_mutator_families()) {
+      Rng seed_rng(101);
+      const Bytes seed = make_seed(sf, seed_rng);
+      const Bytes other = make_seed(sf, seed_rng);
+      Rng a(202);
+      Rng b(202);
+      const Bytes ma = mutate(mf, BytesView{seed}, BytesView{other}, a);
+      const Bytes mb = mutate(mf, BytesView{seed}, BytesView{other}, b);
+      EXPECT_EQ(ma, mb) << to_string(mf) << " on " << to_string(sf)
+                        << " is not deterministic";
+      EXPECT_FALSE(ma.empty() && !seed.empty());
+      // Totality on degenerate inputs: empty, 1-byte, truncated seed.
+      Rng c(303);
+      (void)mutate(mf, BytesView{}, BytesView{other}, c);
+      const Bytes one{0x42};
+      (void)mutate(mf, BytesView{one}, BytesView{}, c);
+      const BytesView half{seed.data(), seed.size() / 2};
+      (void)mutate(mf, half, BytesView{other}, c);
+    }
+  }
+}
+
+TEST(TestkitMutators, MutationsActuallyChangeStructuredSeeds) {
+  // Across a batch, every family must produce at least one output that
+  // differs from its seed (single draws may occasionally no-op).
+  for (const auto mf : all_mutator_families()) {
+    Rng rng(404);
+    bool changed = false;
+    for (int round = 0; round < 32 && !changed; ++round) {
+      const Bytes seed = make_seed(SeedFamily::kStun, rng);
+      const Bytes other = make_seed(SeedFamily::kRtcp, rng);
+      changed = mutate(mf, BytesView{seed}, BytesView{other}, rng) != seed;
+    }
+    EXPECT_TRUE(changed) << to_string(mf) << " never changed its input";
+  }
+}
+
+TEST(TestkitOracles, HoldOnCleanSeedsAndStreams) {
+  Rng rng(55);
+  for (const auto sf : all_seed_families()) {
+    const Bytes seed = make_seed(sf, rng);
+    EXPECT_EQ(run_buffer_oracles(BytesView{seed}), std::nullopt)
+        << to_string(sf);
+    const SeedStream stream = make_seed_stream(sf, rng, 5);
+    EXPECT_EQ(check_strict_subset(stream), std::nullopt) << to_string(sf);
+    EXPECT_EQ(run_stream_oracles(stream.datagrams), std::nullopt)
+        << to_string(sf);
+  }
+}
+
+TEST(TestkitOracles, AnchorParityOnAdversarialBuffers) {
+  // Dense RTP-ish bytes, cookie fragments and boundary sizes stress the
+  // SIMD lanes (16-offset blocks, fast/tail seam at n-20).
+  Rng rng(66);
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{4}, std::size_t{15},
+        std::size_t{16}, std::size_t{17}, std::size_t{19}, std::size_t{20},
+        std::size_t{21}, std::size_t{33}, std::size_t{64}, std::size_t{201},
+        std::size_t{256}, std::size_t{300}}) {
+    for (int round = 0; round < 8; ++round) {
+      Bytes buf = rng.bytes(n);
+      EXPECT_EQ(check_anchor_parity(BytesView{buf}), std::nullopt)
+          << "random n=" << n;
+      // Saturate with anchor-friendly patterns.
+      for (auto& b : buf) b = rng.chance(0.5) ? 0x80 : 0x21;
+      if (n >= 8) {
+        buf[n / 2] = 0x00;
+        rtcc::util::store_be32(buf.data() + n / 2,
+                               rtcc::proto::stun::kMagicCookie);
+      }
+      EXPECT_EQ(check_anchor_parity(BytesView{buf}), std::nullopt)
+          << "patterned n=" << n;
+    }
+  }
+}
+
+TEST(TestkitDriver, SmallRunIsCleanAndDeterministic) {
+  DriverOptions opts;
+  opts.seed = 3;
+  opts.iters = 400;
+  opts.stream_stride = 40;
+  const auto stats = run_fuzz_driver(opts);
+  EXPECT_EQ(stats.iterations, 400u);
+  EXPECT_EQ(stats.buffer_checks, 400u);
+  EXPECT_EQ(stats.stream_checks, 10u);
+  EXPECT_TRUE(stats.findings.empty())
+      << "first finding: " << stats.findings.front().description;
+  const auto again = run_fuzz_driver(opts);
+  EXPECT_EQ(stats.mutations_per_family, again.mutations_per_family);
+  EXPECT_EQ(again.findings.size(), stats.findings.size());
+}
+
+TEST(TestkitDriver, CorpusFilesRoundTrip) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   "rtcc_corpus_roundtrip";
+  std::filesystem::create_directories(dir);
+  Rng rng(77);
+  FuzzFinding f;
+  f.description = "synthetic entry";
+  f.mutator = "none";
+  f.seed_family = "stun";
+  f.datagrams = make_seed_stream(SeedFamily::kRtcp, rng, 3).datagrams;
+  const auto path = (dir / corpus_file_name(f)).string();
+  ASSERT_TRUE(save_corpus_file(path, f));
+  const auto loaded = load_corpus_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, f.datagrams);
+  EXPECT_EQ(replay_corpus_entry(*loaded), std::nullopt);
+  EXPECT_EQ(list_corpus_files(dir.string()).size(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TestkitDriver, CheckedInCorpusReplaysClean) {
+  const auto dir =
+      std::filesystem::path(RTCC_TEST_SOURCE_DIR) / "corpus";
+  for (const auto& file : list_corpus_files(dir.string())) {
+    std::string error;
+    const auto datagrams = load_corpus_file(file, &error);
+    ASSERT_TRUE(datagrams.has_value()) << error;
+    EXPECT_EQ(replay_corpus_entry(*datagrams), std::nullopt) << file;
+  }
+}
+
+TEST(TestkitGolden, SnapshotRoundTripsAndIsDeterministic) {
+  GoldenOptions opts;
+  opts.media_scale = 0.002;
+  opts.call_s = 8.0;
+  opts.pre_call_s = 2.0;
+  opts.post_call_s = 2.0;
+  opts.background = false;
+  const auto path = std::filesystem::path(::testing::TempDir()) /
+                    "rtcc_golden_matrix.json";
+  ASSERT_EQ(update_golden(path.string(), opts), std::nullopt);
+  EXPECT_EQ(check_golden(path.string(), opts), std::nullopt);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
