@@ -61,8 +61,32 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("%s: %zu frames, %.1f MB\n", argv[1], trace->size(),
-              static_cast<double>(trace->total_bytes()) / 1e6);
+  std::printf("%s: %zu frames, %.1f MB, linktype %s\n", argv[1],
+              trace->size(),
+              static_cast<double>(trace->total_bytes()) / 1e6,
+              rtcc::net::linktype_name(trace->linktype()).c_str());
+  const auto& in = analysis.ingest;
+  std::printf("ingest: %llu seen / %llu decoded, losses: %llu "
+              "(torn-tail %llu, clipped %llu, bad-usec %llu, "
+              "frag-expired %llu, non-ip %llu, clipped-undec %llu, "
+              "undecodable %llu, bad-linktype %llu)\n",
+              static_cast<unsigned long long>(in.frames_seen),
+              static_cast<unsigned long long>(in.frames_decoded),
+              static_cast<unsigned long long>(in.loss_events()),
+              static_cast<unsigned long long>(in.torn_tail),
+              static_cast<unsigned long long>(in.snaplen_clipped),
+              static_cast<unsigned long long>(in.bad_usec),
+              static_cast<unsigned long long>(in.fragments_expired),
+              static_cast<unsigned long long>(in.non_ip),
+              static_cast<unsigned long long>(in.clipped_undecodable),
+              static_cast<unsigned long long>(in.undecodable),
+              static_cast<unsigned long long>(in.unsupported_linktype));
+  if (in.vlan_stripped != 0 || in.fragments_seen != 0)
+    std::printf("ingest: %llu vlan-tagged frames, %llu fragments -> "
+                "%llu datagrams reassembled\n",
+                static_cast<unsigned long long>(in.vlan_stripped),
+                static_cast<unsigned long long>(in.fragments_seen),
+                static_cast<unsigned long long>(in.fragments_reassembled));
   std::printf("filtering: UDP %llu streams -> %zu RTC streams "
               "(%llu -> %llu datagrams)\n",
               static_cast<unsigned long long>(analysis.raw_udp_streams),

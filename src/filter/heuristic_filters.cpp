@@ -67,13 +67,15 @@ std::vector<ThreeTuple> collect_outside_tuples(
   return tuples;
 }
 
-std::optional<std::string> stream_sni(const Trace& trace, const Stream& s) {
+std::optional<std::string> stream_sni(const Trace& trace,
+                                      const StreamTable& table,
+                                      const Stream& s) {
   // The ClientHello is within the first packets of a TCP stream; scan a
   // small prefix to keep the filter O(streams), not O(packets).
   constexpr std::size_t kMaxProbe = 8;
   const std::size_t n = std::min(s.packets.size(), kMaxProbe);
   for (std::size_t i = 0; i < n; ++i) {
-    auto payload = rtcc::net::packet_payload(trace, s.packets[i]);
+    auto payload = rtcc::net::packet_payload(trace, table, s.packets[i]);
     if (payload.empty()) continue;
     if (auto sni = rtcc::proto::tls::extract_sni(payload)) return sni;
   }

@@ -27,6 +27,7 @@ void account(StageStats& stats, const Stream& s) {
 FilterReport run_pipeline(const Trace& trace, const StreamTable& table,
                           const FilterConfig& cfg) {
   FilterReport report;
+  report.ingest = table.ingest;
   report.dispositions.assign(table.streams.size(), Disposition::kKept);
 
   // ---- Stage 1: timespan enclosure --------------------------------------
@@ -77,7 +78,7 @@ FilterReport run_pipeline(const Trace& trace, const StreamTable& table,
     // 2b — TLS SNI blocklist (TCP only; UDP QUIC SNI is out of scope,
     // as in the paper).
     if (s.key.transport == Transport::kTcp) {
-      if (auto sni = stream_sni(trace, s)) {
+      if (auto sni = stream_sni(trace, table, s)) {
         if (sni_blocked(*sni, cfg.sni_blocklist)) {
           report.dispositions[i] = Disposition::kStage2Sni;
           continue;

@@ -71,6 +71,9 @@ struct FilterReport {
   StageStats rtc_udp, rtc_tcp;
   /// Indices of surviving UDP streams — the compliance-analysis input.
   std::vector<std::size_t> rtc_udp_streams;
+  /// Ingestion diagnostics carried from the stream table so every
+  /// downstream compliance number travels with its loss accounting.
+  rtcc::net::IngestStats ingest;
 };
 
 [[nodiscard]] FilterReport run_pipeline(const rtcc::net::Trace& trace,
@@ -98,9 +101,11 @@ struct ThreeTuple {
     const std::vector<bool>& removed_stage1);
 
 /// Stage 2b: SNI of the stream's TLS ClientHello, if any (first packets
-/// only — ClientHello is always at the front of a TCP stream).
+/// only — ClientHello is always at the front of a TCP stream). The
+/// table resolves payloads of packets reassembled from IPv4 fragments.
 [[nodiscard]] std::optional<std::string> stream_sni(
-    const rtcc::net::Trace& trace, const rtcc::net::Stream& s);
+    const rtcc::net::Trace& trace, const rtcc::net::StreamTable& table,
+    const rtcc::net::Stream& s);
 
 /// Suffix match honoring label boundaries ("facebook.com" matches
 /// "web.facebook.com" but not "notfacebook.com").

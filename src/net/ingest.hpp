@@ -1,0 +1,72 @@
+// Per-trace ingestion diagnostics.
+//
+// Real captures (rvictl, `tcpdump -i any`, Wireshark defaults, kill-9
+// mid-capture) contain artifacts the clean synthetic corpus never
+// produces: nanosecond timestamp magic, non-Ethernet linktypes,
+// 802.1Q tags, IPv4 fragments, snaplen-clipped records and torn tail
+// records. The ingestion path is fail-soft — it decodes everything it
+// can and *counts* everything it cannot — so any thinning of the
+// packet stream is reported next to every compliance number instead of
+// silently biasing the verdicts (a verdict must be attributable to the
+// endpoint, not the harness).
+//
+// The counters split into two layers that are merged per trace:
+//   * capture layer (net/pcap.cpp): record-walk accounting, and
+//   * decode layer (net/headers.cpp FrameDecoder, via group_streams):
+//     per-frame L2/L3/L4 accounting.
+#pragma once
+
+#include <cstdint>
+
+namespace rtcc::net {
+
+struct IngestStats {
+  // --- capture layer (pcap record walk) ---
+  std::uint64_t frames_seen = 0;      // pcap records walked (0 = not a capture)
+  std::uint64_t torn_tail = 0;        // trailing record cut mid-bytes, dropped
+  std::uint64_t snaplen_clipped = 0;  // records with incl_len < orig_len
+  std::uint64_t bad_usec = 0;         // sub-second field >= unit, clamped
+
+  // --- decode layer (FrameDecoder) ---
+  std::uint64_t frames_decoded = 0;        // packets delivered (incl. reassembled)
+  std::uint64_t vlan_stripped = 0;         // frames with >=1 802.1Q/QinQ tag removed
+  std::uint64_t fragments_seen = 0;        // IPv4 fragment frames observed
+  std::uint64_t fragments_reassembled = 0; // datagrams completed from fragments
+  std::uint64_t fragments_expired = 0;     // datagrams evicted incomplete or
+                                           // unparseable on completion
+  std::uint64_t non_ip = 0;                // non-IP ethertype / non-UDP/TCP proto
+  std::uint64_t clipped_undecodable = 0;   // rejects caused by snaplen clipping
+  std::uint64_t undecodable = 0;           // other truncated / corrupt frames
+  std::uint64_t unsupported_linktype = 0;  // frames under an unknown linktype
+
+  bool operator==(const IngestStats&) const = default;
+
+  /// True when the trace came through the pcap reader (synthetic
+  /// emulator traces never set capture-layer counters).
+  [[nodiscard]] bool from_capture() const { return frames_seen > 0; }
+
+  /// Sum of every way a frame (or part of one) failed to reach the
+  /// stream table — "how much the harness thinned the stream".
+  [[nodiscard]] std::uint64_t loss_events() const {
+    return torn_tail + snaplen_clipped + bad_usec + fragments_expired +
+           non_ip + clipped_undecodable + undecodable + unsupported_linktype;
+  }
+
+  void merge(const IngestStats& o) {
+    frames_seen += o.frames_seen;
+    torn_tail += o.torn_tail;
+    snaplen_clipped += o.snaplen_clipped;
+    bad_usec += o.bad_usec;
+    frames_decoded += o.frames_decoded;
+    vlan_stripped += o.vlan_stripped;
+    fragments_seen += o.fragments_seen;
+    fragments_reassembled += o.fragments_reassembled;
+    fragments_expired += o.fragments_expired;
+    non_ip += o.non_ip;
+    clipped_undecodable += o.clipped_undecodable;
+    undecodable += o.undecodable;
+    unsupported_linktype += o.unsupported_linktype;
+  }
+};
+
+}  // namespace rtcc::net

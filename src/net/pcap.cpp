@@ -21,9 +21,10 @@ using rtcc::util::BytesView;
 
 namespace {
 
-constexpr std::uint32_t kMagicNative = 0xA1B2C3D4;
+constexpr std::uint32_t kMagicNative = 0xA1B2C3D4;    // microseconds
 constexpr std::uint32_t kMagicSwapped = 0xD4C3B2A1;
-constexpr std::uint32_t kLinkEthernet = 1;
+constexpr std::uint32_t kMagicNativeNs = 0xA1B23C4D;  // nanoseconds
+constexpr std::uint32_t kMagicSwappedNs = 0x4D3CB2A1;
 constexpr std::uint32_t kSnapLen = 262144;
 
 std::uint32_t load32(const std::uint8_t* p, bool swap) {
@@ -47,52 +48,70 @@ void set_error(std::string* error, const char* msg) {
   if (error) *error = msg;
 }
 
-/// Shared record walk of both decode paths: validates the global header
-/// and every record header, then hands (ts, payload offset, len) to the
-/// sink — which either copies the bytes or registers a view.
+/// Shared record walk of both decode paths: validates the global header,
+/// then hands (ts, payload offset, incl_len, orig_len) for every intact
+/// record to the sink — which either copies the bytes or registers a
+/// view. Fail-soft: a torn tail record ends the walk and increments
+/// stats.torn_tail instead of failing the whole file; a sub-second
+/// field >= its unit is clamped to the last representable tick and
+/// counted; incl_len < orig_len counts as snaplen-clipped. Hard errors
+/// remain only for files that cannot be a capture at all.
 template <typename FrameSink>
-bool parse_pcap(BytesView data, std::string* error, FrameSink&& on_frame) {
+bool parse_pcap(BytesView data, std::string* error, IngestStats& stats,
+                std::uint32_t& linktype, FrameSink&& on_frame) {
   if (data.size() < 24) {
     set_error(error, "pcap: file shorter than global header");
     return false;
   }
   std::uint32_t magic;
   std::memcpy(&magic, data.data(), 4);
-  bool swap;
+  bool swap = false;
+  bool nanos = false;
   if (magic == kMagicNative) {
-    swap = false;
   } else if (magic == kMagicSwapped) {
     swap = true;
+  } else if (magic == kMagicNativeNs) {
+    nanos = true;
+  } else if (magic == kMagicSwappedNs) {
+    swap = true;
+    nanos = true;
   } else {
     set_error(error, "pcap: bad magic number");
     return false;
   }
-  const std::uint32_t linktype = load32(data.data() + 20, swap);
-  if (linktype != kLinkEthernet) {
-    set_error(error, "pcap: unsupported link type (want Ethernet)");
-    return false;
-  }
+  // Any linktype is accepted here; frames under one the decoder does
+  // not understand are counted per-frame (unsupported_linktype) at
+  // decode time, so the capture-layer accounting still runs.
+  linktype = load32(data.data() + 20, swap);
 
+  const std::uint32_t unit = nanos ? 1000000000u : 1000000u;
+  const double scale = nanos ? 1e-9 : 1e-6;
   std::size_t pos = 24;
   while (pos < data.size()) {
     if (pos + 16 > data.size()) {
-      set_error(error, "pcap: truncated record header");
-      return false;
+      ++stats.torn_tail;  // record header cut mid-bytes
+      break;
     }
     const std::uint32_t sec = load32(data.data() + pos, swap);
-    const std::uint32_t usec = load32(data.data() + pos + 4, swap);
-    // incl_len is what the capture stored (snaplen-clipped); orig_len
-    // (pos + 12) is informational and deliberately ignored, matching
-    // how the analysis treats clipped records: bytes-on-disk only.
+    std::uint32_t sub = load32(data.data() + pos + 4, swap);
     const std::uint32_t incl = load32(data.data() + pos + 8, swap);
+    const std::uint32_t orig = load32(data.data() + pos + 12, swap);
     pos += 16;
     if (incl > data.size() || pos + incl > data.size()) {
-      set_error(error, "pcap: truncated packet record");
-      return false;
+      ++stats.torn_tail;  // record payload cut mid-bytes
+      break;
     }
+    ++stats.frames_seen;
+    if (sub >= unit) {
+      // A fractional-second value >= one second would reorder frames;
+      // clamp to the last representable tick (deterministic) and count.
+      sub = unit - 1;
+      ++stats.bad_usec;
+    }
+    if (orig > incl) ++stats.snaplen_clipped;
     const double ts =
-        static_cast<double>(sec) + static_cast<double>(usec) * 1e-6;
-    on_frame(ts, pos, incl);
+        static_cast<double>(sec) + static_cast<double>(sub) * scale;
+    on_frame(ts, pos, incl, orig);
     pos += incl;
   }
   return true;
@@ -134,7 +153,7 @@ Bytes encode_pcap(const Trace& trace) {
   push32(out, 0);  // thiszone
   push32(out, 0);  // sigfigs
   push32(out, kSnapLen);
-  push32(out, kLinkEthernet);
+  push32(out, trace.linktype());
 
   for (const auto& f : trace.frames()) {
     const double ts = f.ts < 0 ? 0.0 : f.ts;
@@ -142,10 +161,12 @@ Bytes encode_pcap(const Trace& trace) {
     const auto usec = static_cast<std::uint32_t>(
         std::llround((ts - static_cast<double>(sec)) * 1e6) % 1000000);
     const BytesView bytes = trace.bytes(f);
+    const auto incl = static_cast<std::uint32_t>(bytes.size());
     push32(out, sec);
     push32(out, usec);
-    push32(out, static_cast<std::uint32_t>(bytes.size()));
-    push32(out, static_cast<std::uint32_t>(bytes.size()));
+    push32(out, incl);
+    // Preserve the on-the-wire length of snaplen-clipped captures.
+    push32(out, f.orig_len != 0 ? f.orig_len : incl);
     out.insert(out.end(), bytes.begin(), bytes.end());
   }
   return out;
@@ -153,11 +174,15 @@ Bytes encode_pcap(const Trace& trace) {
 
 std::optional<Trace> decode_pcap(BytesView data, std::string* error) {
   Trace trace;
-  if (!parse_pcap(data, error,
-                  [&](double ts, std::size_t pos, std::uint32_t incl) {
-                    trace.add_frame(ts, data.subspan(pos, incl));
+  std::uint32_t linktype = kLinkEthernet;
+  if (!parse_pcap(data, error, trace.ingest(), linktype,
+                  [&](double ts, std::size_t pos, std::uint32_t incl,
+                      std::uint32_t orig) {
+                    trace.add_frame(ts, data.subspan(pos, incl)).orig_len =
+                        orig;
                   }))
     return std::nullopt;
+  trace.set_linktype(linktype);
   return trace;
 }
 
@@ -166,11 +191,14 @@ std::optional<Trace> decode_pcap_zero_copy(BytesView data,
                                            std::string* error) {
   Trace trace(/*use_arena=*/true);
   const std::uint64_t base = trace.adopt_buffer(data, std::move(keepalive));
-  if (!parse_pcap(data, error,
-                  [&](double ts, std::size_t pos, std::uint32_t incl) {
-                    trace.add_frame(Frame{ts, {}, base + pos, incl});
+  std::uint32_t linktype = kLinkEthernet;
+  if (!parse_pcap(data, error, trace.ingest(), linktype,
+                  [&](double ts, std::size_t pos, std::uint32_t incl,
+                      std::uint32_t orig) {
+                    trace.add_frame(Frame{ts, {}, base + pos, incl, orig});
                   }))
     return std::nullopt;
+  trace.set_linktype(linktype);
   return trace;
 }
 

@@ -1,7 +1,17 @@
-// Classic libpcap (.pcap) file reader/writer — microsecond timestamps,
-// LINKTYPE_ETHERNET. Both byte orders are accepted on read (magic
-// 0xA1B2C3D4 vs 0xD4C3B2A1); files are written in native little-endian
-// order like tcpdump does.
+// Classic libpcap (.pcap) file reader/writer.
+//
+// Reading accepts what real captures contain: microsecond magic
+// (0xA1B2C3D4) and Wireshark's nanosecond magic (0xA1B23C4D), both byte
+// orders, and any linktype — records are walked regardless and the
+// linktype is stored on the Trace for per-frame L2 dispatch at decode
+// time (see net/headers.hpp). The walk is fail-soft: a torn tail record
+// (kill-9 mid-capture) ends the walk and is counted, a sub-second field
+// >= its unit is clamped and counted, and incl_len < orig_len marks the
+// frame snaplen-clipped — all in Trace::ingest() (net/ingest.hpp).
+// Hard errors remain only for files that cannot be a capture at all
+// (shorter than the global header, unknown magic). Files are written in
+// native little-endian microsecond order like tcpdump does, preserving
+// the trace's linktype and each frame's orig_len.
 //
 // Reading is zero-copy by default: read_pcap mmaps the file (read()
 // with a single whole-file buffer as fallback), adopts the buffer into
@@ -45,6 +55,17 @@ class Trace {
   [[nodiscard]] const FrameArena& arena() const { return arena_; }
   [[nodiscard]] FrameArena& arena() { return arena_; }
 
+  /// pcap linktype governing how frames() bytes are decoded. Synthetic
+  /// traces are Ethernet; captures carry whatever their header said.
+  [[nodiscard]] std::uint32_t linktype() const { return linktype_; }
+  void set_linktype(std::uint32_t linktype) { linktype_ = linktype; }
+
+  /// Capture-layer ingestion diagnostics (all-zero for synthetic
+  /// traces; populated by the pcap reader). Decode-layer counters are
+  /// added downstream by group_streams.
+  [[nodiscard]] const IngestStats& ingest() const { return ingest_; }
+  [[nodiscard]] IngestStats& ingest() { return ingest_; }
+
   /// Resolves a frame's wire bytes regardless of storage mode.
   [[nodiscard]] rtcc::util::BytesView bytes(const Frame& f) const {
     return f.data.empty() ? arena_.view(f.off, f.len)
@@ -83,6 +104,8 @@ class Trace {
   FrameArena arena_;
   std::vector<Frame> frames_;
   std::uint64_t total_bytes_ = 0;
+  std::uint32_t linktype_ = kLinkEthernet;
+  IngestStats ingest_;
   bool use_arena_ = true;
 };
 
@@ -90,10 +113,11 @@ struct PcapError {
   std::string message;
 };
 
-/// Reads an entire .pcap file. Returns an error message for bad magic,
-/// truncated records, or non-Ethernet link types. In arena mode the
-/// file is mmap'ed (or read once into a single adopted buffer) and
-/// frames are zero-copy views into it.
+/// Reads an entire .pcap file. Returns an error message only for files
+/// that cannot be a capture (short global header, unknown magic); every
+/// record-level defect is fail-soft and counted in the trace's
+/// ingest(). In arena mode the file is mmap'ed (or read once into a
+/// single adopted buffer) and frames are zero-copy views into it.
 [[nodiscard]] std::optional<Trace> read_pcap(const std::string& path,
                                              std::string* error = nullptr);
 

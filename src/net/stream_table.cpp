@@ -75,16 +75,15 @@ std::uint64_t StreamTable::tcp_segment_count() const {
 
 StreamTable group_streams(const Trace& trace) {
   StreamTable table;
+  table.ingest = trace.ingest();  // capture-layer counters, if any
   std::unordered_map<FlowKey, std::size_t, FlowKeyHash> index;
+  FrameDecoder decoder(trace.linktype());
 
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const Frame& frame = trace.frames()[i];
     const rtcc::util::BytesView wire = trace.bytes(frame);
-    auto decoded = decode_frame(wire);
-    if (!decoded) {
-      ++table.undecodable_frames;
-      continue;
-    }
+    auto decoded = decoder.decode(wire, frame.ts, frame.snaplen_clipped());
+    if (!decoded) continue;
     auto [key, dir] = canonical_flow(*decoded);
     auto [it, inserted] = index.try_emplace(key, table.streams.size());
     if (inserted) {
@@ -97,22 +96,49 @@ StreamTable group_streams(const Trace& trace) {
     Stream& stream = table.streams[it->second];
     stream.first_ts = std::min(stream.first_ts, frame.ts);
     stream.last_ts = std::max(stream.last_ts, frame.ts);
-    // The decoded payload aliases `wire`, so its start offset within
-    // the frame falls out of pointer arithmetic for free.
-    stream.packets.push_back(StreamPacket{
-        static_cast<std::uint32_t>(i), frame.ts, dir,
-        static_cast<std::uint32_t>(decoded->payload.size()),
-        static_cast<std::uint32_t>(decoded->payload.data() - wire.data())});
+    StreamPacket pkt;
+    pkt.frame_index = static_cast<std::uint32_t>(i);
+    pkt.ts = frame.ts;
+    pkt.dir = dir;
+    pkt.payload_len = static_cast<std::uint32_t>(decoded->payload.size());
+    if (decoded->reassembled) {
+      // The payload views decoder-owned scratch that the next decode()
+      // overwrites; the table takes a copy and the packet points at it.
+      pkt.reasm = static_cast<std::int32_t>(table.reassembled.size());
+      table.reassembled.emplace_back(decoded->payload.begin(),
+                                     decoded->payload.end());
+    } else {
+      // The decoded payload aliases `wire`, so its start offset within
+      // the frame falls out of pointer arithmetic for free.
+      pkt.payload_off =
+          static_cast<std::uint32_t>(decoded->payload.data() - wire.data());
+    }
+    stream.packets.push_back(pkt);
   }
+  decoder.finish();
+  table.ingest.merge(decoder.stats());
+  table.undecodable_frames = static_cast<std::size_t>(
+      table.ingest.non_ip + table.ingest.undecodable +
+      table.ingest.clipped_undecodable + table.ingest.unsupported_linktype);
   return table;
 }
 
 rtcc::util::BytesView packet_payload(const Trace& trace,
                                      const StreamPacket& pkt) {
+  if (pkt.reasm >= 0) return {};  // table-owned; need the 3-arg overload
   const rtcc::util::BytesView wire = trace.frame_bytes(pkt.frame_index);
   if (std::uint64_t{pkt.payload_off} + pkt.payload_len > wire.size())
     return {};
   return wire.subspan(pkt.payload_off, pkt.payload_len);
+}
+
+rtcc::util::BytesView packet_payload(const Trace& trace,
+                                     const StreamTable& table,
+                                     const StreamPacket& pkt) {
+  if (pkt.reasm < 0) return packet_payload(trace, pkt);
+  const auto idx = static_cast<std::size_t>(pkt.reasm);
+  if (idx >= table.reassembled.size()) return {};
+  return rtcc::util::BytesView{table.reassembled[idx]};
 }
 
 }  // namespace rtcc::net

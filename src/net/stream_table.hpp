@@ -39,12 +39,16 @@ struct FlowKeyHash {
 /// `payload_off` is the transport payload's start within the frame
 /// bytes, recorded at grouping time so packet_payload() is a pure
 /// subspan into the trace arena — no per-access frame re-decode.
+/// Packets reassembled from IPv4 fragments have no single home frame:
+/// `reasm` >= 0 indexes StreamTable::reassembled instead, and
+/// `frame_index` points at the completing fragment (for timestamps).
 struct StreamPacket {
   std::uint32_t frame_index = 0;
   double ts = 0.0;
   Direction dir = Direction::kAtoB;
   std::uint32_t payload_len = 0;
   std::uint32_t payload_off = 0;
+  std::int32_t reasm = -1;
 };
 
 struct Stream {
@@ -59,7 +63,15 @@ struct Stream {
 /// All streams of one trace plus decode bookkeeping.
 struct StreamTable {
   std::vector<Stream> streams;
-  std::size_t undecodable_frames = 0;  // non-IP / truncated, skipped
+  std::size_t undecodable_frames = 0;  // frames that produced no packet
+                                       // (non-IP / truncated / clipped /
+                                       // unknown linktype)
+  /// Capture-layer counters inherited from the trace, merged with the
+  /// FrameDecoder's per-frame decode accounting.
+  IngestStats ingest;
+  /// Payloads of datagrams reassembled from IPv4 fragments (they span
+  /// several frames, so the table owns their bytes).
+  std::vector<rtcc::util::Bytes> reassembled;
 
   [[nodiscard]] std::size_t udp_stream_count() const;
   [[nodiscard]] std::size_t tcp_stream_count() const;
@@ -67,12 +79,20 @@ struct StreamTable {
   [[nodiscard]] std::uint64_t tcp_segment_count() const;
 };
 
-/// Single pass over a trace: decode every frame, group into streams.
+/// Single pass over a trace: decode every frame under the trace's
+/// linktype (VLAN stripping + bounded IPv4 reassembly included), group
+/// into streams.
 [[nodiscard]] StreamTable group_streams(const Trace& trace);
 
-/// Convenience for analysis stages: resolves a StreamPacket back to its
-/// transport payload bytes (view into the trace's frame).
+/// Resolves a StreamPacket back to its transport payload bytes (view
+/// into the trace's frame). Returns {} for reassembled packets — their
+/// bytes live in the table; use the table-aware overload.
 [[nodiscard]] rtcc::util::BytesView packet_payload(const Trace& trace,
+                                                   const StreamPacket& pkt);
+
+/// Table-aware variant that also resolves reassembled packets.
+[[nodiscard]] rtcc::util::BytesView packet_payload(const Trace& trace,
+                                                   const StreamTable& table,
                                                    const StreamPacket& pkt);
 
 }  // namespace rtcc::net

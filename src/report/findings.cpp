@@ -46,7 +46,7 @@ std::vector<StreamAnalysis> analyze_rtc_streams(
     sa.datagrams.reserve(stream.packets.size());
     for (const auto& pkt : stream.packets) {
       StreamDatagram d;
-      d.payload = rtcc::net::packet_payload(trace, pkt);
+      d.payload = rtcc::net::packet_payload(trace, table, pkt);
       d.ts = pkt.ts;
       d.dir = pkt.dir == rtcc::net::Direction::kAtoB ? 0 : 1;
       sa.datagrams.push_back(d);

@@ -44,6 +44,28 @@ void write_analysis(JsonWriter& w, const CallAnalysis& a) {
   w.key("messages").value(a.dpi_messages);
   w.end_object();
 
+  // Emitted only for real captures (the synthetic corpus never sets
+  // capture-layer counters), keeping the golden matrix byte-identical.
+  if (a.ingest.from_capture()) {
+    const auto& in = a.ingest;
+    w.key("ingest").begin_object();
+    w.key("frames_seen").value(in.frames_seen);
+    w.key("frames_decoded").value(in.frames_decoded);
+    w.key("torn_tail").value(in.torn_tail);
+    w.key("snaplen_clipped").value(in.snaplen_clipped);
+    w.key("bad_usec").value(in.bad_usec);
+    w.key("vlan_stripped").value(in.vlan_stripped);
+    w.key("fragments_seen").value(in.fragments_seen);
+    w.key("fragments_reassembled").value(in.fragments_reassembled);
+    w.key("fragments_expired").value(in.fragments_expired);
+    w.key("non_ip").value(in.non_ip);
+    w.key("clipped_undecodable").value(in.clipped_undecodable);
+    w.key("undecodable").value(in.undecodable);
+    w.key("unsupported_linktype").value(in.unsupported_linktype);
+    w.key("loss_events").value(in.loss_events());
+    w.end_object();
+  }
+
   w.key("protocols").begin_object();
   for (const auto& [proto_id, stats] : a.protocols) {
     w.key(rtcc::proto::to_string(proto_id)).begin_object();

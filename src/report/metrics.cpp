@@ -50,6 +50,7 @@ CallAnalysis analyze_trace(const rtcc::net::Trace& trace,
   out.raw_tcp_segments = table.tcp_segment_count();
 
   const auto filter_report = rtcc::filter::run_pipeline(trace, table, fcfg);
+  out.ingest = filter_report.ingest;
   out.stage1_udp = filter_report.stage1_udp;
   out.stage2_udp = filter_report.stage2_udp;
   out.stage1_tcp = filter_report.stage1_tcp;
@@ -73,7 +74,7 @@ CallAnalysis analyze_trace(const rtcc::net::Trace& trace,
     datagrams.reserve(stream.packets.size());
     for (const auto& pkt : stream.packets) {
       StreamDatagram d;
-      d.payload = rtcc::net::packet_payload(trace, pkt);
+      d.payload = rtcc::net::packet_payload(trace, table, pkt);
       d.ts = pkt.ts;
       d.dir = pkt.dir == rtcc::net::Direction::kAtoB ? 0 : 1;
       datagrams.push_back(d);
@@ -166,6 +167,7 @@ void merge(CallAnalysis& into, const CallAnalysis& from) {
   into.dgram_fully_prop += from.dgram_fully_prop;
   into.dpi_candidates += from.dpi_candidates;
   into.dpi_messages += from.dpi_messages;
+  into.ingest.merge(from.ingest);
   for (const auto& [proto, pstats] : from.protocols) {
     auto& dst = into.protocols[proto];
     dst.messages += pstats.messages;

@@ -63,6 +63,9 @@ struct CallAnalysis {
   std::uint64_t dpi_candidates = 0;
   std::uint64_t dpi_messages = 0;
 
+  // --- Ingestion diagnostics (all-zero for synthetic traces) ---
+  rtcc::net::IngestStats ingest;
+
   [[nodiscard]] std::uint64_t total_messages() const;
   [[nodiscard]] std::uint64_t total_compliant() const;
   /// Units for Table 2: messages plus fully-proprietary datagrams.

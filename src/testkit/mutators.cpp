@@ -320,6 +320,47 @@ Bytes mutate_vendor_header(BytesView seed, Rng& rng) {
   return out;
 }
 
+Bytes mutate_frame_header(BytesView seed, Rng& rng) {
+  Bytes out = to_bytes(seed);
+  // Ethernet + IPv4 header is 34 bytes; anything shorter has no frame
+  // structure worth aiming at.
+  if (out.size() < 34) return flip_bits(seed, rng, 4);
+  switch (rng.below(5)) {
+    case 0: {  // ethertype flips: IP versions, VLAN TPIDs, non-IP, junk
+      static constexpr std::uint16_t kTypes[] = {0x0800, 0x86DD, 0x8100,
+                                                 0x88A8, 0x9100, 0x0806};
+      store_be16(out.data() + 12,
+                 rng.chance(0.8) ? kTypes[rng.below(std::size(kTypes))]
+                                 : rng.next_u16());
+      break;
+    }
+    case 1:  // IPv4 flags/fragment-offset randomization (MF, DF, offset)
+      store_be16(out.data() + 14 + 6,
+                 static_cast<std::uint16_t>(
+                     rng.next_u16() & (rng.chance(0.5) ? 0x3FFF : 0xFFFF)));
+      break;
+    case 2: {  // insert a VLAN tag between the MACs and the ethertype
+      std::uint8_t tag[4] = {0x81, 0x00, rng.next_u8(), rng.next_u8()};
+      if (rng.chance(0.3)) {
+        tag[0] = 0x88;
+        tag[1] = 0xA8;
+      }
+      out.insert(out.begin() + 12, tag, tag + 4);
+      break;
+    }
+    case 3:  // IP identification flip (reassembly keying)
+      store_be16(out.data() + 14 + 4, rng.next_u16());
+      break;
+    default:  // IHL nibble or total-length lies
+      if (rng.chance(0.5))
+        out[14] = static_cast<std::uint8_t>(0x40 | rng.below(16));
+      else
+        store_be16(out.data() + 14 + 2, rng.next_u16());
+      break;
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string to_string(MutatorFamily f) {
@@ -336,6 +377,8 @@ std::string to_string(MutatorFamily f) {
       return "quic-header-flip";
     case MutatorFamily::kVendorHeaderFlip:
       return "vendor-header-flip";
+    case MutatorFamily::kFrameHeaderFlip:
+      return "frame-header-flip";
     case MutatorFamily::kGenericBitFlip:
       return "generic-bit-flip";
     case MutatorFamily::kGenericTruncate:
@@ -353,6 +396,7 @@ const std::vector<MutatorFamily>& all_mutator_families() {
       MutatorFamily::kStunTlvSplice, MutatorFamily::kStunLengthLie,
       MutatorFamily::kRtpExtension,  MutatorFamily::kRtcpReshuffle,
       MutatorFamily::kQuicHeaderFlip, MutatorFamily::kVendorHeaderFlip,
+      MutatorFamily::kFrameHeaderFlip,
       MutatorFamily::kGenericBitFlip, MutatorFamily::kGenericTruncate,
       MutatorFamily::kGenericPrefix,  MutatorFamily::kGenericSplice,
   };
@@ -374,6 +418,8 @@ Bytes mutate(MutatorFamily family, BytesView seed, BytesView other,
       return mutate_quic_header(seed, rng);
     case MutatorFamily::kVendorHeaderFlip:
       return mutate_vendor_header(seed, rng);
+    case MutatorFamily::kFrameHeaderFlip:
+      return mutate_frame_header(seed, rng);
     case MutatorFamily::kGenericBitFlip:
       return flip_bits(seed, rng, 8);
     case MutatorFamily::kGenericTruncate:

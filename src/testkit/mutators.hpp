@@ -28,6 +28,8 @@ enum class MutatorFamily : std::uint8_t {
   kRtcpReshuffle,    // compound-packet reorder / dup / drop / length lies
   kQuicHeaderFlip,   // long-header field flips: version, CID lens, varints
   kVendorHeaderFlip, // Zoom / FaceTime envelope field flips
+  kFrameHeaderFlip,  // L2/L3 damage: ethertype/TPID flips, VLAN tag
+                     // insertion, IPv4 flags/frag-offset and id flips
   kGenericBitFlip,   // 1-8 random bit flips anywhere
   kGenericTruncate,  // random prefix of the seed
   kGenericPrefix,    // random proprietary-header-style prefix bytes

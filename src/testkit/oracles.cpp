@@ -335,6 +335,18 @@ std::optional<std::string> parser_sweep(BytesView data) {
         (d->payload.data() < lo || d->payload.data() + d->payload.size() > hi))
       return "decode_frame: payload view escapes the frame";
   }
+
+  // Fail-soft pcap decode: whatever survives the magic check must keep
+  // the capture-layer accounting honest.
+  if (auto t = net::decode_pcap(data)) {
+    const net::IngestStats& in = t->ingest();
+    if (in.frames_seen != t->size())
+      return "pcap: ingest.frames_seen != decoded frame count";
+    if (in.torn_tail > 1)
+      return "pcap: more than one torn-tail event in a single file";
+    if (in.bad_usec > in.frames_seen || in.snaplen_clipped > in.frames_seen)
+      return "pcap: per-record loss counters exceed frames_seen";
+  }
   return std::nullopt;
 }
 
@@ -438,10 +450,22 @@ std::optional<std::string> check_pcap_roundtrip(
   const Bytes e2 = net::encode_pcap(*d1);
   if (e2 != e1) return "pcap roundtrip: encode(decode(x)) != x";
 
+  // Capture-layer ingest accounting on a clean synthetic file: every
+  // record intact, nothing torn, clipped, or clamped.
+  const net::IngestStats& in = d1->ingest();
+  if (in.frames_seen != d1->size())
+    return "pcap roundtrip: ingest.frames_seen != decoded frame count";
+  if (in.torn_tail != 0 || in.snaplen_clipped != 0 || in.bad_usec != 0)
+    return "pcap roundtrip: loss counters nonzero on a clean capture";
+  if (d1->linktype() != trace.linktype())
+    return "pcap roundtrip: linktype not preserved";
+
   const auto dz = net::decode_pcap_zero_copy(e1);
   if (!dz) return "pcap roundtrip: zero-copy decode rejected encoder output";
   if (auto err = compare_traces(*d1, *dz, "decoded", "zero-copy"))
     return "pcap roundtrip: " + *err;
+  if (!(dz->ingest() == in))
+    return "pcap roundtrip: zero-copy ingest stats differ from copying decode";
   return std::nullopt;
 }
 
@@ -511,9 +535,94 @@ std::optional<std::string> check_checker_idempotence(
   return compare_checked(first, rebuilt, "checker idempotence (re-run)");
 }
 
+std::optional<std::string> check_frame_decode(BytesView frame) {
+  // Every declared linktype plus one nobody declares (DLT_USER0).
+  static constexpr std::uint32_t kLinktypes[] = {
+      net::kLinkNull,     net::kLinkEthernet, net::kLinkRaw,
+      net::kLinkLinuxSll, net::kLinkSll2,     147};
+  std::ostringstream err;
+  for (const std::uint32_t lt : kLinktypes) {
+    const std::string name = net::linktype_name(lt);
+    const auto fail = [&](const char* what) {
+      err << "frame decode (" << name << "): " << what;
+      return err.str();
+    };
+
+    net::IngestStats s1;
+    net::IngestStats s2;
+    const auto a = net::decode_frame(frame, lt, &s1);
+    const auto b = net::decode_frame(frame, lt, &s2);
+    if (a.has_value() != b.has_value())
+      return fail("decode_frame is non-deterministic");
+    if (!(s1 == s2)) return fail("stats differ between identical calls");
+    if (a) {
+      if (a->src != b->src || a->dst != b->dst ||
+          a->src_port != b->src_port || a->dst_port != b->dst_port ||
+          a->transport != b->transport || a->is_v6 != b->is_v6 ||
+          a->payload.size() != b->payload.size())
+        return fail("decoded fields differ between identical calls");
+      if (a->reassembled)
+        return fail("stateless decode claimed a reassembled payload");
+      const std::uint8_t* lo = frame.data();
+      const std::uint8_t* hi = frame.data() + frame.size();
+      if (!a->payload.empty() &&
+          (a->payload.data() < lo ||
+           a->payload.data() + a->payload.size() > hi))
+        return fail("payload view escapes the frame");
+    }
+
+    // Exactly one outcome counter per call, and none of the capture- or
+    // reassembly-layer counters from the stateless path.
+    const std::uint64_t outcomes = s1.frames_decoded + s1.fragments_seen +
+                                   s1.non_ip + s1.undecodable +
+                                   s1.clipped_undecodable +
+                                   s1.unsupported_linktype;
+    if (outcomes != 1) {
+      err << "frame decode (" << name << "): " << outcomes
+          << " outcome counters booked for one call";
+      return err.str();
+    }
+    if (s1.frames_decoded != (a ? 1u : 0u))
+      return fail("frames_decoded disagrees with the returned value");
+    if (s1.frames_seen != 0 || s1.torn_tail != 0 || s1.snaplen_clipped != 0 ||
+        s1.bad_usec != 0 || s1.fragments_reassembled != 0 ||
+        s1.fragments_expired != 0)
+      return fail("stateless decode touched capture/reassembly counters");
+    if (!net::linktype_supported(lt) && s1.unsupported_linktype != 1)
+      return fail("unsupported linktype not counted as such");
+
+    // The stateful decoder must agree on a single frame: one fragment
+    // can never complete a datagram (a lone MF=0/offset=0 piece is not
+    // a fragment at all), so reassembly cannot change the outcome.
+    net::FrameDecoder decoder(lt);
+    const auto d = decoder.decode(frame);
+    decoder.finish();
+    const net::IngestStats& ds = decoder.stats();
+    if (d.has_value() != a.has_value())
+      return fail("FrameDecoder disagrees with stateless decode_frame");
+    if (ds.fragments_reassembled != 0)
+      return fail("FrameDecoder reassembled a datagram from one fragment");
+    const std::uint64_t booked =
+        (ds.frames_decoded - ds.fragments_reassembled) + ds.fragments_seen +
+        ds.non_ip + ds.undecodable + ds.clipped_undecodable +
+        ds.unsupported_linktype;
+    if (booked != 1) {
+      err << "frame decode (" << name << "): FrameDecoder booked " << booked
+          << " outcomes for one frame";
+      return err.str();
+    }
+    if (ds.fragments_seen != ds.fragments_expired)
+      return fail("fragment not expired by finish()");
+    if (ds.vlan_stripped != s1.vlan_stripped)
+      return fail("vlan_stripped disagrees between decode paths");
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> run_buffer_oracles(BytesView data) {
   if (auto err = parser_sweep(data)) return "parser_sweep: " + *err;
   if (auto err = check_anchor_parity(data)) return err;
+  if (auto err = check_frame_decode(data)) return err;
   return std::nullopt;
 }
 

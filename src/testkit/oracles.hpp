@@ -20,6 +20,10 @@
 //   7. check_checker_idempotence — the compliance checker is a pure
 //                              function of the stream: re-running it
 //                              (and re-calling check()) changes nothing.
+//   8. check_frame_decode    — decode_frame under every linktype is
+//                              deterministic, keeps payload views inside
+//                              the frame, and books every attempt into
+//                              exactly one IngestStats outcome counter.
 #pragma once
 
 #include <optional>
@@ -54,6 +58,14 @@ namespace rtcc::testkit {
 
 [[nodiscard]] std::optional<std::string> check_checker_idempotence(
     const std::vector<rtcc::util::Bytes>& datagrams);
+
+/// Runs decode_frame over `frame` under every declared linktype plus an
+/// undeclared one, twice each, checking determinism, payload bounds,
+/// and the IngestStats accounting identity (each attempt lands in
+/// exactly one outcome counter). Also drives a stateful FrameDecoder
+/// over the frame and re-checks the identity after finish().
+[[nodiscard]] std::optional<std::string> check_frame_decode(
+    rtcc::util::BytesView frame);
 
 /// Every oracle that accepts arbitrary (possibly mutated) single
 /// buffers, in a fixed order. Used by the driver and corpus replay.

@@ -15,6 +15,7 @@ using rtcc::util::Bytes;
 using rtcc::util::BytesView;
 using rtcc::util::ByteWriter;
 using rtcc::util::Rng;
+using rtcc::util::store_be16;
 
 namespace stun = rtcc::proto::stun;
 namespace rtp = rtcc::proto::rtp;
@@ -39,6 +40,8 @@ std::string to_string(SeedFamily f) {
       return "vendor-facetime";
     case SeedFamily::kEmulated:
       return "emulated";
+    case SeedFamily::kFrame:
+      return "frame";
   }
   return "?";
 }
@@ -49,6 +52,7 @@ const std::vector<SeedFamily>& all_seed_families() {
       SeedFamily::kRtp,        SeedFamily::kRtcp,
       SeedFamily::kQuic,       SeedFamily::kVendorZoom,
       SeedFamily::kVendorFaceTime, SeedFamily::kEmulated,
+      SeedFamily::kFrame,
   };
   return kAll;
 }
@@ -191,6 +195,95 @@ Bytes make_zoom_seed(Rng& rng) {
   return std::move(w).take();
 }
 
+/// One IPv4 fragment (first or non-first) of the UDP datagram carried
+/// in the Ethernet frame `eth` — the wire image whose leading payload
+/// bytes must NOT be read as a UDP header.
+Bytes make_fragment_frame(const Bytes& eth, Rng& rng) {
+  if (eth.size() < 42) return eth;     // want 14 L2 + 20 IP + 8+ L4
+  const std::size_t l4_size = eth.size() - 34;
+  const std::size_t max_units = (l4_size - 1) / 8;
+  if (max_units == 0) return eth;
+  const std::size_t cut = 8 * (1 + rng.below(max_units));
+  const bool first = rng.chance(0.5);
+  const std::size_t off = first ? 0 : cut;
+  const std::size_t end = first ? cut : l4_size;
+  Bytes out(eth.begin(), eth.begin() + 34);  // L2 + IP header
+  out.insert(out.end(), eth.begin() + 34 + static_cast<std::ptrdiff_t>(off),
+             eth.begin() + 34 + static_cast<std::ptrdiff_t>(end));
+  std::uint8_t* ip = out.data() + 14;
+  store_be16(ip + 2, static_cast<std::uint16_t>(20 + (end - off)));
+  store_be16(ip + 4, rng.next_u16());  // IP identification
+  const bool more = end < l4_size;
+  store_be16(ip + 6,
+             static_cast<std::uint16_t>((more ? 0x2000u : 0u) | (off / 8)));
+  store_be16(ip + 10, 0);
+  store_be16(ip + 10, rtcc::net::internet_checksum(BytesView{ip, 20}));
+  return out;
+}
+
+/// Full L2 frames for the frame-decode oracle: the same message wrapped
+/// the ways real captures wrap it (VLAN/QinQ tags, Linux cooked v1/v2,
+/// raw IP, an IPv4 fragment) instead of only clean Ethernet.
+Bytes make_frame_seed(Rng& rng) {
+  rtcc::net::FrameSpec spec;
+  spec.src = rtcc::net::IpAddr::v4(0xC0000200u + 1 + rng.below(120));
+  spec.dst = rtcc::net::IpAddr::v4(0xC0000200u + 1 + rng.below(120));
+  spec.src_port = static_cast<std::uint16_t>(1024 + rng.below(60000));
+  spec.dst_port = static_cast<std::uint16_t>(1024 + rng.below(60000));
+  const Bytes payload =
+      rng.chance(0.5) ? make_stun_seed(rng)
+                      : make_rtp_seed(rng, rng.next_u32(), rng.next_u16());
+  const Bytes eth = rtcc::net::build_frame(spec, BytesView{payload});
+
+  switch (rng.below(7)) {
+    case 0:
+      return eth;
+    case 1: {  // 802.1Q tag between the MACs and the ethertype
+      Bytes out(eth.begin(), eth.begin() + 12);
+      const std::uint8_t tag[4] = {0x81, 0x00, rng.next_u8(), rng.next_u8()};
+      out.insert(out.end(), tag, tag + 4);
+      out.insert(out.end(), eth.begin() + 12, eth.end());
+      return out;
+    }
+    case 2: {  // QinQ: 802.1ad service tag + 802.1Q customer tag
+      Bytes out(eth.begin(), eth.begin() + 12);
+      const std::uint8_t tags[8] = {0x88, 0xA8, rng.next_u8(), rng.next_u8(),
+                                    0x81, 0x00, rng.next_u8(), rng.next_u8()};
+      out.insert(out.end(), tags, tags + 8);
+      out.insert(out.end(), eth.begin() + 12, eth.end());
+      return out;
+    }
+    case 3: {  // Linux cooked v1 (`tcpdump -i any`)
+      ByteWriter w;
+      w.u16(0);        // packet type: unicast to us
+      w.u16(1);        // ARPHRD_ETHER
+      w.u16(6);        // link address length
+      w.fill(0x02, 6); // link address
+      w.fill(0, 2);    // padding
+      w.u16(0x0800);   // protocol
+      w.raw(BytesView{eth}.subspan(14));
+      return std::move(w).take();
+    }
+    case 4: {  // Linux cooked v2
+      ByteWriter w;
+      w.u16(0x0800);   // protocol (first in v2)
+      w.u16(0);        // reserved
+      w.u32(2);        // ifindex
+      w.u16(1);        // ARPHRD_ETHER
+      w.u8(0);         // packet type
+      w.u8(6);         // link address length
+      w.fill(0x02, 6); // link address
+      w.fill(0, 2);    // padding
+      w.raw(BytesView{eth}.subspan(14));
+      return std::move(w).take();
+    }
+    case 5:  // bare IP (LINKTYPE_RAW, rvictl-style)
+      return Bytes(eth.begin() + 14, eth.end());
+    default:
+      return make_fragment_frame(eth, rng);
+  }
+}
+
 /// FaceTime 0x6000 relay envelope: magic(2) declared_len(2) opaque
 /// extra bytes, then an embedded STUN message filling the remainder.
 Bytes make_facetime_seed(Rng& rng) {
@@ -228,6 +321,8 @@ Bytes make_seed(SeedFamily family, Rng& rng) {
       return pool.empty() ? make_stun_seed(rng)
                           : pool[rng.below(pool.size())];
     }
+    case SeedFamily::kFrame:
+      return make_frame_seed(rng);
   }
   return {};
 }

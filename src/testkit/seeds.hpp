@@ -35,6 +35,8 @@ enum class SeedFamily : std::uint8_t {
   kVendorZoom,
   kVendorFaceTime,
   kEmulated,  // harvested from the app models
+  kFrame,     // full L2 frames: Ethernet / VLAN / QinQ / SLL / SLL2 /
+              // raw-IP / single IPv4 fragments (frame-decode oracle)
 };
 
 [[nodiscard]] std::string to_string(SeedFamily f);

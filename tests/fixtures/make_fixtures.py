@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Regenerates the checked-in capture fixtures in this directory.
+
+The fixtures pin real-world pcap shapes that the synthetic emulator
+never produces — nanosecond magics, Linux cooked captures, VLAN tags,
+IPv4 fragments, snaplen-clipped records, and a torn final record — so
+the ingest counters asserted in tests/test_ingest.cpp and the
+analyze_pcap ctest entries are hand-computable from this file.
+
+Run from anywhere: python3 tests/fixtures/make_fixtures.py
+The output bytes are deterministic; regeneration must not change them.
+"""
+import os
+import struct
+
+OUT = os.path.dirname(os.path.abspath(__file__))
+
+MAGIC_US = 0xA1B2C3D4
+MAGIC_NS = 0xA1B23C4D
+LINK_ETHERNET = 1
+LINK_SLL = 113
+
+
+def global_header(magic, linktype):
+    return struct.pack("<IHHiIII", magic, 2, 4, 0, 0, 65535, linktype)
+
+
+def record(sec, sub, data, orig_len=None, keep=None):
+    """One pcap record. `orig_len` lies about the wire size (snaplen
+    clipping); `keep` truncates the stored bytes (torn tail)."""
+    incl = len(data)
+    orig = incl if orig_len is None else orig_len
+    if keep is not None:
+        data = data[:keep]
+    return struct.pack("<IIII", sec, sub, incl, orig) + data
+
+
+def checksum(header):
+    total = 0
+    for i in range(0, len(header), 2):
+        total += (header[i] << 8) | header[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def ipv4(src, dst, proto, payload, ident=0, flags_frag=0):
+    hdr = struct.pack(">BBHHHBBH4s4s", 0x45, 0, 20 + len(payload), ident,
+                      flags_frag, 64, proto, 0, src, dst)
+    hdr = hdr[:10] + struct.pack(">H", checksum(hdr)) + hdr[12:]
+    return hdr + payload
+
+
+def udp(sport, dport, payload):
+    return struct.pack(">HHHH", sport, dport, 8 + len(payload), 0) + payload
+
+
+def ether(payload, ethertype=0x0800):
+    return (bytes.fromhex("020000000002") + bytes.fromhex("020000000001") +
+            struct.pack(">H", ethertype) + payload)
+
+
+def vlan_ether(payload, tags):
+    """tags = [(tpid, vid), ...] outermost first."""
+    frame = bytes.fromhex("020000000002") + bytes.fromhex("020000000001")
+    for tpid, vid in tags:
+        frame += struct.pack(">HH", tpid, vid)
+    return frame + struct.pack(">H", 0x0800) + payload
+
+
+def sll(payload):
+    # pkttype=0 (to us), ARPHRD_ETHER, 6-byte address (zero padded to 8),
+    # protocol 0x0800. As raw bytes inside an Ethernet-linktype file the
+    # would-be ethertype at offset 12 reads the address padding: 0x0000.
+    return (struct.pack(">HHH", 0, 1, 6) + bytes.fromhex("0200000000010000") +
+            struct.pack(">H", 0x0800) + payload)
+
+
+STUN_BIND = bytes.fromhex("000100002112a442") + bytes(range(12))
+RTP16 = bytes.fromhex("8060100020003000aabbccdd01020304")  # 12B hdr + 4B
+
+IP_A = bytes([192, 0, 2, 1])
+IP_B = bytes([192, 0, 2, 2])
+
+
+def write(name, blob):
+    path = os.path.join(OUT, name)
+    with open(path, "wb") as f:
+        f.write(blob)
+    print(f"{name}: {len(blob)} bytes")
+
+
+# --- ns_magic.pcap: nanosecond-resolution magic, two clean STUN frames.
+# Expected ingest: frames_seen=2 frames_decoded=2, everything else 0;
+# timestamps 1.5 and 1.500000001 (1 ns apart — invisible at µs scale).
+ns = global_header(MAGIC_NS, LINK_ETHERNET)
+ns += record(1, 500000000, ether(ipv4(IP_A, IP_B, 17, udp(4000, 3478, STUN_BIND))))
+ns += record(1, 500000001, ether(ipv4(IP_A, IP_B, 17, udp(4000, 3478, STUN_BIND))))
+write("ns_magic.pcap", ns)
+
+# --- sll.pcap: LINUX_SLL (cooked) linktype, two clean STUN records.
+# Expected ingest: frames_seen=2 frames_decoded=2.
+cooked = global_header(MAGIC_US, LINK_SLL)
+cooked += record(1, 0, sll(ipv4(IP_A, IP_B, 17, udp(4000, 3478, STUN_BIND))))
+cooked += record(1, 250000, sll(ipv4(IP_A, IP_B, 17, udp(4000, 3478, STUN_BIND))))
+write("sll.pcap", cooked)
+
+# --- vlan.pcap: one 802.1Q frame, one QinQ (802.1ad outer) frame.
+# Expected ingest: frames_seen=2 frames_decoded=2 vlan_stripped=2.
+vlan = global_header(MAGIC_US, LINK_ETHERNET)
+vlan += record(1, 0, vlan_ether(ipv4(IP_A, IP_B, 17, udp(4000, 3478, STUN_BIND)),
+                                [(0x8100, 10)]))
+vlan += record(1, 250000,
+               vlan_ether(ipv4(IP_A, IP_B, 17, udp(4000, 3478, STUN_BIND)),
+                          [(0x88A8, 100), (0x8100, 10)]))
+write("vlan.pcap", vlan)
+
+# --- kitchen_sink.pcap: every ingest hazard in one Ethernet capture.
+#
+#  # record                                   counter it exercises
+#  1 STUN over UDP A:4000->B:3478             frames_decoded
+#  2 same stream, 802.1Q tagged               frames_decoded + vlan_stripped
+#  3 fragment 1/2 of an RTP datagram          fragments_seen
+#    (UDP header only: 8 bytes, MF=1, off=0)
+#  4 fragment 2/2 (16 bytes at offset 8) —    fragments_seen + reassembled
+#    completes A:5000->B:5004; pre-fix this     + frames_decoded
+#    record misparsed as UDP port 0x8060...
+#  5 SLL-shaped bytes in an Ethernet file     non_ip (ethertype 0x0000)
+#  6 STUN frame with usec=2,000,000           bad_usec (clamped to 999999)
+#  7 60-byte frame stored as 20 bytes         snaplen_clipped
+#                                               + clipped_undecodable
+#  8 record header promises 100 bytes, file   torn_tail (not in frames_seen)
+#    ends after 40
+#
+# Hand-computed ingest: frames_seen=7 torn_tail=1 snaplen_clipped=1
+# bad_usec=1 frames_decoded=4 vlan_stripped=1 fragments_seen=2
+# fragments_reassembled=1 fragments_expired=0 non_ip=1
+# clipped_undecodable=1 undecodable=0 unsupported_linktype=0
+# => loss_events=5, and exactly 2 UDP streams (zero spurious flows).
+full_udp = udp(5000, 5004, RTP16)  # 24 bytes: fragmented as 8 + 16
+frag1 = ipv4(IP_A, IP_B, 17, full_udp[:8], ident=0x1234, flags_frag=0x2000)
+frag2 = ipv4(IP_A, IP_B, 17, full_udp[8:], ident=0x1234, flags_frag=0x0001)
+clipped_frame = ether(ipv4(IP_A, IP_B, 17, udp(4000, 3478, STUN_BIND)))
+
+sink = global_header(MAGIC_US, LINK_ETHERNET)
+sink += record(1, 0, ether(ipv4(IP_A, IP_B, 17, udp(4000, 3478, STUN_BIND))))
+sink += record(1, 100000,
+               vlan_ether(ipv4(IP_A, IP_B, 17, udp(4000, 3478, STUN_BIND)),
+                          [(0x8100, 10)]))
+sink += record(1, 200000, ether(frag1))
+sink += record(1, 250000, ether(frag2))
+sink += record(1, 300000, sll(ipv4(IP_A, IP_B, 17, udp(4000, 3478, STUN_BIND))))
+sink += record(1, 2000000, ether(ipv4(IP_A, IP_B, 17, udp(4000, 3478, STUN_BIND))))
+sink += record(1, 400000, clipped_frame[:20], orig_len=len(clipped_frame))
+sink += record(1, 500000, b"\x00" * 100, keep=40)
+write("kitchen_sink.pcap", sink)

@@ -170,18 +170,26 @@ TEST_P(PcapEdgeCases, BigEndianMagicDecodes) {
   }
 }
 
-TEST_P(PcapEdgeCases, TruncatedFinalRecordRejected) {
+TEST_P(PcapEdgeCases, TruncatedFinalRecordFailSoft) {
   ArenaModeGuard guard(GetParam());
+  // Cut into the last record's *bytes*: the intact first frame is kept
+  // and the torn tail is counted, not fatal.
   Bytes file = make_pcap(false, {pattern(60, 1), pattern(60, 2)});
-  file.resize(file.size() - 10);  // cut into the last record's bytes
-  std::string error;
-  EXPECT_FALSE(decode_pcap(BytesView{file}, &error));
-  EXPECT_NE(error.find("truncated"), std::string::npos);
+  file.resize(file.size() - 10);
+  auto trace = decode_pcap(BytesView{file});
+  ASSERT_TRUE(trace);
+  EXPECT_EQ(trace->size(), 1u);
+  EXPECT_EQ(trace->ingest().frames_seen, 1u);
+  EXPECT_EQ(trace->ingest().torn_tail, 1u);
 
+  // Cut into the record *header*: zero frames, still not fatal.
   Bytes header_cut = make_pcap(false, {pattern(60, 1)});
-  header_cut.resize(24 + 8);  // cut into the record *header*
-  EXPECT_FALSE(decode_pcap(BytesView{header_cut}, &error));
-  EXPECT_NE(error.find("truncated"), std::string::npos);
+  header_cut.resize(24 + 8);
+  auto cut = decode_pcap(BytesView{header_cut});
+  ASSERT_TRUE(cut);
+  EXPECT_EQ(cut->size(), 0u);
+  EXPECT_EQ(cut->ingest().frames_seen, 0u);
+  EXPECT_EQ(cut->ingest().torn_tail, 1u);
 }
 
 TEST_P(PcapEdgeCases, SnaplenClippedRecordKeepsInclBytes) {
@@ -192,6 +200,9 @@ TEST_P(PcapEdgeCases, SnaplenClippedRecordKeepsInclBytes) {
   ASSERT_TRUE(trace);
   ASSERT_EQ(trace->size(), 1u);
   EXPECT_EQ(trace->frame_bytes(0).size(), 48u);
+  EXPECT_EQ(trace->ingest().snaplen_clipped, 1u);
+  EXPECT_EQ(trace->frames()[0].orig_len, 548u);
+  EXPECT_TRUE(trace->frames()[0].snaplen_clipped());
 }
 
 INSTANTIATE_TEST_SUITE_P(BothModes, PcapEdgeCases, testing::Bool(),

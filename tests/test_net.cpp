@@ -181,17 +181,23 @@ TEST(Pcap, RejectsBadMagic) {
   EXPECT_NE(error.find("magic"), std::string::npos);
 }
 
-TEST(Pcap, RejectsTruncatedRecord) {
+TEST(Pcap, TornTailRecordIsFailSoft) {
+  // A kill-9 mid-capture leaves a final record cut mid-bytes. The walk
+  // must keep every intact frame and count the torn tail instead of
+  // failing the whole file.
   Trace trace;
   FrameSpec spec;
   spec.src = *IpAddr::parse("192.0.2.1");
   spec.dst = *IpAddr::parse("192.0.2.2");
   trace.add_frame(0.0, BytesView{build_frame(spec, BytesView{})});
+  trace.add_frame(1.0, BytesView{build_frame(spec, BytesView{})});
   Bytes encoded = encode_pcap(trace);
   encoded.resize(encoded.size() - 5);
-  std::string error;
-  EXPECT_FALSE(decode_pcap(BytesView{encoded}, &error));
-  EXPECT_NE(error.find("truncated"), std::string::npos);
+  auto decoded = decode_pcap(BytesView{encoded});
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->size(), 1u);
+  EXPECT_EQ(decoded->ingest().frames_seen, 1u);
+  EXPECT_EQ(decoded->ingest().torn_tail, 1u);
 }
 
 TEST(StreamTable, BidirectionalGrouping) {
