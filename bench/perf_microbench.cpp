@@ -16,6 +16,7 @@
 #include "proto/tls/client_hello.hpp"
 #include "report/corpus.hpp"
 #include "report/metrics.hpp"
+#include "testkit/meta.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -329,6 +330,38 @@ BENCHMARK(BM_CorpusEndToEnd)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+/// Metamorphic transform cost over a mid-size relay call: arg = index
+/// into testkit::meta::transform_catalogue(). The interesting spread is
+/// re-encapsulation (per-frame header surgery) vs pcap round-trips
+/// (full encode+decode) vs renumber (per-frame decode+rebuild).
+void BM_MetaTransform(benchmark::State& state) {
+  static const emul::EmulatedCall call = [] {
+    emul::CallConfig cfg;
+    cfg.app = emul::AppId::kZoom;
+    cfg.network = emul::NetworkSetup::kWifiRelay;
+    cfg.media_scale = 0.05;
+    cfg.call_s = 60.0;
+    return emul::emulate_call(cfg);
+  }();
+  static const filter::FilterConfig fcfg = emul::filter_config_for(call);
+  const auto& t = testkit::meta::transform_catalogue()[
+      static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto result = t.apply(call.trace, fcfg);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(call.trace.total_bytes()));
+  state.counters["frames"] = static_cast<double>(call.trace.size());
+  state.SetLabel(t.name);
+}
+BENCHMARK(BM_MetaTransform)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      const auto n = rtcc::testkit::meta::transform_catalogue().size();
+      for (std::size_t i = 0; i < n; ++i) b->Arg(static_cast<int>(i));
+    })
+    ->ArgNames({"transform"});
 
 void BM_EndToEndCall(benchmark::State& state) {
   emul::CallConfig cfg;

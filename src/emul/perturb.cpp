@@ -43,4 +43,24 @@ rtcc::net::Trace perturb(const rtcc::net::Trace& trace,
   return out;
 }
 
+rtcc::net::Trace clone_trace(const rtcc::net::Trace& trace) {
+  rtcc::net::Trace out(trace.uses_arena());
+  out.set_linktype(trace.linktype());
+  out.ingest() = trace.ingest();
+  out.reserve(trace.size());
+  for (const auto& frame : trace.frames())
+    out.add_frame(frame.ts, trace.bytes(frame)).orig_len = frame.orig_len;
+  return out;
+}
+
+rtcc::net::Trace translate_time(const rtcc::net::Trace& trace, double dt) {
+  rtcc::net::Trace out(trace.uses_arena());
+  out.set_linktype(trace.linktype());
+  out.ingest() = trace.ingest();
+  out.reserve(trace.size());
+  for (const auto& frame : trace.frames())
+    out.add_frame(frame.ts + dt, trace.bytes(frame)).orig_len = frame.orig_len;
+  return out;
+}
+
 }  // namespace rtcc::emul

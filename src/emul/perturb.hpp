@@ -24,4 +24,17 @@ struct PerturbConfig {
 [[nodiscard]] rtcc::net::Trace perturb(const rtcc::net::Trace& trace,
                                        const PerturbConfig& config);
 
+/// Deep copy of a trace preserving linktype, per-frame orig_len and the
+/// capture-layer ingest ledger (perturb deliberately discards those —
+/// the semantics-preserving rewrites in testkit::meta must not).
+[[nodiscard]] rtcc::net::Trace clone_trace(const rtcc::net::Trace& trace);
+
+/// Global time translation: every frame timestamp shifts by `dt`, frame
+/// order and bytes unchanged. A capture's compliance verdicts are a
+/// function of relative timing only, so shifting the trace together
+/// with its CallSchedule must not move any analysis output (the
+/// testkit::meta `time-shift` invariant).
+[[nodiscard]] rtcc::net::Trace translate_time(const rtcc::net::Trace& trace,
+                                              double dt);
+
 }  // namespace rtcc::emul

@@ -128,4 +128,17 @@ FilterReport run_pipeline(const Trace& trace, const StreamTable& table,
   return report;
 }
 
+std::vector<std::size_t> kept_frame_indices(const StreamTable& table,
+                                            const FilterReport& report) {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < table.streams.size(); ++i) {
+    if (report.dispositions[i] != Disposition::kKept) continue;
+    for (const auto& pkt : table.streams[i].packets)
+      indices.push_back(pkt.frame_index);
+  }
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  return indices;
+}
+
 }  // namespace rtcc::filter

@@ -80,6 +80,17 @@ struct FilterReport {
                                         const rtcc::net::StreamTable& table,
                                         const FilterConfig& cfg);
 
+/// Frame indices (ascending) of every packet belonging to a kept
+/// stream. Because each stage only *removes* streams and the stage-2
+/// heuristics draw their evidence (3-tuples, pre-call IP pairs)
+/// exclusively from removed streams, re-running the pipeline on just
+/// these frames must keep every stream again — the filter is idempotent
+/// over its own output. testkit::meta asserts this; note the guarantee
+/// is per-frame, so it covers traces without IPv4 fragmentation (a
+/// reassembled packet has no single home frame).
+[[nodiscard]] std::vector<std::size_t> kept_frame_indices(
+    const rtcc::net::StreamTable& table, const FilterReport& report);
+
 // ---- Individual stages (exposed for unit tests and ablations) ----------
 
 /// Stage 1: true when the stream's active span is fully enclosed in the

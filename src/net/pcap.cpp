@@ -145,28 +145,46 @@ void Trace::adopt_arena(FrameArena&& arena) {
 }
 
 Bytes encode_pcap(const Trace& trace) {
+  return encode_pcap_ex(trace, PcapEncodeOptions{});
+}
+
+Bytes encode_pcap_ex(const Trace& trace, const PcapEncodeOptions& opts) {
+  const auto emit32 = [&](Bytes& out, std::uint32_t v) {
+    push32(out, opts.swapped ? __builtin_bswap32(v) : v);
+  };
+  const auto emit16 = [&](Bytes& out, std::uint16_t v) {
+    push16(out, opts.swapped ? static_cast<std::uint16_t>(
+                                   (v >> 8) | (v << 8))
+                             : v);
+  };
+  const double sub_unit = opts.nanosecond ? 1e9 : 1e6;
+  const auto sub_mod = opts.nanosecond ? 1000000000LL : 1000000LL;
+
   Bytes out;
   out.reserve(24 + trace.size() * 16 + trace.total_bytes());
-  push32(out, kMagicNative);
-  push16(out, 2);  // version major
-  push16(out, 4);  // version minor
-  push32(out, 0);  // thiszone
-  push32(out, 0);  // sigfigs
-  push32(out, kSnapLen);
-  push32(out, trace.linktype());
+  push32(out, opts.swapped
+                  ? __builtin_bswap32(opts.nanosecond ? kMagicNativeNs
+                                                      : kMagicNative)
+                  : (opts.nanosecond ? kMagicNativeNs : kMagicNative));
+  emit16(out, 2);  // version major
+  emit16(out, 4);  // version minor
+  emit32(out, 0);  // thiszone
+  emit32(out, 0);  // sigfigs
+  emit32(out, kSnapLen);
+  emit32(out, trace.linktype());
 
   for (const auto& f : trace.frames()) {
     const double ts = f.ts < 0 ? 0.0 : f.ts;
     const auto sec = static_cast<std::uint32_t>(ts);
-    const auto usec = static_cast<std::uint32_t>(
-        std::llround((ts - static_cast<double>(sec)) * 1e6) % 1000000);
+    const auto sub = static_cast<std::uint32_t>(
+        std::llround((ts - static_cast<double>(sec)) * sub_unit) % sub_mod);
     const BytesView bytes = trace.bytes(f);
     const auto incl = static_cast<std::uint32_t>(bytes.size());
-    push32(out, sec);
-    push32(out, usec);
-    push32(out, incl);
+    emit32(out, sec);
+    emit32(out, sub);
+    emit32(out, incl);
     // Preserve the on-the-wire length of snaplen-clipped captures.
-    push32(out, f.orig_len != 0 ? f.orig_len : incl);
+    emit32(out, f.orig_len != 0 ? f.orig_len : incl);
     out.insert(out.end(), bytes.begin(), bytes.end());
   }
   return out;

@@ -128,6 +128,19 @@ struct PcapError {
 /// In-memory round trip used heavily by tests. decode_pcap copies frame
 /// bytes out of `data` (into the arena, or per-frame in legacy mode).
 [[nodiscard]] rtcc::util::Bytes encode_pcap(const Trace& trace);
+
+/// Capture-artifact knobs for encode_pcap_ex. The default reproduces
+/// encode_pcap (native little-endian, microsecond magic); the variants
+/// produce the byte-level rewritings real tooling emits — Wireshark's
+/// nanosecond magic and opposite-endian global/record headers — which
+/// must decode back to the same capture (testkit::meta relies on this).
+struct PcapEncodeOptions {
+  bool nanosecond = false;  // write 0xA1B23C4D and ns sub-second fields
+  bool swapped = false;     // byte-swap every header field (foreign endian)
+};
+
+[[nodiscard]] rtcc::util::Bytes encode_pcap_ex(const Trace& trace,
+                                               const PcapEncodeOptions& opts);
 [[nodiscard]] std::optional<Trace> decode_pcap(rtcc::util::BytesView data,
                                                std::string* error = nullptr);
 

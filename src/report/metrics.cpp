@@ -39,7 +39,8 @@ std::uint64_t CallAnalysis::distribution_total() const {
 
 CallAnalysis analyze_trace(const rtcc::net::Trace& trace,
                            const rtcc::filter::FilterConfig& fcfg,
-                           const AnalysisOptions& opts) {
+                           const AnalysisOptions& opts,
+                           std::vector<CallAnalysis>* per_stream) {
   CallAnalysis out;
   out.raw_bytes = trace.total_bytes();
 
@@ -132,6 +133,7 @@ CallAnalysis analyze_trace(const rtcc::net::Trace& trace,
       analyze_one_stream(si);
   }
   for (const auto& part : partials) merge(out, part);
+  if (per_stream != nullptr) *per_stream = std::move(partials);
   return out;
 }
 

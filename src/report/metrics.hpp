@@ -79,9 +79,17 @@ struct CallAnalysis {
 
 /// Same pipeline but on an arbitrary trace + externally supplied filter
 /// config (for analyzing pcaps from disk).
+///
+/// When `per_stream` is non-null it receives one partial CallAnalysis
+/// per surviving RTC UDP stream, in stream-table order — the per-stream
+/// datagram classes and per-message compliance verdicts before any
+/// merging. The metamorphic oracles (testkit::meta) compare these
+/// stream-by-stream across semantics-preserving trace rewrites, which
+/// is strictly stronger than comparing the merged aggregate.
 [[nodiscard]] CallAnalysis analyze_trace(
     const rtcc::net::Trace& trace, const rtcc::filter::FilterConfig& fcfg,
-    const AnalysisOptions& opts = {});
+    const AnalysisOptions& opts = {},
+    std::vector<CallAnalysis>* per_stream = nullptr);
 
 void merge(CallAnalysis& into, const CallAnalysis& from);
 

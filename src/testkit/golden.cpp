@@ -93,4 +93,60 @@ std::optional<std::string> update_golden(const std::string& path,
   return std::nullopt;
 }
 
+std::string compute_report_golden(const ReportGoldenOptions& opts) {
+  rtcc::report::AppResults results;
+  std::uint64_t cell_seed = opts.seed;
+  for (const auto app : {rtcc::emul::AppId::kZoom, rtcc::emul::AppId::kFaceTime,
+                         rtcc::emul::AppId::kDiscord}) {
+    rtcc::emul::CallConfig cfg;
+    cfg.app = app;
+    cfg.pre_call_s = opts.pre_call_s;
+    cfg.call_s = opts.call_s;
+    cfg.post_call_s = opts.post_call_s;
+    cfg.media_scale = opts.media_scale;
+    cfg.seed = cell_seed++;
+    results[app] =
+        rtcc::report::analyze_call(rtcc::emul::emulate_call(cfg));
+  }
+  std::ostringstream out;
+  out << rtcc::report::to_json(results) << "\n";
+  out << "---- table1 ----\n" << rtcc::report::render_table1(results);
+  out << "---- table3 ----\n" << rtcc::report::render_table3(results);
+  return out.str();
+}
+
+std::optional<std::string> check_report_golden(const std::string& path,
+                                               const ReportGoldenOptions& opts) {
+  const std::string run1 = compute_report_golden(opts);
+  const std::string run2 = compute_report_golden(opts);
+  if (run1 != run2)
+    return "report golden determinism violation: two consecutive "
+           "computations differ (" +
+           first_difference(run1, run2) + ")";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "cannot open report golden snapshot " + path;
+  std::ostringstream file;
+  file << in.rdbuf();
+  if (file.str() != run1)
+    return "report golden mismatch vs " + path + ": " +
+           first_difference(file.str(), run1) +
+           " (refresh intentionally with --update-report-golden)";
+  return std::nullopt;
+}
+
+std::optional<std::string> update_report_golden(
+    const std::string& path, const ReportGoldenOptions& opts) {
+  const std::string run1 = compute_report_golden(opts);
+  const std::string run2 = compute_report_golden(opts);
+  if (run1 != run2)
+    return "report golden determinism violation: two consecutive "
+           "computations differ (" +
+           first_difference(run1, run2) + ")";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return "cannot write report golden snapshot " + path;
+  out << run1;
+  if (!out) return "write failed for " + path;
+  return std::nullopt;
+}
+
 }  // namespace rtcc::testkit

@@ -39,4 +39,34 @@ struct GoldenOptions {
 [[nodiscard]] std::optional<std::string> update_golden(
     const std::string& path, const GoldenOptions& opts = {});
 
+// ---- report-surface golden ----------------------------------------------
+//
+// The matrix golden above pins the *numbers*; this second snapshot pins
+// the *rendering surface*: the AppResults JSON schema (report/
+// json_export) and the ASCII table renderers, over a small fixed
+// experiment. Any schema change — a renamed key, reordered field,
+// altered table layout — diffs here even when every number is
+// unchanged. Refresh intentionally with `fuzz_driver
+// --update-report-golden`.
+
+struct ReportGoldenOptions {
+  double media_scale = 0.01;
+  double call_s = 30.0;
+  double pre_call_s = 5.0;
+  double post_call_s = 5.0;
+  std::uint64_t seed = 77;
+};
+
+/// AppResults JSON for a 3-app slice, followed by rendered Tables 1
+/// and 3 (section markers between the parts).
+[[nodiscard]] std::string compute_report_golden(
+    const ReportGoldenOptions& opts = {});
+
+/// Computes twice (determinism), then compares against `path`.
+[[nodiscard]] std::optional<std::string> check_report_golden(
+    const std::string& path, const ReportGoldenOptions& opts = {});
+
+[[nodiscard]] std::optional<std::string> update_report_golden(
+    const std::string& path, const ReportGoldenOptions& opts = {});
+
 }  // namespace rtcc::testkit

@@ -4,6 +4,10 @@
 //   fuzz_driver --replay DIR                        corpus regression replay
 //   fuzz_driver --golden FILE                       golden-matrix check
 //   fuzz_driver --update-golden FILE                refresh the snapshot
+//   fuzz_driver --meta | --meta-full                metamorphic invariants
+//   fuzz_driver --meta-corpus DIR                   save minimized violations
+//   fuzz_driver --report-golden FILE                report-surface snapshot
+//   fuzz_driver --update-report-golden FILE         refresh that snapshot
 //
 // Modes compose: a single invocation can replay the corpus, run a fuzz
 // budget and check the golden snapshot; the exit code is non-zero if
@@ -17,6 +21,7 @@
 
 #include "testkit/driver.hpp"
 #include "testkit/golden.hpp"
+#include "testkit/meta.hpp"
 #include "testkit/seeds.hpp"
 #include "util/hex.hpp"
 #include "util/rng.hpp"
@@ -27,9 +32,38 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--iters M] [--stream-stride K]\n"
                "          [--corpus DIR] [--replay DIR] [--save-seeds DIR]\n"
-               "          [--golden FILE] [--update-golden FILE]\n",
+               "          [--golden FILE] [--update-golden FILE]\n"
+               "          [--meta] [--meta-full] [--meta-corpus DIR]\n"
+               "          [--report-golden FILE] "
+               "[--update-report-golden FILE]\n",
                argv0);
   return 2;
+}
+
+/// Runs the metamorphic driver twice (the double-run determinism
+/// requirement: byte-identical reports) and fails on any violation.
+int run_meta(const rtcc::testkit::meta::MetaOptions& opts) {
+  const auto stats1 = rtcc::testkit::meta::run_meta_driver(opts);
+  const auto stats2 = rtcc::testkit::meta::run_meta_driver(opts);
+  std::fputs(stats1.report.c_str(), stdout);
+  if (stats1.report != stats2.report) {
+    std::fprintf(stderr,
+                 "meta: determinism violation — two runs with identical "
+                 "options produced different reports\n");
+    return 1;
+  }
+  if (!stats1.violations.empty()) {
+    for (const auto& v : stats1.violations) {
+      if (v.datagrams.empty()) continue;
+      std::fprintf(stderr, "minimized reproducer (%s under %s):\n",
+                   v.oracle.c_str(), v.transform.c_str());
+      for (const auto& d : v.datagrams)
+        std::fprintf(stderr, "  %s\n",
+                     rtcc::util::to_hex(rtcc::util::BytesView{d}).c_str());
+    }
+    return 1;
+  }
+  return 0;
 }
 
 int replay_corpus(const std::string& dir) {
@@ -117,6 +151,10 @@ int main(int argc, char** argv) {
   std::string save_seeds_dir;
   std::string golden_path;
   std::string update_golden_path;
+  std::string report_golden_path;
+  std::string update_report_golden_path;
+  bool meta = false;
+  rtcc::testkit::meta::MetaOptions meta_opts;
 
   for (int i = 1; i < argc; ++i) {
     const auto arg = std::string(argv[i]);
@@ -136,16 +174,46 @@ int main(int argc, char** argv) {
     else if (arg == "--save-seeds") save_seeds_dir = value();
     else if (arg == "--golden") golden_path = value();
     else if (arg == "--update-golden") update_golden_path = value();
+    else if (arg == "--meta") meta = true;
+    else if (arg == "--meta-full") { meta = true; meta_opts.full = true; }
+    else if (arg == "--meta-corpus") { meta = true; meta_opts.corpus_dir = value(); }
+    else if (arg == "--report-golden") report_golden_path = value();
+    else if (arg == "--update-report-golden")
+      update_report_golden_path = value();
     else return usage(argv[0]);
   }
   if (replay_dir.empty() && opts.iters == 0 && golden_path.empty() &&
-      update_golden_path.empty() && save_seeds_dir.empty())
+      update_golden_path.empty() && save_seeds_dir.empty() && !meta &&
+      report_golden_path.empty() && update_report_golden_path.empty())
     return usage(argv[0]);
 
   int rc = 0;
   if (!save_seeds_dir.empty()) rc |= save_seed_exemplars(save_seeds_dir);
   if (!replay_dir.empty()) rc |= replay_corpus(replay_dir);
   if (opts.iters > 0) rc |= run_fuzz(opts);
+  if (meta) {
+    meta_opts.seed = opts.seed != 1 ? opts.seed : meta_opts.seed;
+    rc |= run_meta(meta_opts);
+  }
+  if (!update_report_golden_path.empty()) {
+    if (auto err =
+            rtcc::testkit::update_report_golden(update_report_golden_path)) {
+      std::fprintf(stderr, "update-report-golden: %s\n", err->c_str());
+      rc |= 1;
+    } else {
+      std::printf("report golden snapshot refreshed: %s\n",
+                  update_report_golden_path.c_str());
+    }
+  }
+  if (!report_golden_path.empty()) {
+    if (auto err = rtcc::testkit::check_report_golden(report_golden_path)) {
+      std::fprintf(stderr, "report-golden: %s\n", err->c_str());
+      rc |= 1;
+    } else {
+      std::printf("report golden matches (determinism verified on two "
+                  "consecutive runs)\n");
+    }
+  }
   if (!update_golden_path.empty()) {
     if (auto err = rtcc::testkit::update_golden(update_golden_path)) {
       std::fprintf(stderr, "update-golden: %s\n", err->c_str());

@@ -1,0 +1,130 @@
+// Edge-case unit coverage for src/filter/: the empty trace, the
+// single-datagram trace through every disposition, pipeline purity and
+// idempotence over its own kept output (the metamorphic oracle's
+// claim, exercised here directly at the unit level).
+#include <gtest/gtest.h>
+
+#include "filter/pipeline.hpp"
+#include "net/headers.hpp"
+#include "net/stream_table.hpp"
+#include "report/metrics.hpp"
+#include "testkit/meta.hpp"
+
+namespace {
+
+using rtcc::filter::Disposition;
+using rtcc::net::IpAddr;
+using rtcc::net::Trace;
+
+rtcc::filter::FilterConfig test_config() {
+  return rtcc::testkit::meta::corpus_filter_config();  // window [8, 42]
+}
+
+Trace one_datagram(double ts, std::uint16_t dport = 3478) {
+  Trace t;
+  rtcc::net::FrameSpec spec;
+  spec.src = IpAddr::v4(192, 168, 1, 10);
+  spec.dst = IpAddr::v4(203, 0, 113, 7);
+  spec.src_port = 40000;
+  spec.dst_port = dport;
+  t.add_frame(ts, rtcc::net::build_frame(
+                      spec, rtcc::util::Bytes{0xde, 0xad, 0xbe, 0xef}));
+  return t;
+}
+
+TEST(FilterUnits, EmptyTraceProducesEmptyEverything) {
+  const Trace t;
+  const auto table = rtcc::net::group_streams(t);
+  EXPECT_TRUE(table.streams.empty());
+  const auto report = rtcc::filter::run_pipeline(t, table, test_config());
+  EXPECT_TRUE(report.dispositions.empty());
+  EXPECT_TRUE(rtcc::filter::kept_frame_indices(table, report).empty());
+  EXPECT_EQ(report.rtc_udp.streams, 0u);
+  EXPECT_EQ(report.stage1_udp.streams, 0u);
+
+  const auto analysis = rtcc::report::analyze_trace(t, test_config());
+  EXPECT_EQ(analysis.raw_udp_streams, 0u);
+  EXPECT_EQ(analysis.total_messages(), 0u);
+  EXPECT_EQ(analysis.dpi_messages, 0u);
+}
+
+TEST(FilterUnits, SingleInWindowDatagramIsKept) {
+  const Trace t = one_datagram(20.0);
+  const auto table = rtcc::net::group_streams(t);
+  ASSERT_EQ(table.streams.size(), 1u);
+  const auto report = rtcc::filter::run_pipeline(t, table, test_config());
+  EXPECT_EQ(report.dispositions[0], Disposition::kKept);
+  EXPECT_EQ(report.rtc_udp.streams, 1u);
+  EXPECT_EQ(report.rtc_udp.packets, 1u);
+  const auto kept = rtcc::filter::kept_frame_indices(table, report);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0], 0u);
+}
+
+TEST(FilterUnits, SingleDatagramBeforeTheWindowIsStage1Removed) {
+  const Trace t = one_datagram(2.0);
+  const auto table = rtcc::net::group_streams(t);
+  const auto report = rtcc::filter::run_pipeline(t, table, test_config());
+  ASSERT_EQ(report.dispositions.size(), 1u);
+  EXPECT_EQ(report.dispositions[0], Disposition::kStage1Timespan);
+  EXPECT_EQ(report.stage1_udp.streams, 1u);
+  EXPECT_TRUE(rtcc::filter::kept_frame_indices(table, report).empty());
+}
+
+TEST(FilterUnits, SingleDatagramOnAnExcludedPortIsStage2Removed) {
+  const Trace t = one_datagram(20.0, 5353);  // mDNS
+  const auto table = rtcc::net::group_streams(t);
+  const auto report = rtcc::filter::run_pipeline(t, table, test_config());
+  ASSERT_EQ(report.dispositions.size(), 1u);
+  EXPECT_EQ(report.dispositions[0], Disposition::kStage2Port);
+  EXPECT_EQ(report.stage2_udp.streams, 1u);
+}
+
+TEST(FilterUnits, PipelineIsPure) {
+  rtcc::emul::CallConfig cfg;
+  cfg.pre_call_s = 5;
+  cfg.call_s = 20;
+  cfg.post_call_s = 5;
+  cfg.media_scale = 0.01;
+  cfg.seed = 21;
+  const auto call = rtcc::emul::emulate_call(cfg);
+  const auto fcfg = rtcc::emul::filter_config_for(call);
+  const auto table = rtcc::net::group_streams(call.trace);
+  const auto r1 = rtcc::filter::run_pipeline(call.trace, table, fcfg);
+  const auto r2 = rtcc::filter::run_pipeline(call.trace, table, fcfg);
+  EXPECT_EQ(r1.dispositions, r2.dispositions);
+}
+
+TEST(FilterUnits, PipelineIsIdempotentOverItsKeptOutput) {
+  rtcc::emul::CallConfig cfg;
+  cfg.app = rtcc::emul::AppId::kWhatsApp;
+  cfg.pre_call_s = 5;
+  cfg.call_s = 20;
+  cfg.post_call_s = 5;
+  cfg.media_scale = 0.01;
+  cfg.seed = 22;
+  const auto call = rtcc::emul::emulate_call(cfg);
+  EXPECT_EQ(rtcc::testkit::meta::check_filter_idempotence(
+                call.trace, rtcc::emul::filter_config_for(call)),
+            std::nullopt);
+}
+
+TEST(FilterUnits, KeptFrameIndicesAreSortedUniqueAndInRange) {
+  rtcc::emul::CallConfig cfg;
+  cfg.pre_call_s = 5;
+  cfg.call_s = 20;
+  cfg.post_call_s = 5;
+  cfg.media_scale = 0.01;
+  cfg.seed = 23;
+  const auto call = rtcc::emul::emulate_call(cfg);
+  const auto table = rtcc::net::group_streams(call.trace);
+  const auto report = rtcc::filter::run_pipeline(
+      call.trace, table, rtcc::emul::filter_config_for(call));
+  const auto kept = rtcc::filter::kept_frame_indices(table, report);
+  EXPECT_FALSE(kept.empty());
+  for (std::size_t i = 1; i < kept.size(); ++i)
+    EXPECT_LT(kept[i - 1], kept[i]);
+  EXPECT_LT(kept.back(), call.trace.size());
+}
+
+}  // namespace
