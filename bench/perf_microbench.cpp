@@ -5,6 +5,7 @@
 
 #include "crypto/hmac.hpp"
 #include "dpi/scanning_dpi.hpp"
+#include "dpi/simd_dispatch.hpp"
 #include "dpi/strict_dpi.hpp"
 #include "emul/app_model.hpp"
 #include "filter/pipeline.hpp"
@@ -12,6 +13,7 @@
 #include "proto/rtp/rtp.hpp"
 #include "proto/stun/stun.hpp"
 #include "net/arena.hpp"
+#include "net/packet_batch.hpp"
 #include "net/pcap.hpp"
 #include "proto/tls/client_hello.hpp"
 #include "report/corpus.hpp"
@@ -180,6 +182,43 @@ void BM_ScanningDpiMacro(benchmark::State& state) {
   run_scanning_bench(state, wl, opts);
 }
 BENCHMARK(BM_ScanningDpiMacro)->Arg(0)->Arg(1)->ArgNames({"anchor"});
+
+/// Vector-pipeline sweep over the same macro workload: batch size
+/// (1 = the fused per-datagram path, 256 = the default vector length)
+/// crossed with the forced SIMD kernel level. Levels this CPU or build
+/// cannot execute are skipped, not failed, so the sweep is portable
+/// across x86-64 tiers and AArch64. All cells produce byte-identical
+/// analyses (the parity oracles enforce that); this measures cost only.
+void BM_BatchPipeline(benchmark::State& state) {
+  static const DpiWorkload wl(1.0, 30.0);
+  const auto level = static_cast<dpi::SimdLevel>(state.range(1));
+  if (!dpi::simd_level_supported(level)) {
+    state.SkipWithError("SIMD level not supported on this CPU/build");
+    return;
+  }
+  const net::BatchModeGuard batch_guard(
+      static_cast<std::size_t>(state.range(0)));
+  const dpi::SimdModeGuard simd_guard(level);
+  const dpi::ScanningDpi engine;
+  for (auto _ : state) {
+    auto analyses = engine.analyze_stream(wl.datagrams);
+    benchmark::DoNotOptimize(analyses);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wl.bytes));
+  state.counters["datagrams/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(wl.datagrams.size()),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(dpi::to_string(level));
+}
+BENCHMARK(BM_BatchPipeline)
+    ->ArgsProduct({{1, 32, 64, 128, 256, 512, 1024},
+                   {static_cast<long>(dpi::SimdLevel::kScalar),
+                    static_cast<long>(dpi::SimdLevel::kSse2),
+                    static_cast<long>(dpi::SimdLevel::kAvx2),
+                    static_cast<long>(dpi::SimdLevel::kNeon)}})
+    ->ArgNames({"batch", "simd"});
 
 void BM_StrictDpi(benchmark::State& state) {
   emul::CallConfig cfg;

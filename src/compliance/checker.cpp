@@ -34,6 +34,14 @@ Verdict make_verdict(std::vector<Violation> violations,
 std::vector<CheckedMessage> StreamComplianceChecker::check(
     const rtcc::dpi::ExtractedMessage& msg, int dir, double ts) const {
   std::vector<CheckedMessage> out;
+  check_into(msg, dir, ts, out);
+  return out;
+}
+
+std::size_t StreamComplianceChecker::check_into(
+    const rtcc::dpi::ExtractedMessage& msg, int dir, double ts,
+    std::vector<CheckedMessage>& out) const {
+  const std::size_t before = out.size();
   auto push = [&](proto::Protocol protocol, std::string label,
                   std::vector<Violation> violations) {
     CheckedMessage cm;
@@ -92,7 +100,7 @@ std::vector<CheckedMessage> StreamComplianceChecker::check(
       break;
     }
   }
-  return out;
+  return out.size() - before;
 }
 
 std::string to_string(Criterion c) {

@@ -29,6 +29,14 @@ class StreamComplianceChecker {
   [[nodiscard]] std::vector<CheckedMessage> check(
       const rtcc::dpi::ExtractedMessage& msg, int dir, double ts) const;
 
+  /// Allocation-hoisted form of check(): appends to `out` (not cleared)
+  /// and returns the number of CheckedMessages appended. The pipeline's
+  /// compliance node calls this with one reused buffer for the whole
+  /// batch, so the per-message vector allocation disappears from the
+  /// hot loop; check() above is a thin wrapper.
+  std::size_t check_into(const rtcc::dpi::ExtractedMessage& msg, int dir,
+                         double ts, std::vector<CheckedMessage>& out) const;
+
   [[nodiscard]] const StreamContext& context() const { return ctx_; }
   [[nodiscard]] const ComplianceConfig& config() const { return cfg_; }
 

@@ -7,34 +7,45 @@
 //
 //   STUN        top two bits 00 + (magic cookie 0x2112A442 at offset+4
 //               OR classic-STUN exact tail-fit length at offset+2)
-//   ChannelData first byte 0x40-0x4F (TURN channel range)
+//   ChannelData first byte 0x40-0x4F (TURN channel range) + the 4-byte
+//               header and 16-bit length fit the datagram remainder
 //   RTP/RTCP    version bits 10; the PT byte splits the two (RTCP owns
-//               the assigned 200-207 block, RTP everything else)
+//               the assigned 200-207 block, RTP everything else); RTP
+//               additionally requires its full header — 12 + 4*CSRC,
+//               plus, when the extension bit is set, the 4-byte
+//               extension header and its 32-bit-word length field — to
+//               fit the remainder
 //   QUIC long   form+fixed bits 11 + version 1 at offset+1
 //   QUIC short  form+fixed bits 01 at offset 0
+//
+// The two length fits are anchors in their own right: on encrypted
+// payloads they reject the majority of byte-class matches (a random
+// 16-bit length rarely fits the remainder), and they vectorise as
+// 16-bit compares against an offset ramp, so the SIMD kernels resolve
+// them without any scalar work.
 //
 // Every anchor is a *necessary* condition of the corresponding full
 // sniff in ScanningDpi::analyze_stream, so running the sniffs only at
 // anchored offsets produces a byte-identical candidate set (enforced by
 // the equivalence sweep in tests/test_determinism.cpp).
 //
-// On SSE2 targets (any x86-64) the per-offset tests are evaluated 16
-// offsets at a time and only flagged lanes fall back to the scalar
-// test; the vector tests are the same necessary conditions, never a
-// replacement, so the scalar/vector paths are interchangeable.
+// The per-offset tests are additionally evaluated 64 offsets at a time
+// by a runtime-dispatched SIMD kernel (dpi/simd_dispatch.hpp — scalar /
+// SSE2 / AVX2 / NEON, selected by cpuid and the RTCC_SIMD knob); only
+// flagged lanes fall back to the scalar test. The vector tests are the
+// same necessary conditions, never a replacement, so every level is
+// interchangeable and yields byte-identical anchors.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "dpi/scanning_dpi.hpp"
+#include "dpi/simd_dispatch.hpp"
 #include "proto/quic/quic.hpp"
 #include "proto/stun/stun.hpp"
 #include "util/bytes.hpp"
-
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
 
 namespace rtcc::dpi {
 
@@ -53,6 +64,107 @@ struct AnchorHit {
   std::uint8_t mask = 0;
 };
 
+/// Scan-region geometry shared by the fused walk (for_each_anchor) and
+/// the staged prefilter/scan node pair: both must agree byte-for-byte
+/// on which offsets the kernel covers and which fall to scalar code.
+struct AnchorPlan {
+  std::size_t limit = 0;     ///< scan end (exclusive): min(k + 1, n)
+  std::size_t fast_end = 0;  ///< bound-check-free end: >= 20 bytes remain
+  std::size_t blocks = 0;    ///< 64-offset kernel blocks, starting at offset 1
+};
+
+/// Kernel eligibility bound: the kernels evaluate the RTP header fit
+/// and ChannelData length fit with 16-bit saturating adds, which is
+/// exact whenever offset + 76 (the largest RTP header need) cannot
+/// exceed 65535. Payloads beyond this — larger than any UDP datagram —
+/// take the scalar loop so every level stays byte-identical.
+constexpr std::size_t kMaxKernelPayload = 0xFFFF - 56;
+
+[[nodiscard]] inline AnchorPlan anchor_plan(std::size_t n,
+                                            const ScanOptions& opts) {
+  AnchorPlan pl;
+  pl.limit = std::min(opts.max_offset + 1, n);
+  pl.fast_end = std::min(
+      pl.limit, n >= rtcc::proto::stun::kHeaderSize
+                    ? n - rtcc::proto::stun::kHeaderSize + 1
+                    : std::size_t{0});
+  // Offset 0 is always handled by scalar code (the QUIC short anchor
+  // lives there), so kernel blocks start at offset 1.
+  pl.blocks = pl.fast_end > 1 && n <= kMaxKernelPayload
+                  ? (pl.fast_end - 1) / 64
+                  : 0;
+  return pl;
+}
+
+[[nodiscard]] inline unsigned anchor_gates(const ScanOptions& opts) {
+  unsigned gates = 0;
+  if (opts.scan_rtp) gates |= gate::kRtp;
+  if (opts.scan_rtcp) gates |= gate::kRtcp;
+  if (opts.scan_stun) gates |= gate::kStun;
+  if (opts.scan_quic) gates |= gate::kQuic;
+  return gates;
+}
+
+/// Exact RTP header fit — the length half of the RTP anchor: the fixed
+/// header and CSRC list, plus (when the extension bit is set) the
+/// 4-byte extension header and its 32-bit-word length, must fit the
+/// datagram remainder. These are precisely sniff_rtp's structural
+/// length checks, so the anchor stays a necessary condition while
+/// rejecting the bulk of byte-class matches on encrypted payloads (a
+/// random 16-bit word count almost never fits). The extension length
+/// read is guarded by the fit of the extension header itself.
+[[nodiscard]] inline bool rtp_header_fits(const std::uint8_t* p,
+                                          std::size_t i, std::size_t n) {
+  const std::uint8_t b0 = p[i];
+  std::size_t need = 12 + 4 * (b0 & 0x0F);
+  const std::size_t rem = n - i;
+  if ((b0 & 0x10) != 0) {
+    need += 4;
+    if (need > rem) return false;
+    need += 4 * std::size_t{rtcc::util::load_be16(p + i + need - 2)};
+  }
+  return need <= rem;
+}
+
+/// Walks one 64-offset block's kernel masks in ascending offset order,
+/// invoking fn(offset, anchor-mask) for each hot lane. The family masks
+/// are disjoint (first-byte class, plus the PT-byte RTP/RTCP split done
+/// in the kernel), so each hot lane belongs to exactly one family and
+/// the walker classifies without re-reading payload bytes. The kernels
+/// already applied the per-protocol scan gates and the cheap length
+/// preconditions; only stun lanes (approximate in the kernel) re-run
+/// the exact cookie/tail-fit test here.
+template <typename Fn>
+inline void walk_anchor_masks(const std::uint8_t* p, std::size_t n,
+                              std::size_t base, const AnchorMasks& m,
+                              Fn&& fn) {
+  namespace stun = rtcc::proto::stun;
+  std::uint64_t bits = m.any();
+  while (bits) {
+    const unsigned k = static_cast<unsigned>(__builtin_ctzll(bits));
+    bits &= bits - 1;
+    const std::size_t i = base + k;
+    const std::uint64_t bit = std::uint64_t{1} << k;
+    if (m.rtp & bit) {
+      fn(static_cast<std::uint32_t>(i), anchor::kRtp);
+    } else if (m.rtcp & bit) {
+      fn(static_cast<std::uint32_t>(i), anchor::kRtcp);
+    } else if (m.stun & bit) {  // approximate: re-run the exact test.
+      const bool modern =
+          rtcc::util::load_be32(p + i + 4) == stun::kMagicCookie;
+      const bool classic_fit =
+          stun::kHeaderSize + std::size_t{rtcc::util::load_be16(p + i + 2)} ==
+          n - i;
+      if (modern || classic_fit)
+        fn(static_cast<std::uint32_t>(i), anchor::kStun);
+    } else if (m.channel_data & bit) {
+      fn(static_cast<std::uint32_t>(i), anchor::kChannelData);
+    } else {  // long form + fixed bit + version 1.
+      fn(static_cast<std::uint32_t>(i), anchor::kQuicLong);
+    }
+  }
+}
+
 /// Visitor form of the scan: invokes fn(offset, mask) for each anchored
 /// offset of `payload`, in increasing offset order, scanning offsets
 /// [0, min(max_offset + 1, payload.size())). Honours the per-protocol
@@ -61,13 +173,13 @@ struct AnchorHit {
 /// as RTP, so materialising a hit list would cost more than the sniffs
 /// it saves.
 template <typename Fn>
-void for_each_anchor(rtcc::util::BytesView payload, const ScanOptions& opts,
-                     Fn&& fn) {
+void for_each_anchor_impl(rtcc::util::BytesView payload,
+                          const ScanOptions& opts,
+                          const AnchorMasks* staged, Fn&& fn) {
   namespace stun = rtcc::proto::stun;
   namespace quic = rtcc::proto::quic;
 
   const std::size_t n = payload.size();
-  const std::size_t limit = std::min(opts.max_offset + 1, n);
   const std::uint8_t* p = payload.data();
   const bool scan_stun = opts.scan_stun;
   const bool scan_rtp = opts.scan_rtp;
@@ -78,9 +190,9 @@ void for_each_anchor(rtcc::util::BytesView payload, const ScanOptions& opts,
   // least kHeaderSize (20, the largest bound) bytes remain, so the body
   // below carries no length checks; the short tail loop at the end
   // repeats the tests with the bounds restored.
-  const std::size_t fast_end =
-      std::min(limit, n >= stun::kHeaderSize ? n - stun::kHeaderSize + 1
-                                             : std::size_t{0});
+  const AnchorPlan pl = anchor_plan(n, opts);
+  const std::size_t limit = pl.limit;
+  const std::size_t fast_end = pl.fast_end;
 
   const auto scan_at = [&](std::size_t i) {
     const std::uint8_t b0 = p[i];
@@ -88,7 +200,7 @@ void for_each_anchor(rtcc::util::BytesView payload, const ScanOptions& opts,
     if (cls == 2) {  // RTP/RTCP version 2; the PT byte splits the two.
       const std::uint8_t pt = p[i + 1];
       const bool rtcp_pt = pt >= 200 && pt <= 207;
-      if (scan_rtp && !rtcp_pt)
+      if (scan_rtp && !rtcp_pt && rtp_header_fits(p, i, n))
         fn(static_cast<std::uint32_t>(i), anchor::kRtp);
       else if (scan_rtcp && rtcp_pt)
         fn(static_cast<std::uint32_t>(i), anchor::kRtcp);
@@ -107,7 +219,9 @@ void for_each_anchor(rtcc::util::BytesView payload, const ScanOptions& opts,
       }
     } else if (cls == 1) {  // ChannelData prefix / QUIC short at 0.
       std::uint8_t mask = 0;
-      if (scan_stun && b0 <= 0x4F) mask |= anchor::kChannelData;
+      if (scan_stun && b0 <= 0x4F &&
+          4 + std::size_t{rtcc::util::load_be16(p + i + 2)} <= n - i)
+        mask |= anchor::kChannelData;
       if (scan_quic && i == 0) mask |= anchor::kQuicShort;
       if (mask) fn(static_cast<std::uint32_t>(i), mask);
     } else {  // QUIC long form + fixed bit; only v1 is scanned for.
@@ -117,89 +231,35 @@ void for_each_anchor(rtcc::util::BytesView payload, const ScanOptions& opts,
   };
 
   std::size_t i = 0;
-#if defined(__SSE2__)
-  // Vector pre-pass: evaluate the anchor conditions for 16 offsets at
-  // once and run the scalar test only on flagged lanes. Each vector
-  // test is a necessary condition of the scalar one (the STUN cookie is
-  // narrowed to its first byte, the classic tail-fit sum may wrap the
-  // 16-bit lane), so false positives are re-rejected by scan_at and
-  // false negatives cannot occur.
-  if (i < fast_end) {
-    scan_at(i);  // offset 0 separately: the QUIC short anchor lives there
-    ++i;
-  }
-  if (i + 16 <= fast_end) {
-    const __m128i vzero = _mm_setzero_si128();
-    const __m128i vtop = _mm_set1_epi8(static_cast<char>(0xC0));
-    const __m128i v80 = _mm_set1_epi8(static_cast<char>(0x80));
-    const __m128i vf0 = _mm_set1_epi8(static_cast<char>(0xF0));
-    const __m128i v40 = _mm_set1_epi8(0x40);
-    const __m128i vcookie0 =
-        _mm_set1_epi8(static_cast<char>(stun::kMagicCookie >> 24));
-    const __m128i v01 = _mm_set1_epi8(1);
-    const __m128i vall = _mm_cmpeq_epi8(vzero, vzero);
-    const __m128i gate_rtp = (scan_rtp || scan_rtcp) ? vall : vzero;
-    const __m128i gate_stun = scan_stun ? vall : vzero;
-    const __m128i gate_quic = scan_quic ? vall : vzero;
-    const __m128i vramp = _mm_set_epi16(7, 6, 5, 4, 3, 2, 1, 0);
-    const __m128i vtail_target =
-        _mm_set1_epi16(static_cast<short>(n - stun::kHeaderSize));
-    for (; i + 16 <= fast_end; i += 16) {
-      const auto load = [&](std::size_t at) {
-        return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + at));
-      };
-      const __m128i a = load(i);
-      const __m128i b1 = load(i + 1);
-      const __m128i b2 = load(i + 2);
-      const __m128i b3 = load(i + 3);
-      const __m128i b4 = load(i + 4);
-      const __m128i top = _mm_and_si128(a, vtop);
-      // RTP/RTCP (version bits 10): always worth a scalar look.
-      __m128i hot = _mm_and_si128(_mm_cmpeq_epi8(top, v80), gate_rtp);
-      // ChannelData: first byte 0x40-0x4F exactly.
-      hot = _mm_or_si128(
-          hot, _mm_and_si128(_mm_cmpeq_epi8(_mm_and_si128(a, vf0), v40),
-                             gate_stun));
-      {  // STUN: cookie first byte, or classic tail-fit
-         // (kHeaderSize + be16(p+i+2) == n - i  <=>  be16 + i == n - 20).
-        const __m128i cls0 = _mm_cmpeq_epi8(top, vzero);
-        const __m128i cookie = _mm_cmpeq_epi8(b4, vcookie0);
-        const __m128i be_lo = _mm_unpacklo_epi8(b3, b2);
-        const __m128i be_hi = _mm_unpackhi_epi8(b3, b2);
-        const __m128i base = _mm_set1_epi16(static_cast<short>(i));
-        const __m128i idx_lo = _mm_add_epi16(base, vramp);
-        const __m128i idx_hi =
-            _mm_add_epi16(idx_lo, _mm_set1_epi16(8));
-        const __m128i tf_lo = _mm_cmpeq_epi16(_mm_add_epi16(be_lo, idx_lo),
-                                              vtail_target);
-        const __m128i tf_hi = _mm_cmpeq_epi16(_mm_add_epi16(be_hi, idx_hi),
-                                              vtail_target);
-        const __m128i tailfit = _mm_packs_epi16(tf_lo, tf_hi);
-        hot = _mm_or_si128(
-            hot, _mm_and_si128(
-                     _mm_and_si128(cls0, _mm_or_si128(cookie, tailfit)),
-                     gate_stun));
-      }
-      {  // QUIC v1 long header: form+fixed bits 11, version 00 00 00 01.
-        const __m128i cls3 = _mm_cmpeq_epi8(top, vtop);
-        const __m128i ver = _mm_and_si128(
-            _mm_and_si128(_mm_cmpeq_epi8(b1, vzero),
-                          _mm_cmpeq_epi8(b2, vzero)),
-            _mm_and_si128(_mm_cmpeq_epi8(b3, vzero),
-                          _mm_cmpeq_epi8(b4, v01)));
-        hot = _mm_or_si128(hot,
-                           _mm_and_si128(_mm_and_si128(cls3, ver), gate_quic));
-      }
-      unsigned bits =
-          static_cast<unsigned>(_mm_movemask_epi8(hot));
-      while (bits) {
-        const unsigned k = static_cast<unsigned>(__builtin_ctz(bits));
-        bits &= bits - 1;
-        scan_at(i + k);
+  // Vector pre-pass: the dispatched kernel evaluates the anchor
+  // conditions for 64 offsets at a time, split per protocol family, and
+  // only flagged lanes reach scalar code (walk_anchor_masks). When the
+  // caller staged the kernel's masks earlier (the batched prefilter
+  // node), they are replayed here instead of re-running the kernel.
+  // At the scalar level (no kernel, nothing staged) the plain
+  // per-offset loop below covers everything.
+  if (pl.blocks != 0) {
+    const AnchorBlockFn kernel = staged != nullptr ? nullptr : anchor_block_fn();
+    if (staged != nullptr || kernel != nullptr) {
+      scan_at(i);  // offset 0 separately: the QUIC short anchor lives there
+      ++i;
+      if (staged != nullptr) {
+        for (std::size_t b = 0; b < pl.blocks; ++b, i += 64)
+          walk_anchor_masks(p, n, i, staged[b], fn);
+      } else {
+        const unsigned gates = anchor_gates(opts);
+        AnchorMasks masks[kMaxAnchorBlocks];
+        std::size_t b = 0;
+        while (b < pl.blocks) {
+          const std::size_t nb = std::min(pl.blocks - b, kMaxAnchorBlocks);
+          kernel(p, i, nb, n, gates, masks);
+          for (std::size_t j = 0; j < nb; ++j, i += 64)
+            walk_anchor_masks(p, n, i, masks[j], fn);
+          b += nb;
+        }
       }
     }
   }
-#endif
   for (; i < fast_end; ++i) scan_at(i);
 
   // Tail: fewer than kHeaderSize bytes remain; re-instate the bounds.
@@ -210,7 +270,7 @@ void for_each_anchor(rtcc::util::BytesView payload, const ScanOptions& opts,
       case 2: {
         const std::uint8_t pt = rem >= 2 ? p[i + 1] : 0;
         const bool rtcp_pt = pt >= 200 && pt <= 207;
-        if (scan_rtp && !rtcp_pt && rem >= 12)
+        if (scan_rtp && !rtcp_pt && rtp_header_fits(p, i, n))
           fn(static_cast<std::uint32_t>(i), anchor::kRtp);
         else if (scan_rtcp && rtcp_pt && rem >= 8)
           fn(static_cast<std::uint32_t>(i), anchor::kRtcp);
@@ -230,7 +290,9 @@ void for_each_anchor(rtcc::util::BytesView payload, const ScanOptions& opts,
         break;
       case 1: {
         std::uint8_t mask = 0;
-        if (scan_stun && b0 <= 0x4F && rem >= 4) mask |= anchor::kChannelData;
+        if (scan_stun && b0 <= 0x4F && rem >= 4 &&
+            4 + std::size_t{rtcc::util::load_be16(p + i + 2)} <= rem)
+          mask |= anchor::kChannelData;
         if (scan_quic && i == 0) mask |= anchor::kQuicShort;
         if (mask) fn(static_cast<std::uint32_t>(i), mask);
         break;
@@ -242,6 +304,51 @@ void for_each_anchor(rtcc::util::BytesView payload, const ScanOptions& opts,
         break;
     }
   }
+}
+
+template <typename Fn>
+void for_each_anchor(rtcc::util::BytesView payload, const ScanOptions& opts,
+                     Fn&& fn) {
+  for_each_anchor_impl(payload, opts, nullptr, std::forward<Fn>(fn));
+}
+
+/// Scan-node replay: identical to for_each_anchor, but consumes the
+/// mask sets previously staged by stage_anchor_masks for this payload
+/// (same ScanOptions) instead of re-running the kernel. `staged` must
+/// point at anchor_plan(payload.size(), opts).blocks entries; it is
+/// not dereferenced when that plan has no kernel blocks.
+template <typename Fn>
+void for_each_anchor_staged(rtcc::util::BytesView payload,
+                            const ScanOptions& opts,
+                            const AnchorMasks* staged, Fn&& fn) {
+  for_each_anchor_impl(payload, opts, staged, std::forward<Fn>(fn));
+}
+
+/// Prefilter-node kernel pass: runs only the vector kernel over
+/// `payload`, appending anchor_plan(...).blocks mask sets to `out`
+/// (not cleared — callers accumulate a whole batch into one buffer).
+/// Returns the number of mask sets appended. `kernel` must be
+/// non-null; at the scalar level callers skip staging and use
+/// for_each_anchor directly.
+inline std::size_t stage_anchor_masks(rtcc::util::BytesView payload,
+                                      const ScanOptions& opts,
+                                      AnchorBlockFn kernel,
+                                      std::vector<AnchorMasks>& out) {
+  const std::size_t n = payload.size();
+  const AnchorPlan pl = anchor_plan(n, opts);
+  if (pl.blocks == 0) return 0;
+  const unsigned gates = anchor_gates(opts);
+  const std::size_t start = out.size();
+  out.resize(start + pl.blocks);
+  const std::uint8_t* p = payload.data();
+  std::size_t i = 1, b = 0;
+  while (b < pl.blocks) {
+    const std::size_t nb = std::min(pl.blocks - b, kMaxAnchorBlocks);
+    kernel(p, i, nb, n, gates, out.data() + start + b);
+    b += nb;
+    i += nb * 64;
+  }
+  return pl.blocks;
 }
 
 /// Appends hits for `payload` to `out` in increasing offset order.

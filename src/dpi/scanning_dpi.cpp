@@ -27,25 +27,68 @@ namespace rtp = rtcc::proto::rtp;
 namespace rtcp = rtcc::proto::rtcp;
 namespace quic = rtcc::proto::quic;
 
-/// Lightweight candidate: header fields only; the full (allocating)
-/// parse happens once per *accepted* candidate, keeping the scan cheap
-/// even though RTP's header pattern matches ~25% of random offsets.
+/// Lightweight candidate: just what validation and the cover walk need;
+/// the full (allocating) parse happens once per *accepted* candidate.
+/// RTP's header pattern matches ~25% of random offsets, so on a relay
+/// media stream this array is by far the scan's largest data structure
+/// — it is kept to 20 bytes by folding the per-protocol sniff details
+/// (STUN txid, RTCP PT, RTP seq) into the support tables at emission
+/// time instead of carrying them per candidate.
 struct Candidate {
-  MessageKind kind = MessageKind::kRtp;
+  static constexpr std::uint8_t kValidated = 0x01;
+  static constexpr std::uint8_t kQuicLong = 0x02;
+
   std::uint32_t datagram = 0;
   std::uint32_t offset = 0;
   std::uint32_t length = 0;  // wire extent (RTP: to end of datagram)
-  bool validated = false;
-
-  // Sniffed fields used by validation:
-  std::uint32_t ssrc = 0;         // RTP / RTCP first-packet SSRC
-  std::uint16_t seq = 0;          // RTP
-  std::uint8_t payload_type = 0;  // RTP PT / RTCP first packet type
-  std::uint16_t stun_type = 0;
-  bool stun_classic = false;
-  stun::TransactionId txid{};
+  std::uint32_t ssrc = 0;    // RTP / RTCP first-packet SSRC
   std::uint16_t channel = 0;  // ChannelData
-  bool quic_long = false;
+  MessageKind kind = MessageKind::kRtp;
+  std::uint8_t flags = 0;
+
+  [[nodiscard]] bool validated() const { return flags & kValidated; }
+  [[nodiscard]] bool quic_long() const { return flags & kQuicLong; }
+};
+
+struct TxidHash {
+  std::size_t operator()(const stun::TransactionId& id) const {
+    std::uint64_t h = 14695981039346656037ULL;  // FNV-1a
+    for (const std::uint8_t b : id) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Everything the extraction nodes append to: the candidate list plus
+/// the stream-level support tables (Algorithm 1's validation inputs).
+/// The tables are filled *at emission* — the old separate walk over the
+/// candidate array to build them re-read tens of MB per relay stream.
+/// The RTP table is the big one — the scan yields one noise candidate
+/// per ~25% of offsets with mostly-unique fake SSRCs — and is kept
+/// flat: (ssrc, seq) packed into one u64, sorted once, then walked
+/// group-by-group. A map of per-SSRC vectors here costs an allocation
+/// per noise SSRC and dominates validation time. The small tables
+/// (STUN txids, channels, RTCP SSRCs) stay hashed.
+struct ScanState {
+  std::vector<Candidate> candidates;
+  std::vector<std::uint64_t> rtp_pairs;  // ssrc << 16 | seq
+  std::unordered_map<stun::TransactionId, int, TxidHash> stun_txids;
+  std::unordered_map<std::uint16_t, int> channel_support;
+  std::unordered_map<std::uint32_t, int> rtcp_ssrc_support;
+  int quic_long_support = 0;
+
+  /// Ready the state for a fresh analyze_batch call while keeping the
+  /// vectors' capacity and the hash tables' buckets warm.
+  void reset() {
+    candidates.clear();
+    rtp_pairs.clear();
+    stun_txids.clear();
+    channel_support.clear();
+    rtcp_ssrc_support.clear();
+    quic_long_support = 0;
+  }
 };
 
 struct RtpSniff {
@@ -124,18 +167,27 @@ std::uint16_t seq_distance(std::uint16_t a, std::uint16_t b) {
   return std::min(d1, d2);
 }
 
-/// Sorts packed (ssrc << 16 | seq) keys. The keys are 48-bit and there
-/// is roughly one per case-2 anchor — ~10^5 for a relay media stream —
+/// Groups packed (ssrc << 16 | seq) keys by SSRC, ascending. There is
+/// roughly one key per case-2 anchor — ~10^5 for a relay media stream —
 /// so comparison sorting them costs more than the whole validation
-/// walk; three 16-bit LSD counting passes are near-linear instead.
-void sort_rtp_pairs(std::vector<std::uint64_t>& v) {
+/// walk; two 16-bit LSD counting passes over the SSRC field are
+/// near-linear instead. Sequence numbers inside a group stay in
+/// emission order: the continuity walk sorts the few groups that clear
+/// the support gate (real streams) and never reads seq order inside
+/// noise groups, so the third radix pass the full 48-bit sort needed is
+/// pure waste.
+void group_rtp_pairs_by_ssrc(std::vector<std::uint64_t>& v) {
   if (v.size() < 2048) {
     std::sort(v.begin(), v.end());
     return;
   }
-  std::vector<std::uint64_t> tmp(v.size());
-  std::vector<std::uint32_t> pos(1 << 16);
-  for (int pass = 0; pass < 3; ++pass) {
+  // The scratch is thread_local: a fresh ~1.6 MB allocation per call
+  // costs more in page faults than the sort itself on large streams.
+  static thread_local std::vector<std::uint64_t> tmp;
+  static thread_local std::vector<std::uint32_t> pos;
+  tmp.resize(v.size());
+  pos.resize(1 << 16);
+  for (int pass = 1; pass < 3; ++pass) {
     const int shift = pass * 16;
     std::fill(pos.begin(), pos.end(), 0);
     for (const std::uint64_t x : v) ++pos[(x >> shift) & 0xFFFF];
@@ -150,17 +202,6 @@ void sort_rtp_pairs(std::vector<std::uint64_t>& v) {
   }
 }
 
-struct TxidHash {
-  std::size_t operator()(const stun::TransactionId& id) const {
-    std::uint64_t h = 14695981039346656037ULL;  // FNV-1a
-    for (const std::uint8_t b : id) {
-      h ^= b;
-      h *= 1099511628211ULL;
-    }
-    return static_cast<std::size_t>(h);
-  }
-};
-
 // ---- Candidate emission, one helper per protocol ----
 //
 // Each helper re-checks its full structural conditions, so it emits the
@@ -169,7 +210,7 @@ struct TxidHash {
 // necessary conditions of these checks, never a replacement for them.
 
 RTCC_ALWAYS_INLINE void emit_stun(BytesView at, std::uint32_t di, std::uint32_t off,
-               std::vector<Candidate>& out) {
+               ScanState& st) {
   if (at.size() < stun::kHeaderSize || (at[0] & 0xC0) != 0) return;
   const std::uint32_t cookie = rtcc::util::load_be32(at.data() + 4);
   const std::uint16_t dlen = rtcc::util::load_be16(at.data() + 2);
@@ -186,24 +227,22 @@ RTCC_ALWAYS_INLINE void emit_stun(BytesView at, std::uint32_t di, std::uint32_t 
   stun::ParseOptions po;
   po.require_magic_cookie = modern;
   if (auto parsed = stun::parse(at, po)) {
-    Candidate& c = out.emplace_back();
+    Candidate& c = st.candidates.emplace_back();
     c.kind = MessageKind::kStun;
     c.datagram = di;
     c.offset = off;
     c.length = static_cast<std::uint32_t>(parsed->consumed);
-    c.stun_type = parsed->message.type;
-    c.stun_classic = !modern;
-    c.txid = parsed->message.transaction_id;
+    ++st.stun_txids[parsed->message.transaction_id];
   }
 }
 
 RTCC_ALWAYS_INLINE void emit_channel_data(BytesView at, std::uint32_t di, std::uint32_t off,
-                       std::vector<Candidate>& out) {
+                       ScanState& st) {
   // TURN ChannelData: first byte 0x40-0x4F.
   if (at.size() < 4 || at[0] < 0x40 || at[0] > 0x4F) return;
   const std::uint16_t clen = rtcc::util::load_be16(at.data() + 2);
   if (4 + std::size_t{clen} > at.size()) return;
-  Candidate& c = out.emplace_back();
+  Candidate& c = st.candidates.emplace_back();
   c.kind = MessageKind::kChannelData;
   c.datagram = di;
   c.offset = off;
@@ -215,23 +254,24 @@ RTCC_ALWAYS_INLINE void emit_channel_data(BytesView at, std::uint32_t di, std::u
   if (padded == at.size()) extent = padded;
   c.length = static_cast<std::uint32_t>(extent);
   c.channel = rtcc::util::load_be16(at.data());
+  ++st.channel_support[c.channel];
 }
 
 RTCC_ALWAYS_INLINE void emit_rtcp(BytesView at, std::uint32_t di, std::uint32_t off,
-               std::size_t max_trailing, std::vector<Candidate>& out) {
+               std::size_t max_trailing, ScanState& st) {
   if (auto s = sniff_rtcp(at, max_trailing)) {
-    Candidate& c = out.emplace_back();
+    Candidate& c = st.candidates.emplace_back();
     c.kind = MessageKind::kRtcp;
     c.datagram = di;
     c.offset = off;
     c.length = static_cast<std::uint32_t>(s->parsed + s->trailing);
-    c.payload_type = s->first_pt;
     c.ssrc = s->first_ssrc;
+    ++st.rtcp_ssrc_support[c.ssrc];
   }
 }
 
 RTCC_ALWAYS_INLINE void emit_quic(BytesView at, std::uint32_t di, std::uint32_t off,
-               std::vector<Candidate>& out) {
+               ScanState& st) {
   if (at.empty()) return;
   const std::uint8_t b0 = at[0];
   if ((b0 & 0xC0) == 0xC0) {  // long form + fixed bit
@@ -240,43 +280,89 @@ RTCC_ALWAYS_INLINE void emit_quic(BytesView at, std::uint32_t di, std::uint32_t 
       // all-zero version-negotiation pattern would match zero runs
       // inside opaque payloads.
       if (h->version == quic::kVersion1) {
-        Candidate& c = out.emplace_back();
+        Candidate& c = st.candidates.emplace_back();
         c.kind = MessageKind::kQuic;
         c.datagram = di;
         c.offset = off;
         c.length = static_cast<std::uint32_t>(h->wire_size());
-        c.quic_long = true;
+        c.flags = Candidate::kQuicLong;
+        ++st.quic_long_support;
       }
     }
   } else if ((b0 & 0xC0) == 0x40 && off == 0) {
     // Short header: only meaningful at offset 0 and only if the stream
     // establishes a connection (checked in validation).
-    Candidate& c = out.emplace_back();
+    Candidate& c = st.candidates.emplace_back();
     c.kind = MessageKind::kQuic;
     c.datagram = di;
     c.offset = 0;
     c.length = static_cast<std::uint32_t>(at.size());
-    c.quic_long = false;
   }
 }
 
 RTCC_ALWAYS_INLINE void emit_rtp(BytesView at, std::uint32_t di, std::uint32_t off,
-              std::vector<Candidate>& out) {
+              ScanState& st) {
   if (auto s = sniff_rtp(at)) {
     // Skip byte patterns that are really RTCP (PT 72-79 with the marker
     // bit corresponds to RTCP types 200-207).
     const std::uint8_t pt_byte = at[1];
     if (pt_byte >= 0xC8 && pt_byte <= 0xCF) return;
-    Candidate& c = out.emplace_back();
+    Candidate& c = st.candidates.emplace_back();
     c.kind = MessageKind::kRtp;
     c.datagram = di;
     c.offset = off;
     c.length = static_cast<std::uint32_t>(at.size());
     c.ssrc = s->ssrc;
-    c.seq = s->seq;
-    c.payload_type = s->payload_type;
+    st.rtp_pairs.push_back(std::uint64_t{s->ssrc} << 16 | s->seq);
   }
 }
+
+/// One anchored offset: run the sniffs the anchor mask selects, in the
+/// fixed per-offset protocol order (STUN, ChannelData, RTCP, QUIC, RTP)
+/// that the naive oracle loop uses — the candidate list is identical,
+/// not merely equal as a set.
+RTCC_ALWAYS_INLINE void emit_at(BytesView payload, std::uint32_t di,
+                                std::uint32_t off, std::uint8_t mask,
+                                const ScanOptions& opts, ScanState& st) {
+  const BytesView at = payload.subspan(off);
+  if (mask == anchor::kRtp) {  // ~25% of offsets: keep it lean
+    emit_rtp(at, di, off, st);
+    return;
+  }
+  if (mask & anchor::kStun) emit_stun(at, di, off, st);
+  if (mask & anchor::kChannelData) emit_channel_data(at, di, off, st);
+  if (mask & anchor::kRtcp) emit_rtcp(at, di, off, opts.max_rtcp_trailing, st);
+  if (mask & (anchor::kQuicLong | anchor::kQuicShort))
+    emit_quic(at, di, off, st);
+  if (mask & anchor::kRtp) emit_rtp(at, di, off, st);
+}
+
+/// Naive oracle extraction for one datagram: every protocol sniff at
+/// every offset 0..k.
+void extract_naive(BytesView payload, std::uint32_t di,
+                   const ScanOptions& opts, ScanState& st) {
+  const std::size_t limit = std::min(opts.max_offset + 1, payload.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const BytesView at = payload.subspan(i);
+    const auto off = static_cast<std::uint32_t>(i);
+    if (opts.scan_stun) {
+      emit_stun(at, di, off, st);
+      emit_channel_data(at, di, off, st);
+    }
+    if (opts.scan_rtcp) emit_rtcp(at, di, off, opts.max_rtcp_trailing, st);
+    if (opts.scan_quic) emit_quic(at, di, off, st);
+    if (opts.scan_rtp) emit_rtp(at, di, off, st);
+  }
+}
+
+/// Per-chunk scratch for the node graph, reused across chunks (and,
+/// being thread_local at the call site, across calls) so the
+/// steady-state inner loops are allocation-free.
+struct BatchScratch {
+  std::vector<std::uint32_t> scannable;   // demux output: packet indices
+  std::vector<AnchorMasks> masks;         // prefilter output, whole chunk
+  std::vector<std::uint32_t> mask_begin;  // per scannable packet, +1 end
+};
 
 }  // namespace
 
@@ -284,96 +370,151 @@ ScanningDpi::ScanningDpi(ScanOptions options) : options_(options) {}
 
 std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
     const std::vector<StreamDatagram>& datagrams) const {
-  std::vector<Candidate> candidates;
-  candidates.reserve(datagrams.size() * 2);
+  rtcc::net::PacketBatch batch;
+  batch.reserve(datagrams.size());
+  for (const auto& d : datagrams) batch.push(d.payload, d.ts, d.dir);
+  return analyze_batch(batch);
+}
+
+std::vector<DatagramAnalysis> ScanningDpi::analyze_batch(
+    const rtcc::net::PacketBatch& packets, PipelineCounters* counters) const {
+  namespace net = rtcc::net;
+  const std::size_t n_packets = packets.size();
+  // Extraction state is thread_local: the candidate and pair buffers
+  // reach a few MB on relay media streams, and re-growing (and
+  // re-faulting) them every call costs more than the scan of a small
+  // stream. Reset keeps capacity and hash-table buckets warm.
+  static thread_local ScanState scan_state;
+  ScanState& st = scan_state;
+  st.reset();
+  if (st.candidates.capacity() < n_packets * 2)
+    st.candidates.reserve(n_packets * 2);
+  if (st.rtp_pairs.capacity() < n_packets * 2)
+    st.rtp_pairs.reserve(n_packets * 2);
 
   // ---- Step 1: candidate extraction (Algorithm 1, lines 5-13) ----
-  if (options_.use_anchor_prefilter) {
-    // Fast path: one cheap pass per datagram (anchor_scan.hpp) finds
-    // the offsets whose byte anchors match and the full sniffs run
-    // right there, fused into the scan. Per-offset protocol order
-    // (STUN, ChannelData, RTCP, QUIC, RTP) matches the oracle loop so
-    // the candidate list is identical, not merely equal as a set.
-    for (std::size_t di = 0; di < datagrams.size(); ++di) {
-      const BytesView payload = datagrams[di].payload;
+  const std::size_t bsz = net::batch_size();
+  if (!options_.use_anchor_prefilter) {
+    // Oracle path: every protocol sniff at every offset 0..k.
+    for (std::size_t di = 0; di < n_packets; ++di)
+      extract_naive(packets.payload(di), static_cast<std::uint32_t>(di),
+                    options_, st);
+  } else if (bsz <= 1) {
+    // Legacy one-datagram-at-a-time path (the batch-parity oracle):
+    // anchor scan and sniffs fused per datagram, no staging.
+    for (std::size_t di = 0; di < n_packets; ++di) {
+      const BytesView payload = packets.payload(di);
       const auto d32 = static_cast<std::uint32_t>(di);
-      for_each_anchor(
-          payload, options_, [&](std::uint32_t off, std::uint8_t mask) {
-            const BytesView at = payload.subspan(off);
-            if (mask == anchor::kRtp) {  // ~25% of offsets: keep it lean
-              emit_rtp(at, d32, off, candidates);
-              return;
-            }
-            if (mask & anchor::kStun) emit_stun(at, d32, off, candidates);
-            if (mask & anchor::kChannelData)
-              emit_channel_data(at, d32, off, candidates);
-            if (mask & anchor::kRtcp)
-              emit_rtcp(at, d32, off, options_.max_rtcp_trailing, candidates);
-            if (mask & (anchor::kQuicLong | anchor::kQuicShort))
-              emit_quic(at, d32, off, candidates);
-            if (mask & anchor::kRtp) emit_rtp(at, d32, off, candidates);
-          });
+      for_each_anchor(payload, options_,
+                      [&](std::uint32_t off, std::uint8_t mask) {
+                        emit_at(payload, d32, off, mask, options_, st);
+                      });
     }
   } else {
-    // Oracle path: every protocol sniff at every offset 0..k.
-    for (std::size_t di = 0; di < datagrams.size(); ++di) {
-      const BytesView payload = datagrams[di].payload;
-      const std::size_t limit =
-          std::min(options_.max_offset + 1, payload.size());
-      const auto d32 = static_cast<std::uint32_t>(di);
-      for (std::size_t i = 0; i < limit; ++i) {
-        const BytesView at = payload.subspan(i);
-        const auto off = static_cast<std::uint32_t>(i);
-        if (options_.scan_stun) {
-          emit_stun(at, d32, off, candidates);
-          emit_channel_data(at, d32, off, candidates);
+    // Node graph: demux → prefilter → scan, one fixed-size vector at a
+    // time. Each node runs its loop over the whole chunk before the
+    // next starts, so its code, tables and branch history stay hot for
+    // bsz packets instead of being evicted every datagram.
+    static thread_local BatchScratch batch_scratch;
+    BatchScratch& scratch = batch_scratch;
+    scratch.scannable.reserve(bsz);
+    scratch.mask_begin.reserve(bsz + 1);
+    const AnchorBlockFn kernel = anchor_block_fn();
+    for (std::size_t base = 0; base < n_packets; base += bsz) {
+      const std::size_t end = std::min(n_packets, base + bsz);
+
+      // Demux node: drop empty payloads (nothing to scan), prefetch
+      // upcoming payload heads. Dual loop: two descriptors per
+      // iteration keeps the two loads' latencies overlapped.
+      scratch.scannable.clear();
+      std::size_t di = base;
+      for (; di + 2 <= end; di += 2) {
+        if (di + net::kPrefetchAhead < end)
+          net::prefetch(packets.data[di + net::kPrefetchAhead]);
+        if (di + 1 + net::kPrefetchAhead < end)
+          net::prefetch(packets.data[di + 1 + net::kPrefetchAhead]);
+        if (packets.len[di] != 0)
+          scratch.scannable.push_back(static_cast<std::uint32_t>(di));
+        if (packets.len[di + 1] != 0)
+          scratch.scannable.push_back(static_cast<std::uint32_t>(di + 1));
+      }
+      for (; di < end; ++di)
+        if (packets.len[di] != 0)
+          scratch.scannable.push_back(static_cast<std::uint32_t>(di));
+      if (counters != nullptr) {
+        ++counters->demux.vectors;
+        counters->demux.packets += end - base;
+        counters->demux.suspended += (end - base) - scratch.scannable.size();
+      }
+
+      // Prefilter node: the pure SIMD pass. One kernel call per payload
+      // writes the per-family hot-lane masks for its whole scan region
+      // into the chunk's mask buffer (32 bytes per 64 offsets — far
+      // less traffic than an expanded hit list at media-payload hit
+      // rates, and L1-resident at the default batch size). At the
+      // scalar level there is no kernel and the node is a pass-through;
+      // the scan node then runs the fused per-offset loop itself.
+      scratch.masks.clear();
+      scratch.mask_begin.clear();
+      if (kernel != nullptr) {
+        for (std::size_t si = 0; si < scratch.scannable.size(); ++si) {
+          if (si + net::kPrefetchAhead < scratch.scannable.size())
+            net::prefetch(
+                packets.data[scratch.scannable[si + net::kPrefetchAhead]]);
+          scratch.mask_begin.push_back(
+              static_cast<std::uint32_t>(scratch.masks.size()));
+          stage_anchor_masks(packets.payload(scratch.scannable[si]), options_,
+                             kernel, scratch.masks);
         }
-        if (options_.scan_rtcp)
-          emit_rtcp(at, d32, off, options_.max_rtcp_trailing, candidates);
-        if (options_.scan_quic) emit_quic(at, d32, off, candidates);
-        if (options_.scan_rtp) emit_rtp(at, d32, off, candidates);
+        scratch.mask_begin.push_back(
+            static_cast<std::uint32_t>(scratch.masks.size()));
+      }
+      if (counters != nullptr) {
+        ++counters->prefilter.vectors;
+        counters->prefilter.packets += scratch.scannable.size();
+        // Suspended = hot lanes staged for the scan node to re-test.
+        std::uint64_t lanes = 0;
+        for (const AnchorMasks& m : scratch.masks)
+          lanes += static_cast<std::uint64_t>(__builtin_popcountll(m.any()));
+        counters->prefilter.suspended += lanes;
+      }
+
+      // Scan node: walk the staged masks (applying the exact anchor
+      // rules the approximate stun lanes still need) and run the full
+      // protocol sniffs at each anchored offset.
+      const std::size_t before = st.candidates.size();
+      for (std::size_t si = 0; si < scratch.scannable.size(); ++si) {
+        const std::uint32_t d32 = scratch.scannable[si];
+        const BytesView payload = packets.payload(d32);
+        const auto emit = [&](std::uint32_t off, std::uint8_t mask) {
+          emit_at(payload, d32, off, mask, options_, st);
+        };
+        if (kernel != nullptr)
+          for_each_anchor_staged(payload, options_,
+                                 scratch.masks.data() + scratch.mask_begin[si],
+                                 emit);
+        else
+          for_each_anchor(payload, options_, emit);
+      }
+      if (counters != nullptr) {
+        ++counters->scan.vectors;
+        counters->scan.packets += scratch.scannable.size();
+        counters->scan.suspended += st.candidates.size() - before;
       }
     }
   }
 
+  std::vector<Candidate>& candidates = st.candidates;
+
   // ---- Step 2: protocol-specific validation (lines 14-19) ----
-  // These tables sit in the per-stream hot loop. The RTP table is the
-  // big one — the scan yields one noise candidate per ~25% of offsets,
-  // so it holds one entry per candidate with mostly-unique fake SSRCs —
-  // and is kept flat: (ssrc, seq) packed into one u64, sorted once,
-  // then walked group-by-group. A map of per-SSRC vectors here costs an
-  // allocation per noise SSRC and dominates validation time. The small
-  // tables (STUN txids, channels, RTCP SSRCs) stay hashed.
-  std::vector<std::uint64_t> rtp_pairs;  // ssrc << 16 | seq
-  rtp_pairs.reserve(candidates.size());
-  std::unordered_map<stun::TransactionId, int, TxidHash> stun_txids;
-  std::unordered_map<std::uint16_t, int> channel_support;
-  std::unordered_map<std::uint32_t, int> rtcp_ssrc_support;
-  int quic_long_support = 0;
+  // The support tables were built at emission (ScanState); what remains
+  // is the stream-level RTP continuity analysis and the per-candidate
+  // accept/reject flags.
 
-  for (const auto& c : candidates) {
-    switch (c.kind) {
-      case MessageKind::kRtp:
-        rtp_pairs.push_back(std::uint64_t{c.ssrc} << 16 | c.seq);
-        break;
-      case MessageKind::kStun:
-        ++stun_txids[c.txid];
-        break;
-      case MessageKind::kChannelData:
-        ++channel_support[c.channel];
-        break;
-      case MessageKind::kRtcp:
-        ++rtcp_ssrc_support[c.ssrc];
-        break;
-      case MessageKind::kQuic:
-        if (c.quic_long) ++quic_long_support;
-        break;
-    }
-  }
-
-  // Sorting the packed pairs groups each SSRC's sequence numbers in
-  // ascending order, exactly what the continuity check needs.
-  sort_rtp_pairs(rtp_pairs);
+  // Grouping the packed pairs by SSRC gives the support counts; each
+  // qualifying group's sequence numbers are sorted on demand below.
+  group_rtp_pairs_by_ssrc(st.rtp_pairs);
+  std::vector<std::uint64_t>& rtp_pairs = st.rtp_pairs;
 
   // Per-SSRC support (for overlap dominance) and validated SSRCs
   // (support + sequence-number continuity), ascending, probed with
@@ -389,6 +530,9 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
     rtp_ssrcs.push_back(ssrc);
     rtp_support.push_back(static_cast<std::uint32_t>(support));
     if (support >= options_.min_ssrc_support) {
+      // Equal-SSRC keys order by their low 16 bits, i.e. by seq.
+      std::sort(rtp_pairs.begin() + static_cast<std::ptrdiff_t>(lo),
+                rtp_pairs.begin() + static_cast<std::ptrdiff_t>(hi));
       // Continuity: a healthy stream's sorted sequence numbers are
       // mostly adjacent; scanning noise produces uniformly random ones.
       // Constant proprietary-header bytes produce the opposite artifact
@@ -416,10 +560,14 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
                               ssrc);
   };
 
-  for (auto& c : candidates) {
+  // Per-candidate accept/reject, applied inside the per-datagram range
+  // walk below (fused with the filter: the candidate array exceeds L2
+  // on relay-scale batches, so a separate flag pass would stream the
+  // whole array through the cache twice).
+  const auto validate_candidate = [&](Candidate& c) {
     if (!options_.validate) {
-      c.validated = true;
-      continue;
+      c.flags |= Candidate::kValidated;
+      return;
     }
     switch (c.kind) {
       case MessageKind::kStun:
@@ -427,40 +575,41 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
         // structurally sound. Transaction pairing raises confidence but
         // unanswered requests must still be extracted — they are the
         // non-compliance evidence (e.g. FaceTime §5.2.1).
-        c.validated = true;
+        c.flags |= Candidate::kValidated;
         break;
       case MessageKind::kChannelData: {
         // A genuine ChannelData message extends to the datagram end
         // (optionally via padding), and real TURN channels repeat the
         // same channel number stream-wide; requiring both keeps random
         // byte runs inside media payloads from matching.
-        const std::size_t remaining =
-            datagrams[c.datagram].payload.size() - c.offset;
-        c.validated = std::size_t{c.length} == remaining &&
-                      channel_support[c.channel] >= 2;
+        const std::size_t remaining = packets.len[c.datagram] - c.offset;
+        if (std::size_t{c.length} == remaining &&
+            st.channel_support[c.channel] >= 2)
+          c.flags |= Candidate::kValidated;
         break;
       }
       case MessageKind::kRtp:
-        c.validated = ssrc_valid(c.ssrc);
+        if (ssrc_valid(c.ssrc)) c.flags |= Candidate::kValidated;
         break;
       case MessageKind::kRtcp: {
         // Cross-validate against known RTP streams, or require repeated
         // appearances of the same sender SSRC within this stream
         // (covers RTCP-only streams and Discord's SSRC=0 usage).
-        const std::size_t remaining =
-            datagrams[c.datagram].payload.size() - c.offset;
+        const std::size_t remaining = packets.len[c.datagram] - c.offset;
         const bool extent_ok = std::size_t{c.length} == remaining;
-        c.validated = extent_ok && (ssrc_valid(c.ssrc) ||
-                                    rtcp_ssrc_support[c.ssrc] >= 2);
+        if (extent_ok &&
+            (ssrc_valid(c.ssrc) || st.rtcp_ssrc_support[c.ssrc] >= 2))
+          c.flags |= Candidate::kValidated;
         break;
       }
       case MessageKind::kQuic:
         // Long headers validate on version+structure; short headers
         // require the stream to have completed a long-header handshake.
-        c.validated = c.quic_long || quic_long_support >= 2;
+        if (c.quic_long() || st.quic_long_support >= 2)
+          c.flags |= Candidate::kValidated;
         break;
     }
-  }
+  };
 
   // ---- Overlap resolution + full parse of accepted candidates ----
   // Both extraction paths emit candidates in (datagram, offset,
@@ -468,21 +617,23 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
   // STUN, ChannelData, RTCP, QUIC, RTP sequence — so the per-datagram
   // groups below are contiguous ranges of `candidates`, already in the
   // order the cover walk needs; no per-datagram sort or bucket vectors.
-  std::vector<DatagramAnalysis> out(datagrams.size());
+  std::vector<DatagramAnalysis> out(n_packets);
   std::vector<Candidate*> cands;  // scratch, reused across datagrams
   std::size_t range_begin = 0;
 
-  for (std::size_t di = 0; di < datagrams.size(); ++di) {
+  for (std::size_t di = 0; di < n_packets; ++di) {
     auto& anal = out[di];
-    anal.payload_len = datagrams[di].payload.size();
+    anal.payload_len = packets.len[di];
     std::size_t range_end = range_begin;
     while (range_end < candidates.size() &&
            candidates[range_end].datagram == di)
       ++range_end;
     anal.candidates = range_end - range_begin;
     cands.clear();
-    for (std::size_t i = range_begin; i < range_end; ++i)
-      if (candidates[i].validated) cands.push_back(&candidates[i]);
+    for (std::size_t i = range_begin; i < range_end; ++i) {
+      validate_candidate(candidates[i]);
+      if (candidates[i].validated()) cands.push_back(&candidates[i]);
+    }
     range_begin = range_end;
 
     // Overlap dominance: misaligned RTP candidates can slip past the
@@ -506,12 +657,12 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
         // Two RTP candidates in one datagram always overlap: each spans
         // the datagram remainder (RTP carries no length field).
         if (support_of(n) > 4 * support_of(c)) {
-          c->validated = false;
+          c->flags &= static_cast<std::uint8_t>(~Candidate::kValidated);
           break;
         }
       }
     }
-    std::erase_if(cands, [](const Candidate* c) { return !c->validated; });
+    std::erase_if(cands, [](const Candidate* c) { return !c->validated(); });
 
     std::size_t covered_until = 0;
     for (std::size_t ci = 0; ci < cands.size(); ++ci) {
@@ -536,7 +687,7 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
         }
       }
 
-      const BytesView view = datagrams[di].payload.subspan(c->offset, extent);
+      const BytesView view = packets.payload(di).subspan(c->offset, extent);
       ExtractedMessage msg;
       msg.kind = c->kind;
       msg.offset = c->offset;
@@ -562,7 +713,9 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_stream(
           }
           break;
         case MessageKind::kRtp:
-          if (auto p = rtp::parse(view)) {
+          // Media bytes are opaque to the compliance layer; record the
+          // length but skip copying them (~1 KiB per extracted packet).
+          if (auto p = rtp::parse(view, rtp::ParseOptions{false})) {
             msg.rtp = std::move(p->packet);
             ok = true;
           }

@@ -5,11 +5,21 @@
 // Works on one UDP stream at a time because the validation heuristics
 // are stream-level (RTP sequence continuity, STUN transaction pairing,
 // RTCP SSRC cross-validation against RTP, QUIC DCID consistency).
+//
+// Candidate extraction runs as a vector-processing node graph
+// (DESIGN.md §6): packets flow through demux → anchor prefilter → scan
+// in fixed-size batches (net::batch_size(), RTCC_BATCH knob), each node
+// looping over the whole vector before the next starts. Batch size 1
+// selects the legacy fused one-datagram-at-a-time loop, kept as the
+// equivalence oracle — every path emits a byte-identical candidate
+// list, so validation and classification cannot diverge.
 #pragma once
 
 #include <vector>
 
 #include "dpi/message.hpp"
+#include "dpi/pipeline_stats.hpp"
+#include "net/packet_batch.hpp"
 
 namespace rtcc::dpi {
 
@@ -58,6 +68,15 @@ class ScanningDpi {
   /// aligned with `datagrams`.
   [[nodiscard]] std::vector<DatagramAnalysis> analyze_stream(
       const std::vector<StreamDatagram>& datagrams) const;
+
+  /// Same analysis over a descriptor batch (the pipeline hot path —
+  /// analyze_stream converts and delegates here). Extraction runs the
+  /// demux → prefilter → scan node graph in net::batch_size() chunks;
+  /// when `counters` is non-null each node adds its vectors / packets /
+  /// suspended tallies. Results are index-aligned with `packets`.
+  [[nodiscard]] std::vector<DatagramAnalysis> analyze_batch(
+      const rtcc::net::PacketBatch& packets,
+      PipelineCounters* counters = nullptr) const;
 
   [[nodiscard]] const ScanOptions& options() const { return options_; }
 

@@ -81,7 +81,7 @@ std::vector<DatagramAnalysis> StrictDpi::analyze_stream(
     }
 
     if (!matched) {
-      if (auto p = rtp::parse(payload)) {
+      if (auto p = rtp::parse(payload, rtp::ParseOptions{false})) {
         const bool pt_ok =
             !options_.restrict_rtp_payload_types ||
             static_payload_types().count(p->packet.payload_type) > 0;

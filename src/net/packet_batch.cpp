@@ -1,0 +1,33 @@
+#include "net/packet_batch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace rtcc::net {
+
+namespace {
+
+std::atomic<std::size_t>& batch_flag() {
+  static std::atomic<std::size_t> size{[]() -> std::size_t {
+    if (const char* env = std::getenv("RTCC_BATCH")) {
+      const long v = std::atol(env);
+      if (v >= 1) return static_cast<std::size_t>(v);
+    }
+    return kDefaultBatchSize;
+  }()};
+  return size;
+}
+
+}  // namespace
+
+std::size_t batch_size() {
+  return batch_flag().load(std::memory_order_relaxed);
+}
+
+std::size_t set_batch_size(std::size_t size) {
+  const std::size_t applied = size < 1 ? std::size_t{1} : size;
+  batch_flag().store(applied, std::memory_order_relaxed);
+  return applied;
+}
+
+}  // namespace rtcc::net

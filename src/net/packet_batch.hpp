@@ -1,0 +1,115 @@
+// Fixed-size descriptor batches for the vector packet-processing path
+// (DESIGN.md §6).
+//
+// The analysis hot loop historically advanced one datagram at a time
+// through decode → demux → DPI → compliance. The VPP lesson is that the
+// per-packet instruction stream then alternates between five different
+// code/data working sets, evicting each other's branch and cache state
+// every few hundred instructions. Instead, the pipeline moves whole
+// *vectors* of packet descriptors through one node at a time: each node
+// runs its loop over up to batch_size() packets before the next node
+// starts, so its code, lookup tables and branch history stay hot for
+// the whole vector.
+//
+// A PacketBatch is the descriptor array itself — SoA {payload pointer,
+// length, timestamp, direction} — mirroring the arena's flat
+// {offset,len} frame layout: descriptors are 16+8+1 bytes of metadata
+// per packet, so a 256-packet vector's descriptors fit in a few cache
+// lines per lane and never touch the payload slabs until a node needs
+// the bytes. Nodes prefetch the payload head of packet i+kPrefetchAhead
+// while processing packet i (software pipelining; the prefetch distance
+// covers roughly the per-packet node work).
+//
+// batch_size() is the process-wide vector length: default 256 (the VPP
+// frame size; big enough to amortize per-vector overhead, small enough
+// that 256 descriptors + staged per-vector state stay L2-resident),
+// overridable with the RTCC_BATCH env knob and at runtime with
+// set_batch_size / BatchModeGuard. Size 1 selects the legacy
+// one-datagram-at-a-time path, kept (like RTCC_ARENA=0) as the
+// full-matrix equivalence oracle — both paths produce byte-identical
+// analyses, enforced by testkit batch-parity oracles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace rtcc::net {
+
+/// Process-wide pipeline vector length (>= 1). Initialised once from
+/// RTCC_BATCH (unset / unparseable / < 1 -> 256).
+[[nodiscard]] std::size_t batch_size();
+/// Runtime override (tests, benches, oracles); values < 1 clamp to 1.
+/// Returns the size actually applied.
+std::size_t set_batch_size(std::size_t size);
+
+constexpr std::size_t kDefaultBatchSize = 256;
+
+/// RAII batch-size flip used by equivalence tests and A/B benchmarks.
+class BatchModeGuard {
+ public:
+  explicit BatchModeGuard(std::size_t size) : prev_(batch_size()) {
+    set_batch_size(size);
+  }
+  ~BatchModeGuard() { set_batch_size(prev_); }
+  BatchModeGuard(const BatchModeGuard&) = delete;
+  BatchModeGuard& operator=(const BatchModeGuard&) = delete;
+
+ private:
+  std::size_t prev_;
+};
+
+/// Hint-prefetch the cache line at `p` (read intent, moderate locality).
+/// No-op where the builtin is unavailable; never faults on any address.
+inline void prefetch(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 2);
+#else
+  (void)p;
+#endif
+}
+
+/// How many packets ahead node loops prefetch payload heads.
+constexpr std::size_t kPrefetchAhead = 4;
+
+/// SoA descriptor vector for one stream's datagrams: parallel arrays
+/// indexed by packet position. Payload bytes are *borrowed* (arena slab
+/// or legacy frame buffers) and must outlive the batch.
+struct PacketBatch {
+  std::vector<const std::uint8_t*> data;
+  std::vector<std::uint32_t> len;
+  std::vector<double> ts;
+  std::vector<std::uint8_t> dir;  // 0 = A->B, 1 = B->A
+
+  [[nodiscard]] std::size_t size() const { return data.size(); }
+  [[nodiscard]] bool empty() const { return data.empty(); }
+
+  void clear() {
+    data.clear();
+    len.clear();
+    ts.clear();
+    dir.clear();
+  }
+
+  void reserve(std::size_t n) {
+    data.reserve(n);
+    len.reserve(n);
+    ts.reserve(n);
+    dir.reserve(n);
+  }
+
+  void push(rtcc::util::BytesView payload, double timestamp, int direction) {
+    data.push_back(payload.data());
+    len.push_back(static_cast<std::uint32_t>(payload.size()));
+    ts.push_back(timestamp);
+    dir.push_back(static_cast<std::uint8_t>(direction));
+  }
+
+  [[nodiscard]] rtcc::util::BytesView payload(std::size_t i) const {
+    return {data[i], len[i]};
+  }
+};
+
+}  // namespace rtcc::net

@@ -101,6 +101,10 @@ std::size_t Packet::wire_size() const {
 }
 
 std::optional<ParseResult> parse(BytesView data) {
+  return parse(data, ParseOptions{});
+}
+
+std::optional<ParseResult> parse(BytesView data, const ParseOptions& opts) {
   if (data.size() < 12) return std::nullopt;
   ByteReader r(data);
 
@@ -152,7 +156,8 @@ std::optional<ParseResult> parse(BytesView data) {
     rest -= pad;
   }
   auto payload = r.bytes(rest);
-  p.payload.assign(payload.begin(), payload.end());
+  p.payload_len = static_cast<std::uint32_t>(rest);
+  if (opts.copy_payload) p.payload.assign(payload.begin(), payload.end());
 
   return ParseResult{std::move(p), data.size()};
 }
@@ -232,12 +237,14 @@ PacketBuilder& PacketBuilder::csrc(std::uint32_t c) {
 
 PacketBuilder& PacketBuilder::payload(BytesView data) {
   pkt_.payload.assign(data.begin(), data.end());
+  pkt_.payload_len = static_cast<std::uint32_t>(data.size());
   return *this;
 }
 
 PacketBuilder& PacketBuilder::payload_fill(std::uint8_t value,
                                            std::size_t size) {
   pkt_.payload.assign(size, value);
+  pkt_.payload_len = static_cast<std::uint32_t>(size);
   return *this;
 }
 

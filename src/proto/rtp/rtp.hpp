@@ -57,6 +57,10 @@ struct Packet {
   std::vector<std::uint32_t> csrc;
   std::optional<HeaderExtension> extension;
   rtcc::util::Bytes payload;
+  /// Payload length on the wire (excluding padding). Always set by
+  /// parse(), even when ParseOptions::copy_payload is off and `payload`
+  /// stays empty; PacketBuilder keeps it in sync with `payload`.
+  std::uint32_t payload_len = 0;
   /// Number of padding bytes consumed (last byte value when P=1).
   std::uint8_t padding_len = 0;
 
@@ -68,11 +72,21 @@ struct ParseResult {
   std::size_t consumed = 0;
 };
 
+struct ParseOptions {
+  /// When off, parse() validates the full layout and records
+  /// Packet::payload_len but leaves `payload` empty — the DPI engines
+  /// use this to skip copying media bytes they never look at. A packet
+  /// parsed this way re-encodes without its payload.
+  bool copy_payload = true;
+};
+
 /// Parses an RTP packet at the start of `data`.
 /// `datagram_bounded` controls the packet's extent: RTP carries no
 /// length field, so normally a packet spans the rest of the datagram.
 /// The DPI also calls this mid-payload where the bound is the input end.
 [[nodiscard]] std::optional<ParseResult> parse(rtcc::util::BytesView data);
+[[nodiscard]] std::optional<ParseResult> parse(rtcc::util::BytesView data,
+                                               const ParseOptions& opts);
 
 /// Serialises; extension elements are re-encoded per the profile form
 /// (one-byte vs two-byte); `raw` is used verbatim for non-8285 profiles.

@@ -130,7 +130,7 @@ std::vector<Finding> detect_findings(const rtcc::net::Trace& trace,
           ++doubles;
           if (first_payload < 0)
             first_payload =
-                static_cast<double>(rtps[0]->rtp->payload.size());
+                static_cast<double>(rtps[0]->rtp->payload_len);
           if (rtps[0]->rtp->timestamp != rtps[1]->rtp->timestamp)
             same_ts = false;
         }

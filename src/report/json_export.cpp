@@ -16,6 +16,15 @@ void write_stage(JsonWriter& w, const char* name,
   w.end_object();
 }
 
+void write_node(JsonWriter& w, const char* name,
+                const rtcc::dpi::NodeCounters& n) {
+  w.key(name).begin_object();
+  w.key("vectors").value(n.vectors);
+  w.key("packets").value(n.packets);
+  w.key("suspended").value(n.suspended);
+  w.end_object();
+}
+
 void write_analysis(JsonWriter& w, const CallAnalysis& a) {
   w.begin_object();
 
@@ -43,6 +52,18 @@ void write_analysis(JsonWriter& w, const CallAnalysis& a) {
   w.key("candidates").value(a.dpi_candidates);
   w.key("messages").value(a.dpi_messages);
   w.end_object();
+
+  // Vector-pipeline diagnostics (DESIGN.md §6). Omitted while all-zero
+  // (e.g. analyses predating the node graph merged from JSON).
+  if (a.nodes.any()) {
+    w.key("nodes").begin_object();
+    write_node(w, "decode", a.nodes.decode);
+    write_node(w, "demux", a.nodes.demux);
+    write_node(w, "prefilter", a.nodes.prefilter);
+    write_node(w, "scan", a.nodes.scan);
+    write_node(w, "compliance", a.nodes.compliance);
+    w.end_object();
+  }
 
   // Emitted only for real captures (the synthetic corpus never sets
   // capture-layer counters), keeping the golden matrix byte-identical.

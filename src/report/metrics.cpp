@@ -68,57 +68,91 @@ CallAnalysis analyze_trace(const rtcc::net::Trace& trace,
   std::vector<CallAnalysis> partials(rtc_streams.size());
 
   const auto analyze_one_stream = [&](std::size_t si) {
+    namespace net = rtcc::net;
     const auto& stream = table.streams[rtc_streams[si]];
     CallAnalysis& part = partials[si];
+    const std::size_t bsz = net::batch_size();
+    const std::size_t n = stream.packets.size();
 
-    std::vector<StreamDatagram> datagrams;
-    datagrams.reserve(stream.packets.size());
-    for (const auto& pkt : stream.packets) {
-      StreamDatagram d;
-      d.payload = rtcc::net::packet_payload(trace, table, pkt);
-      d.ts = pkt.ts;
-      d.dir = pkt.dir == rtcc::net::Direction::kAtoB ? 0 : 1;
-      datagrams.push_back(d);
+    // Decode node: resolve each stream packet's descriptor (arena view
+    // or reassembled buffer) into the SoA batch, one vector at a time.
+    // Dual loop — two descriptors per iteration keep the payload-
+    // resolution loads overlapped — plus a descriptor prefetch a few
+    // packets ahead. suspended counts reassembled datagrams (their
+    // bytes come from the table, not a home frame).
+    net::PacketBatch batch;
+    batch.reserve(n);
+    const auto decode_one = [&](const net::StreamPacket& pkt) {
+      batch.push(net::packet_payload(trace, table, pkt), pkt.ts,
+                 pkt.dir == net::Direction::kAtoB ? 0 : 1);
+      if (pkt.reasm >= 0) ++part.nodes.decode.suspended;
+    };
+    for (std::size_t base = 0; base < n; base += bsz) {
+      const std::size_t end = std::min(n, base + bsz);
+      std::size_t i = base;
+      for (; i + 2 <= end; i += 2) {
+        if (i + net::kPrefetchAhead < end)
+          net::prefetch(&stream.packets[i + net::kPrefetchAhead]);
+        decode_one(stream.packets[i]);
+        decode_one(stream.packets[i + 1]);
+      }
+      for (; i < end; ++i) decode_one(stream.packets[i]);
+      ++part.nodes.decode.vectors;
+      part.nodes.decode.packets += end - base;
     }
 
-    const auto analyses = dpi.analyze_stream(datagrams);
+    const auto analyses = dpi.analyze_batch(batch, &part.nodes);
 
+    // Compliance node, phase 1: observe every extracted message to
+    // build the stream context. suspended counts the observed messages
+    // parked until finalize().
     StreamComplianceChecker checker(opts.compliance);
     for (std::size_t i = 0; i < analyses.size(); ++i) {
       part.dpi_candidates += analyses[i].candidates;
-      for (const auto& msg : analyses[i].messages)
-        checker.observe(msg, datagrams[i].dir, datagrams[i].ts);
+      for (const auto& msg : analyses[i].messages) {
+        checker.observe(msg, batch.dir[i], batch.ts[i]);
+        ++part.nodes.compliance.suspended;
+      }
     }
     checker.finalize();
 
-    for (std::size_t i = 0; i < analyses.size(); ++i) {
-      const auto& anal = analyses[i];
-      switch (anal.klass) {
-        case rtcc::dpi::DatagramClass::kStandard:
-          ++part.dgram_standard;
-          break;
-        case rtcc::dpi::DatagramClass::kProprietaryHeader:
-          ++part.dgram_prop_header;
-          break;
-        case rtcc::dpi::DatagramClass::kFullyProprietary:
-          ++part.dgram_fully_prop;
-          break;
-      }
-      for (const auto& msg : anal.messages) {
-        ++part.dpi_messages;
-        const auto checked =
-            checker.check(msg, datagrams[i].dir, datagrams[i].ts);
-        for (const auto& cm : checked) {
-          auto& pstats = part.protocols[cm.protocol];
-          ++pstats.messages;
-          auto& tstats = pstats.types[cm.type_label];
-          ++tstats.total;
-          if (cm.verdict.compliant) {
-            ++pstats.compliant;
-            ++tstats.compliant;
-          } else if (const auto* v = cm.verdict.first()) {
-            ++tstats.criterion_failures[rtcc::compliance::to_string(
-                v->criterion)];
+    // Compliance node, phase 2: verdicts per vector, with one reused
+    // CheckedMessage buffer (check_into) so the loop is allocation-free
+    // in steady state.
+    std::vector<CheckedMessage> checked;
+    for (std::size_t base = 0; base < analyses.size(); base += bsz) {
+      const std::size_t end = std::min(analyses.size(), base + bsz);
+      ++part.nodes.compliance.vectors;
+      part.nodes.compliance.packets += end - base;
+      for (std::size_t i = base; i < end; ++i) {
+        const auto& anal = analyses[i];
+        switch (anal.klass) {
+          case rtcc::dpi::DatagramClass::kStandard:
+            ++part.dgram_standard;
+            break;
+          case rtcc::dpi::DatagramClass::kProprietaryHeader:
+            ++part.dgram_prop_header;
+            break;
+          case rtcc::dpi::DatagramClass::kFullyProprietary:
+            ++part.dgram_fully_prop;
+            break;
+        }
+        for (const auto& msg : anal.messages) {
+          ++part.dpi_messages;
+          checked.clear();
+          checker.check_into(msg, batch.dir[i], batch.ts[i], checked);
+          for (const auto& cm : checked) {
+            auto& pstats = part.protocols[cm.protocol];
+            ++pstats.messages;
+            auto& tstats = pstats.types[cm.type_label];
+            ++tstats.total;
+            if (cm.verdict.compliant) {
+              ++pstats.compliant;
+              ++tstats.compliant;
+            } else if (const auto* v = cm.verdict.first()) {
+              ++tstats.criterion_failures[rtcc::compliance::to_string(
+                  v->criterion)];
+            }
           }
         }
       }
@@ -169,6 +203,7 @@ void merge(CallAnalysis& into, const CallAnalysis& from) {
   into.dgram_fully_prop += from.dgram_fully_prop;
   into.dpi_candidates += from.dpi_candidates;
   into.dpi_messages += from.dpi_messages;
+  into.nodes.merge(from.nodes);
   into.ingest.merge(from.ingest);
   for (const auto& [proto, pstats] : from.protocols) {
     auto& dst = into.protocols[proto];

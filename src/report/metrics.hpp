@@ -63,6 +63,13 @@ struct CallAnalysis {
   std::uint64_t dpi_candidates = 0;
   std::uint64_t dpi_messages = 0;
 
+  // --- Vector-pipeline diagnostics (DESIGN.md §6) ---
+  // Per-node vectors/packets/suspended tallies from the batched
+  // decode → demux → prefilter → scan → compliance graph. Diagnostic
+  // only: vectors depends on RTCC_BATCH, so equivalence signatures
+  // exclude these (the report JSON surfaces them under "nodes").
+  rtcc::dpi::PipelineCounters nodes;
+
   // --- Ingestion diagnostics (all-zero for synthetic traces) ---
   rtcc::net::IngestStats ingest;
 

@@ -194,6 +194,28 @@ DriverStats run_fuzz_driver(const DriverOptions& opts) {
       if (auto err = run_stream_oracles(stream.datagrams))
         record_finding(stats, opts, seen, i, to_string(mf), sf,
                        stream.datagrams, stream_oracle, /*shrink=*/true);
+
+      // Batch-boundary shaping: tile the (already mutated) stream to a
+      // datagram count at the vector-size edges and assert the batch
+      // and SIMD parity oracles right at the boundary — full, exactly
+      // filled and one-over final vectors all extract identically. The
+      // SIMD sweep is skipped on the largest counts to keep the
+      // sanitized CI budget affordable; batch parity always runs.
+      const auto& counts = batch_boundary_counts();
+      const std::size_t count =
+          counts[(i / opts.stream_stride) % counts.size()];
+      const auto shaped = mutate_batch_boundary(stream.datagrams, count, rng);
+      ++stats.mutations_per_family["batch_boundary"];
+      const StreamOracle boundary_oracle = [](const std::vector<Bytes>& dgs) {
+        if (auto err = check_batch_parity(dgs)) return err;
+        if (dgs.size() <= 512)
+          if (auto err = check_simd_parity(dgs)) return err;
+        return std::optional<std::string>{};
+      };
+      ++stats.stream_checks;
+      if (auto err = boundary_oracle(shaped))
+        record_finding(stats, opts, seen, i, "batch_boundary", sf, shaped,
+                       boundary_oracle, /*shrink=*/true);
     }
     ++stats.iterations;
   }

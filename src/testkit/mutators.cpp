@@ -432,4 +432,25 @@ Bytes mutate(MutatorFamily family, BytesView seed, BytesView other,
   return to_bytes(seed);
 }
 
+const std::vector<std::size_t>& batch_boundary_counts() {
+  // 0/1 exercise the empty batch and the fused per-datagram path;
+  // 255/256/257 straddle the default vector size (partial final
+  // vector, exact fit, one-packet spill); 4095 is one short of the
+  // kMaxAnchorBlocks * 64 staging ceiling on a single payload and, as
+  // a datagram count, 16 vectors with a one-short final vector.
+  static const std::vector<std::size_t> kCounts = {0, 1, 255, 256, 257, 4095};
+  return kCounts;
+}
+
+std::vector<Bytes> mutate_batch_boundary(const std::vector<Bytes>& seed,
+                                         std::size_t count, Rng& rng) {
+  std::vector<Bytes> out;
+  if (seed.empty() || count == 0) return out;
+  out.reserve(count);
+  const std::size_t start = rng.below(seed.size());
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(seed[(start + i) % seed.size()]);
+  return out;
+}
+
 }  // namespace rtcc::testkit

@@ -7,8 +7,10 @@
 #include "dpi/anchor_scan.hpp"
 #include "dpi/scanning_dpi.hpp"
 #include "dpi/strict_dpi.hpp"
+#include "dpi/simd_dispatch.hpp"
 #include "net/arena.hpp"
 #include "net/headers.hpp"
+#include "net/packet_batch.hpp"
 #include "net/pcap.hpp"
 #include "proto/demux.hpp"
 #include "proto/quic/quic.hpp"
@@ -97,7 +99,18 @@ void reference_anchor_scan(BytesView payload, const rtcc::dpi::ScanOptions& opts
       case 2: {
         const std::uint8_t pt = rem >= 2 ? p[i + 1] : 0;
         const bool rtcp_pt = pt >= 200 && pt <= 207;
-        if (opts.scan_rtp && !rtcp_pt && rem >= 12) mask |= anchor::kRtp;
+        // Full RTP header fit, incl. the extension words when present
+        // (independently restated from dpi::rtp_header_fits).
+        std::size_t need = 12 + 4 * (b0 & 0x0F);
+        bool fits = need <= rem;
+        if (fits && (b0 & 0x10) != 0) {
+          need += 4;
+          fits = need <= rem &&
+                 need + 4 * std::size_t{rtcc::util::load_be16(
+                                p + i + need - 2)} <=
+                     rem;
+        }
+        if (opts.scan_rtp && !rtcp_pt && fits) mask |= anchor::kRtp;
         else if (opts.scan_rtcp && rtcp_pt && rem >= 8) mask |= anchor::kRtcp;
         break;
       }
@@ -113,7 +126,8 @@ void reference_anchor_scan(BytesView payload, const rtcc::dpi::ScanOptions& opts
         }
         break;
       case 1:
-        if (opts.scan_stun && b0 <= 0x4F && rem >= 4)
+        if (opts.scan_stun && b0 <= 0x4F && rem >= 4 &&
+            4 + std::size_t{rtcc::util::load_be16(p + i + 2)} <= rem)
           mask |= anchor::kChannelData;
         if (opts.scan_quic && i == 0) mask |= anchor::kQuicShort;
         break;
@@ -626,10 +640,59 @@ std::optional<std::string> run_buffer_oracles(BytesView data) {
   return std::nullopt;
 }
 
+std::optional<std::string> check_batch_parity(
+    const std::vector<Bytes>& datagrams, std::size_t extra_size) {
+  const auto stream = as_stream(datagrams, /*alternate_dir=*/true);
+  const rtcc::dpi::ScanningDpi dpi;
+  std::vector<std::size_t> sizes = {1, rtcc::net::kDefaultBatchSize};
+  if (extra_size != 0) sizes.push_back(extra_size);
+  std::optional<std::vector<rtcc::dpi::DatagramAnalysis>> base;
+  std::size_t base_size = 0;
+  for (const std::size_t size : sizes) {
+    const rtcc::net::BatchModeGuard guard(size);
+    auto got = dpi.analyze_stream(stream);
+    if (!base) {
+      base = std::move(got);
+      base_size = size;
+      continue;
+    }
+    const std::string a_name = "batch=" + std::to_string(base_size);
+    const std::string b_name = "batch=" + std::to_string(size);
+    if (auto err = compare_analyses(*base, got, a_name.c_str(),
+                                    b_name.c_str()))
+      return "batch parity: " + *err;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_simd_parity(
+    const std::vector<Bytes>& datagrams) {
+  const auto stream = as_stream(datagrams, /*alternate_dir=*/true);
+  const rtcc::dpi::ScanningDpi dpi;
+  std::optional<std::vector<rtcc::dpi::DatagramAnalysis>> scalar;
+  for (const auto level :
+       {rtcc::dpi::SimdLevel::kScalar, rtcc::dpi::SimdLevel::kSse2,
+        rtcc::dpi::SimdLevel::kAvx2, rtcc::dpi::SimdLevel::kNeon}) {
+    if (!rtcc::dpi::simd_level_supported(level)) continue;
+    const rtcc::dpi::SimdModeGuard guard(level);
+    auto got = dpi.analyze_stream(stream);
+    if (!scalar) {
+      scalar = std::move(got);
+      continue;
+    }
+    if (auto err = compare_analyses(*scalar, got, "scalar",
+                                    rtcc::dpi::to_string(level).c_str()))
+      return "simd parity: " + *err;
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> run_stream_oracles(
     const std::vector<Bytes>& datagrams) {
   if (auto err = check_scan_equivalence(datagrams))
     return "scan equivalence: " + *err;
+  if (auto err = check_batch_parity(datagrams)) return err;
+  if (auto err = check_simd_parity(datagrams)) return err;
   if (auto err = check_arena_parity(datagrams)) return err;
   if (auto err = check_pcap_roundtrip(datagrams)) return err;
   if (auto err = check_checker_idempotence(datagrams)) return err;

@@ -67,6 +67,20 @@ namespace rtcc::testkit {
 [[nodiscard]] std::optional<std::string> check_frame_decode(
     rtcc::util::BytesView frame);
 
+/// Batched (vector) extraction vs the per-datagram path: analyses must
+/// be byte-identical for any stream, at any batch size. Runs the full
+/// scanner once per distinct size in {1, default} plus `extra_size`
+/// when non-zero (the driver passes boundary-straddling sizes).
+[[nodiscard]] std::optional<std::string> check_batch_parity(
+    const std::vector<rtcc::util::Bytes>& datagrams,
+    std::size_t extra_size = 0);
+
+/// Every *supported* SIMD level against the scalar path: identical
+/// compliance signatures datagram-for-datagram. Unsupported levels are
+/// skipped (never a failure) so the oracle is portable.
+[[nodiscard]] std::optional<std::string> check_simd_parity(
+    const std::vector<rtcc::util::Bytes>& datagrams);
+
 /// Every oracle that accepts arbitrary (possibly mutated) single
 /// buffers, in a fixed order. Used by the driver and corpus replay.
 [[nodiscard]] std::optional<std::string> run_buffer_oracles(

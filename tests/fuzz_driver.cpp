@@ -19,6 +19,8 @@
 #include <filesystem>
 #include <string>
 
+#include "dpi/simd_dispatch.hpp"
+#include "net/packet_batch.hpp"
 #include "testkit/driver.hpp"
 #include "testkit/golden.hpp"
 #include "testkit/meta.hpp"
@@ -145,6 +147,15 @@ int run_fuzz(const rtcc::testkit::DriverOptions& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Golden snapshots include the per-node pipeline counters, whose
+  // vector counts depend on the batch size and whose prefilter lane
+  // popcount is zero at the scalar level (the prefilter node is a
+  // pass-through without a kernel). Pin both knobs to their defaults so
+  // the snapshots stay byte-identical under RTCC_BATCH / RTCC_SIMD
+  // overrides (the parity oracles — not the goldens — cover knob
+  // equivalence; kernel levels stage identical masks by design).
+  const rtcc::net::BatchModeGuard batch_guard(rtcc::net::kDefaultBatchSize);
+  const rtcc::dpi::SimdModeGuard simd_guard(rtcc::dpi::detected_simd_level());
   rtcc::testkit::DriverOptions opts;
   opts.iters = 0;  // fuzz only when --iters is given
   std::string replay_dir;

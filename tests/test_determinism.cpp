@@ -15,7 +15,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "dpi/simd_dispatch.hpp"
 #include "emul/app_model.hpp"
+#include "net/packet_batch.hpp"
 #include "net/stream_table.hpp"
 #include "report/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -148,6 +150,52 @@ TEST(AnchorPrefilter, SweepMatchesOracleAcrossCorpus) {
   }
 }
 
+TEST(VectorPipeline, BatchAndSimdMatchFusedScalarAcrossCorpus) {
+  // Full app × network matrix at the two knob extremes: the batched
+  // node graph under the detected kernel level vs the fused
+  // per-datagram path under the scalar level. Analyses must be
+  // identical on every UDP stream, background noise included — this is
+  // the corpus-wide restatement of the per-stream parity oracles.
+  const dpi::ScanningDpi engine;
+  for (const auto app : emul::all_apps()) {
+    for (const auto network : emul::all_networks()) {
+      emul::CallConfig cfg;
+      cfg.app = app;
+      cfg.network = network;
+      cfg.media_scale = 0.02;
+      cfg.call_s = 60.0;
+      const auto call = emul::emulate_call(cfg);
+      const auto table = net::group_streams(call.trace);
+      for (const auto& stream : table.streams) {
+        if (stream.key.transport != net::Transport::kUdp) continue;
+        std::vector<dpi::StreamDatagram> dgs;
+        dgs.reserve(stream.packets.size());
+        for (const auto& pkt : stream.packets) {
+          dpi::StreamDatagram d;
+          d.payload = net::packet_payload(call.trace, pkt);
+          d.ts = pkt.ts;
+          d.dir = pkt.dir == net::Direction::kAtoB ? 0 : 1;
+          dgs.push_back(d);
+        }
+        SCOPED_TRACE(to_string(app) + "/" + to_string(network));
+        std::vector<dpi::DatagramAnalysis> fused_scalar;
+        {
+          const net::BatchModeGuard batch(1);
+          const dpi::SimdModeGuard simd(dpi::SimdLevel::kScalar);
+          fused_scalar = engine.analyze_stream(dgs);
+        }
+        std::vector<dpi::DatagramAnalysis> batched;
+        {
+          const net::BatchModeGuard batch(net::kDefaultBatchSize);
+          const dpi::SimdModeGuard simd(dpi::detected_simd_level());
+          batched = engine.analyze_stream(dgs);
+        }
+        expect_identical_analyses(fused_scalar, batched);
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------
 // run_experiment determinism across execution modes
 // ---------------------------------------------------------------------
@@ -251,6 +299,21 @@ TEST(ExperimentDeterminism, AnchorPrefilterOnOffIdentical) {
   cfg.analysis.scan.use_anchor_prefilter = false;
   const auto oracle = report::run_experiment(cfg);
   expect_identical_experiments(anchored, oracle);
+}
+
+TEST(ExperimentDeterminism, BatchAndSimdKnobsIdentical) {
+  // Experiment-level restatement of the knob extremes: the report
+  // metrics (which drive the vector pipeline in batch_size() chunks)
+  // must not depend on either knob. Serial execution keeps the
+  // process-wide guards race-free.
+  auto cfg = small_experiment();
+  cfg.exec = report::ExecMode::kSerial;
+  cfg.analysis.parallel_streams = false;
+  const auto batched = report::run_experiment(cfg);
+  const net::BatchModeGuard batch(1);
+  const dpi::SimdModeGuard simd(dpi::SimdLevel::kScalar);
+  const auto fused = report::run_experiment(cfg);
+  expect_identical_experiments(batched, fused);
 }
 
 TEST(ExperimentDeterminism, EnvParallelKnob) {

@@ -193,10 +193,10 @@ TEST(ScanningDpi, ZoomDoubleRtpIsSplit) {
   auto out = dpi.analyze_stream(f.datagrams());
   const auto& doubled = out.back();
   ASSERT_EQ(doubled.messages.size(), 2u);
-  EXPECT_EQ(doubled.messages[0].rtp->payload.size(), 7u);
+  EXPECT_EQ(doubled.messages[0].rtp->payload_len, 7u);
   EXPECT_EQ(doubled.messages[0].length, 19u);
   EXPECT_EQ(doubled.messages[1].offset, 19u);
-  EXPECT_EQ(doubled.messages[1].rtp->payload.size(), 500u);
+  EXPECT_EQ(doubled.messages[1].rtp->payload_len, 500u);
   EXPECT_EQ(doubled.messages[0].rtp->timestamp,
             doubled.messages[1].rtp->timestamp);
 }
