@@ -3,6 +3,8 @@
 // tradeoff), and end-to-end pipeline cost per packet.
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "crypto/hmac.hpp"
 #include "dpi/scanning_dpi.hpp"
 #include "dpi/simd_dispatch.hpp"
@@ -18,6 +20,7 @@
 #include "proto/tls/client_hello.hpp"
 #include "report/corpus.hpp"
 #include "report/metrics.hpp"
+#include "report/shard.hpp"
 #include "testkit/meta.hpp"
 #include "util/rng.hpp"
 
@@ -369,6 +372,41 @@ BENCHMARK(BM_CorpusEndToEnd)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+/// Flow-sharding scaling curve: the same streaming corpus with the
+/// shard count pinned per run (arg = RTCC_SHARDS equivalent; 1 = the
+/// unsharded reference). Real time vs process CPU time separates
+/// speedup from parallel overhead: on an N-core box real time should
+/// drop toward 1/N while CPU time stays roughly flat (the merged
+/// output is byte-identical at every point — the parity oracle's
+/// claim — so this measures cost only). Published as BENCH_shard.json
+/// by the release-bench CI job.
+void BM_ShardScaling(benchmark::State& state) {
+  const report::ShardModeGuard shard_guard(
+      static_cast<std::size_t>(state.range(0)));
+  report::CorpusOptions opts;
+  opts.experiment.repeats = 1;
+  opts.experiment.media_scale = 0.02;
+  opts.experiment.call_s = 60.0;
+  for (auto _ : state) {
+    auto result = report::run_corpus(opts);
+    state.counters["corpus_mb"] =
+        static_cast<double>(result.total_trace_bytes) / 1e6;
+    state.counters["mb_per_s"] = result.mb_per_s();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["shards"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ShardScaling)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      const auto hw = std::thread::hardware_concurrency();
+      b->Arg(1)->Arg(2)->Arg(4);
+      if (hw > 4) b->Arg(static_cast<long>(hw));
+      b->ArgNames({"shards"})
+          ->Unit(benchmark::kMillisecond)
+          ->MeasureProcessCPUTime()
+          ->UseRealTime();
+    });
 
 /// Metamorphic transform cost over a mid-size relay call: arg = index
 /// into testkit::meta::transform_catalogue(). The interesting spread is

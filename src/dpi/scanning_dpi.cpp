@@ -22,6 +22,18 @@ namespace {
 #define RTCC_ALWAYS_INLINE inline
 #endif
 
+/// Demux-node unroll width: descriptors emitted per loop iteration.
+/// Compile-time tunable (-DRTCC_DEMUX_UNROLL=2|4) for the ablation
+/// sweep in EXPERIMENTS.md; the {2,4} x prefetch sweep showed no
+/// significant separation, so 2 stays as the default. The
+/// constant-trip inner loops below fully unroll at either width.
+#ifndef RTCC_DEMUX_UNROLL
+#define RTCC_DEMUX_UNROLL 2
+#endif
+constexpr std::size_t kDemuxUnroll = RTCC_DEMUX_UNROLL;
+static_assert(kDemuxUnroll == 2 || kDemuxUnroll == 4,
+              "demux unroll width must be 2 or 4");
+
 namespace stun = rtcc::proto::stun;
 namespace rtp = rtcc::proto::rtp;
 namespace rtcp = rtcc::proto::rtcp;
@@ -424,19 +436,20 @@ std::vector<DatagramAnalysis> ScanningDpi::analyze_batch(
       const std::size_t end = std::min(n_packets, base + bsz);
 
       // Demux node: drop empty payloads (nothing to scan), prefetch
-      // upcoming payload heads. Dual loop: two descriptors per
-      // iteration keeps the two loads' latencies overlapped.
+      // upcoming payload heads. Unrolled loop: kDemuxUnroll descriptors
+      // per iteration keeps the loads' latencies overlapped. The width
+      // is a compile-time ablation knob (-DRTCC_DEMUX_UNROLL=2|4, see
+      // EXPERIMENTS.md); the emitted descriptor order is identical at
+      // every width, so analyses stay byte-identical across the sweep.
       scratch.scannable.clear();
       std::size_t di = base;
-      for (; di + 2 <= end; di += 2) {
-        if (di + net::kPrefetchAhead < end)
-          net::prefetch(packets.data[di + net::kPrefetchAhead]);
-        if (di + 1 + net::kPrefetchAhead < end)
-          net::prefetch(packets.data[di + 1 + net::kPrefetchAhead]);
-        if (packets.len[di] != 0)
-          scratch.scannable.push_back(static_cast<std::uint32_t>(di));
-        if (packets.len[di + 1] != 0)
-          scratch.scannable.push_back(static_cast<std::uint32_t>(di + 1));
+      for (; di + kDemuxUnroll <= end; di += kDemuxUnroll) {
+        for (std::size_t u = 0; u < kDemuxUnroll; ++u)
+          if (di + u + net::kPrefetchAhead < end)
+            net::prefetch(packets.data[di + u + net::kPrefetchAhead]);
+        for (std::size_t u = 0; u < kDemuxUnroll; ++u)
+          if (packets.len[di + u] != 0)
+            scratch.scannable.push_back(static_cast<std::uint32_t>(di + u));
       }
       for (; di < end; ++di)
         if (packets.len[di] != 0)

@@ -1,0 +1,59 @@
+#include "net/flow_hash.hpp"
+
+namespace rtcc::net {
+
+namespace {
+
+/// splitmix64 finalizer: full avalanche in three multiply-xorshift
+/// rounds, so structured inputs (sequential ports, adjacent addresses)
+/// still produce uniformly distributed digests.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Digest of one (ip, port) endpoint. The 16-byte address backing array
+/// holds IPv4 in its final 4 bytes, so hashing all 16 bytes covers both
+/// families; the family flag is folded in so an IPv4 address and its
+/// IPv4-mapped IPv6 twin stay distinct.
+std::uint64_t endpoint_digest(const IpAddr& ip, std::uint16_t port) {
+  const auto& b = ip.v6_bytes();
+  std::uint64_t lo = 0, hi = 0;
+  for (int i = 0; i < 8; ++i) lo = lo << 8 | b[static_cast<std::size_t>(i)];
+  for (int i = 8; i < 16; ++i) hi = hi << 8 | b[static_cast<std::size_t>(i)];
+  std::uint64_t h = mix64(lo ^ 0x8C9F3B1D5E7A2463ULL);
+  h = mix64(h ^ hi);
+  return mix64(h ^ (std::uint64_t{port} << 1) ^ (ip.is_v4() ? 1u : 0u));
+}
+
+}  // namespace
+
+std::uint64_t rss_flow_hash(const IpAddr& src, std::uint16_t src_port,
+                            const IpAddr& dst, std::uint16_t dst_port,
+                            Transport transport) {
+  const std::uint64_t a = endpoint_digest(src, src_port);
+  const std::uint64_t b = endpoint_digest(dst, dst_port);
+  // Commutative combination (xor + sum) makes the hash direction-
+  // invariant; mixing both keeps the pair's joint entropy (xor alone
+  // would collapse flows whose endpoint digests share bit patterns).
+  return mix64((a ^ b) + 0x2545F4914F6CDD1DULL * (a + b) +
+               static_cast<std::uint64_t>(transport));
+}
+
+std::uint64_t rss_flow_hash(const FlowKey& key) {
+  return rss_flow_hash(key.a, key.a_port, key.b, key.b_port, key.transport);
+}
+
+std::size_t shard_of(const FlowKey& key, std::size_t shards) {
+  if (shards <= 1) return 0;
+  // Fixed-point multiply maps the digest onto [0, shards) with bias
+  // 2^-64 — unlike modulo, it uses the high (best-mixed) bits.
+  const unsigned __int128 wide =
+      static_cast<unsigned __int128>(rss_flow_hash(key)) *
+      static_cast<unsigned __int128>(shards);
+  return static_cast<std::size_t>(wide >> 64);
+}
+
+}  // namespace rtcc::net

@@ -1,0 +1,45 @@
+// RSS-style symmetric 5-tuple flow hash (DESIGN.md "Flow sharding").
+//
+// The sharded pipeline assigns every datagram to a shard by hashing its
+// 5-tuple, the same trick NICs use for receive-side scaling. Two
+// properties matter and are both unit-tested (tests/test_flow_hash.cpp):
+//
+//   symmetry — both directions of a conversation must land on the same
+//   shard, or a bidirectional stream's state would be split across two
+//   cores. Like symmetric-key Toeplitz variants, the hash combines the
+//   two (ip, port) endpoint digests with commutative operators (xor and
+//   add) before the final mix, so swapping source and destination
+//   cannot change the result.
+//
+//   balance — shard load tracks flow count, not flow-key structure.
+//   Endpoint digests go through a full-avalanche 64-bit finalizer
+//   (splitmix64), so sequential ports / adjacent addresses (exactly
+//   what the emulator and real NAT'd captures produce) still spread
+//   uniformly; a chi-squared test over emulated corpus flows guards
+//   this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/stream_table.hpp"
+
+namespace rtcc::net {
+
+/// Symmetric 64-bit flow digest of an (ip, port) endpoint pair plus
+/// transport. rss_flow_hash(src, sp, dst, dp, t) ==
+/// rss_flow_hash(dst, dp, src, sp, t) by construction.
+[[nodiscard]] std::uint64_t rss_flow_hash(const IpAddr& src,
+                                          std::uint16_t src_port,
+                                          const IpAddr& dst,
+                                          std::uint16_t dst_port,
+                                          Transport transport);
+
+/// Digest of a canonical bidirectional FlowKey (stream_table.hpp).
+/// Equals the directed overload for either direction of the same flow.
+[[nodiscard]] std::uint64_t rss_flow_hash(const FlowKey& key);
+
+/// Shard index in [0, shards) for a flow. shards == 0 is treated as 1.
+[[nodiscard]] std::size_t shard_of(const FlowKey& key, std::size_t shards);
+
+}  // namespace rtcc::net

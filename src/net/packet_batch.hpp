@@ -72,7 +72,13 @@ inline void prefetch(const void* p) {
 }
 
 /// How many packets ahead node loops prefetch payload heads.
-constexpr std::size_t kPrefetchAhead = 4;
+/// Compile-time tunable (-DRTCC_PREFETCH_AHEAD=n) for the ablation
+/// sweep in EXPERIMENTS.md; the {2,4,8,16} x unroll sweep moved the
+/// macro scan < +-6% (within box noise), so 4 stays as the default.
+#ifndef RTCC_PREFETCH_AHEAD
+#define RTCC_PREFETCH_AHEAD 4
+#endif
+constexpr std::size_t kPrefetchAhead = RTCC_PREFETCH_AHEAD;
 
 /// SoA descriptor vector for one stream's datagrams: parallel arrays
 /// indexed by packet position. Payload bytes are *borrowed* (arena slab

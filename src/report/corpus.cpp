@@ -6,8 +6,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <future>
+#include <memory>
 #include <mutex>
 
+#include "report/shard.hpp"
 #include "util/thread_pool.hpp"
 
 #ifdef __unix__
@@ -129,31 +133,138 @@ CorpusResult run_corpus(const CorpusOptions& opts) {
   if (slots == 0) slots = serial ? 1 : std::size_t{2} * pool.worker_count();
   TraceGate gate(slots);
 
+  const std::size_t nshards =
+      cfg.analysis.parallel_streams
+          ? (cfg.analysis.shards != 0 ? cfg.analysis.shards : shard_count())
+          : 1;
+
   std::vector<CallAnalysis> analyses(jobs.size());
   std::vector<CorpusCallStats> stats(jobs.size());
 
   const auto started = std::chrono::steady_clock::now();
-  const auto run_one = [&](std::size_t i) {
-    const Job& job = jobs[i];
-    gate.acquire();
-    std::uint64_t bytes = 0;
-    {
-      // Trace lifetime is this block: generated, counted, analyzed,
-      // destroyed — never parked in a corpus-wide container.
-      const auto call = rtcc::emul::emulate_call(job.call_cfg);
-      bytes = call.trace.total_bytes();
-      gate.add_bytes(bytes);
-      analyses[i] = analyze_call(call, cfg.analysis);
-      stats[i] = CorpusCallStats{job.app, job.network, job.repeat, bytes,
-                                 call.trace.size()};
-    }
-    gate.release(bytes);
-  };
 
-  if (serial) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+  if (!serial && nshards > 1) {
+    // Flow-sharded corpus (DESIGN.md §7): one persistent ShardedPipeline
+    // spans the whole run. Generation overlaps analysis through a
+    // bounded std::async window; this thread is the single producer —
+    // it groups + filters each call (the only stages that need the
+    // whole trace) and routes every RTC UDP stream to its shard. A
+    // call's trace and stream table live in a lease that the last
+    // shard to finish one of its streams releases, so the live-trace
+    // gate bounds memory exactly as on the pooled path.
+    struct CallLease {
+      std::shared_ptr<const rtcc::emul::EmulatedCall> call;
+      rtcc::net::StreamTable table;
+      rtcc::filter::FilterReport report;
+      TraceGate* gate = nullptr;
+      std::uint64_t bytes = 0;
+      ~CallLease() { gate->release(bytes); }
+    };
+    struct ShardedJobOut {
+      CallAnalysis base;
+      std::vector<CallAnalysis> partials;  // sized once; shards write in
+      std::vector<std::size_t> routed;     // shard index per partial
+    };
+    struct Generated {
+      std::shared_ptr<const rtcc::emul::EmulatedCall> call;
+      std::uint64_t bytes = 0;
+    };
+
+    ShardedPipeline::Options popts;
+    popts.shards = nshards;
+    popts.scan = cfg.analysis.scan;
+    popts.compliance = cfg.analysis.compliance;
+    ShardedPipeline pipe(popts);
+
+    std::vector<ShardedJobOut> outs(jobs.size());
+    std::deque<std::future<Generated>> window;
+    std::size_t next = 0;  // next job to pump out of the window
+
+    const auto pump_one = [&] {
+      const std::size_t i = next++;
+      Generated gen = window.front().get();
+      window.pop_front();
+      const Job& job = jobs[i];
+      stats[i] = CorpusCallStats{job.app, job.network, job.repeat, gen.bytes,
+                                 gen.call->trace.size()};
+      auto pre = detail::analyze_trace_prelude(
+          gen.call->trace, rtcc::emul::filter_config_for(*gen.call));
+      ShardedJobOut& out = outs[i];
+      out.base = std::move(pre.base);
+      auto lease = std::make_shared<CallLease>();
+      lease->call = std::move(gen.call);
+      lease->table = std::move(pre.table);
+      lease->report = std::move(pre.report);
+      lease->gate = &gate;
+      lease->bytes = gen.bytes;
+      const auto& rtc_streams = lease->report.rtc_udp_streams;
+      out.partials.resize(rtc_streams.size());
+      out.routed.resize(rtc_streams.size());
+      for (std::size_t si = 0; si < rtc_streams.size(); ++si)
+        out.routed[si] = pipe.submit_stream(
+            lease->call->trace, lease->table,
+            lease->table.streams[rtc_streams[si]], &out.partials[si], lease);
+      // Dropping our lease ref here: the gate slot now frees when the
+      // last shard finishes one of this call's streams (immediately,
+      // for a call with no RTC UDP streams).
+    };
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      // Pump before acquiring: the window's pending generations hold
+      // gate slots, so draining first keeps acquire() free to wait on
+      // shard progress alone — no producer/window deadlock.
+      while (window.size() >= slots) pump_one();
+      gate.acquire();
+      window.push_back(std::async(
+          std::launch::async, [&gate, call_cfg = jobs[i].call_cfg] {
+            Generated gen;
+            gen.call = std::make_shared<const rtcc::emul::EmulatedCall>(
+                rtcc::emul::emulate_call(call_cfg));
+            gen.bytes = gen.call->trace.total_bytes();
+            gate.add_bytes(gen.bytes);
+            return gen;
+          }));
+    }
+    while (next < jobs.size()) pump_one();
+    pipe.finish();
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      ShardedJobOut& out = outs[i];
+      analyses[i] = std::move(out.base);
+      // Fixed shard-order merge, same as the sharded analyze_trace.
+      for (std::size_t s = 0; s < pipe.shards(); ++s)
+        for (std::size_t si = 0; si < out.partials.size(); ++si)
+          if (out.routed[si] == s) merge(analyses[i], out.partials[si]);
+    }
   } else {
-    pool.parallel_for(jobs.size(), run_one);
+    const auto run_one = [&](std::size_t i) {
+      const Job& job = jobs[i];
+      gate.acquire();
+      std::uint64_t bytes = 0;
+      {
+        // Trace lifetime is this block: generated, counted, analyzed,
+        // destroyed — never parked in a corpus-wide container.
+        const auto call = rtcc::emul::emulate_call(job.call_cfg);
+        bytes = call.trace.total_bytes();
+        gate.add_bytes(bytes);
+        // On the pooled path per-call analysis runs unsharded: the
+        // pool already keeps every core busy with whole calls, and
+        // nesting a pipeline per pool worker would oversubscribe. The
+        // serial path (one job, or kSerial) keeps per-trace sharding.
+        auto analysis_opts = cfg.analysis;
+        if (!serial) analysis_opts.shards = 1;
+        analyses[i] = analyze_call(call, analysis_opts);
+        stats[i] = CorpusCallStats{job.app, job.network, job.repeat, bytes,
+                                   call.trace.size()};
+      }
+      gate.release(bytes);
+    };
+
+    if (serial) {
+      for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+    } else {
+      pool.parallel_for(jobs.size(), run_one);
+    }
   }
 
   CorpusResult out;

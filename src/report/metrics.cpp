@@ -4,6 +4,8 @@
 #include <future>
 #include <thread>
 
+#include "net/flow_hash.hpp"
+#include "report/shard.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rtcc::report {
@@ -37,136 +39,197 @@ std::uint64_t CallAnalysis::distribution_total() const {
   return total_messages() + dgram_fully_prop;
 }
 
-CallAnalysis analyze_trace(const rtcc::net::Trace& trace,
-                           const rtcc::filter::FilterConfig& fcfg,
-                           const AnalysisOptions& opts,
-                           std::vector<CallAnalysis>* per_stream) {
-  CallAnalysis out;
+namespace detail {
+
+TracePrelude analyze_trace_prelude(const rtcc::net::Trace& trace,
+                                   const rtcc::filter::FilterConfig& fcfg) {
+  TracePrelude pre;
+  CallAnalysis& out = pre.base;
   out.raw_bytes = trace.total_bytes();
 
-  const auto table = rtcc::net::group_streams(trace);
-  out.raw_udp_streams = table.udp_stream_count();
-  out.raw_udp_datagrams = table.udp_datagram_count();
-  out.raw_tcp_streams = table.tcp_stream_count();
-  out.raw_tcp_segments = table.tcp_segment_count();
+  pre.table = rtcc::net::group_streams(trace);
+  out.raw_udp_streams = pre.table.udp_stream_count();
+  out.raw_udp_datagrams = pre.table.udp_datagram_count();
+  out.raw_tcp_streams = pre.table.tcp_stream_count();
+  out.raw_tcp_segments = pre.table.tcp_segment_count();
 
-  const auto filter_report = rtcc::filter::run_pipeline(trace, table, fcfg);
-  out.ingest = filter_report.ingest;
-  out.stage1_udp = filter_report.stage1_udp;
-  out.stage2_udp = filter_report.stage2_udp;
-  out.stage1_tcp = filter_report.stage1_tcp;
-  out.stage2_tcp = filter_report.stage2_tcp;
-  out.rtc_udp = filter_report.rtc_udp;
-  out.rtc_tcp = filter_report.rtc_tcp;
+  pre.report = rtcc::filter::run_pipeline(trace, pre.table, fcfg);
+  out.ingest = pre.report.ingest;
+  out.stage1_udp = pre.report.stage1_udp;
+  out.stage2_udp = pre.report.stage2_udp;
+  out.stage1_tcp = pre.report.stage1_tcp;
+  out.stage2_tcp = pre.report.stage2_tcp;
+  out.rtc_udp = pre.report.rtc_udp;
+  out.rtc_tcp = pre.report.rtc_tcp;
+  return pre;
+}
 
-  // Streams are independent (all validation heuristics and compliance
-  // context are stream-scoped), so each one fills its own partial and
-  // the partials merge in stream order — output is identical whether
-  // the loop below runs serially or on the pool.
-  const auto& rtc_streams = filter_report.rtc_udp_streams;
-  const ScanningDpi dpi(opts.scan);
-  std::vector<CallAnalysis> partials(rtc_streams.size());
+void decode_stream_chunk(const rtcc::net::Trace& trace,
+                         const rtcc::net::StreamTable& table,
+                         const rtcc::net::Stream& stream, std::size_t base,
+                         std::size_t end, rtcc::net::PacketBatch& batch,
+                         CallAnalysis& part) {
+  namespace net = rtcc::net;
+  // Decode node: resolve each stream packet's descriptor (arena view
+  // or reassembled buffer) into the SoA batch, one vector at a time.
+  // Dual loop — two descriptors per iteration keep the payload-
+  // resolution loads overlapped — plus a descriptor prefetch a few
+  // packets ahead. suspended counts reassembled datagrams (their
+  // bytes come from the table, not a home frame).
+  const auto decode_one = [&](const net::StreamPacket& pkt) {
+    batch.push(net::packet_payload(trace, table, pkt), pkt.ts,
+               pkt.dir == net::Direction::kAtoB ? 0 : 1);
+    if (pkt.reasm >= 0) ++part.nodes.decode.suspended;
+  };
+  std::size_t i = base;
+  for (; i + 2 <= end; i += 2) {
+    if (i + net::kPrefetchAhead < end)
+      net::prefetch(&stream.packets[i + net::kPrefetchAhead]);
+    decode_one(stream.packets[i]);
+    decode_one(stream.packets[i + 1]);
+  }
+  for (; i < end; ++i) decode_one(stream.packets[i]);
+  ++part.nodes.decode.vectors;
+  part.nodes.decode.packets += end - base;
+}
 
-  const auto analyze_one_stream = [&](std::size_t si) {
-    namespace net = rtcc::net;
-    const auto& stream = table.streams[rtc_streams[si]];
-    CallAnalysis& part = partials[si];
-    const std::size_t bsz = net::batch_size();
-    const std::size_t n = stream.packets.size();
+void analyze_stream_batch(const rtcc::dpi::ScanningDpi& dpi,
+                          const rtcc::compliance::ComplianceConfig& ccfg,
+                          const rtcc::net::PacketBatch& batch,
+                          CallAnalysis& part) {
+  const std::size_t bsz = rtcc::net::batch_size();
+  const auto analyses = dpi.analyze_batch(batch, &part.nodes);
 
-    // Decode node: resolve each stream packet's descriptor (arena view
-    // or reassembled buffer) into the SoA batch, one vector at a time.
-    // Dual loop — two descriptors per iteration keep the payload-
-    // resolution loads overlapped — plus a descriptor prefetch a few
-    // packets ahead. suspended counts reassembled datagrams (their
-    // bytes come from the table, not a home frame).
-    net::PacketBatch batch;
-    batch.reserve(n);
-    const auto decode_one = [&](const net::StreamPacket& pkt) {
-      batch.push(net::packet_payload(trace, table, pkt), pkt.ts,
-                 pkt.dir == net::Direction::kAtoB ? 0 : 1);
-      if (pkt.reasm >= 0) ++part.nodes.decode.suspended;
-    };
-    for (std::size_t base = 0; base < n; base += bsz) {
-      const std::size_t end = std::min(n, base + bsz);
-      std::size_t i = base;
-      for (; i + 2 <= end; i += 2) {
-        if (i + net::kPrefetchAhead < end)
-          net::prefetch(&stream.packets[i + net::kPrefetchAhead]);
-        decode_one(stream.packets[i]);
-        decode_one(stream.packets[i + 1]);
-      }
-      for (; i < end; ++i) decode_one(stream.packets[i]);
-      ++part.nodes.decode.vectors;
-      part.nodes.decode.packets += end - base;
+  // Compliance node, phase 1: observe every extracted message to
+  // build the stream context. suspended counts the observed messages
+  // parked until finalize().
+  StreamComplianceChecker checker(ccfg);
+  for (std::size_t i = 0; i < analyses.size(); ++i) {
+    part.dpi_candidates += analyses[i].candidates;
+    for (const auto& msg : analyses[i].messages) {
+      checker.observe(msg, batch.dir[i], batch.ts[i]);
+      ++part.nodes.compliance.suspended;
     }
+  }
+  checker.finalize();
 
-    const auto analyses = dpi.analyze_batch(batch, &part.nodes);
-
-    // Compliance node, phase 1: observe every extracted message to
-    // build the stream context. suspended counts the observed messages
-    // parked until finalize().
-    StreamComplianceChecker checker(opts.compliance);
-    for (std::size_t i = 0; i < analyses.size(); ++i) {
-      part.dpi_candidates += analyses[i].candidates;
-      for (const auto& msg : analyses[i].messages) {
-        checker.observe(msg, batch.dir[i], batch.ts[i]);
-        ++part.nodes.compliance.suspended;
+  // Compliance node, phase 2: verdicts per vector, with one reused
+  // CheckedMessage buffer (check_into) so the loop is allocation-free
+  // in steady state.
+  std::vector<CheckedMessage> checked;
+  for (std::size_t base = 0; base < analyses.size(); base += bsz) {
+    const std::size_t end = std::min(analyses.size(), base + bsz);
+    ++part.nodes.compliance.vectors;
+    part.nodes.compliance.packets += end - base;
+    for (std::size_t i = base; i < end; ++i) {
+      const auto& anal = analyses[i];
+      switch (anal.klass) {
+        case rtcc::dpi::DatagramClass::kStandard:
+          ++part.dgram_standard;
+          break;
+        case rtcc::dpi::DatagramClass::kProprietaryHeader:
+          ++part.dgram_prop_header;
+          break;
+        case rtcc::dpi::DatagramClass::kFullyProprietary:
+          ++part.dgram_fully_prop;
+          break;
       }
-    }
-    checker.finalize();
-
-    // Compliance node, phase 2: verdicts per vector, with one reused
-    // CheckedMessage buffer (check_into) so the loop is allocation-free
-    // in steady state.
-    std::vector<CheckedMessage> checked;
-    for (std::size_t base = 0; base < analyses.size(); base += bsz) {
-      const std::size_t end = std::min(analyses.size(), base + bsz);
-      ++part.nodes.compliance.vectors;
-      part.nodes.compliance.packets += end - base;
-      for (std::size_t i = base; i < end; ++i) {
-        const auto& anal = analyses[i];
-        switch (anal.klass) {
-          case rtcc::dpi::DatagramClass::kStandard:
-            ++part.dgram_standard;
-            break;
-          case rtcc::dpi::DatagramClass::kProprietaryHeader:
-            ++part.dgram_prop_header;
-            break;
-          case rtcc::dpi::DatagramClass::kFullyProprietary:
-            ++part.dgram_fully_prop;
-            break;
-        }
-        for (const auto& msg : anal.messages) {
-          ++part.dpi_messages;
-          checked.clear();
-          checker.check_into(msg, batch.dir[i], batch.ts[i], checked);
-          for (const auto& cm : checked) {
-            auto& pstats = part.protocols[cm.protocol];
-            ++pstats.messages;
-            auto& tstats = pstats.types[cm.type_label];
-            ++tstats.total;
-            if (cm.verdict.compliant) {
-              ++pstats.compliant;
-              ++tstats.compliant;
-            } else if (const auto* v = cm.verdict.first()) {
-              ++tstats.criterion_failures[rtcc::compliance::to_string(
-                  v->criterion)];
-            }
+      for (const auto& msg : anal.messages) {
+        ++part.dpi_messages;
+        checked.clear();
+        checker.check_into(msg, batch.dir[i], batch.ts[i], checked);
+        for (const auto& cm : checked) {
+          auto& pstats = part.protocols[cm.protocol];
+          ++pstats.messages;
+          auto& tstats = pstats.types[cm.type_label];
+          ++tstats.total;
+          if (cm.verdict.compliant) {
+            ++pstats.compliant;
+            ++tstats.compliant;
+          } else if (const auto* v = cm.verdict.first()) {
+            ++tstats.criterion_failures[rtcc::compliance::to_string(
+                v->criterion)];
           }
         }
       }
     }
-  };
-
-  if (opts.parallel_streams && rtc_streams.size() > 1) {
-    rtcc::util::ThreadPool::shared().parallel_for(rtc_streams.size(),
-                                                  analyze_one_stream);
-  } else {
-    for (std::size_t si = 0; si < rtc_streams.size(); ++si)
-      analyze_one_stream(si);
   }
-  for (const auto& part : partials) merge(out, part);
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Shard count an analysis actually runs with: the per-call override,
+/// else the global RTCC_SHARDS knob; forced to 1 (unsharded) when
+/// parallelism is off entirely (RTCC_PARALLEL=0 means fully serial).
+std::size_t effective_shards(const AnalysisOptions& opts) {
+  if (!opts.parallel_streams) return 1;
+  return opts.shards != 0 ? opts.shards : shard_count();
+}
+
+}  // namespace
+
+CallAnalysis analyze_trace(const rtcc::net::Trace& trace,
+                           const rtcc::filter::FilterConfig& fcfg,
+                           const AnalysisOptions& opts,
+                           std::vector<CallAnalysis>* per_stream) {
+  auto pre = detail::analyze_trace_prelude(trace, fcfg);
+  CallAnalysis out = std::move(pre.base);
+  const auto& table = pre.table;
+
+  // Streams are independent (all validation heuristics and compliance
+  // context are stream-scoped), so each one fills its own partial.
+  // Partials merge in a fixed order — stream order below, shard order
+  // on the sharded path — and merge() is order-insensitive, so output
+  // is identical across the serial loop, the pool, and every shard
+  // count.
+  const auto& rtc_streams = pre.report.rtc_udp_streams;
+  std::vector<CallAnalysis> partials(rtc_streams.size());
+  const std::size_t nshards = effective_shards(opts);
+
+  if (nshards > 1 && !rtc_streams.empty()) {
+    // Flow-sharded path (DESIGN.md §7): this thread is the producer,
+    // decoding each stream into chunks and routing whole streams to
+    // shard workers by symmetric 5-tuple hash.
+    ShardedPipeline::Options popts;
+    popts.shards = nshards;
+    popts.scan = opts.scan;
+    popts.compliance = opts.compliance;
+    ShardedPipeline pipe(popts);
+    std::vector<std::size_t> routed(rtc_streams.size());
+    for (std::size_t si = 0; si < rtc_streams.size(); ++si)
+      routed[si] = pipe.submit_stream(trace, table,
+                                      table.streams[rtc_streams[si]],
+                                      &partials[si]);
+    pipe.finish();
+    for (std::size_t s = 0; s < pipe.shards(); ++s)
+      for (std::size_t si = 0; si < rtc_streams.size(); ++si)
+        if (routed[si] == s) merge(out, partials[si]);
+  } else {
+    const ScanningDpi dpi(opts.scan);
+    const auto analyze_one_stream = [&](std::size_t si) {
+      const auto& stream = table.streams[rtc_streams[si]];
+      CallAnalysis& part = partials[si];
+      const std::size_t bsz = rtcc::net::batch_size();
+      const std::size_t n = stream.packets.size();
+      rtcc::net::PacketBatch batch;
+      batch.reserve(n);
+      for (std::size_t base = 0; base < n; base += bsz)
+        detail::decode_stream_chunk(trace, table, stream, base,
+                                    std::min(n, base + bsz), batch, part);
+      detail::analyze_stream_batch(dpi, opts.compliance, batch, part);
+    };
+
+    if (opts.parallel_streams && rtc_streams.size() > 1) {
+      rtcc::util::ThreadPool::shared().parallel_for(rtc_streams.size(),
+                                                    analyze_one_stream);
+    } else {
+      for (std::size_t si = 0; si < rtc_streams.size(); ++si)
+        analyze_one_stream(si);
+    }
+    for (const auto& part : partials) merge(out, part);
+  }
   if (per_stream != nullptr) *per_stream = std::move(partials);
   return out;
 }
@@ -204,6 +267,12 @@ void merge(CallAnalysis& into, const CallAnalysis& from) {
   into.dpi_candidates += from.dpi_candidates;
   into.dpi_messages += from.dpi_messages;
   into.nodes.merge(from.nodes);
+  if (!from.shards.empty()) {
+    if (into.shards.size() < from.shards.size())
+      into.shards.resize(from.shards.size());
+    for (std::size_t s = 0; s < from.shards.size(); ++s)
+      into.shards[s].merge(from.shards[s]);
+  }
   into.ingest.merge(from.ingest);
   for (const auto& [proto, pstats] : from.protocols) {
     auto& dst = into.protocols[proto];
@@ -312,9 +381,9 @@ ExperimentConfig experiment_config_from_env() {
     cfg.seed = std::strtoull(seed, nullptr, 10);
   if (const char* parallel = std::getenv("RTCC_PARALLEL")) {
     // Values parsing to 0 (including non-numeric strings) force fully
-    // serial execution (calls and per-call streams); anything parsing
-    // nonzero keeps the pooled default. Results are identical either
-    // way — the knob only changes dispatch.
+    // serial execution (calls, per-call streams, and flow sharding);
+    // anything parsing nonzero keeps the pooled default. Results are
+    // identical either way — the knob only changes dispatch.
     if (std::atoi(parallel) == 0) {
       cfg.exec = ExecMode::kSerial;
       cfg.analysis.parallel_streams = false;

@@ -10,6 +10,8 @@
 #include "dpi/scanning_dpi.hpp"
 #include "emul/app_model.hpp"
 #include "filter/pipeline.hpp"
+#include "net/packet_batch.hpp"
+#include "net/stream_table.hpp"
 
 namespace rtcc::report {
 
@@ -18,8 +20,14 @@ struct AnalysisOptions {
   rtcc::compliance::ComplianceConfig compliance;
   /// Analyze a call's RTC UDP streams concurrently on the shared
   /// thread pool. Per-stream partial results merge in stream order, so
-  /// output is identical to the serial loop.
+  /// output is identical to the serial loop. false also disables flow
+  /// sharding (RTCC_PARALLEL=0 means fully serial).
   bool parallel_streams = true;
+  /// Flow-shard worker count for this analysis. 0 defers to the global
+  /// RTCC_SHARDS knob (report/shard.hpp); 1 forces the unsharded path;
+  /// N > 1 routes streams to N shard workers by symmetric 5-tuple hash.
+  /// Output is bit-identical for every value (DESIGN.md §7).
+  std::size_t shards = 0;
 };
 
 /// Stats for one (protocol, message-type-label) cell of Tables 3-6.
@@ -39,6 +47,26 @@ struct ProtocolStats {
 
   [[nodiscard]] std::size_t compliant_types() const;
   [[nodiscard]] std::size_t total_types() const { return types.size(); }
+};
+
+/// Per-shard work accounting for the flow-sharded pipeline
+/// (report/shard.hpp). Diagnostic, like PipelineCounters: the split
+/// depends on RTCC_SHARDS, so equivalence signatures and the parity
+/// oracles exclude it (the report JSON surfaces it under "shards").
+struct ShardStat {
+  std::uint64_t streams = 0;        // streams routed to this shard
+  std::uint64_t handoff_vectors = 0;  // ring items received
+  std::uint64_t datagrams = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t messages = 0;  // DPI messages extracted on this shard
+
+  void merge(const ShardStat& from) {
+    streams += from.streams;
+    handoff_vectors += from.handoff_vectors;
+    datagrams += from.datagrams;
+    payload_bytes += from.payload_bytes;
+    messages += from.messages;
+  }
 };
 
 /// Everything one call (or a merged experiment) contributes to the
@@ -69,6 +97,13 @@ struct CallAnalysis {
   // only: vectors depends on RTCC_BATCH, so equivalence signatures
   // exclude these (the report JSON surfaces them under "nodes").
   rtcc::dpi::PipelineCounters nodes;
+
+  // --- Flow-sharding diagnostics (DESIGN.md §7) ---
+  // One row per shard worker, filled only by the sharded path. Each
+  // per-stream partial carries a full-width vector with only its own
+  // shard's row populated, so merge() aggregates per-shard totals at
+  // every level. Empty on the unsharded path.
+  std::vector<ShardStat> shards;
 
   // --- Ingestion diagnostics (all-zero for synthetic traces) ---
   rtcc::net::IngestStats ingest;
@@ -135,5 +170,40 @@ struct ExperimentConfig {
 /// RTCC_PARALLEL; see EXPERIMENTS.md) so benches can be sped up or made
 /// more faithful without recompiling.
 [[nodiscard]] ExperimentConfig experiment_config_from_env();
+
+namespace detail {
+
+/// The single-threaded front of analyze_trace: grouping + two-stage
+/// filter, which must see the whole trace (stage 2 draws cross-stream
+/// evidence from removed streams), before the per-stream hot path
+/// fans out. Shared by the pooled path and the sharded corpus producer.
+struct TracePrelude {
+  CallAnalysis base;               // stage stats + ingest, no stream work
+  rtcc::net::StreamTable table;    // owns reassembled payload buffers
+  rtcc::filter::FilterReport report;
+};
+
+[[nodiscard]] TracePrelude analyze_trace_prelude(
+    const rtcc::net::Trace& trace, const rtcc::filter::FilterConfig& fcfg);
+
+/// Decode node over one batch-sized chunk of a stream: resolves packet
+/// descriptors [base, end) into the SoA batch and books the decode
+/// counters into `part`. Identical code on the pooled and sharded
+/// paths, so node counters are shard-invariant.
+void decode_stream_chunk(const rtcc::net::Trace& trace,
+                         const rtcc::net::StreamTable& table,
+                         const rtcc::net::Stream& stream, std::size_t base,
+                         std::size_t end, rtcc::net::PacketBatch& batch,
+                         CallAnalysis& part);
+
+/// DPI + compliance over one fully-assembled stream batch (the stream-
+/// stateful core: SSRC continuity, support tables, and the two-phase
+/// checker all need the whole stream). Fills `part` in place.
+void analyze_stream_batch(const rtcc::dpi::ScanningDpi& dpi,
+                          const rtcc::compliance::ComplianceConfig& ccfg,
+                          const rtcc::net::PacketBatch& batch,
+                          CallAnalysis& part);
+
+}  // namespace detail
 
 }  // namespace rtcc::report

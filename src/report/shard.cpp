@@ -1,0 +1,185 @@
+#include "report/shard.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <unordered_map>
+
+#include "net/flow_hash.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace rtcc::report {
+
+namespace {
+
+std::size_t clamp_shards(std::size_t n) {
+  return n > kMaxShards ? kMaxShards : n;
+}
+
+std::atomic<std::size_t>& shard_flag() {
+  static std::atomic<std::size_t> count{[]() -> std::size_t {
+    if (const char* env = std::getenv("RTCC_SHARDS")) {
+      if (std::strcmp(env, "auto") != 0) {
+        const long v = std::atol(env);
+        if (v >= 1) return clamp_shards(static_cast<std::size_t>(v));
+      }
+    }
+    return kAutoShards;
+  }()};
+  return count;
+}
+
+}  // namespace
+
+std::size_t configured_shard_count() {
+  return shard_flag().load(std::memory_order_relaxed);
+}
+
+std::size_t shard_count() {
+  const std::size_t configured = configured_shard_count();
+  if (configured != kAutoShards) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return clamp_shards(hw != 0 ? hw : 1);
+}
+
+std::size_t set_shard_count(std::size_t count) {
+  shard_flag().store(clamp_shards(count), std::memory_order_relaxed);
+  return shard_count();
+}
+
+/// One worker's world: its ring, its thread, and the first exception it
+/// hit. Heap-allocated so the vector of shards never relocates a live
+/// ring.
+struct ShardedPipeline::Shard {
+  explicit Shard(std::size_t depth) : ring(depth) {}
+  rtcc::util::SpscRing<WorkItem> ring;
+  std::thread thread;
+  std::exception_ptr error;
+};
+
+ShardedPipeline::ShardedPipeline(const Options& opts) : opts_(opts) {
+  const std::size_t n = clamp_shards(std::max<std::size_t>(1, opts.shards));
+  const std::size_t depth = std::max<std::size_t>(2, opts.ring_depth);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.push_back(std::make_unique<Shard>(depth));
+  for (std::size_t i = 0; i < n; ++i)
+    workers_[i]->thread =
+        std::thread([this, i] { worker(*workers_[i], i); });
+}
+
+ShardedPipeline::~ShardedPipeline() {
+  // Swallow worker exceptions on the destructor path (the caller
+  // already gave up on the result, likely during unwind).
+  try {
+    finish();
+  } catch (...) {
+  }
+}
+
+std::size_t ShardedPipeline::submit_stream(
+    const rtcc::net::Trace& trace, const rtcc::net::StreamTable& table,
+    const rtcc::net::Stream& stream, CallAnalysis* partial,
+    std::shared_ptr<const void> keepalive) {
+  const std::size_t target = rtcc::net::shard_of(stream.key, workers_.size());
+  auto& ring = workers_[target]->ring;
+  const std::size_t bsz = rtcc::net::batch_size();
+  const std::size_t n = stream.packets.size();
+  const std::uint64_t slot = next_slot_++;
+
+  if (n == 0) {
+    // Degenerate stream: one empty last chunk so the shard still fills
+    // the partial (and releases the keepalive). Matches the unsharded
+    // path, whose chunk loop books nothing for an empty stream.
+    WorkItem item;
+    item.slot = slot;
+    item.last = true;
+    item.partial = partial;
+    item.keepalive = std::move(keepalive);
+    ring.push(std::move(item));
+    return target;
+  }
+
+  for (std::size_t base = 0; base < n; base += bsz) {
+    const std::size_t end = std::min(n, base + bsz);
+    WorkItem item;
+    item.slot = slot;
+    item.batch.reserve(end - base);
+    // Decode counters land in *partial from the producer thread; the
+    // shard reads the partial only after popping the last chunk, and
+    // the ring's release/acquire pair orders these bookings before it.
+    detail::decode_stream_chunk(trace, table, stream, base, end, item.batch,
+                                *partial);
+    item.last = end == n;
+    if (item.last) {
+      item.partial = partial;
+      item.keepalive = std::move(keepalive);
+    }
+    ring.push(std::move(item));
+  }
+  return target;
+}
+
+void ShardedPipeline::worker(Shard& shard, std::size_t shard_index) {
+  // Private flow table: stream slot -> accumulated whole-stream batch.
+  // DPI validation (SSRC continuity, support tables) and the two-phase
+  // compliance checker are stream-stateful, so a stream is analyzed
+  // only once its last chunk arrives — by the exact same core as the
+  // unsharded path, which is what makes output shard-count-invariant.
+  struct PendingStream {
+    rtcc::net::PacketBatch batch;
+    std::uint64_t vectors = 0;
+    std::uint64_t payload_bytes = 0;
+  };
+  const rtcc::dpi::ScanningDpi engine(opts_.scan);
+  std::unordered_map<std::uint64_t, PendingStream> pending;
+
+  WorkItem item;
+  try {
+    while (shard.ring.pop(item)) {
+      PendingStream& p = pending[item.slot];
+      ++p.vectors;
+      const std::size_t n = item.batch.size();
+      p.batch.reserve(p.batch.size() + n);
+      for (std::size_t i = 0; i < n; ++i) {
+        p.batch.push(item.batch.payload(i), item.batch.ts[i],
+                     item.batch.dir[i]);
+        p.payload_bytes += item.batch.len[i];
+      }
+      if (!item.last) continue;
+
+      CallAnalysis& part = *item.partial;
+      detail::analyze_stream_batch(engine, opts_.compliance, p.batch, part);
+      part.shards.resize(workers_.size());
+      ShardStat& row = part.shards[shard_index];
+      row.streams += 1;
+      row.handoff_vectors += p.vectors;
+      row.datagrams += p.batch.size();
+      row.payload_bytes += p.payload_bytes;
+      row.messages += part.dpi_messages;
+      pending.erase(item.slot);
+      // Reset the item *after* the analysis: its keepalive may pin the
+      // trace bytes the batch views point into.
+      item = WorkItem{};
+    }
+  } catch (...) {
+    shard.error = std::current_exception();
+    // Keep draining so the producer can't wedge on a full ring; the
+    // dropped items' keepalives are released as they're overwritten.
+    while (shard.ring.pop(item)) item = WorkItem{};
+  }
+}
+
+void ShardedPipeline::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& w : workers_) w->ring.close();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+  for (auto& w : workers_)
+    if (w->error) std::rethrow_exception(w->error);
+}
+
+}  // namespace rtcc::report

@@ -19,6 +19,8 @@
 #include "proto/stun/stun.hpp"
 #include "proto/tls/client_hello.hpp"
 #include "proto/vendor/vendor_headers.hpp"
+#include "report/json_export.hpp"
+#include "report/metrics.hpp"
 
 namespace rtcc::testkit {
 
@@ -687,6 +689,79 @@ std::optional<std::string> check_simd_parity(
   return std::nullopt;
 }
 
+std::optional<std::string> check_shard_parity(
+    const std::vector<Bytes>& datagrams) {
+  // Below two datagrams there is nothing to route: skip the (thread-
+  // spawning) sweep so tiny fuzz inputs stay cheap.
+  if (datagrams.size() < 2) return std::nullopt;
+
+  // Spread the datagrams round-robin over several bidirectional flows
+  // (distinct port pairs; direction flips each lap) so the sharded
+  // path actually routes to different shards.
+  constexpr std::size_t kFlows = 8;
+  const net::FrameSpec base = oracle_frame_spec();
+  net::Trace trace;
+  std::size_t kept = 0;
+  for (const auto& payload : datagrams) {
+    if (payload.size() > kMaxFramePayload) continue;
+    const std::size_t flow = kept % kFlows;
+    net::FrameSpec spec = base;
+    spec.src_port = static_cast<std::uint16_t>(40000 + flow);
+    spec.dst_port = static_cast<std::uint16_t>(20000 + flow);
+    if ((kept / kFlows) % 2 == 1) {
+      std::swap(spec.src, spec.dst);
+      std::swap(spec.src_port, spec.dst_port);
+    }
+    trace.add_frame(ts_for(kept++), net::build_frame(spec, payload));
+  }
+  if (trace.size() == 0) return std::nullopt;
+
+  // A schedule window enclosing every oracle timestamp, no port/SNI
+  // exclusions: the filter keeps all flows, so the sharded hot path
+  // sees every stream.
+  rtcc::filter::FilterConfig fcfg;
+  fcfg.schedule.call_start = 0.0;
+  fcfg.schedule.call_end = 1e6;
+  fcfg.schedule.capture_end = 1e6 + 60.0;
+
+  const auto strip = [](rtcc::report::CallAnalysis a) {
+    a.shards.clear();  // the only intentionally knob-dependent field
+    return rtcc::report::to_json(a);
+  };
+
+  rtcc::report::AnalysisOptions opts;
+  opts.shards = 1;
+  std::vector<rtcc::report::CallAnalysis> ref_parts;
+  const auto ref = rtcc::report::analyze_trace(trace, fcfg, opts, &ref_parts);
+  const std::string ref_json = strip(ref);
+
+  for (const std::size_t count : {std::size_t{2}, std::size_t{3},
+                                  std::size_t{8}}) {
+    opts.shards = count;
+    std::vector<rtcc::report::CallAnalysis> parts;
+    const auto got = rtcc::report::analyze_trace(trace, fcfg, opts, &parts);
+    std::ostringstream err;
+    if (strip(got) != ref_json) {
+      err << "shard parity: merged report at " << count
+          << " shards differs from the unsharded path";
+      return err.str();
+    }
+    if (parts.size() != ref_parts.size()) {
+      err << "shard parity: " << count << " shards produced " << parts.size()
+          << " per-stream partials, unsharded produced " << ref_parts.size();
+      return err.str();
+    }
+    for (std::size_t si = 0; si < parts.size(); ++si) {
+      if (strip(parts[si]) != strip(ref_parts[si])) {
+        err << "shard parity: stream " << si << " partial at " << count
+            << " shards differs from the unsharded path";
+        return err.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> run_stream_oracles(
     const std::vector<Bytes>& datagrams) {
   if (auto err = check_scan_equivalence(datagrams))
@@ -696,6 +771,7 @@ std::optional<std::string> run_stream_oracles(
   if (auto err = check_arena_parity(datagrams)) return err;
   if (auto err = check_pcap_roundtrip(datagrams)) return err;
   if (auto err = check_checker_idempotence(datagrams)) return err;
+  if (auto err = check_shard_parity(datagrams)) return err;
   return std::nullopt;
 }
 

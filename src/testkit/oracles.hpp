@@ -81,6 +81,15 @@ namespace rtcc::testkit {
 [[nodiscard]] std::optional<std::string> check_simd_parity(
     const std::vector<rtcc::util::Bytes>& datagrams);
 
+/// Flow-sharded analyze_trace vs the unsharded path: the datagrams are
+/// spread across several bidirectional flows and analyzed at shard
+/// counts {1, 2, 3, 8}; the merged report and every per-stream partial
+/// must be byte-identical (after dropping the knob-dependent "shards"
+/// diagnostic) at every count. The live equivalence oracle behind
+/// RTCC_SHARDS (DESIGN.md §7).
+[[nodiscard]] std::optional<std::string> check_shard_parity(
+    const std::vector<rtcc::util::Bytes>& datagrams);
+
 /// Every oracle that accepts arbitrary (possibly mutated) single
 /// buffers, in a fixed order. Used by the driver and corpus replay.
 [[nodiscard]] std::optional<std::string> run_buffer_oracles(

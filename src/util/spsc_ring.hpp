@@ -1,0 +1,147 @@
+// Bounded single-producer / single-consumer handoff ring.
+//
+// The flow-sharded pipeline (report/shard.hpp) moves whole PacketBatch
+// vectors from one demux/producer thread to per-core shard workers.
+// That handoff is the only cross-thread edge on the sharded hot path,
+// so it must not take a lock or touch shared cache lines beyond the two
+// ring indices: this ring is a classic Lamport queue with a power-of-
+// two slot array, release/acquire index publication, and a cached copy
+// of the remote index on each side so the steady state re-reads the
+// other thread's counter only when the cached bound is exhausted
+// (roughly once per capacity items instead of once per item).
+//
+// Exactly one thread may push (the producer) and exactly one may pop
+// (the consumer); nothing here defends against a second producer.
+// Capacity is fixed at construction — a full ring is backpressure, not
+// an error, which is what bounds the sharded pipeline's memory.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace rtcc::util {
+
+/// Spin-then-yield-then-sleep backoff for the blocking ring operations.
+/// The pipeline's rings are normally non-empty/non-full, so the fast
+/// path never gets here; when a side does stall (producer far ahead or
+/// a shard starved), the progression keeps a waiting thread from
+/// burning a core on an oversubscribed machine.
+class SpinBackoff {
+ public:
+  void pause() {
+    ++spins_;
+    if (spins_ <= kSpinLimit) return;
+    if (spins_ <= kSpinLimit + kYieldLimit) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  void reset() { spins_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kSpinLimit = 64;
+  static constexpr std::uint32_t kYieldLimit = 256;
+  std::uint32_t spins_ = 0;
+};
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2) so slot
+  /// indexing is a mask, not a modulo.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  [[nodiscard]] bool try_push(T&& v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity()) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: blocks (backoff loop) until the slot frees. Must
+  /// not be called after close().
+  void push(T&& v) {
+    SpinBackoff backoff;
+    while (!try_push(std::move(v))) backoff.pause();
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: blocks until an item arrives or the ring is closed
+  /// *and* drained. Returns false only in the closed-and-drained case,
+  /// so every pushed item is popped exactly once.
+  [[nodiscard]] bool pop(T& out) {
+    SpinBackoff backoff;
+    for (;;) {
+      if (try_pop(out)) return true;
+      // Order matters: close() is published after the producer's final
+      // push, so observing closed_ then finding the ring still empty
+      // means drained (the acquire load pairs with close()'s release).
+      if (closed_.load(std::memory_order_acquire)) {
+        if (try_pop(out)) return true;
+        return false;
+      }
+      backoff.pause();
+    }
+  }
+
+  /// Producer side, after the final push. Idempotent.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Racy snapshot for stats/tests; exact only when both sides are
+  /// quiescent.
+  [[nodiscard]] std::size_t size_approx() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 1;
+  // Indices are monotone u64 (never wrapped); the mask maps them onto
+  // slots. Each index lives on its own cache line, as does each side's
+  // cached copy of the remote index, so producer and consumer only
+  // share lines when one actually needs the other's progress.
+  alignas(64) std::atomic<std::uint64_t> head_{0};   // next pop
+  alignas(64) std::atomic<std::uint64_t> tail_{0};   // next push
+  alignas(64) std::uint64_t cached_head_ = 0;        // producer-owned
+  alignas(64) std::uint64_t cached_tail_ = 0;        // consumer-owned
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace rtcc::util

@@ -21,6 +21,7 @@
 
 #include "dpi/simd_dispatch.hpp"
 #include "net/packet_batch.hpp"
+#include "report/shard.hpp"
 #include "testkit/driver.hpp"
 #include "testkit/golden.hpp"
 #include "testkit/meta.hpp"
@@ -156,6 +157,11 @@ int main(int argc, char** argv) {
   // equivalence; kernel levels stage identical masks by design).
   const rtcc::net::BatchModeGuard batch_guard(rtcc::net::kDefaultBatchSize);
   const rtcc::dpi::SimdModeGuard simd_guard(rtcc::dpi::detected_simd_level());
+  // Shards pinned to 1 for the same reason: the sharded path adds the
+  // knob-dependent "shards" diagnostic to report JSON, and goldens must
+  // stay byte-identical under RTCC_SHARDS. The shard-parity oracle (a
+  // {1,2,3,8} sweep inside run_stream_oracles) covers knob equivalence.
+  const rtcc::report::ShardModeGuard shard_guard(1);
   rtcc::testkit::DriverOptions opts;
   opts.iters = 0;  // fuzz only when --iters is given
   std::string replay_dir;
