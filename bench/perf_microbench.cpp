@@ -21,6 +21,9 @@
 #include "report/corpus.hpp"
 #include "report/metrics.hpp"
 #include "report/shard.hpp"
+#include "stream/chunk_reader.hpp"
+#include "stream/engine.hpp"
+#include "stream/stream_mode.hpp"
 #include "testkit/meta.hpp"
 #include "util/rng.hpp"
 
@@ -407,6 +410,61 @@ BENCHMARK(BM_ShardScaling)
           ->MeasureProcessCPUTime()
           ->UseRealTime();
     });
+
+/// Streaming vs batch over the same mid-size relay call: arg 0 = the
+/// batch path (whole Trace in memory), arg 1 = the one-pass engine fed
+/// frame-by-frame, arg 2 = the one-pass engine behind the chunked pcap
+/// reader over the encoded capture bytes. Outputs are byte-identical
+/// (the stream-parity oracle's claim), so this isolates the cost of
+/// the inversion; live_peak_mb vs capture_mb shows the O(active flows)
+/// memory bound. Published as BENCH_stream.json by release-bench CI.
+void BM_StreamingVsBatch(benchmark::State& state) {
+  static const emul::EmulatedCall call = [] {
+    emul::CallConfig cfg;
+    cfg.app = emul::AppId::kZoom;
+    cfg.network = emul::NetworkSetup::kWifiRelay;
+    cfg.media_scale = 0.05;
+    cfg.call_s = 60.0;
+    return emul::emulate_call(cfg);
+  }();
+  static const filter::FilterConfig fcfg = emul::filter_config_for(call);
+  static const util::Bytes pcap = net::encode_pcap(call.trace);
+  const stream::StreamModeGuard batch_ref(false);
+
+  const int mode = static_cast<int>(state.range(0));
+  std::uint64_t live_peak = 0;
+  for (auto _ : state) {
+    report::CallAnalysis analysis;
+    if (mode == 0) {
+      analysis = report::analyze_trace(call.trace, fcfg);
+      live_peak = call.trace.total_bytes();  // batch holds the capture
+    } else if (mode == 1) {
+      analysis = stream::analyze_trace_streaming(call.trace, fcfg);
+      live_peak = analysis.flows.live_peak_bytes;
+    } else {
+      stream::MemoryChunkSource source{util::BytesView{pcap}};
+      stream::StreamingAnalyzer engine(net::kLinkEthernet, fcfg);
+      std::string error;
+      if (!stream::stream_pcap(source, engine, 1 << 20, &error))
+        state.SkipWithError(error.c_str());
+      analysis = engine.finish();
+      live_peak = analysis.flows.live_peak_bytes;
+    }
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(call.trace.total_bytes()));
+  state.counters["capture_mb"] = static_cast<double>(pcap.size()) / 1e6;
+  state.counters["live_peak_mb"] = static_cast<double>(live_peak) / 1e6;
+  state.SetLabel(mode == 0 ? "batch"
+                           : (mode == 1 ? "stream-mem" : "stream-pcap"));
+}
+BENCHMARK(BM_StreamingVsBatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgNames({"mode"})
+    ->Unit(benchmark::kMillisecond);
 
 /// Metamorphic transform cost over a mid-size relay call: arg = index
 /// into testkit::meta::transform_catalogue(). The interesting spread is

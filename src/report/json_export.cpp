@@ -83,6 +83,21 @@ void write_analysis(JsonWriter& w, const CallAnalysis& a) {
     w.end_array();
   }
 
+  // Streaming-engine flow-table diagnostics (DESIGN.md §6c): present
+  // only on the RTCC_STREAM path. Knob-dependent like "nodes" and
+  // "shards", so parity signatures strip it and goldens (produced with
+  // streaming pinned off) never contain it.
+  if (a.flows.any()) {
+    w.key("flows").begin_object();
+    w.key("flows_seen").value(a.flows.flows_seen);
+    w.key("flows_live").value(a.flows.flows_live);
+    w.key("evictions").value(a.flows.evictions);
+    w.key("finalized").value(a.flows.finalized);
+    w.key("flows_rekeyed").value(a.flows.flows_rekeyed);
+    w.key("live_peak_bytes").value(a.flows.live_peak_bytes);
+    w.end_object();
+  }
+
   // Emitted only for real captures (the synthetic corpus never sets
   // capture-layer counters), keeping the golden matrix byte-identical.
   if (a.ingest.from_capture()) {

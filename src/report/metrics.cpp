@@ -6,6 +6,7 @@
 
 #include "net/flow_hash.hpp"
 #include "report/shard.hpp"
+#include "stream/engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rtcc::report {
@@ -174,6 +175,13 @@ CallAnalysis analyze_trace(const rtcc::net::Trace& trace,
                            const rtcc::filter::FilterConfig& fcfg,
                            const AnalysisOptions& opts,
                            std::vector<CallAnalysis>* per_stream) {
+  // RTCC_STREAM=1 routes through the one-pass engine (DESIGN.md §6c);
+  // the batch path below stays live as its equivalence oracle, like
+  // RTCC_ARENA=0 / RTCC_BATCH=1 / RTCC_SHARDS=1.
+  if (rtcc::stream::stream_enabled())
+    return rtcc::stream::analyze_trace_streaming(
+        trace, fcfg, opts, rtcc::stream::stream_options_from_env(),
+        per_stream);
   auto pre = detail::analyze_trace_prelude(trace, fcfg);
   CallAnalysis out = std::move(pre.base);
   const auto& table = pre.table;
@@ -273,6 +281,7 @@ void merge(CallAnalysis& into, const CallAnalysis& from) {
     for (std::size_t s = 0; s < from.shards.size(); ++s)
       into.shards[s].merge(from.shards[s]);
   }
+  into.flows.merge(from.flows);
   into.ingest.merge(from.ingest);
   for (const auto& [proto, pstats] : from.protocols) {
     auto& dst = into.protocols[proto];

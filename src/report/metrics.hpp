@@ -69,6 +69,37 @@ struct ShardStat {
   }
 };
 
+/// Flow-table accounting from the streaming engine (stream/engine.hpp).
+/// Diagnostic, like ShardStat: populated only on the RTCC_STREAM path,
+/// so equivalence signatures and the stream-parity oracle exclude it
+/// (the report JSON surfaces it under "flows"). Peaks take max() on
+/// merge — summing concurrent-flow peaks across calls would fabricate
+/// a moment that never existed.
+struct FlowStats {
+  std::uint64_t flows_seen = 0;      // flow records created
+  std::uint64_t flows_live = 0;      // peak concurrently-live flows
+  std::uint64_t evictions = 0;       // idle + LRU retirements before EOF
+  std::uint64_t finalized = 0;       // per-flow analyses run
+  std::uint64_t flows_rekeyed = 0;   // packets re-opening an evicted key
+  std::uint64_t live_peak_bytes = 0; // peak buffered payload + reader bytes
+
+  [[nodiscard]] bool any() const {
+    return (flows_seen | flows_live | evictions | finalized | flows_rekeyed |
+            live_peak_bytes) != 0;
+  }
+
+  void merge(const FlowStats& from) {
+    flows_seen += from.flows_seen;
+    flows_live = flows_live > from.flows_live ? flows_live : from.flows_live;
+    evictions += from.evictions;
+    finalized += from.finalized;
+    flows_rekeyed += from.flows_rekeyed;
+    live_peak_bytes = live_peak_bytes > from.live_peak_bytes
+                          ? live_peak_bytes
+                          : from.live_peak_bytes;
+  }
+};
+
 /// Everything one call (or a merged experiment) contributes to the
 /// paper's tables and figures.
 struct CallAnalysis {
@@ -104,6 +135,12 @@ struct CallAnalysis {
   // shard's row populated, so merge() aggregates per-shard totals at
   // every level. Empty on the unsharded path.
   std::vector<ShardStat> shards;
+
+  // --- Streaming-engine diagnostics (DESIGN.md §6c) ---
+  // Flow-table counters from the one-pass engine; all-zero on the
+  // batch path. Knob-dependent (RTCC_STREAM + eviction budgets), so
+  // signatures exclude it like `nodes` and `shards`.
+  FlowStats flows;
 
   // --- Ingestion diagnostics (all-zero for synthetic traces) ---
   rtcc::net::IngestStats ingest;

@@ -122,6 +122,42 @@ std::size_t ShardedPipeline::submit_stream(
   return target;
 }
 
+std::size_t ShardedPipeline::submit_batch(
+    const rtcc::net::FlowKey& key, const rtcc::net::PacketBatch& batch,
+    CallAnalysis* partial, std::shared_ptr<const void> keepalive) {
+  const std::size_t target = rtcc::net::shard_of(key, workers_.size());
+  auto& ring = workers_[target]->ring;
+  const std::size_t bsz = rtcc::net::batch_size();
+  const std::size_t n = batch.size();
+  const std::uint64_t slot = next_slot_++;
+
+  if (n == 0) {
+    WorkItem item;
+    item.slot = slot;
+    item.last = true;
+    item.partial = partial;
+    item.keepalive = std::move(keepalive);
+    ring.push(std::move(item));
+    return target;
+  }
+
+  for (std::size_t base = 0; base < n; base += bsz) {
+    const std::size_t end = std::min(n, base + bsz);
+    WorkItem item;
+    item.slot = slot;
+    item.batch.reserve(end - base);
+    for (std::size_t i = base; i < end; ++i)
+      item.batch.push(batch.payload(i), batch.ts[i], batch.dir[i]);
+    item.last = end == n;
+    if (item.last) {
+      item.partial = partial;
+      item.keepalive = std::move(keepalive);
+    }
+    ring.push(std::move(item));
+  }
+  return target;
+}
+
 void ShardedPipeline::worker(Shard& shard, std::size_t shard_index) {
   // Private flow table: stream slot -> accumulated whole-stream batch.
   // DPI validation (SSRC continuity, support tables) and the two-phase

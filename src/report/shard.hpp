@@ -104,6 +104,17 @@ class ShardedPipeline {
                             CallAnalysis* partial,
                             std::shared_ptr<const void> keepalive = {});
 
+  /// Pre-decoded variant for the streaming engine: hands a whole-flow
+  /// batch (already resolved payload descriptors, decode counters
+  /// already booked into `*partial` by the caller) to the shard owning
+  /// `key`, chunked by batch_size() so the shard's handoff accounting
+  /// is byte-identical to submit_stream's. `keepalive` must pin the
+  /// payload bytes the batch views. Producer thread only.
+  std::size_t submit_batch(const rtcc::net::FlowKey& key,
+                           const rtcc::net::PacketBatch& batch,
+                           CallAnalysis* partial,
+                           std::shared_ptr<const void> keepalive = {});
+
   /// Closes every ring, joins the workers, and rethrows the first
   /// worker exception, if any. Idempotent; called by the destructor
   /// (which swallows exceptions) if the caller didn't.

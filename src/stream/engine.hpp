@@ -1,0 +1,146 @@
+// One-pass streaming analysis engine (DESIGN.md §6c).
+//
+// Inverts the batch data flow: instead of materializing a whole Trace,
+// grouping it, filtering it, then analyzing each surviving stream, the
+// engine consumes frames one at a time and keeps memory proportional
+// to the *active* flow set. Three pieces make the inversion exact:
+//
+//   * windowed online keep/drop — a flow is condemned the moment the
+//     evidence is final regardless of what else arrives: any packet
+//     timestamped outside the expanded call window (stage 1 enclosure
+//     can no longer hold) or a statically excluded port (stage 2d).
+//     Condemned flows drop their payload buffers immediately; only
+//     lightweight metadata is retained. Every other disposition (3-tuple
+//     timing, SNI, local-IP + precall) needs cross-flow evidence that
+//     is only complete at end of capture, so finish() recomputes all
+//     dispositions from retained metadata with the batch filter's exact
+//     semantics.
+//
+//   * per-flow incremental state machine — surviving UDP flows buffer
+//     payload copies until the flow is finalized (eviction or drain),
+//     then run the exact batch per-stream core
+//     (report::detail::analyze_stream_batch): the DPI's stream-level
+//     validation and cover walk, and the two-phase compliance checker,
+//     are whole-stream stateful, so the flow is the unit of
+//     incrementality and byte-identity with batch holds by
+//     construction. TCP flows never buffer payloads; they probe their
+//     first packets for a TLS SNI online, mirroring filter::stream_sni.
+//
+//   * bounded flow table (stream/flow_table.hpp) — idle/LRU eviction
+//     finalizes and emits per-stream results before end of capture,
+//     bounding peak live bytes. With the default unbounded budgets no
+//     flow is ever split and merged output is byte-identical to batch
+//     at every knob combination ("flows" diagnostics aside); bounded
+//     budgets trade exactness for memory, accounted in flows_rekeyed.
+//
+// Feed it from the chunked pcap reader (stream/chunk_reader.hpp) or
+// push frames of an in-memory Trace (analyze_trace_streaming — the
+// RTCC_STREAM=1 body of report::analyze_trace).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dpi/scanning_dpi.hpp"
+#include "filter/pipeline.hpp"
+#include "net/headers.hpp"
+#include "report/metrics.hpp"
+#include "stream/flow_table.hpp"
+#include "stream/stream_mode.hpp"
+
+namespace rtcc::report {
+class ShardedPipeline;
+}  // namespace rtcc::report
+
+namespace rtcc::stream {
+
+class StreamingAnalyzer {
+ public:
+  StreamingAnalyzer(std::uint32_t linktype,
+                    const rtcc::filter::FilterConfig& fcfg,
+                    const rtcc::report::AnalysisOptions& opts = {},
+                    const StreamOptions& sopts = stream_options_from_env());
+  ~StreamingAnalyzer();
+  StreamingAnalyzer(const StreamingAnalyzer&) = delete;
+  StreamingAnalyzer& operator=(const StreamingAnalyzer&) = delete;
+
+  /// The chunked reader learns the linktype from the pcap global
+  /// header; must be called before the first frame.
+  void set_linktype(std::uint32_t linktype);
+  [[nodiscard]] std::uint32_t linktype() const { return linktype_; }
+
+  /// Capture-layer ingestion counters (frames_seen, torn_tail, ...),
+  /// filled by whoever walks the capture records — the chunked reader,
+  /// or a copy of Trace::ingest() for in-memory traces. Decode-layer
+  /// counters come from the engine's own FrameDecoder.
+  [[nodiscard]] rtcc::net::IngestStats& capture_stats() { return capture_; }
+
+  /// Consumes one captured frame (wire bytes + timestamp). `orig_len`
+  /// is the pcap record's original on-the-wire length (0 = same as
+  /// `wire`); larger than wire.size() marks the frame snaplen-clipped.
+  /// The bytes need only stay valid for the duration of the call.
+  void push_frame(rtcc::util::BytesView wire, double ts,
+                  std::uint32_t orig_len = 0);
+
+  /// Ends the capture: drains the flow table, computes every stream
+  /// disposition with the batch filter's exact semantics, finalizes
+  /// kept flows, and returns the merged analysis (byte-identical to
+  /// the batch path when no flow was split; `flows` carries the
+  /// streaming diagnostics either way). When `per_stream` is non-null
+  /// it receives the kept per-stream partials in stream-table order,
+  /// matching analyze_trace's out-param. Call at most once.
+  [[nodiscard]] rtcc::report::CallAnalysis finish(
+      std::vector<rtcc::report::CallAnalysis>* per_stream = nullptr);
+
+  /// Bytes currently buffered by the engine: live flow payloads plus
+  /// submitted-but-unfinished sharded work plus the reader's declared
+  /// buffer. The running peak lands in FlowStats::live_peak_bytes.
+  [[nodiscard]] std::uint64_t live_bytes() const;
+
+  /// The feeding reader declares its own buffer footprint so the peak
+  /// accounts every live byte of the streaming path, not just flows.
+  void note_external_live(std::uint64_t bytes);
+
+  [[nodiscard]] const rtcc::report::FlowStats& flow_stats() const {
+    return table_.stats();
+  }
+
+ private:
+  void on_evict(FlowRecord& rec, EvictReason reason);
+  void condemn(FlowRecord& rec);
+  /// Builds the whole-flow batch from `payload`, books the decode-node
+  /// counters exactly as the batch path's chunk loop would, and runs
+  /// (or submits) the batch analysis core into rec.partial.
+  void analyze_record(FlowRecord& rec, std::shared_ptr<FlowPayload> payload);
+  void update_peak();
+
+  rtcc::filter::FilterConfig fcfg_;
+  rtcc::report::AnalysisOptions opts_;
+  StreamOptions sopts_;
+  FlowTable table_;
+  std::uint32_t linktype_ = rtcc::net::kLinkEthernet;
+  rtcc::net::FrameDecoder decoder_;
+  rtcc::dpi::ScanningDpi dpi_;
+  rtcc::net::IngestStats capture_;
+  std::uint64_t raw_bytes_ = 0;
+  double clock_ = 0.0;  // max frame ts seen (pcap ts are not monotonic)
+  std::uint64_t live_flow_bytes_ = 0;
+  std::uint64_t external_live_ = 0;
+  std::shared_ptr<std::atomic<std::uint64_t>> in_flight_;  // sharded handoff
+  std::size_t nshards_ = 1;
+  std::unique_ptr<rtcc::report::ShardedPipeline> pipe_;
+  bool finished_ = false;
+};
+
+/// The RTCC_STREAM=1 body of report::analyze_trace: pushes every frame
+/// of an in-memory trace through a StreamingAnalyzer. Exposed directly
+/// so oracles and tests can sweep StreamOptions budgets.
+[[nodiscard]] rtcc::report::CallAnalysis analyze_trace_streaming(
+    const rtcc::net::Trace& trace, const rtcc::filter::FilterConfig& fcfg,
+    const rtcc::report::AnalysisOptions& opts = {},
+    const StreamOptions& sopts = stream_options_from_env(),
+    std::vector<rtcc::report::CallAnalysis>* per_stream = nullptr);
+
+}  // namespace rtcc::stream

@@ -1,0 +1,94 @@
+#include "stream/flow_table.hpp"
+
+namespace rtcc::stream {
+
+namespace {
+constexpr std::size_t kNil = FlowRecord::kNil;
+}  // namespace
+
+FlowTable::Touched FlowTable::touch(const rtcc::net::FlowKey& key,
+                                    double clock) {
+  auto [it, inserted] = index_.try_emplace(key, records_.size());
+  if (!inserted) {
+    FlowRecord& existing = records_[it->second];
+    if (!existing.retired) {
+      existing.last_active = clock;
+      // Move to LRU back (most recently touched).
+      unlink(it->second);
+      link_back(it->second);
+      return {existing, false};
+    }
+    // Split: the key was evicted mid-capture and came back. The frozen
+    // record keeps its place in the log; a fresh record takes the key.
+    ++stats_.flows_rekeyed;
+    it->second = records_.size();
+  }
+  records_.emplace_back();
+  FlowRecord& rec = records_.back();
+  rec.key = key;
+  rec.ordinal = records_.size() - 1;
+  rec.last_active = clock;
+  link_back(rec.ordinal);
+  ++live_count_;
+  ++stats_.flows_seen;
+  if (live_count_ > stats_.flows_live) stats_.flows_live = live_count_;
+  return {rec, true};
+}
+
+void FlowTable::expire_idle(double clock, const EvictFn& fn) {
+  if (budgets_.idle_timeout_s <= 0) return;
+  // The LRU list is ordered by last_active (clock is non-decreasing),
+  // so expiry only ever pops from the front.
+  while (lru_head_ != kNil &&
+         records_[lru_head_].last_active + budgets_.idle_timeout_s < clock) {
+    ++stats_.evictions;
+    retire(lru_head_, EvictReason::kIdle, fn);
+  }
+}
+
+void FlowTable::enforce_capacity(const EvictFn& fn) {
+  if (budgets_.max_flows == 0) return;
+  while (live_count_ > budgets_.max_flows && lru_head_ != kNil) {
+    ++stats_.evictions;
+    retire(lru_head_, EvictReason::kLru, fn);
+  }
+}
+
+void FlowTable::drain(const EvictFn& fn) {
+  while (lru_head_ != kNil) retire(lru_head_, EvictReason::kDrain, fn);
+}
+
+void FlowTable::unlink(std::size_t i) {
+  FlowRecord& rec = records_[i];
+  if (rec.lru_prev != kNil)
+    records_[rec.lru_prev].lru_next = rec.lru_next;
+  else
+    lru_head_ = rec.lru_next;
+  if (rec.lru_next != kNil)
+    records_[rec.lru_next].lru_prev = rec.lru_prev;
+  else
+    lru_tail_ = rec.lru_prev;
+  rec.lru_prev = kNil;
+  rec.lru_next = kNil;
+}
+
+void FlowTable::link_back(std::size_t i) {
+  FlowRecord& rec = records_[i];
+  rec.lru_prev = lru_tail_;
+  rec.lru_next = kNil;
+  if (lru_tail_ != kNil)
+    records_[lru_tail_].lru_next = i;
+  else
+    lru_head_ = i;
+  lru_tail_ = i;
+}
+
+void FlowTable::retire(std::size_t i, EvictReason reason, const EvictFn& fn) {
+  unlink(i);
+  FlowRecord& rec = records_[i];
+  rec.retired = true;
+  --live_count_;
+  if (fn) fn(rec, reason);
+}
+
+}  // namespace rtcc::stream

@@ -1,0 +1,45 @@
+#include "stream/stream_mode.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace rtcc::stream {
+
+namespace {
+
+std::atomic<bool>& stream_flag() {
+  static std::atomic<bool> enabled{[] {
+    const char* env = std::getenv("RTCC_STREAM");
+    return env != nullptr && std::atoi(env) != 0;
+  }()};
+  return enabled;
+}
+
+}  // namespace
+
+bool stream_enabled() {
+  return stream_flag().load(std::memory_order_relaxed);
+}
+
+void set_stream_enabled(bool enabled) {
+  stream_flag().store(enabled, std::memory_order_relaxed);
+}
+
+StreamOptions stream_options_from_env() {
+  StreamOptions opts;
+  if (const char* env = std::getenv("RTCC_STREAM_FLOWS")) {
+    const long v = std::atol(env);
+    if (v > 0) opts.max_flows = static_cast<std::size_t>(v);
+  }
+  if (const char* env = std::getenv("RTCC_STREAM_IDLE")) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0) opts.idle_timeout_s = v;
+  }
+  if (const char* env = std::getenv("RTCC_STREAM_CHUNK")) {
+    const long v = std::atol(env);
+    if (v > 0) opts.chunk_bytes = static_cast<std::size_t>(v);
+  }
+  return opts;
+}
+
+}  // namespace rtcc::stream

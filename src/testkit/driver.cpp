@@ -216,6 +216,25 @@ DriverStats run_fuzz_driver(const DriverOptions& opts) {
       if (auto err = boundary_oracle(shaped))
         record_finding(stats, opts, seen, i, "batch_boundary", sf, shaped,
                        boundary_oracle, /*shrink=*/true);
+
+      // Chunk-boundary shaping: resize the stream's datagrams so their
+      // pcap-encoded records end one byte before / exactly at / one
+      // byte past the chunked reader's read boundaries, then assert
+      // streaming/batch parity (whose internal sweep reads at exactly
+      // these granularities) right on the straddle.
+      const auto& csizes = stream_chunk_sizes();
+      const std::size_t chunk =
+          csizes[(i / opts.stream_stride) % csizes.size()];
+      const auto cshaped =
+          mutate_stream_chunk_boundary(stream.datagrams, chunk, rng);
+      ++stats.mutations_per_family["stream_chunk_boundary"];
+      const StreamOracle chunk_oracle = [](const std::vector<Bytes>& dgs) {
+        return check_stream_parity(dgs);
+      };
+      ++stats.stream_checks;
+      if (auto err = chunk_oracle(cshaped))
+        record_finding(stats, opts, seen, i, "stream_chunk_boundary", sf,
+                       cshaped, chunk_oracle, /*shrink=*/true);
     }
     ++stats.iterations;
   }

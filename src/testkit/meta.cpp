@@ -8,6 +8,7 @@
 
 #include "emul/perturb.hpp"
 #include "net/stream_table.hpp"
+#include "stream/stream_mode.hpp"
 #include "proto/common.hpp"
 #include "report/json_export.hpp"
 #include "testkit/driver.hpp"
@@ -670,6 +671,16 @@ std::optional<std::string> check_scale_monotonicity(
   return std::nullopt;
 }
 
+std::optional<std::string> check_stream_invariance(
+    const AnalyzedCase& base, const Trace& trace, const FilterConfig& cfg,
+    const std::string& case_name) {
+  const rtcc::stream::StreamModeGuard stream_on(true);
+  const AnalyzedCase streamed = analyze_case(trace, cfg);
+  if (base.signature == streamed.signature) return std::nullopt;
+  return "streaming verdicts differ from batch on '" + case_name +
+         "': " + first_line_diff(base.signature, streamed.signature);
+}
+
 std::optional<std::string> check_merge_order_insensitivity(
     const std::vector<CallAnalysis>& parts) {
   if (parts.size() < 2) return std::nullopt;
@@ -905,6 +916,10 @@ MetaStats run_meta_driver(const MetaOptions& opts) {
     if (auto err = check_filter_idempotence(c.trace, c.cfg))
       record(c.name, "(none)", "filter-idempotence", *err, c.datagrams, {});
 
+    ++st.oracle_checks;
+    if (auto err = check_stream_invariance(base, c.trace, c.cfg, c.name))
+      record(c.name, "(none)", "stream", *err, c.datagrams, {});
+
     for (const auto& t : transform_catalogue()) {
       TransformResult r = t.apply(c.trace, c.cfg);
       if (!r.applicable) {
@@ -920,6 +935,11 @@ MetaStats run_meta_driver(const MetaOptions& opts) {
       if (auto err = check_ingest_ledger(base.merged, ta.merged, r,
                                          r.trace.size()))
         record(c.name, t.name, "ledger", *err, c.datagrams, {t.name});
+      // The one-pass engine must reproduce the transformed trace's own
+      // verdicts too — 13 transforms x the streaming engine.
+      ++st.oracle_checks;
+      if (auto err = check_stream_invariance(ta, r.trace, r.cfg, t.name))
+        record(c.name, t.name, "stream", *err, c.datagrams, {t.name});
     }
 
     for (std::size_t ci = 0; ci < n_chains; ++ci) {
@@ -934,6 +954,9 @@ MetaStats run_meta_driver(const MetaOptions& opts) {
       ++st.oracle_checks;
       if (auto err = check_verdict_invariance(base, ta, name))
         record(c.name, name, "verdict", *err, c.datagrams, chains[ci]);
+      ++st.oracle_checks;
+      if (auto err = check_stream_invariance(ta, r->trace, r->cfg, name))
+        record(c.name, name, "stream", *err, c.datagrams, chains[ci]);
     }
   }
 

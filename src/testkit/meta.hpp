@@ -27,7 +27,10 @@
 //     up without moving per-type compliance verdicts,
 //   * merge order insensitivity — merge() over per-call analyses is
 //     order-independent (the property run_experiment's fixed merge
-//     order relies on).
+//     order relies on),
+//   * streaming/batch equivalence — the one-pass streaming engine
+//     (RTCC_STREAM) reproduces the batch compliance signature on every
+//     base case and every transformed trace.
 //
 // run_meta_driver() pushes the golden 6×3 matrix and the fuzz seed
 // corpus through every single transform and through composed chains,
@@ -141,6 +144,18 @@ struct AnalyzedCase {
 /// order over per-call analyses serialize identically.
 [[nodiscard]] std::optional<std::string> check_merge_order_insensitivity(
     const std::vector<rtcc::report::CallAnalysis>& parts);
+
+/// (f) Streaming/batch equivalence on the same input: re-analyzes the
+/// trace with RTCC_STREAM forced on and requires the compliance
+/// signature to match `base` (normally the batch analysis — the driver
+/// pins streaming off; under an ambient RTCC_STREAM=1 run this
+/// degenerates to streaming double-run determinism, still an
+/// invariant). Runs against the base cases *and* every transformed
+/// trace, so the one-pass engine is held to the batch verdicts across
+/// the whole transform catalogue.
+[[nodiscard]] std::optional<std::string> check_stream_invariance(
+    const AnalyzedCase& base, const rtcc::net::Trace& trace,
+    const rtcc::filter::FilterConfig& cfg, const std::string& case_name);
 
 // ---- Driver --------------------------------------------------------------
 

@@ -453,4 +453,41 @@ std::vector<Bytes> mutate_batch_boundary(const std::vector<Bytes>& seed,
   return out;
 }
 
+const std::vector<std::size_t>& stream_chunk_sizes() {
+  // The sizes the stream-parity oracle's chunked-reader sweep actually
+  // reads at (beyond the degenerate 1/7), so shaped record boundaries
+  // land exactly on real read boundaries.
+  static const std::vector<std::size_t> kSizes = {256, 4096};
+  return kSizes;
+}
+
+std::vector<Bytes> mutate_stream_chunk_boundary(
+    const std::vector<Bytes>& seed, std::size_t chunk_bytes, Rng& rng) {
+  // Encoded size of one oracle frame before its UDP payload: 16-byte
+  // pcap record header + 14 Ethernet + 20 IPv4 + 8 UDP. Must match
+  // net::build_frame over oracle-style IPv4 specs.
+  constexpr std::size_t kRecordOverhead = 16 + 14 + 20 + 8;
+  constexpr std::size_t kGlobalHeader = 24;
+  std::vector<Bytes> out;
+  if (seed.empty() || chunk_bytes < 2) return out;
+  static constexpr std::size_t kDeltas[] = {0, 1, 2};  // end at b-1, b, b+1
+  const std::size_t start = rng.below(seed.size());
+  std::size_t cum = kGlobalHeader;
+  for (std::size_t i = 0; i < 9; ++i) {
+    const Bytes& src = seed[(start + i) % seed.size()];
+    // Aim the record end at the next read boundary that leaves room for
+    // the fixed headers, offset by -1 / 0 / +1 bytes in turn.
+    const std::size_t boundary =
+        ((cum + kRecordOverhead) / chunk_bytes + 1) * chunk_bytes;
+    const std::size_t len =
+        boundary - 1 + kDeltas[i % 3] - cum - kRecordOverhead;
+    Bytes d(len);
+    for (std::size_t j = 0; j < len; ++j)
+      d[j] = src.empty() ? rng.next_u8() : src[j % src.size()];
+    cum += kRecordOverhead + d.size();
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
 }  // namespace rtcc::testkit

@@ -60,4 +60,19 @@ enum class MutatorFamily : std::uint8_t {
     const std::vector<rtcc::util::Bytes>& seed, std::size_t count,
     rtcc::util::Rng& rng);
 
+/// Chunked-reader read granularities the stream_chunk_boundary mutator
+/// targets (a subset of the stream-parity oracle's sweep).
+[[nodiscard]] const std::vector<std::size_t>& stream_chunk_sizes();
+
+/// Stream-level mutator for the chunked pcap reader: emits datagrams
+/// sized so that, once framed and pcap-encoded by the stream-parity
+/// oracle, successive records end one byte before, exactly at, and one
+/// byte after multiples of `chunk_bytes` — every record-header and
+/// payload straddle the reader's carry-over path must handle. Payload
+/// bytes tile the seed datagrams so protocol structure survives where
+/// the resize allows. An empty seed yields an empty stream.
+[[nodiscard]] std::vector<rtcc::util::Bytes> mutate_stream_chunk_boundary(
+    const std::vector<rtcc::util::Bytes>& seed, std::size_t chunk_bytes,
+    rtcc::util::Rng& rng);
+
 }  // namespace rtcc::testkit

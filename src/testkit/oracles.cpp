@@ -21,6 +21,9 @@
 #include "proto/vendor/vendor_headers.hpp"
 #include "report/json_export.hpp"
 #include "report/metrics.hpp"
+#include "stream/chunk_reader.hpp"
+#include "stream/engine.hpp"
+#include "stream/stream_mode.hpp"
 
 namespace rtcc::testkit {
 
@@ -689,15 +692,13 @@ std::optional<std::string> check_simd_parity(
   return std::nullopt;
 }
 
-std::optional<std::string> check_shard_parity(
-    const std::vector<Bytes>& datagrams) {
-  // Below two datagrams there is nothing to route: skip the (thread-
-  // spawning) sweep so tiny fuzz inputs stay cheap.
-  if (datagrams.size() < 2) return std::nullopt;
+namespace {
 
-  // Spread the datagrams round-robin over several bidirectional flows
-  // (distinct port pairs; direction flips each lap) so the sharded
-  // path actually routes to different shards.
+/// Spreads the datagrams round-robin over several bidirectional flows
+/// (distinct port pairs; direction flips each lap) so flow-routed
+/// execution modes (shards, the streaming flow table) see a populated
+/// multi-flow working set. Empty when nothing frameable survives.
+net::Trace multi_flow_trace(const std::vector<Bytes>& datagrams) {
   constexpr std::size_t kFlows = 8;
   const net::FrameSpec base = oracle_frame_spec();
   net::Trace trace;
@@ -714,20 +715,40 @@ std::optional<std::string> check_shard_parity(
     }
     trace.add_frame(ts_for(kept++), net::build_frame(spec, payload));
   }
-  if (trace.size() == 0) return std::nullopt;
+  return trace;
+}
 
-  // A schedule window enclosing every oracle timestamp, no port/SNI
-  // exclusions: the filter keeps all flows, so the sharded hot path
-  // sees every stream.
+/// A schedule window enclosing every oracle timestamp, no port/SNI
+/// exclusions: the filter keeps all flows, so every execution mode's
+/// hot path sees every stream.
+rtcc::filter::FilterConfig keep_all_filter_config() {
   rtcc::filter::FilterConfig fcfg;
   fcfg.schedule.call_start = 0.0;
   fcfg.schedule.call_end = 1e6;
   fcfg.schedule.capture_end = 1e6 + 60.0;
+  return fcfg;
+}
 
-  const auto strip = [](rtcc::report::CallAnalysis a) {
-    a.shards.clear();  // the only intentionally knob-dependent field
-    return rtcc::report::to_json(a);
-  };
+/// Report JSON with the knob-dependent diagnostics ("shards", "flows")
+/// dropped — the slice that must be execution-mode-invariant.
+std::string mode_invariant_json(rtcc::report::CallAnalysis a) {
+  a.shards.clear();
+  a.flows = {};
+  return rtcc::report::to_json(a);
+}
+
+}  // namespace
+
+std::optional<std::string> check_shard_parity(
+    const std::vector<Bytes>& datagrams) {
+  // Below two datagrams there is nothing to route: skip the (thread-
+  // spawning) sweep so tiny fuzz inputs stay cheap.
+  if (datagrams.size() < 2) return std::nullopt;
+
+  const net::Trace trace = multi_flow_trace(datagrams);
+  if (trace.size() == 0) return std::nullopt;
+  const rtcc::filter::FilterConfig fcfg = keep_all_filter_config();
+  const auto& strip = mode_invariant_json;
 
   rtcc::report::AnalysisOptions opts;
   opts.shards = 1;
@@ -762,6 +783,153 @@ std::optional<std::string> check_shard_parity(
   return std::nullopt;
 }
 
+std::optional<std::string> check_stream_parity(
+    const std::vector<Bytes>& datagrams) {
+  if (datagrams.size() < 2) return std::nullopt;
+
+  const net::Trace trace = multi_flow_trace(datagrams);
+  if (trace.size() == 0) return std::nullopt;
+  const rtcc::filter::FilterConfig fcfg = keep_all_filter_config();
+  const auto& strip = mode_invariant_json;
+
+  rtcc::report::AnalysisOptions opts;
+  opts.shards = 1;
+
+  // Batch reference with the knob pinned off, so the oracle stays the
+  // authority when the whole suite runs under RTCC_STREAM=1.
+  rtcc::report::CallAnalysis ref;
+  std::vector<rtcc::report::CallAnalysis> ref_parts;
+  std::string ref_json;
+  {
+    const rtcc::stream::StreamModeGuard off(false);
+    ref = rtcc::report::analyze_trace(trace, fcfg, opts, &ref_parts);
+    ref_json = strip(ref);
+  }
+
+  // 1. In-memory streaming at the default unbounded budgets: no flow
+  // can split, so merged report and per-stream partials must be
+  // byte-identical to batch.
+  {
+    std::vector<rtcc::report::CallAnalysis> parts;
+    const auto got = rtcc::stream::analyze_trace_streaming(
+        trace, fcfg, opts, rtcc::stream::StreamOptions{}, &parts);
+    if (got.flows.flows_rekeyed != 0)
+      return "stream parity: unbounded budgets split a flow";
+    if (strip(got) != ref_json)
+      return "stream parity: unbounded streaming merged report differs "
+             "from batch";
+    if (parts.size() != ref_parts.size()) {
+      std::ostringstream err;
+      err << "stream parity: streaming produced " << parts.size()
+          << " per-stream partials, batch produced " << ref_parts.size();
+      return err.str();
+    }
+    for (std::size_t si = 0; si < parts.size(); ++si)
+      if (strip(parts[si]) != strip(ref_parts[si])) {
+        std::ostringstream err;
+        err << "stream parity: stream " << si
+            << " partial differs from batch";
+        return err.str();
+      }
+  }
+
+  // 2. Chunked-reader sweep over the encoded capture: the read
+  // granularity must be invisible. 1 splits every header byte-by-byte,
+  // 7 lands mid record header, 256/4096 straddle payloads.
+  {
+    const Bytes pcap = net::encode_pcap(trace);
+    std::string error;
+    const auto decoded = net::decode_pcap(BytesView{pcap}, &error);
+    if (!decoded)
+      return "stream parity: decode_pcap rejected encoder output: " + error;
+    std::string file_ref_json;
+    {
+      const rtcc::stream::StreamModeGuard off(false);
+      file_ref_json = strip(rtcc::report::analyze_trace(*decoded, fcfg, opts));
+    }
+    for (const std::size_t chunk :
+         {std::size_t{1}, std::size_t{7}, std::size_t{256},
+          std::size_t{4096}}) {
+      rtcc::stream::MemoryChunkSource source(BytesView{pcap});
+      rtcc::stream::StreamingAnalyzer engine(net::kLinkEthernet, fcfg, opts,
+                                             rtcc::stream::StreamOptions{});
+      if (!rtcc::stream::stream_pcap(source, engine, chunk, &error)) {
+        std::ostringstream err;
+        err << "stream parity: chunked reader failed at chunk=" << chunk
+            << ": " << error;
+        return err.str();
+      }
+      if (strip(engine.finish()) != file_ref_json) {
+        std::ostringstream err;
+        err << "stream parity: chunk=" << chunk
+            << " report differs from the whole-file batch decode";
+        return err.str();
+      }
+    }
+  }
+
+  // 3. Eviction-budget sweep: tight budgets force mid-capture
+  // finalization. Without a split the output must still be exact; with
+  // splits (an evicted key re-touched) byte-identity is forfeit by
+  // design and the conservation identities take over.
+  const rtcc::stream::StreamOptions budget_sweep[] = {
+      {.max_flows = 1, .idle_timeout_s = 0.0},
+      {.max_flows = 3, .idle_timeout_s = 0.25},
+  };
+  for (const auto& sopts : budget_sweep) {
+    const auto got =
+        rtcc::stream::analyze_trace_streaming(trace, fcfg, opts, sopts);
+    const rtcc::report::FlowStats& fs = got.flows;
+    std::ostringstream err;
+    if (fs.flows_rekeyed == 0) {
+      if (strip(got) != ref_json) {
+        err << "stream parity: budgets (flows=" << sopts.max_flows
+            << ", idle=" << sopts.idle_timeout_s
+            << ") caused no split but changed the report";
+        return err.str();
+      }
+      continue;
+    }
+    // Every packet and byte still counted exactly once...
+    if (got.raw_bytes != ref.raw_bytes ||
+        got.raw_udp_datagrams != ref.raw_udp_datagrams ||
+        got.raw_tcp_segments != ref.raw_tcp_segments) {
+      err << "stream parity: split run lost raw volume (bytes "
+          << ref.raw_bytes << " -> " << got.raw_bytes << ", datagrams "
+          << ref.raw_udp_datagrams << " -> " << got.raw_udp_datagrams << ")";
+      return err.str();
+    }
+    // ...every packet in exactly one filter bucket...
+    const auto stage_packets = [](const rtcc::report::CallAnalysis& a,
+                                  bool udp) {
+      return udp ? a.stage1_udp.packets + a.stage2_udp.packets +
+                       a.rtc_udp.packets
+                 : a.stage1_tcp.packets + a.stage2_tcp.packets +
+                       a.rtc_tcp.packets;
+    };
+    if (stage_packets(got, true) != stage_packets(ref, true) ||
+        stage_packets(got, false) != stage_packets(ref, false)) {
+      err << "stream parity: split run dropped packets from the stage "
+             "accounting";
+      return err.str();
+    }
+    // ...and the flow ledger explains exactly where the extra streams
+    // came from: records = distinct keys + splits.
+    const std::uint64_t got_streams =
+        got.raw_udp_streams + got.raw_tcp_streams;
+    const std::uint64_t ref_streams =
+        ref.raw_udp_streams + ref.raw_tcp_streams;
+    if (fs.flows_seen != got_streams ||
+        got_streams != ref_streams + fs.flows_rekeyed) {
+      err << "stream parity: flow ledger inconsistent (" << got_streams
+          << " streams, " << fs.flows_seen << " seen, " << ref_streams
+          << " distinct keys + " << fs.flows_rekeyed << " rekeys)";
+      return err.str();
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> run_stream_oracles(
     const std::vector<Bytes>& datagrams) {
   if (auto err = check_scan_equivalence(datagrams))
@@ -772,6 +940,7 @@ std::optional<std::string> run_stream_oracles(
   if (auto err = check_pcap_roundtrip(datagrams)) return err;
   if (auto err = check_checker_idempotence(datagrams)) return err;
   if (auto err = check_shard_parity(datagrams)) return err;
+  if (auto err = check_stream_parity(datagrams)) return err;
   return std::nullopt;
 }
 

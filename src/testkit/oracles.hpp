@@ -90,6 +90,18 @@ namespace rtcc::testkit {
 [[nodiscard]] std::optional<std::string> check_shard_parity(
     const std::vector<rtcc::util::Bytes>& datagrams);
 
+/// Streaming analyze_trace vs the batch path: the same multi-flow trace
+/// analyzed (a) one-pass in memory at unbounded budgets, (b) through the
+/// chunked pcap reader at read granularities {1, 7, 256, 4096}, and
+/// (c) under tight flow-table budgets that force mid-capture eviction.
+/// (a) and (b) must be byte-identical to batch (after dropping the
+/// knob-dependent "flows"/"shards" diagnostics); (c) must be
+/// byte-identical when no flow was split and must satisfy the volume /
+/// stage-bucket / flow-ledger conservation identities when one was.
+/// The live equivalence oracle behind RTCC_STREAM (DESIGN.md §6c).
+[[nodiscard]] std::optional<std::string> check_stream_parity(
+    const std::vector<rtcc::util::Bytes>& datagrams);
+
 /// Every oracle that accepts arbitrary (possibly mutated) single
 /// buffers, in a fixed order. Used by the driver and corpus replay.
 [[nodiscard]] std::optional<std::string> run_buffer_oracles(

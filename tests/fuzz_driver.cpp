@@ -22,6 +22,7 @@
 #include "dpi/simd_dispatch.hpp"
 #include "net/packet_batch.hpp"
 #include "report/shard.hpp"
+#include "stream/stream_mode.hpp"
 #include "testkit/driver.hpp"
 #include "testkit/golden.hpp"
 #include "testkit/meta.hpp"
@@ -162,6 +163,11 @@ int main(int argc, char** argv) {
   // stay byte-identical under RTCC_SHARDS. The shard-parity oracle (a
   // {1,2,3,8} sweep inside run_stream_oracles) covers knob equivalence.
   const rtcc::report::ShardModeGuard shard_guard(1);
+  // Streaming pinned off likewise: RTCC_STREAM=1 adds the knob-dependent
+  // "flows" diagnostic to report JSON. The stream-parity oracle (a
+  // chunk-size / eviction-budget sweep inside run_stream_oracles) covers
+  // batch/streaming equivalence.
+  const rtcc::stream::StreamModeGuard stream_guard(false);
   rtcc::testkit::DriverOptions opts;
   opts.iters = 0;  // fuzz only when --iters is given
   std::string replay_dir;

@@ -21,10 +21,13 @@ namespace {
 namespace emul = rtcc::emul;
 namespace report = rtcc::report;
 
-/// Report JSON with the knob-dependent "shards" diagnostic dropped —
-/// everything that must be shard-count-invariant.
+/// Report JSON with the knob-dependent "shards" and "flows" diagnostics
+/// dropped — everything that must be execution-mode-invariant. ("flows"
+/// appears when RTCC_STREAM routes analyze_trace through the streaming
+/// engine, which the corpus pipeline never does.)
 std::string stripped_json(report::CallAnalysis a) {
   a.shards.clear();
+  a.flows = {};
   return report::to_json(a);
 }
 

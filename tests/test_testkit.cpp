@@ -143,10 +143,10 @@ TEST(TestkitDriver, SmallRunIsCleanAndDeterministic) {
   const auto stats = run_fuzz_driver(opts);
   EXPECT_EQ(stats.iterations, 400u);
   EXPECT_EQ(stats.buffer_checks, 400u);
-  // Two stream checks per stride hit: the full oracle stack on the
-  // mutated stream, then the batch/SIMD parity pair on its
-  // batch-boundary reshaping.
-  EXPECT_EQ(stats.stream_checks, 20u);
+  // Three stream checks per stride hit: the full oracle stack on the
+  // mutated stream, the batch/SIMD parity pair on its batch-boundary
+  // reshaping, and stream/batch parity on its chunk-boundary reshaping.
+  EXPECT_EQ(stats.stream_checks, 30u);
   EXPECT_TRUE(stats.findings.empty())
       << "first finding: " << stats.findings.front().description;
   const auto again = run_fuzz_driver(opts);
