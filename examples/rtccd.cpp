@@ -1,0 +1,152 @@
+// rtccd — resident RTC-compliance analysis daemon.
+//
+// Usage:
+//   rtccd [--watch <dir>] [--socket <path>] [--jsonl <path|->]
+//         [--metrics-port <n> | --no-metrics] [--epoch <seconds>]
+//         [--oneshot] [--call-start <s> --call-end <s>]
+//         [--device-ip <ip>]... [--exclude-default-ports]
+//
+// Drop .pcap files into the watch folder (processed files are renamed
+// .done/.err in place) or stream pcap bytes into the unix socket — one
+// connection per capture. Verdicts stream to the JSONL sink as epochs
+// close; counters are at http://127.0.0.1:<port>/metrics and liveness
+// at /healthz (503 while draining). SIGTERM/SIGINT drain the engine —
+// the final epoch closes with complete evidence — and exit 0.
+//
+// Without --call-start/--call-end the daemon monitors *all* traffic
+// (keep-everything filter); with them it applies the paper's two-stage
+// filter against that call window. The epoch length defaults to
+// RTCC_SERVICE_EPOCH (seconds; 0 = one epoch per capture). All
+// RTCC_STREAM_* budget knobs apply to the underlying engine.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "filter/pipeline.hpp"
+#include "service/daemon.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--watch <dir>] [--socket <path>] [--jsonl <path|->]"
+               "\n             [--metrics-port <n> | --no-metrics]"
+               " [--epoch <seconds>] [--oneshot]"
+               "\n             [--call-start <s> --call-end <s>]"
+               " [--device-ip <ip>]... [--exclude-default-ports]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rtcc::service::DaemonOptions opts;
+  opts.epoch_s = rtcc::service::service_epoch_from_env();
+
+  bool have_call_start = false, have_call_end = false;
+  double call_start = 0.0, call_end = 0.0;
+  rtcc::filter::FilterConfig scheduled;  // used only with --call-*
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--watch") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opts.watch_dir = v;
+    } else if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opts.socket_path = v;
+    } else if (arg == "--jsonl") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opts.jsonl_path = v;
+    } else if (arg == "--metrics-port") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opts.metrics_port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--no-metrics") {
+      opts.enable_metrics = false;
+    } else if (arg == "--epoch") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opts.epoch_s = std::strtod(v, nullptr);
+    } else if (arg == "--oneshot") {
+      opts.oneshot = true;
+    } else if (arg == "--call-start") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      call_start = std::strtod(v, nullptr);
+      have_call_start = true;
+    } else if (arg == "--call-end") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      call_end = std::strtod(v, nullptr);
+      have_call_end = true;
+    } else if (arg == "--device-ip") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      const auto ip = rtcc::net::IpAddr::parse(v);
+      if (!ip) {
+        std::fprintf(stderr, "rtccd: bad device ip: %s\n", v);
+        return 2;
+      }
+      scheduled.device_ips.push_back(*ip);
+    } else if (arg == "--exclude-default-ports") {
+      scheduled.excluded_ports = rtcc::filter::default_excluded_ports();
+    } else {
+      std::fprintf(stderr, "rtccd: unknown option %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  if (opts.watch_dir.empty() && opts.socket_path.empty()) {
+    std::fprintf(stderr, "rtccd: need --watch and/or --socket\n");
+    return usage(argv[0]);
+  }
+  if (have_call_start != have_call_end) {
+    std::fprintf(stderr,
+                 "rtccd: --call-start and --call-end go together\n");
+    return 2;
+  }
+  if (have_call_start) {
+    scheduled.schedule.call_start = call_start;
+    scheduled.schedule.call_end = call_end;
+    scheduled.schedule.capture_start = 0.0;
+    scheduled.schedule.capture_end = call_end + 60.0;
+    opts.fcfg = scheduled;
+  } else if (!scheduled.device_ips.empty() ||
+             !scheduled.excluded_ports.empty()) {
+    // Keep-everything window, but honor the explicit stage-2 knobs.
+    opts.fcfg.device_ips = scheduled.device_ips;
+    opts.fcfg.excluded_ports = scheduled.excluded_ports;
+  }
+
+  rtcc::service::Daemon daemon(std::move(opts));
+  rtcc::service::Daemon::install_signal_handlers(&daemon);
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "rtccd: %s\n", error.c_str());
+    return 1;
+  }
+  if (daemon.metrics_port() != 0)
+    std::fprintf(stderr, "rtccd: metrics on http://127.0.0.1:%u/metrics\n",
+                 daemon.metrics_port());
+
+  const int rc = daemon.run();
+  if (const auto& final = daemon.final_report(); final.has_value()) {
+    std::fprintf(stderr,
+                 "rtccd: drained — %llu frames, %llu flows, "
+                 "%llu messages (%llu compliant)\n",
+                 static_cast<unsigned long long>(final->ingest.frames_seen),
+                 static_cast<unsigned long long>(final->flows.flows_seen),
+                 static_cast<unsigned long long>(final->total_messages()),
+                 static_cast<unsigned long long>(final->total_compliant()));
+  }
+  return rc;
+}

@@ -6,6 +6,7 @@
 
 #include "proto/quic/quic.hpp"
 #include "proto/stun/stun.hpp"
+#include "util/env_knob.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -540,9 +541,13 @@ SimdLevel probe_detected() {
 std::atomic<SimdLevel>& level_flag() {
   static std::atomic<SimdLevel> level{[] {
     if (const char* env = std::getenv("RTCC_SIMD")) {
-      if (const auto parsed = parse_simd_level(env);
-          parsed && simd_level_supported(*parsed))
-        return *parsed;
+      const auto parsed = parse_simd_level(env);
+      if (parsed && simd_level_supported(*parsed)) return *parsed;
+      if (std::string_view{env} != "auto")
+        rtcc::util::warn_bad_knob(
+            "RTCC_SIMD", env,
+            parsed ? "level not supported on this CPU"
+                   : "want scalar/sse2/avx2/neon/auto");
     }
     return detected_simd_level();
   }()};

@@ -2,18 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
+
+#include "util/env_knob.hpp"
 
 namespace rtcc::net {
 
 namespace {
 
 std::atomic<bool>& arena_flag() {
-  static std::atomic<bool> enabled{[] {
-    const char* env = std::getenv("RTCC_ARENA");
-    return !(env && std::atoi(env) == 0);
-  }()};
+  static std::atomic<bool> enabled{
+      rtcc::util::env_knob_bool("RTCC_ARENA", true)};
   return enabled;
 }
 

@@ -1,20 +1,19 @@
 #include "net/packet_batch.hpp"
 
 #include <atomic>
-#include <cstdlib>
+#include <cstdint>
+
+#include "util/env_knob.hpp"
 
 namespace rtcc::net {
 
 namespace {
 
 std::atomic<std::size_t>& batch_flag() {
-  static std::atomic<std::size_t> size{[]() -> std::size_t {
-    if (const char* env = std::getenv("RTCC_BATCH")) {
-      const long v = std::atol(env);
-      if (v >= 1) return static_cast<std::size_t>(v);
-    }
-    return kDefaultBatchSize;
-  }()};
+  static std::atomic<std::size_t> size{
+      static_cast<std::size_t>(rtcc::util::env_knob_ll(
+          "RTCC_BATCH", static_cast<long long>(kDefaultBatchSize), 1,
+          std::int64_t{1} << 20))};
   return size;
 }
 

@@ -12,6 +12,7 @@
 #include <mutex>
 
 #include "report/shard.hpp"
+#include "util/env_knob.hpp"
 #include "util/thread_pool.hpp"
 
 #ifdef __unix__
@@ -286,9 +287,9 @@ CorpusOptions corpus_options_from_env() {
   CorpusOptions opts;
   opts.experiment = experiment_config_from_env();
   if (std::getenv("RTCC_REPEATS") == nullptr) opts.experiment.repeats = 5;
-  if (const char* live = std::getenv("RTCC_MAX_LIVE"))
-    opts.max_live_traces =
-        static_cast<std::size_t>(std::max(1, std::atoi(live)));
+  opts.max_live_traces = static_cast<std::size_t>(rtcc::util::env_knob_ll(
+      "RTCC_MAX_LIVE", static_cast<long long>(opts.max_live_traces), 1,
+      1000000000));
   return opts;
 }
 

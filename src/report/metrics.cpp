@@ -2,11 +2,13 @@
 
 #include <cstdlib>
 #include <future>
+#include <limits>
 #include <thread>
 
 #include "net/flow_hash.hpp"
 #include "report/shard.hpp"
 #include "stream/engine.hpp"
+#include "util/env_knob.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rtcc::report {
@@ -382,21 +384,21 @@ std::string to_string(ExecMode m) {
 
 ExperimentConfig experiment_config_from_env() {
   ExperimentConfig cfg;
-  if (const char* scale = std::getenv("RTCC_SCALE"))
-    cfg.media_scale = std::strtod(scale, nullptr);
-  if (const char* repeats = std::getenv("RTCC_REPEATS"))
-    cfg.repeats = std::max(1, std::atoi(repeats));
-  if (const char* seed = std::getenv("RTCC_SEED"))
-    cfg.seed = std::strtoull(seed, nullptr, 10);
-  if (const char* parallel = std::getenv("RTCC_PARALLEL")) {
-    // Values parsing to 0 (including non-numeric strings) force fully
-    // serial execution (calls, per-call streams, and flow sharding);
-    // anything parsing nonzero keeps the pooled default. Results are
-    // identical either way — the knob only changes dispatch.
-    if (std::atoi(parallel) == 0) {
-      cfg.exec = ExecMode::kSerial;
-      cfg.analysis.parallel_streams = false;
-    }
+  cfg.media_scale = rtcc::util::env_knob_double("RTCC_SCALE",
+                                                cfg.media_scale, 1e-6, 1e3);
+  cfg.repeats = static_cast<int>(
+      rtcc::util::env_knob_ll("RTCC_REPEATS", cfg.repeats, 1, 1000000));
+  cfg.seed = static_cast<std::uint64_t>(rtcc::util::env_knob_ll(
+      "RTCC_SEED", static_cast<long long>(cfg.seed), 0,
+      std::numeric_limits<long long>::max()));
+  // RTCC_PARALLEL=0/false/off forces fully serial execution (calls,
+  // per-call streams, and flow sharding); results are identical either
+  // way — the knob only changes dispatch. A value outside the boolean
+  // grammar warns and keeps the pooled default (it used to silently
+  // parse as 0 and go serial).
+  if (!rtcc::util::env_knob_bool("RTCC_PARALLEL", true)) {
+    cfg.exec = ExecMode::kSerial;
+    cfg.analysis.parallel_streams = false;
   }
   return cfg;
 }

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "net/flow_hash.hpp"
+#include "util/env_knob.hpp"
 #include "util/spsc_ring.hpp"
 
 namespace rtcc::report {
@@ -22,8 +23,13 @@ std::atomic<std::size_t>& shard_flag() {
   static std::atomic<std::size_t> count{[]() -> std::size_t {
     if (const char* env = std::getenv("RTCC_SHARDS")) {
       if (std::strcmp(env, "auto") != 0) {
-        const long v = std::atol(env);
-        if (v >= 1) return clamp_shards(static_cast<std::size_t>(v));
+        // Strict parse: "4x", "-2", or garbage falls back to auto with
+        // a one-line warning instead of silently running unsharded.
+        // Values above kMaxShards clamp (documented ceiling).
+        const auto v = rtcc::util::parse_knob_ll(env);
+        if (v && *v >= 1) return clamp_shards(static_cast<std::size_t>(*v));
+        rtcc::util::warn_bad_knob("RTCC_SHARDS", env,
+                                  "want 'auto' or an integer >= 1");
       }
     }
     return kAutoShards;

@@ -1,0 +1,48 @@
+#include "service/metrics_registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rtcc::service {
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  std::lock_guard lock(mutex_);
+  values_[std::string(name)] = value;
+}
+
+void MetricsRegistry::add(std::string_view name, double delta) {
+  std::lock_guard lock(mutex_);
+  values_[std::string(name)] += delta;
+}
+
+double MetricsRegistry::get(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = values_.find(std::string(name));
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+std::string MetricsRegistry::render() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  std::string last_base;
+  for (const auto& [name, value] : values_) {
+    const std::string base = name.substr(0, name.find('{'));
+    if (base != last_base) {
+      out += "# TYPE " + base + " gauge\n";
+      last_base = base;
+    }
+    char buf[64];
+    if (std::nearbyint(value) == value && std::fabs(value) < 1e15) {
+      std::snprintf(buf, sizeof buf, "%.0f", value);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.17g", value);
+    }
+    out += name;
+    out += ' ';
+    out += buf;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rtcc::service

@@ -1,0 +1,39 @@
+// Thread-safe named-counter registry with Prometheus text exposition
+// (service layer, DESIGN.md §7a).
+//
+// The daemon thread updates counters after every processed capture and
+// every epoch; the HTTP exporter thread renders them on demand. Names
+// follow the Prometheus data model and may carry inline label sets
+// ('rtcc_compliance_messages{protocol="rtp"}') — the registry treats
+// the whole string as the series key, which keeps it a flat map and
+// the exposition deterministic (std::map order).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace rtcc::service {
+
+class MetricsRegistry {
+ public:
+  /// Sets a gauge/counter to an absolute value.
+  void set(std::string_view name, double value);
+  /// Adds to a counter (creates at delta if absent).
+  void add(std::string_view name, double delta);
+  [[nodiscard]] double get(std::string_view name) const;
+
+  /// Prometheus text exposition format (version 0.0.4): one
+  /// "# TYPE <base> gauge" line per base metric name (label sets
+  /// share their base's TYPE line), then "name value" lines. Integral
+  /// values render without a decimal point.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double> values_;
+};
+
+}  // namespace rtcc::service

@@ -1,0 +1,43 @@
+#include "service/watch_dir.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+namespace rtcc::service {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> WatchDir::poll_stable() {
+  std::vector<std::string> ready;
+  std::map<std::string, std::uintmax_t> seen;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != ".pcap") continue;
+    const std::uintmax_t size = entry.file_size(ec);
+    if (ec) continue;
+    seen.emplace(p.string(), size);
+  }
+  for (const auto& [path, size] : seen) {
+    const auto it = pending_.find(path);
+    if (it != pending_.end() && it->second == size) ready.push_back(path);
+  }
+  // Everything still growing (or new) waits for the next pass; files
+  // returned as ready are expected to be renamed away by the caller,
+  // but stay pending until they actually disappear so a failed rename
+  // retries rather than silently dropping the capture.
+  pending_ = std::move(seen);
+  std::sort(ready.begin(), ready.end());
+  return ready;
+}
+
+bool WatchDir::mark(const std::string& path, const char* suffix) {
+  std::error_code ec;
+  fs::rename(path, path + suffix, ec);
+  return !ec;
+}
+
+}  // namespace rtcc::service

@@ -1,0 +1,39 @@
+// Pcap drop-folder watcher (service layer, DESIGN.md §7a).
+//
+// Poll-based, dependency-free: each poll_stable() pass lists *.pcap
+// files in the directory and returns only those whose size is
+// unchanged since the previous pass — the two-scan stability gate that
+// keeps a file still being copied in from being half-read. Processed
+// files are renamed in place (".done" / ".err" suffix), so the folder
+// doubles as its own ledger and a crashed daemon resumes exactly where
+// it stopped.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rtcc::service {
+
+class WatchDir {
+ public:
+  explicit WatchDir(std::string dir) : dir_(std::move(dir)) {}
+
+  /// One scan pass; returns the .pcap paths that were present with the
+  /// same size on the previous pass too, sorted for determinism.
+  /// Unreadable directories return empty (the daemon keeps polling).
+  [[nodiscard]] std::vector<std::string> poll_stable();
+
+  /// True while any candidate is still waiting for its second scan.
+  [[nodiscard]] bool pending() const { return !pending_.empty(); }
+
+  /// Renames `path` to `path + suffix` (".done" / ".err").
+  static bool mark(const std::string& path, const char* suffix);
+
+ private:
+  std::string dir_;
+  std::map<std::string, std::uintmax_t> pending_;  // path -> size last seen
+};
+
+}  // namespace rtcc::service

@@ -53,8 +53,18 @@ StreamingAnalyzer::StreamingAnalyzer(std::uint32_t linktype,
 StreamingAnalyzer::~StreamingAnalyzer() = default;
 
 void StreamingAnalyzer::set_linktype(std::uint32_t linktype) {
+  if (linktype == linktype_) return;  // keep decoder state across captures
+  // A genuine linktype switch needs a fresh decoder; bank its ledger
+  // first so finish()'s ingest totals still cover every capture.
+  capture_.merge(decoder_.stats());
   linktype_ = linktype;
   decoder_ = rtcc::net::FrameDecoder(linktype);
+}
+
+rtcc::net::IngestStats StreamingAnalyzer::ingest_totals() const {
+  rtcc::net::IngestStats totals = capture_;
+  totals.merge(decoder_.stats());
+  return totals;
 }
 
 std::uint64_t StreamingAnalyzer::live_bytes() const {
@@ -85,6 +95,20 @@ void StreamingAnalyzer::push_frame(rtcc::util::BytesView wire, double ts,
                                    std::uint32_t orig_len) {
   raw_bytes_ += wire.size();
   clock_ = std::max(clock_, ts);
+  // Epoch boundary: epochs partition the *arrival sequence* at
+  // high-water clock crossings, so every pushed frame lands in exactly
+  // one epoch (frame conservation holds even with non-monotonic
+  // timestamps). The boundary fires before this frame touches the
+  // table — the closing window covers strictly earlier arrivals.
+  if (!epoch_open_) {
+    epoch_open_ = true;
+    epoch_anchor_ = clock_;
+  } else if (epoch_s_ > 0 && clock_ >= epoch_anchor_ + epoch_s_) {
+    emit_epoch(/*final_pass=*/false, nullptr);
+    epoch_anchor_ = clock_;
+  }
+  ++epoch_frames_;
+  epoch_bytes_ += wire.size();
   const bool clipped = orig_len > wire.size();
   auto decoded = decoder_.decode(wire, ts, clipped);
   if (!decoded) return;
@@ -197,14 +221,19 @@ void StreamingAnalyzer::analyze_record(FlowRecord& rec,
     }
     // The keepalive pins the flow's payload buffer until the shard
     // worker analyzed it; its deleter keeps the in-flight bytes in the
-    // live peak until then.
+    // live peak until then, and publishes the partial as readable —
+    // the worker stores *part before releasing the keepalive, so the
+    // release/acquire pair orders the epoch emitter after the write.
     const std::uint64_t sz = payload->footprint();
     in_flight_->fetch_add(sz, std::memory_order_relaxed);
+    rec.analysis_ready = std::make_shared<std::atomic<bool>>(false);
     auto counter = in_flight_;
+    auto ready = rec.analysis_ready;
     std::shared_ptr<const void> keep(
-        payload.get(), [payload, counter, sz](const void*) mutable {
+        payload.get(), [payload, counter, sz, ready](const void*) mutable {
           counter->fetch_sub(sz, std::memory_order_relaxed);
           payload.reset();
+          ready->store(true, std::memory_order_release);
         });
     pipe_->submit_batch(rec.key, batch, &part, std::move(keep));
   } else {
@@ -212,17 +241,10 @@ void StreamingAnalyzer::analyze_record(FlowRecord& rec,
   }
 }
 
-CallAnalysis StreamingAnalyzer::finish(std::vector<CallAnalysis>* per_stream) {
-  finished_ = true;
-  decoder_.finish();
-  // Drain keeps payloads in place: dispositions are computed first so
-  // end-of-capture flows are only analyzed when actually kept — the
-  // same work the batch path does, in the same per-stream order.
-  table_.drain([this](FlowRecord& r, EvictReason reason) {
-    on_evict(r, reason);
-  });
-
-  auto& records = table_.records();
+std::vector<rtcc::filter::Disposition> StreamingAnalyzer::compute_dispositions()
+    const {
+  using rtcc::filter::Disposition;
+  const auto& records = table_.records();
   const std::size_t n = records.size();
   const double wb = fcfg_.schedule.window_begin();
   const double we = fcfg_.schedule.window_end();
@@ -233,7 +255,10 @@ CallAnalysis StreamingAnalyzer::finish(std::vector<CallAnalysis>* per_stream) {
     removed1[i] = !(records[i].first_ts >= wb && records[i].last_ts <= we);
 
   // ---- Stage 2 evidence (filter::run_pipeline, from retained
-  // metadata instead of a stream table) ----
+  // metadata instead of a stream table). Both witness sets only ever
+  // grow as flows accumulate, which is what makes mid-capture
+  // (epoch-boundary) dispositions provisional in one direction only:
+  // kept can later flip to removed, removed never flips back. ----
   std::vector<ThreeTuple> outside_tuples;
   for (std::size_t i = 0; i < n; ++i) {
     if (!removed1[i]) continue;
@@ -263,7 +288,124 @@ CallAnalysis StreamingAnalyzer::finish(std::vector<CallAnalysis>* per_stream) {
                               ThreeTuple{ip, port, transport});
   };
 
-  // ---- Dispositions + Table 1 accounting, in stream-table order ----
+  std::vector<Disposition> disp(n, Disposition::kKept);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowKey& k = records[i].key;
+    if (removed1[i]) {
+      disp[i] = Disposition::kStage1Timespan;
+      continue;
+    }
+    const bool a_dev = is_device(k.a, fcfg_);
+    const bool b_dev = is_device(k.b, fcfg_);
+    // 2a — 3-tuple timing.
+    if ((!a_dev && tuple_outside(k.a, k.a_port, k.transport)) ||
+        (!b_dev && tuple_outside(k.b, k.b_port, k.transport))) {
+      disp[i] = Disposition::kStage2ThreeTuple;
+    } else if (k.transport == Transport::kTcp && records[i].sni &&
+               rtcc::filter::sni_blocked(*records[i].sni,
+                                         fcfg_.sni_blocklist)) {
+      // 2b — TLS SNI blocklist (TCP only).
+      disp[i] = Disposition::kStage2Sni;
+    } else if (((!a_dev && k.a.is_local_scope()) ||
+                (!b_dev && k.b.is_local_scope())) &&
+               std::binary_search(precall_pairs.begin(), precall_pairs.end(),
+                                  std::make_pair(k.a, k.b))) {
+      // 2c — local-scope remote whose IP pair appeared pre-call.
+      disp[i] = Disposition::kStage2LocalIp;
+    } else if (fcfg_.excluded_ports.count(k.a_port) > 0 ||
+               fcfg_.excluded_ports.count(k.b_port) > 0) {
+      // 2d — port-based exclusion.
+      disp[i] = Disposition::kStage2Port;
+    }
+  }
+  return disp;
+}
+
+void StreamingAnalyzer::set_epoch(double epoch_s, EpochSink sink) {
+  epoch_s_ = epoch_s;
+  sink_ = std::move(sink);
+}
+
+void StreamingAnalyzer::finish_epoch() {
+  if (!sink_) return;
+  emit_epoch(/*final_pass=*/false, nullptr);
+  epoch_anchor_ = clock_;
+}
+
+void StreamingAnalyzer::emit_epoch(
+    bool final_pass, const std::vector<rtcc::filter::Disposition>* precomputed) {
+  EpochReport ep;
+  ep.epoch = epoch_index_++;
+  ep.clock_end = clock_;
+  ep.frames = epoch_frames_;
+  ep.bytes = epoch_bytes_;
+  ep.final_pass = final_pass;
+  epoch_frames_ = 0;
+  epoch_bytes_ = 0;
+  if (!sink_) return;  // window counters still reset: epochs stay disjoint
+
+  std::vector<rtcc::filter::Disposition> local;
+  if (precomputed == nullptr) {
+    local = compute_dispositions();
+    precomputed = &local;
+  }
+  const auto& disp = *precomputed;
+  const auto& records = table_.records();
+  emitted_.resize(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const FlowRecord& rec = records[i];
+    EmitState& st = emitted_[i];
+    const bool ready =
+        !rec.analysis_ready ||
+        rec.analysis_ready->load(std::memory_order_acquire);
+    const bool first = !st.emitted;
+    if (first) {
+      if (!final_pass) {
+        // Provisional verdicts cover only retired flows (frozen span,
+        // frozen metadata) whose speculative analysis — if any — has
+        // drained out of the shard workers; anything else waits for a
+        // later epoch.
+        if (!rec.retired) continue;
+        if (rec.partial != nullptr && !ready) continue;
+      }
+    } else if (st.disposition == disp[i]) {
+      continue;  // verdict stands — emitted ordinals never repeat
+    }
+    st.emitted = true;
+    st.disposition = disp[i];
+    FlowVerdict v;
+    v.ordinal = rec.ordinal;
+    v.key = rec.key;
+    v.first_ts = rec.first_ts;
+    v.last_ts = rec.last_ts;
+    v.packets = rec.packet_count;
+    v.disposition = disp[i];
+    v.final_pass = final_pass;
+    v.amends = !first;
+    if (disp[i] == rtcc::filter::Disposition::kKept && rec.udp() &&
+        rec.partial != nullptr && ready)
+      v.partial = rec.partial.get();
+    ep.verdicts.push_back(std::move(v));
+  }
+  ep.flows = table_.stats();
+  sink_(ep);
+}
+
+CallAnalysis StreamingAnalyzer::finish(std::vector<CallAnalysis>* per_stream) {
+  finished_ = true;
+  decoder_.finish();
+  // Drain keeps payloads in place: dispositions are computed first so
+  // end-of-capture flows are only analyzed when actually kept — the
+  // same work the batch path does, in the same per-stream order.
+  table_.drain([this](FlowRecord& r, EvictReason reason) {
+    on_evict(r, reason);
+  });
+
+  auto& records = table_.records();
+  const std::size_t n = records.size();
+  const auto disp = compute_dispositions();
+
+  // ---- Table 1 accounting, in stream-table order ----
   CallAnalysis out;
   out.raw_bytes = raw_bytes_;
   out.ingest = capture_;
@@ -272,7 +414,6 @@ CallAnalysis StreamingAnalyzer::finish(std::vector<CallAnalysis>* per_stream) {
   std::vector<std::size_t> kept_udp;
   for (std::size_t i = 0; i < n; ++i) {
     const FlowRecord& rec = records[i];
-    const FlowKey& k = rec.key;
     const bool udp = rec.udp();
     if (udp) {
       ++out.raw_udp_streams;
@@ -282,38 +423,15 @@ CallAnalysis StreamingAnalyzer::finish(std::vector<CallAnalysis>* per_stream) {
       out.raw_tcp_segments += rec.packet_count;
     }
 
-    bool removed2 = false;
-    if (!removed1[i]) {
-      const bool a_dev = is_device(k.a, fcfg_);
-      const bool b_dev = is_device(k.b, fcfg_);
-      // 2a — 3-tuple timing.
-      if ((!a_dev && tuple_outside(k.a, k.a_port, k.transport)) ||
-          (!b_dev && tuple_outside(k.b, k.b_port, k.transport))) {
-        removed2 = true;
-      } else if (k.transport == Transport::kTcp && rec.sni &&
-                 rtcc::filter::sni_blocked(*rec.sni, fcfg_.sni_blocklist)) {
-        // 2b — TLS SNI blocklist (TCP only).
-        removed2 = true;
-      } else if (((!a_dev && k.a.is_local_scope()) ||
-                  (!b_dev && k.b.is_local_scope())) &&
-                 std::binary_search(precall_pairs.begin(),
-                                    precall_pairs.end(),
-                                    std::make_pair(k.a, k.b))) {
-        // 2c — local-scope remote whose IP pair appeared pre-call.
-        removed2 = true;
-      } else if (fcfg_.excluded_ports.count(k.a_port) > 0 ||
-                 fcfg_.excluded_ports.count(k.b_port) > 0) {
-        // 2d — port-based exclusion.
-        removed2 = true;
-      }
-    }
-
-    auto& stage = removed1[i] ? (udp ? out.stage1_udp : out.stage1_tcp)
-                 : removed2   ? (udp ? out.stage2_udp : out.stage2_tcp)
-                              : (udp ? out.rtc_udp : out.rtc_tcp);
+    const bool removed1 = disp[i] == rtcc::filter::Disposition::kStage1Timespan;
+    const bool removed2 = rtcc::filter::is_stage2(disp[i]);
+    auto& stage = removed1 ? (udp ? out.stage1_udp : out.stage1_tcp)
+                 : removed2 ? (udp ? out.stage2_udp : out.stage2_tcp)
+                            : (udp ? out.rtc_udp : out.rtc_tcp);
     ++stage.streams;
     stage.packets += rec.packet_count;
-    if (!removed1[i] && !removed2 && udp) kept_udp.push_back(i);
+    if (disp[i] == rtcc::filter::Disposition::kKept && udp)
+      kept_udp.push_back(i);
   }
 
   // ---- Finalize kept flows not already analyzed at eviction ----
@@ -325,6 +443,13 @@ CallAnalysis StreamingAnalyzer::finish(std::vector<CallAnalysis>* per_stream) {
     analyze_record(rec, std::move(payload));
   }
   if (pipe_) pipe_->finish();
+
+  // ---- Final epoch: every shard has drained, every flow is retired,
+  // the evidence is complete — emit first-time verdicts for everything
+  // unemitted and amendments for any provisional verdict the complete
+  // evidence overturned. Runs before the partials move out below so
+  // kept verdicts can still point at their analyses. ----
+  emit_epoch(/*final_pass=*/true, &disp);
 
   // ---- Merge in stream-table order (merge() is order-insensitive,
   // pinned by the merge-order oracle, so this matches the batch path's

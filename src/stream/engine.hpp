@@ -40,6 +40,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -56,6 +58,49 @@ class ShardedPipeline;
 
 namespace rtcc::stream {
 
+/// One flow's keep/remove verdict as known at an epoch boundary.
+///
+/// Epochs control *emission cadence*, not flow retirement: a verdict is
+/// first emitted (amends = false) once its flow has retired — its
+/// packet span and metadata are frozen — with the disposition the
+/// cross-flow evidence supports *so far*. Later evidence can only
+/// tighten a verdict (the stage-2 witness sets grow monotonically, so
+/// kept can flip to removed but never back); such a revision is emitted
+/// as an amendment (amends = true) for the same ordinal. The final
+/// epoch (finish()) emits first-time verdicts for every remaining flow
+/// and amendments for any earlier verdict the complete evidence
+/// overturned, all marked final_pass.
+///
+/// Conservation identities a sink can check: every ordinal is emitted
+/// exactly once with amends = false across the whole run, and the sum
+/// of EpochReport::frames equals the total frames pushed.
+struct FlowVerdict {
+  std::uint64_t ordinal = 0;  // stream-table order, stable across epochs
+  rtcc::net::FlowKey key;
+  double first_ts = 0.0;
+  double last_ts = 0.0;
+  std::uint64_t packets = 0;
+  rtcc::filter::Disposition disposition = rtcc::filter::Disposition::kKept;
+  bool final_pass = false;  // emitted by finish(): evidence is complete
+  bool amends = false;      // revises this ordinal's earlier verdict
+  /// Per-stream compliance analysis for kept UDP flows; null for
+  /// removed/TCP flows. Valid only for the duration of the sink call.
+  const rtcc::report::CallAnalysis* partial = nullptr;
+};
+
+/// Everything emitted at one epoch boundary.
+struct EpochReport {
+  std::uint64_t epoch = 0;    // 0-based epoch ordinal
+  double clock_end = 0.0;     // high-water capture clock at emission
+  std::uint64_t frames = 0;   // frames pushed during this window
+  std::uint64_t bytes = 0;    // wire bytes pushed during this window
+  bool final_pass = false;    // this is the finish() epoch
+  rtcc::report::FlowStats flows;  // cumulative flow-ledger snapshot
+  std::vector<FlowVerdict> verdicts;
+};
+
+using EpochSink = std::function<void(const EpochReport&)>;
+
 class StreamingAnalyzer {
  public:
   StreamingAnalyzer(std::uint32_t linktype,
@@ -67,7 +112,11 @@ class StreamingAnalyzer {
   StreamingAnalyzer& operator=(const StreamingAnalyzer&) = delete;
 
   /// The chunked reader learns the linktype from the pcap global
-  /// header; must be called before the first frame.
+  /// header; must be called before the capture's first frame. A
+  /// same-linktype call is a no-op (the service daemon streams many
+  /// drop-files through one engine — decoder stats and reassembly
+  /// state persist across them); a linktype switch folds the old
+  /// decoder's stats into the ledger before replacing it.
   void set_linktype(std::uint32_t linktype);
   [[nodiscard]] std::uint32_t linktype() const { return linktype_; }
 
@@ -94,6 +143,23 @@ class StreamingAnalyzer {
   [[nodiscard]] rtcc::report::CallAnalysis finish(
       std::vector<rtcc::report::CallAnalysis>* per_stream = nullptr);
 
+  /// Windowed finalization for long-running (service) use. When
+  /// `epoch_s` is positive and finite, an epoch closes whenever the
+  /// high-water capture clock advances `epoch_s` past the epoch's
+  /// opening clock: `sink` receives an EpochReport with provisional
+  /// verdicts for newly-retired flows and amendments for earlier
+  /// verdicts the grown evidence overturned (see FlowVerdict).
+  /// `epoch_s` <= 0 or infinity disables automatic boundaries; the
+  /// sink then only fires on explicit finish_epoch() calls and at
+  /// finish(). Epochs never retire flows — retirement stays with the
+  /// idle/LRU budgets — so analysis output is invariant under epoch
+  /// length by construction.
+  void set_epoch(double epoch_s, EpochSink sink);
+
+  /// Closes the current epoch now (service drain timers, SIGTERM).
+  /// No-op without a sink.
+  void finish_epoch();
+
   /// Bytes currently buffered by the engine: live flow payloads plus
   /// submitted-but-unfinished sharded work plus the reader's declared
   /// buffer. The running peak lands in FlowStats::live_peak_bytes.
@@ -107,6 +173,17 @@ class StreamingAnalyzer {
     return table_.stats();
   }
 
+  /// Currently-live (not yet retired) flows — the service gauge, as
+  /// opposed to flow_stats().flows_live which is the running peak.
+  [[nodiscard]] std::size_t live_flow_count() const {
+    return table_.live_count();
+  }
+
+  /// Capture + decode ledger combined, readable mid-run (the /metrics
+  /// ingest totals). finish() reports the same totals in the merged
+  /// analysis' `ingest`.
+  [[nodiscard]] rtcc::net::IngestStats ingest_totals() const;
+
  private:
   void on_evict(FlowRecord& rec, EvictReason reason);
   void condemn(FlowRecord& rec);
@@ -115,6 +192,15 @@ class StreamingAnalyzer {
   /// (or submits) the batch analysis core into rec.partial.
   void analyze_record(FlowRecord& rec, std::shared_ptr<FlowPayload> payload);
   void update_peak();
+  /// Per-record dispositions under the evidence accumulated so far —
+  /// the batch filter's exact stage semantics over retained metadata.
+  /// At finish() (all flows retired) this is the batch pipeline's
+  /// disposition vector.
+  [[nodiscard]] std::vector<rtcc::filter::Disposition> compute_dispositions()
+      const;
+  /// Emits one epoch through the sink and resets the window counters.
+  void emit_epoch(bool final_pass,
+                  const std::vector<rtcc::filter::Disposition>* precomputed);
 
   rtcc::filter::FilterConfig fcfg_;
   rtcc::report::AnalysisOptions opts_;
@@ -132,6 +218,20 @@ class StreamingAnalyzer {
   std::size_t nshards_ = 1;
   std::unique_ptr<rtcc::report::ShardedPipeline> pipe_;
   bool finished_ = false;
+
+  // ---- Epoch/window state (set_epoch) ----
+  double epoch_s_ = 0.0;  // <= 0 or inf: no automatic boundaries
+  EpochSink sink_;
+  std::uint64_t epoch_index_ = 0;
+  bool epoch_open_ = false;     // anchor valid (first frame seen)
+  double epoch_anchor_ = 0.0;   // high-water clock when the epoch opened
+  std::uint64_t epoch_frames_ = 0;
+  std::uint64_t epoch_bytes_ = 0;
+  struct EmitState {
+    bool emitted = false;
+    rtcc::filter::Disposition disposition = rtcc::filter::Disposition::kKept;
+  };
+  std::vector<EmitState> emitted_;  // indexed by record ordinal
 };
 
 /// The RTCC_STREAM=1 body of report::analyze_trace: pushes every frame

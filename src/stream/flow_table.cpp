@@ -8,6 +8,12 @@ constexpr std::size_t kNil = FlowRecord::kNil;
 
 FlowTable::Touched FlowTable::touch(const rtcc::net::FlowKey& key,
                                     double clock) {
+  // Clamp to the table's monotonic high-water mark: a backwards capture
+  // timestamp must not produce a last_active below an earlier touch
+  // (which would silently break the LRU-order == last_active-order
+  // invariant expire_idle pops by) or a negative idle delta.
+  if (clock > max_clock_) max_clock_ = clock;
+  clock = max_clock_;
   auto [it, inserted] = index_.try_emplace(key, records_.size());
   if (!inserted) {
     FlowRecord& existing = records_[it->second];
@@ -37,8 +43,11 @@ FlowTable::Touched FlowTable::touch(const rtcc::net::FlowKey& key,
 
 void FlowTable::expire_idle(double clock, const EvictFn& fn) {
   if (budgets_.idle_timeout_s <= 0) return;
-  // The LRU list is ordered by last_active (clock is non-decreasing),
-  // so expiry only ever pops from the front.
+  if (clock > max_clock_) max_clock_ = clock;
+  clock = max_clock_;
+  // The LRU list is ordered by last_active (the clamp above makes the
+  // effective clock non-decreasing), so expiry only ever pops from the
+  // front.
   while (lru_head_ != kNil &&
          records_[lru_head_].last_active + budgets_.idle_timeout_s < clock) {
     ++stats_.evictions;

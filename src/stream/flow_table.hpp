@@ -19,9 +19,11 @@
 // budgets no split is possible and streaming == batch exactly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -78,6 +80,11 @@ struct FlowRecord {
   std::optional<std::string> sni;   // first SNI seen in the probe window
   std::shared_ptr<FlowPayload> payload;  // null once condemned/finalized
   std::unique_ptr<rtcc::report::CallAnalysis> partial;  // after analysis
+  /// Sharded analysis handoff: the worker publishes (release) when
+  /// *partial is fully written; epoch emission loads (acquire) before
+  /// reading it. Null = partial is written synchronously, ready as soon
+  /// as it exists.
+  std::shared_ptr<std::atomic<bool>> analysis_ready;
 
   // Intrusive LRU links: indices into FlowTable's record deque.
   std::size_t lru_prev = kNil;
@@ -113,13 +120,22 @@ class FlowTable {
   /// Looks up the live record for `key`, creating one if the key is
   /// unknown — or known but retired, which is a split: the old record
   /// stays frozen in the log, a fresh record takes over the key, and
-  /// flows_rekeyed is incremented. `clock` stamps last_active and must
-  /// be non-decreasing across calls.
+  /// flows_rekeyed is incremented. `clock` stamps last_active; the
+  /// table keeps its own monotonic high-water clock, so a backwards
+  /// capture timestamp (reordered pcap, clock step on the capture
+  /// host) can never reorder the LRU list relative to last_active or
+  /// manufacture a huge idle delta — it is clamped to the high-water
+  /// mark instead.
   Touched touch(const rtcc::net::FlowKey& key, double clock);
 
   /// Retires every live flow whose last touch is older than
-  /// `idle_timeout_s` before `clock`. No-op when the budget is 0.
+  /// `idle_timeout_s` before `clock` (clamped to the high-water clock,
+  /// like touch). No-op when the budget is 0.
   void expire_idle(double clock, const EvictFn& fn);
+
+  /// Monotonic high-water mark over every clock passed to touch() /
+  /// expire_idle(); -inf before the first call.
+  [[nodiscard]] double high_water_clock() const { return max_clock_; }
 
   /// Retires least-recently-touched flows until at most `max_flows`
   /// remain live. No-op when the budget is 0.
@@ -149,6 +165,7 @@ class FlowTable {
   std::size_t lru_head_ = FlowRecord::kNil;
   std::size_t lru_tail_ = FlowRecord::kNil;
   std::size_t live_count_ = 0;
+  double max_clock_ = -std::numeric_limits<double>::infinity();
   rtcc::report::FlowStats stats_;
 };
 

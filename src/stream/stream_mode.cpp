@@ -1,17 +1,17 @@
 #include "stream/stream_mode.hpp"
 
 #include <atomic>
-#include <cstdlib>
+#include <cstdint>
+
+#include "util/env_knob.hpp"
 
 namespace rtcc::stream {
 
 namespace {
 
 std::atomic<bool>& stream_flag() {
-  static std::atomic<bool> enabled{[] {
-    const char* env = std::getenv("RTCC_STREAM");
-    return env != nullptr && std::atoi(env) != 0;
-  }()};
+  static std::atomic<bool> enabled{
+      rtcc::util::env_knob_bool("RTCC_STREAM", false)};
   return enabled;
 }
 
@@ -27,18 +27,18 @@ void set_stream_enabled(bool enabled) {
 
 StreamOptions stream_options_from_env() {
   StreamOptions opts;
-  if (const char* env = std::getenv("RTCC_STREAM_FLOWS")) {
-    const long v = std::atol(env);
-    if (v > 0) opts.max_flows = static_cast<std::size_t>(v);
-  }
-  if (const char* env = std::getenv("RTCC_STREAM_IDLE")) {
-    const double v = std::strtod(env, nullptr);
-    if (v > 0) opts.idle_timeout_s = v;
-  }
-  if (const char* env = std::getenv("RTCC_STREAM_CHUNK")) {
-    const long v = std::atol(env);
-    if (v > 0) opts.chunk_bytes = static_cast<std::size_t>(v);
-  }
+  // Strict grammar + documented ranges; a bad value warns once and
+  // keeps the default (util/env_knob.hpp). 0 stays meaningful where
+  // the default itself is 0 ("unbounded"/"never"); RTCC_STREAM_CHUNK=0
+  // would divide the reader into nothing, so its floor is 1.
+  opts.max_flows = static_cast<std::size_t>(rtcc::util::env_knob_ll(
+      "RTCC_STREAM_FLOWS", static_cast<long long>(opts.max_flows), 0,
+      std::int64_t{1} << 40));
+  opts.idle_timeout_s = rtcc::util::env_knob_double(
+      "RTCC_STREAM_IDLE", opts.idle_timeout_s, 0.0, 1e12);
+  opts.chunk_bytes = static_cast<std::size_t>(rtcc::util::env_knob_ll(
+      "RTCC_STREAM_CHUNK", static_cast<long long>(opts.chunk_bytes), 1,
+      std::int64_t{1} << 30));
   return opts;
 }
 

@@ -1,0 +1,136 @@
+#include "util/env_knob.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace rtcc::util {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0)
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0)
+    s.remove_suffix(1);
+  return s;
+}
+
+bool ieq(std::string_view a, const char* b) {
+  const std::size_t n = std::strlen(b);
+  if (a.size() != n) return false;
+  for (std::size_t i = 0; i < n; ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) != b[i]) return false;
+  return true;
+}
+
+/// Warn-once registry: stream_options_from_env and friends run once
+/// per analysis, so an unguarded warning would flood stderr in corpus
+/// runs and test sweeps.
+bool first_warning_for(const char* name) {
+  static std::mutex mu;
+  static std::set<std::string> warned;
+  const std::lock_guard<std::mutex> lock(mu);
+  return warned.insert(name).second;
+}
+
+}  // namespace
+
+std::optional<long long> parse_knob_ll(std::string_view value) {
+  const std::string_view t = trim(value);
+  if (t.empty()) return std::nullopt;
+  // strtoll would accept "0x10", octal-looking strings pass through as
+  // decimal, and a lone sign parses as 0 with endptr untouched — pin
+  // the grammar to [sign] digits+ before handing over.
+  std::size_t i = 0;
+  if (t[i] == '+' || t[i] == '-') ++i;
+  if (i == t.size()) return std::nullopt;
+  for (std::size_t j = i; j < t.size(); ++j)
+    if (std::isdigit(static_cast<unsigned char>(t[j])) == 0)
+      return std::nullopt;
+  const std::string buf(t);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_knob_double(std::string_view value) {
+  const std::string_view t = trim(value);
+  if (t.empty()) return std::nullopt;
+  // Reject strtod's hex-float and infinity/nan spellings: knobs are
+  // plain decimal (optionally scientific) numbers.
+  for (const char c : t)
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 && c != 'e' &&
+        c != 'E')
+      return std::nullopt;
+  const std::string buf(t);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE || end != buf.c_str() + buf.size() ||
+      !std::isfinite(v))
+    return std::nullopt;
+  return v;
+}
+
+std::optional<bool> parse_knob_bool(std::string_view value) {
+  const std::string_view t = trim(value);
+  if (ieq(t, "1") || ieq(t, "true") || ieq(t, "on") || ieq(t, "yes"))
+    return true;
+  if (ieq(t, "0") || ieq(t, "false") || ieq(t, "off") || ieq(t, "no"))
+    return false;
+  return std::nullopt;
+}
+
+void warn_bad_knob(const char* name, std::string_view value,
+                   const char* expected) {
+  if (!first_warning_for(name)) return;
+  std::fprintf(stderr, "rtcc: ignoring %s='%.*s' (%s); using default\n", name,
+               static_cast<int>(value.size()), value.data(), expected);
+}
+
+long long env_knob_ll(const char* name, long long fallback, long long min,
+                      long long max) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const auto v = parse_knob_ll(env);
+  if (v && *v >= min && *v <= max) return *v;
+  char expected[96];
+  std::snprintf(expected, sizeof expected, "want an integer in [%lld, %lld]",
+                min, max);
+  warn_bad_knob(name, env, expected);
+  return fallback;
+}
+
+double env_knob_double(const char* name, double fallback, double min,
+                       double max) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const auto v = parse_knob_double(env);
+  if (v && *v >= min && *v <= max) return *v;
+  char expected[96];
+  std::snprintf(expected, sizeof expected, "want a number in [%g, %g]", min,
+                max);
+  warn_bad_knob(name, env, expected);
+  return fallback;
+}
+
+bool env_knob_bool(const char* name, bool fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const auto v = parse_knob_bool(env);
+  if (v) return *v;
+  warn_bad_knob(name, env, "want 0/1/true/false/on/off/yes/no");
+  return fallback;
+}
+
+}  // namespace rtcc::util

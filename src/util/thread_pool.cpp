@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
+
+#include "util/env_knob.hpp"
 
 namespace rtcc::util {
 
@@ -38,11 +39,9 @@ ThreadPool::~ThreadPool() {
 
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool([] {
-    if (const char* env = std::getenv("RTCC_THREADS")) {
-      const int v = std::atoi(env);
-      if (v > 0) return static_cast<unsigned>(v);
-    }
-    return std::max(1u, std::thread::hardware_concurrency());
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    return static_cast<unsigned>(rtcc::util::env_knob_ll(
+        "RTCC_THREADS", static_cast<long long>(hw), 1, 1024));
   }());
   return pool;
 }

@@ -141,6 +141,63 @@ TEST(ChunkReader, TruncatedTailMatchesBatchAndCountsTornTail) {
   }
 }
 
+// Regression (knob hardening): chunk_bytes = 0 — reachable before the
+// RTCC_STREAM_CHUNK floor via a directly-constructed StreamOptions —
+// must clamp to a 1-byte read granule, not divide by zero or spin on
+// zero-length reads. The result must be byte-identical to any other
+// granularity.
+TEST(ChunkReader, ChunkZeroClampsToOneByteGranuleAndTerminates) {
+  const auto call = small_call();
+  const auto fcfg = emul::group_filter_config(call);
+  const Bytes pcap = net::encode_pcap(call.trace);
+  const auto ref = batch_json(BytesView{pcap}, fcfg);
+  EXPECT_EQ(stripped_json(stream_at(BytesView{pcap}, fcfg, /*chunk=*/0)), ref);
+}
+
+// A zero-byte source (empty drop-file, socket that closed before the
+// global header) must fail soft with the short-header error at every
+// granularity — including the clamped 0.
+TEST(ChunkReader, ZeroByteSourceFailsSoftAtAnyChunk) {
+  const rtcc::filter::FilterConfig fcfg;
+  const Bytes empty;
+  for (const std::size_t chunk :
+       {std::size_t{0}, std::size_t{1}, std::size_t{4096}}) {
+    stream::MemoryChunkSource source(BytesView{empty});
+    stream::StreamingAnalyzer engine(net::kLinkEthernet, fcfg);
+    std::string error;
+    EXPECT_FALSE(stream::stream_pcap(source, engine, chunk, &error))
+        << "chunk=" << chunk;
+    EXPECT_NE(error.find("shorter than global header"), std::string::npos)
+        << error;
+  }
+}
+
+// The checked-in real-world fixtures (linktype dispatch, VLAN, SLL,
+// nanosecond magic, fragmentation) streamed at the two degenerate
+// granularities must match the whole-file batch walk exactly.
+TEST(ChunkReader, FixturesAtChunkZeroAndOneMatchBatch) {
+  const rtcc::filter::FilterConfig fcfg;
+  for (const char* name :
+       {"kitchen_sink.pcap", "ns_magic.pcap", "sll.pcap", "vlan.pcap"}) {
+    const std::string path =
+        std::string(RTCC_TEST_SOURCE_DIR) + "/fixtures/" + name;
+    const stream::StreamModeGuard off(false);
+    std::string error;
+    const auto trace = net::read_pcap(path, &error);
+    ASSERT_TRUE(trace.has_value()) << name << ": " << error;
+    const auto ref = stripped_json(report::analyze_trace(*trace, fcfg));
+    for (const std::size_t chunk : {std::size_t{0}, std::size_t{1}}) {
+      stream::StreamOptions sopts;
+      sopts.chunk_bytes = chunk;
+      const auto got =
+          stream::analyze_pcap_streaming(path, fcfg, {}, sopts, &error);
+      ASSERT_TRUE(got.has_value()) << name << " chunk=" << chunk << ": "
+                                   << error;
+      EXPECT_EQ(stripped_json(*got), ref) << name << " chunk=" << chunk;
+    }
+  }
+}
+
 TEST(ChunkReader, RejectsFilesShorterThanGlobalHeader) {
   const rtcc::filter::FilterConfig fcfg;
   const Bytes tiny(10, 0x00);

@@ -115,6 +115,52 @@ TEST(FlowTable, IdleExpiryRetiresOnlyFlowsPastTimeout) {
   EXPECT_EQ(table.stats().evictions, 2u);
 }
 
+// Regression: capture timestamps are not monotonic (reordered pcaps,
+// clock steps on the capture host). The table keeps its own high-water
+// clock, so a backwards ts can neither reorder the LRU list relative to
+// last_active (which would strand expired flows behind a fresher front
+// record forever) nor evict a just-touched flow through a stale clock.
+TEST(FlowTable, BackwardsTimestampCannotReorderLruOrStrandFlows) {
+  FlowTable table({.idle_timeout_s = 1.0});
+  Evictions log;
+  const auto evict = log_to(log);
+
+  (void)table.touch(key_n(0), 10.0);
+  // Backwards ts: without the clamp this would stamp last_active = 3
+  // at the LRU *back*, behind flow 0's 10 at the front — and the
+  // front-pop expiry loop would then stop at flow 0 while flow 1 sat
+  // expired behind it.
+  (void)table.touch(key_n(1), 3.0);
+  EXPECT_EQ(table.high_water_clock(), 10.0);
+
+  table.expire_idle(11.5, evict);
+  ASSERT_EQ(log.size(), 2u) << "both flows idle since the 10.0 high-water";
+  EXPECT_EQ(log[0].first, 0u);
+  EXPECT_EQ(log[1].first, 1u) << "clamped flow must not be stranded";
+  EXPECT_EQ(table.live_count(), 0u);
+}
+
+TEST(FlowTable, BackwardsClockPassedToExpiryNeverEvictsFreshFlows) {
+  FlowTable table({.idle_timeout_s = 1.0});
+  Evictions log;
+
+  (void)table.touch(key_n(0), 100.0);
+  // A stale clock fed to expiry (e.g. a reordered frame driving the
+  // engine) clamps to the 100.0 high-water: the flow was touched "now",
+  // so nothing is idle — and nothing can compute a negative (or, in an
+  // unsigned caller, enormous) idle delta.
+  table.expire_idle(5.0, log_to(log));
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(table.live_count(), 1u);
+  EXPECT_EQ(table.high_water_clock(), 100.0);
+
+  // Forward progress resumes from the high-water mark, not the stale
+  // clock: one tick past 101 retires the flow.
+  table.expire_idle(101.0 + 1e-9, log_to(log));
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].second, EvictReason::kIdle);
+}
+
 TEST(FlowTable, RekeyedFlowSatisfiesLedgerIdentity) {
   FlowTable table({.max_flows = 1});
   Evictions log;
