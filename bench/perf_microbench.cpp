@@ -381,6 +381,42 @@ BENCHMARK(BM_CorpusEndToEnd)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+/// Scenario-count scaling of the streaming corpus: a minimal app
+/// matrix (1 call) plus `scenarios` repeats of the full scenario
+/// catalogue (SFU conferences, mobility, network weather — 8 rows per
+/// repeat). Scenario count is the corpus's second scale axis; like the
+/// repeats axis, corpus_mb grows linearly while live_peak_mb stays
+/// flat behind the live-trace gate. Published as BENCH_scenarios.json
+/// by the release-bench CI job.
+void BM_ScenarioScaling(benchmark::State& state) {
+  report::CorpusOptions opts;
+  opts.experiment.apps = {emul::AppId::kZoom};
+  opts.experiment.networks = {emul::NetworkSetup::kWifiP2p};
+  opts.experiment.repeats = 1;
+  opts.experiment.media_scale = 0.02;
+  opts.experiment.call_s = 60.0;
+  opts.scenario_repeats = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = report::run_corpus(opts);
+    state.counters["corpus_mb"] =
+        static_cast<double>(result.total_trace_bytes) / 1e6;
+    state.counters["live_peak_mb"] =
+        static_cast<double>(result.peak_live_trace_bytes) / 1e6;
+    state.counters["mb_per_s"] = result.mb_per_s();
+    state.counters["scenario_rows"] =
+        static_cast<double>(result.scenario_calls.size());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ScenarioScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgNames({"scenarios"})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 /// Flow-sharding scaling curve: the same streaming corpus with the
 /// shard count pinned per run (arg = RTCC_SHARDS equivalent; 1 = the
 /// unsharded reference). Real time vs process CPU time separates

@@ -1,208 +1,32 @@
 #include "emul/group_call.hpp"
 
-#include <algorithm>
-
 #include "emul/background.hpp"
-#include "emul/media_util.hpp"
 
 namespace rtcc::emul {
 
-using rtcc::net::IpAddr;
-using rtcc::util::Bytes;
-using rtcc::util::BytesView;
-
-namespace rtcp = rtcc::proto::rtcp;
-namespace stun = rtcc::proto::stun;
-
-namespace {
-
-/// One participant's presence interval and identity.
-struct Participant {
-  IpAddr device;
-  std::uint16_t port = 0;
-  std::uint32_t audio_ssrc = 0;
-  std::uint32_t video_ssrc = 0;
-  double join_ts = 0;
-  double leave_ts = 0;
-};
-
-}  // namespace
-
 GroupCall emulate_group_call(const GroupCallConfig& config) {
-  const int n = std::max(3, config.participants);
+  SfuConfig cfg;
+  cfg.participants = config.participants;
+  cfg.simulcast_layers = config.simulcast_layers;
+  cfg.pre_call_s = config.pre_call_s;
+  cfg.call_s = config.call_s;
+  cfg.post_call_s = config.post_call_s;
+  cfg.media_scale = config.media_scale;
+  cfg.background = config.background;
+  cfg.churn = config.churn;
+  cfg.layer_switches = config.layer_switches;
+  cfg.seed = config.seed;
 
-  rtcc::filter::CallSchedule schedule;
-  schedule.capture_start = 0.0;
-  schedule.call_start = config.pre_call_s;
-  schedule.call_end = config.pre_call_s + config.call_s;
-  schedule.capture_end = schedule.call_end + config.post_call_s;
-
-  // CallContext drives emission; its app/network fields are unused by
-  // this generator (group calls are SFU/relay by construction).
-  CallConfig cc;
-  cc.pre_call_s = config.pre_call_s;
-  cc.call_s = config.call_s;
-  cc.post_call_s = config.post_call_s;
-  cc.media_scale = config.media_scale;
-  cc.seed = config.seed;
-
-  Endpoints ep;
-  ep.device_a = IpAddr::v4(192, 168, 1, 10);
-  ep.device_b = IpAddr::v4(192, 168, 1, 11);
-  ep.relay = IpAddr::v4(198, 51, 100, 90);
-  ep.stun_server = IpAddr::v4(198, 51, 100, 91);
-  ep.launch_server = IpAddr::v4(203, 0, 113, 90);
-
-  CallContext ctx(cc, ep, schedule, config.seed * 0x9E3779B97F4A7C15ULL + 7);
-  auto& rng = ctx.rng();
-
-  const double t0 = schedule.call_start + 0.5;
-  const double t1 = schedule.call_end - 0.2;
-
-  std::vector<Participant> participants;
-  std::vector<IpAddr> devices;
-  for (int i = 0; i < n; ++i) {
-    Participant p;
-    p.device = IpAddr::v4(192, 168, 1, static_cast<std::uint8_t>(10 + i));
-    p.port = ctx.ephemeral_port();
-    p.audio_ssrc = rng.next_u32();
-    p.video_ssrc = rng.next_u32();
-    p.join_ts = t0;
-    p.leave_ts = t1;
-    participants.push_back(p);
-    devices.push_back(p.device);
-  }
-  // Churn: the last participant leaves a third of the way in and
-  // rejoins for the final third.
-  const double churn_leave = t0 + (t1 - t0) / 3.0;
-  const double churn_rejoin = t0 + 2.0 * (t1 - t0) / 3.0;
-
-  const std::uint16_t sfu_port = 19302;
-
-  // ---- ICE: each participant runs compliant binding checks to the SFU.
-  for (const auto& p : participants) {
-    for (double t = t0 + 0.5; t < t1; t += 8.0) {
-      stun::TransactionId txid{};
-      for (auto& b : txid) b = rng.next_u8();
-      auto req = stun::MessageBuilder(stun::kBindingRequest)
-                     .transaction_id(txid)
-                     .attribute_str(stun::attr::kUsername, "grp:member")
-                     .attribute_u32(stun::attr::kPriority, 0x7E0000FF)
-                     .build();
-      ctx.emit_udp(t, p.device, p.port, ep.relay, sfu_port, BytesView{req},
-                   TruthKind::kRtc);
-      auto resp = stun::MessageBuilder(stun::kBindingSuccess)
-                      .transaction_id(txid)
-                      .xor_address(stun::attr::kXorMappedAddress, p.device,
-                                   p.port)
-                      .build();
-      ctx.emit_udp(t + 0.02, ep.relay, sfu_port, p.device, p.port,
-                   BytesView{resp}, TruthKind::kRtc);
-    }
-  }
-
-  // ---- Media: uplink + SFU fan-out.
-  auto emit_media_interval = [&](const Participant& p, double start,
-                                 double end) {
-    // Uplink: this participant's own streams to the SFU.
-    for (auto [ssrc, pt, pps, size] :
-         {std::tuple{p.audio_ssrc, std::uint8_t{111}, 50.0,
-                     std::size_t{160}},
-          std::tuple{p.video_ssrc, std::uint8_t{96}, 110.0,
-                     std::size_t{1000}}}) {
-      RtpLeg leg;
-      leg.src = p.device;
-      leg.sport = p.port;
-      leg.dst = ep.relay;
-      leg.dport = sfu_port;
-      leg.ssrc = ssrc;
-      leg.payload_type = pt;
-      leg.pps = pps;
-      leg.payload_size = size;
-      emit_rtp_leg(ctx, leg, start, end);
-    }
-    // Downlink: the SFU forwards every *other* participant's streams.
-    // The SFU typically forwards a thinned selection (active speaker +
-    // thumbnails), modeled as a reduced per-source rate.
-    for (const auto& other : participants) {
-      if (other.device == p.device) continue;
-      RtpLeg leg;
-      leg.src = ep.relay;
-      leg.sport = sfu_port;
-      leg.dst = p.device;
-      leg.dport = p.port;
-      leg.ssrc = other.audio_ssrc;
-      leg.payload_type = 111;
-      leg.pps = 50.0 / static_cast<double>(n - 1);
-      leg.payload_size = 160;
-      emit_rtp_leg(ctx, leg, start, end);
-      leg.ssrc = other.video_ssrc;
-      leg.payload_type = 96;
-      leg.pps = 110.0 / static_cast<double>(n - 1);
-      leg.payload_size = 1000;
-      emit_rtp_leg(ctx, leg, start, end);
-    }
-    // RTCP: SR for own streams + RR with one report block per remote
-    // source — the multi-party shape 1-on-1 calls never produce.
-    for (double t :
-         packet_times(rng, start, end, 1.0, ctx.config().media_scale)) {
-      Bytes sr = make_sr_sdes(rng, p.audio_ssrc, "grp@example");
-      ctx.emit_udp(t, p.device, p.port, ep.relay, sfu_port, BytesView{sr},
-                   TruthKind::kRtc);
-
-      rtcp::ReceiverReport rr;
-      rr.sender_ssrc = p.audio_ssrc;
-      for (const auto& other : participants) {
-        if (other.device == p.device) continue;
-        rtcp::ReportBlock block;
-        block.ssrc = other.video_ssrc;
-        block.fraction_lost = static_cast<std::uint8_t>(rng.below(8));
-        block.highest_seq = rng.next_u32();
-        block.jitter = static_cast<std::uint32_t>(rng.below(300));
-        rr.reports.push_back(block);
-      }
-      rtcp::Compound c;
-      c.packets.push_back(rtcp::make_receiver_report(rr));
-      Bytes wire = rtcp::encode_compound(c);
-      ctx.emit_udp(t + 0.2, p.device, p.port, ep.relay, sfu_port,
-                   BytesView{wire}, TruthKind::kRtc);
-    }
-  };
-
-  for (int i = 0; i < n; ++i) {
-    const auto& p = participants[static_cast<std::size_t>(i)];
-    const bool churns = config.churn && i == n - 1;
-    if (!churns) {
-      emit_media_interval(p, t0, t1);
-      continue;
-    }
-    emit_media_interval(p, t0, churn_leave);
-    // RTCP BYE on leave (RFC 3550 §6.6) — compliant group semantics.
-    {
-      rtcp::ReceiverReport rr;
-      rr.sender_ssrc = p.audio_ssrc;
-      rtcp::Bye bye;
-      bye.ssrcs = {p.audio_ssrc, p.video_ssrc};
-      bye.reason = Bytes{'l', 'e', 'a', 'v', 'i', 'n', 'g'};
-      rtcp::Compound c;
-      c.packets.push_back(rtcp::make_receiver_report(rr));
-      c.packets.push_back(rtcp::make_bye(bye));
-      Bytes wire = rtcp::encode_compound(c);
-      ctx.emit_udp(churn_leave + 0.05, p.device, p.port, ep.relay, sfu_port,
-                   BytesView{wire}, TruthKind::kRtc);
-    }
-    emit_media_interval(p, churn_rejoin, t1);
-  }
-
-  if (config.background) generate_background(ctx);
-
-  EmulatedCall raw = ctx.take_call();
+  SfuCall call = emulate_sfu_call(cfg);
   GroupCall out;
-  out.trace = std::move(raw.trace);
-  out.truth = std::move(raw.truth);
-  out.schedule = schedule;
-  out.devices = std::move(devices);
-  out.sfu = ep.relay;
+  out.trace = std::move(call.trace);
+  out.truth = std::move(call.truth);
+  out.schedule = call.schedule;
+  out.devices = std::move(call.devices);
+  out.sfu = call.sfu;
+  out.audio_ssrcs = std::move(call.audio_ssrcs);
+  out.video_ssrcs = std::move(call.video_ssrcs);
+  out.forwarding = std::move(call.forwarding);
   return out;
 }
 

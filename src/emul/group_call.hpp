@@ -1,20 +1,23 @@
 // Group-call emulation — the paper's explicitly stated future work
 // (§2: "we plan the study of group calls as future work").
 //
-// Models a WebRTC-style SFU conference: every participant uplinks its
-// audio+video to the relay, which fans each stream out to every other
-// participant. Optional churn exercises mid-call joins/leaves (RTCP
-// BYE). The generated traffic is standards-compliant end to end, so it
-// doubles as a clean baseline workload for the compliance pipeline at
+// Thin facade over the full SFU conference model (emul/sfu.hpp): every
+// participant uplinks audio plus simulcast video layers to the relay,
+// whose explicit forwarder fans identical wire bytes out to subscribed
+// participants. Optional churn exercises mid-call leaves/rejoins (RTCP
+// BYE); layer switches move subscribers between simulcast rungs. The
+// generated traffic is standards-compliant end to end, so it doubles
+// as a clean baseline workload for the compliance pipeline at
 // participant counts > 2.
 #pragma once
 
-#include "emul/app_model.hpp"
+#include "emul/sfu.hpp"
 
 namespace rtcc::emul {
 
 struct GroupCallConfig {
   int participants = 4;  // >= 3 makes it a group call
+  int simulcast_layers = 2;
   double pre_call_s = 60.0;
   double call_s = 300.0;
   double post_call_s = 60.0;
@@ -22,6 +25,7 @@ struct GroupCallConfig {
   bool background = true;
   /// One participant leaves mid-call (with an RTCP BYE) and rejoins.
   bool churn = true;
+  int layer_switches = 2;
   std::uint64_t seed = 1;
 };
 
@@ -31,6 +35,10 @@ struct GroupCall {
   rtcc::filter::CallSchedule schedule;
   std::vector<rtcc::net::IpAddr> devices;
   rtcc::net::IpAddr sfu;
+  std::vector<std::uint32_t> audio_ssrcs;
+  std::vector<std::vector<std::uint32_t>> video_ssrcs;
+  /// Exact forwarder accounting (see SfuTruth).
+  SfuTruth forwarding;
 };
 
 [[nodiscard]] GroupCall emulate_group_call(const GroupCallConfig& config);

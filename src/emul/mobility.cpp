@@ -1,0 +1,345 @@
+#include "emul/mobility.hpp"
+
+#include <algorithm>
+
+#include "emul/background.hpp"
+#include "emul/media_util.hpp"
+
+namespace rtcc::emul {
+
+using rtcc::net::IpAddr;
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+
+namespace rtcp = rtcc::proto::rtcp;
+namespace rtp = rtcc::proto::rtp;
+namespace stun = rtcc::proto::stun;
+
+namespace {
+
+stun::TransactionId fresh_txid(rtcc::util::Rng& rng) {
+  stun::TransactionId txid{};
+  for (auto& b : txid) b = rng.next_u8();
+  return txid;
+}
+
+/// One compliant ICE binding round trip on the given 5-tuple.
+void binding_round_trip(CallContext& ctx, double t, const IpAddr& dev,
+                        std::uint16_t dport, const IpAddr& relay,
+                        std::uint16_t rport, std::string_view username) {
+  auto& rng = ctx.rng();
+  const auto txid = fresh_txid(rng);
+  auto req = stun::MessageBuilder(stun::kBindingRequest)
+                 .transaction_id(txid)
+                 .attribute_str(stun::attr::kUsername, username)
+                 .attribute_u32(stun::attr::kPriority, 0x7E0000FF)
+                 .build();
+  ctx.emit_udp(t, dev, dport, relay, rport, BytesView{req}, TruthKind::kRtc);
+  auto resp = stun::MessageBuilder(stun::kBindingSuccess)
+                  .transaction_id(txid)
+                  .xor_address(stun::attr::kXorMappedAddress, dev, dport)
+                  .build();
+  ctx.emit_udp(t + 0.02, relay, rport, dev, dport, BytesView{resp},
+               TruthKind::kRtc);
+}
+
+/// Bidirectional RTP + 1 Hz RTCP on one 5-tuple over [start, end).
+/// SSRC state (seq/rtp_ts) lives in the caller so it survives handoff.
+struct MediaLegState {
+  std::uint32_t ssrc = 0;
+  std::uint8_t pt = 0;
+  double pps = 0;
+  std::size_t size = 0;
+  std::uint32_t ts_step = 0;
+  std::uint16_t seq = 0;
+  std::uint32_t rtp_ts = 0;
+  bool uplink = true;  // device -> relay when true
+};
+
+void emit_media_window(CallContext& ctx, std::vector<MediaLegState>& legs,
+                       double start, double end, const IpAddr& dev,
+                       std::uint16_t dport, const IpAddr& relay,
+                       std::uint16_t rport) {
+  auto& rng = ctx.rng();
+  for (auto& leg : legs) {
+    for (double t :
+         packet_times(rng, start, end, leg.pps, ctx.config().media_scale)) {
+      leg.rtp_ts += leg.ts_step;
+      Bytes wire = rtp::PacketBuilder()
+                       .payload_type(leg.pt)
+                       .seq(leg.seq++)
+                       .timestamp(leg.rtp_ts)
+                       .ssrc(leg.ssrc)
+                       .payload(rng.bytes(leg.size))
+                       .build();
+      if (leg.uplink)
+        ctx.emit_udp(t, dev, dport, relay, rport, BytesView{wire},
+                     TruthKind::kRtc);
+      else
+        ctx.emit_udp(t, relay, rport, dev, dport, BytesView{wire},
+                     TruthKind::kRtc);
+    }
+  }
+  for (double t :
+       packet_times(rng, start, end, 1.0, ctx.config().media_scale)) {
+    Bytes sr = make_sr_sdes(rng, legs[0].ssrc, "mob@example");
+    ctx.emit_udp(t, dev, dport, relay, rport, BytesView{sr}, TruthKind::kRtc);
+    Bytes rr = make_rr_sdes(rng, legs[2].ssrc, legs[0].ssrc, "rem@example");
+    ctx.emit_udp(t + 0.15, relay, rport, dev, dport, BytesView{rr},
+                 TruthKind::kRtc);
+  }
+}
+
+}  // namespace
+
+HandoffCall emulate_handoff(const HandoffConfig& config) {
+  rtcc::filter::CallSchedule schedule;
+  schedule.capture_start = 0.0;
+  schedule.call_start = config.pre_call_s;
+  schedule.call_end = config.pre_call_s + config.call_s;
+  schedule.capture_end = schedule.call_end + config.post_call_s;
+
+  CallConfig cc;
+  cc.pre_call_s = config.pre_call_s;
+  cc.call_s = config.call_s;
+  cc.post_call_s = config.post_call_s;
+  cc.media_scale = config.media_scale;
+  cc.seed = config.seed;
+
+  Endpoints ep;
+  ep.device_a = IpAddr::v4(192, 168, 1, 10);   // Wi-Fi address
+  ep.device_b = IpAddr::v4(10, 64, 7, 10);     // cellular address
+  ep.relay = IpAddr::v4(198, 51, 100, 90);
+  ep.stun_server = IpAddr::v4(198, 51, 100, 91);
+  ep.launch_server = IpAddr::v4(203, 0, 113, 90);
+
+  CallContext ctx(cc, ep, schedule, config.seed * 0x9E3779B97F4A7C15ULL + 13);
+  auto& rng = ctx.rng();
+
+  const double t0 = schedule.call_start + 0.5;
+  const double t1 = schedule.call_end - 0.2;
+  const double frac = std::clamp(config.handoff_frac, 0.1, 0.9);
+  const double t_h = t0 + frac * (t1 - t0);
+
+  const IpAddr wifi = ep.device_a;
+  const IpAddr cell = ep.device_b;
+  const std::uint16_t wifi_port = ctx.ephemeral_port();
+  const std::uint16_t cell_port = ctx.ephemeral_port();
+  const std::uint16_t relay_port = 3478;
+
+  // The call's media state: same SSRCs before and after the handoff.
+  std::vector<MediaLegState> legs;
+  legs.push_back({rng.next_u32(), 111, 50.0, 160, 960, rng.next_u16(),
+                  rng.next_u32(), true});
+  legs.push_back({rng.next_u32(), 96, 90.0, 900, 3000, rng.next_u16(),
+                  rng.next_u32(), true});
+  legs.push_back({rng.next_u32(), 111, 50.0, 160, 960, rng.next_u16(),
+                  rng.next_u32(), false});
+  legs.push_back({rng.next_u32(), 96, 90.0, 900, 3000, rng.next_u16(),
+                  rng.next_u32(), false});
+
+  // ---- Wi-Fi epoch: binding keepalives + media on the Wi-Fi 5-tuple.
+  for (double t = t0; t < t_h; t += 8.0)
+    binding_round_trip(ctx, t, wifi, wifi_port, ep.relay, relay_port,
+                       "mob:wifi");
+  emit_media_window(ctx, legs, t0 + 0.1, t_h, wifi, wifi_port, ep.relay,
+                    relay_port);
+
+  // ---- ICE restart: a burst of fresh transactions from the cellular
+  // address re-binds the session to the new 5-tuple.
+  for (int i = 0; i < 3; ++i)
+    binding_round_trip(ctx, t_h + 0.05 * (i + 1), cell, cell_port, ep.relay,
+                       relay_port, "mob:cell");
+
+  // ---- Cellular epoch: the same SSRCs continue on the new flow.
+  for (double t = t_h + 0.5; t < t1; t += 8.0)
+    binding_round_trip(ctx, t, cell, cell_port, ep.relay, relay_port,
+                       "mob:cell");
+  emit_media_window(ctx, legs, t_h + 0.3, t1, cell, cell_port, ep.relay,
+                    relay_port);
+
+  if (config.background) generate_background(ctx);
+
+  EmulatedCall raw = ctx.take_call();
+  HandoffCall out;
+  out.trace = std::move(raw.trace);
+  out.truth = std::move(raw.truth);
+  out.schedule = schedule;
+  out.devices = {wifi, cell};
+  out.relay = ep.relay;
+  out.handoff_ts = t_h;
+  return out;
+}
+
+rtcc::filter::FilterConfig handoff_filter_config(const HandoffCall& call) {
+  rtcc::filter::FilterConfig cfg;
+  cfg.schedule = call.schedule;
+  cfg.sni_blocklist = background_sni_blocklist();
+  cfg.device_ips = call.devices;
+  cfg.excluded_ports = rtcc::filter::default_excluded_ports();
+  return cfg;
+}
+
+TurnTcpCall emulate_turn_tcp(const TurnTcpConfig& config) {
+  rtcc::filter::CallSchedule schedule;
+  schedule.capture_start = 0.0;
+  schedule.call_start = config.pre_call_s;
+  schedule.call_end = config.pre_call_s + config.call_s;
+  schedule.capture_end = schedule.call_end + config.post_call_s;
+
+  CallConfig cc;
+  cc.pre_call_s = config.pre_call_s;
+  cc.call_s = config.call_s;
+  cc.post_call_s = config.post_call_s;
+  cc.media_scale = config.media_scale;
+  cc.seed = config.seed;
+
+  Endpoints ep;
+  ep.device_a = IpAddr::v4(192, 168, 1, 10);
+  ep.device_b = IpAddr::v4(192, 168, 1, 11);
+  ep.relay = IpAddr::v4(198, 51, 100, 90);
+  ep.stun_server = IpAddr::v4(198, 51, 100, 91);
+  ep.launch_server = IpAddr::v4(203, 0, 113, 90);
+
+  CallContext ctx(cc, ep, schedule, config.seed * 0x9E3779B97F4A7C15ULL + 17);
+  auto& rng = ctx.rng();
+
+  const double t0 = schedule.call_start + 0.5;
+  const double t1 = schedule.call_end - 0.2;
+  const IpAddr dev = ep.device_a;
+  const std::uint16_t udp_port = ctx.ephemeral_port();
+  const std::uint16_t tcp_port = ctx.ephemeral_port();
+  const std::uint16_t relay_tcp = 443;
+
+  // ---- UDP blocked: binding requests to the STUN server retransmit
+  // with fresh transactions and never get an answer.
+  for (int i = 0; i < 3; ++i) {
+    auto req = stun::MessageBuilder(stun::kBindingRequest)
+                   .transaction_id(fresh_txid(rng))
+                   .attribute_str(stun::attr::kUsername, "turn:client")
+                   .attribute_u32(stun::attr::kPriority, 0x7E0000FF)
+                   .build();
+    ctx.emit_udp(t0 + 0.5 * i, dev, udp_port, ep.stun_server, 3478,
+                 BytesView{req}, TruthKind::kRtc);
+  }
+
+  const auto tcp_up = [&](double t, BytesView bytes) {
+    ctx.emit_tcp(t, dev, tcp_port, ep.relay, relay_tcp, bytes,
+                 TruthKind::kRtc);
+  };
+  const auto tcp_down = [&](double t, BytesView bytes) {
+    ctx.emit_tcp(t, ep.relay, relay_tcp, dev, tcp_port, bytes,
+                 TruthKind::kRtc);
+  };
+
+  // ---- TURN-over-TCP control: Allocate, then ChannelBind, then
+  // periodic Refresh (RFC 8656 over a stream transport).
+  const double t_alloc = t0 + 2.0;
+  {
+    const auto txid = fresh_txid(rng);
+    tcp_up(t_alloc, stun::MessageBuilder(stun::kAllocateRequest)
+                        .transaction_id(txid)
+                        .attribute_u32(stun::attr::kRequestedTransport,
+                                       0x11000000)  // UDP
+                        .attribute_str(stun::attr::kUsername, "turn:client")
+                        .build());
+    tcp_down(t_alloc + 0.05,
+             stun::MessageBuilder(stun::kAllocateSuccess)
+                 .transaction_id(txid)
+                 .xor_address(stun::attr::kXorRelayedAddress, ep.relay, 49160)
+                 .xor_address(stun::attr::kXorMappedAddress, dev, tcp_port)
+                 .attribute_u32(stun::attr::kLifetime, 600)
+                 .build());
+  }
+  const std::uint16_t channel = 0x4000;
+  {
+    const auto txid = fresh_txid(rng);
+    tcp_up(t_alloc + 0.2,
+           stun::MessageBuilder(stun::kChannelBindRequest)
+               .transaction_id(txid)
+               .attribute_u32(stun::attr::kChannelNumber,
+                              std::uint32_t{channel} << 16)
+               .xor_address(stun::attr::kXorPeerAddress,
+                            IpAddr::v4(203, 0, 113, 50), 40000)
+               .build());
+    tcp_down(t_alloc + 0.25, stun::MessageBuilder(stun::kChannelBindSuccess)
+                                 .transaction_id(txid)
+                                 .build());
+  }
+  for (double t = t_alloc + 30.0; t < t1; t += 30.0) {
+    const auto txid = fresh_txid(rng);
+    tcp_up(t, stun::MessageBuilder(stun::kRefreshRequest)
+                  .transaction_id(txid)
+                  .attribute_u32(stun::attr::kLifetime, 600)
+                  .build());
+    tcp_down(t + 0.05, stun::MessageBuilder(stun::kRefreshSuccess)
+                           .transaction_id(txid)
+                           .attribute_u32(stun::attr::kLifetime, 600)
+                           .build());
+  }
+
+  // ---- Media as ChannelData over the stream: RFC 8656 §12.5 requires
+  // TCP-borne ChannelData padded up to a 4-byte boundary.
+  const auto channel_data = [&](BytesView rtp_wire) {
+    stun::ChannelData cd;
+    cd.channel_number = channel;
+    cd.length = static_cast<std::uint16_t>(rtp_wire.size());
+    cd.data.assign(rtp_wire.begin(), rtp_wire.end());
+    Bytes framed = stun::encode_channel_data(cd);
+    while (framed.size() % 4 != 0) framed.push_back(0);
+    return framed;
+  };
+  struct Leg {
+    std::uint32_t ssrc;
+    std::uint8_t pt;
+    double pps;
+    std::size_t size;
+    std::uint32_t ts_step;
+    bool uplink;
+  };
+  for (const Leg leg : {Leg{rng.next_u32(), 111, 50.0, 160, 960, true},
+                        Leg{rng.next_u32(), 96, 90.0, 900, 3000, true},
+                        Leg{rng.next_u32(), 111, 50.0, 160, 960, false},
+                        Leg{rng.next_u32(), 96, 90.0, 900, 3000, false}}) {
+    std::uint16_t seq = rng.next_u16();
+    std::uint32_t rtp_ts = rng.next_u32();
+    for (double t : packet_times(rng, t_alloc + 0.5, t1, leg.pps,
+                                 ctx.config().media_scale)) {
+      rtp_ts += leg.ts_step;
+      Bytes wire = rtp::PacketBuilder()
+                       .payload_type(leg.pt)
+                       .seq(seq++)
+                       .timestamp(rtp_ts)
+                       .ssrc(leg.ssrc)
+                       .payload(rng.bytes(leg.size))
+                       .build();
+      Bytes framed = channel_data(BytesView{wire});
+      if (leg.uplink)
+        tcp_up(t, BytesView{framed});
+      else
+        tcp_down(t, BytesView{framed});
+    }
+  }
+
+  if (config.background) generate_background(ctx);
+
+  EmulatedCall raw = ctx.take_call();
+  TurnTcpCall out;
+  out.trace = std::move(raw.trace);
+  out.truth = std::move(raw.truth);
+  out.schedule = schedule;
+  out.device = dev;
+  out.relay = ep.relay;
+  return out;
+}
+
+rtcc::filter::FilterConfig turn_tcp_filter_config(const TurnTcpCall& call) {
+  rtcc::filter::FilterConfig cfg;
+  cfg.schedule = call.schedule;
+  cfg.sni_blocklist = background_sni_blocklist();
+  cfg.device_ips = {call.device};
+  cfg.excluded_ports = rtcc::filter::default_excluded_ports();
+  return cfg;
+}
+
+}  // namespace rtcc::emul

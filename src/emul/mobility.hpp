@@ -1,0 +1,74 @@
+// Mid-call mobility scenarios — the paper's network axis made dynamic.
+//
+// emulate_handoff: a Wi-Fi→cellular address migration mid-schedule.
+// The device starts on its Wi-Fi address, runs compliant ICE binding
+// keepalives and bidirectional RTP/RTCP against the relay, then at
+// `handoff_frac` of the call acquires a cellular address and performs
+// an ICE restart — fresh STUN transactions re-binding from the new
+// 5-tuple — after which the *same SSRCs* continue on the new flow. The
+// capture therefore contains two RTC UDP streams that are one logical
+// call, which exercises the filter's multi-device config and the
+// pipeline's per-stream independence.
+//
+// emulate_turn_tcp: UDP blocked at the edge. The device's STUN probes
+// to the server go unanswered, so it falls back to TURN over TCP
+// (RFC 8656 over a stream transport): Allocate / ChannelBind over TCP
+// 443, then media as RFC 8656 §12.4 ChannelData framing padded to
+// 4-byte boundaries as the TCP framing rules require (§12.5). All the
+// RTC bytes ride the TCP stream, landing in the paper's "RTC TCP"
+// accounting column.
+#pragma once
+
+#include "emul/app_model.hpp"
+
+namespace rtcc::emul {
+
+struct HandoffConfig {
+  double pre_call_s = 10.0;
+  double call_s = 60.0;
+  double post_call_s = 10.0;
+  double media_scale = 0.05;
+  /// Where in the call the Wi-Fi→cellular migration happens (0..1).
+  double handoff_frac = 0.5;
+  bool background = true;
+  std::uint64_t seed = 1;
+};
+
+struct HandoffCall {
+  rtcc::net::Trace trace;
+  std::vector<TruthKind> truth;
+  rtcc::filter::CallSchedule schedule;
+  /// Both device addresses: [0] = Wi-Fi, [1] = cellular.
+  std::vector<rtcc::net::IpAddr> devices;
+  rtcc::net::IpAddr relay;
+  double handoff_ts = 0.0;
+};
+
+[[nodiscard]] HandoffCall emulate_handoff(const HandoffConfig& config);
+
+[[nodiscard]] rtcc::filter::FilterConfig handoff_filter_config(
+    const HandoffCall& call);
+
+struct TurnTcpConfig {
+  double pre_call_s = 10.0;
+  double call_s = 60.0;
+  double post_call_s = 10.0;
+  double media_scale = 0.05;
+  bool background = true;
+  std::uint64_t seed = 1;
+};
+
+struct TurnTcpCall {
+  rtcc::net::Trace trace;
+  std::vector<TruthKind> truth;
+  rtcc::filter::CallSchedule schedule;
+  rtcc::net::IpAddr device;
+  rtcc::net::IpAddr relay;
+};
+
+[[nodiscard]] TurnTcpCall emulate_turn_tcp(const TurnTcpConfig& config);
+
+[[nodiscard]] rtcc::filter::FilterConfig turn_tcp_filter_config(
+    const TurnTcpCall& call);
+
+}  // namespace rtcc::emul

@@ -37,9 +37,17 @@ rtcc::net::Trace perturb(const rtcc::net::Trace& trace,
   std::stable_sort(items.begin(), items.end(),
                    [](const Item& a, const Item& b) { return a.ts < b.ts; });
 
+  // Like clone_trace: linktype, the capture-layer ingest ledger and
+  // per-frame orig_len all survive the perturbation — a perturbed
+  // capture is still the same capture to the PR 4 ledger oracles, and
+  // the weather layer (emul/weather.hpp) composes on top of this.
   rtcc::net::Trace out(trace.uses_arena());
+  out.set_linktype(trace.linktype());
+  out.ingest() = trace.ingest();
   out.reserve(items.size());
-  for (const auto& item : items) out.add_frame(item.ts, trace.bytes(*item.src));
+  for (const auto& item : items)
+    out.add_frame(item.ts, trace.bytes(*item.src)).orig_len =
+        item.src->orig_len;
   return out;
 }
 

@@ -20,13 +20,16 @@ struct PerturbConfig {
 };
 
 /// Applies the perturbation and returns the frames re-sorted by their
-/// (possibly shifted) timestamps.
+/// (possibly shifted) timestamps. Linktype, per-frame orig_len and the
+/// capture-layer ingest ledger are preserved like clone_trace does, so
+/// perturbed captures compose with the ledger oracles and the weather
+/// layer (emul/weather.hpp).
 [[nodiscard]] rtcc::net::Trace perturb(const rtcc::net::Trace& trace,
                                        const PerturbConfig& config);
 
 /// Deep copy of a trace preserving linktype, per-frame orig_len and the
-/// capture-layer ingest ledger (perturb deliberately discards those —
-/// the semantics-preserving rewrites in testkit::meta must not).
+/// capture-layer ingest ledger (the semantics-preserving rewrites in
+/// testkit::meta rely on this).
 [[nodiscard]] rtcc::net::Trace clone_trace(const rtcc::net::Trace& trace);
 
 /// Global time translation: every frame timestamp shifts by `dt`, frame

@@ -1,0 +1,161 @@
+#include "emul/scenario.hpp"
+
+#include "emul/mobility.hpp"
+#include "emul/sfu.hpp"
+#include "emul/weather.hpp"
+
+namespace rtcc::emul {
+
+namespace {
+
+Scenario build_sfu(const ScenarioOptions& o, const char* name,
+                   int participants, int layers) {
+  SfuConfig cfg;
+  cfg.participants = participants;
+  cfg.simulcast_layers = layers;
+  cfg.pre_call_s = o.pre_call_s;
+  cfg.call_s = o.call_s;
+  cfg.post_call_s = o.post_call_s;
+  cfg.media_scale = o.media_scale;
+  cfg.seed = o.seed;
+  SfuCall call = emulate_sfu_call(cfg);
+  Scenario s;
+  s.name = name;
+  s.cfg = sfu_filter_config(call);
+  s.trace = std::move(call.trace);
+  s.truth = std::move(call.truth);
+  return s;
+}
+
+Scenario build_sfu_4p(const ScenarioOptions& o) {
+  return build_sfu(o, "sfu-4p", 4, 2);
+}
+
+Scenario build_sfu_6p(const ScenarioOptions& o) {
+  return build_sfu(o, "sfu-6p-simulcast3", 6, 3);
+}
+
+Scenario build_handoff(const ScenarioOptions& o) {
+  HandoffConfig cfg;
+  cfg.pre_call_s = o.pre_call_s;
+  cfg.call_s = o.call_s;
+  cfg.post_call_s = o.post_call_s;
+  cfg.media_scale = o.media_scale;
+  cfg.seed = o.seed;
+  HandoffCall call = emulate_handoff(cfg);
+  Scenario s;
+  s.name = "handoff-wifi-cellular";
+  s.cfg = handoff_filter_config(call);
+  s.trace = std::move(call.trace);
+  s.truth = std::move(call.truth);
+  return s;
+}
+
+Scenario build_turn_tcp(const ScenarioOptions& o) {
+  TurnTcpConfig cfg;
+  cfg.pre_call_s = o.pre_call_s;
+  cfg.call_s = o.call_s;
+  cfg.post_call_s = o.post_call_s;
+  cfg.media_scale = o.media_scale;
+  cfg.seed = o.seed;
+  TurnTcpCall call = emulate_turn_tcp(cfg);
+  Scenario s;
+  s.name = "turn-tcp-fallback";
+  s.cfg = turn_tcp_filter_config(call);
+  s.trace = std::move(call.trace);
+  s.truth = std::move(call.truth);
+  return s;
+}
+
+/// Weather scenarios: a 1-on-1 app call run through apply_weather. The
+/// positional truth labels do not survive frame dropping/duplication,
+/// so `truth` stays empty.
+Scenario build_weather(const ScenarioOptions& o, const char* name,
+                       const WeatherConfig& weather) {
+  CallConfig cc;
+  cc.app = AppId::kZoom;
+  cc.network = NetworkSetup::kWifiP2p;
+  cc.pre_call_s = o.pre_call_s;
+  cc.call_s = o.call_s;
+  cc.post_call_s = o.post_call_s;
+  cc.media_scale = o.media_scale;
+  cc.seed = o.seed;
+  EmulatedCall call = emulate_call(cc);
+  Scenario s;
+  s.name = name;
+  s.cfg = filter_config_for(call);
+  WeatherConfig w = weather;
+  w.seed = o.seed + 101;
+  s.trace = apply_weather(call.trace, w).trace;
+  return s;
+}
+
+Scenario build_weather_mtu(const ScenarioOptions& o) {
+  WeatherConfig w;
+  w.mtu = 640;
+  return build_weather(o, "weather-mtu-frag", w);
+}
+
+Scenario build_weather_ge(const ScenarioOptions& o) {
+  WeatherConfig w;
+  w.ge_p = 0.05;
+  w.ge_r = 0.3;
+  w.loss_good = 0.001;
+  w.loss_bad = 0.7;
+  return build_weather(o, "weather-ge-loss", w);
+}
+
+Scenario build_weather_dup_reorder(const ScenarioOptions& o) {
+  WeatherConfig w;
+  w.dup_p = 0.05;
+  w.dup_run = 3;
+  w.reorder_p = 0.1;
+  w.reorder_window_s = 0.04;
+  return build_weather(o, "weather-dup-reorder", w);
+}
+
+Scenario build_weather_jitter(const ScenarioOptions& o) {
+  WeatherConfig w;
+  w.jitter_burst_p = 0.01;
+  w.jitter_burst_s = 0.4;
+  w.jitter_s = 0.05;
+  return build_weather(o, "weather-jitter-burst", w);
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& scenario_catalogue() {
+  // The first kTier1Scenarios entries are the tier-1 slice — one per
+  // scenario family so the fast lane spans SFU + mobility + weather.
+  static const std::vector<ScenarioSpec> kCatalogue = {
+      {"sfu-4p", "4-party SFU conference, 2 simulcast layers, churn",
+       build_sfu_4p},
+      {"handoff-wifi-cellular",
+       "mid-call Wi-Fi to cellular migration with ICE restart",
+       build_handoff},
+      {"weather-mtu-frag",
+       "1-on-1 call behind a 640-byte MTU clamp (on-path fragmentation)",
+       build_weather_mtu},
+      {"turn-tcp-fallback",
+       "UDP blocked; TURN-over-TCP allocation + ChannelData media",
+       build_turn_tcp},
+      {"sfu-6p-simulcast3", "6-party SFU conference, 3 simulcast layers",
+       build_sfu_6p},
+      {"weather-ge-loss",
+       "Gilbert-Elliott burst loss (mean burst ~3.3 frames)",
+       build_weather_ge},
+      {"weather-dup-reorder", "duplication runs + bounded reorder windows",
+       build_weather_dup_reorder},
+      {"weather-jitter-burst", "bufferbloat-style jitter bursts",
+       build_weather_jitter},
+  };
+  return kCatalogue;
+}
+
+const ScenarioSpec* find_scenario(const std::string& name) {
+  for (const auto& s : scenario_catalogue())
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+}  // namespace rtcc::emul

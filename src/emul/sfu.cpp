@@ -1,0 +1,299 @@
+#include "emul/sfu.hpp"
+
+#include <algorithm>
+
+#include "emul/background.hpp"
+#include "emul/media_util.hpp"
+
+namespace rtcc::emul {
+
+using rtcc::net::IpAddr;
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+
+namespace rtcp = rtcc::proto::rtcp;
+namespace rtp = rtcc::proto::rtp;
+namespace stun = rtcc::proto::stun;
+
+namespace {
+
+struct Participant {
+  IpAddr device;
+  std::uint16_t port = 0;
+  std::uint32_t audio_ssrc = 0;
+  std::vector<std::uint32_t> video_ssrcs;  // one per simulcast layer
+};
+
+/// Per-layer simulcast encoding parameters: higher layers are bigger
+/// and faster, like real low/mid/high simulcast rungs.
+struct LayerSpec {
+  double pps;
+  std::size_t size;
+};
+
+LayerSpec layer_spec(int layer) {
+  return LayerSpec{36.0 * (layer + 1),
+                   std::size_t{400} + 300 * static_cast<std::size_t>(layer)};
+}
+
+}  // namespace
+
+SfuCall emulate_sfu_call(const SfuConfig& config) {
+  const int n = std::max(3, config.participants);
+  const int layers = std::max(1, config.simulcast_layers);
+
+  rtcc::filter::CallSchedule schedule;
+  schedule.capture_start = 0.0;
+  schedule.call_start = config.pre_call_s;
+  schedule.call_end = config.pre_call_s + config.call_s;
+  schedule.capture_end = schedule.call_end + config.post_call_s;
+
+  CallConfig cc;
+  cc.pre_call_s = config.pre_call_s;
+  cc.call_s = config.call_s;
+  cc.post_call_s = config.post_call_s;
+  cc.media_scale = config.media_scale;
+  cc.seed = config.seed;
+
+  Endpoints ep;
+  ep.device_a = IpAddr::v4(192, 168, 1, 10);
+  ep.device_b = IpAddr::v4(192, 168, 1, 11);
+  ep.relay = IpAddr::v4(198, 51, 100, 90);
+  ep.stun_server = IpAddr::v4(198, 51, 100, 91);
+  ep.launch_server = IpAddr::v4(203, 0, 113, 90);
+
+  CallContext ctx(cc, ep, schedule, config.seed * 0x9E3779B97F4A7C15ULL + 11);
+  auto& rng = ctx.rng();
+
+  const double t0 = schedule.call_start + 0.5;
+  const double t1 = schedule.call_end - 0.2;
+  const std::uint16_t sfu_port = 19302;
+
+  SfuCall out;
+  out.schedule = schedule;
+  out.sfu = ep.relay;
+  out.forwarding.forwarded_packets.assign(static_cast<std::size_t>(n), 0);
+  out.forwarding.forwarded_bytes.assign(static_cast<std::size_t>(n), 0);
+
+  std::vector<Participant> ps;
+  for (int i = 0; i < n; ++i) {
+    Participant p;
+    p.device = IpAddr::v4(192, 168, 1, static_cast<std::uint8_t>(10 + i));
+    p.port = ctx.ephemeral_port();
+    p.audio_ssrc = rng.next_u32();
+    for (int l = 0; l < layers; ++l) p.video_ssrcs.push_back(rng.next_u32());
+    ps.push_back(p);
+    out.devices.push_back(p.device);
+    out.audio_ssrcs.push_back(p.audio_ssrc);
+    out.video_ssrcs.push_back(p.video_ssrcs);
+  }
+
+  // Churn: the last participant leaves a third of the way in and
+  // rejoins for the final third.
+  const double churn_leave = t0 + (t1 - t0) / 3.0;
+  const double churn_rejoin = t0 + 2.0 * (t1 - t0) / 3.0;
+  const auto present = [&](int i, double t) {
+    if (!(config.churn && i == n - 1)) return t >= t0 && t < t1;
+    return (t >= t0 && t < churn_leave) || (t >= churn_rejoin && t < t1);
+  };
+  const auto segments = [&](int i) {
+    std::vector<std::pair<double, double>> segs;
+    if (config.churn && i == n - 1) {
+      segs.emplace_back(t0, churn_leave);
+      segs.emplace_back(churn_rejoin, t1);
+    } else {
+      segs.emplace_back(t0, t1);
+    }
+    return segs;
+  };
+
+  // ---- Subscription layer-switch schedule (truth labels first, so
+  // forwarding below can consult it). Churning participants are left
+  // out: a switch must stay observable on both sides of its timestamp.
+  const int switch_pool = config.churn ? n - 1 : n;
+  std::map<std::pair<int, int>, int> current_layer;
+  if (layers > 1) {
+    for (int k = 0; k < config.layer_switches; ++k) {
+      SfuLayerSwitch sw;
+      sw.ts = t0 + (k + 1) * (t1 - t0) / (config.layer_switches + 1);
+      sw.subscriber = k % switch_pool;
+      sw.source = (sw.subscriber + 1 + k / switch_pool) % switch_pool;
+      if (sw.source == sw.subscriber) sw.source = (sw.source + 1) % switch_pool;
+      auto& cur = current_layer[{sw.subscriber, sw.source}];
+      sw.from_layer = cur;
+      sw.to_layer = (cur + 1) % layers;
+      cur = sw.to_layer;
+      out.forwarding.layer_switches.push_back(sw);
+    }
+  }
+  const auto layer_of = [&](int subscriber, int source, double t) {
+    int layer = 0;
+    for (const auto& sw : out.forwarding.layer_switches)
+      if (sw.subscriber == subscriber && sw.source == source && sw.ts <= t)
+        layer = sw.to_layer;
+    return layer;
+  };
+
+  // ---- The forwarder: one generated uplink packet, fanned out as
+  // identical bytes to every subscribed, present participant.
+  const double kForwardDelay = 0.004;
+  const auto forward_rtp = [&](int source, double t, BytesView wire,
+                               std::uint32_t ssrc, bool audio, int layer) {
+    for (int s = 0; s < n; ++s) {
+      if (s == source || !present(s, t)) continue;
+      if (!audio && layer_of(s, source, t) != layer) continue;
+      ctx.emit_udp(t + kForwardDelay, ep.relay, sfu_port, ps[s].device,
+                   ps[s].port, wire, TruthKind::kRtc);
+      ++out.forwarding.forwarded_packets[static_cast<std::size_t>(s)];
+      out.forwarding.forwarded_bytes[static_cast<std::size_t>(s)] +=
+          wire.size();
+      ++out.forwarding.forwarded_by_ssrc[ssrc];
+    }
+  };
+
+  // ---- ICE: each participant runs compliant binding checks to the SFU
+  // while present.
+  for (int i = 0; i < n; ++i) {
+    for (auto [s, e] : segments(i)) {
+      for (double t = s + 0.5; t < e; t += 8.0) {
+        stun::TransactionId txid{};
+        for (auto& b : txid) b = rng.next_u8();
+        auto req = stun::MessageBuilder(stun::kBindingRequest)
+                       .transaction_id(txid)
+                       .attribute_str(stun::attr::kUsername, "sfu:member")
+                       .attribute_u32(stun::attr::kPriority, 0x7E0000FF)
+                       .build();
+        ctx.emit_udp(t, ps[i].device, ps[i].port, ep.relay, sfu_port,
+                     BytesView{req}, TruthKind::kRtc);
+        auto resp = stun::MessageBuilder(stun::kBindingSuccess)
+                        .transaction_id(txid)
+                        .xor_address(stun::attr::kXorMappedAddress,
+                                     ps[i].device, ps[i].port)
+                        .build();
+        ctx.emit_udp(t + 0.02, ep.relay, sfu_port, ps[i].device, ps[i].port,
+                     BytesView{resp}, TruthKind::kRtc);
+      }
+    }
+  }
+
+  // ---- Media: per-source uplink legs through the forwarder.
+  for (int i = 0; i < n; ++i) {
+    const auto& p = ps[static_cast<std::size_t>(i)];
+    struct LegDef {
+      std::uint32_t ssrc;
+      std::uint8_t pt;
+      double pps;
+      std::size_t size;
+      std::uint32_t ts_step;
+      bool audio;
+      int layer;
+    };
+    std::vector<LegDef> legs;
+    legs.push_back({p.audio_ssrc, 111, 50.0, 160, 960, true, 0});
+    for (int l = 0; l < layers; ++l) {
+      const LayerSpec spec = layer_spec(l);
+      legs.push_back({p.video_ssrcs[static_cast<std::size_t>(l)], 96, spec.pps,
+                      spec.size, 3000, false, l});
+    }
+    for (const auto& leg : legs) {
+      std::uint16_t seq = rng.next_u16();
+      std::uint32_t rtp_ts = rng.next_u32();
+      for (auto [s, e] : segments(i)) {
+        for (double t :
+             packet_times(rng, s, e, leg.pps, ctx.config().media_scale)) {
+          rtp_ts += leg.ts_step;
+          Bytes wire = rtp::PacketBuilder()
+                           .payload_type(leg.pt)
+                           .seq(seq++)
+                           .timestamp(rtp_ts)
+                           .ssrc(leg.ssrc)
+                           .payload(rng.bytes(leg.size))
+                           .build();
+          ctx.emit_udp(t, p.device, p.port, ep.relay, sfu_port,
+                       BytesView{wire}, TruthKind::kRtc);
+          ++out.forwarding.uplink_packets[leg.ssrc];
+          out.forwarding.uplink_bytes[leg.ssrc] += wire.size();
+          forward_rtp(i, t, BytesView{wire}, leg.ssrc, leg.audio, leg.layer);
+        }
+      }
+    }
+  }
+
+  // ---- RTCP: conference reporting, terminated at the SFU (only BYE
+  // is forwarded). SR+SDES for the own audio stream; RR carries one
+  // report block per present remote — the group-only shape.
+  for (int i = 0; i < n; ++i) {
+    const auto& p = ps[static_cast<std::size_t>(i)];
+    for (auto [s, e] : segments(i)) {
+      for (double t :
+           packet_times(rng, s, e, 1.0, ctx.config().media_scale)) {
+        Bytes sr = make_sr_sdes(rng, p.audio_ssrc, "sfu@example");
+        ctx.emit_udp(t, p.device, p.port, ep.relay, sfu_port, BytesView{sr},
+                     TruthKind::kRtc);
+        rtcp::ReceiverReport rr;
+        rr.sender_ssrc = p.audio_ssrc;
+        for (int o = 0; o < n; ++o) {
+          if (o == i || !present(o, t)) continue;
+          rtcp::ReportBlock block;
+          block.ssrc = ps[static_cast<std::size_t>(o)]
+                           .video_ssrcs[static_cast<std::size_t>(
+                               layer_of(i, o, t))];
+          block.fraction_lost = static_cast<std::uint8_t>(rng.below(8));
+          block.highest_seq = rng.next_u32();
+          block.jitter = static_cast<std::uint32_t>(rng.below(300));
+          rr.reports.push_back(block);
+        }
+        rtcp::Compound c;
+        c.packets.push_back(rtcp::make_receiver_report(rr));
+        Bytes wire = rtcp::encode_compound(c);
+        ctx.emit_udp(t + 0.2, p.device, p.port, ep.relay, sfu_port,
+                     BytesView{wire}, TruthKind::kRtc);
+      }
+    }
+  }
+
+  // ---- Churn BYE: uplinked exactly once, forwarded to every present
+  // subscriber as identical bytes (RFC 3550 §6.6 compound: RR first).
+  if (config.churn) {
+    const auto& p = ps[static_cast<std::size_t>(n - 1)];
+    rtcp::ReceiverReport rr;
+    rr.sender_ssrc = p.audio_ssrc;
+    rtcp::Bye bye;
+    bye.ssrcs.push_back(p.audio_ssrc);
+    for (auto v : p.video_ssrcs) bye.ssrcs.push_back(v);
+    bye.reason = Bytes{'l', 'e', 'a', 'v', 'i', 'n', 'g'};
+    rtcp::Compound c;
+    c.packets.push_back(rtcp::make_receiver_report(rr));
+    c.packets.push_back(rtcp::make_bye(bye));
+    Bytes wire = rtcp::encode_compound(c);
+    const double t = churn_leave - 0.05;
+    ctx.emit_udp(t, p.device, p.port, ep.relay, sfu_port, BytesView{wire},
+                 TruthKind::kRtc);
+    ++out.forwarding.uplink_byes;
+    for (int s = 0; s < n - 1; ++s) {
+      ctx.emit_udp(t + kForwardDelay, ep.relay, sfu_port,
+                   ps[static_cast<std::size_t>(s)].device,
+                   ps[static_cast<std::size_t>(s)].port, BytesView{wire},
+                   TruthKind::kRtc);
+      ++out.forwarding.forwarded_byes;
+    }
+  }
+
+  if (config.background) generate_background(ctx);
+
+  EmulatedCall raw = ctx.take_call();
+  out.trace = std::move(raw.trace);
+  out.truth = std::move(raw.truth);
+  return out;
+}
+
+rtcc::filter::FilterConfig sfu_filter_config(const SfuCall& call) {
+  rtcc::filter::FilterConfig cfg;
+  cfg.schedule = call.schedule;
+  cfg.sni_blocklist = background_sni_blocklist();
+  cfg.device_ips = call.devices;
+  cfg.excluded_ports = rtcc::filter::default_excluded_ports();
+  return cfg;
+}
+
+}  // namespace rtcc::emul

@@ -1,0 +1,88 @@
+// N-party SFU conference emulation — the paper's group-call future
+// work, grown into a real forwarding model.
+//
+// Every participant uplinks one audio SSRC plus `simulcast_layers`
+// video SSRCs (independent encodings at increasing rate/size) to the
+// SFU. The SFU runs an explicit RTP forwarder: each uplink packet is
+// generated exactly once, and the forwarder re-emits the *identical
+// wire bytes* to every subscribed participant — it rewrites nothing but
+// the fan-out addressing, which is what real SFUs do (and what makes
+// SSRC conservation across the forwarder a checkable invariant, see
+// test_group_call).
+//
+// Subscriptions: everyone receives everyone else's audio; for video,
+// each (subscriber, source) pair receives exactly one simulcast layer
+// at a time, and a deterministic schedule of layer switches moves pairs
+// between layers mid-call (the truth labels land in
+// SfuTruth::layer_switches). Churn: with `churn` set, the last
+// participant leaves a third of the way in with an RTCP BYE listing all
+// of its SSRCs — uplinked exactly once, forwarded once per present
+// subscriber — and rejoins for the final third.
+//
+// RTCP follows conference semantics: SR+SDES uplink per sender, RR
+// with one report block per remote participant (the group-only shape),
+// all terminated at the SFU except BYE, which is forwarded.
+#pragma once
+
+#include <map>
+
+#include "emul/app_model.hpp"
+
+namespace rtcc::emul {
+
+struct SfuConfig {
+  int participants = 4;    // clamped up to 3
+  int simulcast_layers = 2;  // video SSRCs per participant (>= 1)
+  double pre_call_s = 60.0;
+  double call_s = 300.0;
+  double post_call_s = 60.0;
+  double media_scale = 0.02;
+  bool background = true;
+  /// One participant leaves mid-call (with an RTCP BYE) and rejoins.
+  bool churn = true;
+  /// Mid-call subscription layer switches to schedule (requires
+  /// simulcast_layers > 1 to have any effect).
+  int layer_switches = 2;
+  std::uint64_t seed = 1;
+};
+
+/// One scheduled subscription change: at `ts`, `subscriber` moves its
+/// feed of `source`'s video from simulcast layer `from_layer` to
+/// `to_layer`. Ground truth for the layer-switch tests.
+struct SfuLayerSwitch {
+  double ts = 0.0;
+  int subscriber = 0;
+  int source = 0;
+  int from_layer = 0;
+  int to_layer = 0;
+};
+
+/// Exact forwarder accounting (ground truth; the analysis pipeline
+/// never sees this). Bytes are UDP payload bytes.
+struct SfuTruth {
+  std::map<std::uint32_t, std::uint64_t> uplink_packets;  // RTP, per SSRC
+  std::map<std::uint32_t, std::uint64_t> uplink_bytes;
+  std::vector<std::uint64_t> forwarded_packets;  // RTP, per subscriber
+  std::vector<std::uint64_t> forwarded_bytes;
+  std::map<std::uint32_t, std::uint64_t> forwarded_by_ssrc;
+  std::vector<SfuLayerSwitch> layer_switches;
+  std::uint64_t uplink_byes = 0;     // BYE compounds sent to the SFU
+  std::uint64_t forwarded_byes = 0;  // BYE copies fanned out
+};
+
+struct SfuCall {
+  rtcc::net::Trace trace;
+  std::vector<TruthKind> truth;
+  rtcc::filter::CallSchedule schedule;
+  std::vector<rtcc::net::IpAddr> devices;
+  rtcc::net::IpAddr sfu;
+  std::vector<std::uint32_t> audio_ssrcs;               // per participant
+  std::vector<std::vector<std::uint32_t>> video_ssrcs;  // [participant][layer]
+  SfuTruth forwarding;
+};
+
+[[nodiscard]] SfuCall emulate_sfu_call(const SfuConfig& config);
+
+[[nodiscard]] rtcc::filter::FilterConfig sfu_filter_config(const SfuCall& call);
+
+}  // namespace rtcc::emul

@@ -1,0 +1,81 @@
+// Network-weather layer: composable adversarial path conditions on top
+// of emul/perturb's uniform drop/dup/reorder model.
+//
+// Where PerturbConfig models a memoryless lossy path, WeatherConfig
+// models the *correlated* impairments measurement studies actually see:
+//   - burst loss via a Gilbert–Elliott two-state Markov chain (good
+//     state drops at loss_good, bad state at loss_bad; transitions
+//     good→bad with probability ge_p and bad→good with ge_r per frame,
+//     so bad-state residence — the burst length — is geometric with
+//     mean 1/ge_r);
+//   - duplication runs (a duplicated frame is retransmitted 1..dup_run
+//     times, spaced dup_gap_s apart, the way a retry storm looks);
+//   - bounded reorder windows (a reordered frame moves at most
+//     reorder_window_s, so reordering is local like real queues);
+//   - jitter bursts (a burst delays *every* frame for jitter_burst_s of
+//     trace time by up to jitter_s — bufferbloat, not per-packet noise);
+//   - MTU clamping: IPv4 UDP datagrams larger than `mtu` are split into
+//     on-path fragments (8-byte aligned offsets, fresh ident, MF bits,
+//     recomputed header checksums) that the PR 4 FrameDecoder
+//     reassembler must reconstitute downstream.
+//
+// Everything is driven by one util::Rng seed: same input + same config
+// is byte-identical. Linktype, per-frame orig_len and the capture-layer
+// ingest ledger survive like clone_trace (the weather happened on the
+// path, not in the capture stack), so weathered traces keep composing
+// with the metamorphic ledger oracles.
+#pragma once
+
+#include "net/pcap.hpp"
+#include "util/rng.hpp"
+
+namespace rtcc::emul {
+
+struct WeatherConfig {
+  // -- Gilbert–Elliott burst loss ------------------------------------
+  double ge_p = 0.0;        // P(good -> bad) per frame
+  double ge_r = 1.0;        // P(bad -> good) per frame; mean burst 1/ge_r
+  double loss_good = 0.0;   // drop probability in the good state
+  double loss_bad = 0.0;    // drop probability in the bad state
+  // -- duplication runs ----------------------------------------------
+  double dup_p = 0.0;       // per-frame chance of a duplication run
+  int dup_run = 1;          // max extra copies per run (uniform 1..run)
+  double dup_gap_s = 0.0005;  // spacing between run copies
+  // -- bounded reorder -----------------------------------------------
+  double reorder_p = 0.0;         // per-frame chance of a local shift
+  double reorder_window_s = 0.05;  // max |shift| (seconds)
+  // -- jitter bursts -------------------------------------------------
+  double jitter_burst_p = 0.0;  // per-frame chance a burst starts
+  double jitter_burst_s = 0.5;  // burst duration (trace seconds)
+  double jitter_s = 0.05;       // max added delay while inside a burst
+  // -- MTU clamp + IPv4 fragmentation --------------------------------
+  /// When > 0, every unfragmented Ethernet IPv4 UDP datagram whose IP
+  /// total length exceeds this is fragmented on-path. Values below
+  /// 14 + 20 + 8 are ignored (cannot carry a fragment).
+  std::size_t mtu = 0;
+  std::uint64_t seed = 1;
+};
+
+/// What the weather did (ground truth for tests; the analysis pipeline
+/// never sees this).
+struct WeatherStats {
+  std::uint64_t dropped = 0;      // frames removed by GE loss
+  std::uint64_t bursts = 0;       // good->bad transitions taken
+  std::uint64_t duplicated = 0;   // extra copies emitted
+  std::uint64_t reordered = 0;    // frames locally shifted
+  std::uint64_t delayed = 0;      // frames delayed inside jitter bursts
+  std::uint64_t frag_datagrams = 0;  // datagrams split by the MTU clamp
+  std::uint64_t frag_frames = 0;     // fragment frames emitted
+};
+
+struct WeatherResult {
+  rtcc::net::Trace trace;
+  WeatherStats stats;
+};
+
+/// Applies the configured weather and returns frames re-sorted by their
+/// (possibly shifted) timestamps. Deterministic in (trace, config).
+[[nodiscard]] WeatherResult apply_weather(const rtcc::net::Trace& trace,
+                                          const WeatherConfig& config);
+
+}  // namespace rtcc::emul

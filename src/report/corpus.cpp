@@ -11,6 +11,7 @@
 #include <memory>
 #include <mutex>
 
+#include "emul/scenario.hpp"
 #include "report/shard.hpp"
 #include "util/env_knob.hpp"
 #include "util/thread_pool.hpp"
@@ -268,6 +269,45 @@ CorpusResult run_corpus(const CorpusOptions& opts) {
     }
   }
 
+  // ---- Scenario-catalogue phase: the compliance-matrix rows beyond
+  // the app matrix. Runs under the same live-trace gate; each analysis
+  // is unsharded on the pooled path for the same oversubscription
+  // reason as run_one, and results merge scenario-major below, so
+  // aggregates are independent of scheduling.
+  const auto& specs = rtcc::emul::scenario_catalogue();
+  const std::size_t sreps =
+      static_cast<std::size_t>(std::max(0, opts.scenario_repeats));
+  std::vector<CallAnalysis> s_analyses(specs.size() * sreps);
+  std::vector<CorpusScenarioStats> s_stats(specs.size() * sreps);
+  if (sreps > 0) {
+    const auto run_scenario = [&](std::size_t j) {
+      const std::size_t si = j / sreps;
+      const int repeat = static_cast<int>(j % sreps);
+      gate.acquire();
+      std::uint64_t bytes = 0;
+      {
+        rtcc::emul::ScenarioOptions sopts;
+        sopts.media_scale = cfg.media_scale;
+        sopts.call_s = cfg.call_s;
+        sopts.seed = cfg.seed + 9000 + static_cast<std::uint64_t>(repeat);
+        auto scen = specs[si].build(sopts);
+        bytes = scen.trace.total_bytes();
+        gate.add_bytes(bytes);
+        auto analysis_opts = cfg.analysis;
+        if (!serial) analysis_opts.shards = 1;
+        s_analyses[j] = analyze_trace(scen.trace, scen.cfg, analysis_opts);
+        s_stats[j] = CorpusScenarioStats{specs[si].name, repeat, bytes,
+                                         scen.trace.size()};
+      }
+      gate.release(bytes);
+    };
+    if (serial) {
+      for (std::size_t j = 0; j < s_analyses.size(); ++j) run_scenario(j);
+    } else {
+      pool.parallel_for(s_analyses.size(), run_scenario);
+    }
+  }
+
   CorpusResult out;
   out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              started)
@@ -277,6 +317,11 @@ CorpusResult run_corpus(const CorpusOptions& opts) {
     out.total_trace_bytes += stats[i].trace_bytes;
   }
   out.calls = std::move(stats);
+  for (std::size_t j = 0; j < s_analyses.size(); ++j) {
+    merge(out.per_scenario[s_stats[j].name], s_analyses[j]);
+    out.total_trace_bytes += s_stats[j].trace_bytes;
+  }
+  out.scenario_calls = std::move(s_stats);
   out.peak_live_trace_bytes = gate.peak_bytes();
   out.peak_live_traces = gate.peak_live();
   out.peak_rss_bytes = peak_rss_bytes();
@@ -290,6 +335,8 @@ CorpusOptions corpus_options_from_env() {
   opts.max_live_traces = static_cast<std::size_t>(rtcc::util::env_knob_ll(
       "RTCC_MAX_LIVE", static_cast<long long>(opts.max_live_traces), 1,
       1000000000));
+  opts.scenario_repeats = static_cast<int>(
+      rtcc::util::env_knob_ll("RTCC_SCENARIOS", 0, 0, 1000000));
   return opts;
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "report/metrics.hpp"
@@ -30,6 +31,14 @@ struct CorpusOptions {
   /// count (workers stay busy while the next generation is admitted)
   /// — the default keeps peak memory O(workers), not O(calls).
   std::size_t max_live_traces = 0;
+  /// Scenario-catalogue sweep appended after the app matrix: every
+  /// emul::scenario_catalogue() entry is generated and analyzed this
+  /// many times (seed-varied per repeat) under the same live-trace
+  /// gate. 0 = none. Results merge per scenario name into
+  /// CorpusResult::per_scenario — the compliance-matrix rows the
+  /// app-major map doesn't cover, and the corpus bench's second scale
+  /// axis (RTCC_SCENARIOS / BM_ScenarioScaling).
+  int scenario_repeats = 0;
 };
 
 /// Per-call footprint row, in deterministic app-major matrix order.
@@ -41,9 +50,21 @@ struct CorpusCallStats {
   std::uint64_t frames = 0;
 };
 
+/// Per-scenario footprint row, scenario-major then repeat order.
+struct CorpusScenarioStats {
+  std::string name;
+  int repeat = 0;
+  std::uint64_t trace_bytes = 0;
+  std::uint64_t frames = 0;
+};
+
 struct CorpusResult {
   std::map<rtcc::emul::AppId, CallAnalysis> per_app;
   std::vector<CorpusCallStats> calls;
+  /// Merged analysis per scenario-catalogue row (empty unless
+  /// CorpusOptions::scenario_repeats > 0).
+  std::map<std::string, CallAnalysis> per_scenario;
+  std::vector<CorpusScenarioStats> scenario_calls;
 
   std::uint64_t total_trace_bytes = 0;
   /// Max over time of the summed sizes of concurrently-live traces —
@@ -68,8 +89,8 @@ struct CorpusResult {
 
 /// experiment_config_from_env() wrapped for corpus runs: same RTCC_*
 /// knobs, but repeats defaults to 5 (6 apps x 3 networks x 5 = the
-/// paper's 90 calls) unless RTCC_REPEATS overrides it, and
-/// RTCC_MAX_LIVE bounds max_live_traces.
+/// paper's 90 calls) unless RTCC_REPEATS overrides it, RTCC_MAX_LIVE
+/// bounds max_live_traces, and RTCC_SCENARIOS sets scenario_repeats.
 [[nodiscard]] CorpusOptions corpus_options_from_env();
 
 /// Current process peak RSS in bytes (Linux VmHWM, getrusage

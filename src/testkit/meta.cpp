@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "emul/perturb.hpp"
+#include "emul/scenario.hpp"
 #include "net/stream_table.hpp"
 #include "stream/stream_mode.hpp"
 #include "proto/common.hpp"
@@ -900,6 +901,28 @@ MetaStats run_meta_driver(const MetaOptions& opts) {
       c.cfg = corpus_filter_config();
       c.trace = trace_from_datagrams(stream.datagrams);
       c.datagrams = stream.datagrams;
+      cases.push_back(std::move(c));
+    }
+
+    // Scenario catalogue: every entry is born with metamorphic
+    // coverage. Tier-1 runs the catalogue's tier-1 slice (one per
+    // scenario family); full sweeps run them all.
+    const auto& specs = rtcc::emul::scenario_catalogue();
+    const std::size_t n_scenarios =
+        opts.full ? specs.size()
+                  : std::min(rtcc::emul::kTier1Scenarios, specs.size());
+    rtcc::emul::ScenarioOptions sopts;
+    sopts.media_scale = opts.media_scale;
+    sopts.call_s = opts.call_s;
+    sopts.pre_call_s = opts.pre_call_s;
+    sopts.post_call_s = opts.post_call_s;
+    for (std::size_t i = 0; i < n_scenarios; ++i) {
+      sopts.seed = opts.seed + 500 + i;
+      auto scen = specs[i].build(sopts);
+      MetaCase c;
+      c.name = "scenario:" + scen.name;
+      c.cfg = scen.cfg;
+      c.trace = std::move(scen.trace);
       cases.push_back(std::move(c));
     }
   }

@@ -1,0 +1,271 @@
+// Network-weather layer (emul/weather.hpp): Gilbert–Elliott burst
+// loss statistics, duplication/reorder bounds, jitter-burst windows,
+// MTU-clamp fragmentation feeding the FrameDecoder reassembler, and
+// the capture-metadata preservation contract both apply_weather and
+// emul::perturb (regression: it used to drop linktype/orig_len/ingest)
+// share with clone_trace.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "emul/perturb.hpp"
+#include "emul/weather.hpp"
+#include "net/headers.hpp"
+#include "net/pcap.hpp"
+#include "util/bytes.hpp"
+
+namespace rtcc::emul {
+namespace {
+
+using rtcc::net::FrameDecoder;
+using rtcc::net::Trace;
+using rtcc::util::Bytes;
+using rtcc::util::BytesView;
+using rtcc::util::load_be32;
+using rtcc::util::store_be16;
+using rtcc::util::store_be32;
+
+/// Ethernet/IPv4/UDP frame whose payload leads with a big-endian frame
+/// index, so tests can match output frames back to their originals
+/// after drops, duplication and reordering.
+Bytes make_udp_frame(std::uint32_t index, std::size_t payload_len = 20) {
+  Bytes payload(payload_len, 0xCC);
+  store_be32(payload.data(), index);
+
+  Bytes udp(8 + payload.size());
+  store_be16(udp.data(), 40000);
+  store_be16(udp.data() + 2, 41000);
+  store_be16(udp.data() + 4, static_cast<std::uint16_t>(udp.size()));
+  store_be16(udp.data() + 6, 0);
+  std::copy(payload.begin(), payload.end(), udp.begin() + 8);
+
+  Bytes ip(20 + udp.size());
+  ip[0] = 0x45;
+  store_be16(ip.data() + 2, static_cast<std::uint16_t>(ip.size()));
+  store_be16(ip.data() + 4, static_cast<std::uint16_t>(index + 1));
+  ip[8] = 64;
+  ip[9] = 17;
+  const std::uint8_t src[4] = {192, 0, 2, 1};
+  const std::uint8_t dst[4] = {192, 0, 2, 2};
+  std::copy(src, src + 4, ip.data() + 12);
+  std::copy(dst, dst + 4, ip.data() + 16);
+  store_be16(ip.data() + 10,
+             rtcc::net::internet_checksum(BytesView{ip.data(), 20}));
+  std::copy(udp.begin(), udp.end(), ip.begin() + 20);
+
+  Bytes frame(14 + ip.size());
+  frame[5] = 2;
+  frame[11] = 1;
+  store_be16(frame.data() + 12, 0x0800);
+  std::copy(ip.begin(), ip.end(), frame.begin() + 14);
+  return frame;
+}
+
+Trace make_trace(std::size_t frames, std::size_t payload_len = 20,
+                 double spacing_s = 0.01) {
+  Trace trace;
+  for (std::size_t i = 0; i < frames; ++i)
+    trace.add_frame(1.0 + static_cast<double>(i) * spacing_s,
+                    make_udp_frame(static_cast<std::uint32_t>(i), payload_len));
+  return trace;
+}
+
+std::uint32_t frame_index(const Trace& trace, const rtcc::net::Frame& f) {
+  const BytesView bytes = trace.bytes(f);
+  return load_be32(bytes.data() + 14 + 20 + 8);
+}
+
+TEST(Perturb, PreservesLinktypeOrigLenAndIngestLedger) {
+  Trace trace;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    auto& f = trace.add_frame(1.0 + 0.01 * i, make_udp_frame(i));
+    if (i == 2) f.orig_len = 9999;  // pretend the capture clipped it
+  }
+  trace.set_linktype(rtcc::net::kLinkLinuxSll);
+  trace.ingest().frames_seen = 8;
+  trace.ingest().snaplen_clipped = 3;
+  trace.ingest().bad_usec = 1;
+
+  PerturbConfig cfg;  // all probabilities zero: a pure copy
+  cfg.seed = 7;
+  const Trace out = perturb(trace, cfg);
+
+  EXPECT_EQ(out.linktype(), rtcc::net::kLinkLinuxSll);
+  EXPECT_EQ(out.ingest(), trace.ingest());
+  ASSERT_EQ(out.size(), trace.size());
+  EXPECT_EQ(out.frames()[2].orig_len, 9999u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const BytesView a = trace.bytes(trace.frames()[i]);
+    const BytesView b = out.bytes(out.frames()[i]);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+
+  // Duplicated frames carry the original's orig_len too.
+  cfg.dup_p = 1.0;
+  const Trace dup = perturb(trace, cfg);
+  EXPECT_EQ(dup.linktype(), rtcc::net::kLinkLinuxSll);
+  EXPECT_EQ(dup.ingest(), trace.ingest());
+  EXPECT_EQ(dup.size(), 2 * trace.size());
+  std::size_t with_marker = 0;
+  for (const auto& f : dup.frames())
+    if (f.orig_len == 9999u) ++with_marker;
+  EXPECT_EQ(with_marker, 2u);
+}
+
+TEST(Weather, DeterministicAndMetadataPreserving) {
+  Trace trace = make_trace(64);
+  trace.ingest().frames_seen = 64;
+  trace.ingest().vlan_stripped = 5;
+
+  WeatherConfig cfg;
+  cfg.ge_p = 0.1;
+  cfg.ge_r = 0.4;
+  cfg.loss_bad = 0.8;
+  cfg.dup_p = 0.2;
+  cfg.dup_run = 2;
+  cfg.reorder_p = 0.3;
+  cfg.jitter_burst_p = 0.05;
+  cfg.seed = 42;
+
+  const WeatherResult a = apply_weather(trace, cfg);
+  const WeatherResult b = apply_weather(trace, cfg);
+  EXPECT_EQ(rtcc::net::encode_pcap(a.trace), rtcc::net::encode_pcap(b.trace));
+  EXPECT_EQ(a.trace.linktype(), trace.linktype());
+  EXPECT_EQ(a.trace.ingest(), trace.ingest());
+
+  cfg.seed = 43;  // a different seed must actually change something
+  const WeatherResult c = apply_weather(trace, cfg);
+  EXPECT_NE(rtcc::net::encode_pcap(a.trace), rtcc::net::encode_pcap(c.trace));
+}
+
+TEST(Weather, GilbertElliottBurstLengthsAreGeometric) {
+  const std::size_t n = 4000;
+  Trace trace = make_trace(n);
+
+  WeatherConfig cfg;
+  cfg.ge_p = 0.2;
+  cfg.ge_r = 0.25;  // mean bad-state residence: 1/0.25 = 4 frames
+  cfg.loss_good = 0.0;
+  cfg.loss_bad = 1.0;  // every bad-state frame drops: runs == bursts
+  cfg.seed = 11;
+  const WeatherResult out = apply_weather(trace, cfg);
+
+  std::set<std::uint32_t> survivors;
+  for (const auto& f : out.trace.frames())
+    survivors.insert(frame_index(out.trace, f));
+  ASSERT_EQ(survivors.size(), out.trace.size());  // no dups configured
+  EXPECT_EQ(n - survivors.size(), out.stats.dropped);
+  EXPECT_GT(out.stats.bursts, 0u);
+
+  // Collect maximal runs of missing indices: with loss_bad=1 these are
+  // exactly the bad-state residences, geometric with mean 1/ge_r = 4.
+  std::vector<std::size_t> runs;
+  std::size_t run = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (survivors.count(i) == 0) {
+      ++run;
+    } else if (run > 0) {
+      runs.push_back(run);
+      run = 0;
+    }
+  }
+  if (run > 0) runs.push_back(run);
+  ASSERT_GT(runs.size(), 50u);
+  double total = 0.0;
+  for (const std::size_t r : runs) total += static_cast<double>(r);
+  const double mean = total / static_cast<double>(runs.size());
+  EXPECT_GT(mean, 2.5);
+  EXPECT_LT(mean, 6.5);
+  // Stationary bad-state share p/(p+r) = 0.444: drops should be a
+  // substantial minority-to-half of the trace, not ~0 and not ~all.
+  EXPECT_GT(out.stats.dropped, n / 4);
+  EXPECT_LT(out.stats.dropped, (3 * n) / 4);
+}
+
+TEST(Weather, DuplicationRunsAndBoundedReorder) {
+  const std::size_t n = 200;
+  Trace trace = make_trace(n);
+
+  WeatherConfig dup_cfg;
+  dup_cfg.dup_p = 1.0;
+  dup_cfg.dup_run = 3;  // every frame gains 1..3 extra copies
+  dup_cfg.seed = 5;
+  const WeatherResult dup = apply_weather(trace, dup_cfg);
+  EXPECT_GE(dup.trace.size(), 2 * n);
+  EXPECT_LE(dup.trace.size(), 4 * n);
+  EXPECT_EQ(dup.trace.size(), n + dup.stats.duplicated);
+
+  WeatherConfig ro_cfg;
+  ro_cfg.reorder_p = 1.0;
+  ro_cfg.reorder_window_s = 0.04;
+  ro_cfg.seed = 6;
+  const WeatherResult ro = apply_weather(trace, ro_cfg);
+  ASSERT_EQ(ro.trace.size(), n);
+  EXPECT_EQ(ro.stats.reordered, n);
+  double prev = -1.0;
+  for (const auto& f : ro.trace.frames()) {
+    EXPECT_GE(f.ts, prev);  // output is sorted on the shifted axis
+    prev = f.ts;
+    const double orig = 1.0 + 0.01 * frame_index(ro.trace, f);
+    EXPECT_NEAR(f.ts, orig, ro_cfg.reorder_window_s + 1e-9);
+  }
+}
+
+TEST(Weather, JitterBurstDelaysWholeWindow) {
+  const std::size_t n = 100;
+  Trace trace = make_trace(n);
+
+  WeatherConfig cfg;
+  cfg.jitter_burst_p = 1.0;  // burst starts immediately and re-arms
+  cfg.jitter_burst_s = 10.0;
+  cfg.jitter_s = 0.003;  // below the 10 ms spacing: order is preserved
+  cfg.seed = 9;
+  const WeatherResult out = apply_weather(trace, cfg);
+  ASSERT_EQ(out.trace.size(), n);
+  EXPECT_EQ(out.stats.delayed, n);
+  for (const auto& f : out.trace.frames()) {
+    const double orig = 1.0 + 0.01 * frame_index(out.trace, f);
+    EXPECT_GE(f.ts, orig);
+    EXPECT_LE(f.ts, orig + cfg.jitter_s + 1e-9);
+  }
+}
+
+TEST(Weather, MtuClampFragmentsReassembleThroughFrameDecoder) {
+  const std::size_t n = 20;
+  const std::size_t payload_len = 1200;
+  Trace trace = make_trace(n, payload_len);
+
+  WeatherConfig cfg;
+  cfg.mtu = 600;
+  cfg.seed = 3;
+  const WeatherResult out = apply_weather(trace, cfg);
+  EXPECT_EQ(out.stats.frag_datagrams, n);
+  // L4 = 8 + 1200 bytes against 8-aligned 560-byte chunks: 3 fragments.
+  EXPECT_EQ(out.stats.frag_frames, 3 * n);
+  EXPECT_EQ(out.trace.size(), out.stats.frag_frames);
+
+  FrameDecoder decoder;
+  std::vector<Bytes> reassembled;
+  for (const auto& f : out.trace.frames()) {
+    if (auto d = decoder.decode(out.trace.bytes(f), f.ts)) {
+      EXPECT_TRUE(d->reassembled);
+      EXPECT_EQ(d->src_port, 40000u);
+      EXPECT_EQ(d->dst_port, 41000u);
+      reassembled.emplace_back(d->payload.begin(), d->payload.end());
+    }
+  }
+  decoder.finish();
+  EXPECT_EQ(decoder.stats().fragments_seen, out.stats.frag_frames);
+  EXPECT_EQ(decoder.stats().fragments_reassembled, n);
+  EXPECT_EQ(decoder.stats().fragments_expired, 0u);
+
+  ASSERT_EQ(reassembled.size(), n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ASSERT_EQ(reassembled[i].size(), payload_len);
+    EXPECT_EQ(load_be32(reassembled[i].data()), i);  // in-order, intact
+  }
+}
+
+}  // namespace
+}  // namespace rtcc::emul
